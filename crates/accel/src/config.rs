@@ -1,0 +1,81 @@
+//! Accelerator configuration and the paper's SRAM bank sizes.
+
+/// Cycles the sign/bias stage adds at the end of each layer pass.
+pub const SIGN_CYCLES: u64 = 1;
+
+/// On-chip SRAM bank capacities of one NCPU core (paper Fig. 4(a)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankSizes {
+    /// Layer-1 weight memory in bytes (reused as data cache in CPU mode).
+    pub w1: usize,
+    /// Weight memory per deeper layer (layers 2–4) in bytes.
+    pub w_deep: usize,
+    /// Input image memory in bytes.
+    pub image: usize,
+    /// Output (classification result) memory in bytes.
+    pub output: usize,
+    /// Bias memory in bytes.
+    pub bias: usize,
+    /// Instruction cache in bytes (CPU mode only).
+    pub icache: usize,
+    /// Register file in bytes (CPU mode only; 32 × 32-bit).
+    pub regfile: usize,
+}
+
+impl Default for BankSizes {
+    /// The fabricated chip's sizes: W1 25 KiB, W2–W4 6.5 KiB each, image
+    /// 4 KiB, output 1 KiB, bias 1 KiB, I$ 4 KiB, RF 1 Kib (128 B).
+    fn default() -> BankSizes {
+        BankSizes {
+            w1: 25 * 1024,
+            w_deep: 6 * 1024 + 512,
+            image: 4 * 1024,
+            output: 1024,
+            bias: 1024,
+            icache: 4 * 1024,
+            regfile: 128,
+        }
+    }
+}
+
+impl BankSizes {
+    /// Total SRAM bytes of one core for a `layers`-layer accelerator.
+    pub fn total_bytes(&self, layers: usize) -> usize {
+        self.w1
+            + self.w_deep * layers.saturating_sub(1)
+            + self.image
+            + self.output
+            + self.bias
+            + self.icache
+            + self.regfile
+    }
+}
+
+/// Accelerator configuration knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccelConfig {
+    /// Whether layers are pipelined across images (the paper's design).
+    /// Disabled only by the `ablation_pipelining` experiment.
+    pub layer_pipelining: bool,
+    /// SRAM bank capacities.
+    pub banks: BankSizes,
+}
+
+impl Default for AccelConfig {
+    fn default() -> AccelConfig {
+        AccelConfig { layer_pipelining: true, banks: BankSizes::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_bank_budget() {
+        let b = BankSizes::default();
+        // 25 + 3×6.5 + 4 + 1 + 1 + 4 KiB + RF ≈ 54.6 KiB per core.
+        let total = b.total_bytes(4);
+        assert!((54 * 1024..56 * 1024).contains(&total), "total {total}");
+    }
+}

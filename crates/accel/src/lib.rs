@@ -1,0 +1,41 @@
+//! Cycle-level binary-neural-network accelerator (the standalone baseline).
+//!
+//! Models the paper's Fig. 2 design: a multi-layer array of XNOR neurons,
+//! fed bit-serially from SRAM, with layers pipelined so several images are
+//! in flight at once (the property the end-to-end baseline of Fig. 13
+//! relies on). The model is exact in two senses:
+//!
+//! * **functional** — classification results are bit-identical to the
+//!   reference [`ncpu_bnn::BnnModel`] inference (differential-tested),
+//! * **timing** — per-image layer occupancy follows the systolic
+//!   recurrence `start(i,l) = max(end(i,l−1), end(i−1,l))` with
+//!   `layer_cycles(l) = inputs(l) + SIGN_CYCLES`, which is cycle-exact for
+//!   the bit-serial broadcast datapath.
+//!
+//! Weights and biases live in modeled SRAM banks (paper Fig. 4(a) sizes);
+//! the access counters feed the activity-based power model.
+//!
+//! # Examples
+//!
+//! ```
+//! use ncpu_accel::{AccelConfig, Accelerator};
+//! use ncpu_bnn::{BitVec, BnnModel, Topology};
+//!
+//! let topo = Topology::new(16, vec![8, 8], 4);
+//! let model = BnnModel::zeros(&topo);
+//! let mut acc = Accelerator::new(model, AccelConfig::default());
+//! let run = acc.run_batch(&[BitVec::zeros(16)]);
+//! assert_eq!(run.outputs.len(), 1);
+//! assert!(run.total_cycles > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod engine;
+mod packing;
+
+pub use config::{AccelConfig, BankSizes, SIGN_CYCLES};
+pub use engine::{Accelerator, AccelStats, BatchRun};
+pub use packing::{pack_layer_weights, packed_row_bytes, unpack_layer_weights};

@@ -1,0 +1,120 @@
+//! Property test: the cycle-level accelerator is bit-identical to the
+//! reference inference for arbitrary models and inputs.
+
+use ncpu_accel::{AccelConfig, Accelerator};
+use ncpu_bnn::{BitVec, BnnLayer, BnnModel, Topology};
+use proptest::prelude::*;
+
+/// Strategy: a random small BNN (2–4 layers) plus a batch of inputs.
+fn model_and_inputs() -> impl Strategy<Value = (BnnModel, Vec<BitVec>)> {
+    (2usize..=4, 1usize..=12, 2usize..=16, 1usize..=6).prop_flat_map(
+        |(layers, neurons, input, batch)| {
+            let weight_bits = prop::collection::vec(
+                any::<bool>(),
+                input * neurons + (layers - 1) * neurons * neurons,
+            );
+            let biases = prop::collection::vec(-3i32..=3, layers * neurons);
+            let inputs = prop::collection::vec(
+                prop::collection::vec(any::<bool>(), input),
+                batch,
+            );
+            (weight_bits, biases, inputs).prop_map(move |(bits, biases, raw_inputs)| {
+                let topo = Topology::new(input, vec![neurons; layers], neurons.min(4));
+                let mut cursor = 0;
+                let mut built = Vec::new();
+                for l in 0..layers {
+                    let n_in = topo.layer_input(l);
+                    let rows: Vec<BitVec> = (0..neurons)
+                        .map(|_| {
+                            let row = BitVec::from_bools(
+                                bits[cursor..cursor + n_in].iter().copied(),
+                            );
+                            cursor += n_in;
+                            row
+                        })
+                        .collect();
+                    built.push(BnnLayer::new(
+                        rows,
+                        biases[l * neurons..(l + 1) * neurons].to_vec(),
+                    ));
+                }
+                let model = BnnModel::new(topo, built);
+                let inputs =
+                    raw_inputs.into_iter().map(BitVec::from_bools).collect::<Vec<_>>();
+                (model, inputs)
+            })
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Pipelined and serial timing modes both match the reference model on
+    /// every image of every random batch.
+    #[test]
+    fn accelerator_matches_reference((model, inputs) in model_and_inputs()) {
+        let reference: Vec<usize> = inputs.iter().map(|i| model.classify(i)).collect();
+        let mut piped = Accelerator::new(model.clone(), AccelConfig::default());
+        let run = piped.run_batch(&inputs);
+        prop_assert_eq!(&run.outputs, &reference);
+
+        let mut serial = Accelerator::new(
+            model.clone(),
+            AccelConfig { layer_pipelining: false, ..AccelConfig::default() },
+        );
+        prop_assert_eq!(&serial.run_batch(&inputs).outputs, &reference);
+    }
+
+    /// Timing invariants: spans are ordered, non-overlapping per image,
+    /// and the serial mode is never faster than the pipelined mode.
+    #[test]
+    fn timing_invariants((model, inputs) in model_and_inputs()) {
+        let mut piped = Accelerator::new(model.clone(), AccelConfig::default());
+        let p = piped.run_batch(&inputs);
+        let mut serial = Accelerator::new(
+            model.clone(),
+            AccelConfig { layer_pipelining: false, ..AccelConfig::default() },
+        );
+        let s = serial.run_batch(&inputs);
+        prop_assert!(p.total_cycles <= s.total_cycles);
+        let latency: u64 = (0..model.layers().len())
+            .map(|l| model.topology().layer_input(l) as u64 + ncpu_accel::SIGN_CYCLES)
+            .sum();
+        for (i, &(start, end)) in p.spans.iter().enumerate() {
+            prop_assert!(end > start, "image {i} span must be nonempty");
+            prop_assert!(end - start >= latency, "no image beats the array latency");
+        }
+        // Completion order follows submission order (in-order array).
+        for w in p.spans.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    /// Rolled (deep) execution matches the reference for models deeper
+    /// than the physical array.
+    #[test]
+    fn deep_rollback_matches_reference((model, inputs) in model_and_inputs()) {
+        // Build a deeper logical model by doubling the layer stack.
+        let topo = model.topology();
+        let neurons = topo.layers()[0];
+        let mut layers: Vec<BnnLayer> = model.layers().to_vec();
+        for l in model.layers() {
+            // Re-use square layers only (first layer's input may differ).
+            if l.input_len() == neurons {
+                layers.push(l.clone());
+            }
+        }
+        let deep_topo = Topology::new(
+            topo.input(),
+            layers.iter().map(BnnLayer::neurons).collect(),
+            topo.classes(),
+        );
+        let deep = BnnModel::new(deep_topo, layers);
+        let mut accel = Accelerator::new(model.clone(), AccelConfig::default());
+        let timed: Vec<(BitVec, u64)> = inputs.iter().map(|i| (i.clone(), 0)).collect();
+        let run = accel.run_batch_deep(&deep, &timed);
+        let reference: Vec<usize> = inputs.iter().map(|i| deep.classify(i)).collect();
+        prop_assert_eq!(run.outputs, reference);
+    }
+}

@@ -1,0 +1,26 @@
+//! `cargo bench` entry point that regenerates the paper's fast tables and
+//! figures (the training-heavy ones — table1/table3/fig18 — run via
+//! `cargo run --release -p ncpu-bench --bin <id>`), reporting the wall
+//! time of each regeneration.
+
+use std::time::Instant;
+
+fn main() {
+    // Respect `cargo bench -- <filter>`.
+    let filter: Vec<String> = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+    let fast = [
+        "fig01", "fig09", "table2", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+        "fig16", "table4", "fig17", "fig19", "ablation_switch", "ablation_pipelining",
+        "ablation_offload", "ablation_interface", "ext_deep", "ext_realtime", "ext_lockstep",
+    ];
+    for id in fast {
+        if !filter.is_empty() && !filter.iter().any(|f| id.contains(f.as_str())) {
+            continue;
+        }
+        let start = Instant::now();
+        let report = ncpu_bench::experiments::run_by_id(id).expect("known id");
+        let elapsed = start.elapsed();
+        println!("{report}");
+        println!("[regenerated {id} in {elapsed:.2?}]\n");
+    }
+}

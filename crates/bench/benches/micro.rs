@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks of the simulator substrate itself: how fast
+//! the reproduction simulates, not what the paper measures.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ncpu_accel::{AccelConfig, Accelerator};
+use ncpu_bnn::BitVec;
+use ncpu_isa::{asm, decode};
+use ncpu_pipeline::{FlatMem, Pipeline};
+
+fn bench_isa(c: &mut Criterion) {
+    let mut g = c.benchmark_group("isa");
+    let words = asm::assemble(
+        "loop: addi t0, t0, 1
+               mul t1, t0, t0
+               lw a0, 0(sp)
+               beq a0, t1, loop
+               ebreak",
+    )
+    .unwrap();
+    g.throughput(Throughput::Elements(words.len() as u64));
+    g.bench_function("decode", |b| {
+        b.iter(|| {
+            for &w in &words {
+                black_box(decode(black_box(w)).unwrap());
+            }
+        })
+    });
+    g.bench_function("assemble_small_program", |b| {
+        b.iter(|| asm::assemble(black_box("li t0, 100\nloop: addi t0, t0, -1\nbnez t0, loop\nebreak")))
+    });
+    g.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    let program = ncpu_workloads::spin::spin_program(100_000);
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("cycles_per_second", |b| {
+        b.iter(|| {
+            let mut cpu = Pipeline::new(program.clone(), FlatMem::new(64));
+            cpu.run(1_000_000).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_bnn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bnn");
+    let a = BitVec::from_bools((0..784).map(|i| i % 3 == 0));
+    let b2 = BitVec::from_bools((0..784).map(|i| i % 5 == 0));
+    g.bench_function("dot_784", |b| b.iter(|| black_box(a.dot(&b2))));
+    let model = ncpu_bench::context::image_pseudo_model(100);
+    g.bench_function("reference_inference", |b| {
+        b.iter(|| black_box(model.classify(&a)))
+    });
+    let mut accel = Accelerator::new(model.clone(), AccelConfig::default());
+    g.bench_function("accelerator_inference", |b| b.iter(|| accel.infer(&a)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_isa, bench_pipeline, bench_bnn);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates the interface-cost sensitivity study (see EXPERIMENTS.md).
+fn main() {
+    print!("{}", ncpu_bench::experiments::ablation_interface().render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's `ablation_offload` (see EXPERIMENTS.md).
+fn main() {
+    print!("{}", ncpu_bench::experiments::ablation_offload().render());
+}

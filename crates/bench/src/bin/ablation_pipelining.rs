@@ -1,0 +1,4 @@
+//! Regenerates the paper's `ablation_pipelining` (see EXPERIMENTS.md).
+fn main() {
+    print!("{}", ncpu_bench::experiments::ablation_pipelining().render());
+}

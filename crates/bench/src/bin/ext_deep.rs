@@ -1,0 +1,4 @@
+//! Regenerates the Section VIII-A extension study (see EXPERIMENTS.md).
+fn main() {
+    print!("{}", ncpu_bench::experiments::ext_deep().render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the lock-step co-simulation validation (see EXPERIMENTS.md).
+fn main() {
+    print!("{}", ncpu_bench::experiments::ext_lockstep().render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the mixed-workload extension study (see EXPERIMENTS.md).
+fn main() {
+    print!("{}", ncpu_bench::experiments::ext_multiprogram().render());
+}

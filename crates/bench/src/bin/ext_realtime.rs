@@ -1,0 +1,4 @@
+//! Regenerates the deadline-voltage frontier study (see EXPERIMENTS.md).
+fn main() {
+    print!("{}", ncpu_bench::experiments::ext_realtime().render());
+}

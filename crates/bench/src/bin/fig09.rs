@@ -1,0 +1,4 @@
+//! Regenerates the paper's `fig09` (see EXPERIMENTS.md).
+fn main() {
+    print!("{}", ncpu_bench::experiments::fig09().render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's `fig17` (see EXPERIMENTS.md).
+fn main() {
+    print!("{}", ncpu_bench::experiments::fig17().render());
+}

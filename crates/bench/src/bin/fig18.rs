@@ -1,0 +1,4 @@
+//! Regenerates the paper's `fig18` (see EXPERIMENTS.md).
+fn main() {
+    print!("{}", ncpu_bench::experiments::fig18().render());
+}

@@ -1,0 +1,18 @@
+//! Runs every experiment in paper order (`cargo run --release -p
+//! ncpu-bench --bin paper`), or a subset by id.
+use std::env;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let ids: Vec<&str> = if args.is_empty() {
+        ncpu_bench::experiments::ALL_IDS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in ids {
+        match ncpu_bench::experiments::run_by_id(id) {
+            Some(report) => println!("{report}"),
+            None => eprintln!("unknown experiment `{id}` (known: {:?})", ncpu_bench::experiments::ALL_IDS),
+        }
+    }
+}

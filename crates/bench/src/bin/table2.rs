@@ -1,0 +1,4 @@
+//! Regenerates the paper's `table2` (see EXPERIMENTS.md).
+fn main() {
+    print!("{}", ncpu_bench::experiments::table2().render());
+}

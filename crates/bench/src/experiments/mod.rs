@@ -1,0 +1,55 @@
+//! One function per paper table/figure, plus the ablation studies.
+
+mod endtoend;
+mod power_figs;
+mod sweeps;
+mod tables;
+
+pub use endtoend::{ext_multiprogram, fig01, fig13, fig14, fig15, fig16, fig17, table4};
+pub use power_figs::{fig09, fig10, fig11, fig12};
+pub use sweeps::{
+    ablation_interface, ablation_offload, ablation_pipelining, ablation_switch, ext_deep,
+    ext_lockstep, fig18, fig19,
+};
+pub use tables::{ext_realtime, table1, table2, table3};
+
+use crate::Report;
+
+/// Experiment ids in paper order.
+pub const ALL_IDS: [&str; 24] = [
+    "fig01", "table1", "fig09", "table2", "table3", "fig10", "fig11", "fig12", "fig13",
+    "fig14", "fig15", "fig16", "table4", "fig17", "fig18", "fig19", "ablation_switch",
+    "ablation_pipelining", "ablation_offload", "ablation_interface", "ext_deep",
+    "ext_multiprogram", "ext_realtime", "ext_lockstep",
+];
+
+/// Runs one experiment by id.
+pub fn run_by_id(id: &str) -> Option<Report> {
+    Some(match id {
+        "fig01" => fig01(),
+        "table1" => table1(),
+        "fig09" => fig09(),
+        "table2" => table2(),
+        "table3" => table3(),
+        "fig10" => fig10(),
+        "fig11" => fig11(),
+        "fig12" => fig12(),
+        "fig13" => fig13(),
+        "fig14" => fig14(),
+        "fig15" => fig15(),
+        "fig16" => fig16(),
+        "table4" => table4(),
+        "fig17" => fig17(),
+        "fig18" => fig18(),
+        "fig19" => fig19(),
+        "ablation_switch" => ablation_switch(),
+        "ablation_pipelining" => ablation_pipelining(),
+        "ablation_offload" => ablation_offload(),
+        "ablation_interface" => ablation_interface(),
+        "ext_deep" => ext_deep(),
+        "ext_multiprogram" => ext_multiprogram(),
+        "ext_realtime" => ext_realtime(),
+        "ext_lockstep" => ext_lockstep(),
+        _ => return None,
+    })
+}

@@ -1,0 +1,248 @@
+//! Fig. 18, Fig. 19 and the ablation studies.
+
+use ncpu_bnn::{BitVec, BnnLayer, BnnModel, Topology};
+use ncpu_core::SwitchPolicy;
+use ncpu_nalu::{cost, normalized_error, AluTask};
+use ncpu_power::AreaModel;
+use ncpu_soc::{run, SocConfig, SystemConfig, UseCase};
+
+use crate::context::{image_pseudo_model, pct, trained_digits};
+use crate::Report;
+
+/// Fig. 18: area saving and accuracy vs neuron cells per layer.
+pub fn fig18() -> Report {
+    let am = AreaModel::default();
+    let mut lines = vec![format!(
+        "{:>8} {:>13} {:>11}   paper",
+        "neurons", "area saving", "accuracy"
+    )];
+    let paper = [(50, 43.5, 88.6), (100, 35.7, 94.8), (200, 30.6, 96.0), (400, 22.5, 97.2)];
+    for (n, p_saving, p_acc) in paper {
+        let (_, acc) = trained_digits(n);
+        lines.push(format!(
+            "{n:>8} {:>13} {:>11}   {p_saving}% / {p_acc}%",
+            pct(am.area_saving(n)),
+            pct(acc)
+        ));
+    }
+    lines.push(
+        "both trends hold: saving falls and accuracy rises with the array size \
+         (our SRAM model scales the endpoints wider than the paper's)"
+            .to_string(),
+    );
+    Report { id: "fig18", title: "area saving and accuracy vs accelerator size", lines }
+}
+
+/// Fig. 19: NALU normalized error per ALU operation and area cost vs a
+/// digital implementation.
+pub fn fig19() -> Report {
+    let mut lines =
+        vec![format!("{:<10} {:>17} {:>18}", "operation", "normalized error", "area vs digital")];
+    for task in AluTask::ALL {
+        let r = normalized_error(task, 600, 5);
+        lines.push(format!(
+            "{:<10} {:>16.1}% {:>17.1}×",
+            task.name(),
+            r.normalized_error_pct(),
+            cost::area_ratio(task, r.macs)
+        ));
+    }
+    lines.push(
+        "paper: add/sub learn well, and/xor stay erroneous, add+sub goes near-random; \
+         area 13-35× digital (add 17×, sub 15×, and 35×, xor 32×)"
+            .to_string(),
+    );
+    Report { id: "fig19", title: "NALU learning error and hardware cost", lines }
+}
+
+/// Ablation: the zero-latency switch protocol vs naive reconfiguration.
+pub fn ablation_switch() -> Report {
+    let model = image_pseudo_model(100);
+    let uc = UseCase::parametric(0.7, 8, model);
+    let zero = run(&uc, SystemConfig::Ncpu { cores: 1 }, &SocConfig::default());
+    let naive = run(
+        &uc,
+        SystemConfig::Ncpu { cores: 1 },
+        &SocConfig { switch_policy: SwitchPolicy::Naive, ..SocConfig::default() },
+    );
+    let lines = vec![
+        format!("zero-latency switching: {} cycles", zero.makespan),
+        format!(
+            "naive reconfiguration:  {} cycles (+{})",
+            naive.makespan,
+            pct(naive.makespan as f64 / zero.makespan as f64 - 1.0)
+        ),
+        "the paper's Fig. 5 protocol (resident layer-1 weights, preloaded D$) \
+         removes every reload stall"
+            .to_string(),
+    ];
+    Report { id: "ablation_switch", title: "zero-latency vs naive mode switching", lines }
+}
+
+/// Ablation: layer pipelining in the accelerator (the property the
+/// baseline's overlap depends on).
+pub fn ablation_pipelining() -> Report {
+    let model = image_pseudo_model(100);
+    let uc = UseCase::parametric(0.3, 8, model);
+    let piped = run(&uc, SystemConfig::Heterogeneous, &SocConfig::default());
+    let serial = run(
+        &uc,
+        SystemConfig::Heterogeneous,
+        &SocConfig { layer_pipelining: false, ..SocConfig::default() },
+    );
+    let lines = vec![
+        format!("layer-pipelined accelerator: {} cycles", piped.makespan),
+        format!(
+            "serial (one image in array): {} cycles (+{})",
+            serial.makespan,
+            pct(serial.makespan as f64 / piped.makespan as f64 - 1.0)
+        ),
+        "at accelerator-bound workload mixes, image-level pipelining through the \
+         four layers sets the baseline's throughput"
+            .to_string(),
+    ];
+    Report { id: "ablation_pipelining", title: "accelerator layer pipelining on/off", lines }
+}
+
+/// Ablation: data locality — bytes moved across the fabric per item.
+pub fn ablation_offload() -> Report {
+    let model = image_pseudo_model(100);
+    let uc = UseCase::parametric(0.7, 4, model);
+    let base = run(&uc, SystemConfig::Heterogeneous, &SocConfig::default());
+    let dual = run(&uc, SystemConfig::Ncpu { cores: 2 }, &SocConfig::default());
+    // Per item the baseline moves the packed input CPU→L2→accelerator; the
+    // NCPU only writes one result word through.
+    let packed = 98u64;
+    let items = uc.items().len() as u64;
+    let lines = vec![
+        format!(
+            "baseline: {} B of input offloaded per item ({} B total) + result return",
+            packed,
+            packed * items
+        ),
+        "2×NCPU: 0 B — pre-processed data is classified where it was written \
+         (the memory-reuse scheme of Fig. 4)"
+            .to_string(),
+        format!(
+            "end-to-end: baseline {} cy vs 2×NCPU {} cy ({} faster)",
+            base.makespan,
+            dual.makespan,
+            pct(dual.improvement_over(&base))
+        ),
+    ];
+    Report { id: "ablation_offload", title: "offload traffic vs in-place classification", lines }
+}
+
+/// Extension (paper Section VIII-A): deeper BNNs than the 4-layer array —
+/// single-core layer rollback vs two NCPU cores connected in series.
+pub fn ext_deep() -> Report {
+    use ncpu_soc::deep;
+    // An 8-layer, 100-neuron logical network.
+    let topo = Topology::new(784, vec![100; 8], 10);
+    let layers = (0..8)
+        .map(|l| {
+            let n_in = topo.layer_input(l);
+            let rows: Vec<BitVec> = (0..100)
+                .map(|j| BitVec::from_bools((0..n_in).map(|i| (i * 11 + j * 3 + l) % 7 < 3)))
+                .collect();
+            BnnLayer::new(rows, (0..100).map(|j| (j as i32 % 5) - 2).collect())
+        })
+        .collect();
+    let deep_model = BnnModel::new(topo, layers);
+    let inputs: Vec<BitVec> = (0..16)
+        .map(|k| BitVec::from_bools((0..784).map(|i| (i + k * 13) % 5 < 2)))
+        .collect();
+    let soc = SocConfig::default();
+    let rolled = deep::run_rolled(&deep_model, &inputs, &soc);
+    let series = deep::run_series(&deep_model, &inputs, &soc);
+    assert_eq!(rolled.outputs, series.outputs, "modes must agree functionally");
+    let lines = vec![
+        "8-layer × 100-neuron network on the 4-layer physical array (batch 16):".to_string(),
+        format!(
+            "  rollback (1 core):  first image {} cy, steady interval {} cy, total {} cy",
+            rolled.first_latency, rolled.steady_interval, rolled.total_cycles
+        ),
+        format!(
+            "  series   (2 cores): first image {} cy, steady interval {} cy, total {} cy",
+            series.first_latency, series.steady_interval, series.total_cycles
+        ),
+        format!(
+            "  series throughput gain: {:.2}× (two cores hold all 8 layers resident)",
+            rolled.steady_interval as f64 / series.steady_interval as f64
+        ),
+        "paper: 'deeper BNN … supported by rolling back the BNN operation or \
+         connecting two cores in series'"
+            .to_string(),
+    ];
+    Report { id: "ext_deep", title: "deeper BNNs: rollback vs two cores in series", lines }
+}
+
+/// Ablation (paper Section VIII-B): how much of the NCPU's win survives if
+/// the baseline gets an ever-tighter CPU–accelerator interface (RoCC/ACP
+/// class)? We sweep the offload interface cost down to free.
+pub fn ablation_interface() -> Report {
+    let model = image_pseudo_model(100);
+    let uc = UseCase::parametric(0.7, 2, model);
+    let mut lines = vec![format!(
+        "{:<34} {:>12} {:>10}",
+        "baseline interface", "baseline cy", "NCPU gain"
+    )];
+    for (label, bytes_per_cycle, setup) in [
+        ("DMA through L2 (default)", 4u32, 16u64),
+        ("wide burst DMA (16 B/cy, 8 cy)", 16, 8),
+        ("ACP-class (32 B/cy, 4 cy)", 32, 4),
+        ("ideal zero-cost (RoCC-class)", u32::MAX, 0),
+    ] {
+        let soc = SocConfig {
+            dma_bytes_per_cycle: bytes_per_cycle,
+            dma_setup_cycles: setup,
+            ..SocConfig::default()
+        };
+        let base = run(&uc, SystemConfig::Heterogeneous, &soc);
+        let dual = run(&uc, SystemConfig::Ncpu { cores: 2 }, &soc);
+        lines.push(format!(
+            "{label:<34} {:>12} {:>10}",
+            base.makespan,
+            pct(dual.improvement_over(&base))
+        ));
+    }
+    lines.push(
+        "even a free offload interface cannot fix the serialization: the paper's \
+         point that tighter interfaces [14,15] address transfer cost but not core \
+         under-utilization"
+            .to_string(),
+    );
+    Report { id: "ablation_interface", title: "NCPU gain vs baseline interface cost", lines }
+}
+
+/// Validation: the fast analytic SoC scheduler against the cycle-stepped
+/// lock-step co-simulation with real L2 arbitration.
+pub fn ext_lockstep() -> Report {
+    use ncpu_soc::lockstep::run_ncpu_lockstep;
+    let model = image_pseudo_model(100);
+    let uc = UseCase::parametric(0.6, 8, model);
+    let soc = SocConfig::default();
+    let mut lines = vec![format!(
+        "{:<8} {:>14} {:>14} {:>9} {:>14}",
+        "cores", "analytic cy", "lockstep cy", "delta", "L2 conflicts"
+    )];
+    for cores in [1usize, 2] {
+        let analytic = run(&uc, SystemConfig::Ncpu { cores }, &soc);
+        let lockstep = run_ncpu_lockstep(&uc, cores, &soc);
+        assert_eq!(analytic.predictions, lockstep.report.predictions);
+        lines.push(format!(
+            "{cores:<8} {:>14} {:>14} {:>8.2}% {:>14}",
+            analytic.makespan,
+            lockstep.report.makespan,
+            (lockstep.report.makespan as f64 / analytic.makespan as f64 - 1.0) * 100.0,
+            lockstep.l2_conflict_cycles
+        ));
+    }
+    lines.push(
+        "cycle-level co-simulation confirms the analytic scheduler: identical \
+         classifications, sub-percent makespans, and near-zero shared-L2 \
+         contention (the memory-reuse scheme keeps traffic local)"
+            .to_string(),
+    );
+    Report { id: "ext_lockstep", title: "analytic scheduler vs lock-step co-simulation", lines }
+}

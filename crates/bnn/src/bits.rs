@@ -1,0 +1,264 @@
+//! Packed ±1 bit vectors with XNOR-popcount arithmetic.
+
+use std::fmt;
+
+/// A fixed-length vector over {-1, +1}, packed 64 values per word.
+///
+/// Bit value `1` represents `+1`, bit value `0` represents `-1` — the same
+/// convention the accelerator's XNOR neurons use. The core operation is
+/// [`dot`](BitVec::dot): the exact ±1 dot product computed as
+/// `2·popcount(XNOR) − n`.
+///
+/// # Examples
+///
+/// ```
+/// use ncpu_bnn::BitVec;
+///
+/// let a = BitVec::from_bools([true, true, false, false]);
+/// let b = BitVec::from_bools([true, false, true, false]);
+/// // (+1·+1) + (+1·-1) + (-1·+1) + (-1·-1) = 0
+/// assert_eq!(a.dot(&b), 0);
+/// assert_eq!(a.dot(&a), 4);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates a vector of `len` elements, all −1 (bits clear).
+    pub fn zeros(len: usize) -> BitVec {
+        BitVec { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Builds a vector from boolean values (`true` → +1).
+    pub fn from_bools<I: IntoIterator<Item = bool>>(bits: I) -> BitVec {
+        let mut words = Vec::new();
+        let mut len = 0;
+        for b in bits {
+            if len % 64 == 0 {
+                words.push(0u64);
+            }
+            if b {
+                *words.last_mut().expect("pushed above") |= 1 << (len % 64);
+            }
+            len += 1;
+        }
+        BitVec { words, len }
+    }
+
+    /// Builds a vector from the signs of real values (`>= 0` → +1).
+    pub fn from_signs<'a, I: IntoIterator<Item = &'a f32>>(values: I) -> BitVec {
+        BitVec::from_bools(values.into_iter().map(|&v| v >= 0.0))
+    }
+
+    /// Number of elements.
+    pub const fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has zero elements.
+    pub const fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Element `i` as a boolean (`true` → +1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "index {i} out of range {}", self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Element `i` as ±1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn sign(&self, i: usize) -> i32 {
+        if self.get(i) {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Sets element `i` (`true` → +1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "index {i} out of range {}", self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Number of +1 elements.
+    pub fn count_ones(&self) -> usize {
+        self.masked_words().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Exact ±1 dot product via XNOR-popcount.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn dot(&self, other: &BitVec) -> i32 {
+        assert_eq!(self.len, other.len, "dot of unequal lengths");
+        let mut matches = 0u32;
+        for (i, (a, b)) in self.words.iter().zip(&other.words).enumerate() {
+            let mut x = !(a ^ b);
+            if i == self.words.len() - 1 && self.len % 64 != 0 {
+                x &= (1u64 << (self.len % 64)) - 1;
+            }
+            matches += x.count_ones();
+        }
+        2 * matches as i32 - self.len as i32
+    }
+
+    /// Iterates over elements as booleans.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(|i| self.get(i))
+    }
+
+    /// The packed 64-bit words, with unused high bits of the last word
+    /// left undefined to callers (mask with [`len`](Self::len)).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Packs the vector into little-endian bytes (bit i of byte i/8),
+    /// the layout the accelerator's image memory uses.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.len.div_ceil(8)];
+        for i in 0..self.len {
+            if self.get(i) {
+                out[i / 8] |= 1 << (i % 8);
+            }
+        }
+        out
+    }
+
+    /// Unpacks `len` bits from little-endian bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` holds fewer than `len` bits.
+    pub fn from_bytes(bytes: &[u8], len: usize) -> BitVec {
+        assert!(bytes.len() * 8 >= len, "not enough bytes for {len} bits");
+        BitVec::from_bools((0..len).map(|i| bytes[i / 8] >> (i % 8) & 1 == 1))
+    }
+
+    fn masked_words(&self) -> impl Iterator<Item = u64> + '_ {
+        let last = self.words.len().wrapping_sub(1);
+        let tail_bits = self.len % 64;
+        self.words.iter().enumerate().map(move |(i, &w)| {
+            if i == last && tail_bits != 0 {
+                w & ((1u64 << tail_bits) - 1)
+            } else {
+                w
+            }
+        })
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[{}; ", self.len)?;
+        for i in 0..self.len.min(64) {
+            f.write_str(if self.get(i) { "+" } else { "-" })?;
+        }
+        if self.len > 64 {
+            write!(f, "… ({} more)", self.len - 64)?;
+        }
+        f.write_str("]")
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> BitVec {
+        BitVec::from_bools(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dot(a: &BitVec, b: &BitVec) -> i32 {
+        (0..a.len()).map(|i| a.sign(i) * b.sign(i)).sum()
+    }
+
+    #[test]
+    fn dot_matches_naive_on_varied_lengths() {
+        for len in [1usize, 7, 63, 64, 65, 100, 128, 200, 784] {
+            let a = BitVec::from_bools((0..len).map(|i| (i * 7) % 3 == 0));
+            let b = BitVec::from_bools((0..len).map(|i| (i * 5) % 4 < 2));
+            assert_eq!(a.dot(&b), naive_dot(&a, &b), "len={len}");
+        }
+    }
+
+    #[test]
+    fn self_dot_is_len() {
+        let v = BitVec::from_bools((0..100).map(|i| i % 2 == 0));
+        assert_eq!(v.dot(&v), 100);
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut v = BitVec::zeros(70);
+        v.set(0, true);
+        v.set(63, true);
+        v.set(64, true);
+        v.set(69, true);
+        assert!(v.get(0) && v.get(63) && v.get(64) && v.get(69));
+        assert!(!v.get(1));
+        assert_eq!(v.count_ones(), 4);
+        v.set(64, false);
+        assert_eq!(v.count_ones(), 3);
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let v = BitVec::from_bools((0..77).map(|i| (i * 13) % 5 < 2));
+        let bytes = v.to_bytes();
+        assert_eq!(bytes.len(), 10);
+        assert_eq!(BitVec::from_bytes(&bytes, 77), v);
+    }
+
+    #[test]
+    fn from_signs_thresholds_at_zero() {
+        let v = BitVec::from_signs(&[-0.5f32, 0.0, 0.5]);
+        assert!(!v.get(0));
+        assert!(v.get(1));
+        assert!(v.get(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "unequal")]
+    fn dot_requires_equal_lengths() {
+        BitVec::zeros(3).dot(&BitVec::zeros(4));
+    }
+
+    #[test]
+    fn count_ones_ignores_slack_bits() {
+        // Construct via from_bools to leave no stray bits, then check edge.
+        let v = BitVec::from_bools((0..65).map(|_| true));
+        assert_eq!(v.count_ones(), 65);
+        assert_eq!(v.dot(&v), 65);
+    }
+
+    #[test]
+    fn debug_is_compact() {
+        let v = BitVec::from_bools([true, false]);
+        assert_eq!(format!("{v:?}"), "BitVec[2; +-]");
+    }
+}

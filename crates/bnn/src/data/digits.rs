@@ -1,0 +1,351 @@
+//! Procedural digit images: the MNIST stand-in (see `DESIGN.md`).
+//!
+//! Samples are 28×28 binary images built from a 5×7 glyph font, upscaled,
+//! randomly shifted, and corrupted with pixel-flip noise. The module also
+//! renders the *raw* 224×224×3 RGB frames the image-classification use
+//! case starts from, plus the integer-exact [`preprocess`] pipeline
+//! (resize → grayscale → normalize) that the CPU-mode RV32I program
+//! mirrors instruction for instruction.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::Dataset;
+use crate::bits::BitVec;
+
+/// Width and height of the classifier input image.
+pub const IMG: usize = 28;
+/// Number of pixels of the classifier input (the BNN input width).
+pub const PIXELS: usize = IMG * IMG;
+/// Width and height of the raw sensor frame the use case pre-processes.
+pub const RAW: usize = 224;
+/// Number of digit classes.
+pub const CLASSES: usize = 10;
+
+/// 5×7 glyph font, one row per digit, bit 4..0 = left..right.
+const FONT: [[u8; 7]; 10] = [
+    [0b01110, 0b10001, 0b10011, 0b10101, 0b11001, 0b10001, 0b01110], // 0
+    [0b00100, 0b01100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110], // 1
+    [0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0b01000, 0b11111], // 2
+    [0b11111, 0b00010, 0b00100, 0b00010, 0b00001, 0b10001, 0b01110], // 3
+    [0b00010, 0b00110, 0b01010, 0b10010, 0b11111, 0b00010, 0b00010], // 4
+    [0b11111, 0b10000, 0b11110, 0b00001, 0b00001, 0b10001, 0b01110], // 5
+    [0b00110, 0b01000, 0b10000, 0b11110, 0b10001, 0b10001, 0b01110], // 6
+    [0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b01000, 0b01000], // 7
+    [0b01110, 0b10001, 0b10001, 0b01110, 0b10001, 0b10001, 0b01110], // 8
+    [0b01110, 0b10001, 0b10001, 0b01111, 0b00001, 0b00010, 0b01100], // 9
+];
+
+/// Configuration of the synthetic digit dataset generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DigitsConfig {
+    /// Training samples per class.
+    pub train_per_class: usize,
+    /// Test samples per class.
+    pub test_per_class: usize,
+    /// Probability of flipping each pixel (task difficulty knob; 0.15
+    /// places a 100-neuron BNN in the paper's mid-90s accuracy band).
+    pub noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DigitsConfig {
+    fn default() -> DigitsConfig {
+        DigitsConfig { train_per_class: 150, test_per_class: 50, noise: 0.15, seed: 42 }
+    }
+}
+
+/// The 5×7 glyph of `digit` as booleans (`glyph[row][col]`).
+///
+/// # Panics
+///
+/// Panics if `digit >= 10`.
+pub fn glyph(digit: usize) -> [[bool; 5]; 7] {
+    let rows = FONT[digit];
+    let mut out = [[false; 5]; 7];
+    for (r, &bits) in rows.iter().enumerate() {
+        for c in 0..5 {
+            out[r][c] = bits >> (4 - c) & 1 == 1;
+        }
+    }
+    out
+}
+
+/// Renders one noisy 28×28 binary sample of `digit`.
+///
+/// The glyph is upscaled 4× (20×28), placed at a random horizontal offset,
+/// then each pixel flips with probability `noise`.
+///
+/// # Panics
+///
+/// Panics if `digit >= 10` or `noise` is outside `[0, 1]`.
+pub fn render_bitmap(digit: usize, noise: f64, rng: &mut StdRng) -> BitVec {
+    assert!((0.0..=1.0).contains(&noise), "noise must be a probability");
+    let g = glyph(digit);
+    let x_off = rng.gen_range(0..=IMG - 20);
+    let mut bits = vec![false; PIXELS];
+    for (y, row) in bits.chunks_mut(IMG).enumerate() {
+        for (x, px) in row.iter_mut().enumerate() {
+            let on = x >= x_off && x < x_off + 20 && g[y / 4][(x - x_off) / 4];
+            *px = on ^ rng.gen_bool(noise);
+        }
+    }
+    BitVec::from_bools(bits)
+}
+
+/// Generates `(train, test)` datasets of noisy digit bitmaps.
+pub fn generate(config: &DigitsConfig) -> (Dataset, Dataset) {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let make = |per_class: usize, rng: &mut StdRng| {
+        let mut inputs = Vec::with_capacity(per_class * CLASSES);
+        let mut labels = Vec::with_capacity(per_class * CLASSES);
+        for digit in 0..CLASSES {
+            for _ in 0..per_class {
+                inputs.push(render_bitmap(digit, config.noise, rng));
+                labels.push(digit);
+            }
+        }
+        Dataset::new(inputs, labels, CLASSES)
+    };
+    let train = make(config.train_per_class, &mut rng);
+    let test = make(config.test_per_class, &mut rng);
+    (train, test)
+}
+
+/// A raw 224×224 RGB frame (`rgb[(y*224 + x)*3 + c]`), the input of the
+/// image-classification use case before CPU pre-processing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawImage {
+    rgb: Vec<u8>,
+    label: usize,
+}
+
+impl RawImage {
+    /// The interleaved RGB bytes (length `224·224·3`).
+    pub fn rgb(&self) -> &[u8] {
+        &self.rgb
+    }
+
+    /// Ground-truth digit.
+    pub const fn label(&self) -> usize {
+        self.label
+    }
+
+    /// Size of the raw frame in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.rgb.len()
+    }
+}
+
+/// Renders a raw RGB frame of `digit`: the noisy bitmap upscaled 8× and
+/// colorized (bright foreground on dark background with per-pixel jitter).
+///
+/// [`preprocess`] recovers (approximately) the underlying bitmap, so models
+/// trained on [`render_bitmap`] outputs transfer to the use-case pipeline.
+pub fn render_raw(digit: usize, noise: f64, rng: &mut StdRng) -> RawImage {
+    let bitmap = render_bitmap(digit, noise, rng);
+    let mut rgb = vec![0u8; RAW * RAW * 3];
+    for y in 0..RAW {
+        for x in 0..RAW {
+            let on = bitmap.get((y / 8) * IMG + x / 8);
+            let base: [i32; 3] = if on { [205, 205, 205] } else { [60, 60, 60] };
+            for c in 0..3 {
+                let jitter = rng.gen_range(-25i32..=25);
+                rgb[(y * RAW + x) * 3 + c] = (base[c] + jitter).clamp(0, 255) as u8;
+            }
+        }
+    }
+    RawImage { rgb, label: digit }
+}
+
+/// Side of the decimated frame the DMA stages into the core's local
+/// memory (every 4th raw pixel: pure strided data movement, no compute).
+pub const STAGED: usize = 56;
+
+/// Decimates the raw 224×224 frame to 56×56 by 4× pixel striding — the
+/// strided-DMA view that lands in the core's data cache. No arithmetic is
+/// involved, so this step belongs to the DMA, not the CPU workload.
+pub fn decimate(raw: &RawImage) -> Vec<u8> {
+    let mut out = vec![0u8; STAGED * STAGED * 3];
+    for y in 0..STAGED {
+        for x in 0..STAGED {
+            for c in 0..3 {
+                out[(y * STAGED + x) * 3 + c] = raw.rgb[((y * 4) * RAW + x * 4) * 3 + c];
+            }
+        }
+    }
+    out
+}
+
+/// Step 1 of the CPU pipeline: 2×2 block-average resize of the staged
+/// 56×56×3 frame to 28×28×3. Integer-exact: each channel is
+/// `(a + b + c + d) >> 2`, the arithmetic the RV32I program performs.
+pub fn resize(staged56: &[u8]) -> Vec<u8> {
+    assert_eq!(staged56.len(), STAGED * STAGED * 3, "expected 56x56 RGB");
+    let mut out = vec![0u8; PIXELS * 3];
+    for oy in 0..IMG {
+        for ox in 0..IMG {
+            for c in 0..3 {
+                let px = |dy: usize, dx: usize| {
+                    staged56[((oy * 2 + dy) * STAGED + ox * 2 + dx) * 3 + c] as u32
+                };
+                let sum = px(0, 0) + px(0, 1) + px(1, 0) + px(1, 1);
+                out[(oy * IMG + ox) * 3 + c] = (sum >> 2) as u8;
+            }
+        }
+    }
+    out
+}
+
+/// Step 3 ("grayscale filtering" includes smoothing): approximate 3×3 box
+/// filter — interior pixels become `min(Σ neighbourhood >> 3, 255)`,
+/// border pixels pass through. Division-free, exactly as the RV32I
+/// program computes it.
+pub fn blur3(gray: &[u8]) -> Vec<u8> {
+    assert_eq!(gray.len(), PIXELS, "expected 28x28 grayscale");
+    let mut out = gray.to_vec();
+    for y in 1..IMG - 1 {
+        for x in 1..IMG - 1 {
+            let mut sum = 0u32;
+            for dy in 0..3 {
+                for dx in 0..3 {
+                    sum += gray[(y + dy - 1) * IMG + (x + dx - 1)] as u32;
+                }
+            }
+            out[y * IMG + x] = (sum >> 3).min(255) as u8;
+        }
+    }
+    out
+}
+
+/// The 28×28 grayscale image (step 2): `(77·r + 150·g + 29·b) >> 8`.
+pub fn grayscale(rgb28: &[u8]) -> Vec<u8> {
+    assert_eq!(rgb28.len(), PIXELS * 3, "expected 28x28 RGB");
+    (0..PIXELS)
+        .map(|i| {
+            let r = rgb28[i * 3] as u32;
+            let g = rgb28[i * 3 + 1] as u32;
+            let b = rgb28[i * 3 + 2] as u32;
+            ((77 * r + 150 * g + 29 * b) >> 8) as u8
+        })
+        .collect()
+}
+
+/// The binarized BNN input (step 3, "data normalization"): pixel `i` maps
+/// to +1 iff `gray[i]·784 >= Σ gray` — i.e. above the image mean, written
+/// division-free exactly as the RV32I program computes it.
+pub fn normalize(gray: &[u8]) -> BitVec {
+    assert_eq!(gray.len(), PIXELS, "expected 28x28 grayscale");
+    let total: u32 = gray.iter().map(|&g| g as u32).sum();
+    BitVec::from_bools(gray.iter().map(|&g| g as u32 * PIXELS as u32 >= total))
+}
+
+/// Full use-case pipeline on one raw frame: strided-DMA decimation, then
+/// the CPU steps resize → grayscale → filter → normalize, exactly
+/// mirroring the RV32I pre-processing program in `ncpu-workloads`.
+pub fn preprocess(raw: &RawImage) -> BitVec {
+    normalize(&blur3(&grayscale(&resize(&decimate(raw)))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glyphs_are_distinct() {
+        let all: Vec<_> = (0..10).map(glyph).collect();
+        for i in 0..10 {
+            for j in i + 1..10 {
+                assert_ne!(all[i], all[j], "glyphs {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn render_is_deterministic_per_rng_state() {
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        assert_eq!(render_bitmap(3, 0.1, &mut a), render_bitmap(3, 0.1, &mut b));
+    }
+
+    #[test]
+    fn noiseless_render_contains_glyph() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let img = render_bitmap(1, 0.0, &mut rng);
+        assert_eq!(img.len(), PIXELS);
+        let ones = img.count_ones();
+        let font_pixels: usize =
+            glyph(1).iter().flatten().filter(|&&b| b).count();
+        assert_eq!(ones, font_pixels * 16, "4x upscale preserves pixel count");
+    }
+
+    #[test]
+    fn generate_shapes_and_labels() {
+        let cfg = DigitsConfig { train_per_class: 2, test_per_class: 1, noise: 0.1, seed: 1 };
+        let (train, test) = generate(&cfg);
+        assert_eq!(train.len(), 20);
+        assert_eq!(test.len(), 10);
+        assert_eq!(train.input_width(), PIXELS);
+        assert_eq!(train.classes(), 10);
+    }
+
+    #[test]
+    fn preprocess_recovers_clean_bitmap() {
+        // The raw pipeline recovers the underlying glyph up to the ~1-pixel
+        // stroke dilation the box filter introduces.
+        let mut rng = StdRng::seed_from_u64(9);
+        let raw = render_raw(7, 0.0, &mut rng);
+        let recovered = preprocess(&raw);
+        let mut reference_rng = StdRng::seed_from_u64(9);
+        let reference = render_bitmap(7, 0.0, &mut reference_rng);
+        // Every glyph pixel survives; extra pixels are bounded dilation.
+        let lost = (0..PIXELS)
+            .filter(|&i| reference.get(i) && !recovered.get(i))
+            .count();
+        let gained = (0..PIXELS)
+            .filter(|&i| !reference.get(i) && recovered.get(i))
+            .count();
+        assert!(lost <= PIXELS / 40, "lost {lost} glyph pixels");
+        assert!(gained <= PIXELS / 2, "gained {gained} pixels");
+    }
+
+    #[test]
+    fn resize_averages_blocks() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let raw = render_raw(0, 0.0, &mut rng);
+        let small = resize(&decimate(&raw));
+        assert_eq!(small.len(), PIXELS * 3);
+        // Averages stay within the raw value range.
+        assert!(small.iter().all(|&v| v <= 230));
+    }
+
+    #[test]
+    fn blur_preserves_borders_and_bounds() {
+        let mut gray = vec![100u8; PIXELS];
+        gray[0] = 7;
+        gray[IMG + 1] = 255; // interior pixel
+        let b = blur3(&gray);
+        assert_eq!(b[0], 7, "border passes through");
+        // Interior (1,1): neighbourhood holds the 7, seven 100s and the
+        // 255: (7 + 700 + 255) >> 3 = 120.
+        assert_eq!(b[IMG + 1], 120);
+    }
+
+    #[test]
+    fn blur_saturates_at_255() {
+        let gray = vec![255u8; PIXELS];
+        let b = blur3(&gray);
+        // 9×255 >> 3 = 286 -> clamped.
+        assert_eq!(b[IMG + 1], 255);
+    }
+
+    #[test]
+    fn normalize_is_mean_threshold() {
+        let mut gray = vec![10u8; PIXELS];
+        gray[0] = 250;
+        let bits = normalize(&gray);
+        assert!(bits.get(0));
+        assert!(!bits.get(1));
+    }
+}

@@ -1,0 +1,251 @@
+//! IDX (MNIST-format) file support.
+//!
+//! The offline environment ships no MNIST, so the evaluation defaults to
+//! the synthetic digit set — but a downstream user who *has* the four
+//! classic files can drop them in and run the real thing. This module
+//! parses the IDX container (big-endian, magic `0x0000080x`), binarizes
+//! pixels at mid-scale, and exposes the result as an ordinary [`Dataset`].
+
+use std::error::Error;
+use std::fmt;
+use std::path::Path;
+
+use super::Dataset;
+use crate::bits::BitVec;
+
+/// Error raised when decoding an IDX file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IdxError {
+    /// The magic/type prefix is not an IDX unsigned-byte tensor.
+    BadMagic {
+        /// The four magic bytes found.
+        found: u32,
+    },
+    /// The byte stream is shorter than the header declares.
+    Truncated,
+    /// Image and label files disagree on the sample count.
+    CountMismatch {
+        /// Images in the image file.
+        images: usize,
+        /// Labels in the label file.
+        labels: usize,
+    },
+    /// A label byte exceeds the class count.
+    LabelOutOfRange {
+        /// The offending label.
+        label: u8,
+    },
+    /// The underlying file could not be read.
+    Io(String),
+}
+
+impl fmt::Display for IdxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdxError::BadMagic { found } => write!(f, "not an IDX file (magic {found:#010x})"),
+            IdxError::Truncated => write!(f, "IDX file shorter than its header declares"),
+            IdxError::CountMismatch { images, labels } => {
+                write!(f, "{images} images but {labels} labels")
+            }
+            IdxError::LabelOutOfRange { label } => write!(f, "label {label} out of range"),
+            IdxError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl Error for IdxError {}
+
+fn be_u32(bytes: &[u8], at: usize) -> Result<u32, IdxError> {
+    bytes
+        .get(at..at + 4)
+        .map(|s| u32::from_be_bytes(s.try_into().expect("4 bytes")))
+        .ok_or(IdxError::Truncated)
+}
+
+/// Parses an IDX3 image tensor (`magic 0x00000803`): returns
+/// `(rows, cols, pixels)` with pixels sample-major.
+pub fn parse_images(bytes: &[u8]) -> Result<(usize, usize, Vec<u8>), IdxError> {
+    let magic = be_u32(bytes, 0)?;
+    if magic != 0x0000_0803 {
+        return Err(IdxError::BadMagic { found: magic });
+    }
+    let count = be_u32(bytes, 4)? as usize;
+    let rows = be_u32(bytes, 8)? as usize;
+    let cols = be_u32(bytes, 12)? as usize;
+    let need = 16 + count * rows * cols;
+    if bytes.len() < need {
+        return Err(IdxError::Truncated);
+    }
+    Ok((rows, cols, bytes[16..need].to_vec()))
+}
+
+/// Parses an IDX1 label tensor (`magic 0x00000801`).
+pub fn parse_labels(bytes: &[u8]) -> Result<Vec<u8>, IdxError> {
+    let magic = be_u32(bytes, 0)?;
+    if magic != 0x0000_0801 {
+        return Err(IdxError::BadMagic { found: magic });
+    }
+    let count = be_u32(bytes, 4)? as usize;
+    let need = 8 + count;
+    if bytes.len() < need {
+        return Err(IdxError::Truncated);
+    }
+    Ok(bytes[8..need].to_vec())
+}
+
+/// Pixel threshold above which a pixel becomes +1 (MNIST convention:
+/// mid-scale binarization, as the paper's BNN input requires).
+pub const BINARIZE_THRESHOLD: u8 = 128;
+
+/// Combines parsed images and labels into a binarized [`Dataset`].
+///
+/// # Errors
+///
+/// Returns [`IdxError`] if counts disagree or a label is `>= classes`.
+pub fn to_dataset(
+    rows: usize,
+    cols: usize,
+    pixels: &[u8],
+    labels: &[u8],
+    classes: usize,
+) -> Result<Dataset, IdxError> {
+    let per = rows * cols;
+    let images = if per == 0 { 0 } else { pixels.len() / per };
+    if images != labels.len() {
+        return Err(IdxError::CountMismatch { images, labels: labels.len() });
+    }
+    let mut inputs = Vec::with_capacity(images);
+    let mut ys = Vec::with_capacity(images);
+    for (i, &label) in labels.iter().enumerate() {
+        if label as usize >= classes {
+            return Err(IdxError::LabelOutOfRange { label });
+        }
+        let px = &pixels[i * per..(i + 1) * per];
+        inputs.push(BitVec::from_bools(px.iter().map(|&p| p >= BINARIZE_THRESHOLD)));
+        ys.push(label as usize);
+    }
+    Ok(Dataset::new(inputs, ys, classes))
+}
+
+/// Loads a matching `(images, labels)` IDX file pair from disk.
+///
+/// # Errors
+///
+/// Returns [`IdxError`] for unreadable or malformed files.
+pub fn load_pair(
+    images_path: impl AsRef<Path>,
+    labels_path: impl AsRef<Path>,
+    classes: usize,
+) -> Result<Dataset, IdxError> {
+    let read = |p: &Path| std::fs::read(p).map_err(|e| IdxError::Io(format!("{}: {e}", p.display())));
+    let (rows, cols, pixels) = parse_images(&read(images_path.as_ref())?)?;
+    let labels = parse_labels(&read(labels_path.as_ref())?)?;
+    to_dataset(rows, cols, &pixels, &labels, classes)
+}
+
+/// Loads MNIST from a directory holding the four classic files
+/// (`train-images-idx3-ubyte` etc.), if present. Returns `None` when the
+/// directory or files are missing — callers fall back to the synthetic
+/// digit set.
+pub fn load_mnist(dir: impl AsRef<Path>) -> Option<(Dataset, Dataset)> {
+    let dir = dir.as_ref();
+    let train = load_pair(
+        dir.join("train-images-idx3-ubyte"),
+        dir.join("train-labels-idx1-ubyte"),
+        10,
+    )
+    .ok()?;
+    let test = load_pair(
+        dir.join("t10k-images-idx3-ubyte"),
+        dir.join("t10k-labels-idx1-ubyte"),
+        10,
+    )
+    .ok()?;
+    Some((train, test))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx3(count: usize, rows: usize, cols: usize, pixels: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&0x0000_0803u32.to_be_bytes());
+        out.extend_from_slice(&(count as u32).to_be_bytes());
+        out.extend_from_slice(&(rows as u32).to_be_bytes());
+        out.extend_from_slice(&(cols as u32).to_be_bytes());
+        out.extend_from_slice(pixels);
+        out
+    }
+
+    fn idx1(labels: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&0x0000_0801u32.to_be_bytes());
+        out.extend_from_slice(&(labels.len() as u32).to_be_bytes());
+        out.extend_from_slice(labels);
+        out
+    }
+
+    #[test]
+    fn round_trip_through_idx() {
+        // 2 images of 2×3, pixel values straddling the threshold.
+        let pixels = [0u8, 200, 127, 128, 255, 1, 9, 129, 0, 250, 80, 200];
+        let images = idx3(2, 2, 3, &pixels);
+        let labels = idx1(&[3, 7]);
+        let (rows, cols, px) = parse_images(&images).unwrap();
+        let ys = parse_labels(&labels).unwrap();
+        let ds = to_dataset(rows, cols, &px, &ys, 10).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.labels(), &[3, 7]);
+        let (x0, _) = ds.sample(0);
+        assert!(!x0.get(0), "0 < threshold");
+        assert!(x0.get(1), "200 >= threshold");
+        assert!(!x0.get(2), "127 < threshold");
+        assert!(x0.get(3), "128 >= threshold");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut images = idx3(1, 1, 1, &[0]);
+        images[3] = 0x04;
+        assert!(matches!(parse_images(&images), Err(IdxError::BadMagic { .. })));
+        assert!(matches!(parse_labels(&images), Err(IdxError::BadMagic { .. })));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let images = idx3(2, 28, 28, &[0; 784]); // declares 2, holds 1
+        assert_eq!(parse_images(&images), Err(IdxError::Truncated));
+        assert_eq!(parse_labels(&idx1(&[1, 2])[..9]), Err(IdxError::Truncated));
+    }
+
+    #[test]
+    fn count_mismatch_rejected() {
+        let err = to_dataset(2, 2, &[0; 8], &[1], 10).unwrap_err();
+        assert_eq!(err, IdxError::CountMismatch { images: 2, labels: 1 });
+    }
+
+    #[test]
+    fn label_range_enforced() {
+        let err = to_dataset(1, 1, &[0], &[10], 10).unwrap_err();
+        assert_eq!(err, IdxError::LabelOutOfRange { label: 10 });
+    }
+
+    #[test]
+    fn missing_directory_falls_back() {
+        assert!(load_mnist("/definitely/not/a/real/path").is_none());
+    }
+
+    #[test]
+    fn load_pair_from_disk() {
+        let dir = std::env::temp_dir().join("ncpu_idx_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let img_path = dir.join("imgs");
+        let lbl_path = dir.join("lbls");
+        std::fs::write(&img_path, idx3(3, 1, 2, &[0, 255, 255, 0, 200, 200])).unwrap();
+        std::fs::write(&lbl_path, idx1(&[0, 1, 2])).unwrap();
+        let ds = load_pair(&img_path, &lbl_path, 4).unwrap();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.input_width(), 2);
+    }
+}

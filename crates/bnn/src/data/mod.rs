@@ -1,0 +1,121 @@
+//! Datasets: a generic container plus the paper's two synthetic workloads.
+//!
+//! The environment has no MNIST or Ninapro files, so per the substitution
+//! rules in `DESIGN.md` this module generates:
+//!
+//! * [`digits`] — procedural 28×28 digit images standing in for MNIST,
+//! * [`motion`] — class-conditioned 6-channel sensor windows standing in
+//!   for the Ninapro recordings, together with the exact integer feature
+//!   pipeline (per-channel mean + histogram, thermometer-encoded) that the
+//!   CPU-mode RV32I program reimplements,
+//! * [`idx`] — an MNIST/IDX loader so the real dataset can replace the
+//!   synthetic one when its files are available.
+
+pub mod digits;
+pub mod idx;
+pub mod motion;
+
+use crate::bits::BitVec;
+
+/// A labelled set of binary input vectors.
+///
+/// # Examples
+///
+/// ```
+/// use ncpu_bnn::{data::Dataset, BitVec};
+///
+/// let d = Dataset::new(vec![BitVec::zeros(4)], vec![0], 2);
+/// assert_eq!(d.len(), 1);
+/// let (x, y) = d.sample(0);
+/// assert_eq!((x.len(), y), (4, 0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    inputs: Vec<BitVec>,
+    labels: Vec<usize>,
+    classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or a label is `>= classes`.
+    pub fn new(inputs: Vec<BitVec>, labels: Vec<usize>, classes: usize) -> Dataset {
+        assert_eq!(inputs.len(), labels.len(), "one label per input");
+        assert!(labels.iter().all(|&l| l < classes), "label out of range");
+        Dataset { inputs, labels, classes }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Whether the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Number of classes.
+    pub const fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Input width in bits (0 for an empty dataset).
+    pub fn input_width(&self) -> usize {
+        self.inputs.first().map_or(0, BitVec::len)
+    }
+
+    /// Sample `idx` as `(input, label)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn sample(&self, idx: usize) -> (&BitVec, usize) {
+        (&self.inputs[idx], self.labels[idx])
+    }
+
+    /// All inputs in order.
+    pub fn inputs(&self) -> &[BitVec] {
+        &self.inputs
+    }
+
+    /// All labels in order.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Iterates over `(input, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&BitVec, usize)> {
+        self.inputs.iter().zip(self.labels.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn label_range_checked() {
+        Dataset::new(vec![BitVec::zeros(4)], vec![2], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per input")]
+    fn length_mismatch_checked() {
+        Dataset::new(vec![BitVec::zeros(4)], vec![], 2);
+    }
+
+    #[test]
+    fn accessors() {
+        let d = Dataset::new(vec![BitVec::zeros(4), BitVec::zeros(4)], vec![0, 1], 2);
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+        assert_eq!(d.input_width(), 4);
+        assert_eq!(d.iter().count(), 2);
+        assert_eq!(d.labels(), &[0, 1]);
+    }
+}

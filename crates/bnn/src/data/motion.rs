@@ -1,0 +1,261 @@
+//! Synthetic human-motion windows: the Ninapro stand-in (see `DESIGN.md`).
+//!
+//! The paper's motion-detection use case records 6 accelerometer channels,
+//! extracts time-domain features (mean and histogram per channel, reference
+//! \[60\]) on the CPU, and classifies them with the BNN at ~74% accuracy.
+//! This module generates class-conditioned 6-channel windows and defines
+//! the *integer-exact* feature pipeline that the CPU-mode RV32I program in
+//! `ncpu-workloads` mirrors.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::Dataset;
+use crate::bits::BitVec;
+
+/// Number of sensor channels used (six of Ninapro's twelve, per the paper).
+pub const CHANNELS: usize = 6;
+/// Samples per classification window (power of two so the mean is a shift).
+pub const WINDOW: usize = 128;
+/// Histogram bins per channel.
+pub const HIST_BINS: usize = 8;
+/// Features per channel: one mean + the histogram bins.
+pub const FEATURES_PER_CHANNEL: usize = 1 + HIST_BINS;
+/// Thermometer thresholds applied to each 0–255 feature value.
+pub const THERMO_THRESHOLDS: [u8; 4] = [32, 96, 160, 224];
+/// BNN input width: features × thermometer bits.
+pub const INPUT_BITS: usize = CHANNELS * FEATURES_PER_CHANNEL * THERMO_THRESHOLDS.len();
+/// Number of motion classes generated.
+pub const CLASSES: usize = 8;
+
+/// One recorded window: `samples[channel][t]`, 16-bit signed sensor counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MotionWindow {
+    samples: Vec<[i16; CHANNELS]>,
+    label: usize,
+}
+
+impl MotionWindow {
+    /// The samples, one `[i16; 6]` frame per time step.
+    pub fn samples(&self) -> &[[i16; CHANNELS]] {
+        &self.samples
+    }
+
+    /// Ground-truth class.
+    pub const fn label(&self) -> usize {
+        self.label
+    }
+
+    /// Serializes channel-major little-endian i16s — the layout the RV32I
+    /// feature-extraction program reads (`ch0[0..WINDOW], ch1[..], …`).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(CHANNELS * WINDOW * 2);
+        for c in 0..CHANNELS {
+            for frame in &self.samples {
+                out.extend_from_slice(&frame[c].to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Size of the serialized window in bytes.
+    pub const fn byte_len() -> usize {
+        CHANNELS * WINDOW * 2
+    }
+}
+
+/// Configuration of the synthetic motion generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MotionConfig {
+    /// Training windows per class.
+    pub train_per_class: usize,
+    /// Test windows per class.
+    pub test_per_class: usize,
+    /// Gaussian noise amplitude in sensor counts (difficulty knob; 15000
+    /// puts a 100-neuron BNN in the paper's ~74% band).
+    pub noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MotionConfig {
+    fn default() -> MotionConfig {
+        MotionConfig { train_per_class: 120, test_per_class: 40, noise: 15000.0, seed: 24 }
+    }
+}
+
+/// Standard normal via Box–Muller (the `rand` crate alone has no normal
+/// distribution; `rand_distr` is not in the allowed dependency set).
+fn gauss(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Generates one window of class `label`.
+///
+/// Each class has a distinct per-channel mix of DC offset, amplitude and
+/// frequency; a shared random phase models gesture onset time.
+///
+/// # Panics
+///
+/// Panics if `label >= CLASSES`.
+pub fn generate_window(label: usize, noise: f64, rng: &mut StdRng) -> MotionWindow {
+    assert!(label < CLASSES, "label out of range");
+    let phase: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    let mut samples = Vec::with_capacity(WINDOW);
+    for t in 0..WINDOW {
+        let mut frame = [0i16; CHANNELS];
+        for (c, slot) in frame.iter_mut().enumerate() {
+            let offset = (((label * 5 + c * 3) % 9) as f64 - 4.0) * 1800.0;
+            let amp = 2500.0 + 2200.0 * ((label + c) % 4) as f64;
+            let freq = 1.0 + ((label + 2 * c) % 5) as f64;
+            let x = offset
+                + amp * (std::f64::consts::TAU * freq * t as f64 / WINDOW as f64 + phase).sin()
+                + noise * gauss(rng);
+            *slot = x.clamp(i16::MIN as f64, i16::MAX as f64) as i16;
+        }
+        samples.push(frame);
+    }
+    MotionWindow { samples, label }
+}
+
+/// Per-channel features of a window: `[mean, hist0..hist7] × 6`, each
+/// scaled into 0–255. Pure integer arithmetic (shifts only) so the RV32I
+/// program can reproduce it bit-exactly.
+pub fn extract_features(window: &MotionWindow) -> Vec<u8> {
+    let mut features = Vec::with_capacity(CHANNELS * FEATURES_PER_CHANNEL);
+    for c in 0..CHANNELS {
+        let mut sum: i32 = 0;
+        let mut hist = [0u32; HIST_BINS];
+        for frame in &window.samples {
+            let v = frame[c] as i32;
+            sum += v;
+            hist[((v + 32768) >> 13) as usize] += 1;
+        }
+        let mean = sum >> 7; // WINDOW = 128
+        features.push((((mean + 32768) >> 8) & 0xff) as u8);
+        for count in hist {
+            features.push((count * 2).min(255) as u8);
+        }
+    }
+    features
+}
+
+/// Thermometer-encodes 0–255 feature values into the BNN input vector:
+/// each feature yields one bit per threshold in [`THERMO_THRESHOLDS`].
+pub fn encode_features(features: &[u8]) -> BitVec {
+    BitVec::from_bools(
+        features
+            .iter()
+            .flat_map(|&f| THERMO_THRESHOLDS.iter().map(move |&t| f >= t)),
+    )
+}
+
+/// Full feature pipeline: window → BNN input bits.
+pub fn window_to_input(window: &MotionWindow) -> BitVec {
+    encode_features(&extract_features(window))
+}
+
+/// Generates `(train, test)` window sets.
+pub fn generate(config: &MotionConfig) -> (Vec<MotionWindow>, Vec<MotionWindow>) {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let make = |per_class: usize, rng: &mut StdRng| {
+        let mut windows = Vec::with_capacity(per_class * CLASSES);
+        for label in 0..CLASSES {
+            for _ in 0..per_class {
+                windows.push(generate_window(label, config.noise, rng));
+            }
+        }
+        windows
+    };
+    let train = make(config.train_per_class, &mut rng);
+    let test = make(config.test_per_class, &mut rng);
+    (train, test)
+}
+
+/// Converts windows to a labelled BNN dataset via the feature pipeline.
+pub fn to_dataset(windows: &[MotionWindow]) -> Dataset {
+    let inputs = windows.iter().map(window_to_input).collect();
+    let labels = windows.iter().map(MotionWindow::label).collect();
+    Dataset::new(inputs, labels, CLASSES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_width_is_216() {
+        assert_eq!(INPUT_BITS, 216);
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = generate_window(0, 100.0, &mut rng);
+        assert_eq!(window_to_input(&w).len(), INPUT_BITS);
+    }
+
+    #[test]
+    fn histogram_counts_sum_to_window() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = generate_window(3, 5000.0, &mut rng);
+        let f = extract_features(&w);
+        assert_eq!(f.len(), CHANNELS * FEATURES_PER_CHANNEL);
+        // Each channel's scaled histogram sums to ~2×WINDOW (saturation aside).
+        for c in 0..CHANNELS {
+            let hist_sum: u32 = f[c * 9 + 1..c * 9 + 9].iter().map(|&x| x as u32).sum();
+            assert!(hist_sum <= 2 * WINDOW as u32);
+            assert!(hist_sum >= WINDOW as u32, "at most half the bins saturate");
+        }
+    }
+
+    #[test]
+    fn classes_are_separable_without_noise() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = window_to_input(&generate_window(0, 0.0, &mut rng));
+        let b = window_to_input(&generate_window(5, 0.0, &mut rng));
+        assert_ne!(a, b, "distinct classes must yield distinct features");
+    }
+
+    #[test]
+    fn byte_serialization_layout() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = generate_window(1, 100.0, &mut rng);
+        let bytes = w.to_bytes();
+        assert_eq!(bytes.len(), MotionWindow::byte_len());
+        // First channel-major entry equals sample[0][0].
+        let first = i16::from_le_bytes([bytes[0], bytes[1]]);
+        assert_eq!(first, w.samples()[0][0]);
+        // Channel 1 starts at WINDOW i16s in.
+        let ch1 = i16::from_le_bytes([bytes[WINDOW * 2], bytes[WINDOW * 2 + 1]]);
+        assert_eq!(ch1, w.samples()[0][1]);
+    }
+
+    #[test]
+    fn generate_respects_counts() {
+        let cfg = MotionConfig { train_per_class: 3, test_per_class: 2, noise: 100.0, seed: 5 };
+        let (train, test) = generate(&cfg);
+        assert_eq!(train.len(), 3 * CLASSES);
+        assert_eq!(test.len(), 2 * CLASSES);
+        let ds = to_dataset(&train);
+        assert_eq!(ds.len(), train.len());
+        assert_eq!(ds.classes(), CLASSES);
+    }
+
+    #[test]
+    fn thermometer_encoding_is_monotone() {
+        let low = encode_features(&[0]);
+        let high = encode_features(&[255]);
+        assert_eq!(low.count_ones(), 0);
+        assert_eq!(high.count_ones(), THERMO_THRESHOLDS.len());
+    }
+
+    #[test]
+    fn gauss_has_sane_moments() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gauss(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

@@ -1,0 +1,43 @@
+//! Binary neural networks for the NCPU reproduction.
+//!
+//! The paper builds its accelerator around a binarized neural network
+//! (BNN): weights and activations constrained to ±1, multipliers replaced
+//! by XNOR gates, accumulation by popcount ("Out = sign(ΣW×A + B)",
+//! Fig. 2). This crate provides:
+//!
+//! * [`BitVec`] — packed ±1 vectors with the XNOR-popcount dot product,
+//! * [`BnnModel`]/[`BnnLayer`] — the multi-layer fully-connected BNN with
+//!   integer biases, exactly as the hardware evaluates it,
+//! * [`train`] — a straight-through-estimator trainer producing deployable
+//!   binary weights from real-valued shadow weights,
+//! * [`data`] — the synthetic stand-ins for MNIST (procedural digit
+//!   glyphs) and the Ninapro motion recordings (class-conditioned
+//!   6-channel signals), per the substitution rules in `DESIGN.md`,
+//! * [`metrics`] — accuracy and confusion-matrix helpers,
+//! * [`io`] — the checksummed binary artifact format trained models ship in.
+//!
+//! # Examples
+//!
+//! ```
+//! use ncpu_bnn::{BitVec, BnnModel, Topology};
+//!
+//! // A tiny untrained model still classifies deterministically.
+//! let topo = Topology::new(16, vec![8, 8], 4);
+//! let model = BnnModel::zeros(&topo);
+//! let input = BitVec::from_bools((0..16).map(|i| i % 2 == 0));
+//! let class = model.classify(&input);
+//! assert!(class < 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bits;
+pub mod data;
+pub mod io;
+pub mod metrics;
+mod model;
+pub mod train;
+
+pub use bits::BitVec;
+pub use model::{BnnLayer, BnnModel, Topology};

@@ -1,0 +1,104 @@
+//! Classification metrics: accuracy and confusion matrices.
+
+use crate::data::Dataset;
+use crate::model::BnnModel;
+
+/// Fraction of `data` samples the model classifies correctly.
+///
+/// # Examples
+///
+/// ```
+/// use ncpu_bnn::{data::Dataset, metrics::accuracy, BitVec, BnnModel, Topology};
+///
+/// let topo = Topology::new(4, vec![4], 2);
+/// let model = BnnModel::zeros(&topo);
+/// let data = Dataset::new(vec![BitVec::zeros(4)], vec![0], 2);
+/// // The all-zeros model always answers class 0.
+/// assert_eq!(accuracy(&model, &data), 1.0);
+/// ```
+pub fn accuracy(model: &BnnModel, data: &Dataset) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let correct = data.iter().filter(|(x, y)| model.classify(x) == *y).count();
+    correct as f64 / data.len() as f64
+}
+
+/// Row-per-true-class confusion matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Confusion {
+    classes: usize,
+    counts: Vec<u64>,
+}
+
+impl Confusion {
+    /// Evaluates `model` on `data`.
+    pub fn evaluate(model: &BnnModel, data: &Dataset) -> Confusion {
+        let classes = data.classes();
+        let mut counts = vec![0u64; classes * classes];
+        for (x, y) in data.iter() {
+            let pred = model.classify(x);
+            if pred < classes {
+                counts[y * classes + pred] += 1;
+            }
+        }
+        Confusion { classes, counts }
+    }
+
+    /// Count of samples with true class `actual` predicted as `predicted`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn count(&self, actual: usize, predicted: usize) -> u64 {
+        assert!(actual < self.classes && predicted < self.classes, "class out of range");
+        self.counts[actual * self.classes + predicted]
+    }
+
+    /// Number of classes.
+    pub const fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Overall accuracy implied by the matrix.
+    pub fn accuracy(&self) -> f64 {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: u64 = (0..self.classes).map(|c| self.count(c, c)).sum();
+        diag as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::BitVec;
+    use crate::model::Topology;
+
+    #[test]
+    fn confusion_diag_matches_accuracy() {
+        let topo = Topology::new(4, vec![4], 2);
+        let model = BnnModel::zeros(&topo); // always predicts 0
+        let data = Dataset::new(
+            vec![BitVec::zeros(4), BitVec::zeros(4), BitVec::zeros(4)],
+            vec![0, 1, 0],
+            2,
+        );
+        let c = Confusion::evaluate(&model, &data);
+        assert_eq!(c.count(0, 0), 2);
+        assert_eq!(c.count(1, 0), 1);
+        assert_eq!(c.count(1, 1), 0);
+        assert!((c.accuracy() - accuracy(&model, &data)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_dataset_yields_zero() {
+        let topo = Topology::new(4, vec![4], 2);
+        let model = BnnModel::zeros(&topo);
+        let data = Dataset::new(vec![], vec![], 2);
+        assert_eq!(accuracy(&model, &data), 0.0);
+        assert_eq!(Confusion::evaluate(&model, &data).accuracy(), 0.0);
+    }
+}

@@ -1,0 +1,349 @@
+//! The multi-layer fully-connected BNN exactly as the hardware computes it.
+
+use std::fmt;
+
+use crate::bits::BitVec;
+
+/// Shape of a BNN: input width, hidden layer widths, and class count.
+///
+/// The paper's deployed network is `Topology::new(784, vec![100, 100, 100,
+/// 100], 10)` — a 4-layer, 100-neurons-per-layer network sized to match the
+/// 5-stage RISC-V pipeline (Section III). The classifier reads the first
+/// `classes` pre-activation sums of the final layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    input: usize,
+    layers: Vec<usize>,
+    classes: usize,
+}
+
+impl Topology {
+    /// Creates a topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `classes` exceeds the final
+    /// layer's width.
+    pub fn new(input: usize, layers: Vec<usize>, classes: usize) -> Topology {
+        assert!(input > 0, "input width must be nonzero");
+        assert!(!layers.is_empty(), "need at least one layer");
+        assert!(layers.iter().all(|&n| n > 0), "layer widths must be nonzero");
+        assert!(
+            classes > 0 && classes <= *layers.last().expect("nonempty"),
+            "classes must fit in the final layer"
+        );
+        Topology { input, layers, classes }
+    }
+
+    /// The paper's 4-layer network with `neurons` cells per layer
+    /// (Fig. 18 sweeps `neurons` over 50/100/200/400).
+    pub fn paper(input: usize, neurons: usize, classes: usize) -> Topology {
+        Topology::new(input, vec![neurons; 4], classes)
+    }
+
+    /// Input width in bits.
+    pub const fn input(&self) -> usize {
+        self.input
+    }
+
+    /// Widths of each layer.
+    pub fn layers(&self) -> &[usize] {
+        &self.layers
+    }
+
+    /// Number of classes read from the final layer.
+    pub const fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Input width of layer `l` (the previous layer's output width).
+    pub fn layer_input(&self, l: usize) -> usize {
+        if l == 0 {
+            self.input
+        } else {
+            self.layers[l - 1]
+        }
+    }
+
+    /// Total number of binary weights across all layers.
+    pub fn weight_bits(&self) -> usize {
+        (0..self.layers.len()).map(|l| self.layer_input(l) * self.layers[l]).sum()
+    }
+
+    /// Total ±1 multiply-accumulate operations for one inference — the
+    /// op count behind the paper's TOPS/W figures.
+    pub fn macs(&self) -> usize {
+        self.weight_bits()
+    }
+}
+
+/// One fully-connected binary layer: `out_j = sign(Σ_i w_ji·a_i + b_j)`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct BnnLayer {
+    /// One weight row per neuron, each `input_len` wide.
+    weights: Vec<BitVec>,
+    /// Integer bias per neuron, in units of the ±1 sum.
+    bias: Vec<i32>,
+}
+
+impl BnnLayer {
+    /// Creates a layer from per-neuron weight rows and biases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` and `bias` lengths differ, the layer is empty,
+    /// or the rows have unequal widths.
+    pub fn new(weights: Vec<BitVec>, bias: Vec<i32>) -> BnnLayer {
+        assert_eq!(weights.len(), bias.len(), "one bias per neuron");
+        assert!(!weights.is_empty(), "layer must have neurons");
+        let w = weights[0].len();
+        assert!(weights.iter().all(|row| row.len() == w), "ragged weight rows");
+        BnnLayer { weights, bias }
+    }
+
+    /// All-(−1) weights and zero biases (deterministic placeholder).
+    pub fn zeros(input_len: usize, neurons: usize) -> BnnLayer {
+        BnnLayer::new(vec![BitVec::zeros(input_len); neurons], vec![0; neurons])
+    }
+
+    /// Number of neurons.
+    pub fn neurons(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Input width.
+    pub fn input_len(&self) -> usize {
+        self.weights[0].len()
+    }
+
+    /// Weight row of neuron `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn weight_row(&self, j: usize) -> &BitVec {
+        &self.weights[j]
+    }
+
+    /// Bias of neuron `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn bias(&self, j: usize) -> i32 {
+        self.bias[j]
+    }
+
+    /// Pre-activation sums `Σ w·a + b` for every neuron.
+    pub fn preactivations(&self, input: &BitVec) -> Vec<i32> {
+        self.weights
+            .iter()
+            .zip(&self.bias)
+            .map(|(row, &b)| row.dot(input) + b)
+            .collect()
+    }
+
+    /// Binarized layer output `sign(preactivations)` (`>= 0` → +1, matching
+    /// the hardware's sign unit).
+    pub fn forward(&self, input: &BitVec) -> BitVec {
+        BitVec::from_bools(self.preactivations(input).into_iter().map(|z| z >= 0))
+    }
+}
+
+impl fmt::Debug for BnnLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BnnLayer({}→{})", self.input_len(), self.neurons())
+    }
+}
+
+/// A complete BNN: the layers of a [`Topology`] with trained parameters.
+///
+/// # Examples
+///
+/// ```
+/// use ncpu_bnn::{BitVec, BnnModel, Topology};
+///
+/// let topo = Topology::new(8, vec![4, 4], 2);
+/// let model = BnnModel::zeros(&topo);
+/// let x = BitVec::zeros(8);
+/// assert_eq!(model.logits(&x).len(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct BnnModel {
+    topology: Topology,
+    layers: Vec<BnnLayer>,
+}
+
+impl BnnModel {
+    /// Assembles a model from layers matching `topology`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer shapes do not match the topology.
+    pub fn new(topology: Topology, layers: Vec<BnnLayer>) -> BnnModel {
+        assert_eq!(layers.len(), topology.layers().len(), "layer count mismatch");
+        for (l, layer) in layers.iter().enumerate() {
+            assert_eq!(layer.input_len(), topology.layer_input(l), "layer {l} input width");
+            assert_eq!(layer.neurons(), topology.layers()[l], "layer {l} neuron count");
+        }
+        BnnModel { topology, layers }
+    }
+
+    /// All-zero (deterministic placeholder) model of the given shape.
+    pub fn zeros(topology: &Topology) -> BnnModel {
+        let layers = (0..topology.layers().len())
+            .map(|l| BnnLayer::zeros(topology.layer_input(l), topology.layers()[l]))
+            .collect();
+        BnnModel::new(topology.clone(), layers)
+    }
+
+    /// The model's shape.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The layers in evaluation order.
+    pub fn layers(&self) -> &[BnnLayer] {
+        &self.layers
+    }
+
+    /// Pre-activation sums of the first `classes` neurons of the final
+    /// layer — the classification scores the hardware reads out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` width differs from the topology's input.
+    pub fn logits(&self, input: &BitVec) -> Vec<i32> {
+        assert_eq!(input.len(), self.topology.input(), "input width mismatch");
+        let mut acts = input.clone();
+        for layer in &self.layers[..self.layers.len() - 1] {
+            acts = layer.forward(&acts);
+        }
+        let last = self.layers.last().expect("nonempty");
+        let mut z = last.preactivations(&acts);
+        z.truncate(self.topology.classes());
+        z
+    }
+
+    /// Argmax class for `input` (ties break to the lower index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` width differs from the topology's input.
+    pub fn classify(&self, input: &BitVec) -> usize {
+        let logits = self.logits(input);
+        let mut best = 0;
+        for (i, &z) in logits.iter().enumerate() {
+            if z > logits[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Activations after every layer (for differential testing against the
+    /// cycle-level accelerator).
+    pub fn layer_outputs(&self, input: &BitVec) -> Vec<BitVec> {
+        let mut outs = Vec::with_capacity(self.layers.len());
+        let mut acts = input.clone();
+        for layer in &self.layers {
+            acts = layer.forward(&acts);
+            outs.push(acts.clone());
+        }
+        outs
+    }
+}
+
+impl fmt::Debug for BnnModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BnnModel({} → {:?} → {} classes)", self.topology.input(), self.topology.layers(), self.topology.classes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_like_layer() -> BnnLayer {
+        // Two neurons over two inputs: identity-ish weights, bias 0.
+        let w0 = BitVec::from_bools([true, false]);
+        let w1 = BitVec::from_bools([false, true]);
+        BnnLayer::new(vec![w0, w1], vec![0, 0])
+    }
+
+    #[test]
+    fn layer_forward_signs() {
+        let layer = xor_like_layer();
+        let x = BitVec::from_bools([true, false]);
+        // neuron0: +1·+1 + -1·-1 = 2 → +1; neuron1: -1·+1 + +1·-1 = -2 → -1
+        assert_eq!(layer.preactivations(&x), vec![2, -2]);
+        let y = layer.forward(&x);
+        assert!(y.get(0));
+        assert!(!y.get(1));
+    }
+
+    #[test]
+    fn bias_shifts_threshold() {
+        let w = BitVec::from_bools([true, true]);
+        let layer = BnnLayer::new(vec![w], vec![-3]);
+        let x = BitVec::from_bools([true, true]); // dot = 2, z = -1 → -1
+        assert!(!layer.forward(&x).get(0));
+    }
+
+    #[test]
+    fn sign_zero_maps_to_plus_one() {
+        let w = BitVec::from_bools([true, false]);
+        let layer = BnnLayer::new(vec![w], vec![0]);
+        let x = BitVec::from_bools([true, true]); // dot = 0
+        assert!(layer.forward(&x).get(0), "z = 0 must output +1");
+    }
+
+    #[test]
+    fn topology_accounting() {
+        let t = Topology::paper(784, 100, 10);
+        assert_eq!(t.layers(), &[100, 100, 100, 100]);
+        assert_eq!(t.layer_input(0), 784);
+        assert_eq!(t.layer_input(3), 100);
+        assert_eq!(t.weight_bits(), 784 * 100 + 3 * 100 * 100);
+        assert_eq!(t.macs(), t.weight_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "classes must fit")]
+    fn classes_checked_against_last_layer() {
+        Topology::new(8, vec![4], 5);
+    }
+
+    #[test]
+    fn model_shape_checked() {
+        let topo = Topology::new(8, vec![4, 4], 2);
+        let model = BnnModel::zeros(&topo);
+        assert_eq!(model.layers().len(), 2);
+        assert_eq!(model.logits(&BitVec::zeros(8)).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn wrong_input_width_panics() {
+        let topo = Topology::new(8, vec![4], 2);
+        BnnModel::zeros(&topo).classify(&BitVec::zeros(9));
+    }
+
+    #[test]
+    fn classify_prefers_lower_index_on_tie() {
+        let topo = Topology::new(4, vec![4], 2);
+        let model = BnnModel::zeros(&topo);
+        // All-zero model: logits identical → class 0.
+        assert_eq!(model.classify(&BitVec::zeros(4)), 0);
+    }
+
+    #[test]
+    fn layer_outputs_chain() {
+        let topo = Topology::new(4, vec![3, 2], 2);
+        let model = BnnModel::zeros(&topo);
+        let outs = model.layer_outputs(&BitVec::zeros(4));
+        assert_eq!(outs.len(), 2);
+        assert_eq!(outs[0].len(), 3);
+        assert_eq!(outs[1].len(), 2);
+    }
+}

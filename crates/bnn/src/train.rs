@@ -1,0 +1,308 @@
+//! Straight-through-estimator (STE) training for binarized networks.
+//!
+//! Training follows Hubara et al. (the paper's reference \[39\]): real-valued
+//! shadow weights are binarized by sign on the forward pass; gradients flow
+//! through the sign function inside a clipped window. Pre-activation sums
+//! are normalized by `1/√fan_in` so the clip window and learning rate are
+//! layer-size independent. Exported models carry only ±1 weights and
+//! integer biases — exactly what the accelerator stores in its weight SRAM.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::bits::BitVec;
+use crate::data::Dataset;
+use crate::model::{BnnLayer, BnnModel, Topology};
+
+/// Hyper-parameters for [`train`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// Momentum coefficient.
+    pub momentum: f32,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// RNG seed (initialization and shuffling are deterministic in it).
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> TrainConfig {
+        TrainConfig { epochs: 40, lr: 0.05, momentum: 0.9, batch: 16, seed: 7 }
+    }
+}
+
+/// Real-valued shadow parameters of one layer during training.
+#[derive(Debug, Clone)]
+struct ShadowLayer {
+    /// Row-major `[neuron][input]` shadow weights in `[-1, 1]`.
+    w: Vec<f32>,
+    b: Vec<f32>,
+    vw: Vec<f32>,
+    vb: Vec<f32>,
+    inputs: usize,
+    neurons: usize,
+}
+
+impl ShadowLayer {
+    fn new(inputs: usize, neurons: usize, rng: &mut StdRng) -> ShadowLayer {
+        let w = (0..inputs * neurons).map(|_| rng.gen_range(-0.5f32..0.5)).collect();
+        ShadowLayer {
+            w,
+            b: vec![0.0; neurons],
+            vw: vec![0.0; inputs * neurons],
+            vb: vec![0.0; neurons],
+            inputs,
+            neurons,
+        }
+    }
+
+    fn scale(&self) -> f32 {
+        1.0 / (self.inputs as f32).sqrt()
+    }
+
+    /// Forward with binarized weights: returns normalized pre-activations.
+    fn forward(&self, a: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(a.len(), self.inputs);
+        let s = self.scale();
+        (0..self.neurons)
+            .map(|j| {
+                let row = &self.w[j * self.inputs..(j + 1) * self.inputs];
+                let z: f32 = row
+                    .iter()
+                    .zip(a)
+                    .map(|(&w, &x)| if w >= 0.0 { x } else { -x })
+                    .sum();
+                (z + self.b[j]) * s
+            })
+            .collect()
+    }
+
+    /// Accumulates gradients for one sample; returns gradient w.r.t. input.
+    ///
+    /// `dzn` is the gradient at the normalized pre-activation.
+    fn backward(&self, a: &[f32], dzn: &[f32], gw: &mut [f32], gb: &mut [f32]) -> Vec<f32> {
+        let s = self.scale();
+        let mut da = vec![0.0f32; self.inputs];
+        for j in 0..self.neurons {
+            let dz = dzn[j] * s;
+            if dz == 0.0 {
+                continue;
+            }
+            gb[j] += dz;
+            let row = &self.w[j * self.inputs..(j + 1) * self.inputs];
+            let grow = &mut gw[j * self.inputs..(j + 1) * self.inputs];
+            for i in 0..self.inputs {
+                grow[i] += dz * a[i];
+                da[i] += dz * if row[i] >= 0.0 { 1.0 } else { -1.0 };
+            }
+        }
+        da
+    }
+
+    fn apply(&mut self, gw: &[f32], gb: &[f32], lr: f32, momentum: f32, inv_batch: f32) {
+        for (i, (&g, v)) in gw.iter().zip(self.vw.iter_mut()).enumerate() {
+            *v = momentum * *v - lr * g * inv_batch;
+            // STE weight clipping keeps shadow weights in [-1, 1].
+            self.w[i] = (self.w[i] + *v).clamp(-1.0, 1.0);
+        }
+        for (j, (&g, v)) in gb.iter().zip(self.vb.iter_mut()).enumerate() {
+            *v = momentum * *v - lr * g * inv_batch;
+            self.b[j] += *v;
+        }
+    }
+
+    fn export(&self) -> BnnLayer {
+        let rows: Vec<BitVec> = (0..self.neurons)
+            .map(|j| BitVec::from_signs(&self.w[j * self.inputs..(j + 1) * self.inputs]))
+            .collect();
+        let bias = self.b.iter().map(|&b| b.round() as i32).collect();
+        BnnLayer::new(rows, bias)
+    }
+}
+
+fn to_pm1(bits: &BitVec) -> Vec<f32> {
+    bits.iter().map(|b| if b { 1.0 } else { -1.0 }).collect()
+}
+
+fn softmax(z: &[f32]) -> Vec<f32> {
+    let m = z.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = z.iter().map(|&v| (v - m).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Trains a BNN of shape `topology` on `data` and exports the binary model.
+///
+/// Training is deterministic in `config.seed`.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty, a sample's width differs from the
+/// topology input, or a label is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use ncpu_bnn::{data::Dataset, train::{train, TrainConfig}, BitVec, Topology};
+///
+/// // Learn "class = first bit".
+/// let inputs: Vec<BitVec> =
+///     (0..40).map(|i| BitVec::from_bools((0..8).map(|b| (i + b) % 2 == 0))).collect();
+/// let labels: Vec<usize> = inputs.iter().map(|x| x.get(0) as usize).collect();
+/// let data = Dataset::new(inputs, labels, 2);
+/// let model = train(&Topology::new(8, vec![8], 2), &data, &TrainConfig::default());
+/// let acc = ncpu_bnn::metrics::accuracy(&model, &data);
+/// assert!(acc > 0.9, "easy task must be learned, got {acc}");
+/// ```
+pub fn train(topology: &Topology, data: &Dataset, config: &TrainConfig) -> BnnModel {
+    assert!(!data.is_empty(), "empty training set");
+    assert!(data.classes() <= topology.classes(), "label range exceeds topology classes");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let nlayers = topology.layers().len();
+    let mut layers: Vec<ShadowLayer> = (0..nlayers)
+        .map(|l| ShadowLayer::new(topology.layer_input(l), topology.layers()[l], &mut rng))
+        .collect();
+
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    let mut gw: Vec<Vec<f32>> = layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
+    let mut gb: Vec<Vec<f32>> = layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+
+    for _epoch in 0..config.epochs {
+        order.shuffle(&mut rng);
+        for chunk in order.chunks(config.batch) {
+            for g in gw.iter_mut() {
+                g.iter_mut().for_each(|v| *v = 0.0);
+            }
+            for g in gb.iter_mut() {
+                g.iter_mut().for_each(|v| *v = 0.0);
+            }
+            for &idx in chunk {
+                let (input, label) = data.sample(idx);
+                assert_eq!(input.len(), topology.input(), "sample width mismatch");
+                // ---- forward ----
+                let mut acts: Vec<Vec<f32>> = Vec::with_capacity(nlayers + 1);
+                let mut zns: Vec<Vec<f32>> = Vec::with_capacity(nlayers);
+                acts.push(to_pm1(input));
+                for (l, layer) in layers.iter().enumerate() {
+                    let zn = layer.forward(acts.last().expect("pushed"));
+                    let is_last = l == nlayers - 1;
+                    let next = if is_last {
+                        zn.clone() // kept linear; only first `classes` used
+                    } else {
+                        zn.iter().map(|&z| if z >= 0.0 { 1.0 } else { -1.0 }).collect()
+                    };
+                    zns.push(zn);
+                    acts.push(next);
+                }
+                // ---- loss gradient at the output ----
+                let classes = topology.classes();
+                let logits = &zns[nlayers - 1][..classes];
+                let probs = softmax(logits);
+                let mut dzn = vec![0.0f32; topology.layers()[nlayers - 1]];
+                for c in 0..classes {
+                    dzn[c] = probs[c] - if c == label { 1.0 } else { 0.0 };
+                }
+                // ---- backward ----
+                for l in (0..nlayers).rev() {
+                    let da = layers[l].backward(&acts[l], &dzn, &mut gw[l], &mut gb[l]);
+                    if l > 0 {
+                        // Gradient through the hidden sign: clipped STE.
+                        dzn = da
+                            .iter()
+                            .zip(&zns[l - 1])
+                            .map(|(&d, &zn)| if zn.abs() <= 1.0 { d } else { 0.0 })
+                            .collect();
+                    }
+                }
+            }
+            let inv_batch = 1.0 / chunk.len() as f32;
+            for (l, layer) in layers.iter_mut().enumerate() {
+                layer.apply(&gw[l], &gb[l], config.lr, config.momentum, inv_batch);
+            }
+        }
+    }
+
+    let exported = layers.iter().map(ShadowLayer::export).collect();
+    BnnModel::new(topology.clone(), exported)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+
+    fn parity_dataset(n: usize, bits: usize, seed: u64) -> Dataset {
+        // Class = majority vote of the bits: linearly separable, noisy-free.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut inputs = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let v: Vec<bool> = (0..bits).map(|_| rng.gen_bool(0.5)).collect();
+            let ones = v.iter().filter(|&&b| b).count();
+            labels.push((ones * 2 > bits) as usize);
+            inputs.push(BitVec::from_bools(v));
+        }
+        Dataset::new(inputs, labels, 2)
+    }
+
+    #[test]
+    fn learns_majority_function() {
+        let data = parity_dataset(200, 16, 3);
+        let topo = Topology::new(16, vec![16, 16], 2);
+        let model = train(&topo, &data, &TrainConfig { epochs: 30, ..TrainConfig::default() });
+        let acc = accuracy(&model, &data);
+        assert!(acc > 0.9, "majority should be learnable, got {acc}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let data = parity_dataset(50, 8, 1);
+        let topo = Topology::new(8, vec![8], 2);
+        let cfg = TrainConfig { epochs: 3, ..TrainConfig::default() };
+        let a = train(&topo, &data, &cfg);
+        let b = train(&topo, &data, &cfg);
+        assert_eq!(a.layers()[0].weight_row(0), b.layers()[0].weight_row(0));
+        assert_eq!(a.layers()[0].bias(0), b.layers()[0].bias(0));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let data = parity_dataset(50, 8, 1);
+        let topo = Topology::new(8, vec![8], 2);
+        let a = train(&topo, &data, &TrainConfig { seed: 1, epochs: 2, ..TrainConfig::default() });
+        let b = train(&topo, &data, &TrainConfig { seed: 2, epochs: 2, ..TrainConfig::default() });
+        assert_ne!(
+            (0..8).map(|j| a.layers()[0].weight_row(j).clone()).collect::<Vec<_>>(),
+            (0..8).map(|j| b.layers()[0].weight_row(j).clone()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn exported_model_is_pure_binary() {
+        let data = parity_dataset(30, 8, 9);
+        let topo = Topology::new(8, vec![4], 2);
+        let model = train(&topo, &data, &TrainConfig { epochs: 1, ..TrainConfig::default() });
+        // Shape invariants guaranteed by construction; biases are integers.
+        assert_eq!(model.layers()[0].neurons(), 4);
+        assert_eq!(model.layers()[0].input_len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn empty_dataset_rejected() {
+        let topo = Topology::new(8, vec![4], 2);
+        train(&topo, &Dataset::new(vec![], vec![], 2), &TrainConfig::default());
+    }
+
+    #[test]
+    fn softmax_is_normalized() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+}

@@ -1,0 +1,68 @@
+//! Property tests: `BitVec` against a plain `Vec<bool>` reference.
+
+use ncpu_bnn::BitVec;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn construction_and_access(bits in prop::collection::vec(any::<bool>(), 0..300)) {
+        let v = BitVec::from_bools(bits.iter().copied());
+        prop_assert_eq!(v.len(), bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(v.get(i), b);
+            prop_assert_eq!(v.sign(i), if b { 1 } else { -1 });
+        }
+        prop_assert_eq!(v.count_ones(), bits.iter().filter(|&&b| b).count());
+    }
+
+    #[test]
+    fn dot_matches_naive(
+        pair in (1usize..300).prop_flat_map(|n| (
+            prop::collection::vec(any::<bool>(), n),
+            prop::collection::vec(any::<bool>(), n),
+        ))
+    ) {
+        let (a_bits, b_bits) = pair;
+        let a = BitVec::from_bools(a_bits.iter().copied());
+        let b = BitVec::from_bools(b_bits.iter().copied());
+        let naive: i32 = a_bits
+            .iter()
+            .zip(&b_bits)
+            .map(|(&x, &y)| if x == y { 1 } else { -1 })
+            .sum();
+        prop_assert_eq!(a.dot(&b), naive);
+        prop_assert_eq!(b.dot(&a), naive, "dot is symmetric");
+        prop_assert_eq!(a.dot(&a), a.len() as i32, "self-dot is length");
+    }
+
+    #[test]
+    fn byte_round_trip(bits in prop::collection::vec(any::<bool>(), 1..300)) {
+        let v = BitVec::from_bools(bits.iter().copied());
+        let bytes = v.to_bytes();
+        prop_assert_eq!(bytes.len(), bits.len().div_ceil(8));
+        prop_assert_eq!(BitVec::from_bytes(&bytes, bits.len()), v);
+    }
+
+    #[test]
+    fn set_is_idempotent_and_local(
+        bits in prop::collection::vec(any::<bool>(), 1..200),
+        idx_raw in any::<usize>(),
+        value in any::<bool>(),
+    ) {
+        let idx = idx_raw % bits.len();
+        let mut v = BitVec::from_bools(bits.iter().copied());
+        v.set(idx, value);
+        v.set(idx, value);
+        for (i, &b) in bits.iter().enumerate() {
+            let want = if i == idx { value } else { b };
+            prop_assert_eq!(v.get(i), want, "bit {}", i);
+        }
+    }
+
+    #[test]
+    fn iter_matches_get(bits in prop::collection::vec(any::<bool>(), 0..200)) {
+        let v = BitVec::from_bools(bits.iter().copied());
+        let collected: Vec<bool> = v.iter().collect();
+        prop_assert_eq!(collected, bits);
+    }
+}

@@ -1,0 +1,35 @@
+//! Accuracy-band calibration (release-mode; run explicitly with
+//! `cargo test -p ncpu-bnn --release -- --ignored --nocapture`).
+//!
+//! Verifies the synthetic datasets put the paper's network sizes in the
+//! right accuracy bands: digits ≈ 94.8% at 100 neurons and monotone in
+//! capacity (Fig. 18), motion ≈ 74% (Table I / Fig. 15).
+
+use ncpu_bnn::data::{digits, motion};
+use ncpu_bnn::metrics::accuracy;
+use ncpu_bnn::train::{train, TrainConfig};
+use ncpu_bnn::Topology;
+
+#[test]
+#[ignore = "minutes-long training sweep; run in release"]
+fn digits_accuracy_band() {
+    let (train_set, test_set) = digits::generate(&digits::DigitsConfig::default());
+    for neurons in [50, 100, 200, 400] {
+        let topo = Topology::paper(digits::PIXELS, neurons, digits::CLASSES);
+        let model = train(&topo, &train_set, &TrainConfig::default());
+        let acc = accuracy(&model, &test_set);
+        println!("digits neurons={neurons:4} acc={:.1}%", acc * 100.0);
+    }
+}
+
+#[test]
+#[ignore = "minutes-long training; run in release"]
+fn motion_accuracy_band() {
+    let (train_w, test_w) = motion::generate(&motion::MotionConfig::default());
+    let train_set = motion::to_dataset(&train_w);
+    let test_set = motion::to_dataset(&test_w);
+    let topo = Topology::paper(motion::INPUT_BITS, 100, motion::CLASSES);
+    let model = train(&topo, &train_set, &TrainConfig::default());
+    let acc = accuracy(&model, &test_set);
+    println!("motion acc={:.1}%", acc * 100.0);
+}

@@ -1,0 +1,127 @@
+//! The shared global L2 memory.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Byte-addressable global L2 shared by the SoC's cores and DMA engine.
+///
+/// Cheap to clone — clones share the same storage (the simulator is
+/// single-threaded and deterministic, so interior mutability via
+/// `RefCell` is sufficient).
+///
+/// # Examples
+///
+/// ```
+/// use ncpu_core::SharedL2;
+///
+/// let l2 = SharedL2::new(1024);
+/// let view = l2.clone();
+/// l2.write_word(16, 7).unwrap();
+/// assert_eq!(view.read_word(16).unwrap(), 7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedL2 {
+    inner: Rc<RefCell<L2Inner>>,
+}
+
+#[derive(Debug)]
+struct L2Inner {
+    bytes: Vec<u8>,
+    reads: u64,
+    writes: u64,
+}
+
+impl SharedL2 {
+    /// Creates a zeroed L2 of `bytes` bytes.
+    pub fn new(bytes: usize) -> SharedL2 {
+        SharedL2 { inner: Rc::new(RefCell::new(L2Inner { bytes: vec![0; bytes], reads: 0, writes: 0 })) }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.inner.borrow().bytes.len()
+    }
+
+    /// Reads a little-endian word; `None` if out of range.
+    #[allow(clippy::result_unit_err)]
+    pub fn read_word(&self, addr: u32) -> Result<u32, ()> {
+        let mut inner = self.inner.borrow_mut();
+        let end = addr as usize + 4;
+        if end > inner.bytes.len() {
+            return Err(());
+        }
+        inner.reads += 1;
+        Ok(u32::from_le_bytes(inner.bytes[addr as usize..end].try_into().expect("4 bytes")))
+    }
+
+    /// Writes a little-endian word; `Err` if out of range.
+    #[allow(clippy::result_unit_err)]
+    pub fn write_word(&self, addr: u32, value: u32) -> Result<(), ()> {
+        let mut inner = self.inner.borrow_mut();
+        let end = addr as usize + 4;
+        if end > inner.bytes.len() {
+            return Err(());
+        }
+        inner.writes += 1;
+        inner.bytes[addr as usize..end].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Bulk-stages `data` at `addr` without counting accesses (models
+    /// host-side preloading through the FPGA interface, paper Fig. 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data does not fit.
+    pub fn stage(&self, addr: u32, data: &[u8]) {
+        let mut inner = self.inner.borrow_mut();
+        let end = addr as usize + data.len();
+        inner.bytes[addr as usize..end].copy_from_slice(data);
+    }
+
+    /// Copies `len` bytes starting at `addr` out of the L2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds capacity.
+    pub fn snapshot(&self, addr: u32, len: usize) -> Vec<u8> {
+        self.inner.borrow().bytes[addr as usize..addr as usize + len].to_vec()
+    }
+
+    /// Counted word accesses `(reads, writes)`.
+    pub fn accesses(&self) -> (u64, u64) {
+        let inner = self.inner.borrow();
+        (inner.reads, inner.writes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_storage_and_counters() {
+        let a = SharedL2::new(64);
+        let b = a.clone();
+        a.write_word(0, 42).unwrap();
+        assert_eq!(b.read_word(0).unwrap(), 42);
+        assert_eq!(b.accesses(), (1, 1));
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let l2 = SharedL2::new(8);
+        assert!(l2.read_word(8).is_err());
+        assert!(l2.write_word(6, 0).is_err());
+        assert!(l2.write_word(4, 0).is_ok());
+    }
+
+    #[test]
+    fn staging_does_not_count() {
+        let l2 = SharedL2::new(64);
+        l2.stage(8, &[1, 2, 3, 4]);
+        assert_eq!(l2.accesses(), (0, 0));
+        assert_eq!(l2.read_word(8).unwrap(), 0x0403_0201);
+        assert_eq!(l2.snapshot(8, 4), vec![1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,683 @@
+//! The reconfigurable NCPU core: CPU pipeline + BNN accelerator in one.
+
+use std::error::Error;
+use std::fmt;
+
+use ncpu_accel::{packed_row_bytes, AccelConfig, Accelerator};
+use ncpu_bnn::{BitVec, BnnModel};
+use ncpu_isa::interp::Event;
+use ncpu_pipeline::{PipeError, Pipeline, PipelineConfig};
+use ncpu_sim::stats::Timeline;
+
+use crate::l2::SharedL2;
+use crate::mem::NcpuMem;
+
+/// Number of transition-neuron configuration registers (paper Section V-B:
+/// "several special transition neuron cells built at each neural layer").
+pub const TRANSITION_NEURONS: usize = 16;
+
+/// How mode switches are costed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchPolicy {
+    /// The paper's zero-latency scheme (Fig. 5): layer-1 weights stay
+    /// resident, deeper weights stream in behind inference, and the data
+    /// cache is preloaded before the switch back — no stall cycles.
+    ZeroLatency,
+    /// Naive reconfiguration (the ablation baseline): every switch reloads
+    /// all packed weights over the DMA and reloads the data cache on the
+    /// way back.
+    Naive,
+}
+
+/// Bytes per cycle the DMA sustains when the naive policy reloads weights.
+const NAIVE_DMA_BYTES_PER_CYCLE: u64 = 4;
+/// Data-cache working set the naive policy reloads after BNN→CPU.
+const NAIVE_DCACHE_PRELOAD_BYTES: u64 = 1024;
+
+/// Counters of one NCPU core.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Completed CPU→BNN→CPU round trips.
+    pub switches: u64,
+    /// Images classified in BNN mode.
+    pub images_inferred: u64,
+    /// Cycles spent in BNN mode (inference only).
+    pub bnn_cycles: u64,
+    /// Cycles lost to mode-switch reconfiguration (zero under
+    /// [`SwitchPolicy::ZeroLatency`]).
+    pub switch_overhead_cycles: u64,
+}
+
+/// Error raised by the NCPU core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The CPU pipeline faulted.
+    Pipe(PipeError),
+    /// `trans_bnn` was issued with more images configured than the image
+    /// memory holds.
+    ImageCapacity {
+        /// Images requested via the transition neurons.
+        images: usize,
+        /// Images the image memory can hold.
+        capacity: usize,
+    },
+    /// The cycle budget of [`NcpuCore::run`] was exhausted.
+    CycleLimit {
+        /// The exhausted budget.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Pipe(e) => write!(f, "pipeline: {e}"),
+            CoreError::ImageCapacity { images, capacity } => {
+                write!(f, "{images} images configured but image memory holds {capacity}")
+            }
+            CoreError::CycleLimit { limit } => write!(f, "no halt within {limit} cycles"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Pipe(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PipeError> for CoreError {
+    fn from(e: PipeError) -> CoreError {
+        CoreError::Pipe(e)
+    }
+}
+
+/// What one [`NcpuCore::step_one`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// One CPU-mode pipeline cycle executed.
+    Executing,
+    /// The core is in BNN mode; `remaining` busy cycles left.
+    BnnBusy {
+        /// Cycles until the switch back to CPU mode.
+        remaining: u64,
+    },
+    /// `ebreak` has retired; the core is parked.
+    Halted,
+}
+
+/// One reconfigurable Neural CPU core.
+///
+/// See the [crate documentation](crate) for the programming model and a
+/// complete example.
+#[derive(Debug, Clone)]
+pub struct NcpuCore {
+    pipeline: Pipeline<NcpuMem>,
+    policy: SwitchPolicy,
+    transition: [u32; TRANSITION_NEURONS],
+    stats: CoreStats,
+    /// Cycles spent outside the pipeline clock (BNN phases + switch costs).
+    extra_cycles: u64,
+    timeline: Timeline,
+    /// Start of the current CPU-mode span, in unified cycles.
+    span_start: u64,
+    /// `trigger_bnn` retirements not yet consumed by the SoC layer.
+    pending_triggers: u64,
+    /// Remaining BNN-mode busy cycles when stepped incrementally.
+    busy_remaining: u64,
+}
+
+impl NcpuCore {
+    /// Creates a core with a private 64-KiB L2.
+    pub fn new(model: BnnModel, config: AccelConfig, policy: SwitchPolicy) -> NcpuCore {
+        NcpuCore::with_l2(model, config, policy, SharedL2::new(64 * 1024))
+    }
+
+    /// Creates a core attached to a shared L2 (two-core SoC configuration).
+    pub fn with_l2(
+        model: BnnModel,
+        config: AccelConfig,
+        policy: SwitchPolicy,
+        l2: SharedL2,
+    ) -> NcpuCore {
+        let accel = Accelerator::new(model, config);
+        let mem = NcpuMem::new(accel, l2);
+        NcpuCore {
+            pipeline: Pipeline::with_config(Vec::new(), mem, PipelineConfig::default()),
+            policy,
+            transition: [0; TRANSITION_NEURONS],
+            stats: CoreStats::default(),
+            extra_cycles: 0,
+            timeline: Timeline::new(),
+            span_start: 0,
+            pending_triggers: 0,
+            busy_remaining: 0,
+        }
+    }
+
+    /// The CPU pipeline (registers, performance counters).
+    pub fn pipeline(&self) -> &Pipeline<NcpuMem> {
+        &self.pipeline
+    }
+
+    /// Mutable access to the CPU pipeline (preload registers or data).
+    pub fn pipeline_mut(&mut self) -> &mut Pipeline<NcpuMem> {
+        &mut self.pipeline
+    }
+
+    /// The embedded accelerator.
+    pub fn accel(&self) -> &Accelerator {
+        self.pipeline.mem().accel()
+    }
+
+    /// The switch policy in force.
+    pub const fn policy(&self) -> SwitchPolicy {
+        self.policy
+    }
+
+    /// Core counters.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Mode timeline (`"cpu"`/`"bnn"`/`"switch"` spans in unified cycles).
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Base address of the image memory in the CPU-mode address space.
+    pub fn image_base(&self) -> u32 {
+        self.accel().image_base()
+    }
+
+    /// Base address of the output memory in the CPU-mode address space.
+    pub fn output_base(&self) -> u32 {
+        self.accel().output_base()
+    }
+
+    /// Byte stride between consecutive packed images in the image memory.
+    pub fn image_stride(&self) -> usize {
+        packed_row_bytes(self.accel().model().topology().input())
+    }
+
+    /// Unified cycle count: pipeline cycles plus BNN-mode and switch time.
+    pub fn total_cycles(&self) -> u64 {
+        self.pipeline.stats().cycles + self.extra_cycles
+    }
+
+    /// Loads a program into the instruction cache and restarts at PC 0.
+    pub fn load_program(&mut self, program: Vec<u32>) {
+        self.pipeline.load_program(program);
+        self.pipeline.restart_at(0);
+    }
+
+    /// Reads one transition-neuron configuration register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= TRANSITION_NEURONS`.
+    pub fn transition_neuron(&self, index: usize) -> u32 {
+        self.transition[index]
+    }
+
+    /// `trigger_bnn` retirements since the last call (consumed by the
+    /// heterogeneous-baseline SoC model).
+    pub fn take_pending_triggers(&mut self) -> u64 {
+        std::mem::take(&mut self.pending_triggers)
+    }
+
+    /// Runs until `ebreak` retires, serving every mode switch on the way.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on pipeline faults, invalid BNN configuration,
+    /// or cycle-budget exhaustion.
+    pub fn run(&mut self, max_cycles: u64) -> Result<(), CoreError> {
+        let deadline = self.total_cycles() + max_cycles;
+        while !self.pipeline.is_halted() {
+            if self.total_cycles() >= deadline {
+                return Err(CoreError::CycleLimit { limit: max_cycles });
+            }
+            if let Some(event) = self.pipeline.step()? {
+                match event {
+                    Event::MvNeu { value, neuron } => {
+                        if (neuron as usize) < TRANSITION_NEURONS {
+                            self.transition[neuron as usize] = value;
+                        }
+                    }
+                    Event::TransBnn => {
+                        let stall = self.serve_bnn()?;
+                        self.extra_cycles += stall;
+                        self.span_start = self.total_cycles();
+                        self.pipeline.resume();
+                    }
+                    Event::TransCpu => {
+                        // Already in CPU mode: architecturally a no-op, but
+                        // the serializing semantics parked fetch.
+                        self.pipeline.resume();
+                    }
+                    Event::TriggerBnn => self.pending_triggers += 1,
+                    Event::Halted => break,
+                    _ => {}
+                }
+            }
+        }
+        let now = self.total_cycles();
+        if now > self.span_start {
+            self.timeline.record("cpu", self.span_start, now);
+            self.span_start = now;
+        }
+        Ok(())
+    }
+
+    /// Serves one `trans_bnn`: classify the configured number of images
+    /// sitting in the image memory, write results to the output memory,
+    /// and account the BNN-mode spans. Returns the stall cycles the
+    /// reconfiguration + inference occupy; the caller decides whether to
+    /// charge them at once ([`run`](Self::run)) or count them down
+    /// ([`step_one`](Self::step_one)).
+    fn serve_bnn(&mut self) -> Result<u64, CoreError> {
+        let images = (self.transition[0].max(1)) as usize;
+        let stride = self.image_stride();
+        let input_bits = self.accel().model().topology().input();
+        let image_bytes = self.accel().config().banks.image;
+        let capacity = image_bytes / stride;
+        if images > capacity {
+            return Err(CoreError::ImageCapacity { images, capacity });
+        }
+
+        // Close the CPU span.
+        let switch_at = self.total_cycles();
+        if switch_at > self.span_start {
+            self.timeline.record("cpu", self.span_start, switch_at);
+        }
+
+        // Naive policy: reload every packed weight before inference.
+        let switch_in = match self.policy {
+            SwitchPolicy::ZeroLatency => 0,
+            SwitchPolicy::Naive => {
+                self.accel().packed_weight_bytes() as u64 / NAIVE_DMA_BYTES_PER_CYCLE
+            }
+        };
+        if switch_in > 0 {
+            self.timeline.record("switch", switch_at, switch_at + switch_in);
+        }
+
+        // Read packed images straight out of the image bank — the data the
+        // CPU program just wrote, in place.
+        let image_base = self.image_base();
+        let output_base = self.output_base();
+        let mem = self.pipeline.mem_mut();
+        let (bank_id, base_off) = mem
+            .accel_mut()
+            .banks_mut()
+            .resolve(image_base)
+            .expect("image bank is always mapped");
+        let inputs: Vec<BitVec> = {
+            let bytes = mem.accel().banks().bank(bank_id).bytes();
+            (0..images)
+                .map(|i| {
+                    let off = base_off as usize + i * stride;
+                    BitVec::from_bytes(&bytes[off..off + stride], input_bits)
+                })
+                .collect()
+        };
+
+        let run = mem.accel_mut().run_batch(&inputs);
+
+        // Results land in the output memory for CPU post-processing.
+        for (i, &class) in run.outputs.iter().enumerate() {
+            mem.accel_mut()
+                .banks_mut()
+                .write(output_base + 4 * i as u32, 4, class as u32)
+                .expect("output bank holds one word per image");
+        }
+
+        let bnn_start = switch_at + switch_in;
+        let bnn_end = bnn_start + run.total_cycles;
+        self.timeline.record("bnn", bnn_start, bnn_end);
+
+        // Switch back: naive policy reloads the data cache.
+        let switch_back = match self.policy {
+            SwitchPolicy::ZeroLatency => 0,
+            SwitchPolicy::Naive => NAIVE_DCACHE_PRELOAD_BYTES / NAIVE_DMA_BYTES_PER_CYCLE,
+        };
+        if switch_back > 0 {
+            self.timeline.record("switch", bnn_end, bnn_end + switch_back);
+        }
+
+        self.stats.switches += 1;
+        self.stats.images_inferred += images as u64;
+        self.stats.bnn_cycles += run.total_cycles;
+        self.stats.switch_overhead_cycles += switch_in + switch_back;
+        Ok(switch_in + run.total_cycles + switch_back)
+    }
+
+    /// Advances the core by exactly one cycle — the lock-step interface the
+    /// co-simulated SoC uses. CPU-mode cycles step the pipeline; BNN-mode
+    /// cycles count down the inference the `trans_bnn` started.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on pipeline faults or invalid BNN
+    /// configuration.
+    pub fn step_one(&mut self) -> Result<StepOutcome, CoreError> {
+        if self.pipeline.is_halted() {
+            return Ok(StepOutcome::Halted);
+        }
+        if self.busy_remaining > 0 {
+            self.busy_remaining -= 1;
+            self.extra_cycles += 1;
+            if self.busy_remaining == 0 {
+                self.span_start = self.total_cycles();
+                self.pipeline.resume();
+            }
+            return Ok(StepOutcome::BnnBusy { remaining: self.busy_remaining });
+        }
+        if let Some(event) = self.pipeline.step()? {
+            match event {
+                Event::MvNeu { value, neuron } => {
+                    if (neuron as usize) < TRANSITION_NEURONS {
+                        self.transition[neuron as usize] = value;
+                    }
+                }
+                Event::TransBnn => {
+                    let stall = self.serve_bnn()?;
+                    if stall == 0 {
+                        self.span_start = self.total_cycles();
+                        self.pipeline.resume();
+                    } else {
+                        self.busy_remaining = stall;
+                    }
+                    return Ok(StepOutcome::BnnBusy { remaining: self.busy_remaining });
+                }
+                Event::TransCpu => self.pipeline.resume(),
+                Event::TriggerBnn => self.pending_triggers += 1,
+                Event::Halted => {
+                    let now = self.total_cycles();
+                    if now > self.span_start {
+                        self.timeline.record("cpu", self.span_start, now);
+                        self.span_start = now;
+                    }
+                    return Ok(StepOutcome::Halted);
+                }
+                _ => {}
+            }
+        }
+        Ok(StepOutcome::Executing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncpu_bnn::Topology;
+    use ncpu_isa::{asm, Reg};
+
+    fn small_model() -> BnnModel {
+        // Pseudo-random deterministic weights over a 32-bit input.
+        let topo = Topology::new(32, vec![8, 8], 4);
+        let mut layers = Vec::new();
+        for l in 0..2 {
+            let inputs = topo.layer_input(l);
+            let rows: Vec<BitVec> = (0..8)
+                .map(|j| BitVec::from_bools((0..inputs).map(|i| (i * 3 + j + l) % 4 < 2)))
+                .collect();
+            layers.push(ncpu_bnn::BnnLayer::new(rows, vec![0; 8]));
+        }
+        BnnModel::new(topo, layers)
+    }
+
+    fn classify_program(core: &NcpuCore, image_word: u32, images: u32) -> Vec<u32> {
+        asm::assemble(&format!(
+            "li t0, {img}
+             li t1, {image_word}
+             sw t1, 0(t0)
+             li t2, {images}
+             mv_neu t2, 0
+             trans_bnn
+             li t3, {out}
+             lw a0, 0(t3)
+             ebreak",
+            img = core.image_base(),
+            out = core.output_base(),
+        ))
+        .expect("valid program")
+    }
+
+    #[test]
+    fn end_to_end_classification_matches_reference() {
+        let model = small_model();
+        let mut core = NcpuCore::new(model.clone(), AccelConfig::default(), SwitchPolicy::ZeroLatency);
+        let image_word = 0x0f0f_0f0fu32;
+        let program = classify_program(&core, image_word, 1);
+        core.load_program(program);
+        core.run(1_000_000).unwrap();
+        let expect = model.classify(&BitVec::from_bytes(&image_word.to_le_bytes(), 32));
+        assert_eq!(core.pipeline().reg(Reg::A0), expect as u32);
+        assert_eq!(core.stats().switches, 1);
+        assert_eq!(core.stats().images_inferred, 1);
+    }
+
+    #[test]
+    fn zero_latency_switch_has_no_overhead() {
+        let mut core =
+            NcpuCore::new(small_model(), AccelConfig::default(), SwitchPolicy::ZeroLatency);
+        let program = classify_program(&core, 0x1234_5678, 1);
+        core.load_program(program);
+        core.run(1_000_000).unwrap();
+        assert_eq!(core.stats().switch_overhead_cycles, 0);
+    }
+
+    #[test]
+    fn naive_switch_pays_weight_reload() {
+        let mk = |policy| {
+            let mut core = NcpuCore::new(small_model(), AccelConfig::default(), policy);
+            let program = classify_program(&core, 0x1234_5678, 1);
+            core.load_program(program);
+            core.run(10_000_000).unwrap();
+            core
+        };
+        let zero = mk(SwitchPolicy::ZeroLatency);
+        let naive = mk(SwitchPolicy::Naive);
+        assert!(naive.stats().switch_overhead_cycles > 0);
+        assert_eq!(
+            naive.total_cycles() - zero.total_cycles(),
+            naive.stats().switch_overhead_cycles,
+            "identical except for the reconfiguration stalls"
+        );
+        assert_eq!(
+            zero.pipeline().reg(Reg::A0),
+            naive.pipeline().reg(Reg::A0),
+            "policy never changes results"
+        );
+    }
+
+    #[test]
+    fn timeline_alternates_modes() {
+        let mut core =
+            NcpuCore::new(small_model(), AccelConfig::default(), SwitchPolicy::ZeroLatency);
+        let program = classify_program(&core, 7, 1);
+        core.load_program(program);
+        core.run(1_000_000).unwrap();
+        let labels: Vec<&str> = core.timeline().spans().iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels, vec!["cpu", "bnn", "cpu"]);
+        assert_eq!(core.timeline().total_cycles(), core.total_cycles());
+    }
+
+    #[test]
+    fn transition_neurons_configure_batch() {
+        let model = small_model();
+        let mut core = NcpuCore::new(model.clone(), AccelConfig::default(), SwitchPolicy::ZeroLatency);
+        // Two images written at stride 4.
+        let program = asm::assemble(&format!(
+            "li t0, {img}
+             li t1, 0x0f0f0f0f
+             sw t1, 0(t0)
+             li t1, 0xf0f0f0f0
+             sw t1, 4(t0)
+             li t2, 2
+             mv_neu t2, 0
+             trans_bnn
+             li t3, {out}
+             lw a0, 0(t3)
+             lw a1, 4(t3)
+             ebreak",
+            img = core.image_base(),
+            out = core.output_base(),
+        ))
+        .unwrap();
+        core.load_program(program);
+        core.run(1_000_000).unwrap();
+        assert_eq!(core.transition_neuron(0), 2);
+        assert_eq!(core.stats().images_inferred, 2);
+        let a = model.classify(&BitVec::from_bytes(&0x0f0f_0f0fu32.to_le_bytes(), 32));
+        let b = model.classify(&BitVec::from_bytes(&0xf0f0_f0f0u32.to_le_bytes(), 32));
+        assert_eq!(core.pipeline().reg(Reg::A0), a as u32);
+        assert_eq!(core.pipeline().reg(Reg::A1), b as u32);
+    }
+
+    #[test]
+    fn image_capacity_checked() {
+        let mut core =
+            NcpuCore::new(small_model(), AccelConfig::default(), SwitchPolicy::ZeroLatency);
+        let program = asm::assemble(
+            "li t2, 100000
+             mv_neu t2, 0
+             trans_bnn
+             ebreak",
+        )
+        .unwrap();
+        core.load_program(program);
+        let err = core.run(1_000_000).unwrap_err();
+        assert!(matches!(err, CoreError::ImageCapacity { .. }));
+    }
+
+    #[test]
+    fn cycle_budget_enforced() {
+        let mut core =
+            NcpuCore::new(small_model(), AccelConfig::default(), SwitchPolicy::ZeroLatency);
+        core.load_program(asm::assemble("loop: j loop").unwrap());
+        assert!(matches!(core.run(100), Err(CoreError::CycleLimit { .. })));
+    }
+
+    #[test]
+    fn data_stays_local_across_modes() {
+        // Write a marker into the W2 bank (data cache in CPU mode), switch
+        // modes, and confirm it survived — nothing was transferred or
+        // clobbered.
+        let mut core =
+            NcpuCore::new(small_model(), AccelConfig::default(), SwitchPolicy::ZeroLatency);
+        let w2_base = AccelConfig::default().banks.w1 as u32;
+        let program = asm::assemble(&format!(
+            "li t0, {w2}
+             li t1, 0xcafe
+             sw t1, 256(t0)
+             li t2, 1
+             mv_neu t2, 0
+             trans_bnn
+             lw a0, 256(t0)
+             ebreak",
+            w2 = w2_base,
+        ))
+        .unwrap();
+        core.load_program(program);
+        core.run(1_000_000).unwrap();
+        assert_eq!(core.pipeline().reg(Reg::A0), 0xcafe);
+    }
+}
+
+#[cfg(test)]
+mod step_tests {
+    use super::*;
+    use ncpu_bnn::Topology;
+    use ncpu_isa::{asm, Reg};
+
+    fn small_model() -> BnnModel {
+        let topo = Topology::new(32, vec![8, 8], 4);
+        let mut layers = Vec::new();
+        for l in 0..2 {
+            let inputs = topo.layer_input(l);
+            let rows: Vec<BitVec> = (0..8)
+                .map(|j| BitVec::from_bools((0..inputs).map(|i| (i * 3 + j + l) % 4 < 2)))
+                .collect();
+            layers.push(ncpu_bnn::BnnLayer::new(rows, vec![0; 8]));
+        }
+        BnnModel::new(topo, layers)
+    }
+
+    fn program(core: &NcpuCore) -> Vec<u32> {
+        asm::assemble(&format!(
+            "li t0, {img}
+             li t1, 0xa5a5a5a5
+             sw t1, 0(t0)
+             li t2, 1
+             mv_neu t2, 0
+             trans_bnn
+             li t3, {out}
+             lw a0, 0(t3)
+             ebreak",
+            img = core.image_base(),
+            out = core.output_base(),
+        ))
+        .expect("valid program")
+    }
+
+    /// `step_one` must reach exactly the same architectural state and
+    /// unified cycle count as `run`.
+    #[test]
+    fn step_one_is_equivalent_to_run() {
+        let mk = || {
+            let mut c = NcpuCore::new(
+                small_model(),
+                ncpu_accel::AccelConfig::default(),
+                SwitchPolicy::ZeroLatency,
+            );
+            let p = program(&c);
+            c.load_program(p);
+            c
+        };
+        let mut atomic = mk();
+        atomic.run(1_000_000).unwrap();
+
+        let mut stepped = mk();
+        let mut saw_busy = false;
+        loop {
+            match stepped.step_one().unwrap() {
+                StepOutcome::Halted => break,
+                StepOutcome::BnnBusy { .. } => saw_busy = true,
+                StepOutcome::Executing => {}
+            }
+        }
+        assert!(saw_busy, "the mode switch must surface as busy cycles");
+        assert_eq!(stepped.total_cycles(), atomic.total_cycles());
+        assert_eq!(
+            stepped.pipeline().reg(Reg::A0),
+            atomic.pipeline().reg(Reg::A0)
+        );
+        assert_eq!(stepped.stats(), atomic.stats());
+        assert_eq!(
+            stepped.timeline().spans(),
+            atomic.timeline().spans(),
+            "mode timelines must agree"
+        );
+    }
+
+    /// Stepping past halt stays halted without advancing the clock.
+    #[test]
+    fn step_one_parks_at_halt() {
+        let mut core = NcpuCore::new(
+            small_model(),
+            ncpu_accel::AccelConfig::default(),
+            SwitchPolicy::ZeroLatency,
+        );
+        core.load_program(asm::assemble("ebreak").unwrap());
+        while !matches!(core.step_one().unwrap(), StepOutcome::Halted) {}
+        let at = core.total_cycles();
+        assert_eq!(core.step_one().unwrap(), StepOutcome::Halted);
+        assert_eq!(core.total_cycles(), at);
+    }
+}

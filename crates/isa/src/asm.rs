@@ -1,0 +1,749 @@
+//! Two-pass assembler for RV32I + NCPU extension, and a programmatic
+//! [`ProgramBuilder`] for generating code from Rust.
+//!
+//! # Supported syntax
+//!
+//! * one instruction per line; `label:` prefixes (several per line allowed);
+//! * comments introduced by `#` or `//`;
+//! * operands: registers (`a0`/`x10`/`fp`), immediates (decimal, `0x…`,
+//!   `0b…`, negative), `offset(base)` memory operands, and label references
+//!   or `.+N`/`.-N` PC-relative offsets in branch/jump positions (the
+//!   disassembler's output re-assembles);
+//! * directives: `.word <imm>`;
+//! * pseudo-instructions: `nop`, `mv`, `li`, `not`, `neg`, `seqz`, `snez`,
+//!   `j`, `jr`, `jal label` (short for `jal ra, label`), `call`, `ret`,
+//!   `beqz`, `bnez`, `blez`, `bgez`, `bltz`, `bgtz`;
+//! * NCPU custom instructions: `mv_neu rs1, n`, `trans_bnn`, `trans_cpu`,
+//!   `trigger_bnn`, `sw_l2 rs2, off(rs1)`, `lw_l2 rd, off(rs1)`.
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let words = ncpu_isa::asm::assemble(
+//!     "       li   t0, 10
+//!             li   t1, 0
+//!      loop:  add  t1, t1, t0
+//!             addi t0, t0, -1
+//!             bnez t0, loop
+//!             ebreak",
+//! )?;
+//! assert_eq!(words.len(), 6);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+
+use crate::error::AsmError;
+use crate::instr::{AluOp, BranchOp, Instruction, LoadOp, StoreOp};
+use crate::reg::Reg;
+
+/// One item of a program under construction: either a finished instruction
+/// or one whose PC-relative offset awaits label resolution.
+#[derive(Debug, Clone)]
+enum Item {
+    Fixed(Instruction),
+    BranchTo { op: BranchOp, rs1: Reg, rs2: Reg, label: String, line: usize },
+    JalTo { rd: Reg, label: String, line: usize },
+    RawWord(u32),
+}
+
+/// Incrementally builds a program, resolving labels at
+/// [`finish`](ProgramBuilder::finish) time.
+///
+/// This is the preferred interface for machine-generated code (the
+/// `ncpu-workloads` crate builds its kernels with it); the
+/// [`assemble`] text front end parses into the same structure.
+///
+/// # Examples
+///
+/// ```
+/// use ncpu_isa::asm::ProgramBuilder;
+/// use ncpu_isa::{AluOp, BranchOp, Instruction, Reg};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut p = ProgramBuilder::new();
+/// p.li(Reg::T0, 5);
+/// p.label("loop");
+/// p.push(Instruction::OpImm { op: AluOp::Add, rd: Reg::T0, rs1: Reg::T0, imm: -1 });
+/// p.branch_to(BranchOp::Ne, Reg::T0, Reg::ZERO, "loop");
+/// p.push(Instruction::Ebreak);
+/// let words = p.finish()?;
+/// assert_eq!(words.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    items: Vec<Item>,
+    labels: HashMap<String, usize>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty program.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Number of 32-bit words emitted so far.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no words have been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Defines `name` at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already defined; duplicate labels in
+    /// generated code are programming errors.
+    pub fn label(&mut self, name: impl Into<String>) -> &mut Self {
+        let name = name.into();
+        let prev = self.labels.insert(name.clone(), self.items.len());
+        assert!(prev.is_none(), "label `{name}` defined twice");
+        self
+    }
+
+    /// Appends a fully-resolved instruction.
+    pub fn push(&mut self, instr: Instruction) -> &mut Self {
+        self.items.push(Item::Fixed(instr));
+        self
+    }
+
+    /// Appends a raw data word (e.g. an inline constant table).
+    pub fn word(&mut self, value: u32) -> &mut Self {
+        self.items.push(Item::RawWord(value));
+        self
+    }
+
+    /// Appends a conditional branch to a label.
+    pub fn branch_to(
+        &mut self,
+        op: BranchOp,
+        rs1: Reg,
+        rs2: Reg,
+        label: impl Into<String>,
+    ) -> &mut Self {
+        self.items.push(Item::BranchTo { op, rs1, rs2, label: label.into(), line: 0 });
+        self
+    }
+
+    /// Appends an unconditional jump (`jal rd, label`).
+    pub fn jal_to(&mut self, rd: Reg, label: impl Into<String>) -> &mut Self {
+        self.items.push(Item::JalTo { rd, label: label.into(), line: 0 });
+        self
+    }
+
+    /// Appends `j label` (jump without linking).
+    pub fn jump_to(&mut self, label: impl Into<String>) -> &mut Self {
+        self.jal_to(Reg::ZERO, label)
+    }
+
+    /// Loads a 32-bit constant, emitting one or two instructions.
+    pub fn li(&mut self, rd: Reg, value: i32) -> &mut Self {
+        for instr in expand_li(rd, value) {
+            self.push(instr);
+        }
+        self
+    }
+
+    /// Shorthand for a register-register ALU op.
+    pub fn op(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.push(Instruction::Op { op, rd, rs1, rs2 })
+    }
+
+    /// Shorthand for a register-immediate ALU op.
+    pub fn op_imm(&mut self, op: AluOp, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.push(Instruction::OpImm { op, rd, rs1, imm })
+    }
+
+    /// Shorthand for `lw rd, offset(rs1)`.
+    pub fn lw(&mut self, rd: Reg, rs1: Reg, offset: i32) -> &mut Self {
+        self.push(Instruction::Load { op: LoadOp::Word, rd, rs1, offset })
+    }
+
+    /// Shorthand for `sw rs2, offset(rs1)`.
+    pub fn sw(&mut self, rs1: Reg, rs2: Reg, offset: i32) -> &mut Self {
+        self.push(Instruction::Store { op: StoreOp::Word, rs1, rs2, offset })
+    }
+
+    /// Resolves labels and encodes every instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] for undefined labels or encoding failures
+    /// (e.g. a branch target beyond ±4 KiB).
+    pub fn finish(&self) -> Result<Vec<u32>, AsmError> {
+        let mut words = Vec::with_capacity(self.items.len());
+        for (idx, item) in self.items.iter().enumerate() {
+            let word = match item {
+                Item::Fixed(instr) => {
+                    instr.encode().map_err(|e| AsmError::from(e).at_line(0))?
+                }
+                Item::RawWord(w) => *w,
+                Item::BranchTo { op, rs1, rs2, label, line } => {
+                    let offset = self.offset_to(label, idx, *line)?;
+                    Instruction::Branch { op: *op, rs1: *rs1, rs2: *rs2, offset }
+                        .encode()
+                        .map_err(|e| AsmError::from(e).at_line(*line))?
+                }
+                Item::JalTo { rd, label, line } => {
+                    let offset = self.offset_to(label, idx, *line)?;
+                    Instruction::Jal { rd: *rd, offset }
+                        .encode()
+                        .map_err(|e| AsmError::from(e).at_line(*line))?
+                }
+            };
+            words.push(word);
+        }
+        Ok(words)
+    }
+
+    fn offset_to(&self, label: &str, from: usize, line: usize) -> Result<i32, AsmError> {
+        let target = self
+            .labels
+            .get(label)
+            .ok_or_else(|| AsmError::new(line, format!("undefined label `{label}`")))?;
+        Ok(((*target as i64 - from as i64) * 4) as i32)
+    }
+}
+
+/// Expands `li rd, value` into one or two real instructions.
+fn expand_li(rd: Reg, value: i32) -> Vec<Instruction> {
+    if (-2048..=2047).contains(&value) {
+        vec![Instruction::OpImm { op: AluOp::Add, rd, rs1: Reg::ZERO, imm: value }]
+    } else {
+        // Round so the sign-extended low part reconstructs `value`.
+        let upper = (value.wrapping_add(0x800)) & !0xfff;
+        let lower = value.wrapping_sub(upper);
+        let mut v = vec![Instruction::Lui { rd, imm: upper }];
+        if lower != 0 {
+            v.push(Instruction::OpImm { op: AluOp::Add, rd, rs1: rd, imm: lower });
+        }
+        v
+    }
+}
+
+/// Assembles source text into instruction words (program origin 0).
+///
+/// See the [module documentation](self) for the accepted syntax.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] with the offending 1-based line number for syntax
+/// errors, unknown mnemonics/registers, undefined labels, and out-of-range
+/// immediates.
+pub fn assemble(src: &str) -> Result<Vec<u32>, AsmError> {
+    parse(src)?.finish()
+}
+
+/// Assembles source text and returns the builder, allowing callers to
+/// inspect label positions before encoding.
+pub fn parse(src: &str) -> Result<ProgramBuilder, AsmError> {
+    let mut b = ProgramBuilder::new();
+    for (lineno, raw) in src.lines().enumerate() {
+        let lineno = lineno + 1;
+        let mut line = raw;
+        if let Some(pos) = line.find('#') {
+            line = &line[..pos];
+        }
+        if let Some(pos) = line.find("//") {
+            line = &line[..pos];
+        }
+        let mut rest = line.trim();
+        // Consume leading `label:` definitions.
+        while let Some(colon) = rest.find(':') {
+            let (head, tail) = rest.split_at(colon);
+            let head = head.trim();
+            if head.is_empty() || !is_ident(head) {
+                break;
+            }
+            if b.labels.contains_key(head) {
+                return Err(AsmError::new(lineno, format!("label `{head}` defined twice")));
+            }
+            b.labels.insert(head.to_string(), b.items.len());
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        parse_statement(&mut b, rest, lineno)?;
+    }
+    Ok(b)
+}
+
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_' || c == '.')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+fn parse_statement(b: &mut ProgramBuilder, stmt: &str, line: usize) -> Result<(), AsmError> {
+    let (mnemonic, rest) = match stmt.find(char::is_whitespace) {
+        Some(pos) => (&stmt[..pos], stmt[pos..].trim()),
+        None => (stmt, ""),
+    };
+    let ops: Vec<&str> =
+        if rest.is_empty() { Vec::new() } else { rest.split(',').map(str::trim).collect() };
+    let err = |msg: &str| Err(AsmError::new(line, format!("{msg} in `{stmt}`")));
+
+    let reg = |s: &str| -> Result<Reg, AsmError> {
+        s.parse::<Reg>().map_err(|e| e.at_line(line))
+    };
+    let imm = |s: &str| -> Result<i32, AsmError> { parse_imm(s, line) };
+    // `offset(base)` memory operand.
+    let mem = |s: &str| -> Result<(i32, Reg), AsmError> {
+        let open = s
+            .find('(')
+            .ok_or_else(|| AsmError::new(line, format!("expected `offset(reg)`, got `{s}`")))?;
+        let close = s
+            .rfind(')')
+            .ok_or_else(|| AsmError::new(line, format!("missing `)` in `{s}`")))?;
+        let off_str = s[..open].trim();
+        let offset = if off_str.is_empty() { 0 } else { parse_imm(off_str, line)? };
+        Ok((offset, reg(s[open + 1..close].trim())?))
+    };
+    // Branch/jump target: a label, or a `.+N` / `.-N` PC-relative offset
+    // (the disassembler's output format), making disassembly re-assemblable.
+    enum Target {
+        Label(String),
+        Offset(i32),
+    }
+    let target = |s: &str| -> Result<Target, AsmError> {
+        if let Some(rest) = s.strip_prefix('.') {
+            let value = parse_imm(rest.trim_start_matches('+'), line)?;
+            Ok(Target::Offset(value))
+        } else {
+            Ok(Target::Label(s.to_string()))
+        }
+    };
+    let need = |n: usize| -> Result<(), AsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(AsmError::new(
+                line,
+                format!("`{mnemonic}` expects {n} operand(s), got {}", ops.len()),
+            ))
+        }
+    };
+
+    match mnemonic {
+        // ---- directives ----
+        ".word" => {
+            need(1)?;
+            b.word(imm(ops[0])? as u32);
+        }
+        // ---- upper-immediate / jumps ----
+        "lui" | "auipc" => {
+            need(2)?;
+            let rd = reg(ops[0])?;
+            let value = imm(ops[1])?;
+            // Accept the conventional "upper 20 bits" operand.
+            let full = value << 12;
+            let instr = if mnemonic == "lui" {
+                Instruction::Lui { rd, imm: full }
+            } else {
+                Instruction::Auipc { rd, imm: full }
+            };
+            b.push(instr);
+        }
+        "jal" => match ops.len() {
+            1 => match target(ops[0])? {
+                Target::Label(l) => {
+                    b.jal_to(Reg::RA, l);
+                }
+                Target::Offset(offset) => {
+                    b.push(Instruction::Jal { rd: Reg::RA, offset });
+                }
+            },
+            2 => {
+                let rd = reg(ops[0])?;
+                match target(ops[1])? {
+                    Target::Label(l) => {
+                        b.jal_to(rd, l);
+                    }
+                    Target::Offset(offset) => {
+                        b.push(Instruction::Jal { rd, offset });
+                    }
+                }
+            }
+            _ => return err("`jal` expects 1 or 2 operands"),
+        },
+        "jalr" => {
+            need(2)?;
+            let rd = reg(ops[0])?;
+            let (offset, rs1) = mem(ops[1])?;
+            b.push(Instruction::Jalr { rd, rs1, offset });
+        }
+        "j" => {
+            need(1)?;
+            match target(ops[0])? {
+                Target::Label(l) => {
+                    b.jump_to(l);
+                }
+                Target::Offset(offset) => {
+                    b.push(Instruction::Jal { rd: Reg::ZERO, offset });
+                }
+            }
+        }
+        "jr" => {
+            need(1)?;
+            b.push(Instruction::Jalr { rd: Reg::ZERO, rs1: reg(ops[0])?, offset: 0 });
+        }
+        "call" => {
+            need(1)?;
+            b.jal_to(Reg::RA, ops[0]);
+        }
+        "ret" => {
+            need(0)?;
+            b.push(Instruction::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 });
+        }
+        // ---- branches ----
+        "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" => {
+            need(3)?;
+            let op = branch_op(mnemonic).expect("matched above");
+            let (rs1, rs2) = (reg(ops[0])?, reg(ops[1])?);
+            match target(ops[2])? {
+                Target::Label(l) => {
+                    b.branch_to(op, rs1, rs2, l);
+                }
+                Target::Offset(offset) => {
+                    b.push(Instruction::Branch { op, rs1, rs2, offset });
+                }
+            }
+        }
+        "beqz" | "bnez" => {
+            need(2)?;
+            let op = if mnemonic == "beqz" { BranchOp::Eq } else { BranchOp::Ne };
+            b.branch_to(op, reg(ops[0])?, Reg::ZERO, ops[1]);
+        }
+        "blez" => {
+            need(2)?;
+            b.branch_to(BranchOp::Ge, Reg::ZERO, reg(ops[0])?, ops[1]);
+        }
+        "bgez" => {
+            need(2)?;
+            b.branch_to(BranchOp::Ge, reg(ops[0])?, Reg::ZERO, ops[1]);
+        }
+        "bltz" => {
+            need(2)?;
+            b.branch_to(BranchOp::Lt, reg(ops[0])?, Reg::ZERO, ops[1]);
+        }
+        "bgtz" => {
+            need(2)?;
+            b.branch_to(BranchOp::Lt, Reg::ZERO, reg(ops[0])?, ops[1]);
+        }
+        // ---- loads/stores ----
+        "lb" | "lh" | "lw" | "lbu" | "lhu" => {
+            need(2)?;
+            let op = match mnemonic {
+                "lb" => LoadOp::Byte,
+                "lh" => LoadOp::Half,
+                "lw" => LoadOp::Word,
+                "lbu" => LoadOp::ByteU,
+                _ => LoadOp::HalfU,
+            };
+            let rd = reg(ops[0])?;
+            let (offset, rs1) = mem(ops[1])?;
+            b.push(Instruction::Load { op, rd, rs1, offset });
+        }
+        "sb" | "sh" | "sw" => {
+            need(2)?;
+            let op = match mnemonic {
+                "sb" => StoreOp::Byte,
+                "sh" => StoreOp::Half,
+                _ => StoreOp::Word,
+            };
+            let rs2 = reg(ops[0])?;
+            let (offset, rs1) = mem(ops[1])?;
+            b.push(Instruction::Store { op, rs1, rs2, offset });
+        }
+        // ---- ALU immediate ----
+        "addi" | "slti" | "sltiu" | "xori" | "ori" | "andi" | "slli" | "srli" | "srai" => {
+            need(3)?;
+            let op = match mnemonic {
+                "addi" => AluOp::Add,
+                "slti" => AluOp::Slt,
+                "sltiu" => AluOp::Sltu,
+                "xori" => AluOp::Xor,
+                "ori" => AluOp::Or,
+                "andi" => AluOp::And,
+                "slli" => AluOp::Sll,
+                "srli" => AluOp::Srl,
+                _ => AluOp::Sra,
+            };
+            b.push(Instruction::OpImm { op, rd: reg(ops[0])?, rs1: reg(ops[1])?, imm: imm(ops[2])? });
+        }
+        // ---- ALU register ----
+        "add" | "sub" | "sll" | "slt" | "sltu" | "xor" | "srl" | "sra" | "or" | "and" | "mul" => {
+            need(3)?;
+            let op = match mnemonic {
+                "add" => AluOp::Add,
+                "sub" => AluOp::Sub,
+                "sll" => AluOp::Sll,
+                "slt" => AluOp::Slt,
+                "sltu" => AluOp::Sltu,
+                "xor" => AluOp::Xor,
+                "srl" => AluOp::Srl,
+                "sra" => AluOp::Sra,
+                "or" => AluOp::Or,
+                "and" => AluOp::And,
+                _ => AluOp::Mul,
+            };
+            b.push(Instruction::Op { op, rd: reg(ops[0])?, rs1: reg(ops[1])?, rs2: reg(ops[2])? });
+        }
+        // ---- pseudo ----
+        "nop" => {
+            need(0)?;
+            b.push(Instruction::OpImm { op: AluOp::Add, rd: Reg::ZERO, rs1: Reg::ZERO, imm: 0 });
+        }
+        "mv" => {
+            need(2)?;
+            b.push(Instruction::OpImm { op: AluOp::Add, rd: reg(ops[0])?, rs1: reg(ops[1])?, imm: 0 });
+        }
+        "li" => {
+            need(2)?;
+            let rd = reg(ops[0])?;
+            let value = imm(ops[1])?;
+            b.li(rd, value);
+        }
+        "not" => {
+            need(2)?;
+            b.push(Instruction::OpImm { op: AluOp::Xor, rd: reg(ops[0])?, rs1: reg(ops[1])?, imm: -1 });
+        }
+        "neg" => {
+            need(2)?;
+            b.push(Instruction::Op { op: AluOp::Sub, rd: reg(ops[0])?, rs1: Reg::ZERO, rs2: reg(ops[1])? });
+        }
+        "seqz" => {
+            need(2)?;
+            b.push(Instruction::OpImm { op: AluOp::Sltu, rd: reg(ops[0])?, rs1: reg(ops[1])?, imm: 1 });
+        }
+        "snez" => {
+            need(2)?;
+            b.push(Instruction::Op { op: AluOp::Sltu, rd: reg(ops[0])?, rs1: Reg::ZERO, rs2: reg(ops[1])? });
+        }
+        // ---- system / NCPU ----
+        "ecall" => {
+            need(0)?;
+            b.push(Instruction::Ecall);
+        }
+        "ebreak" => {
+            need(0)?;
+            b.push(Instruction::Ebreak);
+        }
+        "mv_neu" => {
+            need(2)?;
+            let rs1 = reg(ops[0])?;
+            let n = imm(ops[1])?;
+            if !(0..4096).contains(&n) {
+                return err("transition-neuron index out of range");
+            }
+            b.push(Instruction::MvNeu { rs1, neuron: n as u16 });
+        }
+        "trans_bnn" => {
+            need(0)?;
+            b.push(Instruction::TransBnn);
+        }
+        "trans_cpu" => {
+            need(0)?;
+            b.push(Instruction::TransCpu);
+        }
+        "trigger_bnn" => {
+            need(0)?;
+            b.push(Instruction::TriggerBnn);
+        }
+        "sw_l2" => {
+            need(2)?;
+            let rs2 = reg(ops[0])?;
+            let (offset, rs1) = mem(ops[1])?;
+            b.push(Instruction::SwL2 { rs1, rs2, offset });
+        }
+        "lw_l2" => {
+            need(2)?;
+            let rd = reg(ops[0])?;
+            let (offset, rs1) = mem(ops[1])?;
+            b.push(Instruction::LwL2 { rd, rs1, offset });
+        }
+        _ => return Err(AsmError::new(line, format!("unknown mnemonic `{mnemonic}`"))),
+    }
+    Ok(())
+}
+
+fn branch_op(mnemonic: &str) -> Option<BranchOp> {
+    Some(match mnemonic {
+        "beq" => BranchOp::Eq,
+        "bne" => BranchOp::Ne,
+        "blt" => BranchOp::Lt,
+        "bge" => BranchOp::Ge,
+        "bltu" => BranchOp::Ltu,
+        "bgeu" => BranchOp::Geu,
+        _ => return None,
+    })
+}
+
+fn parse_imm(s: &str, line: usize) -> Result<i32, AsmError> {
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let parsed: Result<i64, _> = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else if let Some(bin) = body.strip_prefix("0b") {
+        i64::from_str_radix(bin, 2)
+    } else {
+        body.parse::<i64>()
+    };
+    let value = parsed
+        .map_err(|_| AsmError::new(line, format!("invalid immediate `{s}`")))?;
+    let value = if neg { -value } else { value };
+    if value < i32::MIN as i64 || value > u32::MAX as i64 {
+        return Err(AsmError::new(line, format!("immediate `{s}` out of 32-bit range")));
+    }
+    Ok(value as u32 as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode;
+
+    #[test]
+    fn round_trip_through_disassembly() {
+        let src = "start: addi t0, zero, 100
+                   lw a0, 8(sp)
+                   sw a0, -4(sp)
+                   beq t0, a0, start
+                   jal ra, start
+                   ebreak";
+        let words = assemble(src).unwrap();
+        let texts: Vec<String> =
+            words.iter().map(|&w| decode(w).unwrap().to_string()).collect();
+        assert_eq!(texts[0], "addi t0, zero, 100");
+        assert_eq!(texts[3], "beq t0, a0, .-12");
+        assert_eq!(texts[5], "ebreak");
+    }
+
+    #[test]
+    fn li_expands_by_magnitude() {
+        assert_eq!(assemble("li a0, 42").unwrap().len(), 1);
+        assert_eq!(assemble("li a0, -2048").unwrap().len(), 1);
+        assert_eq!(assemble("li a0, 2048").unwrap().len(), 2);
+        assert_eq!(assemble("li a0, 0x12345678").unwrap().len(), 2);
+        // Exactly 4096: low part is zero, lui alone suffices.
+        assert_eq!(assemble("li a0, 4096").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn li_values_are_exact() {
+        use crate::interp::Interp;
+        for value in [0i32, 1, -1, 2047, 2048, -2049, 0x7fff_ffff, i32::MIN, 0x1234_5678] {
+            let src = format!("li a0, {value}\nebreak");
+            let words = assemble(&src).unwrap();
+            let mut m = Interp::with_program(&words, 4096);
+            m.run(100).unwrap();
+            assert_eq!(m.reg(Reg::A0) as i32, value, "li {value}");
+        }
+    }
+
+    #[test]
+    fn labels_forward_and_backward() {
+        let src = "  j fwd
+           back: ebreak
+           fwd:  j back";
+        let words = assemble(src).unwrap();
+        assert_eq!(decode(words[0]).unwrap(), Instruction::Jal { rd: Reg::ZERO, offset: 8 });
+        assert_eq!(decode(words[2]).unwrap(), Instruction::Jal { rd: Reg::ZERO, offset: -4 });
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let err = assemble("x: nop\nx: nop").unwrap_err();
+        assert!(err.to_string().contains("defined twice"));
+        assert_eq!(err.line(), 2);
+    }
+
+    #[test]
+    fn undefined_label_rejected() {
+        let err = assemble("j nowhere").unwrap_err();
+        assert!(err.to_string().contains("undefined label"));
+    }
+
+    #[test]
+    fn unknown_mnemonic_reports_line() {
+        let err = assemble("nop\nfrobnicate a0").unwrap_err();
+        assert_eq!(err.line(), 2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let words = assemble("# header\n\n  nop # trailing\n// c++ style\nnop").unwrap();
+        assert_eq!(words.len(), 2);
+    }
+
+    #[test]
+    fn word_directive_emits_raw_data() {
+        let words = assemble(".word 0xdeadbeef").unwrap();
+        assert_eq!(words, vec![0xdead_beef]);
+    }
+
+    #[test]
+    fn ncpu_custom_mnemonics_assemble() {
+        let words = assemble(
+            "mv_neu a0, 3
+             trans_bnn
+             trans_cpu
+             trigger_bnn
+             sw_l2 a1, 16(a0)
+             lw_l2 a2, 0(a0)",
+        )
+        .unwrap();
+        assert_eq!(decode(words[0]).unwrap(), Instruction::MvNeu { rs1: Reg::A0, neuron: 3 });
+        assert_eq!(decode(words[1]).unwrap(), Instruction::TransBnn);
+        assert_eq!(
+            decode(words[4]).unwrap(),
+            Instruction::SwL2 { rs1: Reg::A0, rs2: Reg::A1, offset: 16 }
+        );
+    }
+
+    #[test]
+    fn builder_mirrors_text_assembler() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::T0, 10);
+        b.label("loop");
+        b.op_imm(AluOp::Add, Reg::T0, Reg::T0, -1);
+        b.branch_to(BranchOp::Ne, Reg::T0, Reg::ZERO, "loop");
+        b.push(Instruction::Ebreak);
+        let from_builder = b.finish().unwrap();
+        let from_text = assemble(
+            "       li t0, 10
+             loop:  addi t0, t0, -1
+                    bnez t0, loop
+                    ebreak",
+        )
+        .unwrap();
+        assert_eq!(from_builder, from_text);
+    }
+
+    #[test]
+    fn branch_out_of_range_is_reported() {
+        let mut src = String::from("start: nop\n");
+        for _ in 0..2000 {
+            src.push_str("nop\n");
+        }
+        src.push_str("j start\n");
+        assert!(assemble(&src).is_ok(), "jal reaches ±1MiB");
+        let mut far = String::from("start: nop\n");
+        for _ in 0..2000 {
+            far.push_str("nop\n");
+        }
+        far.push_str("beq zero, zero, start\n");
+        assert!(assemble(&far).is_err(), "branch beyond ±4KiB must fail");
+    }
+}

@@ -1,0 +1,228 @@
+//! 32-bit word → [`Instruction`] decoding.
+
+use crate::encode::{
+    F3_LW_L2, F3_MV_NEU, F3_SW_L2, F3_SYS_BASE, F3_TRANS_BNN, F3_TRANS_CPU, F3_TRIGGER_BNN,
+    OPC_AUIPC, OPC_BRANCH, OPC_JAL, OPC_JALR, OPC_LOAD, OPC_LUI, OPC_OP, OPC_OP_IMM, OPC_STORE,
+    OPC_SYSTEM,
+};
+use crate::error::DecodeError;
+use crate::instr::{AluOp, BranchOp, Instruction, LoadOp, StoreOp};
+use crate::reg::Reg;
+
+fn rd(word: u32) -> Reg {
+    Reg::from_field(word >> 7)
+}
+
+fn rs1(word: u32) -> Reg {
+    Reg::from_field(word >> 15)
+}
+
+fn rs2(word: u32) -> Reg {
+    Reg::from_field(word >> 20)
+}
+
+fn f3(word: u32) -> u32 {
+    (word >> 12) & 0x7
+}
+
+fn f7(word: u32) -> u32 {
+    word >> 25
+}
+
+fn i_imm(word: u32) -> i32 {
+    (word as i32) >> 20
+}
+
+fn s_imm(word: u32) -> i32 {
+    (((word as i32) >> 25) << 5) | (((word >> 7) & 0x1f) as i32)
+}
+
+fn b_imm(word: u32) -> i32 {
+    let sign = (word as i32) >> 31; // bit 12, sign-extended
+    ((sign << 12)
+        | ((((word >> 7) & 1) as i32) << 11)
+        | ((((word >> 25) & 0x3f) as i32) << 5)
+        | ((((word >> 8) & 0xf) as i32) << 1)) as i32
+}
+
+fn u_imm(word: u32) -> i32 {
+    (word & 0xffff_f000) as i32
+}
+
+fn j_imm(word: u32) -> i32 {
+    let sign = (word as i32) >> 31; // bit 20, sign-extended
+    (sign << 20)
+        | ((((word >> 12) & 0xff) as i32) << 12)
+        | ((((word >> 20) & 1) as i32) << 11)
+        | ((((word >> 21) & 0x3ff) as i32) << 1)
+}
+
+/// Decodes a 32-bit word into an [`Instruction`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] when the opcode or function fields select no
+/// supported instruction.
+///
+/// # Examples
+///
+/// ```
+/// use ncpu_isa::{decode, AluOp, Instruction, Reg};
+/// // nop == addi zero, zero, 0
+/// assert_eq!(
+///     decode(0x0000_0013).unwrap(),
+///     Instruction::OpImm { op: AluOp::Add, rd: Reg::ZERO, rs1: Reg::ZERO, imm: 0 }
+/// );
+/// ```
+pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
+    let opcode = word & 0x7f;
+    let unknown_fn = Err(DecodeError::UnknownFunction { word });
+    match opcode {
+        OPC_LUI => Ok(Instruction::Lui { rd: rd(word), imm: u_imm(word) }),
+        OPC_AUIPC => Ok(Instruction::Auipc { rd: rd(word), imm: u_imm(word) }),
+        OPC_JAL => Ok(Instruction::Jal { rd: rd(word), offset: j_imm(word) }),
+        OPC_JALR => {
+            if f3(word) != 0 {
+                return unknown_fn;
+            }
+            Ok(Instruction::Jalr { rd: rd(word), rs1: rs1(word), offset: i_imm(word) })
+        }
+        OPC_BRANCH => {
+            let op = match f3(word) {
+                0b000 => BranchOp::Eq,
+                0b001 => BranchOp::Ne,
+                0b100 => BranchOp::Lt,
+                0b101 => BranchOp::Ge,
+                0b110 => BranchOp::Ltu,
+                0b111 => BranchOp::Geu,
+                _ => return unknown_fn,
+            };
+            Ok(Instruction::Branch { op, rs1: rs1(word), rs2: rs2(word), offset: b_imm(word) })
+        }
+        OPC_LOAD => {
+            let op = match f3(word) {
+                0b000 => LoadOp::Byte,
+                0b001 => LoadOp::Half,
+                0b010 => LoadOp::Word,
+                0b100 => LoadOp::ByteU,
+                0b101 => LoadOp::HalfU,
+                _ => return unknown_fn,
+            };
+            Ok(Instruction::Load { op, rd: rd(word), rs1: rs1(word), offset: i_imm(word) })
+        }
+        OPC_STORE => {
+            let op = match f3(word) {
+                0b000 => StoreOp::Byte,
+                0b001 => StoreOp::Half,
+                0b010 => StoreOp::Word,
+                _ => return unknown_fn,
+            };
+            Ok(Instruction::Store { op, rs1: rs1(word), rs2: rs2(word), offset: s_imm(word) })
+        }
+        OPC_OP_IMM => {
+            let (op, imm) = match f3(word) {
+                0b000 => (AluOp::Add, i_imm(word)),
+                0b001 => {
+                    if f7(word) != 0 {
+                        return unknown_fn;
+                    }
+                    (AluOp::Sll, ((word >> 20) & 0x1f) as i32)
+                }
+                0b010 => (AluOp::Slt, i_imm(word)),
+                0b011 => (AluOp::Sltu, i_imm(word)),
+                0b100 => (AluOp::Xor, i_imm(word)),
+                0b101 => match f7(word) {
+                    0b0000000 => (AluOp::Srl, ((word >> 20) & 0x1f) as i32),
+                    0b0100000 => (AluOp::Sra, ((word >> 20) & 0x1f) as i32),
+                    _ => return unknown_fn,
+                },
+                0b110 => (AluOp::Or, i_imm(word)),
+                0b111 => (AluOp::And, i_imm(word)),
+                _ => unreachable!(),
+            };
+            Ok(Instruction::OpImm { op, rd: rd(word), rs1: rs1(word), imm })
+        }
+        OPC_OP => {
+            let op = match (f7(word), f3(word)) {
+                (0b0000000, 0b000) => AluOp::Add,
+                (0b0100000, 0b000) => AluOp::Sub,
+                (0b0000001, 0b000) => AluOp::Mul,
+                (0b0000000, 0b001) => AluOp::Sll,
+                (0b0000000, 0b010) => AluOp::Slt,
+                (0b0000000, 0b011) => AluOp::Sltu,
+                (0b0000000, 0b100) => AluOp::Xor,
+                (0b0000000, 0b101) => AluOp::Srl,
+                (0b0100000, 0b101) => AluOp::Sra,
+                (0b0000000, 0b110) => AluOp::Or,
+                (0b0000000, 0b111) => AluOp::And,
+                _ => return unknown_fn,
+            };
+            Ok(Instruction::Op { op, rd: rd(word), rs1: rs1(word), rs2: rs2(word) })
+        }
+        OPC_SYSTEM => match f3(word) {
+            F3_SYS_BASE => match word >> 20 {
+                0 => Ok(Instruction::Ecall),
+                1 => Ok(Instruction::Ebreak),
+                _ => unknown_fn,
+            },
+            F3_MV_NEU => {
+                Ok(Instruction::MvNeu { rs1: rs1(word), neuron: (word >> 20) as u16 })
+            }
+            F3_SW_L2 => {
+                Ok(Instruction::SwL2 { rs1: rs1(word), rs2: rs2(word), offset: s_imm(word) })
+            }
+            F3_LW_L2 => Ok(Instruction::LwL2 { rd: rd(word), rs1: rs1(word), offset: i_imm(word) }),
+            F3_TRANS_BNN => Ok(Instruction::TransBnn),
+            F3_TRIGGER_BNN => Ok(Instruction::TriggerBnn),
+            F3_TRANS_CPU => Ok(Instruction::TransCpu),
+            _ => unknown_fn,
+        },
+        _ => Err(DecodeError::UnknownOpcode { word, opcode: opcode as u8 }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(matches!(decode(0xffff_ffff), Err(DecodeError::UnknownOpcode { .. })));
+        assert!(matches!(decode(0x0000_0000), Err(DecodeError::UnknownOpcode { .. })));
+        // Valid LOAD opcode, invalid funct3 (0b011 = ld, RV64 only).
+        let bad_load = 0x0000_3003;
+        assert!(matches!(decode(bad_load), Err(DecodeError::UnknownFunction { .. })));
+    }
+
+    #[test]
+    fn negative_immediates_sign_extend() {
+        // addi a0, a0, -1
+        let i = decode(0xfff5_0513).unwrap();
+        assert_eq!(i, Instruction::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, imm: -1 });
+        // jal zero, -16
+        let j = Instruction::Jal { rd: Reg::ZERO, offset: -16 }.encode().unwrap();
+        assert_eq!(decode(j).unwrap(), Instruction::Jal { rd: Reg::ZERO, offset: -16 });
+    }
+
+    #[test]
+    fn system_space_round_trips() {
+        for i in [
+            Instruction::Ecall,
+            Instruction::Ebreak,
+            Instruction::TransBnn,
+            Instruction::TransCpu,
+            Instruction::TriggerBnn,
+            Instruction::MvNeu { rs1: Reg::T0, neuron: 123 },
+            Instruction::SwL2 { rs1: Reg::A0, rs2: Reg::A1, offset: -32 },
+            Instruction::LwL2 { rd: Reg::A2, rs1: Reg::A3, offset: 2047 },
+        ] {
+            assert_eq!(decode(i.encode().unwrap()).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn store_negative_offset_round_trips() {
+        let s = Instruction::Store { op: StoreOp::Byte, rs1: Reg::SP, rs2: Reg::T1, offset: -1 };
+        assert_eq!(decode(s.encode().unwrap()).unwrap(), s);
+    }
+}

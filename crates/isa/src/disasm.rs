@@ -1,0 +1,94 @@
+//! Textual disassembly via the `Display` impl on [`Instruction`].
+
+use std::fmt;
+
+use crate::instr::Instruction;
+
+impl fmt::Display for Instruction {
+    /// Formats the instruction in standard assembler syntax, with
+    /// PC-relative offsets shown as `.+N` / `.-N`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = self.mnemonic();
+        match *self {
+            Instruction::Lui { rd, imm } | Instruction::Auipc { rd, imm } => {
+                write!(f, "{m} {rd}, {:#x}", (imm as u32) >> 12)
+            }
+            Instruction::Jal { rd, offset } => write!(f, "{m} {rd}, {}", RelOffset(offset)),
+            Instruction::Jalr { rd, rs1, offset } => write!(f, "{m} {rd}, {offset}({rs1})"),
+            Instruction::Branch { rs1, rs2, offset, .. } => {
+                write!(f, "{m} {rs1}, {rs2}, {}", RelOffset(offset))
+            }
+            Instruction::Load { rd, rs1, offset, .. } => write!(f, "{m} {rd}, {offset}({rs1})"),
+            Instruction::Store { rs1, rs2, offset, .. } => write!(f, "{m} {rs2}, {offset}({rs1})"),
+            Instruction::OpImm { rd, rs1, imm, .. } => write!(f, "{m} {rd}, {rs1}, {imm}"),
+            Instruction::Op { rd, rs1, rs2, .. } => write!(f, "{m} {rd}, {rs1}, {rs2}"),
+            Instruction::Ecall | Instruction::Ebreak => f.write_str(m),
+            Instruction::MvNeu { rs1, neuron } => write!(f, "{m} {rs1}, {neuron}"),
+            Instruction::TransBnn | Instruction::TransCpu | Instruction::TriggerBnn => {
+                f.write_str(m)
+            }
+            Instruction::SwL2 { rs1, rs2, offset } => write!(f, "{m} {rs2}, {offset}({rs1})"),
+            Instruction::LwL2 { rd, rs1, offset } => write!(f, "{m} {rd}, {offset}({rs1})"),
+        }
+    }
+}
+
+struct RelOffset(i32);
+
+impl fmt::Display for RelOffset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 0 {
+            write!(f, ".-{}", -(self.0 as i64))
+        } else {
+            write!(f, ".+{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::instr::{AluOp, BranchOp, Instruction, LoadOp, StoreOp};
+    use crate::reg::Reg;
+
+    #[test]
+    fn display_formats() {
+        let cases: &[(Instruction, &str)] = &[
+            (Instruction::Lui { rd: Reg::A0, imm: 0x12345 << 12 }, "lui a0, 0x12345"),
+            (Instruction::Jal { rd: Reg::RA, offset: -8 }, "jal ra, .-8"),
+            (
+                Instruction::Branch {
+                    op: BranchOp::Ltu,
+                    rs1: Reg::T0,
+                    rs2: Reg::T1,
+                    offset: 16,
+                },
+                "bltu t0, t1, .+16",
+            ),
+            (
+                Instruction::Load { op: LoadOp::HalfU, rd: Reg::A0, rs1: Reg::SP, offset: -4 },
+                "lhu a0, -4(sp)",
+            ),
+            (
+                Instruction::Store { op: StoreOp::Word, rs1: Reg::SP, rs2: Reg::A0, offset: 8 },
+                "sw a0, 8(sp)",
+            ),
+            (
+                Instruction::OpImm { op: AluOp::And, rd: Reg::A0, rs1: Reg::A1, imm: 255 },
+                "andi a0, a1, 255",
+            ),
+            (
+                Instruction::Op { op: AluOp::Mul, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 },
+                "mul a0, a1, a2",
+            ),
+            (Instruction::TransBnn, "trans_bnn"),
+            (Instruction::MvNeu { rs1: Reg::S2, neuron: 5 }, "mv_neu s2, 5"),
+            (
+                Instruction::SwL2 { rs1: Reg::A0, rs2: Reg::A1, offset: 64 },
+                "sw_l2 a1, 64(a0)",
+            ),
+        ];
+        for (instr, want) in cases {
+            assert_eq!(instr.to_string(), *want);
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! Instruction → 32-bit word encoding with exact RV32I bit layouts.
+
+use crate::error::EncodeError;
+use crate::instr::{AluOp, BranchOp, Instruction, LoadOp, StoreOp};
+use crate::reg::Reg;
+
+pub(crate) const OPC_LUI: u32 = 0b0110111;
+pub(crate) const OPC_AUIPC: u32 = 0b0010111;
+pub(crate) const OPC_JAL: u32 = 0b1101111;
+pub(crate) const OPC_JALR: u32 = 0b1100111;
+pub(crate) const OPC_BRANCH: u32 = 0b1100011;
+pub(crate) const OPC_LOAD: u32 = 0b0000011;
+pub(crate) const OPC_STORE: u32 = 0b0100011;
+pub(crate) const OPC_OP_IMM: u32 = 0b0010011;
+pub(crate) const OPC_OP: u32 = 0b0110011;
+/// The paper modifies "the last 7 bits of the instruction field" to mark the
+/// customized NCPU instructions, reusing the SYSTEM opcode space.
+pub(crate) const OPC_SYSTEM: u32 = 0b1110011;
+
+/// funct3 values in the SYSTEM space for the NCPU extension (see DESIGN.md).
+pub(crate) const F3_SYS_BASE: u32 = 0b000;
+pub(crate) const F3_MV_NEU: u32 = 0b001;
+pub(crate) const F3_SW_L2: u32 = 0b010;
+pub(crate) const F3_LW_L2: u32 = 0b011;
+pub(crate) const F3_TRANS_BNN: u32 = 0b100;
+pub(crate) const F3_TRIGGER_BNN: u32 = 0b101;
+pub(crate) const F3_TRANS_CPU: u32 = 0b110;
+
+fn rd_field(reg: Reg) -> u32 {
+    (reg.index() as u32) << 7
+}
+
+fn rs1_field(reg: Reg) -> u32 {
+    (reg.index() as u32) << 15
+}
+
+fn rs2_field(reg: Reg) -> u32 {
+    (reg.index() as u32) << 20
+}
+
+fn funct3(f3: u32) -> u32 {
+    f3 << 12
+}
+
+fn check_i_imm(mnemonic: &'static str, imm: i32) -> Result<u32, EncodeError> {
+    if (-2048..=2047).contains(&imm) {
+        Ok(((imm as u32) & 0xfff) << 20)
+    } else {
+        Err(EncodeError::ImmediateOutOfRange {
+            mnemonic,
+            value: imm as i64,
+            min: -2048,
+            max: 2047,
+        })
+    }
+}
+
+fn check_s_imm(mnemonic: &'static str, imm: i32) -> Result<u32, EncodeError> {
+    if (-2048..=2047).contains(&imm) {
+        let u = imm as u32;
+        Ok((((u >> 5) & 0x7f) << 25) | ((u & 0x1f) << 7))
+    } else {
+        Err(EncodeError::ImmediateOutOfRange {
+            mnemonic,
+            value: imm as i64,
+            min: -2048,
+            max: 2047,
+        })
+    }
+}
+
+fn check_b_imm(mnemonic: &'static str, offset: i32) -> Result<u32, EncodeError> {
+    if offset % 2 != 0 {
+        return Err(EncodeError::MisalignedOffset { mnemonic, offset });
+    }
+    if !(-4096..=4094).contains(&offset) {
+        return Err(EncodeError::ImmediateOutOfRange {
+            mnemonic,
+            value: offset as i64,
+            min: -4096,
+            max: 4094,
+        });
+    }
+    let u = offset as u32;
+    Ok((((u >> 12) & 1) << 31)
+        | (((u >> 5) & 0x3f) << 25)
+        | (((u >> 1) & 0xf) << 8)
+        | (((u >> 11) & 1) << 7))
+}
+
+fn check_j_imm(mnemonic: &'static str, offset: i32) -> Result<u32, EncodeError> {
+    if offset % 2 != 0 {
+        return Err(EncodeError::MisalignedOffset { mnemonic, offset });
+    }
+    if !(-(1 << 20)..(1 << 20)).contains(&offset) {
+        return Err(EncodeError::ImmediateOutOfRange {
+            mnemonic,
+            value: offset as i64,
+            min: -(1 << 20),
+            max: (1 << 20) - 2,
+        });
+    }
+    let u = offset as u32;
+    Ok((((u >> 20) & 1) << 31)
+        | (((u >> 1) & 0x3ff) << 21)
+        | (((u >> 11) & 1) << 20)
+        | (((u >> 12) & 0xff) << 12))
+}
+
+fn check_u_imm(mnemonic: &'static str, imm: i32) -> Result<u32, EncodeError> {
+    if imm & 0xfff != 0 {
+        return Err(EncodeError::ImmediateOutOfRange {
+            mnemonic,
+            value: imm as i64,
+            min: i32::MIN as i64,
+            max: i32::MAX as i64 & !0xfff,
+        });
+    }
+    Ok(imm as u32)
+}
+
+fn alu_funct3(op: AluOp) -> u32 {
+    match op {
+        AluOp::Add | AluOp::Sub | AluOp::Mul => 0b000,
+        AluOp::Sll => 0b001,
+        AluOp::Slt => 0b010,
+        AluOp::Sltu => 0b011,
+        AluOp::Xor => 0b100,
+        AluOp::Srl | AluOp::Sra => 0b101,
+        AluOp::Or => 0b110,
+        AluOp::And => 0b111,
+    }
+}
+
+impl Instruction {
+    /// Encodes the instruction into its 32-bit little-endian word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError`] if an immediate or offset does not fit its
+    /// field, a control-flow offset is misaligned, or an `OpImm` carries an
+    /// operation with no immediate form (`sub`, `mul`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ncpu_isa::{AluOp, Instruction, Reg};
+    /// let add = Instruction::Op { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
+    /// assert_eq!(add.encode().unwrap(), 0x00c5_8533);
+    /// ```
+    pub fn encode(&self) -> Result<u32, EncodeError> {
+        let m = self.mnemonic();
+        Ok(match *self {
+            Instruction::Lui { rd, imm } => check_u_imm(m, imm)? | rd_field(rd) | OPC_LUI,
+            Instruction::Auipc { rd, imm } => check_u_imm(m, imm)? | rd_field(rd) | OPC_AUIPC,
+            Instruction::Jal { rd, offset } => check_j_imm(m, offset)? | rd_field(rd) | OPC_JAL,
+            Instruction::Jalr { rd, rs1, offset } => {
+                check_i_imm(m, offset)? | rs1_field(rs1) | funct3(0) | rd_field(rd) | OPC_JALR
+            }
+            Instruction::Branch { op, rs1, rs2, offset } => {
+                let f3 = match op {
+                    BranchOp::Eq => 0b000,
+                    BranchOp::Ne => 0b001,
+                    BranchOp::Lt => 0b100,
+                    BranchOp::Ge => 0b101,
+                    BranchOp::Ltu => 0b110,
+                    BranchOp::Geu => 0b111,
+                };
+                check_b_imm(m, offset)? | rs2_field(rs2) | rs1_field(rs1) | funct3(f3) | OPC_BRANCH
+            }
+            Instruction::Load { op, rd, rs1, offset } => {
+                let f3 = match op {
+                    LoadOp::Byte => 0b000,
+                    LoadOp::Half => 0b001,
+                    LoadOp::Word => 0b010,
+                    LoadOp::ByteU => 0b100,
+                    LoadOp::HalfU => 0b101,
+                };
+                check_i_imm(m, offset)? | rs1_field(rs1) | funct3(f3) | rd_field(rd) | OPC_LOAD
+            }
+            Instruction::Store { op, rs1, rs2, offset } => {
+                let f3 = match op {
+                    StoreOp::Byte => 0b000,
+                    StoreOp::Half => 0b001,
+                    StoreOp::Word => 0b010,
+                };
+                check_s_imm(m, offset)? | rs2_field(rs2) | rs1_field(rs1) | funct3(f3) | OPC_STORE
+            }
+            Instruction::OpImm { op, rd, rs1, imm } => {
+                if !op.has_immediate_form() {
+                    return Err(EncodeError::NoImmediateForm { mnemonic: m });
+                }
+                let base = rs1_field(rs1) | funct3(alu_funct3(op)) | rd_field(rd) | OPC_OP_IMM;
+                if op.is_shift() {
+                    if !(0..=31).contains(&imm) {
+                        return Err(EncodeError::ImmediateOutOfRange {
+                            mnemonic: m,
+                            value: imm as i64,
+                            min: 0,
+                            max: 31,
+                        });
+                    }
+                    let funct7 = if op == AluOp::Sra { 0b0100000 << 25 } else { 0 };
+                    base | ((imm as u32) << 20) | funct7
+                } else {
+                    base | check_i_imm(m, imm)?
+                }
+            }
+            Instruction::Op { op, rd, rs1, rs2 } => {
+                let funct7 = match op {
+                    AluOp::Sub | AluOp::Sra => 0b0100000 << 25,
+                    AluOp::Mul => 0b0000001 << 25,
+                    _ => 0,
+                };
+                funct7
+                    | rs2_field(rs2)
+                    | rs1_field(rs1)
+                    | funct3(alu_funct3(op))
+                    | rd_field(rd)
+                    | OPC_OP
+            }
+            Instruction::Ecall => OPC_SYSTEM,
+            Instruction::Ebreak => (1 << 20) | OPC_SYSTEM,
+            Instruction::MvNeu { rs1, neuron } => {
+                if neuron >= 4096 {
+                    return Err(EncodeError::ImmediateOutOfRange {
+                        mnemonic: m,
+                        value: neuron as i64,
+                        min: 0,
+                        max: 4095,
+                    });
+                }
+                ((neuron as u32) << 20) | rs1_field(rs1) | funct3(F3_MV_NEU) | OPC_SYSTEM
+            }
+            Instruction::TransBnn => funct3(F3_TRANS_BNN) | OPC_SYSTEM,
+            Instruction::TransCpu => funct3(F3_TRANS_CPU) | OPC_SYSTEM,
+            Instruction::TriggerBnn => funct3(F3_TRIGGER_BNN) | OPC_SYSTEM,
+            Instruction::SwL2 { rs1, rs2, offset } => {
+                check_s_imm(m, offset)? | rs2_field(rs2) | rs1_field(rs1) | funct3(F3_SW_L2)
+                    | OPC_SYSTEM
+            }
+            Instruction::LwL2 { rd, rs1, offset } => {
+                check_i_imm(m, offset)? | rs1_field(rs1) | funct3(F3_LW_L2) | rd_field(rd)
+                    | OPC_SYSTEM
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_golden_encodings() {
+        // Golden words checked against the RISC-V spec examples.
+        let cases: &[(Instruction, u32)] = &[
+            (Instruction::Lui { rd: Reg::A0, imm: 0x12345 << 12 }, 0x1234_5537),
+            (Instruction::Jal { rd: Reg::RA, offset: 8 }, 0x0080_00ef),
+            (
+                Instruction::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 },
+                0x0000_8067, // ret
+            ),
+            (
+                Instruction::OpImm { op: AluOp::Add, rd: Reg::ZERO, rs1: Reg::ZERO, imm: 0 },
+                0x0000_0013, // nop
+            ),
+            (
+                Instruction::Load { op: LoadOp::Word, rd: Reg::A0, rs1: Reg::SP, offset: 4 },
+                0x0041_2503,
+            ),
+            (
+                Instruction::Store { op: StoreOp::Word, rs1: Reg::SP, rs2: Reg::A0, offset: 4 },
+                0x00a1_2223,
+            ),
+            (Instruction::Ecall, 0x0000_0073),
+            (Instruction::Ebreak, 0x0010_0073),
+            (
+                Instruction::Op { op: AluOp::Mul, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 },
+                0x02c5_8533,
+            ),
+        ];
+        for (instr, want) in cases {
+            assert_eq!(instr.encode().unwrap(), *want, "{instr:?}");
+        }
+    }
+
+    #[test]
+    fn negative_branch_offset_encodes() {
+        let b = Instruction::Branch { op: BranchOp::Ne, rs1: Reg::A0, rs2: Reg::ZERO, offset: -4 };
+        // bne a0, zero, -4 => 0xfe051ee3
+        assert_eq!(b.encode().unwrap(), 0xfe05_1ee3);
+    }
+
+    #[test]
+    fn immediate_range_checks() {
+        let too_big = Instruction::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, imm: 2048 };
+        assert!(matches!(too_big.encode(), Err(EncodeError::ImmediateOutOfRange { .. })));
+        let shamt = Instruction::OpImm { op: AluOp::Sll, rd: Reg::A0, rs1: Reg::A0, imm: 32 };
+        assert!(shamt.encode().is_err());
+        let odd = Instruction::Jal { rd: Reg::ZERO, offset: 3 };
+        assert!(matches!(odd.encode(), Err(EncodeError::MisalignedOffset { .. })));
+        let lui = Instruction::Lui { rd: Reg::A0, imm: 0x123 };
+        assert!(lui.encode().is_err(), "low 12 bits must be zero");
+    }
+
+    #[test]
+    fn sub_has_no_immediate_form() {
+        let i = Instruction::OpImm { op: AluOp::Sub, rd: Reg::A0, rs1: Reg::A0, imm: 1 };
+        assert_eq!(i.encode(), Err(EncodeError::NoImmediateForm { mnemonic: "sub" }));
+    }
+
+    #[test]
+    fn custom_instructions_use_system_opcode() {
+        for i in [
+            Instruction::TransBnn,
+            Instruction::TransCpu,
+            Instruction::TriggerBnn,
+            Instruction::MvNeu { rs1: Reg::A0, neuron: 3 },
+            Instruction::SwL2 { rs1: Reg::A0, rs2: Reg::A1, offset: 0 },
+            Instruction::LwL2 { rd: Reg::A0, rs1: Reg::A1, offset: 0 },
+        ] {
+            assert_eq!(i.encode().unwrap() & 0x7f, OPC_SYSTEM, "{i:?}");
+        }
+    }
+
+    #[test]
+    fn mv_neu_neuron_bounds() {
+        assert!(Instruction::MvNeu { rs1: Reg::A0, neuron: 4095 }.encode().is_ok());
+        assert!(Instruction::MvNeu { rs1: Reg::A0, neuron: 4096 }.encode().is_err());
+    }
+}

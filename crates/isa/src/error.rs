@@ -1,0 +1,171 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when an [`Instruction`](crate::Instruction) cannot be
+/// encoded into a 32-bit word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// An immediate or offset does not fit the instruction format.
+    ImmediateOutOfRange {
+        /// Mnemonic of the offending instruction.
+        mnemonic: &'static str,
+        /// The immediate value supplied.
+        value: i64,
+        /// Inclusive lower bound of the representable range.
+        min: i64,
+        /// Inclusive upper bound of the representable range.
+        max: i64,
+    },
+    /// A branch or jump offset is not 2-byte aligned.
+    MisalignedOffset {
+        /// Mnemonic of the offending instruction.
+        mnemonic: &'static str,
+        /// The offset supplied.
+        offset: i32,
+    },
+    /// The operation has no immediate form (`sub`, `mul`).
+    NoImmediateForm {
+        /// Mnemonic of the register-register form.
+        mnemonic: &'static str,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::ImmediateOutOfRange { mnemonic, value, min, max } => write!(
+                f,
+                "immediate {value} out of range [{min}, {max}] for `{mnemonic}`"
+            ),
+            EncodeError::MisalignedOffset { mnemonic, offset } => {
+                write!(f, "offset {offset} for `{mnemonic}` is not 2-byte aligned")
+            }
+            EncodeError::NoImmediateForm { mnemonic } => {
+                write!(f, "`{mnemonic}` has no immediate form")
+            }
+        }
+    }
+}
+
+impl Error for EncodeError {}
+
+/// Error produced when a 32-bit word is not a recognized instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The low seven bits select no supported opcode.
+    UnknownOpcode {
+        /// The full word.
+        word: u32,
+        /// The opcode field (bits 6:0).
+        opcode: u8,
+    },
+    /// The opcode is known but funct3/funct7 select no supported variant.
+    UnknownFunction {
+        /// The full word.
+        word: u32,
+    },
+}
+
+impl DecodeError {
+    /// The instruction word that failed to decode.
+    pub const fn word(self) -> u32 {
+        match self {
+            DecodeError::UnknownOpcode { word, .. } | DecodeError::UnknownFunction { word } => word,
+        }
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnknownOpcode { word, opcode } => {
+                write!(f, "unknown opcode {opcode:#04x} in word {word:#010x}")
+            }
+            DecodeError::UnknownFunction { word } => {
+                write!(f, "unknown function encoding in word {word:#010x}")
+            }
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+/// Error produced by the [assembler](crate::asm).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    line: usize,
+    message: String,
+}
+
+impl AsmError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> AsmError {
+        AsmError { line, message: message.into() }
+    }
+
+    pub(crate) fn unknown_register(name: &str) -> AsmError {
+        AsmError::new(0, format!("unknown register `{name}`"))
+    }
+
+    pub(crate) fn at_line(mut self, line: usize) -> AsmError {
+        if self.line == 0 {
+            self.line = line;
+        }
+        self
+    }
+
+    /// 1-based source line the error was detected on (0 if unknown).
+    pub const fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Human-readable description of the problem.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "assembly error: {}", self.message)
+        } else {
+            write!(f, "assembly error on line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+impl From<EncodeError> for AsmError {
+    fn from(err: EncodeError) -> AsmError {
+        AsmError::new(0, err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = EncodeError::ImmediateOutOfRange { mnemonic: "addi", value: 5000, min: -2048, max: 2047 };
+        assert!(e.to_string().contains("addi"));
+        assert!(e.to_string().contains("5000"));
+
+        let d = DecodeError::UnknownOpcode { word: 0x7f, opcode: 0x7f };
+        assert!(d.to_string().contains("0x7f"));
+        assert_eq!(d.word(), 0x7f);
+
+        let a = AsmError::new(3, "bad things");
+        assert_eq!(a.line(), 3);
+        assert!(a.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn at_line_only_sets_unknown_lines() {
+        let a = AsmError::new(0, "x").at_line(7);
+        assert_eq!(a.line(), 7);
+        let b = AsmError::new(2, "x").at_line(7);
+        assert_eq!(b.line(), 2);
+    }
+}

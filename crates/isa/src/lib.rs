@@ -1,0 +1,57 @@
+//! RV32I instruction set plus the NCPU custom extension.
+//!
+//! This crate is the ISA layer of the NCPU reproduction (MICRO 2020). It
+//! provides:
+//!
+//! * [`Reg`] — architectural register names with ABI aliases,
+//! * [`Instruction`] — the 37 RV32I base integer instructions, the `MUL`
+//!   instruction the paper recovers in the NeuroEX stage, `ECALL`/`EBREAK`,
+//!   and the five customized NCPU instructions of Section V-B
+//!   (`Mv_Neu`, `Trans_BNN`/`Trans_CPU`, `Sw_L2`, `Lw_L2`, `Trigger_BNN`),
+//! * binary [`encode`](Instruction::encode) / [`decode`] with exact RV32I
+//!   bit layouts,
+//! * a two-pass [assembler](asm) with labels and common pseudo-instructions,
+//!   plus a programmatic [`asm::ProgramBuilder`],
+//! * a functional golden-model [interpreter](interp) used for differential
+//!   testing of the cycle-accurate pipeline.
+//!
+//! # Examples
+//!
+//! ```
+//! use ncpu_isa::{asm, decode, Instruction, Reg};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let words = asm::assemble(
+//!     "loop: addi a0, a0, -1
+//!            bnez a0, loop
+//!            ebreak",
+//! )?;
+//! assert_eq!(words.len(), 3);
+//! let first = decode(words[0])?;
+//! assert_eq!(
+//!     first,
+//!     Instruction::OpImm { op: ncpu_isa::AluOp::Add, rd: Reg::A0, rs1: Reg::A0, imm: -1 }
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+mod decode;
+mod disasm;
+mod encode;
+mod error;
+mod instr;
+pub mod interp;
+mod reg;
+
+pub use decode::decode;
+pub use error::{AsmError, DecodeError, EncodeError};
+pub use instr::{AluOp, BranchOp, Instruction, LoadOp, StoreOp};
+pub use reg::Reg;
+
+/// Size of one encoded instruction in bytes.
+pub const INSTR_BYTES: u32 = 4;

@@ -1,0 +1,214 @@
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::AsmError;
+
+/// One of the 32 RV32I integer registers.
+///
+/// The inner index is guaranteed to be in `0..32`. Registers display as
+/// their ABI names (`zero`, `ra`, `sp`, …) and parse from either ABI names
+/// or the `x0`–`x31` form.
+///
+/// # Examples
+///
+/// ```
+/// use ncpu_isa::Reg;
+///
+/// assert_eq!(Reg::A0.to_string(), "a0");
+/// assert_eq!("x10".parse::<Reg>().unwrap(), Reg::A0);
+/// assert_eq!("sp".parse::<Reg>().unwrap(), Reg::SP);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Hard-wired zero register `x0`.
+    pub const ZERO: Reg = Reg(0);
+    /// Return address `x1`.
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer `x2`.
+    pub const SP: Reg = Reg(2);
+    /// Global pointer `x3`.
+    pub const GP: Reg = Reg(3);
+    /// Thread pointer `x4`.
+    pub const TP: Reg = Reg(4);
+    /// Temporary `x5`.
+    pub const T0: Reg = Reg(5);
+    /// Temporary `x6`.
+    pub const T1: Reg = Reg(6);
+    /// Temporary `x7`.
+    pub const T2: Reg = Reg(7);
+    /// Saved register / frame pointer `x8`.
+    pub const S0: Reg = Reg(8);
+    /// Saved register `x9`.
+    pub const S1: Reg = Reg(9);
+    /// Argument / return value `x10`.
+    pub const A0: Reg = Reg(10);
+    /// Argument / return value `x11`.
+    pub const A1: Reg = Reg(11);
+    /// Argument `x12`.
+    pub const A2: Reg = Reg(12);
+    /// Argument `x13`.
+    pub const A3: Reg = Reg(13);
+    /// Argument `x14`.
+    pub const A4: Reg = Reg(14);
+    /// Argument `x15`.
+    pub const A5: Reg = Reg(15);
+    /// Argument `x16`.
+    pub const A6: Reg = Reg(16);
+    /// Argument `x17`.
+    pub const A7: Reg = Reg(17);
+    /// Saved register `x18`.
+    pub const S2: Reg = Reg(18);
+    /// Saved register `x19`.
+    pub const S3: Reg = Reg(19);
+    /// Saved register `x20`.
+    pub const S4: Reg = Reg(20);
+    /// Saved register `x21`.
+    pub const S5: Reg = Reg(21);
+    /// Saved register `x22`.
+    pub const S6: Reg = Reg(22);
+    /// Saved register `x23`.
+    pub const S7: Reg = Reg(23);
+    /// Saved register `x24`.
+    pub const S8: Reg = Reg(24);
+    /// Saved register `x25`.
+    pub const S9: Reg = Reg(25);
+    /// Saved register `x26`.
+    pub const S10: Reg = Reg(26);
+    /// Saved register `x27`.
+    pub const S11: Reg = Reg(27);
+    /// Temporary `x28`.
+    pub const T3: Reg = Reg(28);
+    /// Temporary `x29`.
+    pub const T4: Reg = Reg(29);
+    /// Temporary `x30`.
+    pub const T5: Reg = Reg(30);
+    /// Temporary `x31`.
+    pub const T6: Reg = Reg(31);
+
+    /// Creates a register from its index.
+    ///
+    /// Returns `None` if `index >= 32`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ncpu_isa::Reg;
+    /// assert_eq!(Reg::new(10), Some(Reg::A0));
+    /// assert_eq!(Reg::new(32), None);
+    /// ```
+    pub const fn new(index: u8) -> Option<Reg> {
+        if index < 32 {
+            Some(Reg(index))
+        } else {
+            None
+        }
+    }
+
+    /// Creates a register from the low five bits of an encoded field.
+    pub(crate) const fn from_field(bits: u32) -> Reg {
+        Reg((bits & 0x1f) as u8)
+    }
+
+    /// The register's architectural index in `0..32`.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The ABI name of the register (for example `"a0"` for `x10`).
+    pub const fn abi_name(self) -> &'static str {
+        ABI_NAMES[self.0 as usize]
+    }
+
+    /// Iterates over all 32 registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0u8..32).map(Reg)
+    }
+}
+
+const ABI_NAMES: [&str; 32] = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+    "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+    "t5", "t6",
+];
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(reg: Reg) -> u8 {
+        reg.0
+    }
+}
+
+impl FromStr for Reg {
+    type Err = AsmError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(idx) = ABI_NAMES.iter().position(|&n| n == s) {
+            return Ok(Reg(idx as u8));
+        }
+        // Accept x0..x31 and the alternate "fp" alias for s0.
+        if s == "fp" {
+            return Ok(Reg::S0);
+        }
+        if let Some(num) = s.strip_prefix('x') {
+            if let Ok(idx) = num.parse::<u8>() {
+                if let Some(reg) = Reg::new(idx) {
+                    return Ok(reg);
+                }
+            }
+        }
+        Err(AsmError::unknown_register(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_out_of_range() {
+        assert_eq!(Reg::new(31), Some(Reg::T6));
+        assert_eq!(Reg::new(32), None);
+        assert_eq!(Reg::new(255), None);
+    }
+
+    #[test]
+    fn abi_names_round_trip_through_parse() {
+        for reg in Reg::all() {
+            let parsed: Reg = reg.abi_name().parse().unwrap();
+            assert_eq!(parsed, reg);
+        }
+    }
+
+    #[test]
+    fn numeric_names_parse() {
+        for (idx, reg) in Reg::all().enumerate() {
+            let parsed: Reg = format!("x{idx}").parse().unwrap();
+            assert_eq!(parsed, reg);
+        }
+    }
+
+    #[test]
+    fn fp_alias_is_s0() {
+        assert_eq!("fp".parse::<Reg>().unwrap(), Reg::S0);
+    }
+
+    #[test]
+    fn bad_names_error() {
+        assert!("x32".parse::<Reg>().is_err());
+        assert!("q7".parse::<Reg>().is_err());
+        assert!("".parse::<Reg>().is_err());
+    }
+
+    #[test]
+    fn display_is_abi_name() {
+        assert_eq!(Reg::ZERO.to_string(), "zero");
+        assert_eq!(Reg::T6.to_string(), "t6");
+    }
+}

@@ -1,0 +1,80 @@
+//! Assembler error-path coverage: every malformed input is rejected with a
+//! line-accurate, human-readable message.
+
+use ncpu_isa::asm::assemble;
+
+fn err_of(src: &str) -> ncpu_isa::AsmError {
+    assemble(src).expect_err("must be rejected")
+}
+
+#[test]
+fn wrong_operand_counts() {
+    for (src, needle) in [
+        ("add a0, a1", "expects 3"),
+        ("add a0, a1, a2, a3", "expects 3"),
+        ("nop a0", "expects 0"),
+        ("lw a0", "expects 2"),
+        ("mv_neu a0", "expects 2"),
+        ("trans_bnn a0", "expects 0"),
+    ] {
+        let e = err_of(src);
+        assert!(e.to_string().contains(needle), "`{src}` -> {e}");
+    }
+}
+
+#[test]
+fn malformed_memory_operands() {
+    assert!(err_of("lw a0, 4[sp]").to_string().contains("offset(reg)"));
+    assert!(err_of("lw a0, 4(sp").to_string().contains(")"));
+    assert!(err_of("sw a0, (q9)").to_string().contains("unknown register"));
+}
+
+#[test]
+fn bad_immediates() {
+    assert!(err_of("addi a0, a0, banana").to_string().contains("invalid immediate"));
+    assert!(err_of("addi a0, a0, 0xZZ").to_string().contains("invalid immediate"));
+    assert!(err_of("li a0, 99999999999").to_string().contains("32-bit range"));
+    assert!(err_of("addi a0, a0, 4096").to_string().contains("out of range"));
+    assert!(err_of("slli a0, a0, 32").to_string().contains("out of range"));
+    assert!(err_of("mv_neu a0, 5000").to_string().contains("out of range"));
+}
+
+#[test]
+fn line_numbers_point_at_the_problem() {
+    let e = err_of("nop\nnop\nbogus x1\nnop");
+    assert_eq!(e.line(), 3);
+    let e = err_of("nop\nj nowhere");
+    assert!(e.to_string().contains("nowhere"));
+}
+
+#[test]
+fn relative_offsets_validate() {
+    // Misaligned relative branch offset.
+    let e = err_of("beq a0, a1, .+3");
+    assert!(e.to_string().contains("aligned"), "{e}");
+    // Out-of-range relative branch.
+    let e = err_of("beq a0, a1, .+8192");
+    assert!(e.to_string().contains("out of range"), "{e}");
+    // Valid ones assemble.
+    assert!(assemble("beq a0, a1, .+8\nnop\nnop").is_ok());
+    assert!(assemble("j .-0").is_ok());
+}
+
+#[test]
+fn labels_validate() {
+    assert!(err_of("dup: nop\ndup: nop").to_string().contains("defined twice"));
+    assert!(err_of("bnez a0, missing").to_string().contains("undefined label"));
+    // A label is not an instruction by itself — empty lines after are fine.
+    assert!(assemble("only_label:\nnop").is_ok());
+}
+
+#[test]
+fn branch_reach_checked_after_label_resolution() {
+    let mut src = String::from("start: nop\n");
+    for _ in 0..1100 {
+        src.push_str("nop\n");
+    }
+    src.push_str("beq zero, zero, start\n");
+    let e = assemble(&src).expect_err("±4 KiB branch reach");
+    assert!(e.to_string().contains("out of range"), "{e}");
+}

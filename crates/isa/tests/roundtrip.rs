@@ -1,0 +1,141 @@
+//! Property tests: encode/decode round-trips over the whole instruction space.
+
+use ncpu_isa::{decode, AluOp, BranchOp, Instruction, LoadOp, Reg, StoreOp};
+use proptest::prelude::*;
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(|i| Reg::new(i).expect("index < 32"))
+}
+
+fn any_alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Sll),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Xor),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Or),
+        Just(AluOp::And),
+        Just(AluOp::Mul),
+    ]
+}
+
+fn any_imm_op() -> impl Strategy<Value = AluOp> {
+    any_alu_op().prop_filter("immediate form", |op| op.has_immediate_form())
+}
+
+fn any_branch_op() -> impl Strategy<Value = BranchOp> {
+    prop_oneof![
+        Just(BranchOp::Eq),
+        Just(BranchOp::Ne),
+        Just(BranchOp::Lt),
+        Just(BranchOp::Ge),
+        Just(BranchOp::Ltu),
+        Just(BranchOp::Geu),
+    ]
+}
+
+fn any_load_op() -> impl Strategy<Value = LoadOp> {
+    prop_oneof![
+        Just(LoadOp::Byte),
+        Just(LoadOp::Half),
+        Just(LoadOp::Word),
+        Just(LoadOp::ByteU),
+        Just(LoadOp::HalfU),
+    ]
+}
+
+fn any_store_op() -> impl Strategy<Value = StoreOp> {
+    prop_oneof![Just(StoreOp::Byte), Just(StoreOp::Half), Just(StoreOp::Word)]
+}
+
+/// Any encodable instruction (all fields within their valid ranges).
+fn any_instruction() -> impl Strategy<Value = Instruction> {
+    let u20 = (-(1i32 << 19)..(1 << 19)).prop_map(|v| v << 12);
+    let i12 = -2048i32..=2047;
+    prop_oneof![
+        (any_reg(), u20.clone()).prop_map(|(rd, imm)| Instruction::Lui { rd, imm }),
+        (any_reg(), u20).prop_map(|(rd, imm)| Instruction::Auipc { rd, imm }),
+        (any_reg(), (-(1i32 << 19)..(1 << 19)).prop_map(|v| v * 2))
+            .prop_map(|(rd, offset)| Instruction::Jal { rd, offset }),
+        (any_reg(), any_reg(), i12.clone())
+            .prop_map(|(rd, rs1, offset)| Instruction::Jalr { rd, rs1, offset }),
+        (any_branch_op(), any_reg(), any_reg(), (-2048i32..=2047).prop_map(|v| v * 2))
+            .prop_map(|(op, rs1, rs2, offset)| Instruction::Branch { op, rs1, rs2, offset }),
+        (any_load_op(), any_reg(), any_reg(), i12.clone())
+            .prop_map(|(op, rd, rs1, offset)| Instruction::Load { op, rd, rs1, offset }),
+        (any_store_op(), any_reg(), any_reg(), i12.clone())
+            .prop_map(|(op, rs1, rs2, offset)| Instruction::Store { op, rs1, rs2, offset }),
+        (any_imm_op(), any_reg(), any_reg(), i12.clone()).prop_map(|(op, rd, rs1, imm)| {
+            let imm = if op.is_shift() { imm & 0x1f } else { imm };
+            Instruction::OpImm { op, rd, rs1, imm }
+        }),
+        (any_alu_op(), any_reg(), any_reg(), any_reg())
+            .prop_map(|(op, rd, rs1, rs2)| Instruction::Op { op, rd, rs1, rs2 }),
+        Just(Instruction::Ecall),
+        Just(Instruction::Ebreak),
+        (any_reg(), 0u16..4096).prop_map(|(rs1, neuron)| Instruction::MvNeu { rs1, neuron }),
+        Just(Instruction::TransBnn),
+        Just(Instruction::TransCpu),
+        Just(Instruction::TriggerBnn),
+        (any_reg(), any_reg(), i12.clone())
+            .prop_map(|(rs1, rs2, offset)| Instruction::SwL2 { rs1, rs2, offset }),
+        (any_reg(), any_reg(), i12)
+            .prop_map(|(rd, rs1, offset)| Instruction::LwL2 { rd, rs1, offset }),
+    ]
+}
+
+proptest! {
+    /// decode(encode(i)) == i for every valid instruction.
+    #[test]
+    fn instruction_round_trip(instr in any_instruction()) {
+        let word = instr.encode().expect("strategy only yields encodable instructions");
+        prop_assert_eq!(decode(word).expect("own encoding decodes"), instr);
+    }
+
+    /// Any word that decodes re-encodes to a word that decodes identically
+    /// (encoding is canonical with respect to decoding).
+    #[test]
+    fn word_decode_is_stable(word in any::<u32>()) {
+        if let Ok(instr) = decode(word) {
+            let reenc = instr.encode().expect("decoded instructions are encodable");
+            prop_assert_eq!(decode(reenc).expect("canonical word decodes"), instr);
+        }
+    }
+
+    /// Disassembly never panics and is non-empty for any decodable word.
+    #[test]
+    fn disasm_total(word in any::<u32>()) {
+        if let Ok(instr) = decode(word) {
+            prop_assert!(!instr.to_string().is_empty());
+        }
+    }
+
+    /// dest()/sources() agree with the encoding fields.
+    #[test]
+    fn dest_and_sources_are_consistent(instr in any_instruction()) {
+        if let Some(rd) = instr.dest() {
+            prop_assert!(rd != Reg::ZERO);
+        }
+        let (s1, s2) = instr.sources();
+        if s2.is_some() {
+            prop_assert!(s1.is_some(), "rs2 implies rs1");
+        }
+    }
+}
+
+proptest! {
+    /// Disassembly is valid assembler input: for every decodable word,
+    /// `assemble(display(instr))` reproduces the instruction.
+    #[test]
+    fn disassembly_reassembles(instr in any_instruction()) {
+        let text = instr.to_string();
+        let words = ncpu_isa::asm::assemble(&text)
+            .unwrap_or_else(|e| panic!("`{text}` failed to assemble: {e}"));
+        prop_assert_eq!(words.len(), 1, "one instruction per line: `{}`", text);
+        prop_assert_eq!(decode(words[0]).expect("assembled word decodes"), instr);
+    }
+}

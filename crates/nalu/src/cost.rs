@@ -1,0 +1,83 @@
+//! Gate-level hardware-cost comparison (Fig. 19(b)).
+//!
+//! The NALU implementation cost is dominated by one 8-bit multiplier plus
+//! weight storage per synapse; a digital ALU operator is a handful of
+//! gates plus its operand/result registers. Constants are NAND2-equivalent
+//! gate counts at ~2 µm²/gate in 65nm (consistent with
+//! [`ncpu_power::AreaModel::digital_alu_op_mm2`]).
+
+use crate::tasks::AluTask;
+
+/// NAND2-equivalent gate area in mm² (65nm, routed).
+pub const GATE_MM2: f64 = 2.0e-6;
+
+/// Gates per NALU synapse: an 8-bit fixed-point multiplier (~24 gates/bit
+/// in a compact array) plus two stored weight registers (Ŵ, M̂).
+pub const GATES_PER_SYNAPSE: u32 = 22;
+
+/// Fixed NALU overhead: accumulators, activation lookup, control.
+pub const NALU_FIXED_GATES: u32 = 200;
+
+/// Register/interface overhead every digital operator carries.
+pub const DIGITAL_REG_GATES: u32 = 13;
+
+/// Combinational gate count of the digital operator itself.
+pub fn digital_logic_gates(task: AluTask) -> u32 {
+    match task {
+        AluTask::Add => 30,            // 8-bit ripple-carry adder
+        AluTask::Sub => 36,            // adder + operand inversion
+        AluTask::And | AluTask::Or => 8,
+        AluTask::Xor => 12,
+        AluTask::AddSubCombined => 44, // adder + inversion + select
+    }
+}
+
+/// Total digital implementation area in mm².
+pub fn digital_area_mm2(task: AluTask) -> f64 {
+    (DIGITAL_REG_GATES + digital_logic_gates(task)) as f64 * GATE_MM2
+}
+
+/// NALU implementation area in mm² for a network with `macs` synapses.
+pub fn nalu_area_mm2(macs: usize) -> f64 {
+    (NALU_FIXED_GATES as f64 + macs as f64 * GATES_PER_SYNAPSE as f64) * GATE_MM2
+}
+
+/// Fig. 19(b)'s headline: NALU area over digital area for one task.
+pub fn area_ratio(task: AluTask, macs: usize) -> f64 {
+    nalu_area_mm2(macs) / digital_area_mm2(task)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 2→8→1 network of the experiment has 24 synapses.
+    const MACS: usize = 24;
+
+    #[test]
+    fn ratios_land_in_the_paper_band() {
+        // Paper Fig. 19(b): roughly 13×–35× across the operations.
+        for task in [AluTask::Add, AluTask::Sub, AluTask::And, AluTask::Xor, AluTask::Or] {
+            let r = area_ratio(task, MACS);
+            assert!((10.0..40.0).contains(&r), "{}: ratio {r:.1}", task.name());
+        }
+    }
+
+    #[test]
+    fn add_is_about_17x() {
+        let r = area_ratio(AluTask::Add, MACS);
+        assert!((14.0..20.0).contains(&r), "ADD ratio {r:.1} vs paper 17×");
+    }
+
+    #[test]
+    fn boolean_ratios_exceed_arithmetic_ratios() {
+        // Tiny digital gates make the NALU look worst on Boolean ops.
+        assert!(area_ratio(AluTask::And, MACS) > area_ratio(AluTask::Add, MACS));
+        assert!(area_ratio(AluTask::Xor, MACS) > area_ratio(AluTask::Sub, MACS));
+    }
+
+    #[test]
+    fn nalu_area_scales_with_synapses() {
+        assert!(nalu_area_mm2(48) > nalu_area_mm2(24));
+    }
+}

@@ -1,0 +1,25 @@
+//! The Neural-ALU counter-experiment (paper Section VIII-C, Fig. 19).
+//!
+//! The paper evaluates Google's NALU/NAC proposal — training a neural
+//! network to *be* an ALU — from a hardware perspective, and finds it
+//! untenable: add/sub are learnable, Boolean ops and the combined add+sub
+//! task are not, and the hardware cost is 13–35× a plain digital
+//! implementation. This crate reproduces both halves:
+//!
+//! * [`NacNetwork`] — a two-layer NAC (neural accumulator) network with
+//!   the `W = tanh(Ŵ) ⊙ σ(M̂)` parameterization, trained by Adam on MSE,
+//! * [`tasks`] — the 8-bit ALU learning tasks (`add`, `sub`, `and`,
+//!   `xor`, `or`, and the combined add/sub task) with normalized-error
+//!   evaluation (100% = random-init model, 0% = perfect),
+//! * [`cost`] — the gate-level area comparison against direct digital
+//!   operators.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+mod network;
+pub mod tasks;
+
+pub use network::NacNetwork;
+pub use tasks::{normalized_error, AluTask, TaskResult};

@@ -1,0 +1,209 @@
+//! Two-layer NAC network with Adam training.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One NAC layer: effective weights `W = tanh(Ŵ) ⊙ σ(M̂)`, output `Wx`.
+#[derive(Debug, Clone)]
+struct NacLayer {
+    inputs: usize,
+    outputs: usize,
+    w_hat: Vec<f64>,
+    m_hat: Vec<f64>,
+    // Adam state.
+    mw: Vec<f64>,
+    vw: Vec<f64>,
+    mm: Vec<f64>,
+    vm: Vec<f64>,
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl NacLayer {
+    fn new(inputs: usize, outputs: usize, rng: &mut StdRng) -> NacLayer {
+        let n = inputs * outputs;
+        NacLayer {
+            inputs,
+            outputs,
+            w_hat: (0..n).map(|_| rng.gen_range(-0.5..0.5)).collect(),
+            m_hat: (0..n).map(|_| rng.gen_range(-0.5..0.5)).collect(),
+            mw: vec![0.0; n],
+            vw: vec![0.0; n],
+            mm: vec![0.0; n],
+            vm: vec![0.0; n],
+        }
+    }
+
+    fn weight(&self, o: usize, i: usize) -> f64 {
+        let k = o * self.inputs + i;
+        self.w_hat[k].tanh() * sigmoid(self.m_hat[k])
+    }
+
+    fn forward(&self, x: &[f64]) -> Vec<f64> {
+        (0..self.outputs)
+            .map(|o| (0..self.inputs).map(|i| self.weight(o, i) * x[i]).sum())
+            .collect()
+    }
+
+    /// Accumulates gradients for one sample; returns `dL/dx`.
+    fn backward(&self, x: &[f64], dy: &[f64], gw: &mut [f64], gm: &mut [f64]) -> Vec<f64> {
+        let mut dx = vec![0.0; self.inputs];
+        for o in 0..self.outputs {
+            for i in 0..self.inputs {
+                let k = o * self.inputs + i;
+                let t = self.w_hat[k].tanh();
+                let s = sigmoid(self.m_hat[k]);
+                let dw_eff = dy[o] * x[i];
+                gw[k] += dw_eff * s * (1.0 - t * t);
+                gm[k] += dw_eff * t * s * (1.0 - s);
+                dx[i] += dy[o] * t * s;
+            }
+        }
+        dx
+    }
+
+    fn adam(&mut self, gw: &[f64], gm: &[f64], lr: f64, t: f64) {
+        const B1: f64 = 0.9;
+        const B2: f64 = 0.999;
+        const EPS: f64 = 1e-8;
+        for k in 0..self.w_hat.len() {
+            self.mw[k] = B1 * self.mw[k] + (1.0 - B1) * gw[k];
+            self.vw[k] = B2 * self.vw[k] + (1.0 - B2) * gw[k] * gw[k];
+            let mh = self.mw[k] / (1.0 - B1.powf(t));
+            let vh = self.vw[k] / (1.0 - B2.powf(t));
+            self.w_hat[k] -= lr * mh / (vh.sqrt() + EPS);
+
+            self.mm[k] = B1 * self.mm[k] + (1.0 - B1) * gm[k];
+            self.vm[k] = B2 * self.vm[k] + (1.0 - B2) * gm[k] * gm[k];
+            let mh = self.mm[k] / (1.0 - B1.powf(t));
+            let vh = self.vm[k] / (1.0 - B2.powf(t));
+            self.m_hat[k] -= lr * mh / (vh.sqrt() + EPS);
+        }
+    }
+}
+
+/// A two-layer NAC network (`inputs → hidden → 1`), the architecture the
+/// paper evaluates ("a two layers fully-connected neural network … same
+/// as \[36\]").
+#[derive(Debug, Clone)]
+pub struct NacNetwork {
+    l1: NacLayer,
+    l2: NacLayer,
+    step: f64,
+}
+
+impl NacNetwork {
+    /// Creates a network with `inputs` inputs and `hidden` NAC units,
+    /// deterministically initialized from `seed`.
+    pub fn new(inputs: usize, hidden: usize, seed: u64) -> NacNetwork {
+        let mut rng = StdRng::seed_from_u64(seed);
+        NacNetwork {
+            l1: NacLayer::new(inputs, hidden, &mut rng),
+            l2: NacLayer::new(hidden, 1, &mut rng),
+            step: 0.0,
+        }
+    }
+
+    /// Number of scalar inputs.
+    pub fn inputs(&self) -> usize {
+        self.l1.inputs
+    }
+
+    /// Number of hidden units.
+    pub fn hidden(&self) -> usize {
+        self.l1.outputs
+    }
+
+    /// Total trainable parameters (each NAC weight carries Ŵ and M̂).
+    pub fn parameters(&self) -> usize {
+        2 * (self.l1.w_hat.len() + self.l2.w_hat.len())
+    }
+
+    /// Number of effective multiply-accumulates per inference — what the
+    /// hardware cost model charges for.
+    pub fn macs(&self) -> usize {
+        self.l1.w_hat.len() + self.l2.w_hat.len()
+    }
+
+    /// Network output for one sample.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.l2.forward(&self.l1.forward(x))[0]
+    }
+
+    /// Mean squared error over a dataset.
+    pub fn mse(&self, data: &[(Vec<f64>, f64)]) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        data.iter()
+            .map(|(x, y)| {
+                let d = self.predict(x) - y;
+                d * d
+            })
+            .sum::<f64>()
+            / data.len() as f64
+    }
+
+    /// One full-batch Adam step on MSE; returns the pre-step loss.
+    pub fn train_epoch(&mut self, data: &[(Vec<f64>, f64)], lr: f64) -> f64 {
+        let mut gw1 = vec![0.0; self.l1.w_hat.len()];
+        let mut gm1 = vec![0.0; self.l1.w_hat.len()];
+        let mut gw2 = vec![0.0; self.l2.w_hat.len()];
+        let mut gm2 = vec![0.0; self.l2.w_hat.len()];
+        let inv = 1.0 / data.len() as f64;
+        let mut loss = 0.0;
+        for (x, y) in data {
+            let h = self.l1.forward(x);
+            let out = self.l2.forward(&h)[0];
+            let err = out - y;
+            loss += err * err;
+            let dy = [2.0 * err * inv];
+            let dh = self.l2.backward(&h, &dy, &mut gw2, &mut gm2);
+            self.l1.backward(x, &dh, &mut gw1, &mut gm1);
+        }
+        self.step += 1.0;
+        self.l1.adam(&gw1, &gm1, lr, self.step);
+        self.l2.adam(&gw2, &gm2, lr, self.step);
+        loss * inv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_plain_addition() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data: Vec<(Vec<f64>, f64)> = (0..256)
+            .map(|_| {
+                let a: f64 = rng.gen_range(0.0..1.0);
+                let b: f64 = rng.gen_range(0.0..1.0);
+                (vec![a, b], a + b)
+            })
+            .collect();
+        let mut net = NacNetwork::new(2, 4, 7);
+        for _ in 0..800 {
+            net.train_epoch(&data, 0.05);
+        }
+        assert!(net.mse(&data) < 1e-3, "NAC must learn addition, mse={}", net.mse(&data));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = NacNetwork::new(2, 4, 3);
+        let b = NacNetwork::new(2, 4, 3);
+        assert_eq!(a.predict(&[0.3, 0.7]).to_bits(), b.predict(&[0.3, 0.7]).to_bits());
+    }
+
+    #[test]
+    fn parameter_accounting() {
+        let net = NacNetwork::new(3, 8, 0);
+        assert_eq!(net.macs(), 3 * 8 + 8);
+        assert_eq!(net.parameters(), 2 * net.macs());
+        assert_eq!(net.inputs(), 3);
+        assert_eq!(net.hidden(), 8);
+    }
+}

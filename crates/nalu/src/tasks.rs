@@ -1,0 +1,182 @@
+//! The 8-bit ALU learning tasks and normalized-error evaluation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::network::NacNetwork;
+
+/// Which ALU function the network is asked to learn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluTask {
+    /// 8-bit addition.
+    Add,
+    /// 8-bit subtraction.
+    Sub,
+    /// Bitwise AND.
+    And,
+    /// Bitwise XOR.
+    Xor,
+    /// Bitwise OR.
+    Or,
+    /// Add *and* sub simultaneously, selected by a third input — the case
+    /// the paper reports as "almost random".
+    AddSubCombined,
+}
+
+impl AluTask {
+    /// All tasks in the order Fig. 19(a) reports them.
+    pub const ALL: [AluTask; 6] =
+        [AluTask::Add, AluTask::Sub, AluTask::And, AluTask::Xor, AluTask::Or, AluTask::AddSubCombined];
+
+    /// Stable display name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            AluTask::Add => "add",
+            AluTask::Sub => "sub",
+            AluTask::And => "and",
+            AluTask::Xor => "xor",
+            AluTask::Or => "or",
+            AluTask::AddSubCombined => "add+sub",
+        }
+    }
+
+    /// Number of network inputs the task needs.
+    pub const fn inputs(self) -> usize {
+        match self {
+            AluTask::AddSubCombined => 3,
+            _ => 2,
+        }
+    }
+
+    /// Ground truth on 8-bit operands, scaled to the unit interval
+    /// (subtraction may go negative — the NAC is signed).
+    fn target(self, a: u32, b: u32, sel: bool) -> f64 {
+        let raw = match self {
+            AluTask::Add => (a + b) as f64,
+            AluTask::Sub => a as f64 - b as f64,
+            AluTask::And => (a & b) as f64,
+            AluTask::Xor => (a ^ b) as f64,
+            AluTask::Or => (a | b) as f64,
+            AluTask::AddSubCombined => {
+                if sel {
+                    (a + b) as f64
+                } else {
+                    a as f64 - b as f64
+                }
+            }
+        };
+        raw / 255.0
+    }
+
+    /// Generates a labelled dataset of `n` samples.
+    pub fn dataset(self, n: usize, seed: u64) -> Vec<(Vec<f64>, f64)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let a = rng.gen_range(0u32..256);
+                let b = rng.gen_range(0u32..256);
+                let sel = rng.gen_bool(0.5);
+                let mut x = vec![a as f64 / 255.0, b as f64 / 255.0];
+                if self.inputs() == 3 {
+                    x.push(sel as u32 as f64);
+                }
+                (x, self.target(a, b, sel))
+            })
+            .collect()
+    }
+}
+
+/// Outcome of training one task.
+#[derive(Debug, Clone)]
+pub struct TaskResult {
+    /// The task.
+    pub task: AluTask,
+    /// Test MSE of the trained network.
+    pub trained_mse: f64,
+    /// Test MSE of the random-initialized network (the 100% reference).
+    pub random_mse: f64,
+    /// The trained network's MAC count (for the cost model).
+    pub macs: usize,
+}
+
+impl TaskResult {
+    /// Fig. 19(a)'s metric: error relative to a random-initialized model,
+    /// in percent (0 = perfect, 100 = no better than random).
+    pub fn normalized_error_pct(&self) -> f64 {
+        if self.random_mse == 0.0 {
+            return 0.0;
+        }
+        (self.trained_mse / self.random_mse * 100.0).min(100.0)
+    }
+}
+
+/// Trains a NAC network on `task` and evaluates the normalized error.
+///
+/// Deterministic in `seed`. `epochs` full-batch Adam steps on 512 training
+/// samples; evaluation on 256 held-out samples.
+pub fn normalized_error(task: AluTask, epochs: usize, seed: u64) -> TaskResult {
+    let train = task.dataset(512, seed);
+    let test = task.dataset(256, seed.wrapping_add(1));
+    let mut net = NacNetwork::new(task.inputs(), 8, seed);
+    let random_mse = net.mse(&test);
+    for _ in 0..epochs {
+        net.train_epoch(&train, 0.05);
+    }
+    TaskResult { task, trained_mse: net.mse(&test), random_mse, macs: net.macs() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_sub_are_learnable() {
+        for task in [AluTask::Add, AluTask::Sub] {
+            let r = normalized_error(task, 600, 5);
+            assert!(
+                r.normalized_error_pct() < 12.0,
+                "{} should be learnable, got {:.1}%",
+                task.name(),
+                r.normalized_error_pct()
+            );
+        }
+    }
+
+    #[test]
+    fn boolean_ops_resist_learning() {
+        for task in [AluTask::And, AluTask::Xor] {
+            let r = normalized_error(task, 600, 5);
+            assert!(
+                r.normalized_error_pct() > 14.0,
+                "{} should stay erroneous, got {:.1}%",
+                task.name(),
+                r.normalized_error_pct()
+            );
+        }
+    }
+
+    #[test]
+    fn combined_task_is_near_random() {
+        let add = normalized_error(AluTask::Add, 600, 5);
+        let combined = normalized_error(AluTask::AddSubCombined, 600, 5);
+        assert!(
+            combined.normalized_error_pct() > 3.0 * add.normalized_error_pct().max(1.0),
+            "combined {:.1}% vs add {:.1}%",
+            combined.normalized_error_pct(),
+            add.normalized_error_pct()
+        );
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let a = normalized_error(AluTask::Xor, 50, 9);
+        let b = normalized_error(AluTask::Xor, 50, 9);
+        assert_eq!(a.trained_mse.to_bits(), b.trained_mse.to_bits());
+    }
+
+    #[test]
+    fn dataset_shapes() {
+        assert_eq!(AluTask::Add.dataset(10, 0)[0].0.len(), 2);
+        assert_eq!(AluTask::AddSubCombined.dataset(10, 0)[0].0.len(), 3);
+    }
+}

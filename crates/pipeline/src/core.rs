@@ -1,0 +1,557 @@
+//! The latch-level 5-stage pipeline model.
+
+use std::error::Error;
+use std::fmt;
+
+use ncpu_isa::interp::Event;
+use ncpu_isa::{decode, DecodeError, Instruction, Reg};
+
+use crate::memport::{MemFault, MemPort};
+use crate::stats::PipeStats;
+use crate::trace::{RetireTrace, TraceEntry};
+
+/// Timing parameters of the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Extra EX-stage cycles for `mul` (the paper realizes the multiplier
+    /// from neuron adders, so it is multi-cycle).
+    pub mul_extra_cycles: u64,
+    /// Extra MEM-stage cycles for `lw_l2`/`sw_l2` (bus + shared-L2 access).
+    pub l2_extra_cycles: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> PipelineConfig {
+        PipelineConfig { mul_extra_cycles: 2, l2_extra_cycles: 8 }
+    }
+}
+
+/// Error raised by the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipeError {
+    /// The fetched word failed to decode.
+    Decode {
+        /// Faulting program counter.
+        pc: u32,
+        /// Underlying decode failure.
+        source: DecodeError,
+    },
+    /// The program counter left the instruction memory.
+    PcOutOfRange {
+        /// Faulting program counter.
+        pc: u32,
+    },
+    /// A data access faulted.
+    Mem {
+        /// PC of the faulting instruction.
+        pc: u32,
+        /// Underlying fault.
+        source: MemFault,
+    },
+    /// [`Pipeline::run`] exhausted its cycle budget without halting.
+    CycleLimit {
+        /// The exhausted budget.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for PipeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipeError::Decode { pc, source } => write!(f, "at pc={pc:#x}: {source}"),
+            PipeError::PcOutOfRange { pc } => write!(f, "pc {pc:#x} outside instruction memory"),
+            PipeError::Mem { pc, source } => write!(f, "at pc={pc:#x}: {source}"),
+            PipeError::CycleLimit { limit } => write!(f, "no halt within {limit} cycles"),
+        }
+    }
+}
+
+impl Error for PipeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PipeError::Decode { source, .. } => Some(source),
+            PipeError::Mem { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Fetched {
+    pc: u32,
+    word: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Decoded {
+    pc: u32,
+    instr: Instruction,
+}
+
+/// Result of the EX stage, parked in the EX/MEM latch.
+#[derive(Debug, Clone, Copy)]
+struct Executed {
+    pc: u32,
+    instr: Instruction,
+    dest: Option<Reg>,
+    /// ALU result / link address / value to forward (not loads).
+    value: u32,
+    /// Effective address for memory operations.
+    addr: u32,
+    /// Store data (after forwarding).
+    store_val: u32,
+    /// Captured `rs1` for `mv_neu`.
+    mv_value: u32,
+    /// Remaining extra MEM cycles (L2 accesses).
+    mem_remaining: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct WbEntry {
+    pc: u32,
+    instr: Instruction,
+    dest: Option<Reg>,
+    value: u32,
+    addr: u32,
+    mv_value: u32,
+}
+
+/// Cycle-accurate 5-stage in-order RV32I pipeline over a [`MemPort`].
+///
+/// See the [crate documentation](crate) for the microarchitecture and an
+/// end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Pipeline<M> {
+    imem: Vec<u32>,
+    mem: M,
+    regs: [u32; 32],
+    pc: u32,
+    if_id: Option<Fetched>,
+    id_ex: Option<Decoded>,
+    ex_mem: Option<Executed>,
+    mem_wb: Option<WbEntry>,
+    /// Cycles already spent stalling the current multi-cycle EX op.
+    ex_busy: u64,
+    fetch_halted: bool,
+    halted: bool,
+    stats: PipeStats,
+    config: PipelineConfig,
+    trace: RetireTrace,
+}
+
+impl<M: MemPort> Pipeline<M> {
+    /// Creates a pipeline with `program` loaded at PC 0.
+    pub fn new(program: Vec<u32>, mem: M) -> Pipeline<M> {
+        Pipeline::with_config(program, mem, PipelineConfig::default())
+    }
+
+    /// Creates a pipeline with explicit timing parameters.
+    pub fn with_config(program: Vec<u32>, mem: M, config: PipelineConfig) -> Pipeline<M> {
+        Pipeline {
+            imem: program,
+            mem,
+            regs: [0; 32],
+            pc: 0,
+            if_id: None,
+            id_ex: None,
+            ex_mem: None,
+            mem_wb: None,
+            ex_busy: 0,
+            fetch_halted: false,
+            halted: false,
+            stats: PipeStats::default(),
+            config,
+            trace: RetireTrace::default(),
+        }
+    }
+
+    /// Enables retirement tracing, keeping the last `capacity` retired
+    /// instructions (0 disables; disabled by default).
+    pub fn set_trace_capacity(&mut self, capacity: usize) {
+        self.trace = RetireTrace::new(capacity);
+    }
+
+    /// The retirement trace (empty unless enabled).
+    pub fn trace(&self) -> &RetireTrace {
+        &self.trace
+    }
+
+    /// Reads register `reg` (always 0 for `x0`).
+    pub fn reg(&self, reg: Reg) -> u32 {
+        self.regs[reg.index()]
+    }
+
+    /// Writes register `reg` (ignored for `x0`).
+    pub fn set_reg(&mut self, reg: Reg, value: u32) {
+        if reg != Reg::ZERO {
+            self.regs[reg.index()] = value;
+        }
+    }
+
+    /// Next fetch address.
+    pub const fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Whether `ebreak` has retired.
+    pub const fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Whether fetch is parked after a serializing instruction
+    /// (`ebreak`, `trans_bnn`, `trans_cpu`).
+    pub const fn is_fetch_halted(&self) -> bool {
+        self.fetch_halted
+    }
+
+    /// Performance counters.
+    pub fn stats(&self) -> &PipeStats {
+        &self.stats
+    }
+
+    /// The data-memory port.
+    pub fn mem(&self) -> &M {
+        &self.mem
+    }
+
+    /// Mutable access to the data-memory port (preload workload data).
+    pub fn mem_mut(&mut self) -> &mut M {
+        &mut self.mem
+    }
+
+    /// Instruction memory contents.
+    pub fn imem(&self) -> &[u32] {
+        &self.imem
+    }
+
+    /// Replaces the instruction memory (new task on the same core).
+    pub fn load_program(&mut self, program: Vec<u32>) {
+        self.imem = program;
+    }
+
+    /// Restarts control flow at `pc`, clearing all stage latches and the
+    /// halt flags. Architectural registers and memory are preserved.
+    pub fn restart_at(&mut self, pc: u32) {
+        self.pc = pc;
+        self.if_id = None;
+        self.id_ex = None;
+        self.ex_mem = None;
+        self.mem_wb = None;
+        self.ex_busy = 0;
+        self.fetch_halted = false;
+        self.halted = false;
+    }
+
+    /// Resumes fetching after a serializing instruction parked the core
+    /// (used by the NCPU core on a BNN→CPU mode switch).
+    pub fn resume(&mut self) {
+        self.fetch_halted = false;
+        self.halted = false;
+    }
+
+    /// Whether all stage latches are empty (the pipeline has drained).
+    pub fn is_drained(&self) -> bool {
+        self.if_id.is_none() && self.id_ex.is_none() && self.ex_mem.is_none()
+            && self.mem_wb.is_none()
+    }
+
+    fn resolve(&self, reg: Reg) -> u32 {
+        if reg == Reg::ZERO {
+            return 0;
+        }
+        // Forward from the instruction that just finished MEM this cycle
+        // (EX/MEM result of the previous cycle), then from the retiring
+        // instruction's value, then the register file.
+        if let Some(wb) = &self.mem_wb {
+            if wb.dest == Some(reg) {
+                return wb.value;
+            }
+        }
+        self.regs[reg.index()]
+    }
+
+    /// Advances one clock cycle.
+    ///
+    /// Returns the retirement event of the instruction (if any) that left
+    /// the WB stage this cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipeError`] for decode failures, fetch out of range, or
+    /// data-memory faults.
+    pub fn step(&mut self) -> Result<Option<Event>, PipeError> {
+        self.stats.cycles += 1;
+        let mut squash_fetch = false;
+
+        // Load-use hazard source: a load completing MEM *this* cycle.
+        let loaduse_dest = match &self.ex_mem {
+            Some(ex)
+                if ex.mem_remaining == 0
+                    && matches!(
+                        ex.instr,
+                        Instruction::Load { .. } | Instruction::LwL2 { .. }
+                    ) =>
+            {
+                ex.dest
+            }
+            _ => None,
+        };
+
+        // ---- WB ----
+        let mut event = None;
+        if let Some(wb) = self.mem_wb.take() {
+            if let Some(rd) = wb.dest {
+                self.regs[rd.index()] = wb.value;
+            }
+            self.stats.retired += 1;
+            *self.stats.per_instr.entry(wb.instr.mnemonic()).or_insert(0) += 1;
+            if self.trace.is_enabled() {
+                self.trace.push(TraceEntry {
+                    cycle: self.stats.cycles,
+                    pc: wb.pc,
+                    instr: wb.instr,
+                    wrote: wb.dest.map(|rd| (rd, wb.value)),
+                });
+            }
+            let ev = match wb.instr {
+                Instruction::Ebreak => {
+                    self.halted = true;
+                    Event::Halted
+                }
+                Instruction::Ecall => Event::EnvCall,
+                Instruction::MvNeu { neuron, .. } => {
+                    Event::MvNeu { value: wb.mv_value, neuron }
+                }
+                Instruction::TransBnn => Event::TransBnn,
+                Instruction::TransCpu => Event::TransCpu,
+                Instruction::TriggerBnn => Event::TriggerBnn,
+                Instruction::SwL2 { .. } => Event::L2Access { addr: wb.addr, is_store: true },
+                Instruction::LwL2 { .. } => Event::L2Access { addr: wb.addr, is_store: false },
+                _ => Event::Retired,
+            };
+            event = Some(ev);
+        }
+
+        // ---- MEM ----
+        if let Some(ex) = &mut self.ex_mem {
+            if ex.mem_remaining > 0 {
+                ex.mem_remaining -= 1;
+                self.stats.mem_stall_cycles += 1;
+            } else {
+                let ex = self.ex_mem.take().expect("checked above");
+                let mut value = ex.value;
+                match ex.instr {
+                    Instruction::Load { op, .. } => {
+                        let raw = self
+                            .mem
+                            .read_local(ex.addr, op.width())
+                            .map_err(|source| PipeError::Mem { pc: ex.pc, source })?;
+                        value = op.extend(raw);
+                    }
+                    Instruction::Store { op, .. } => {
+                        self.mem
+                            .write_local(ex.addr, op.width(), ex.store_val)
+                            .map_err(|source| PipeError::Mem { pc: ex.pc, source })?;
+                    }
+                    Instruction::LwL2 { .. } => {
+                        value = self
+                            .mem
+                            .read_l2(ex.addr)
+                            .map_err(|source| PipeError::Mem { pc: ex.pc, source })?;
+                    }
+                    Instruction::SwL2 { .. } => {
+                        self.mem
+                            .write_l2(ex.addr, ex.store_val)
+                            .map_err(|source| PipeError::Mem { pc: ex.pc, source })?;
+                    }
+                    _ => {}
+                }
+                self.mem_wb = Some(WbEntry {
+                    pc: ex.pc,
+                    instr: ex.instr,
+                    dest: ex.dest,
+                    value,
+                    addr: ex.addr,
+                    mv_value: ex.mv_value,
+                });
+            }
+        }
+
+        // ---- EX ----
+        if self.ex_mem.is_none() {
+            if let Some(id) = self.id_ex {
+                let (s1, s2) = id.instr.sources();
+                let load_use = loaduse_dest
+                    .is_some_and(|d| s1 == Some(d) || s2 == Some(d));
+                let mul_wait = matches!(id.instr, Instruction::Op { op: ncpu_isa::AluOp::Mul, .. })
+                    && self.ex_busy < self.config.mul_extra_cycles;
+                if load_use {
+                    self.stats.load_use_stalls += 1;
+                } else if mul_wait {
+                    self.ex_busy += 1;
+                    self.stats.ex_stall_cycles += 1;
+                } else {
+                    self.ex_busy = 0;
+                    self.id_ex = None;
+                    self.execute(id, &mut squash_fetch)?;
+                }
+            }
+        }
+
+        // ---- ID ----
+        if self.id_ex.is_none() {
+            if let Some(f) = self.if_id.take() {
+                let instr = decode(f.word)
+                    .map_err(|source| PipeError::Decode { pc: f.pc, source })?;
+                self.id_ex = Some(Decoded { pc: f.pc, instr });
+            }
+        }
+
+        // ---- IF ----
+        if self.if_id.is_none() && !self.fetch_halted && !squash_fetch {
+            let index = (self.pc / 4) as usize;
+            if self.pc % 4 == 0 && index < self.imem.len() {
+                self.if_id = Some(Fetched { pc: self.pc, word: self.imem[index] });
+                self.pc = self.pc.wrapping_add(4);
+            } else if self.is_drained() && !self.halted {
+                // Speculative over-fetch past the program end is squashed by
+                // an in-flight `ebreak` or redirect; only a *drained*
+                // pipeline with nowhere to fetch from has truly run off the
+                // end of instruction memory.
+                return Err(PipeError::PcOutOfRange { pc: self.pc });
+            }
+        }
+
+        Ok(event)
+    }
+
+    /// Executes `id` in the EX stage, writing the EX/MEM latch and handling
+    /// control flow.
+    fn execute(&mut self, id: Decoded, squash_fetch: &mut bool) -> Result<(), PipeError> {
+        let pc = id.pc;
+        let mut dest = id.instr.dest();
+        let mut value = 0u32;
+        let mut addr = 0u32;
+        let mut store_val = 0u32;
+        let mut mv_value = 0u32;
+        let mut mem_remaining = 0u64;
+
+        let redirect = |this: &mut Self, target: u32, squash: &mut bool| {
+            this.pc = target;
+            this.if_id = None;
+            this.stats.flush_cycles += 2;
+            *squash = true;
+        };
+
+        match id.instr {
+            Instruction::Lui { imm, .. } => value = imm as u32,
+            Instruction::Auipc { imm, .. } => value = pc.wrapping_add(imm as u32),
+            Instruction::Jal { offset, .. } => {
+                value = pc.wrapping_add(4);
+                redirect(self, pc.wrapping_add(offset as u32), squash_fetch);
+            }
+            Instruction::Jalr { rs1, offset, .. } => {
+                let target = self.resolve(rs1).wrapping_add(offset as u32) & !1;
+                value = pc.wrapping_add(4);
+                redirect(self, target, squash_fetch);
+            }
+            Instruction::Branch { op, rs1, rs2, offset } => {
+                if op.taken(self.resolve(rs1), self.resolve(rs2)) {
+                    redirect(self, pc.wrapping_add(offset as u32), squash_fetch);
+                }
+            }
+            Instruction::Load { rs1, offset, .. } => {
+                addr = self.resolve(rs1).wrapping_add(offset as u32);
+            }
+            Instruction::Store { rs1, rs2, offset, .. } => {
+                addr = self.resolve(rs1).wrapping_add(offset as u32);
+                store_val = self.resolve(rs2);
+            }
+            Instruction::OpImm { op, rs1, imm, .. } => {
+                value = op.eval(self.resolve(rs1), imm as u32);
+            }
+            Instruction::Op { op, rs1, rs2, .. } => {
+                value = op.eval(self.resolve(rs1), self.resolve(rs2));
+            }
+            Instruction::Ecall => {}
+            Instruction::Ebreak | Instruction::TransBnn | Instruction::TransCpu => {
+                // Serializing: park fetch; `pc` already points past us if no
+                // younger fetch happened, so rewind to the precise resume
+                // point.
+                self.pc = pc.wrapping_add(4);
+                self.if_id = None;
+                self.fetch_halted = true;
+                *squash_fetch = true;
+            }
+            Instruction::TriggerBnn => {}
+            Instruction::MvNeu { rs1, .. } => {
+                mv_value = self.resolve(rs1);
+            }
+            Instruction::SwL2 { rs1, rs2, offset } => {
+                addr = self.resolve(rs1).wrapping_add(offset as u32);
+                store_val = self.resolve(rs2);
+                mem_remaining = self.config.l2_extra_cycles;
+            }
+            Instruction::LwL2 { rs1, offset, .. } => {
+                addr = self.resolve(rs1).wrapping_add(offset as u32);
+                mem_remaining = self.config.l2_extra_cycles;
+            }
+        }
+        if dest == Some(Reg::ZERO) {
+            dest = None;
+        }
+        self.ex_mem = Some(Executed {
+            pc,
+            instr: id.instr,
+            dest,
+            value,
+            addr,
+            store_val,
+            mv_value,
+            mem_remaining,
+        });
+        Ok(())
+    }
+
+    /// Runs until `ebreak` retires or `max_cycles` elapse; returns the
+    /// number of cycles consumed by this call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipeError::CycleLimit`] on budget exhaustion, or any error
+    /// from [`step`](Self::step).
+    pub fn run(&mut self, max_cycles: u64) -> Result<u64, PipeError> {
+        let start = self.stats.cycles;
+        while !self.halted {
+            if self.stats.cycles - start >= max_cycles {
+                return Err(PipeError::CycleLimit { limit: max_cycles });
+            }
+            self.step()?;
+        }
+        Ok(self.stats.cycles - start)
+    }
+
+    /// Runs until any of the mode-switch events (`trans_bnn`, `trans_cpu`,
+    /// `trigger_bnn`) or `ebreak` retires; returns that event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipeError::CycleLimit`] on budget exhaustion, or any error
+    /// from [`step`](Self::step).
+    pub fn run_until_event(&mut self, max_cycles: u64) -> Result<Event, PipeError> {
+        let start = self.stats.cycles;
+        loop {
+            if self.stats.cycles - start >= max_cycles {
+                return Err(PipeError::CycleLimit { limit: max_cycles });
+            }
+            if let Some(ev) = self.step()? {
+                match ev {
+                    Event::Halted | Event::TransBnn | Event::TransCpu | Event::TriggerBnn => {
+                        return Ok(ev)
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}

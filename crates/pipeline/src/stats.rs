@@ -1,0 +1,79 @@
+//! Pipeline performance counters.
+
+use std::collections::HashMap;
+
+/// Performance counters accumulated by the pipeline.
+///
+/// `per_instr` keys are the stable mnemonics from
+/// [`Instruction::mnemonic`](ncpu_isa::Instruction::mnemonic); the Fig. 11(b)
+/// per-instruction power breakdown is computed from these retire counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipeStats {
+    /// Elapsed clock cycles.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub retired: u64,
+    /// Cycles lost to load-use interlocks.
+    pub load_use_stalls: u64,
+    /// Cycles lost to control-flow flushes (2 per taken redirect).
+    pub flush_cycles: u64,
+    /// Extra cycles spent waiting on multi-cycle EX operations (`mul`).
+    pub ex_stall_cycles: u64,
+    /// Extra cycles spent waiting on L2 accesses (`lw_l2`/`sw_l2`).
+    pub mem_stall_cycles: u64,
+    /// Retire count per mnemonic.
+    pub per_instr: HashMap<&'static str, u64>,
+}
+
+impl PipeStats {
+    /// Instructions per cycle (0 when no cycles have elapsed).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+
+    /// Retire count for one mnemonic.
+    pub fn count(&self, mnemonic: &str) -> u64 {
+        self.per_instr.get(mnemonic).copied().unwrap_or(0)
+    }
+
+    /// Adds another stats block (used when a core alternates modes).
+    pub fn merge(&mut self, other: &PipeStats) {
+        self.cycles += other.cycles;
+        self.retired += other.retired;
+        self.load_use_stalls += other.load_use_stalls;
+        self.flush_cycles += other.flush_cycles;
+        self.ex_stall_cycles += other.ex_stall_cycles;
+        self.mem_stall_cycles += other.mem_stall_cycles;
+        for (k, v) in &other.per_instr {
+            *self.per_instr.entry(k).or_insert(0) += v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        assert_eq!(PipeStats::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = PipeStats { cycles: 10, retired: 8, ..Default::default() };
+        a.per_instr.insert("add", 3);
+        let mut b = PipeStats { cycles: 5, retired: 5, ..Default::default() };
+        b.per_instr.insert("add", 2);
+        b.per_instr.insert("lw", 1);
+        a.merge(&b);
+        assert_eq!(a.cycles, 15);
+        assert_eq!(a.count("add"), 5);
+        assert_eq!(a.count("lw"), 1);
+        assert_eq!(a.count("sw"), 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Retirement trace: a bounded ring buffer of the last N retired
+//! instructions, for debugging generated programs.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use ncpu_isa::{Instruction, Reg};
+
+/// One retired instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Cycle the instruction left the WB stage.
+    pub cycle: u64,
+    /// Its program counter.
+    pub pc: u32,
+    /// The instruction.
+    pub instr: Instruction,
+    /// Register writeback, if any.
+    pub wrote: Option<(Reg, u32)>,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>8}] {:#06x}: {}", self.cycle, self.pc, self.instr)?;
+        if let Some((reg, value)) = self.wrote {
+            write!(f, "  ; {reg} = {value:#x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Bounded retirement history (disabled at capacity 0 — the default — so
+/// tracing costs nothing unless requested).
+#[derive(Debug, Clone, Default)]
+pub struct RetireTrace {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+}
+
+impl RetireTrace {
+    /// Creates a trace keeping the last `capacity` retirements.
+    pub fn new(capacity: usize) -> RetireTrace {
+        RetireTrace { entries: VecDeque::with_capacity(capacity.min(4096)), capacity }
+    }
+
+    /// Whether tracing is enabled.
+    pub const fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Records one retirement (oldest entry evicted at capacity).
+    pub fn push(&mut self, entry: TraceEntry) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(entry);
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Renders the retained trace, one line per retirement.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncpu_isa::AluOp;
+
+    fn entry(cycle: u64) -> TraceEntry {
+        TraceEntry {
+            cycle,
+            pc: (cycle * 4) as u32,
+            instr: Instruction::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, imm: 1 },
+            wrote: Some((Reg::A0, cycle as u32)),
+        }
+    }
+
+    #[test]
+    fn ring_buffer_keeps_most_recent() {
+        let mut t = RetireTrace::new(3);
+        for c in 0..10 {
+            t.push(entry(c));
+        }
+        assert_eq!(t.len(), 3);
+        let cycles: Vec<u64> = t.entries().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn zero_capacity_is_disabled() {
+        let mut t = RetireTrace::default();
+        assert!(!t.is_enabled());
+        t.push(entry(1));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let mut t = RetireTrace::new(2);
+        t.push(entry(5));
+        let s = t.render();
+        assert!(s.contains("addi a0, a0, 1"), "{s}");
+        assert!(s.contains("a0 = 0x5"), "{s}");
+    }
+}

@@ -1,0 +1,255 @@
+//! Differential tests: the cycle-accurate pipeline must produce exactly the
+//! architectural state of the functional golden model (`ncpu_isa::interp`)
+//! for identical programs.
+
+use ncpu_isa::asm::assemble;
+use ncpu_isa::interp::Interp;
+use ncpu_isa::Reg;
+use ncpu_pipeline::{FlatMem, Pipeline};
+use proptest::prelude::*;
+
+/// Runs a program on both models and asserts identical register files and
+/// identical data memory in the window `[4096, 8192)` (kept clear of code
+/// in the golden model's unified address space).
+fn assert_equivalent(src: &str) {
+    let program = assemble(src).unwrap_or_else(|e| panic!("assembly failed: {e}\n{src}"));
+    let mut gold = Interp::with_program(&program, 8192);
+    gold.run(1_000_000).unwrap_or_else(|e| panic!("golden model failed: {e}\n{src}"));
+
+    let mut cpu = Pipeline::new(program, FlatMem::new(8192));
+    cpu.run(5_000_000).unwrap_or_else(|e| panic!("pipeline failed: {e}\n{src}"));
+
+    for reg in Reg::all() {
+        assert_eq!(
+            cpu.reg(reg),
+            gold.reg(reg),
+            "register {reg} differs\n{src}"
+        );
+    }
+    assert_eq!(
+        &cpu.mem().local()[4096..8192],
+        &gold.mem()[4096..8192],
+        "data memory differs\n{src}"
+    );
+    assert_eq!(cpu.stats().retired, gold.retired(), "retire count differs\n{src}");
+}
+
+#[test]
+fn loops_and_arithmetic() {
+    assert_equivalent(
+        "      li t0, 37
+               li t1, 1
+               li t2, 0
+        loop:  add t2, t2, t0
+               mul t1, t1, t0
+               srli t3, t2, 1
+               xor t4, t3, t1
+               addi t0, t0, -1
+               bnez t0, loop
+               ebreak",
+    );
+}
+
+#[test]
+fn memory_widths_and_signs() {
+    assert_equivalent(
+        "li s0, 4096
+         li t0, -12345
+         sw t0, 0(s0)
+         sh t0, 4(s0)
+         sb t0, 6(s0)
+         lb a0, 0(s0)
+         lbu a1, 0(s0)
+         lh a2, 0(s0)
+         lhu a3, 4(s0)
+         lw a4, 0(s0)
+         ebreak",
+    );
+}
+
+#[test]
+fn function_calls_with_stack() {
+    assert_equivalent(
+        "        li sp, 8192
+                 li a0, 10
+                 jal ra, fib
+                 j done
+        fib:     addi t0, zero, 2
+                 blt a0, t0, base
+                 addi sp, sp, -12
+                 sw ra, 0(sp)
+                 sw a0, 4(sp)
+                 addi a0, a0, -1
+                 jal ra, fib
+                 sw a0, 8(sp)
+                 lw a0, 4(sp)
+                 addi a0, a0, -2
+                 jal ra, fib
+                 lw t1, 8(sp)
+                 add a0, a0, t1
+                 lw ra, 0(sp)
+                 addi sp, sp, 12
+        base:    ret
+        done:    ebreak",
+    );
+}
+
+#[test]
+fn insertion_sort_in_memory() {
+    assert_equivalent(
+        "        li s0, 4096
+                 # fill 16 pseudo-random words
+                 li t0, 16
+                 li t1, 12345
+        fill:    mul t1, t1, t1
+                 srli t2, t1, 7
+                 xor t1, t1, t2
+                 andi t3, t1, 1023
+                 sw t3, 0(s0)
+                 addi s0, s0, 4
+                 addi t0, t0, -1
+                 bnez t0, fill
+                 # insertion sort
+                 li s0, 4096
+                 li s1, 1
+        outer:   li t6, 16
+                 bge s1, t6, done
+                 slli t0, s1, 2
+                 add t0, t0, s0
+                 lw t1, 0(t0)
+        inner:   beq t0, s0, place
+                 lw t2, -4(t0)
+                 bge t1, t2, place
+                 sw t2, 0(t0)
+                 addi t0, t0, -4
+                 j inner
+        place:   sw t1, 0(t0)
+                 addi s1, s1, 1
+                 j outer
+        done:    ebreak",
+    );
+}
+
+#[test]
+fn l2_round_trip_matches() {
+    assert_equivalent(
+        "li t0, 256
+         li t1, 0xabcd
+         sw_l2 t1, 0(t0)
+         lw_l2 a0, 0(t0)
+         addi a0, a0, 1
+         ebreak",
+    );
+}
+
+#[test]
+fn hazard_heavy_sequences() {
+    assert_equivalent(
+        "li s0, 4096
+         li t0, 3
+         sw t0, 0(s0)
+         lw t1, 0(s0)
+         add t2, t1, t1
+         lw t3, 0(s0)
+         add t4, t3, t2
+         sw t4, 4(s0)
+         lw t5, 4(s0)
+         add t6, t5, t5
+         ebreak",
+    );
+}
+
+// ---- property-based differential testing ----
+
+const REGS: [&str; 8] = ["t0", "t1", "t2", "a0", "a1", "a2", "s2", "s3"];
+const ALU_R: [&str; 11] = ["add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or", "and", "mul"];
+const ALU_I: [&str; 9] = ["addi", "slti", "sltiu", "xori", "ori", "andi", "slli", "srli", "srai"];
+
+#[derive(Debug, Clone)]
+enum Stmt {
+    AluR(usize, usize, usize, usize),
+    AluI(usize, usize, usize, i32),
+    Store(u32, usize, u32),
+    Load(u32, usize, u32),
+    SkipIf(usize, usize, usize, bool),
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    prop_oneof![
+        (0..ALU_R.len(), 0..8usize, 0..8usize, 0..8usize)
+            .prop_map(|(op, rd, rs1, rs2)| Stmt::AluR(op, rd, rs1, rs2)),
+        (0..ALU_I.len(), 0..8usize, 0..8usize, -2048i32..=2047)
+            .prop_map(|(op, rd, rs1, imm)| Stmt::AluI(op, rd, rs1, imm)),
+        (0u32..256, 0..8usize, 0u32..3).prop_map(|(slot, rs, w)| Stmt::Store(slot, rs, w)),
+        (0u32..256, 0..8usize, 0u32..5).prop_map(|(slot, rd, w)| Stmt::Load(slot, rd, w)),
+        (0..8usize, 0..8usize, 1..3usize, any::<bool>())
+            .prop_map(|(a, b, skip, eq)| Stmt::SkipIf(a, b, skip, eq)),
+    ]
+}
+
+fn render(stmts: &[Stmt]) -> String {
+    let mut src = String::from("li s0, 4096\n");
+    // Give registers distinct initial values.
+    for (i, r) in REGS.iter().enumerate() {
+        src.push_str(&format!("li {r}, {}\n", (i as i64 + 1) * 1103515245 % 9973));
+    }
+    let mut label = 0usize;
+    let mut pending: Vec<(usize, usize)> = Vec::new(); // (label, stmts remaining)
+    for stmt in stmts {
+        match stmt {
+            Stmt::AluR(op, rd, rs1, rs2) => {
+                // Shift amounts must stay in range; mask the source first.
+                let m = ALU_R[*op];
+                if matches!(m, "sll" | "srl" | "sra") {
+                    src.push_str(&format!("andi {}, {}, 31\n", REGS[*rs2], REGS[*rs2]));
+                }
+                src.push_str(&format!("{m} {}, {}, {}\n", REGS[*rd], REGS[*rs1], REGS[*rs2]));
+            }
+            Stmt::AluI(op, rd, rs1, imm) => {
+                let m = ALU_I[*op];
+                let imm = if matches!(m, "slli" | "srli" | "srai") { imm & 31 } else { *imm };
+                src.push_str(&format!("{m} {}, {}, {imm}\n", REGS[*rd], REGS[*rs1]));
+            }
+            Stmt::Store(slot, rs, w) => {
+                let op = ["sb", "sh", "sw"][*w as usize];
+                let align = [1u32, 2, 4][*w as usize];
+                src.push_str(&format!("{op} {}, {}(s0)\n", REGS[*rs], slot * align));
+            }
+            Stmt::Load(slot, rd, w) => {
+                let op = ["lb", "lh", "lw", "lbu", "lhu"][*w as usize];
+                let align = [1u32, 2, 4, 1, 2][*w as usize];
+                src.push_str(&format!("{op} {}, {}(s0)\n", REGS[*rd], slot * align));
+            }
+            Stmt::SkipIf(a, b, skip, eq) => {
+                let op = if *eq { "beq" } else { "bne" };
+                src.push_str(&format!("{op} {}, {}, lbl{label}\n", REGS[*a], REGS[*b]));
+                pending.push((label, *skip));
+                label += 1;
+            }
+        }
+        // Close any branch whose skip window has elapsed.
+        for entry in pending.iter_mut() {
+            if entry.1 == 0 {
+                src.push_str(&format!("lbl{}:\n", entry.0));
+            }
+            entry.1 = entry.1.wrapping_sub(1);
+        }
+        pending.retain(|e| e.1 != usize::MAX);
+    }
+    for (lbl, _) in pending {
+        src.push_str(&format!("lbl{lbl}:\n"));
+    }
+    src.push_str("ebreak\n");
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random programs of ALU ops, memory accesses and forward branches
+    /// produce identical state on the pipeline and the golden model.
+    #[test]
+    fn random_programs_match_golden_model(stmts in prop::collection::vec(stmt_strategy(), 1..40)) {
+        assert_equivalent(&render(&stmts));
+    }
+}

@@ -1,0 +1,237 @@
+//! Exact cycle-count tests for the 5-stage microarchitecture.
+//!
+//! Instruction `k` of a hazard-free straight-line program retires at cycle
+//! `k + 5`, so an `N`-instruction program (including the final `ebreak`)
+//! halts after `N + 4` cycles. Each hazard adds a precisely known penalty.
+
+use ncpu_isa::asm::assemble;
+use ncpu_pipeline::{FlatMem, Pipeline, PipelineConfig};
+
+fn cycles_of(src: &str) -> u64 {
+    let program = assemble(src).unwrap();
+    let mut cpu = Pipeline::new(program, FlatMem::new(8192));
+    cpu.run(100_000).unwrap()
+}
+
+#[test]
+fn straight_line_ipc_approaches_one() {
+    // 4 independent ALU ops + ebreak = 5 instructions -> 9 cycles.
+    let c = cycles_of(
+        "addi t0, zero, 1
+         addi t1, zero, 2
+         addi t2, zero, 3
+         addi t3, zero, 4
+         ebreak",
+    );
+    assert_eq!(c, 9);
+}
+
+#[test]
+fn alu_dependency_chains_need_no_stall() {
+    // Full forwarding: back-to-back dependent ALU ops run at IPC 1.
+    let c = cycles_of(
+        "addi t0, zero, 1
+         addi t0, t0, 1
+         addi t0, t0, 1
+         addi t0, t0, 1
+         ebreak",
+    );
+    assert_eq!(c, 9);
+}
+
+#[test]
+fn load_use_costs_exactly_one_cycle() {
+    let base = cycles_of(
+        "li t0, 4096
+         lw t1, 0(t0)
+         nop
+         add t2, t1, t1
+         ebreak",
+    );
+    let hazard = cycles_of(
+        "li t0, 4096
+         lw t1, 0(t0)
+         add t2, t1, t1
+         nop
+         ebreak",
+    );
+    assert_eq!(hazard, base + 1, "moving the use adjacent to the load adds 1 stall");
+}
+
+#[test]
+fn load_with_gap_forwards_from_wb() {
+    // One instruction between load and use: MEM/WB forwarding, no stall.
+    let near = cycles_of(
+        "li t0, 4096
+         lw t1, 0(t0)
+         nop
+         add t2, t1, t1
+         ebreak",
+    );
+    let far = cycles_of(
+        "li t0, 4096
+         lw t1, 0(t0)
+         nop
+         nop
+         add t2, t1, t1
+         ebreak",
+    );
+    assert_eq!(far, near + 1, "only the extra nop costs a cycle");
+}
+
+#[test]
+fn taken_branch_flushes_two_cycles() {
+    let not_taken = cycles_of(
+        "addi t0, zero, 1
+         beq t0, zero, skip
+         nop
+   skip: ebreak",
+    );
+    // Taken branch with the same instruction count on the fall-through path.
+    let taken = cycles_of(
+        "addi t0, zero, 1
+         bne t0, zero, skip
+         nop
+   skip: ebreak",
+    );
+    // Taken: skips the nop (1 fewer instruction) but pays a 2-cycle flush.
+    assert_eq!(taken, not_taken - 1 + 2);
+}
+
+#[test]
+fn jal_pays_redirect_penalty() {
+    let c = cycles_of(
+        "j next
+   next: ebreak",
+    );
+    // 2 instructions + 4 fill + 2 flush = 8.
+    assert_eq!(c, 8);
+}
+
+#[test]
+fn mul_takes_configured_extra_cycles() {
+    let cfg_fast = PipelineConfig { mul_extra_cycles: 0, ..Default::default() };
+    let cfg_slow = PipelineConfig { mul_extra_cycles: 4, ..Default::default() };
+    let program = assemble(
+        "li t0, 7
+         li t1, 6
+         mul t2, t0, t1
+         ebreak",
+    )
+    .unwrap();
+    let mut fast = Pipeline::with_config(program.clone(), FlatMem::new(1024), cfg_fast);
+    let mut slow = Pipeline::with_config(program, FlatMem::new(1024), cfg_slow);
+    let cf = fast.run(1000).unwrap();
+    let cs = slow.run(1000).unwrap();
+    assert_eq!(cs, cf + 4);
+    assert_eq!(slow.reg(ncpu_isa::Reg::T2), 42);
+    assert_eq!(slow.stats().ex_stall_cycles, 4);
+}
+
+#[test]
+fn l2_access_stalls_mem_stage() {
+    let cfg = PipelineConfig { l2_extra_cycles: 8, ..Default::default() };
+    let program = assemble(
+        "li t0, 128
+         sw_l2 t0, 0(t0)
+         lw_l2 t1, 0(t0)
+         ebreak",
+    )
+    .unwrap();
+    let mut cpu = Pipeline::with_config(program, FlatMem::new(1024), cfg);
+    let c = cpu.run(1000).unwrap();
+    assert_eq!(cpu.reg(ncpu_isa::Reg::T1), 128, "write-through then read back");
+    // 4 instructions + 4 fill + 2×8 L2 stalls = 24 cycles.
+    assert_eq!(c, 24);
+    assert_eq!(cpu.stats().mem_stall_cycles, 16);
+}
+
+#[test]
+fn stats_account_every_cycle() {
+    let program = assemble(
+        "      li t0, 10
+               li t1, 0
+        loop:  add t1, t1, t0
+               addi t0, t0, -1
+               bnez t0, loop
+               ebreak",
+    )
+    .unwrap();
+    let mut cpu = Pipeline::new(program, FlatMem::new(1024));
+    cpu.run(10_000).unwrap();
+    let s = cpu.stats();
+    assert_eq!(cpu.reg(ncpu_isa::Reg::T1), 55);
+    assert_eq!(s.retired, 2 + 10 * 3 + 1);
+    // 9 taken branches flush 2 cycles each.
+    assert_eq!(s.flush_cycles, 18);
+    assert_eq!(s.cycles, s.retired + 4 + s.flush_cycles);
+    assert!(s.ipc() < 1.0);
+    assert_eq!(s.count("add"), 10);
+    assert_eq!(s.count("bne"), 10);
+}
+
+#[test]
+fn serializing_trans_bnn_parks_fetch() {
+    let program = assemble(
+        "li a0, 5
+         trans_bnn
+         addi a0, a0, 1
+         ebreak",
+    )
+    .unwrap();
+    let mut cpu = Pipeline::new(program, FlatMem::new(1024));
+    let ev = cpu.run_until_event(1000).unwrap();
+    assert_eq!(ev, ncpu_isa::interp::Event::TransBnn);
+    assert!(cpu.is_fetch_halted());
+    assert_eq!(cpu.reg(ncpu_isa::Reg::A0), 5, "younger instruction was squashed");
+    assert_eq!(cpu.pc(), 8, "resume point is after trans_bnn");
+    // Resume: the addi and ebreak now execute.
+    cpu.resume();
+    cpu.run(1000).unwrap();
+    assert_eq!(cpu.reg(ncpu_isa::Reg::A0), 6);
+    assert!(cpu.is_halted());
+}
+
+#[test]
+fn restart_preserves_architectural_state() {
+    let program = assemble("li a0, 1\nebreak\nli a1, 2\nebreak").unwrap();
+    let mut cpu = Pipeline::new(program, FlatMem::new(1024));
+    cpu.run(100).unwrap();
+    assert_eq!(cpu.reg(ncpu_isa::Reg::A0), 1);
+    cpu.restart_at(8);
+    assert!(!cpu.is_halted());
+    cpu.run(100).unwrap();
+    assert_eq!(cpu.reg(ncpu_isa::Reg::A0), 1, "registers preserved across restart");
+    assert_eq!(cpu.reg(ncpu_isa::Reg::A1), 2);
+}
+
+#[test]
+fn pc_out_of_range_is_reported() {
+    let program = assemble("nop").unwrap();
+    let mut cpu = Pipeline::new(program, FlatMem::new(64));
+    let err = cpu.run(100).unwrap_err();
+    assert!(matches!(err, ncpu_pipeline::PipeError::PcOutOfRange { pc: 4 }));
+}
+
+#[test]
+fn retirement_trace_records_program_order() {
+    let program = assemble("li a0, 1\naddi a0, a0, 2\nebreak").unwrap();
+    let mut cpu = Pipeline::new(program, FlatMem::new(64));
+    cpu.set_trace_capacity(8);
+    cpu.run(100).unwrap();
+    let entries: Vec<_> = cpu.trace().entries().collect();
+    assert_eq!(entries.len(), 3);
+    assert_eq!(entries[0].pc, 0);
+    assert_eq!(entries[1].pc, 4);
+    assert_eq!(entries[1].wrote, Some((ncpu_isa::Reg::A0, 3)));
+    assert!(entries[0].cycle < entries[1].cycle);
+    assert!(cpu.trace().render().contains("ebreak"));
+}
+
+#[test]
+fn trace_disabled_by_default() {
+    let program = assemble("nop\nebreak").unwrap();
+    let mut cpu = Pipeline::new(program, FlatMem::new(64));
+    cpu.run(100).unwrap();
+    assert!(cpu.trace().is_empty());
+}

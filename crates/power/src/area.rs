@@ -1,0 +1,245 @@
+//! Component-level 65nm area model.
+//!
+//! Constants are solved from the paper's reported ratios at the fabricated
+//! design point (4 layers × 100 neurons, 784-bit input):
+//!
+//! * NCPU saves 35.7% versus the CPU+BNN pair (Fig. 12(a)),
+//! * NCPU core-logic overhead over the bare BNN is 13.1%, dominated by
+//!   NeuroEX, and ~3% once SRAM is included (Fig. 10),
+//! * the die photo's SRAM-heavy floorplan (Fig. 7).
+//!
+//! For the Fig. 18 sweep, weight banks scale linearly with the neuron
+//! count from the chip's bank sizes (25 KiB W1, 6.5 KiB per deep layer at
+//! 100 neurons); fixed structures (image/output/bias memories, sequence
+//! controller, instruction cache) do not scale.
+
+/// Area split of one core or system.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SystemAreas {
+    /// Logic (standard-cell) area in mm².
+    pub logic_mm2: f64,
+    /// SRAM macro area in mm².
+    pub sram_mm2: f64,
+}
+
+impl SystemAreas {
+    /// Total silicon area in mm².
+    pub fn total_mm2(&self) -> f64 {
+        self.logic_mm2 + self.sram_mm2
+    }
+
+    /// Component-wise sum.
+    pub fn plus(&self, other: &SystemAreas) -> SystemAreas {
+        SystemAreas {
+            logic_mm2: self.logic_mm2 + other.logic_mm2,
+            sram_mm2: self.sram_mm2 + other.sram_mm2,
+        }
+    }
+}
+
+/// Per-pipeline-stage breakdown of the NCPU's added logic (Fig. 10 left).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageOverhead {
+    /// NeuroPC additions (branch mux on the +4 chain).
+    pub pc_mm2: f64,
+    /// NeuroIF additions (bypass-cell register muxes).
+    pub if_mm2: f64,
+    /// NeuroID additions (decode neuron groups, RF read ports).
+    pub id_mm2: f64,
+    /// NeuroEX additions (Boolean ops, shifter, forwarding) — the largest.
+    pub ex_mm2: f64,
+    /// NeuroMEM additions (cache interface muxes).
+    pub mem_mm2: f64,
+}
+
+impl StageOverhead {
+    /// Total added logic in mm².
+    pub fn total_mm2(&self) -> f64 {
+        self.pc_mm2 + self.if_mm2 + self.id_mm2 + self.ex_mm2 + self.mem_mm2
+    }
+}
+
+/// The calibrated area model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    /// SRAM macro density (mm² per KiB, periphery included).
+    pub sram_mm2_per_kib: f64,
+    /// One XNOR neuron cell (XNOR, accumulator, output register).
+    pub neuron_mm2: f64,
+    /// BNN sequence controller.
+    pub seq_ctrl_mm2: f64,
+    /// Standalone CPU logic per stage: PC, IF, ID, EX, MEM/WB.
+    pub cpu_stage_mm2: [f64; 5],
+    /// NCPU added-logic fractions (of BNN logic) per stage, Fig. 10 left.
+    pub stage_overhead_frac: [f64; 5],
+}
+
+impl Default for AreaModel {
+    fn default() -> AreaModel {
+        AreaModel {
+            sram_mm2_per_kib: 0.0082,
+            neuron_mm2: 265.0e-6,
+            seq_ctrl_mm2: 0.008,
+            // PC, IF, ID, EX (ALU+MUL+forwarding), MEM+WB — sums to 0.270.
+            cpu_stage_mm2: [0.012, 0.030, 0.050, 0.120, 0.058],
+            // Sums to 13.1%: NeuroEX needs the most recovery hardware.
+            stage_overhead_frac: [0.008, 0.015, 0.026, 0.060, 0.022],
+        }
+    }
+}
+
+/// Number of BNN layers in the canonical design.
+const LAYERS: usize = 4;
+/// Chip bank sizes at the 100-neuron design point, in KiB.
+const W1_KIB_AT_100: f64 = 25.0;
+const W_DEEP_KIB_AT_100: f64 = 6.5;
+/// Fixed memories: image 4 + output 1 + bias 1 + config/instruction 4 KiB.
+const FIXED_MEM_KIB: f64 = 10.0;
+/// CPU-private memories: I$ 4 + D$ 4 KiB + register file.
+const CPU_MEM_KIB: f64 = 8.125;
+/// Register file the NCPU adds on top of the BNN memories.
+const RF_KIB: f64 = 0.125;
+
+impl AreaModel {
+    /// Logic area of a standalone BNN with `neurons` cells per layer.
+    pub fn bnn_logic_mm2(&self, neurons: usize) -> f64 {
+        (LAYERS * neurons) as f64 * self.neuron_mm2 + self.seq_ctrl_mm2
+    }
+
+    /// Total area of a standalone BNN accelerator core.
+    pub fn bnn_core(&self, neurons: usize) -> SystemAreas {
+        let scale = neurons as f64 / 100.0;
+        let weight_kib = W1_KIB_AT_100 * scale
+            + W_DEEP_KIB_AT_100 * scale * (LAYERS - 1) as f64;
+        SystemAreas {
+            logic_mm2: self.bnn_logic_mm2(neurons),
+            sram_mm2: (weight_kib + FIXED_MEM_KIB) * self.sram_mm2_per_kib,
+        }
+    }
+
+    /// Total area of the standalone 5-stage RISC-V core.
+    pub fn cpu_core(&self) -> SystemAreas {
+        SystemAreas {
+            logic_mm2: self.cpu_stage_mm2.iter().sum(),
+            sram_mm2: CPU_MEM_KIB * self.sram_mm2_per_kib,
+        }
+    }
+
+    /// The NCPU's added logic per neural stage.
+    pub fn ncpu_stage_overhead(&self, neurons: usize) -> StageOverhead {
+        let base = self.bnn_logic_mm2(neurons);
+        StageOverhead {
+            pc_mm2: base * self.stage_overhead_frac[0],
+            if_mm2: base * self.stage_overhead_frac[1],
+            id_mm2: base * self.stage_overhead_frac[2],
+            ex_mm2: base * self.stage_overhead_frac[3],
+            mem_mm2: base * self.stage_overhead_frac[4],
+        }
+    }
+
+    /// Total area of one reconfigurable NCPU core.
+    pub fn ncpu_core(&self, neurons: usize) -> SystemAreas {
+        let bnn = self.bnn_core(neurons);
+        SystemAreas {
+            logic_mm2: bnn.logic_mm2 + self.ncpu_stage_overhead(neurons).total_mm2(),
+            sram_mm2: bnn.sram_mm2 + RF_KIB * self.sram_mm2_per_kib,
+        }
+    }
+
+    /// The conventional heterogeneous pair: CPU core + BNN accelerator.
+    pub fn heterogeneous(&self, neurons: usize) -> SystemAreas {
+        self.cpu_core().plus(&self.bnn_core(neurons))
+    }
+
+    /// Fractional area saving of one NCPU versus the heterogeneous pair
+    /// (Fig. 12(a): 35.7% at 100 neurons; Fig. 18 sweeps `neurons`).
+    pub fn area_saving(&self, neurons: usize) -> f64 {
+        let base = self.heterogeneous(neurons).total_mm2();
+        (base - self.ncpu_core(neurons).total_mm2()) / base
+    }
+
+    /// NCPU core-logic overhead relative to the bare BNN logic (Fig. 10:
+    /// 13.1%).
+    pub fn core_logic_overhead(&self, neurons: usize) -> f64 {
+        self.ncpu_stage_overhead(neurons).total_mm2() / self.bnn_logic_mm2(neurons)
+    }
+
+    /// NCPU total-area overhead relative to the standalone BNN (Fig. 10:
+    /// 2.7%).
+    pub fn total_overhead(&self, neurons: usize) -> f64 {
+        let bnn = self.bnn_core(neurons).total_mm2();
+        (self.ncpu_core(neurons).total_mm2() - bnn) / bnn
+    }
+
+    /// Digital-design area of an 8-bit ALU-class operator in mm²
+    /// (reference for the Fig. 19 NALU comparison): roughly 40 NAND2-
+    /// equivalent gates at ~2 µm²/gate for an 8-bit ripple adder.
+    pub fn digital_alu_op_mm2(&self) -> f64 {
+        40.0 * 2.0e-6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M: AreaModel = AreaModel {
+        sram_mm2_per_kib: 0.0082,
+        neuron_mm2: 265.0e-6,
+        seq_ctrl_mm2: 0.008,
+        cpu_stage_mm2: [0.012, 0.030, 0.050, 0.120, 0.058],
+        stage_overhead_frac: [0.008, 0.015, 0.026, 0.060, 0.022],
+    };
+
+    #[test]
+    fn paper_anchor_area_saving_at_100() {
+        let s = M.area_saving(100);
+        assert!((0.33..0.385).contains(&s), "saving {s} vs paper 35.7%");
+    }
+
+    #[test]
+    fn paper_anchor_core_logic_overhead() {
+        let o = M.core_logic_overhead(100);
+        assert!((o - 0.131).abs() < 1e-9, "13.1% by construction, got {o}");
+    }
+
+    #[test]
+    fn paper_anchor_total_overhead_small() {
+        let o = M.total_overhead(100);
+        assert!((0.015..0.045).contains(&o), "≈2.7%, got {o}");
+    }
+
+    #[test]
+    fn fig18_saving_decreases_with_neurons() {
+        let savings: Vec<f64> = [50, 100, 200, 400].iter().map(|&n| M.area_saving(n)).collect();
+        for w in savings.windows(2) {
+            assert!(w[0] > w[1], "saving must fall as the BNN grows: {savings:?}");
+        }
+        assert!(savings[0] > 0.40, "≈43.5% at 50 neurons, got {}", savings[0]);
+        assert!(savings[3] < 0.25, "≈22.5% at 400 neurons, got {}", savings[3]);
+    }
+
+    #[test]
+    fn ex_stage_dominates_overhead() {
+        let o = M.ncpu_stage_overhead(100);
+        assert!(o.ex_mm2 > o.pc_mm2 && o.ex_mm2 > o.if_mm2);
+        assert!(o.ex_mm2 > o.id_mm2 && o.ex_mm2 > o.mem_mm2);
+        assert!((o.total_mm2() / M.bnn_logic_mm2(100) - 0.131).abs() < 1e-12);
+    }
+
+    #[test]
+    fn floorplan_is_sram_dominated() {
+        let b = M.bnn_core(100);
+        assert!(b.sram_mm2 > b.logic_mm2, "Fig. 7: memories dominate the die");
+    }
+
+    #[test]
+    fn two_core_soc_in_die_budget() {
+        // Two NCPU cores + 64 KiB L2 + pads/PLL should sit near the chip's
+        // 2.8 mm² die.
+        let core = M.ncpu_core(100).total_mm2();
+        let l2 = 64.0 * M.sram_mm2_per_kib;
+        let soc = 2.0 * core + l2;
+        assert!((1.4..2.8).contains(&soc), "SoC estimate {soc} mm²");
+    }
+}

@@ -1,0 +1,82 @@
+//! Per-instruction energy weights (paper Fig. 11(b)).
+//!
+//! The pipeline's per-mnemonic retire counts are weighted by these factors
+//! to split CPU-mode energy by instruction. Factors are relative to a
+//! plain register-register ALU operation; memory instructions pay for the
+//! data-SRAM access, control flow is cheaper (no writeback), `mul` is the
+//! most expensive recovered operation.
+//!
+//! The NCPU multiplier models the un-gated neuron logic that toggles
+//! alongside each instruction class; its retire-weighted average over the
+//! base ISA is ≈14.7%, matching the paper's measured mean.
+
+/// Relative dynamic energy of one retired instruction (1.0 = `add`).
+pub fn instruction_energy_factor(mnemonic: &str) -> f64 {
+    match mnemonic {
+        "lui" | "auipc" => 0.80,
+        "jal" | "jalr" => 0.95,
+        "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" => 0.90,
+        "lb" | "lh" | "lw" | "lbu" | "lhu" => 1.30,
+        "sb" | "sh" | "sw" => 1.25,
+        "mul" => 1.80,
+        "lw_l2" | "sw_l2" => 1.60,
+        "mv_neu" | "trans_bnn" | "trans_cpu" | "trigger_bnn" => 0.70,
+        // addi/slti/…, add/sub/… and anything unlisted.
+        _ => 1.00,
+    }
+}
+
+/// The NCPU-versus-standalone energy multiplier for one instruction
+/// (Fig. 11(b): between ~13.7% and ~15.2%, averaging 14.7%).
+pub fn ncpu_instruction_overhead(mnemonic: &str) -> f64 {
+    match mnemonic {
+        // Memory instructions exercise the (well-gated) SRAM path more.
+        "lb" | "lh" | "lw" | "lbu" | "lhu" | "sb" | "sh" | "sw" => 1.137,
+        // Control flow re-uses the recovered branch data path heavily.
+        "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" | "jal" | "jalr" => 1.152,
+        "lui" | "auipc" => 1.148,
+        _ => 1.147,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_isa_average_overhead_is_paper_mean() {
+        // Equal-weight average over the 37 base instructions ≈ 14.7%.
+        let mnemonics = ncpu_isa_mnemonics();
+        let avg: f64 = mnemonics.iter().map(|m| ncpu_instruction_overhead(m) - 1.0).sum::<f64>()
+            / mnemonics.len() as f64;
+        assert!((avg - 0.147).abs() < 0.003, "average overhead {avg}");
+    }
+
+    #[test]
+    fn overheads_span_the_measured_band() {
+        for m in ncpu_isa_mnemonics() {
+            let o = ncpu_instruction_overhead(m);
+            assert!((1.13..=1.16).contains(&o), "{m} overhead {o} outside Fig. 11(b) band");
+        }
+    }
+
+    #[test]
+    fn memory_ops_cost_more_than_alu() {
+        assert!(instruction_energy_factor("lw") > instruction_energy_factor("add"));
+        assert!(instruction_energy_factor("mul") > instruction_energy_factor("lw"));
+        assert!(instruction_energy_factor("beq") < instruction_energy_factor("add"));
+    }
+
+    fn ncpu_isa_mnemonics() -> [&'static str; 37] {
+        ncpu_base_list()
+    }
+
+    fn ncpu_base_list() -> [&'static str; 37] {
+        [
+            "lui", "auipc", "jal", "jalr", "beq", "bne", "blt", "bge", "bltu", "bgeu", "lb",
+            "lh", "lw", "lbu", "lhu", "sb", "sh", "sw", "addi", "slti", "sltiu", "xori", "ori",
+            "andi", "slli", "srli", "srai", "add", "sub", "sll", "slt", "sltu", "xor", "srl",
+            "sra", "or", "and",
+        ]
+    }
+}

@@ -1,0 +1,44 @@
+//! Analytical 65nm technology model: DVFS, power, area, energy.
+//!
+//! The paper's evaluation is chip measurement; we have no silicon, so per
+//! `DESIGN.md` this crate substitutes a calibrated analytical model. Every
+//! constant is documented and anchored to a number the paper reports:
+//!
+//! * frequency–voltage curve fitted to 960 MHz @ 1 V and ~18 MHz @ 0.4 V
+//!   (Fig. 9(b)),
+//! * switched capacitance per mode from 241 mW (BNN) / ~110 mW (CPU) at
+//!   1 V, 960 MHz (Fig. 7, Table II),
+//! * leakage sized so the CPU-mode minimum-energy point falls near 0.5 V
+//!   while BNN-mode energy keeps falling to 0.4 V (Fig. 9(c)),
+//! * component areas solved from the paper's area ratios: 35.7% saving vs
+//!   CPU+BNN, ~13% core-logic overhead, ~3% total overhead (Figs. 10/12),
+//! * NCPU power overheads: +5.8% in BNN mode, +14.7% in CPU mode
+//!   (Fig. 11), and fmax degradation −4.1%/−5.2% (Fig. 10).
+//!
+//! # Examples
+//!
+//! ```
+//! use ncpu_power::{CoreKind, Dvfs, PowerModel};
+//!
+//! let dvfs = Dvfs::default();
+//! let f1 = dvfs.freq_hz(1.0, CoreKind::NcpuBnnMode);
+//! let f04 = dvfs.freq_hz(0.4, CoreKind::NcpuBnnMode);
+//! assert!(f1 / f04 > 40.0, "deep-voltage scaling collapses frequency");
+//!
+//! let pm = PowerModel::default();
+//! let eff = pm.bnn_tops_per_watt(0.4, 400);
+//! assert!(eff > 4.0, "peak efficiency at the lowest voltage");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod area;
+mod dvfs;
+mod instr_energy;
+mod power;
+
+pub use area::{AreaModel, SystemAreas};
+pub use dvfs::{CoreKind, Dvfs};
+pub use instr_energy::{instruction_energy_factor, ncpu_instruction_overhead};
+pub use power::PowerModel;

@@ -1,0 +1,123 @@
+//! Bandwidth/latency model of the SoC DMA engine.
+
+/// Cycle-level DMA channel model.
+///
+/// The paper describes a DMA engine that manages "the data communication between the
+/// NCPU cores and the L2 memory". We model one channel as a shared
+/// resource: each transfer pays a fixed setup latency plus a
+/// bandwidth-limited copy time, and transfers serialize on the channel.
+///
+/// # Examples
+///
+/// ```
+/// use ncpu_sim::DmaEngine;
+///
+/// // 4 bytes/cycle, 16-cycle setup.
+/// let mut dma = DmaEngine::new(4, 16);
+/// let done = dma.schedule(0, 1024);
+/// assert_eq!(done, 16 + 256);
+/// // The next transfer queues behind the first.
+/// let done2 = dma.schedule(0, 4);
+/// assert_eq!(done2, done + 16 + 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DmaEngine {
+    bytes_per_cycle: u32,
+    setup_cycles: u64,
+    busy_until: u64,
+    transfers: u64,
+    bytes_moved: u64,
+}
+
+impl DmaEngine {
+    /// Creates a channel moving `bytes_per_cycle` with `setup_cycles`
+    /// fixed latency per transfer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_cycle` is zero.
+    pub fn new(bytes_per_cycle: u32, setup_cycles: u64) -> DmaEngine {
+        assert!(bytes_per_cycle > 0, "bandwidth must be nonzero");
+        DmaEngine { bytes_per_cycle, setup_cycles, busy_until: 0, transfers: 0, bytes_moved: 0 }
+    }
+
+    /// Pure cost of one transfer, ignoring channel contention.
+    pub fn transfer_cycles(&self, bytes: u32) -> u64 {
+        self.setup_cycles + (bytes as u64).div_ceil(self.bytes_per_cycle as u64)
+    }
+
+    /// Books a transfer of `bytes` requested at cycle `now`; returns the
+    /// completion cycle, accounting for earlier queued transfers.
+    pub fn schedule(&mut self, now: u64, bytes: u32) -> u64 {
+        let start = now.max(self.busy_until);
+        let done = start + self.transfer_cycles(bytes);
+        self.busy_until = done;
+        self.transfers += 1;
+        self.bytes_moved += bytes as u64;
+        done
+    }
+
+    /// Cycle at which the channel becomes free.
+    pub const fn busy_until(&self) -> u64 {
+        self.busy_until
+    }
+
+    /// Number of transfers booked so far.
+    pub const fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Total bytes moved so far.
+    pub const fn bytes_moved(&self) -> u64 {
+        self.bytes_moved
+    }
+
+    /// Forgets all bookings (new run on the same channel).
+    pub fn reset(&mut self) {
+        self.busy_until = 0;
+        self.transfers = 0;
+        self.bytes_moved = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_cost_rounds_up() {
+        let dma = DmaEngine::new(4, 10);
+        assert_eq!(dma.transfer_cycles(0), 10);
+        assert_eq!(dma.transfer_cycles(1), 11);
+        assert_eq!(dma.transfer_cycles(4), 11);
+        assert_eq!(dma.transfer_cycles(5), 12);
+    }
+
+    #[test]
+    fn transfers_serialize() {
+        let mut dma = DmaEngine::new(4, 0);
+        let a = dma.schedule(100, 40); // 100..110
+        assert_eq!(a, 110);
+        let b = dma.schedule(50, 40); // queued: 110..120
+        assert_eq!(b, 120);
+        let c = dma.schedule(500, 4); // idle gap: 500..501
+        assert_eq!(c, 501);
+        assert_eq!(dma.transfers(), 3);
+        assert_eq!(dma.bytes_moved(), 84);
+    }
+
+    #[test]
+    fn reset_clears_bookings() {
+        let mut dma = DmaEngine::new(4, 0);
+        dma.schedule(0, 400);
+        dma.reset();
+        assert_eq!(dma.busy_until(), 0);
+        assert_eq!(dma.transfers(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_rejected() {
+        DmaEngine::new(0, 0);
+    }
+}

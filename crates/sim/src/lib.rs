@@ -1,0 +1,26 @@
+//! Shared simulation substrate for the NCPU reproduction.
+//!
+//! The cycle-level models in `ncpu-pipeline`, `ncpu-accel`, `ncpu-core` and
+//! `ncpu-soc` are built on the primitives in this crate:
+//!
+//! * [`SramBank`] / [`AddressArbiter`] — the banked on-chip SRAM of paper
+//!   Fig. 4(b), including the single-bank-enable access arbitration and
+//!   per-bank access counters used by the power model,
+//! * [`DmaEngine`] — the bandwidth/latency model of the SoC DMA that moves
+//!   data between cores and the shared L2,
+//! * [`stats`] — cycle counters, utilization tracking, and the labelled
+//!   phase timeline behind the paper's runtime-breakdown figures,
+//! * [`PowerTrace`] — bucketed power-versus-time recording used to
+//!   regenerate the measured power traces of Fig. 16.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dma;
+mod mem;
+pub mod stats;
+mod trace;
+
+pub use dma::DmaEngine;
+pub use mem::{AddressArbiter, BankId, MemError, SramBank};
+pub use trace::PowerTrace;

@@ -1,0 +1,405 @@
+//! Banked SRAM model with the address arbiter of paper Fig. 4(b).
+
+use std::error::Error;
+use std::fmt;
+
+/// Identifies one [`SramBank`] within an [`AddressArbiter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BankId(pub(crate) usize);
+
+impl BankId {
+    /// The bank's index in arbiter registration order.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Error raised on an out-of-range or misaligned SRAM access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// The byte address is not mapped by any bank.
+    Unmapped {
+        /// Faulting global byte address.
+        addr: u32,
+    },
+    /// The access crosses the end of its bank.
+    OutOfRange {
+        /// Name of the bank.
+        bank: String,
+        /// Faulting in-bank byte offset.
+        offset: u32,
+        /// Bank capacity in bytes.
+        capacity: u32,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::Unmapped { addr } => write!(f, "address {addr:#x} is not mapped"),
+            MemError::OutOfRange { bank, offset, capacity } => {
+                write!(f, "offset {offset:#x} out of range for bank `{bank}` ({capacity} bytes)")
+            }
+        }
+    }
+}
+
+impl Error for MemError {}
+
+/// One physical SRAM bank: a byte array with access counters.
+///
+/// The counters (`reads`/`writes`) feed the activity-based power model; the
+/// `enabled` flag models the clock gating the paper applies to unused banks
+/// ("the rest of the unused memory are clock gated").
+///
+/// # Examples
+///
+/// ```
+/// use ncpu_sim::SramBank;
+///
+/// let mut bank = SramBank::new("w1", 25 * 1024);
+/// bank.write_word(0, 0xdead_beef).unwrap();
+/// assert_eq!(bank.read_word(0).unwrap(), 0xdead_beef);
+/// assert_eq!(bank.reads(), 1);
+/// assert_eq!(bank.writes(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SramBank {
+    name: String,
+    data: Vec<u8>,
+    reads: u64,
+    writes: u64,
+    enabled: bool,
+}
+
+impl SramBank {
+    /// Creates a zero-initialized bank of `bytes` bytes.
+    pub fn new(name: impl Into<String>, bytes: usize) -> SramBank {
+        SramBank { name: name.into(), data: vec![0; bytes], reads: 0, writes: 0, enabled: true }
+    }
+
+    /// The bank's name (used in power reports and errors).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of counted read accesses.
+    pub const fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of counted write accesses.
+    pub const fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Whether the bank's clock is running (gated banks draw no dynamic power).
+    pub const fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Enables or clock-gates the bank. Gated banks remain readable in the
+    /// simulator (data is retained); only the accounting changes.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Resets the access counters (e.g. at a phase boundary).
+    pub fn reset_counters(&mut self) {
+        self.reads = 0;
+        self.writes = 0;
+    }
+
+    fn check(&self, offset: u32, width: u32) -> Result<(), MemError> {
+        if offset as usize + width as usize > self.data.len() {
+            Err(MemError::OutOfRange {
+                bank: self.name.clone(),
+                offset,
+                capacity: self.data.len() as u32,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads `width` bytes little-endian at `offset`, counting one access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfRange`] if the access crosses the bank end.
+    pub fn read(&mut self, offset: u32, width: u32) -> Result<u32, MemError> {
+        self.check(offset, width)?;
+        self.reads += 1;
+        let mut raw = 0u32;
+        for i in 0..width as usize {
+            raw |= (self.data[offset as usize + i] as u32) << (8 * i);
+        }
+        Ok(raw)
+    }
+
+    /// Writes the low `width` bytes of `value` little-endian at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfRange`] if the access crosses the bank end.
+    pub fn write(&mut self, offset: u32, width: u32, value: u32) -> Result<(), MemError> {
+        self.check(offset, width)?;
+        self.writes += 1;
+        for i in 0..width as usize {
+            self.data[offset as usize + i] = (value >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+
+    /// Reads a 32-bit word at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// See [`read`](Self::read).
+    pub fn read_word(&mut self, offset: u32) -> Result<u32, MemError> {
+        self.read(offset, 4)
+    }
+
+    /// Writes a 32-bit word at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// See [`write`](Self::write).
+    pub fn write_word(&mut self, offset: u32, value: u32) -> Result<(), MemError> {
+        self.write(offset, 4, value)
+    }
+
+    /// Bulk-loads `bytes` starting at `offset` without counting accesses
+    /// (models production-time initialization, not runtime traffic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data does not fit.
+    pub fn load(&mut self, offset: usize, bytes: &[u8]) {
+        self.data[offset..offset + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Raw view of the bank contents.
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Routes a flat address space onto multiple [`SramBank`]s, enabling exactly
+/// one bank per access — the address-arbiter design of paper Fig. 4(b).
+///
+/// Banks are registered with a base address; lookups are linear over the
+/// (small) bank list, matching the one-hot enable logic of the hardware.
+///
+/// # Examples
+///
+/// ```
+/// use ncpu_sim::AddressArbiter;
+///
+/// let mut arb = AddressArbiter::new();
+/// let w1 = arb.add_bank("w1", 0x0000, 1024);
+/// let w2 = arb.add_bank("w2", 0x1000, 1024);
+/// arb.write(0x1004, 4, 7).unwrap();
+/// assert_eq!(arb.read(0x1004, 4).unwrap(), 7);
+/// assert_eq!(arb.bank(w2).writes(), 1);
+/// assert_eq!(arb.bank(w1).writes(), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AddressArbiter {
+    banks: Vec<SramBank>,
+    bases: Vec<u32>,
+}
+
+impl AddressArbiter {
+    /// Creates an arbiter with no banks.
+    pub fn new() -> AddressArbiter {
+        AddressArbiter::default()
+    }
+
+    /// Registers a bank mapped at `[base, base + bytes)` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new range overlaps an existing bank; overlapping windows
+    /// would make the one-hot enable ambiguous.
+    pub fn add_bank(&mut self, name: impl Into<String>, base: u32, bytes: usize) -> BankId {
+        let end = base as u64 + bytes as u64;
+        for (i, b) in self.banks.iter().enumerate() {
+            let b0 = self.bases[i] as u64;
+            let b1 = b0 + b.capacity() as u64;
+            assert!(
+                end <= b0 || base as u64 >= b1,
+                "bank range overlaps existing bank `{}`",
+                b.name()
+            );
+        }
+        self.banks.push(SramBank::new(name, bytes));
+        self.bases.push(base);
+        BankId(self.banks.len() - 1)
+    }
+
+    /// Number of registered banks.
+    pub fn bank_count(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Immutable access to a bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this arbiter.
+    pub fn bank(&self, id: BankId) -> &SramBank {
+        &self.banks[id.0]
+    }
+
+    /// Mutable access to a bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this arbiter.
+    pub fn bank_mut(&mut self, id: BankId) -> &mut SramBank {
+        &mut self.banks[id.0]
+    }
+
+    /// Iterates over `(base, bank)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &SramBank)> {
+        self.bases.iter().copied().zip(self.banks.iter())
+    }
+
+    /// Resolves a global address to its bank and in-bank offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::Unmapped`] if no bank covers `addr`.
+    pub fn resolve(&self, addr: u32) -> Result<(BankId, u32), MemError> {
+        for (i, bank) in self.banks.iter().enumerate() {
+            let base = self.bases[i];
+            if addr >= base && (addr as u64) < base as u64 + bank.capacity() as u64 {
+                return Ok((BankId(i), addr - base));
+            }
+        }
+        Err(MemError::Unmapped { addr })
+    }
+
+    /// Reads `width` bytes at global address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] for unmapped or bank-crossing accesses.
+    pub fn read(&mut self, addr: u32, width: u32) -> Result<u32, MemError> {
+        let (id, offset) = self.resolve(addr)?;
+        self.banks[id.0].read(offset, width)
+    }
+
+    /// Writes the low `width` bytes of `value` at global address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] for unmapped or bank-crossing accesses.
+    pub fn write(&mut self, addr: u32, width: u32, value: u32) -> Result<(), MemError> {
+        let (id, offset) = self.resolve(addr)?;
+        self.banks[id.0].write(offset, width, value)
+    }
+
+    /// Total read+write accesses across all banks.
+    pub fn total_accesses(&self) -> u64 {
+        self.banks.iter().map(|b| b.reads() + b.writes()).sum()
+    }
+
+    /// Resets every bank's access counters.
+    pub fn reset_counters(&mut self) {
+        for b in &mut self.banks {
+            b.reset_counters();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_counts_accesses() {
+        let mut b = SramBank::new("t", 16);
+        b.write_word(0, 1).unwrap();
+        b.write_word(4, 2).unwrap();
+        b.read_word(0).unwrap();
+        assert_eq!((b.reads(), b.writes()), (1, 2));
+        b.reset_counters();
+        assert_eq!((b.reads(), b.writes()), (0, 0));
+    }
+
+    #[test]
+    fn bank_rejects_out_of_range() {
+        let mut b = SramBank::new("t", 8);
+        assert!(matches!(b.read(6, 4), Err(MemError::OutOfRange { .. })));
+        assert!(b.read(4, 4).is_ok());
+    }
+
+    #[test]
+    fn bank_subword_access() {
+        let mut b = SramBank::new("t", 8);
+        b.write_word(0, 0x0403_0201).unwrap();
+        assert_eq!(b.read(1, 2).unwrap(), 0x0302);
+        b.write(3, 1, 0xff).unwrap();
+        assert_eq!(b.read_word(0).unwrap(), 0xff03_0201);
+    }
+
+    #[test]
+    fn load_does_not_count() {
+        let mut b = SramBank::new("t", 8);
+        b.load(0, &[1, 2, 3, 4]);
+        assert_eq!(b.writes(), 0);
+        assert_eq!(b.read_word(0).unwrap(), 0x0403_0201);
+    }
+
+    #[test]
+    fn arbiter_routes_by_address() {
+        let mut arb = AddressArbiter::new();
+        let a = arb.add_bank("a", 0, 64);
+        let b = arb.add_bank("b", 0x100, 64);
+        arb.write(0x10, 4, 1).unwrap();
+        arb.write(0x110, 4, 2).unwrap();
+        assert_eq!(arb.bank(a).writes(), 1);
+        assert_eq!(arb.bank(b).writes(), 1);
+        assert_eq!(arb.read(0x110, 4).unwrap(), 2);
+        assert_eq!(arb.total_accesses(), 3);
+    }
+
+    #[test]
+    fn arbiter_reports_unmapped() {
+        let mut arb = AddressArbiter::new();
+        arb.add_bank("a", 0, 64);
+        assert_eq!(arb.read(64, 4), Err(MemError::Unmapped { addr: 64 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn arbiter_rejects_overlap() {
+        let mut arb = AddressArbiter::new();
+        arb.add_bank("a", 0, 64);
+        arb.add_bank("b", 32, 64);
+    }
+
+    #[test]
+    fn arbiter_adjacent_banks_ok() {
+        let mut arb = AddressArbiter::new();
+        arb.add_bank("a", 0, 64);
+        arb.add_bank("b", 64, 64);
+        assert_eq!(arb.resolve(63).unwrap().0.index(), 0);
+        assert_eq!(arb.resolve(64).unwrap().0.index(), 1);
+    }
+
+    #[test]
+    fn gating_flag_toggles() {
+        let mut b = SramBank::new("t", 8);
+        assert!(b.is_enabled());
+        b.set_enabled(false);
+        assert!(!b.is_enabled());
+    }
+}

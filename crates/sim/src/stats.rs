@@ -1,0 +1,230 @@
+//! Cycle statistics: utilization tracking and labelled phase timelines.
+
+use std::fmt;
+
+/// Tracks how many cycles a unit was busy out of a total window.
+///
+/// # Examples
+///
+/// ```
+/// use ncpu_sim::stats::Utilization;
+///
+/// let mut u = Utilization::new();
+/// u.add_busy(80);
+/// u.add_idle(20);
+/// assert!((u.fraction() - 0.8).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Utilization {
+    busy: u64,
+    total: u64,
+}
+
+impl Utilization {
+    /// Creates an empty tracker.
+    pub fn new() -> Utilization {
+        Utilization::default()
+    }
+
+    /// Adds `cycles` of busy time.
+    pub fn add_busy(&mut self, cycles: u64) {
+        self.busy += cycles;
+        self.total += cycles;
+    }
+
+    /// Adds `cycles` of idle time.
+    pub fn add_idle(&mut self, cycles: u64) {
+        self.total += cycles;
+    }
+
+    /// Extends the window to `total` cycles, treating the growth as idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is smaller than the current window.
+    pub fn close_window(&mut self, total: u64) {
+        assert!(total >= self.total, "window cannot shrink");
+        self.total = total;
+    }
+
+    /// Busy cycles recorded.
+    pub const fn busy_cycles(&self) -> u64 {
+        self.busy
+    }
+
+    /// Total window length in cycles.
+    pub const fn total_cycles(&self) -> u64 {
+        self.total
+    }
+
+    /// Busy fraction in `[0, 1]` (zero for an empty window).
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.busy as f64 / self.total as f64
+        }
+    }
+}
+
+impl fmt::Display for Utilization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}%", self.fraction() * 100.0)
+    }
+}
+
+/// One labelled span of execution on the timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Phase label, e.g. `"resize"` or `"bnn"`.
+    pub label: String,
+    /// First cycle of the span.
+    pub start: u64,
+    /// One past the last cycle of the span.
+    pub end: u64,
+}
+
+impl Span {
+    /// Length of the span in cycles.
+    pub const fn cycles(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
+/// Ordered record of labelled execution spans.
+///
+/// Regenerates the paper's runtime breakdowns (Fig. 15) and timeline plots
+/// (Fig. 13/16): each pre-processing stage, each inference, and each idle
+/// gap becomes one span.
+///
+/// # Examples
+///
+/// ```
+/// use ncpu_sim::stats::Timeline;
+///
+/// let mut t = Timeline::new();
+/// t.record("resize", 0, 300);
+/// t.record("bnn", 300, 400);
+/// assert_eq!(t.total_cycles(), 400);
+/// assert!((t.share("resize") - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    spans: Vec<Span>,
+}
+
+impl Timeline {
+    /// Creates an empty timeline.
+    pub fn new() -> Timeline {
+        Timeline::default()
+    }
+
+    /// Appends a span covering `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn record(&mut self, label: impl Into<String>, start: u64, end: u64) {
+        assert!(end >= start, "span ends before it starts");
+        self.spans.push(Span { label: label.into(), start, end });
+    }
+
+    /// The recorded spans in insertion order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Sum of cycles across spans with the given label.
+    pub fn cycles_for(&self, label: &str) -> u64 {
+        self.spans.iter().filter(|s| s.label == label).map(Span::cycles).sum()
+    }
+
+    /// Latest end cycle across all spans (0 when empty).
+    pub fn total_cycles(&self) -> u64 {
+        self.spans.iter().map(|s| s.end).max().unwrap_or(0)
+    }
+
+    /// Fraction of [`total_cycles`](Self::total_cycles) spent in `label`.
+    pub fn share(&self, label: &str) -> f64 {
+        let total = self.total_cycles();
+        if total == 0 {
+            0.0
+        } else {
+            self.cycles_for(label) as f64 / total as f64
+        }
+    }
+
+    /// Distinct labels in first-appearance order.
+    pub fn labels(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for s in &self.spans {
+            if !seen.contains(&s.label.as_str()) {
+                seen.push(s.label.as_str());
+            }
+        }
+        seen
+    }
+
+    /// Merges another timeline's spans, offset by `base` cycles.
+    pub fn extend_offset(&mut self, other: &Timeline, base: u64) {
+        for s in &other.spans {
+            self.spans.push(Span { label: s.label.clone(), start: s.start + base, end: s.end + base });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_fraction() {
+        let mut u = Utilization::new();
+        assert_eq!(u.fraction(), 0.0);
+        u.add_busy(3);
+        u.add_idle(1);
+        assert_eq!(u.fraction(), 0.75);
+        u.close_window(8);
+        assert_eq!(u.fraction(), 0.375);
+        assert_eq!(u.to_string(), "37.5%");
+    }
+
+    #[test]
+    #[should_panic(expected = "shrink")]
+    fn window_cannot_shrink() {
+        let mut u = Utilization::new();
+        u.add_busy(10);
+        u.close_window(5);
+    }
+
+    #[test]
+    fn timeline_shares_and_labels() {
+        let mut t = Timeline::new();
+        t.record("a", 0, 10);
+        t.record("b", 10, 30);
+        t.record("a", 30, 40);
+        assert_eq!(t.cycles_for("a"), 20);
+        assert_eq!(t.total_cycles(), 40);
+        assert_eq!(t.share("b"), 0.5);
+        assert_eq!(t.labels(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn timeline_merge_with_offset() {
+        let mut t = Timeline::new();
+        t.record("x", 0, 5);
+        let mut u = Timeline::new();
+        u.record("y", 0, 3);
+        t.extend_offset(&u, 5);
+        assert_eq!(t.total_cycles(), 8);
+        assert_eq!(t.spans()[1].start, 5);
+    }
+
+    #[test]
+    fn empty_timeline_is_safe() {
+        let t = Timeline::new();
+        assert_eq!(t.total_cycles(), 0);
+        assert_eq!(t.share("anything"), 0.0);
+        assert!(t.labels().is_empty());
+    }
+}

@@ -1,0 +1,150 @@
+//! Bucketed power-versus-time recording (paper Fig. 16).
+
+/// Records average power per fixed-width cycle bucket.
+///
+/// Producers call [`add_span`](PowerTrace::add_span) with the power drawn
+/// over a cycle interval; the trace accumulates energy into buckets and
+/// reports the bucket-average power, mirroring how the paper's transient
+/// power traces were captured with an oscilloscope.
+///
+/// # Examples
+///
+/// ```
+/// use ncpu_sim::PowerTrace;
+///
+/// let mut trace = PowerTrace::new(100);
+/// trace.add_span(0, 50, 10.0);   // 10 mW for half the first bucket
+/// trace.add_span(50, 200, 2.0);  // 2 mW afterwards
+/// let s = trace.samples();
+/// assert!((s[0] - 6.0).abs() < 1e-9);
+/// assert!((s[1] - 2.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PowerTrace {
+    bucket_cycles: u64,
+    /// Accumulated energy per bucket in mW·cycles.
+    energy: Vec<f64>,
+}
+
+impl PowerTrace {
+    /// Creates a trace with `bucket_cycles`-wide sample buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_cycles` is zero.
+    pub fn new(bucket_cycles: u64) -> PowerTrace {
+        assert!(bucket_cycles > 0, "bucket width must be nonzero");
+        PowerTrace { bucket_cycles, energy: Vec::new() }
+    }
+
+    /// Width of one sample bucket in cycles.
+    pub const fn bucket_cycles(&self) -> u64 {
+        self.bucket_cycles
+    }
+
+    /// Accumulates `power_mw` over the cycle interval `[start, end)`.
+    pub fn add_span(&mut self, start: u64, end: u64, power_mw: f64) {
+        if end <= start {
+            return;
+        }
+        let last_bucket = ((end - 1) / self.bucket_cycles) as usize;
+        if self.energy.len() <= last_bucket {
+            self.energy.resize(last_bucket + 1, 0.0);
+        }
+        let mut cursor = start;
+        while cursor < end {
+            let bucket = (cursor / self.bucket_cycles) as usize;
+            let bucket_end = (bucket as u64 + 1) * self.bucket_cycles;
+            let span_end = end.min(bucket_end);
+            self.energy[bucket] += power_mw * (span_end - cursor) as f64;
+            cursor = span_end;
+        }
+    }
+
+    /// Average power per bucket, in mW.
+    pub fn samples(&self) -> Vec<f64> {
+        self.energy.iter().map(|e| e / self.bucket_cycles as f64).collect()
+    }
+
+    /// Total accumulated energy in mW·cycles (divide by frequency for J).
+    pub fn total_energy_mw_cycles(&self) -> f64 {
+        self.energy.iter().sum()
+    }
+
+    /// Number of buckets currently recorded.
+    pub fn len(&self) -> usize {
+        self.energy.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.energy.is_empty()
+    }
+
+    /// Renders the trace as two-column CSV (`cycle,power_mw`), one row per
+    /// bucket, for plotting the Fig. 16 power traces externally.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("cycle,power_mw\n");
+        for (i, p) in self.samples().iter().enumerate() {
+            out.push_str(&format!("{},{p:.6}\n", i as u64 * self.bucket_cycles));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_split_across_buckets() {
+        let mut t = PowerTrace::new(10);
+        t.add_span(5, 25, 1.0); // buckets 0 (5 cyc), 1 (10 cyc), 2 (5 cyc)
+        let s = t.samples();
+        assert_eq!(s.len(), 3);
+        assert!((s[0] - 0.5).abs() < 1e-12);
+        assert!((s[1] - 1.0).abs() < 1e-12);
+        assert!((s[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapping_spans_accumulate() {
+        let mut t = PowerTrace::new(10);
+        t.add_span(0, 10, 1.0);
+        t.add_span(0, 10, 2.0);
+        assert!((t.samples()[0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_degenerate_spans() {
+        let mut t = PowerTrace::new(10);
+        t.add_span(5, 5, 100.0);
+        assert!(t.is_empty());
+        assert_eq!(t.total_energy_mw_cycles(), 0.0);
+    }
+
+    #[test]
+    fn total_energy_matches_sum() {
+        let mut t = PowerTrace::new(7);
+        t.add_span(0, 21, 2.0);
+        assert!((t.total_energy_mw_cycles() - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_bucket_rejected() {
+        PowerTrace::new(0);
+    }
+
+    #[test]
+    fn csv_has_one_row_per_bucket() {
+        let mut t = PowerTrace::new(10);
+        t.add_span(0, 25, 2.0);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 4, "header + 3 buckets");
+        assert_eq!(lines[0], "cycle,power_mw");
+        assert!(lines[1].starts_with("0,2.0"));
+        assert!(lines[3].starts_with("20,"));
+    }
+}

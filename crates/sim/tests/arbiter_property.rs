@@ -1,0 +1,91 @@
+//! Property test: the banked address arbiter behaves exactly like one flat
+//! memory, for any bank layout and access sequence.
+
+use ncpu_sim::AddressArbiter;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Access {
+    Read { addr: u32, width: u32 },
+    Write { addr: u32, width: u32, value: u32 },
+}
+
+fn accesses(space: u32) -> impl Strategy<Value = Vec<Access>> {
+    let one = (0..space, prop_oneof![Just(1u32), Just(2), Just(4)], any::<u32>(), any::<bool>())
+        .prop_map(|(addr, width, value, is_read)| {
+            if is_read {
+                Access::Read { addr, width }
+            } else {
+                Access::Write { addr, width, value }
+            }
+        });
+    prop::collection::vec(one, 1..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Split the same address space into 1–6 contiguous banks; any access
+    /// sequence must behave identically to a flat byte array (accesses
+    /// that cross a bank boundary fault in the arbiter and are skipped in
+    /// the reference).
+    #[test]
+    fn arbiter_equals_flat_memory(
+        cuts in prop::collection::btree_set(1u32..255, 0..5),
+        ops in accesses(256),
+    ) {
+        // Build banks from the cut points.
+        let mut arb = AddressArbiter::new();
+        let mut bounds: Vec<u32> = std::iter::once(0)
+            .chain(cuts.iter().copied())
+            .chain(std::iter::once(256))
+            .collect();
+        bounds.dedup();
+        for (i, w) in bounds.windows(2).enumerate() {
+            arb.add_bank(format!("b{i}"), w[0], (w[1] - w[0]) as usize);
+        }
+        let mut flat = vec![0u8; 256];
+        let crosses_bank = |addr: u32, width: u32| {
+            let end = addr + width;
+            bounds.iter().any(|&b| addr < b && b < end)
+        };
+
+        for op in &ops {
+            match *op {
+                Access::Read { addr, width } => {
+                    let got = arb.read(addr, width);
+                    if addr + width > 256 || crosses_bank(addr, width) {
+                        prop_assert!(got.is_err(), "read {addr}+{width} should fault");
+                    } else {
+                        let mut want = 0u32;
+                        for i in 0..width as usize {
+                            want |= (flat[addr as usize + i] as u32) << (8 * i);
+                        }
+                        prop_assert_eq!(got.expect("in range"), want);
+                    }
+                }
+                Access::Write { addr, width, value } => {
+                    let got = arb.write(addr, width, value);
+                    if addr + width > 256 || crosses_bank(addr, width) {
+                        prop_assert!(got.is_err(), "write {addr}+{width} should fault");
+                    } else {
+                        got.expect("in range");
+                        for i in 0..width as usize {
+                            flat[addr as usize + i] = (value >> (8 * i)) as u8;
+                        }
+                    }
+                }
+            }
+        }
+        // Final state identical bank by bank.
+        for (i, w) in bounds.windows(2).enumerate() {
+            let bank = arb.bank(arb.resolve(w[0]).expect("mapped").0);
+            prop_assert_eq!(
+                bank.bytes(),
+                &flat[w[0] as usize..w[1] as usize],
+                "bank {} contents diverged",
+                i
+            );
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Deeper networks than the physical array (paper Section VIII-A):
+//! single-core layer rollback vs two NCPU cores connected in series.
+//!
+//! "In our NCPU SoC, deeper BNN with more layers can be supported by
+//! rolling back the BNN operation or connecting two cores in series."
+//! Rollback re-uses one core's four physical layers for all logical
+//! layers (half the throughput); series mode splits the network across
+//! both cores so each image streams front-half → link → back-half.
+
+use ncpu_accel::{AccelConfig, Accelerator, BatchRun};
+use ncpu_bnn::{BitVec, BnnLayer, BnnModel, Topology};
+use ncpu_sim::DmaEngine;
+
+use crate::system::SocConfig;
+
+/// Splits a deep model into `(front, back)` halves for series execution.
+///
+/// The front half's "classes" are its full final layer (every activation
+/// bit crosses the inter-core link).
+///
+/// # Panics
+///
+/// Panics if the model has fewer than 2 layers or `split` is not inside
+/// `1..layers`.
+pub fn split_model(deep: &BnnModel, split: usize) -> (BnnModel, BnnModel) {
+    let layers = deep.layers();
+    assert!(layers.len() >= 2, "need at least two layers to split");
+    assert!((1..layers.len()).contains(&split), "split must be interior");
+    let front_layers: Vec<BnnLayer> = layers[..split].to_vec();
+    let back_layers: Vec<BnnLayer> = layers[split..].to_vec();
+    let front_widths: Vec<usize> = front_layers.iter().map(BnnLayer::neurons).collect();
+    let back_widths: Vec<usize> = back_layers.iter().map(BnnLayer::neurons).collect();
+    let front = BnnModel::new(
+        Topology::new(
+            deep.topology().input(),
+            front_widths.clone(),
+            *front_widths.last().expect("nonempty"),
+        ),
+        front_layers,
+    );
+    let back = BnnModel::new(
+        Topology::new(
+            *front_widths.last().expect("nonempty"),
+            back_widths,
+            deep.topology().classes(),
+        ),
+        back_layers,
+    );
+    (front, back)
+}
+
+/// Outcome of a deep-model batch run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeepRun {
+    /// Predicted class per image.
+    pub outputs: Vec<usize>,
+    /// Makespan in cycles.
+    pub total_cycles: u64,
+    /// Latency of the first image.
+    pub first_latency: u64,
+    /// Steady-state cycles between completions (0 for batches < 2).
+    pub steady_interval: u64,
+}
+
+impl From<BatchRun> for DeepRun {
+    fn from(run: BatchRun) -> DeepRun {
+        DeepRun {
+            first_latency: run.first_latency(),
+            steady_interval: run.steady_interval(),
+            outputs: run.outputs,
+            total_cycles: run.total_cycles,
+        }
+    }
+}
+
+/// Runs `deep` on one core by rolling logical layers onto the physical
+/// array.
+pub fn run_rolled(deep: &BnnModel, inputs: &[BitVec], soc: &SocConfig) -> DeepRun {
+    // The physical array: the paper's 4 × (widest layer) configuration.
+    let widest = deep.layers().iter().map(BnnLayer::neurons).max().expect("layers");
+    let physical = BnnModel::zeros(&Topology::paper(
+        deep.topology().input(),
+        widest,
+        deep.topology().classes().min(widest),
+    ));
+    let mut accel = Accelerator::new(
+        physical,
+        AccelConfig { layer_pipelining: soc.layer_pipelining, ..AccelConfig::default() },
+    );
+    let timed: Vec<(BitVec, u64)> = inputs.iter().map(|i| (i.clone(), 0)).collect();
+    accel.run_batch_deep(deep, &timed).into()
+}
+
+/// Runs `deep` split across two NCPU cores in series: core 0 computes the
+/// front half, the activations cross the inter-core link (DMA-costed),
+/// and core 1 computes the back half while core 0 starts the next image.
+pub fn run_series(deep: &BnnModel, inputs: &[BitVec], soc: &SocConfig) -> DeepRun {
+    let split = deep.layers().len() / 2;
+    let (front, back) = split_model(deep, split);
+    let accel_cfg =
+        AccelConfig { layer_pipelining: soc.layer_pipelining, ..AccelConfig::default() };
+    let mut core0 = Accelerator::new(front.clone(), accel_cfg);
+    let mut core1 = Accelerator::new(back.clone(), accel_cfg);
+    let mut link = DmaEngine::new(soc.dma_bytes_per_cycle, soc.dma_setup_cycles);
+
+    let timed: Vec<(BitVec, u64)> = inputs.iter().map(|i| (i.clone(), 0)).collect();
+    let front_run = core0.run_batch_timed(&timed);
+
+    // Front activations (computed functionally) cross the link as each
+    // image completes the front half.
+    let link_bytes = front.topology().layers().last().expect("layers").div_ceil(8) as u32;
+    let mut back_inputs = Vec::with_capacity(inputs.len());
+    for (input, &(_, end)) in inputs.iter().zip(
+        front_run
+            .spans
+            .iter()
+            .map(|&(s, e)| (s, e))
+            .collect::<Vec<_>>()
+            .iter(),
+    ) {
+        let acts = front.layer_outputs(input).last().expect("layers").clone();
+        let delivered = link.schedule(end, link_bytes);
+        back_inputs.push((acts, delivered));
+    }
+    let back_run = core1.run_batch_timed(&back_inputs);
+
+    // Functional check: the series result must equal the whole model.
+    debug_assert!(back_run
+        .outputs
+        .iter()
+        .zip(inputs)
+        .all(|(&o, i)| o == deep.classify(i)));
+
+    DeepRun {
+        outputs: back_run.outputs.clone(),
+        total_cycles: back_run.total_cycles,
+        first_latency: back_run.spans.first().map_or(0, |&(_, e)| e),
+        steady_interval: back_run.steady_interval(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deep_model(layers: usize) -> BnnModel {
+        let topo = Topology::new(48, vec![20; layers], 8);
+        let built = (0..layers)
+            .map(|l| {
+                let n_in = topo.layer_input(l);
+                let rows: Vec<BitVec> = (0..20)
+                    .map(|j| {
+                        BitVec::from_bools((0..n_in).map(|i| (i * 7 + j * 3 + l) % 5 < 2))
+                    })
+                    .collect();
+                BnnLayer::new(rows, (0..20).map(|j| (j as i32 % 3) - 1).collect())
+            })
+            .collect();
+        BnnModel::new(topo, built)
+    }
+
+    fn inputs(n: usize) -> Vec<BitVec> {
+        (0..n).map(|k| BitVec::from_bools((0..48).map(|i| (i + k) % 3 == 0))).collect()
+    }
+
+    #[test]
+    fn split_preserves_function() {
+        let deep = deep_model(8);
+        let (front, back) = split_model(&deep, 4);
+        for input in inputs(6) {
+            let acts = front.layer_outputs(&input).last().unwrap().clone();
+            assert_eq!(back.classify(&acts), deep.classify(&input));
+        }
+    }
+
+    #[test]
+    fn rolled_and_series_agree_functionally() {
+        let deep = deep_model(8);
+        let ins = inputs(5);
+        let soc = SocConfig::default();
+        let rolled = run_rolled(&deep, &ins, &soc);
+        let series = run_series(&deep, &ins, &soc);
+        let reference: Vec<usize> = ins.iter().map(|i| deep.classify(i)).collect();
+        assert_eq!(rolled.outputs, reference);
+        assert_eq!(series.outputs, reference);
+    }
+
+    #[test]
+    fn series_doubles_throughput_over_rollback() {
+        let deep = deep_model(8);
+        let ins = inputs(16);
+        let soc = SocConfig::default();
+        let rolled = run_rolled(&deep, &ins, &soc);
+        let series = run_series(&deep, &ins, &soc);
+        // Two cores hold all 8 layers resident: roughly 2× the rollback
+        // throughput at steady state.
+        assert!(
+            series.steady_interval < rolled.steady_interval,
+            "series {} vs rolled {}",
+            series.steady_interval,
+            rolled.steady_interval
+        );
+        assert!(series.total_cycles < rolled.total_cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "interior")]
+    fn split_bounds_checked() {
+        split_model(&deep_model(4), 4);
+    }
+}

@@ -1,0 +1,32 @@
+//! The two-core NCPU SoC and the conventional heterogeneous baseline.
+//!
+//! Reproduces the end-to-end system of paper Section VI/VII: a shared
+//! incoherent L2, a DMA engine, and either
+//!
+//! * the **heterogeneous baseline** — one standalone 5-stage CPU that
+//!   pre-processes each item, offloads the packed BNN input over the
+//!   L2/DMA path (`trigger_bnn`), and a standalone layer-pipelined BNN
+//!   accelerator that classifies as inputs arrive, or
+//! * **1 or 2 NCPU cores** — each core pre-processes with data written
+//!   straight into its local image memory, switches modes with zero
+//!   latency, classifies in place, and switches back.
+//!
+//! [`run`] executes a [`UseCase`] under a [`SystemConfig`] and returns a
+//! [`RunReport`] with the makespan, per-core busy/mode timelines,
+//! utilizations, predicted classes and energy — everything the paper's
+//! Figs. 13–17 and Table IV are made of.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deep;
+pub mod energy;
+pub mod lockstep;
+pub mod phases;
+mod report;
+mod system;
+mod usecase;
+
+pub use report::{CoreReport, RunReport};
+pub use system::{run, run_independent, SocConfig, SystemConfig};
+pub use usecase::{UseCase, UseCaseKind};

@@ -1,0 +1,116 @@
+//! Phase-resolved measurement of the pre-processing programs (Fig. 15).
+//!
+//! The image and motion programs write a phase id to `gp` at each phase
+//! boundary; stepping the pipeline and watching `gp` yields the exact
+//! cycle each phase ends, from which the paper's runtime breakdown (CPU
+//! stages vs BNN share) is computed.
+
+use ncpu_pipeline::{FlatMem, MemPort, Pipeline};
+
+/// Runtime of each phase of a phase-annotated program, in cycles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    /// `(phase_id, cycles)` in execution order; ids are the program's
+    /// `phase::*` constants.
+    pub phases: Vec<(u32, u64)>,
+    /// Cycles after the last marker until halt (mode switching, copy-out).
+    pub tail_cycles: u64,
+    /// Total program cycles.
+    pub total_cycles: u64,
+}
+
+impl PhaseBreakdown {
+    /// Fraction of total time in phase `id` (against `total + extra`,
+    /// letting callers fold in the BNN share).
+    pub fn share_of(&self, id: u32, denominator: u64) -> f64 {
+        let cycles = self
+            .phases
+            .iter()
+            .find(|&&(p, _)| p == id)
+            .map(|&(_, c)| c)
+            .unwrap_or(0);
+        cycles as f64 / denominator as f64
+    }
+}
+
+/// Runs a phase-annotated program on a bare pipeline with `staged` data
+/// preloaded at address 0, recording `gp` transitions.
+///
+/// # Panics
+///
+/// Panics if the program faults or exceeds the cycle budget — both are
+/// workspace bugs, not input conditions.
+pub fn measure<M>(mut cpu: Pipeline<M>, budget: u64) -> PhaseBreakdown
+where
+    M: MemPort,
+{
+    let mut phases = Vec::new();
+    let mut last_marker_cycle = 0u64;
+    let mut last_gp = 0u32;
+    while !cpu.is_halted() {
+        assert!(cpu.stats().cycles < budget, "phase measurement exceeded budget");
+        cpu.step().expect("phase-annotated program must not fault");
+        let gp = cpu.reg(ncpu_isa::Reg::GP);
+        if gp != last_gp {
+            let now = cpu.stats().cycles;
+            phases.push((gp, now - last_marker_cycle));
+            last_marker_cycle = now;
+            last_gp = gp;
+        }
+        if cpu.is_fetch_halted() && !cpu.is_halted() && cpu.is_drained() {
+            // A serializing instruction (trans_bnn) parked the pipeline and
+            // every in-flight instruction has retired; for phase
+            // measurement this is the end of CPU work.
+            break;
+        }
+    }
+    let total_cycles = cpu.stats().cycles;
+    PhaseBreakdown { phases, tail_cycles: total_cycles - last_marker_cycle, total_cycles }
+}
+
+/// Convenience wrapper: measure a program over `FlatMem` with staged data.
+pub fn measure_program(program: Vec<u32>, staged: &[u8], mem_bytes: usize) -> PhaseBreakdown {
+    let mut cpu = Pipeline::new(program, FlatMem::new(mem_bytes));
+    cpu.mem_mut().local_mut()[..staged.len()].copy_from_slice(staged);
+    measure(cpu, 500_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncpu_bnn::data::{digits, motion};
+    use ncpu_workloads::{image, motion as motion_prog, Tail};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn image_phases_match_paper_ordering() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let raw = digits::render_raw(3, 0.1, &mut rng);
+        let layout = image::ImageLayout::default();
+        let program = image::preprocess_program(&layout, layout.pack, Tail::Halt);
+        let b = measure_program(program, &image::stage_bytes(&raw), 16 * 1024);
+        assert_eq!(b.phases.len(), 3, "three CPU phases");
+        let resize = b.phases[0].1;
+        let filter = b.phases[1].1;
+        let norm = b.phases[2].1;
+        // Paper Fig. 15(a): filter (32%) > resize (30%) > normalization (12%).
+        assert!(filter > resize, "filter {filter} vs resize {resize}");
+        assert!(resize > norm, "resize {resize} vs norm {norm}");
+        assert_eq!(b.total_cycles, resize + filter + norm + b.tail_cycles);
+    }
+
+    #[test]
+    fn motion_phases_match_paper_ordering() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = motion::generate_window(2, 9000.0, &mut rng);
+        let layout = motion_prog::MotionLayout::default();
+        let program = motion_prog::feature_program(&layout, layout.pack, Tail::Halt);
+        let b = measure_program(program, &motion_prog::stage_bytes(&w), 4096);
+        assert_eq!(b.phases.len(), 3);
+        let mean = b.phases[0].1;
+        let hist = b.phases[1].1;
+        // Paper Fig. 15(b): histogram (46%) dominates mean (22%).
+        assert!(hist > mean, "hist {hist} vs mean {mean}");
+    }
+}

@@ -1,0 +1,90 @@
+//! Run reports: makespan, utilization, timelines, classification results.
+
+use ncpu_sim::stats::Timeline;
+
+/// Per-core outcome of one end-to-end run.
+#[derive(Debug, Clone)]
+pub struct CoreReport {
+    /// Human-readable role, e.g. `"cpu"`, `"bnn-accel"`, `"ncpu0"`.
+    pub role: String,
+    /// Busy/mode spans in global cycles (`"cpu"`, `"bnn"`, `"switch"`,
+    /// `"idle"` gaps are implicit).
+    pub timeline: Timeline,
+    /// Cycles the core was doing work.
+    pub busy_cycles: u64,
+}
+
+impl CoreReport {
+    /// Utilization over the run's makespan.
+    pub fn utilization(&self, makespan: u64) -> f64 {
+        if makespan == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / makespan as f64
+        }
+    }
+}
+
+/// Outcome of one end-to-end run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Configuration label, e.g. `"heterogeneous"`, `"2x ncpu"`.
+    pub config: String,
+    /// End-to-end latency in cycles (last result written).
+    pub makespan: u64,
+    /// Per-core reports.
+    pub cores: Vec<CoreReport>,
+    /// Predicted class per item, in item order.
+    pub predictions: Vec<usize>,
+    /// Ground-truth label per item.
+    pub labels: Vec<usize>,
+}
+
+impl RunReport {
+    /// Classification accuracy over the batch.
+    pub fn accuracy(&self) -> f64 {
+        if self.predictions.is_empty() {
+            return 0.0;
+        }
+        let ok = self
+            .predictions
+            .iter()
+            .zip(&self.labels)
+            .filter(|(p, l)| p == l)
+            .count();
+        ok as f64 / self.predictions.len() as f64
+    }
+
+    /// End-to-end latency improvement of `self` over `baseline`
+    /// (positive = faster, e.g. 0.43 for the paper's 43%).
+    pub fn improvement_over(&self, baseline: &RunReport) -> f64 {
+        1.0 - self.makespan as f64 / baseline.makespan as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_and_improvement() {
+        let mk = |makespan| RunReport {
+            config: "x".into(),
+            makespan,
+            cores: vec![],
+            predictions: vec![1, 2, 3],
+            labels: vec![1, 2, 0],
+        };
+        let a = mk(100);
+        let b = mk(57);
+        assert!((a.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((b.improvement_over(&a) - 0.43).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_handles_zero_makespan() {
+        let c = CoreReport { role: "cpu".into(), timeline: Timeline::new(), busy_cycles: 0 };
+        assert_eq!(c.utilization(0), 0.0);
+        assert_eq!(c.utilization(10), 0.0);
+    }
+}

@@ -1,0 +1,495 @@
+//! End-to-end execution under the three system configurations.
+
+use ncpu_accel::{AccelConfig, Accelerator};
+use ncpu_bnn::BitVec;
+use ncpu_core::{NcpuCore, SharedL2, SwitchPolicy};
+use ncpu_isa::asm;
+use ncpu_isa::interp::Event;
+use ncpu_pipeline::{FlatMem, Pipeline};
+use ncpu_sim::stats::Timeline;
+use ncpu_sim::DmaEngine;
+use ncpu_workloads::{image, motion as motion_prog, Tail};
+
+use crate::report::{CoreReport, RunReport};
+use crate::usecase::{UseCase, UseCaseKind};
+
+/// Shared-fabric parameters of the SoC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SocConfig {
+    /// DMA bandwidth in bytes per cycle.
+    pub dma_bytes_per_cycle: u32,
+    /// DMA per-transfer setup latency in cycles.
+    pub dma_setup_cycles: u64,
+    /// NCPU mode-switch policy (the ablation flips this to `Naive`).
+    pub switch_policy: SwitchPolicy,
+    /// Whether the accelerator pipelines layers across images (ablation).
+    pub layer_pipelining: bool,
+}
+
+impl Default for SocConfig {
+    fn default() -> SocConfig {
+        SocConfig {
+            dma_bytes_per_cycle: 4,
+            dma_setup_cycles: 16,
+            switch_policy: SwitchPolicy::ZeroLatency,
+            layer_pipelining: true,
+        }
+    }
+}
+
+/// Which system runs the use case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemConfig {
+    /// Conventional heterogeneous pair: standalone CPU + BNN accelerator
+    /// with DMA offload through the shared L2.
+    Heterogeneous,
+    /// `cores` reconfigurable NCPU cores (the paper builds 1 and 2).
+    Ncpu {
+        /// Number of NCPU cores (≥1).
+        cores: usize,
+    },
+}
+
+/// L2 address where core `c` writes its classification results.
+fn result_addr(core: usize) -> u32 {
+    0x40 + core as u32 * 4
+}
+
+/// Cycle budget per item (well above the heaviest program).
+const ITEM_BUDGET: u64 = 200_000_000;
+
+/// Local address where the heterogeneous CPU program packs the BNN input.
+fn hetero_pack_offset(uc: &UseCase) -> u32 {
+    match uc.kind() {
+        UseCaseKind::Image => image::ImageLayout::default().pack,
+        UseCaseKind::Motion => motion_prog::MotionLayout::default().pack,
+        UseCaseKind::Parametric => 0,
+    }
+}
+
+pub(crate) fn ncpu_program(uc: &UseCase, core: &NcpuCore, result_l2: u32) -> Vec<u32> {
+    let tail = Tail::NcpuClassify { output_base: core.output_base(), result_l2 };
+    match uc.kind() {
+        UseCaseKind::Image => image::preprocess_program(
+            &image::ImageLayout::default(),
+            core.image_base(),
+            tail,
+        ),
+        UseCaseKind::Motion => motion_prog::feature_program(
+            &motion_prog::MotionLayout::default(),
+            core.image_base(),
+            tail,
+        ),
+        UseCaseKind::Parametric => {
+            let src = format!(
+                "{}\n{}",
+                uc.spin_source().expect("parametric use case"),
+                tail.asm(0)
+            );
+            asm::assemble(&src).expect("parametric NCPU program")
+        }
+    }
+}
+
+fn hetero_program(uc: &UseCase) -> Vec<u32> {
+    let tail = Tail::Offload;
+    match uc.kind() {
+        UseCaseKind::Image => {
+            let layout = image::ImageLayout::default();
+            image::preprocess_program(&layout, layout.pack, tail)
+        }
+        UseCaseKind::Motion => {
+            let layout = motion_prog::MotionLayout::default();
+            motion_prog::feature_program(&layout, layout.pack, tail)
+        }
+        UseCaseKind::Parametric => {
+            let src = format!(
+                "{}\n{}",
+                uc.spin_source().expect("parametric use case"),
+                tail.asm(0)
+            );
+            asm::assemble(&src).expect("parametric offload program")
+        }
+    }
+}
+
+/// Runs `usecase` under `system`, returning the full report.
+///
+/// # Panics
+///
+/// Panics if a generated program faults — the programs are produced by
+/// this workspace, so a fault is a bug, not an input condition.
+pub fn run(usecase: &UseCase, system: SystemConfig, soc: &SocConfig) -> RunReport {
+    match system {
+        SystemConfig::Heterogeneous => run_heterogeneous(usecase, soc),
+        SystemConfig::Ncpu { cores } => run_ncpu(usecase, cores, soc),
+    }
+}
+
+
+/// Stages one item and runs one program to completion on `core`, starting
+/// no earlier than `now` (global cycles). Returns `(end_time, used)` and
+/// appends the core's new mode spans, re-based to global time, to
+/// `timeline`.
+fn run_item(
+    core: &mut NcpuCore,
+    program: &[u32],
+    staged: &[u8],
+    now: u64,
+    dma: &mut DmaEngine,
+    timeline: &mut Timeline,
+) -> (u64, u64) {
+    let start = if staged.is_empty() {
+        now
+    } else {
+        let delivered = dma.schedule(now, staged.len() as u32);
+        let banks = core.pipeline_mut().mem_mut().accel_mut().banks_mut();
+        let (bank, off) = banks.resolve(0).expect("data cache starts at 0");
+        banks.bank_mut(bank).load(off as usize, staged);
+        delivered
+    };
+    let internal_before = core.total_cycles();
+    core.load_program(program.to_vec());
+    core.run(ITEM_BUDGET).expect("NCPU program must complete");
+    let used = core.total_cycles() - internal_before;
+    let offset = start as i64 - internal_before as i64;
+    for span in core.timeline().spans() {
+        if span.start >= internal_before {
+            timeline.record(
+                span.label.clone(),
+                (span.start as i64 + offset) as u64,
+                (span.end as i64 + offset) as u64,
+            );
+        }
+    }
+    (start + used, used)
+}
+
+fn run_ncpu(usecase: &UseCase, cores: usize, soc: &SocConfig) -> RunReport {
+    assert!(cores >= 1, "need at least one core");
+    let l2 = SharedL2::new(256 * 1024);
+    let accel_cfg =
+        AccelConfig { layer_pipelining: soc.layer_pipelining, ..AccelConfig::default() };
+    let mut pool: Vec<NcpuCore> = (0..cores)
+        .map(|_| {
+            NcpuCore::with_l2(usecase.model().clone(), accel_cfg, soc.switch_policy, l2.clone())
+        })
+        .collect();
+    let programs: Vec<Vec<u32>> = pool
+        .iter()
+        .enumerate()
+        .map(|(c, core)| ncpu_program(usecase, core, result_addr(c)))
+        .collect();
+
+    let mut dma = DmaEngine::new(soc.dma_bytes_per_cycle, soc.dma_setup_cycles);
+    let mut now = vec![0u64; cores];
+    let mut timelines = vec![Timeline::new(); cores];
+    let mut busy = vec![0u64; cores];
+    let mut predictions = Vec::with_capacity(usecase.items().len());
+
+    for (i, item) in usecase.items().iter().enumerate() {
+        let c = i % cores;
+        let (end, used) = run_item(
+            &mut pool[c],
+            &programs[c],
+            &item.staged,
+            now[c],
+            &mut dma,
+            &mut timelines[c],
+        );
+        now[c] = end;
+        busy[c] += used;
+        predictions
+            .push(l2.read_word(result_addr(c)).expect("result staged by program") as usize);
+    }
+
+    let makespan = now.into_iter().max().unwrap_or(0);
+    let cores_report = (0..cores)
+        .map(|c| CoreReport {
+            role: format!("ncpu{c}"),
+            timeline: std::mem::take(&mut timelines[c]),
+            busy_cycles: busy[c],
+        })
+        .collect();
+    RunReport {
+        config: format!("{cores}x ncpu"),
+        makespan,
+        cores: cores_report,
+        predictions,
+        labels: usecase.items().iter().map(|i| i.label).collect(),
+    }
+}
+
+
+/// Runs two *different* use cases concurrently, one per NCPU core (paper
+/// Section VI-A: the cores "operate independently for different workload
+/// tasks"), sharing the L2 and DMA fabric. Items are processed in global
+/// time order so DMA requests queue in arrival order. Returns one report
+/// per core.
+///
+/// # Panics
+///
+/// Panics if a generated program faults (a workspace bug).
+pub fn run_independent(a: &UseCase, b: &UseCase, soc: &SocConfig) -> (RunReport, RunReport) {
+    let l2 = SharedL2::new(256 * 1024);
+    let accel_cfg =
+        AccelConfig { layer_pipelining: soc.layer_pipelining, ..AccelConfig::default() };
+    let mut dma = DmaEngine::new(soc.dma_bytes_per_cycle, soc.dma_setup_cycles);
+
+    struct CoreState {
+        core: NcpuCore,
+        program: Vec<u32>,
+        next_item: usize,
+        now: u64,
+        busy: u64,
+        timeline: Timeline,
+        predictions: Vec<usize>,
+    }
+    let usecases = [a, b];
+    let mut states: Vec<CoreState> = usecases
+        .iter()
+        .enumerate()
+        .map(|(c, uc)| {
+            let core =
+                NcpuCore::with_l2(uc.model().clone(), accel_cfg, soc.switch_policy, l2.clone());
+            let program = ncpu_program(uc, &core, result_addr(c));
+            CoreState {
+                core,
+                program,
+                next_item: 0,
+                now: 0,
+                busy: 0,
+                timeline: Timeline::new(),
+                predictions: Vec::new(),
+            }
+        })
+        .collect();
+
+    // Global-time-ordered scheduling: always advance the core whose clock
+    // is furthest behind, so shared-DMA bookings happen in arrival order.
+    loop {
+        let ready = (0..states.len())
+            .filter(|&c| states[c].next_item < usecases[c].items().len())
+            .min_by_key(|&c| states[c].now);
+        let Some(c) = ready else { break };
+        let item = &usecases[c].items()[states[c].next_item];
+        let st = &mut states[c];
+        let (end, used) =
+            run_item(&mut st.core, &st.program, &item.staged, st.now, &mut dma, &mut st.timeline);
+        st.now = end;
+        st.busy += used;
+        st.next_item += 1;
+        st.predictions
+            .push(l2.read_word(result_addr(c)).expect("result staged by program") as usize);
+    }
+
+    let mut reports: Vec<RunReport> = states
+        .into_iter()
+        .enumerate()
+        .map(|(c, st)| RunReport {
+            config: format!("independent core {c}"),
+            makespan: st.now,
+            cores: vec![CoreReport {
+                role: format!("ncpu{c}"),
+                timeline: st.timeline,
+                busy_cycles: st.busy,
+            }],
+            predictions: st.predictions,
+            labels: usecases[c].items().iter().map(|i| i.label).collect(),
+        })
+        .collect();
+    let second = reports.pop().expect("two reports");
+    let first = reports.pop().expect("two reports");
+    (first, second)
+}
+
+fn run_heterogeneous(usecase: &UseCase, soc: &SocConfig) -> RunReport {
+    let program = hetero_program(usecase);
+    let mut cpu = Pipeline::new(program, FlatMem::with_l2(16 * 1024, 256 * 1024));
+    let accel_cfg =
+        AccelConfig { layer_pipelining: soc.layer_pipelining, ..AccelConfig::default() };
+    let mut accel = Accelerator::new(usecase.model().clone(), accel_cfg);
+    let mut dma = DmaEngine::new(soc.dma_bytes_per_cycle, soc.dma_setup_cycles);
+
+    let input_bits = usecase.model().topology().input();
+    let packed_bytes = input_bits.div_ceil(8);
+
+    let mut t_cpu = 0u64;
+    let mut cpu_timeline = Timeline::new();
+    let mut cpu_busy = 0u64;
+    let mut queued: Vec<(BitVec, u64)> = Vec::new();
+
+    for item in usecase.items() {
+        // Stage the raw item (same DMA the NCPU flow uses).
+        let start = if item.staged.is_empty() {
+            t_cpu
+        } else {
+            let delivered = dma.schedule(t_cpu, item.staged.len() as u32);
+            cpu.mem_mut().local_mut()[..item.staged.len()].copy_from_slice(&item.staged);
+            delivered
+        };
+        cpu.restart_at(0);
+        let before = cpu.stats().cycles;
+        // Pre-process + copy-out, up to the offload trigger…
+        let ev = cpu.run_until_event(ITEM_BUDGET).expect("offload program runs");
+        assert_eq!(ev, Event::TriggerBnn, "offload program must trigger the accelerator");
+        let t_trigger = start + (cpu.stats().cycles - before);
+        // …then drain to halt.
+        cpu.resume();
+        cpu.run(ITEM_BUDGET).expect("offload program halts");
+        let used = cpu.stats().cycles - before;
+        cpu_timeline.record("cpu", start, start + used);
+        cpu_busy += used;
+        t_cpu = start + used;
+
+        // DMA the packed input from the CPU's local memory through the L2
+        // into the accelerator image memory (the conventional offload).
+        let delivered = dma.schedule(t_trigger, packed_bytes as u32);
+        let pack_at = hetero_pack_offset(usecase) as usize;
+        let local = cpu.mem().local();
+        let input =
+            BitVec::from_bytes(&local[pack_at..pack_at + packed_bytes], input_bits);
+        queued.push((input, delivered));
+    }
+
+    let batch = accel.run_batch_timed(&queued);
+    let mut accel_timeline = Timeline::new();
+    for &(s, e) in &batch.spans {
+        accel_timeline.record("bnn", s, e);
+    }
+    let makespan = t_cpu.max(batch.total_cycles);
+
+    RunReport {
+        config: "heterogeneous".to_string(),
+        makespan,
+        cores: vec![
+            CoreReport { role: "cpu".to_string(), timeline: cpu_timeline, busy_cycles: cpu_busy },
+            CoreReport {
+                role: "bnn-accel".to_string(),
+                timeline: accel_timeline,
+                busy_cycles: accel.stats().busy_cycles,
+            },
+        ],
+        predictions: batch.outputs,
+        labels: usecase.items().iter().map(|i| i.label).collect(),
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::usecase::UseCase;
+    use ncpu_bnn::{BnnLayer, BnnModel, Topology};
+
+    pub(crate) fn pseudo_model(input: usize, neurons: usize, classes: usize) -> BnnModel {
+        let topo = Topology::new(input, vec![neurons; 4], classes);
+        let mut layers = Vec::new();
+        for l in 0..4 {
+            let n_in = topo.layer_input(l);
+            let rows: Vec<BitVec> = (0..neurons)
+                .map(|j| BitVec::from_bools((0..n_in).map(|i| (i * 7 + j * 3 + l) % 5 < 2)))
+                .collect();
+            let bias = (0..neurons).map(|j| (j as i32 % 3) - 1).collect();
+            layers.push(BnnLayer::new(rows, bias));
+        }
+        BnnModel::new(topo, layers)
+    }
+
+    #[test]
+    fn parametric_two_ncpu_beats_baseline_per_paper_fig13() {
+        let model = pseudo_model(784, 100, 10);
+        let soc = SocConfig::default();
+        for (fraction, expect) in [(0.4, 0.285), (0.7, 0.412)] {
+            let uc = UseCase::parametric(fraction, 2, model.clone());
+            let base = run(&uc, SystemConfig::Heterogeneous, &soc);
+            let dual = run(&uc, SystemConfig::Ncpu { cores: 2 }, &soc);
+            let imp = dual.improvement_over(&base);
+            assert!(
+                (imp - expect).abs() < 0.06,
+                "fraction {fraction}: improvement {imp:.3} vs paper {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn predictions_agree_across_systems() {
+        let model = pseudo_model(784, 20, 10);
+        let uc = UseCase::parametric(0.5, 4, model);
+        let soc = SocConfig::default();
+        let a = run(&uc, SystemConfig::Heterogeneous, &soc);
+        let b = run(&uc, SystemConfig::Ncpu { cores: 1 }, &soc);
+        let c = run(&uc, SystemConfig::Ncpu { cores: 2 }, &soc);
+        assert_eq!(a.predictions, b.predictions);
+        assert_eq!(a.predictions, c.predictions);
+    }
+
+    #[test]
+    fn dual_ncpu_sustains_high_utilization() {
+        let model = pseudo_model(784, 50, 10);
+        let uc = UseCase::parametric(0.7, 8, model);
+        let soc = SocConfig::default();
+        let dual = run(&uc, SystemConfig::Ncpu { cores: 2 }, &soc);
+        for core in &dual.cores {
+            assert!(
+                core.utilization(dual.makespan) > 0.95,
+                "{} utilization {:.3}",
+                core.role,
+                core.utilization(dual.makespan)
+            );
+        }
+        let base = run(&uc, SystemConfig::Heterogeneous, &soc);
+        let cpu_util = base.cores[0].utilization(base.makespan);
+        let accel_util = base.cores[1].utilization(base.makespan);
+        assert!(cpu_util > accel_util, "baseline accelerator must be under-utilized");
+    }
+
+    #[test]
+    fn single_ncpu_is_modestly_slower_than_baseline() {
+        let model = pseudo_model(784, 100, 10);
+        let uc = UseCase::parametric(0.7, 2, model);
+        let soc = SocConfig::default();
+        let base = run(&uc, SystemConfig::Heterogeneous, &soc);
+        let single = run(&uc, SystemConfig::Ncpu { cores: 1 }, &soc);
+        let delta = single.makespan as f64 / base.makespan as f64 - 1.0;
+        // Paper Fig. 17: +13.8% for the image case at batch 2.
+        assert!((0.0..0.35).contains(&delta), "single-NCPU delta {delta}");
+    }
+
+    #[test]
+    fn motion_use_case_end_to_end() {
+        let uc = UseCase::motion(2, 6, 3);
+        let soc = SocConfig::default();
+        let base = run(&uc, SystemConfig::Heterogeneous, &soc);
+        let dual = run(&uc, SystemConfig::Ncpu { cores: 2 }, &soc);
+        assert_eq!(base.predictions.len(), 2);
+        assert_eq!(base.predictions, dual.predictions, "same classifier, same answers");
+        assert!(dual.makespan < base.makespan, "two cores beat the baseline");
+    }
+}
+
+#[cfg(test)]
+mod independent_tests {
+    use super::*;
+    use crate::usecase::UseCase;
+
+    #[test]
+    fn independent_cores_run_different_tasks() {
+        let motion = UseCase::motion(2, 4, 2);
+        let spin = UseCase::parametric(
+            0.5,
+            3,
+            crate::system::tests::pseudo_model(784, 20, 10),
+        );
+        let (a, b) = run_independent(&motion, &spin, &SocConfig::default());
+        assert_eq!(a.predictions.len(), 2);
+        assert_eq!(b.predictions.len(), 3);
+        assert!(a.makespan > 0 && b.makespan > 0);
+        // Each core's report carries exactly its own role.
+        assert_eq!(a.cores[0].role, "ncpu0");
+        assert_eq!(b.cores[0].role, "ncpu1");
+        // Results match a solo run of the same use case (sharing the
+        // fabric does not change answers).
+        let solo = run(&motion, SystemConfig::Ncpu { cores: 1 }, &SocConfig::default());
+        assert_eq!(a.predictions, solo.predictions);
+    }
+}

@@ -1,0 +1,75 @@
+//! RV32I workload programs and the paper's real-time use cases.
+//!
+//! Everything the evaluation runs on a CPU is an actual RISC-V program,
+//! assembled at runtime with `ncpu-isa` and executed on the cycle-accurate
+//! pipeline:
+//!
+//! * [`image`] — the image-classification pre-processing chain (resize →
+//!   grayscale → 3×3 filter → normalize → pack), bit-exact against the
+//!   host mirror in [`ncpu_bnn::data::digits`],
+//! * [`motion`] — the motion-detection feature extraction (per-channel
+//!   mean + histogram, thermometer encoding), bit-exact against
+//!   [`ncpu_bnn::data::motion`],
+//! * [`softbnn`] — a naive software BNN inference routine, the
+//!   standalone-CPU baseline of Table I,
+//! * [`dhrystone`] — a Dhrystone-class synthetic integer benchmark
+//!   reporting DMIPS (Table II),
+//! * [`kernels`] — MiBench-like embedded kernels used for the CPU-mode
+//!   power characterization (Fig. 11),
+//! * [`spin`] — calibrated busy loops used where the paper parametrically
+//!   sweeps the CPU workload fraction (Figs. 13/14).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dhrystone;
+pub mod image;
+pub mod kernels;
+pub mod motion;
+pub mod softbnn;
+pub mod spin;
+
+/// Where a pre-processing program sends its packed BNN input when done.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tail {
+    /// NCPU flow: configure the transition neurons, `trans_bnn`, then read
+    /// the class from the output memory and write it through to the L2.
+    NcpuClassify {
+        /// Output-memory base address (CPU-mode view).
+        output_base: u32,
+        /// L2 address receiving the final class word.
+        result_l2: u32,
+    },
+    /// Heterogeneous-baseline flow: `trigger_bnn` and halt. The packed
+    /// input stays in the CPU's local memory; the SoC's DMA engine moves
+    /// it to the accelerator (the conventional offload path), so the CPU
+    /// pays no copy loop.
+    Offload,
+    /// Stop after packing (used by the bit-exactness tests).
+    Halt,
+}
+
+impl Tail {
+    /// Renders the tail's assembly, assuming the packed input sits at
+    /// `pack_base` and temporaries `t0`–`t4` are free.
+    pub fn asm(&self, pack_base: u32) -> String {
+        match *self {
+            Tail::NcpuClassify { output_base, result_l2 } => format!(
+                "li   t2, 1
+                 mv_neu t2, 0
+                 trans_bnn
+                 li   t3, {output_base}
+                 lw   a0, 0(t3)
+                 li   t4, {result_l2}
+                 sw_l2 a0, 0(t4)
+                 ebreak"
+            ),
+            Tail::Offload => {
+                let _ = pack_base; // data stays where it was packed
+                "trigger_bnn
+ebreak".to_string()
+            }
+            Tail::Halt => "ebreak".to_string(),
+        }
+    }
+}

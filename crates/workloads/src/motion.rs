@@ -1,0 +1,263 @@
+//! The motion-detection feature-extraction program (paper Fig. 15(b)).
+//!
+//! Per window, mirroring [`ncpu_bnn::data::motion`] bit for bit: for each
+//! of the 6 channels compute the mean (phase "mean") and the 8-bin
+//! histogram (phase "hist"), scale the features to 0–255, thermometer-
+//! encode them against 4 thresholds and pack the 216 BNN input bits.
+
+use ncpu_bnn::data::motion::{MotionWindow, THERMO_THRESHOLDS};
+use ncpu_isa::asm;
+
+use crate::Tail;
+
+/// Data-cache layout of the motion program (byte offsets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MotionLayout {
+    /// Channel-major i16 window (6 × 128 × 2 = 1536 bytes).
+    pub window: u32,
+    /// Histogram scratch (8 words).
+    pub hist: u32,
+    /// Feature bytes (54).
+    pub features: u32,
+    /// Packed 216-bit BNN input (27 bytes, padded to 28).
+    pub pack: u32,
+}
+
+impl Default for MotionLayout {
+    fn default() -> MotionLayout {
+        MotionLayout { window: 0, hist: 1600, features: 1700, pack: 1800 }
+    }
+}
+
+/// Bytes the DMA stages for one window.
+pub const STAGE_BYTES: usize = MotionWindow::byte_len();
+
+/// The bytes the DMA stages for one window (channel-major i16).
+pub fn stage_bytes(window: &MotionWindow) -> Vec<u8> {
+    window.to_bytes()
+}
+
+/// Phase ids written to `gp` at phase boundaries.
+pub mod phase {
+    /// All channel means computed.
+    pub const MEAN_DONE: u32 = 1;
+    /// All channel histograms computed.
+    pub const HIST_DONE: u32 = 2;
+    /// Thermometer encoding + packing finished.
+    pub const ENCODE_DONE: u32 = 3;
+}
+
+/// Builds the feature-extraction program (see [`crate::Tail`] for the
+/// hand-off variants). The packed input lands at `pack_base`.
+///
+/// To expose the paper's mean/histogram phase split, the program makes a
+/// mean pass over all channels first, then a histogram pass.
+///
+/// # Panics
+///
+/// Panics if the generated assembly fails to assemble (programming error).
+pub fn feature_program(layout: &MotionLayout, pack_base: u32, tail: Tail) -> Vec<u32> {
+    let MotionLayout { window, hist, features, .. } = *layout;
+    let [th0, th1, th2, th3] = THERMO_THRESHOLDS;
+    let tail_asm = tail.asm(layout.pack);
+    let src = format!(
+        "# ---- phase 1: per-channel means ----
+        li   s0, 0              # channel
+        li   s9, {features}
+mn_ch:  li   t0, 256
+        mul  t1, s0, t0
+        li   t0, {window}
+        add  s4, t1, t0         # sample ptr
+        li   s2, 0              # sum
+        li   s3, 128
+mn_sm:  lh   t2, 0(s4)
+        add  s2, s2, t2
+        addi s4, s4, 2
+        addi s3, s3, -1
+        bnez s3, mn_sm
+        srai t2, s2, 7
+        li   t3, 32768
+        add  t2, t2, t3
+        srai t2, t2, 8
+        andi t2, t2, 255
+        # feature slot: features + channel*9
+        li   t3, 9
+        mul  t3, s0, t3
+        add  t3, t3, s9
+        sb   t2, 0(t3)
+        addi s0, s0, 1
+        li   t0, 6
+        blt  s0, t0, mn_ch
+        li   gp, {ph_mean}
+
+        # ---- phase 2: per-channel histograms ----
+        li   s0, 0
+mh_ch:  # clear hist
+        li   s1, {hist}
+        li   t2, 8
+mh_cl:  sw   zero, 0(s1)
+        addi s1, s1, 4
+        addi t2, t2, -1
+        bnez t2, mh_cl
+        li   t0, 256
+        mul  t1, s0, t0
+        li   t0, {window}
+        add  s4, t1, t0
+        li   s3, 128
+        li   s5, {hist}
+mh_sm:  lh   t2, 0(s4)
+        li   t3, 32768
+        add  t3, t2, t3
+        srai t3, t3, 13
+        slli t3, t3, 2
+        add  t3, t3, s5
+        lw   t4, 0(t3)
+        addi t4, t4, 1
+        sw   t4, 0(t3)
+        addi s4, s4, 2
+        addi s3, s3, -1
+        bnez s3, mh_sm
+        # write scaled bins: min(count*2, 255)
+        li   s1, {hist}
+        li   t5, 8
+        li   t6, 9
+        mul  t6, s0, t6
+        li   t0, {features}
+        add  t6, t6, t0
+        addi t6, t6, 1          # skip the mean slot
+mh_wr:  lw   t2, 0(s1)
+        slli t2, t2, 1
+        sltiu t3, t2, 256
+        bnez t3, mh_ok
+        li   t2, 255
+mh_ok:  sb   t2, 0(t6)
+        addi t6, t6, 1
+        addi s1, s1, 4
+        addi t5, t5, -1
+        bnez t5, mh_wr
+        addi s0, s0, 1
+        li   t0, 6
+        blt  s0, t0, mh_ch
+        li   gp, {ph_hist}
+
+        # ---- phase 3: thermometer encoding + packing ----
+        li   s0, {features}
+        li   s3, 54
+        li   s6, 0              # byte accumulator
+        li   s7, 0              # bit position
+        li   s2, {pack_base}
+en_l:   lbu  t2, 0(s0)
+        # threshold {th0}
+        sltiu t3, t2, {th0}
+        xori t3, t3, 1
+        sll  t3, t3, s7
+        or   s6, s6, t3
+        addi s7, s7, 1
+        li   t5, 8
+        bne  s7, t5, en_a
+        sb   s6, 0(s2)
+        addi s2, s2, 1
+        li   s6, 0
+        li   s7, 0
+en_a:   # threshold {th1}
+        sltiu t3, t2, {th1}
+        xori t3, t3, 1
+        sll  t3, t3, s7
+        or   s6, s6, t3
+        addi s7, s7, 1
+        li   t5, 8
+        bne  s7, t5, en_b
+        sb   s6, 0(s2)
+        addi s2, s2, 1
+        li   s6, 0
+        li   s7, 0
+en_b:   # threshold {th2}
+        sltiu t3, t2, {th2}
+        xori t3, t3, 1
+        sll  t3, t3, s7
+        or   s6, s6, t3
+        addi s7, s7, 1
+        li   t5, 8
+        bne  s7, t5, en_c
+        sb   s6, 0(s2)
+        addi s2, s2, 1
+        li   s6, 0
+        li   s7, 0
+en_c:   # threshold {th3}
+        sltiu t3, t2, {th3}
+        xori t3, t3, 1
+        sll  t3, t3, s7
+        or   s6, s6, t3
+        addi s7, s7, 1
+        li   t5, 8
+        bne  s7, t5, en_d
+        sb   s6, 0(s2)
+        addi s2, s2, 1
+        li   s6, 0
+        li   s7, 0
+en_d:   addi s0, s0, 1
+        addi s3, s3, -1
+        bnez s3, en_l
+        li   gp, {ph_encode}
+
+        # ---- tail ----
+        {tail_asm}",
+        ph_mean = phase::MEAN_DONE,
+        ph_hist = phase::HIST_DONE,
+        ph_encode = phase::ENCODE_DONE,
+    );
+    asm::assemble(&src).expect("motion feature program must assemble")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncpu_bnn::data::motion::{self, INPUT_BITS};
+    use ncpu_bnn::BitVec;
+    use ncpu_pipeline::{FlatMem, Pipeline};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn program_matches_host_mirror_bit_exactly() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for label in [0usize, 3, 7] {
+            let window = motion::generate_window(label, 9000.0, &mut rng);
+            let layout = MotionLayout::default();
+            let program = feature_program(&layout, layout.pack, Tail::Halt);
+            let mut cpu = Pipeline::new(program, FlatMem::new(4096));
+            cpu.mem_mut().local_mut()[..STAGE_BYTES].copy_from_slice(&stage_bytes(&window));
+            cpu.run(10_000_000).unwrap();
+            let packed = &cpu.mem().local()[layout.pack as usize..layout.pack as usize + 27];
+            let got = BitVec::from_bytes(packed, INPUT_BITS);
+            let want = motion::window_to_input(&window);
+            assert_eq!(got, want, "label {label}: program disagrees with host mirror");
+        }
+    }
+
+    #[test]
+    fn feature_extraction_cycle_count_in_expected_band() {
+        // Table I context: feature extraction is ~10k cycles, so at 18 MHz
+        // it fits the 5 ms real-time budget with margin.
+        let mut rng = StdRng::seed_from_u64(2);
+        let window = motion::generate_window(1, 9000.0, &mut rng);
+        let layout = MotionLayout::default();
+        let program = feature_program(&layout, layout.pack, Tail::Halt);
+        let mut cpu = Pipeline::new(program, FlatMem::new(4096));
+        cpu.mem_mut().local_mut()[..STAGE_BYTES].copy_from_slice(&stage_bytes(&window));
+        let cycles = cpu.run(10_000_000).unwrap();
+        assert!((8_000..40_000).contains(&cycles), "feature extraction took {cycles}");
+    }
+
+    #[test]
+    fn phase_marker_reaches_encode() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let window = motion::generate_window(4, 9000.0, &mut rng);
+        let layout = MotionLayout::default();
+        let program = feature_program(&layout, layout.pack, Tail::Halt);
+        let mut cpu = Pipeline::new(program, FlatMem::new(4096));
+        cpu.mem_mut().local_mut()[..STAGE_BYTES].copy_from_slice(&stage_bytes(&window));
+        cpu.run(10_000_000).unwrap();
+        assert_eq!(cpu.reg(ncpu_isa::Reg::GP), phase::ENCODE_DONE);
+    }
+}

@@ -1,0 +1,263 @@
+//! Software BNN inference on the CPU — the standalone-CPU baseline of
+//! Table I.
+//!
+//! The paper's motivating measurement runs the whole motion-detection
+//! task, *including inference*, on the bare RISC-V core. This module
+//! generates that program: a naive bit-serial XNOR-popcount loop over the
+//! packed weights (the same SRAM layout the accelerator uses), layer by
+//! layer, ending in an argmax over the class logits. Naive per-bit code is
+//! deliberate — it reproduces the regime in which the paper reports a 59×
+//! accelerator advantage.
+
+use ncpu_accel::pack_layer_weights;
+use ncpu_bnn::{BitVec, BnnModel};
+use ncpu_isa::asm;
+
+/// Data-cache layout of the software-BNN program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoftBnnLayout {
+    /// Layer descriptor table (4 words per layer: n_in, n_out, w_base, b_base).
+    pub layer_table: u32,
+    /// Packed input bits.
+    pub input: u32,
+    /// Activation ping buffer.
+    pub act_a: u32,
+    /// Activation pong buffer.
+    pub act_b: u32,
+    /// Class logits (one word per output neuron of the last layer).
+    pub logits: u32,
+    /// First byte of packed weights/biases.
+    pub params: u32,
+}
+
+impl Default for SoftBnnLayout {
+    fn default() -> SoftBnnLayout {
+        SoftBnnLayout {
+            layer_table: 0x100,
+            input: 0x200,
+            act_a: 0x300,
+            act_b: 0x340,
+            logits: 0x380,
+            params: 0x600,
+        }
+    }
+}
+
+/// The staged memory image plus the program for one model.
+#[derive(Debug, Clone)]
+pub struct SoftBnn {
+    /// The inference program (result class in `a0` at halt).
+    pub program: Vec<u32>,
+    /// Bytes to load at data-cache offset 0 (parameters + descriptors).
+    pub data: Vec<u8>,
+    /// The layout used.
+    pub layout: SoftBnnLayout,
+}
+
+/// Builds the software inference routine for `model`.
+///
+/// Write the packed input bits at `layout.input` (use
+/// [`stage_input`]), run to halt, and read the predicted class from `a0`.
+///
+/// # Panics
+///
+/// Panics if the model's parameters overflow the data-cache layout.
+pub fn build(model: &BnnModel) -> SoftBnn {
+    let layout = SoftBnnLayout::default();
+    let layers = model.layers().len();
+    let classes = model.topology().classes();
+
+    // ---- stage parameters ----
+    let mut data = vec![0u8; layout.params as usize];
+    let mut cursor = layout.params;
+    let mut table = Vec::new();
+    for layer in model.layers() {
+        let w_base = cursor;
+        let packed = pack_layer_weights(layer);
+        data.extend_from_slice(&packed);
+        cursor += packed.len() as u32;
+        let b_base = cursor;
+        for j in 0..layer.neurons() {
+            data.extend_from_slice(&layer.bias(j).to_le_bytes());
+            cursor += 4;
+        }
+        table.push([layer.input_len() as u32, layer.neurons() as u32, w_base, b_base]);
+    }
+    assert!(cursor <= 24 * 1024, "parameters overflow the data cache");
+    for (l, row) in table.iter().enumerate() {
+        let at = layout.layer_table as usize + l * 16;
+        for (k, word) in row.iter().enumerate() {
+            data[at + k * 4..at + k * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+    }
+
+    let src = format!(
+        "       li   s0, 0              # layer index
+        li   s1, {layers}
+        li   s2, {input}
+        li   s3, {act_a}
+ly_lp:  li   t0, 16
+        mul  t1, s0, t0
+        li   t2, {layer_table}
+        add  t1, t1, t2
+        lw   s4, 0(t1)          # n_in
+        lw   s5, 4(t1)          # n_out
+        lw   s6, 8(t1)          # w_base
+        lw   s7, 12(t1)         # b_base
+        addi t2, s4, 7
+        srli t2, t2, 3
+        addi t2, t2, 3
+        andi s8, t2, -4         # packed row stride
+        li   s9, 0              # neuron j
+nr_lp:  li   a2, 0              # popcount sum
+        mul  t3, s9, s8
+        add  a3, t3, s6         # weight row ptr
+        li   a5, 0              # input bit index
+bi_lp:  srli t0, a5, 5
+        slli t0, t0, 2
+        add  t1, t0, s2
+        lw   t2, 0(t1)
+        andi t4, a5, 31
+        srl  t2, t2, t4
+        andi t2, t2, 1
+        add  t1, t0, a3
+        lw   t3, 0(t1)
+        srl  t3, t3, t4
+        andi t3, t3, 1
+        xor  t2, t2, t3
+        addi a2, a2, 1
+        slli t2, t2, 1
+        sub  a2, a2, t2         # sum += xnor ? +1 : -1
+        addi a5, a5, 1
+        blt  a5, s4, bi_lp
+        slli t0, s9, 2
+        add  t0, t0, s7
+        lw   t1, 0(t0)
+        add  a2, a2, t1         # + bias
+        addi t0, s0, 1
+        bne  t0, s1, nb_sign
+        slli t0, s9, 2
+        li   t1, {logits}
+        add  t0, t0, t1
+        sw   a2, 0(t0)
+        j    nb_done
+nb_sign:slti t0, a2, 0
+        xori t0, t0, 1          # bit = (sum >= 0)
+        srli t1, s9, 5
+        slli t1, t1, 2
+        add  t1, t1, s3
+        andi t2, s9, 31
+        bnez t2, nb_set
+        sw   zero, 0(t1)        # first bit of a word clears it
+nb_set: lw   t2, 0(t1)
+        andi t3, s9, 31
+        sll  t0, t0, t3
+        or   t2, t2, t0
+        sw   t2, 0(t1)
+nb_done:addi s9, s9, 1
+        blt  s9, s5, nr_lp
+        mv   s2, s3             # outputs become next inputs
+        li   t0, {act_a}
+        bne  s3, t0, sw_a
+        li   s3, {act_b}
+        j    sw_d
+sw_a:   li   s3, {act_a}
+sw_d:   addi s0, s0, 1
+        blt  s0, s1, ly_lp
+        # argmax over the first {classes} logits
+        li   t0, {logits}
+        lw   a6, 0(t0)
+        li   a0, 0
+        li   s0, 1
+am_lp:  slli t1, s0, 2
+        add  t1, t1, t0
+        lw   t2, 0(t1)
+        bge  a6, t2, am_sk
+        mv   a6, t2
+        mv   a0, s0
+am_sk:  addi s0, s0, 1
+        li   t3, {classes}
+        blt  s0, t3, am_lp
+        ebreak",
+        input = layout.input,
+        act_a = layout.act_a,
+        act_b = layout.act_b,
+        logits = layout.logits,
+        layer_table = layout.layer_table,
+    );
+    let program = asm::assemble(&src).expect("software BNN program must assemble");
+    SoftBnn { program, data, layout }
+}
+
+/// Packs `input` into the bytes the program expects at `layout.input`.
+pub fn stage_input(input: &BitVec) -> Vec<u8> {
+    let mut bytes = input.to_bytes();
+    // Pad to a word boundary: the program reads whole words.
+    while bytes.len() % 4 != 0 {
+        bytes.push(0);
+    }
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncpu_bnn::{BnnLayer, Topology};
+    use ncpu_pipeline::{FlatMem, Pipeline};
+
+    fn model(input: usize, hidden: usize, classes: usize) -> BnnModel {
+        let topo = Topology::new(input, vec![hidden, hidden], classes);
+        let mut layers = Vec::new();
+        for l in 0..2 {
+            let n_in = topo.layer_input(l);
+            let rows: Vec<BitVec> = (0..hidden)
+                .map(|j| BitVec::from_bools((0..n_in).map(|i| (i * 13 + j * 7 + l) % 5 < 2)))
+                .collect();
+            let bias = (0..hidden).map(|j| (j as i32 % 5) - 2).collect();
+            layers.push(BnnLayer::new(rows, bias));
+        }
+        BnnModel::new(topo, layers)
+    }
+
+    fn run_soft(model: &BnnModel, input: &BitVec) -> (usize, u64) {
+        let soft = build(model);
+        let mut cpu = Pipeline::new(soft.program.clone(), FlatMem::new(32 * 1024));
+        cpu.mem_mut().local_mut()[..soft.data.len()].copy_from_slice(&soft.data);
+        let staged = stage_input(input);
+        let at = soft.layout.input as usize;
+        cpu.mem_mut().local_mut()[at..at + staged.len()].copy_from_slice(&staged);
+        let cycles = cpu.run(100_000_000).unwrap();
+        (cpu.reg(ncpu_isa::Reg::A0) as usize, cycles)
+    }
+
+    #[test]
+    fn software_inference_matches_reference_model() {
+        let m = model(48, 12, 4);
+        for k in 0..12 {
+            let input = BitVec::from_bools((0..48).map(|i| (i * 5 + k * 3) % 7 < 3));
+            let (class, _) = run_soft(&m, &input);
+            assert_eq!(class, m.classify(&input), "input {k}");
+        }
+    }
+
+    #[test]
+    fn odd_widths_handled() {
+        // Non-multiple-of-32 input and hidden widths exercise the bit
+        // indexing and row padding.
+        let m = model(37, 9, 3);
+        for k in 0..6 {
+            let input = BitVec::from_bools((0..37).map(|i| (i + k) % 3 == 0));
+            let (class, _) = run_soft(&m, &input);
+            assert_eq!(class, m.classify(&input), "input {k}");
+        }
+    }
+
+    #[test]
+    fn naive_loop_is_orders_slower_than_accelerator() {
+        let m = model(48, 12, 4);
+        let input = BitVec::from_bools((0..48).map(|i| i % 2 == 0));
+        let (_, cycles) = run_soft(&m, &input);
+        // Accelerator latency for this shape: (48+1) + (12+1) = 62 cycles.
+        assert!(cycles > 62 * 20, "software BNN must be ≫ accelerator, got {cycles}");
+    }
+}

@@ -1,0 +1,88 @@
+//! Calibrated busy-work programs.
+//!
+//! Figures 13 and 14 sweep the *CPU workload fraction* by "changing the
+//! complexity of the image data pre-processing algorithms" while the BNN
+//! inference latency stays fixed. This module provides the knob: a
+//! CPU program whose cycle count is set exactly, so the SoC experiments
+//! can dial in any fraction.
+
+use ncpu_isa::asm;
+
+/// Cycle cost of one inner-loop iteration (addi + bnez not-taken... the
+/// loop body retires 2 instructions per iteration at IPC 1 with a 2-cycle
+/// flush per taken branch; see [`spin_cycles`] for the exact accounting).
+const LOOP_BODY_INSTRS: u64 = 4;
+
+/// Builds a program that runs for approximately `cycles` cycles and halts.
+///
+/// The program is a counted loop of independent ALU operations; the
+/// achieved cycle count is within a few cycles of the request (pipeline
+/// fill and the final flush), which the experiments treat as exact.
+///
+/// # Panics
+///
+/// Panics if `cycles` is smaller than the fixed program overhead (~16).
+pub fn spin_program(cycles: u64) -> Vec<u32> {
+    let src = format!("{}\nebreak", spin_source(cycles));
+    asm::assemble(&src).expect("spin program must assemble")
+}
+
+/// The spin loop's assembly body (no terminating `ebreak`), for embedding
+/// in larger programs (the SoC's parametric use case appends its own
+/// mode-switch tail).
+///
+/// # Panics
+///
+/// Panics if `cycles` is smaller than the fixed program overhead (~16).
+pub fn spin_source(cycles: u64) -> String {
+    assert!(cycles >= 16, "spin budget too small");
+    // Per iteration: 4 ALU ops + addi + taken bnez = 6 retires + 2 flush.
+    let per_iter = LOOP_BODY_INSTRS + 2 + 2;
+    let iters = (cycles.saturating_sub(12) / per_iter).max(1);
+    format!(
+        "       li   t0, {iters}
+        li   t1, 0
+spin_l: addi t1, t1, 1
+        xor  t2, t1, t0
+        slli t3, t1, 3
+        and  t4, t2, t3
+        addi t0, t0, -1
+        bnez t0, spin_l"
+    )
+}
+
+/// The exact cycle count `spin_program(cycles)` achieves on the pipeline.
+pub fn spin_cycles(requested: u64) -> u64 {
+    let per_iter = LOOP_BODY_INSTRS + 2 + 2;
+    let iters = (requested.saturating_sub(12) / per_iter).max(1);
+    // `li t0, iters` expands to two instructions beyond the 12-bit range.
+    let li_len = if iters <= 2047 { 1 } else { 2 };
+    // iters × 6 retires + (iters−1) × 2 flushes (last branch not taken)
+    // + setup/ebreak retires + 4 pipeline fill.
+    iters * 6 + (iters - 1) * 2 + li_len + 2 + 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncpu_pipeline::{FlatMem, Pipeline};
+
+    #[test]
+    fn spin_duration_is_predicted_exactly() {
+        for request in [100u64, 1_000, 12_345, 100_000] {
+            let program = spin_program(request);
+            let mut cpu = Pipeline::new(program, FlatMem::new(64));
+            let cycles = cpu.run(10 * request + 1_000).unwrap();
+            assert_eq!(cycles, spin_cycles(request), "request {request}");
+        }
+    }
+
+    #[test]
+    fn spin_hits_request_within_tolerance() {
+        for request in [500u64, 5_000, 50_000] {
+            let got = spin_cycles(request);
+            let err = (got as f64 - request as f64).abs() / request as f64;
+            assert!(err < 0.02, "request {request} achieved {got}");
+        }
+    }
+}

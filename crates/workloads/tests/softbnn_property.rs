@@ -1,0 +1,53 @@
+//! Property test: the generated RV32I software-BNN program agrees with the
+//! reference model for arbitrary small models and inputs — the strongest
+//! check on the assembler + pipeline + program-generator stack at once.
+
+use ncpu_bnn::{BitVec, BnnLayer, BnnModel, Topology};
+use ncpu_pipeline::{FlatMem, Pipeline};
+use ncpu_workloads::softbnn;
+use proptest::prelude::*;
+
+fn model_and_input() -> impl Strategy<Value = (BnnModel, BitVec)> {
+    (2usize..=3, 3usize..=10, 5usize..=40).prop_flat_map(|(layers, neurons, input)| {
+        let bits = prop::collection::vec(
+            any::<bool>(),
+            input * neurons + (layers - 1) * neurons * neurons,
+        );
+        let biases = prop::collection::vec(-4i32..=4, layers * neurons);
+        let sample = prop::collection::vec(any::<bool>(), input);
+        (bits, biases, sample).prop_map(move |(bits, biases, sample)| {
+            let topo = Topology::new(input, vec![neurons; layers], neurons.min(3));
+            let mut cursor = 0;
+            let mut built = Vec::new();
+            for l in 0..layers {
+                let n_in = topo.layer_input(l);
+                let rows: Vec<BitVec> = (0..neurons)
+                    .map(|_| {
+                        let row =
+                            BitVec::from_bools(bits[cursor..cursor + n_in].iter().copied());
+                        cursor += n_in;
+                        row
+                    })
+                    .collect();
+                built.push(BnnLayer::new(rows, biases[l * neurons..(l + 1) * neurons].to_vec()));
+            }
+            (BnnModel::new(topo, built), BitVec::from_bools(sample))
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn software_bnn_matches_reference((model, input) in model_and_input()) {
+        let soft = softbnn::build(&model);
+        let mut cpu = Pipeline::new(soft.program.clone(), FlatMem::new(32 * 1024));
+        cpu.mem_mut().local_mut()[..soft.data.len()].copy_from_slice(&soft.data);
+        let staged = softbnn::stage_input(&input);
+        let at = soft.layout.input as usize;
+        cpu.mem_mut().local_mut()[at..at + staged.len()].copy_from_slice(&staged);
+        cpu.run(200_000_000).expect("program halts");
+        prop_assert_eq!(cpu.reg(ncpu_isa::Reg::A0) as usize, model.classify(&input));
+    }
+}

@@ -1,0 +1,53 @@
+//! The paper's real-time image-classification use case, end to end.
+//!
+//! Runs the same batch of raw 224×224 frames through the three systems —
+//! the heterogeneous CPU+accelerator baseline, one NCPU, and the two-core
+//! NCPU SoC — and prints latency, utilization, and the power picture.
+//!
+//! Run with: `cargo run --release --example image_classification [batch]`
+
+use ncpu::prelude::*;
+use ncpu::soc::energy;
+
+fn main() {
+    let batch: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4);
+    println!("building image use case (batch {batch}, training a small classifier)…");
+    let uc = UseCase::image(batch, 60, 25);
+    let soc = SocConfig::default();
+
+    let base = run(&uc, SystemConfig::Heterogeneous, &soc);
+    let single = run(&uc, SystemConfig::Ncpu { cores: 1 }, &soc);
+    let dual = run(&uc, SystemConfig::Ncpu { cores: 2 }, &soc);
+
+    println!("\nclassification accuracy over the batch: {:.0}%", dual.accuracy() * 100.0);
+    println!("\n{:<16} {:>12} {:>10}", "system", "cycles", "vs base");
+    for r in [&base, &single, &dual] {
+        println!(
+            "{:<16} {:>12} {:>9.1}%",
+            r.config,
+            r.makespan,
+            (1.0 - r.makespan as f64 / base.makespan as f64) * 100.0
+        );
+    }
+
+    println!("\ncore utilization:");
+    for r in [&base, &dual] {
+        for core in &r.cores {
+            println!("  {:<14} {:<10} {:5.1}%", r.config, core.role, core.utilization(r.makespan) * 100.0);
+        }
+    }
+
+    let pm = PowerModel::default();
+    let am = AreaModel::default();
+    println!(
+        "\nenergy at 1 V: baseline {:.2} µJ, 2×NCPU {:.2} µJ; at matched latency the \
+         2×NCPU system saves {:.0}% by voltage scaling",
+        energy::run_energy_uj(&base, &pm, &am, 100, 1.0),
+        energy::run_energy_uj(&dual, &pm, &am, 100, 1.0),
+        energy::equivalent_energy_saving(&dual, &base, &pm, &am, 100, 1.0) * 100.0
+    );
+    println!(
+        "predictions agree across systems: {}",
+        base.predictions == dual.predictions && base.predictions == single.predictions
+    );
+}

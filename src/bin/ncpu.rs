@@ -1,0 +1,202 @@
+//! `ncpu` — command-line front end to the reproduction.
+//!
+//! ```text
+//! ncpu asm <file.s> [-o out.bin]        assemble to flat binary
+//! ncpu dis <file.bin>                   disassemble a flat binary
+//! ncpu run <file.s|file.bin> [--trace N] [--reg NAME]...
+//!                                       run on the cycle-accurate pipeline
+//! ncpu train <digits|motion> <model.bnn>
+//!                                       train a classifier, save artifact
+//! ncpu classify <model.bnn>             accelerator stats for an artifact
+//! ncpu sweep                            voltage/frequency/power table
+//! ```
+
+use std::process::ExitCode;
+
+use ncpu::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("asm") => cmd_asm(&args[1..]),
+        Some("dis") => cmd_dis(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("train") => cmd_train(&args[1..]),
+        Some("classify") => cmd_classify(&args[1..]),
+        Some("sweep") => cmd_sweep(),
+        _ => {
+            eprintln!(
+                "usage: ncpu <asm|dis|run|train|classify|sweep> …\n\
+                 see the module docs (`cargo doc`) for details"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CmdResult = Result<(), Box<dyn std::error::Error>>;
+
+fn load_words(path: &str) -> Result<Vec<u32>, Box<dyn std::error::Error>> {
+    if path.ends_with(".bin") {
+        let bytes = std::fs::read(path)?;
+        if bytes.len() % 4 != 0 {
+            return Err(format!("{path}: length {} is not word-aligned", bytes.len()).into());
+        }
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    } else {
+        let src = std::fs::read_to_string(path)?;
+        Ok(asm::assemble(&src)?)
+    }
+}
+
+fn cmd_asm(args: &[String]) -> CmdResult {
+    let input = args.first().ok_or("usage: ncpu asm <file.s> [-o out.bin]")?;
+    let words = load_words(input)?;
+    let out = match args.iter().position(|a| a == "-o") {
+        Some(i) => args.get(i + 1).ok_or("-o needs a path")?.clone(),
+        None => format!("{}.bin", input.trim_end_matches(".s")),
+    };
+    let mut bytes = Vec::with_capacity(words.len() * 4);
+    for w in &words {
+        bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    std::fs::write(&out, bytes)?;
+    println!("{} instructions -> {out}", words.len());
+    Ok(())
+}
+
+fn cmd_dis(args: &[String]) -> CmdResult {
+    let input = args.first().ok_or("usage: ncpu dis <file.bin>")?;
+    let words = load_words(input)?;
+    for (i, &w) in words.iter().enumerate() {
+        match decode(w) {
+            Ok(instr) => println!("{:#06x}: {w:08x}  {instr}", i * 4),
+            Err(_) => println!("{:#06x}: {w:08x}  .word {w:#x}", i * 4),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> CmdResult {
+    let input = args.first().ok_or("usage: ncpu run <file.s|file.bin> [--trace N] [--reg R]")?;
+    let words = load_words(input)?;
+    let mut cpu = Pipeline::new(words, FlatMem::new(64 * 1024));
+    if let Some(i) = args.iter().position(|a| a == "--trace") {
+        let n: usize = args.get(i + 1).ok_or("--trace needs a count")?.parse()?;
+        cpu.set_trace_capacity(n);
+    }
+    let cycles = cpu.run(1_000_000_000)?;
+    let s = cpu.stats();
+    println!(
+        "halted: {cycles} cycles, {} instructions, IPC {:.3} \
+         ({} load-use stalls, {} flush cycles)",
+        s.retired,
+        s.ipc(),
+        s.load_use_stalls,
+        s.flush_cycles
+    );
+    let wanted: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|&(i, a)| a == "--reg" && i + 1 < args.len())
+        .map(|(i, _)| &args[i + 1])
+        .collect();
+    if wanted.is_empty() {
+        for reg in Reg::all() {
+            let v = cpu.reg(reg);
+            if v != 0 {
+                println!("  {:<5} = {v:#010x} ({})", reg.to_string(), v as i32);
+            }
+        }
+    } else {
+        for name in wanted {
+            let reg: Reg = name.parse()?;
+            println!("  {:<5} = {:#010x}", reg.to_string(), cpu.reg(reg));
+        }
+    }
+    if !cpu.trace().is_empty() {
+        println!("--- last retirements ---\n{}", cpu.trace().render());
+    }
+    Ok(())
+}
+
+fn cmd_train(args: &[String]) -> CmdResult {
+    use ncpu::bnn::data::{digits, motion};
+    use ncpu::bnn::train::{train, TrainConfig};
+    let which = args.first().ok_or("usage: ncpu train <digits|motion> <out.bnn>")?;
+    let out = args.get(1).ok_or("usage: ncpu train <digits|motion> <out.bnn>")?;
+    let (model, acc) = match which.as_str() {
+        "digits" => {
+            let (tr, te) = digits::generate(&digits::DigitsConfig::default());
+            let topo = Topology::paper(digits::PIXELS, 100, digits::CLASSES);
+            let model = train(&topo, &tr, &TrainConfig::default());
+            let acc = ncpu::bnn::metrics::accuracy(&model, &te);
+            (model, acc)
+        }
+        "motion" => {
+            let cfg = motion::MotionConfig::default();
+            let (tr, te) = motion::generate(&cfg);
+            let topo = Topology::paper(motion::INPUT_BITS, 100, motion::CLASSES);
+            let model = train(&topo, &motion::to_dataset(&tr), &TrainConfig::default());
+            let acc = ncpu::bnn::metrics::accuracy(&model, &motion::to_dataset(&te));
+            (model, acc)
+        }
+        other => return Err(format!("unknown task `{other}` (digits|motion)").into()),
+    };
+    std::fs::write(out, ncpu::bnn::io::to_bytes(&model))?;
+    println!("trained {which}: accuracy {:.1}%, artifact -> {out}", acc * 100.0);
+    Ok(())
+}
+
+fn cmd_classify(args: &[String]) -> CmdResult {
+    let path = args.first().ok_or("usage: ncpu classify <model.bnn>")?;
+    let model = ncpu::bnn::io::from_bytes(&std::fs::read(path)?)?;
+    let topo = model.topology().clone();
+    let mut accel = Accelerator::new(model, AccelConfig::default());
+    let (class, latency) = accel.infer(&BitVec::zeros(topo.input()));
+    let pm = PowerModel::default();
+    let f = pm.dvfs.freq_hz(0.4, CoreKind::NcpuBnnMode);
+    println!(
+        "model: {} -> {:?} -> {} classes ({} binary MACs/inference)",
+        topo.input(),
+        topo.layers(),
+        topo.classes(),
+        topo.macs()
+    );
+    println!(
+        "accelerator: {latency} cycles/image latency, 1 image per {} cycles \
+         pipelined; at 0.4 V that is {:.0} classifications/s \
+         (all-zero probe classified as {class})",
+        accel.pipelined_interval(),
+        f / accel.pipelined_interval() as f64,
+    );
+    Ok(())
+}
+
+fn cmd_sweep() -> CmdResult {
+    let pm = PowerModel::default();
+    let am = AreaModel::default();
+    let areas = am.ncpu_core(100);
+    println!("{:>5} {:>10} {:>10} {:>10} {:>10}", "V", "f (MHz)", "BNN mW", "CPU mW", "TOPS/W");
+    for step in 0..=12 {
+        let v = 0.4 + step as f64 * 0.05;
+        println!(
+            "{v:>5.2} {:>10.1} {:>10.2} {:>10.2} {:>10.2}",
+            pm.dvfs.freq_hz(v, CoreKind::NcpuBnnMode) / 1e6,
+            pm.total_mw(CoreKind::NcpuBnnMode, &areas, v, 1.0),
+            pm.total_mw(CoreKind::NcpuCpuMode, &areas, v, 1.0),
+            pm.bnn_tops_per_watt(v, 400),
+        );
+    }
+    Ok(())
+}

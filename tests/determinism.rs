@@ -1,0 +1,44 @@
+//! Reproducibility: every simulated and trained quantity is a pure
+//! function of its seeds — two runs of anything give identical bytes.
+
+use ncpu::prelude::*;
+
+#[test]
+fn soc_runs_are_bit_reproducible() {
+    let mk = || {
+        let uc = UseCase::motion(2, 4, 2);
+        let base = run(&uc, SystemConfig::Heterogeneous, &SocConfig::default());
+        let dual = run(&uc, SystemConfig::Ncpu { cores: 2 }, &SocConfig::default());
+        (base.makespan, dual.makespan, base.predictions, dual.predictions)
+    };
+    assert_eq!(mk(), mk());
+}
+
+#[test]
+fn training_is_bit_reproducible() {
+    use ncpu::bnn::data::Dataset;
+    use ncpu::bnn::train::{train, TrainConfig};
+    let inputs: Vec<BitVec> =
+        (0..30u32).map(|i| BitVec::from_bools((0..12).map(move |b| (i >> b) & 1 == 1))).collect();
+    let labels: Vec<usize> = inputs.iter().map(|x| (x.count_ones() > 6) as usize).collect();
+    let data = Dataset::new(inputs, labels, 2);
+    let topo = Topology::new(12, vec![6], 2);
+    let cfg = TrainConfig { epochs: 5, ..TrainConfig::default() };
+    let a = ncpu::bnn::io::to_bytes(&train(&topo, &data, &cfg));
+    let b = ncpu::bnn::io::to_bytes(&train(&topo, &data, &cfg));
+    assert_eq!(a, b, "trained artifacts must be byte-identical");
+}
+
+#[test]
+fn power_model_is_pure() {
+    let pm = PowerModel::default();
+    let am = AreaModel::default();
+    let areas = am.ncpu_core(100);
+    let probe = |v: f64| {
+        (
+            pm.dvfs.freq_hz(v, CoreKind::NcpuBnnMode).to_bits(),
+            pm.total_mw(CoreKind::NcpuBnnMode, &areas, v, 1.0).to_bits(),
+        )
+    };
+    assert_eq!(probe(0.6), probe(0.6));
+}
