@@ -1,0 +1,9 @@
+#!/bin/sh
+# Tier-1 verify, fully offline. The workspace has zero external
+# dependencies (tests/hermetic.rs enforces it), so `--offline` must
+# succeed from a clean checkout with no registry and no network.
+set -eux
+
+cargo build --release --offline
+cargo test -q --offline --workspace
+cargo clippy --offline --workspace --all-targets -- -D warnings

@@ -194,10 +194,10 @@ impl Accelerator {
             if self.config.layer_pipelining {
                 let mut entry = t.max(layer_free[0]);
                 start = entry;
-                for l in 0..layers {
-                    let begin = entry.max(layer_free[l]);
+                for (l, free) in layer_free.iter_mut().enumerate() {
+                    let begin = entry.max(*free);
                     let end = begin + self.layer_cycles(l);
-                    layer_free[l] = end;
+                    *free = end;
                     entry = end;
                 }
                 t = entry;
@@ -301,7 +301,7 @@ mod tests {
             let rows: Vec<BitVec> = (0..10)
                 .map(|j| BitVec::from_bools((0..inputs).map(|i| (i * 7 + j * 3 + l) % 5 < 2)))
                 .collect();
-            let bias = (0..10).map(|j| (j as i32 % 3) - 1).collect();
+            let bias = (0..10).map(|j| (j % 3) - 1).collect();
             layers.push(ncpu_bnn::BnnLayer::new(rows, bias));
         }
         BnnModel::new(topo, layers)

@@ -3,57 +3,72 @@
 
 use ncpu_accel::{AccelConfig, Accelerator};
 use ncpu_bnn::{BitVec, BnnLayer, BnnModel, Topology};
-use proptest::prelude::*;
+use ncpu_testkit::prop::Prop;
+use ncpu_testkit::rng::Rng;
+use ncpu_testkit::{prop_assert, prop_assert_eq};
 
-/// Strategy: a random small BNN (2–4 layers) plus a batch of inputs.
-fn model_and_inputs() -> impl Strategy<Value = (BnnModel, Vec<BitVec>)> {
-    (2usize..=4, 1usize..=12, 2usize..=16, 1usize..=6).prop_flat_map(
-        |(layers, neurons, input, batch)| {
-            let weight_bits = prop::collection::vec(
-                any::<bool>(),
-                input * neurons + (layers - 1) * neurons * neurons,
-            );
-            let biases = prop::collection::vec(-3i32..=3, layers * neurons);
-            let inputs = prop::collection::vec(
-                prop::collection::vec(any::<bool>(), input),
-                batch,
-            );
-            (weight_bits, biases, inputs).prop_map(move |(bits, biases, raw_inputs)| {
-                let topo = Topology::new(input, vec![neurons; layers], neurons.min(4));
-                let mut cursor = 0;
-                let mut built = Vec::new();
-                for l in 0..layers {
-                    let n_in = topo.layer_input(l);
-                    let rows: Vec<BitVec> = (0..neurons)
-                        .map(|_| {
-                            let row = BitVec::from_bools(
-                                bits[cursor..cursor + n_in].iter().copied(),
-                            );
-                            cursor += n_in;
-                            row
-                        })
-                        .collect();
-                    built.push(BnnLayer::new(
-                        rows,
-                        biases[l * neurons..(l + 1) * neurons].to_vec(),
-                    ));
-                }
-                let model = BnnModel::new(topo, built);
-                let inputs =
-                    raw_inputs.into_iter().map(BitVec::from_bools).collect::<Vec<_>>();
-                (model, inputs)
-            })
-        },
-    )
+/// Raw generated material for one case: dimension selectors plus bit/bias
+/// pools. The model and the input batch are built *inside* the property
+/// with cyclic indexing, so every shrink of the pools still yields a valid
+/// model (the replacement for proptest's `prop_flat_map` strategies).
+type RawCase = ((u8, u8, u8, u8), Vec<bool>, Vec<i32>, Vec<bool>);
+
+fn raw_case(rng: &mut Rng) -> RawCase {
+    let layers_sel = rng.gen_range(0u8..3); // 2..=4 layers
+    let neurons_sel = rng.gen_range(0u8..12); // 1..=12 neurons
+    let input_sel = rng.gen_range(0u8..15); // 2..=16 input bits
+    let batch_sel = rng.gen_range(0u8..6); // 1..=6 images
+    let layers = 2 + layers_sel as usize;
+    let neurons = 1 + neurons_sel as usize;
+    let input = 2 + input_sel as usize;
+    let batch = 1 + batch_sel as usize;
+    let n_bits = input * neurons + (layers - 1) * neurons * neurons;
+    let weight_bits: Vec<bool> = (0..n_bits).map(|_| rng.gen()).collect();
+    let biases: Vec<i32> = (0..layers * neurons).map(|_| rng.gen_range(-3i32..=3)).collect();
+    let input_bits: Vec<bool> = (0..batch * input).map(|_| rng.gen()).collect();
+    ((layers_sel, neurons_sel, input_sel, batch_sel), weight_bits, biases, input_bits)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// A random small BNN (2–4 layers) plus a batch of inputs.
+fn build(case: &RawCase) -> (BnnModel, Vec<BitVec>) {
+    let ((layers_sel, neurons_sel, input_sel, batch_sel), bits, biases, input_bits) = case;
+    let layers = 2 + (*layers_sel as usize % 3);
+    let neurons = 1 + (*neurons_sel as usize % 12);
+    let input = 2 + (*input_sel as usize % 15);
+    let batch = 1 + (*batch_sel as usize % 6);
+    let bit = |i: usize| !bits.is_empty() && bits[i % bits.len()];
+    let bias = |i: usize| if biases.is_empty() { 0 } else { biases[i % biases.len()] };
+    let topo = Topology::new(input, vec![neurons; layers], neurons.min(4));
+    let mut cursor = 0;
+    let mut built = Vec::new();
+    for l in 0..layers {
+        let n_in = topo.layer_input(l);
+        let rows: Vec<BitVec> = (0..neurons)
+            .map(|_| {
+                let row = BitVec::from_bools((0..n_in).map(|k| bit(cursor + k)));
+                cursor += n_in;
+                row
+            })
+            .collect();
+        built.push(BnnLayer::new(rows, (0..neurons).map(|n| bias(l * neurons + n)).collect()));
+    }
+    let model = BnnModel::new(topo, built);
+    let inputs: Vec<BitVec> = (0..batch)
+        .map(|img| {
+            BitVec::from_bools((0..input).map(|i| {
+                !input_bits.is_empty() && input_bits[(img * input + i) % input_bits.len()]
+            }))
+        })
+        .collect();
+    (model, inputs)
+}
 
-    /// Pipelined and serial timing modes both match the reference model on
-    /// every image of every random batch.
-    #[test]
-    fn accelerator_matches_reference((model, inputs) in model_and_inputs()) {
+/// Pipelined and serial timing modes both match the reference model on
+/// every image of every random batch.
+#[test]
+fn accelerator_matches_reference() {
+    Prop::new("accel::accelerator_matches_reference").run(raw_case, |case| {
+        let (model, inputs) = build(case);
         let reference: Vec<usize> = inputs.iter().map(|i| model.classify(i)).collect();
         let mut piped = Accelerator::new(model.clone(), AccelConfig::default());
         let run = piped.run_batch(&inputs);
@@ -64,12 +79,16 @@ proptest! {
             AccelConfig { layer_pipelining: false, ..AccelConfig::default() },
         );
         prop_assert_eq!(&serial.run_batch(&inputs).outputs, &reference);
-    }
+        Ok(())
+    });
+}
 
-    /// Timing invariants: spans are ordered, non-overlapping per image,
-    /// and the serial mode is never faster than the pipelined mode.
-    #[test]
-    fn timing_invariants((model, inputs) in model_and_inputs()) {
+/// Timing invariants: spans are ordered, non-overlapping per image,
+/// and the serial mode is never faster than the pipelined mode.
+#[test]
+fn timing_invariants() {
+    Prop::new("accel::timing_invariants").run(raw_case, |case| {
+        let (model, inputs) = build(case);
         let mut piped = Accelerator::new(model.clone(), AccelConfig::default());
         let p = piped.run_batch(&inputs);
         let mut serial = Accelerator::new(
@@ -89,12 +108,16 @@ proptest! {
         for w in p.spans.windows(2) {
             prop_assert!(w[0].1 <= w[1].1);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Rolled (deep) execution matches the reference for models deeper
-    /// than the physical array.
-    #[test]
-    fn deep_rollback_matches_reference((model, inputs) in model_and_inputs()) {
+/// Rolled (deep) execution matches the reference for models deeper
+/// than the physical array.
+#[test]
+fn deep_rollback_matches_reference() {
+    Prop::new("accel::deep_rollback_matches_reference").run(raw_case, |case| {
+        let (model, inputs) = build(case);
         // Build a deeper logical model by doubling the layer stack.
         let topo = model.topology();
         let neurons = topo.layers()[0];
@@ -116,5 +139,6 @@ proptest! {
         let run = accel.run_batch_deep(&deep, &timed);
         let reference: Vec<usize> = inputs.iter().map(|i| deep.classify(i)).collect();
         prop_assert_eq!(run.outputs, reference);
-    }
+        Ok(())
+    });
 }

@@ -1,9 +1,12 @@
 //! `cargo bench` entry point that regenerates the paper's fast tables and
 //! figures (the training-heavy ones — table1/table3/fig18 — run via
 //! `cargo run --release -p ncpu-bench --bin <id>`), reporting the wall
-//! time of each regeneration.
+//! time of each regeneration. Timings are also written to
+//! `BENCH_figures.json` via `ncpu_testkit::bench` so runs can be diffed.
 
 use std::time::Instant;
+
+use ncpu_testkit::bench::Bench;
 
 fn main() {
     // Respect `cargo bench -- <filter>`.
@@ -13,6 +16,7 @@ fn main() {
         "fig16", "table4", "fig17", "fig19", "ablation_switch", "ablation_pipelining",
         "ablation_offload", "ablation_interface", "ext_deep", "ext_realtime", "ext_lockstep",
     ];
+    let mut bench = Bench::new("figures");
     for id in fast {
         if !filter.is_empty() && !filter.iter().any(|f| id.contains(f.as_str())) {
             continue;
@@ -21,6 +25,8 @@ fn main() {
         let report = ncpu_bench::experiments::run_by_id(id).expect("known id");
         let elapsed = start.elapsed();
         println!("{report}");
-        println!("[regenerated {id} in {elapsed:.2?}]\n");
+        bench.record_once(id, elapsed);
+        println!();
     }
+    bench.finish();
 }

@@ -1,14 +1,17 @@
-//! Criterion micro-benchmarks of the simulator substrate itself: how fast
-//! the reproduction simulates, not what the paper measures.
+//! Micro-benchmarks of the simulator substrate itself: how fast the
+//! reproduction simulates, not what the paper measures. Runs on the
+//! workspace's own `ncpu_testkit::bench` harness (no criterion); the
+//! report lands in `BENCH_micro.json`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
 use ncpu_accel::{AccelConfig, Accelerator};
 use ncpu_bnn::BitVec;
 use ncpu_isa::{asm, decode};
 use ncpu_pipeline::{FlatMem, Pipeline};
+use ncpu_testkit::bench::Bench;
 
-fn bench_isa(c: &mut Criterion) {
-    let mut g = c.benchmark_group("isa");
+fn bench_isa(b: &mut Bench) {
     let words = asm::assemble(
         "loop: addi t0, t0, 1
                mul t1, t0, t0
@@ -17,46 +20,49 @@ fn bench_isa(c: &mut Criterion) {
                ebreak",
     )
     .unwrap();
-    g.throughput(Throughput::Elements(words.len() as u64));
-    g.bench_function("decode", |b| {
-        b.iter(|| {
-            for &w in &words {
-                black_box(decode(black_box(w)).unwrap());
-            }
-        })
+    b.throughput(words.len() as u64);
+    b.bench("isa/decode", || {
+        for &w in &words {
+            black_box(decode(black_box(w)).unwrap());
+        }
     });
-    g.bench_function("assemble_small_program", |b| {
-        b.iter(|| asm::assemble(black_box("li t0, 100\nloop: addi t0, t0, -1\nbnez t0, loop\nebreak")))
+    b.bench("isa/assemble_small_program", || {
+        asm::assemble(black_box("li t0, 100\nloop: addi t0, t0, -1\nbnez t0, loop\nebreak"))
     });
-    g.finish();
 }
 
-fn bench_pipeline(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pipeline");
+fn bench_pipeline(b: &mut Bench) {
     let program = ncpu_workloads::spin::spin_program(100_000);
-    g.throughput(Throughput::Elements(100_000));
-    g.bench_function("cycles_per_second", |b| {
-        b.iter(|| {
-            let mut cpu = Pipeline::new(program.clone(), FlatMem::new(64));
-            cpu.run(1_000_000).unwrap()
-        })
+    b.throughput(100_000);
+    b.bench("pipeline/cycles_per_second", || {
+        let mut cpu = Pipeline::new(program.clone(), FlatMem::new(64));
+        cpu.run(1_000_000).unwrap()
     });
-    g.finish();
 }
 
-fn bench_bnn(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bnn");
+fn bench_bnn(b: &mut Bench) {
     let a = BitVec::from_bools((0..784).map(|i| i % 3 == 0));
     let b2 = BitVec::from_bools((0..784).map(|i| i % 5 == 0));
-    g.bench_function("dot_784", |b| b.iter(|| black_box(a.dot(&b2))));
+    b.bench("bnn/dot_784", || black_box(a.dot(&b2)));
     let model = ncpu_bench::context::image_pseudo_model(100);
-    g.bench_function("reference_inference", |b| {
-        b.iter(|| black_box(model.classify(&a)))
-    });
+    b.bench("bnn/reference_inference", || black_box(model.classify(&a)));
     let mut accel = Accelerator::new(model.clone(), AccelConfig::default());
-    g.bench_function("accelerator_inference", |b| b.iter(|| accel.infer(&a)));
-    g.finish();
+    b.bench("bnn/accelerator_inference", move || accel.infer(&a));
 }
 
-criterion_group!(benches, bench_isa, bench_pipeline, bench_bnn);
-criterion_main!(benches);
+fn main() {
+    // Respect `cargo bench -- <filter>` the way criterion used to.
+    let filter: Vec<String> = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+    let wants = |group: &str| filter.is_empty() || filter.iter().any(|f| group.contains(f.as_str()));
+    let mut b = Bench::new("micro");
+    if wants("isa") {
+        bench_isa(&mut b);
+    }
+    if wants("pipeline") {
+        bench_pipeline(&mut b);
+    }
+    if wants("bnn") {
+        bench_bnn(&mut b);
+    }
+    b.finish();
+}

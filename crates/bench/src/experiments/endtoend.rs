@@ -4,8 +4,7 @@ use ncpu_bnn::data::{digits, motion};
 use ncpu_power::{AreaModel, PowerModel};
 use ncpu_soc::{energy, phases, run, run_independent, SocConfig, SystemConfig, UseCase};
 use ncpu_workloads::{image, motion as motion_prog, Tail};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ncpu_testkit::rng::Rng;
 
 use crate::context::{image_pseudo_model, motion_pseudo_model, pct};
 use crate::Report;
@@ -24,7 +23,7 @@ fn infer_cycles(model: &ncpu_bnn::BnnModel) -> u64 {
 
 /// Measured CPU pre-processing cycles of each use case.
 fn preprocess_cycles() -> (u64, u64) {
-    let mut rng = StdRng::seed_from_u64(3);
+    let mut rng = Rng::seed_from_u64(3);
     let raw = digits::render_raw(4, 0.1, &mut rng);
     let layout = image::ImageLayout::default();
     let program = image::preprocess_program(&layout, layout.pack, Tail::Halt);
@@ -124,7 +123,7 @@ pub fn fig14() -> Report {
 
 /// Fig. 15: runtime breakdown of both use cases.
 pub fn fig15() -> Report {
-    let mut rng = StdRng::seed_from_u64(3);
+    let mut rng = Rng::seed_from_u64(3);
     let mut lines = Vec::new();
 
     let raw = digits::render_raw(4, 0.1, &mut rng);

@@ -145,7 +145,7 @@ pub fn ext_deep() -> Report {
             let rows: Vec<BitVec> = (0..100)
                 .map(|j| BitVec::from_bools((0..n_in).map(|i| (i * 11 + j * 3 + l) % 7 < 3)))
                 .collect();
-            BnnLayer::new(rows, (0..100).map(|j| (j as i32 % 5) - 2).collect())
+            BnnLayer::new(rows, (0..100).map(|j| (j % 5) - 2).collect())
         })
         .collect();
     let deep_model = BnnModel::new(topo, layers);

@@ -6,8 +6,7 @@ use ncpu_pipeline::{FlatMem, Pipeline};
 use ncpu_power::{AreaModel, CoreKind, PowerModel};
 use ncpu_soc::energy::task_energy_uj;
 use ncpu_workloads::{dhrystone, motion as motion_prog, softbnn, Tail};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ncpu_testkit::rng::Rng;
 
 use crate::context::{digits_datasets, mhz, pct, trained_digits, trained_motion};
 use crate::Report;
@@ -16,7 +15,7 @@ use crate::Report;
 /// standalone CPU vs CPU + BNN accelerator, at 0.4 V.
 pub fn table1() -> Report {
     let (model, acc) = trained_motion();
-    let mut rng = StdRng::seed_from_u64(55);
+    let mut rng = Rng::seed_from_u64(55);
     let window = motion::generate_window(3, motion::MotionConfig::default().noise, &mut rng);
 
     // Feature extraction on the CPU (common to both systems).
@@ -182,7 +181,7 @@ pub fn ext_realtime() -> Report {
     let deadline_s = 5.0e-3;
     // Timing does not depend on trained weights; use the canonical shapes.
     let model = crate::context::motion_pseudo_model();
-    let mut rng = StdRng::seed_from_u64(55);
+    let mut rng = Rng::seed_from_u64(55);
     let window = motion::generate_window(3, motion::MotionConfig::default().noise, &mut rng);
 
     let layout = motion_prog::MotionLayout::default();

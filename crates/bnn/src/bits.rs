@@ -116,7 +116,7 @@ impl BitVec {
         let mut matches = 0u32;
         for (i, (a, b)) in self.words.iter().zip(&other.words).enumerate() {
             let mut x = !(a ^ b);
-            if i == self.words.len() - 1 && self.len % 64 != 0 {
+            if i == self.words.len() - 1 && !self.len.is_multiple_of(64) {
                 x &= (1u64 << (self.len % 64)) - 1;
             }
             matches += x.count_ones();

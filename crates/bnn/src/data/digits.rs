@@ -7,8 +7,7 @@
 //! (resize → grayscale → normalize) that the CPU-mode RV32I program
 //! mirrors instruction for instruction.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ncpu_testkit::rng::Rng;
 
 use super::Dataset;
 use crate::bits::BitVec;
@@ -65,8 +64,8 @@ pub fn glyph(digit: usize) -> [[bool; 5]; 7] {
     let rows = FONT[digit];
     let mut out = [[false; 5]; 7];
     for (r, &bits) in rows.iter().enumerate() {
-        for c in 0..5 {
-            out[r][c] = bits >> (4 - c) & 1 == 1;
+        for (c, cell) in out[r].iter_mut().enumerate() {
+            *cell = bits >> (4 - c) & 1 == 1;
         }
     }
     out
@@ -80,7 +79,7 @@ pub fn glyph(digit: usize) -> [[bool; 5]; 7] {
 /// # Panics
 ///
 /// Panics if `digit >= 10` or `noise` is outside `[0, 1]`.
-pub fn render_bitmap(digit: usize, noise: f64, rng: &mut StdRng) -> BitVec {
+pub fn render_bitmap(digit: usize, noise: f64, rng: &mut Rng) -> BitVec {
     assert!((0.0..=1.0).contains(&noise), "noise must be a probability");
     let g = glyph(digit);
     let x_off = rng.gen_range(0..=IMG - 20);
@@ -96,8 +95,8 @@ pub fn render_bitmap(digit: usize, noise: f64, rng: &mut StdRng) -> BitVec {
 
 /// Generates `(train, test)` datasets of noisy digit bitmaps.
 pub fn generate(config: &DigitsConfig) -> (Dataset, Dataset) {
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let make = |per_class: usize, rng: &mut StdRng| {
+    let mut rng = Rng::seed_from_u64(config.seed);
+    let make = |per_class: usize, rng: &mut Rng| {
         let mut inputs = Vec::with_capacity(per_class * CLASSES);
         let mut labels = Vec::with_capacity(per_class * CLASSES);
         for digit in 0..CLASSES {
@@ -143,7 +142,7 @@ impl RawImage {
 ///
 /// [`preprocess`] recovers (approximately) the underlying bitmap, so models
 /// trained on [`render_bitmap`] outputs transfer to the use-case pipeline.
-pub fn render_raw(digit: usize, noise: f64, rng: &mut StdRng) -> RawImage {
+pub fn render_raw(digit: usize, noise: f64, rng: &mut Rng) -> RawImage {
     let bitmap = render_bitmap(digit, noise, rng);
     let mut rgb = vec![0u8; RAW * RAW * 3];
     for y in 0..RAW {
@@ -264,14 +263,14 @@ mod tests {
 
     #[test]
     fn render_is_deterministic_per_rng_state() {
-        let mut a = StdRng::seed_from_u64(5);
-        let mut b = StdRng::seed_from_u64(5);
+        let mut a = Rng::seed_from_u64(5);
+        let mut b = Rng::seed_from_u64(5);
         assert_eq!(render_bitmap(3, 0.1, &mut a), render_bitmap(3, 0.1, &mut b));
     }
 
     #[test]
     fn noiseless_render_contains_glyph() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Rng::seed_from_u64(0);
         let img = render_bitmap(1, 0.0, &mut rng);
         assert_eq!(img.len(), PIXELS);
         let ones = img.count_ones();
@@ -294,10 +293,10 @@ mod tests {
     fn preprocess_recovers_clean_bitmap() {
         // The raw pipeline recovers the underlying glyph up to the ~1-pixel
         // stroke dilation the box filter introduces.
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Rng::seed_from_u64(9);
         let raw = render_raw(7, 0.0, &mut rng);
         let recovered = preprocess(&raw);
-        let mut reference_rng = StdRng::seed_from_u64(9);
+        let mut reference_rng = Rng::seed_from_u64(9);
         let reference = render_bitmap(7, 0.0, &mut reference_rng);
         // Every glyph pixel survives; extra pixels are bounded dilation.
         let lost = (0..PIXELS)
@@ -312,7 +311,7 @@ mod tests {
 
     #[test]
     fn resize_averages_blocks() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let raw = render_raw(0, 0.0, &mut rng);
         let small = resize(&decimate(&raw));
         assert_eq!(small.len(), PIXELS * 3);

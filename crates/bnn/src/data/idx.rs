@@ -110,7 +110,7 @@ pub fn to_dataset(
     classes: usize,
 ) -> Result<Dataset, IdxError> {
     let per = rows * cols;
-    let images = if per == 0 { 0 } else { pixels.len() / per };
+    let images = pixels.len().checked_div(per).unwrap_or(0);
     if images != labels.len() {
         return Err(IdxError::CountMismatch { images, labels: labels.len() });
     }

@@ -7,9 +7,7 @@
 //! layer-size independent. Exported models carry only ±1 weights and
 //! integer biases — exactly what the accelerator stores in its weight SRAM.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use ncpu_testkit::rng::Rng;
 
 use crate::bits::BitVec;
 use crate::data::Dataset;
@@ -49,7 +47,7 @@ struct ShadowLayer {
 }
 
 impl ShadowLayer {
-    fn new(inputs: usize, neurons: usize, rng: &mut StdRng) -> ShadowLayer {
+    fn new(inputs: usize, neurons: usize, rng: &mut Rng) -> ShadowLayer {
         let w = (0..inputs * neurons).map(|_| rng.gen_range(-0.5f32..0.5)).collect();
         ShadowLayer {
             w,
@@ -162,7 +160,7 @@ fn softmax(z: &[f32]) -> Vec<f32> {
 pub fn train(topology: &Topology, data: &Dataset, config: &TrainConfig) -> BnnModel {
     assert!(!data.is_empty(), "empty training set");
     assert!(data.classes() <= topology.classes(), "label range exceeds topology classes");
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
     let nlayers = topology.layers().len();
     let mut layers: Vec<ShadowLayer> = (0..nlayers)
         .map(|l| ShadowLayer::new(topology.layer_input(l), topology.layers()[l], &mut rng))
@@ -173,7 +171,7 @@ pub fn train(topology: &Topology, data: &Dataset, config: &TrainConfig) -> BnnMo
     let mut gb: Vec<Vec<f32>> = layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
 
     for _epoch in 0..config.epochs {
-        order.shuffle(&mut rng);
+        rng.shuffle(&mut order);
         for chunk in order.chunks(config.batch) {
             for g in gw.iter_mut() {
                 g.iter_mut().for_each(|v| *v = 0.0);
@@ -238,7 +236,7 @@ mod tests {
 
     fn parity_dataset(n: usize, bits: usize, seed: u64) -> Dataset {
         // Class = majority vote of the bits: linearly separable, noisy-free.
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut inputs = Vec::new();
         let mut labels = Vec::new();
         for _ in 0..n {

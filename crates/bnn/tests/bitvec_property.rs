@@ -1,68 +1,103 @@
 //! Property tests: `BitVec` against a plain `Vec<bool>` reference.
 
 use ncpu_bnn::BitVec;
-use proptest::prelude::*;
+use ncpu_testkit::prop::Prop;
+use ncpu_testkit::rng::Rng;
+use ncpu_testkit::prop_assert_eq;
 
-proptest! {
-    #[test]
-    fn construction_and_access(bits in prop::collection::vec(any::<bool>(), 0..300)) {
-        let v = BitVec::from_bools(bits.iter().copied());
-        prop_assert_eq!(v.len(), bits.len());
-        for (i, &b) in bits.iter().enumerate() {
-            prop_assert_eq!(v.get(i), b);
-            prop_assert_eq!(v.sign(i), if b { 1 } else { -1 });
-        }
-        prop_assert_eq!(v.count_ones(), bits.iter().filter(|&&b| b).count());
-    }
+fn any_bits(rng: &mut Rng, lo: usize, hi: usize) -> Vec<bool> {
+    let n = rng.gen_range(lo..hi);
+    (0..n).map(|_| rng.gen::<bool>()).collect()
+}
 
-    #[test]
-    fn dot_matches_naive(
-        pair in (1usize..300).prop_flat_map(|n| (
-            prop::collection::vec(any::<bool>(), n),
-            prop::collection::vec(any::<bool>(), n),
-        ))
-    ) {
-        let (a_bits, b_bits) = pair;
-        let a = BitVec::from_bools(a_bits.iter().copied());
-        let b = BitVec::from_bools(b_bits.iter().copied());
-        let naive: i32 = a_bits
-            .iter()
-            .zip(&b_bits)
-            .map(|(&x, &y)| if x == y { 1 } else { -1 })
-            .sum();
-        prop_assert_eq!(a.dot(&b), naive);
-        prop_assert_eq!(b.dot(&a), naive, "dot is symmetric");
-        prop_assert_eq!(a.dot(&a), a.len() as i32, "self-dot is length");
-    }
+#[test]
+fn construction_and_access() {
+    Prop::new("bitvec::construction_and_access").run(
+        |rng| any_bits(rng, 0, 300),
+        |bits| {
+            let v = BitVec::from_bools(bits.iter().copied());
+            prop_assert_eq!(v.len(), bits.len());
+            for (i, &b) in bits.iter().enumerate() {
+                prop_assert_eq!(v.get(i), b);
+                prop_assert_eq!(v.sign(i), if b { 1 } else { -1 });
+            }
+            prop_assert_eq!(v.count_ones(), bits.iter().filter(|&&b| b).count());
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn byte_round_trip(bits in prop::collection::vec(any::<bool>(), 1..300)) {
-        let v = BitVec::from_bools(bits.iter().copied());
-        let bytes = v.to_bytes();
-        prop_assert_eq!(bytes.len(), bits.len().div_ceil(8));
-        prop_assert_eq!(BitVec::from_bytes(&bytes, bits.len()), v);
-    }
+#[test]
+fn dot_matches_naive() {
+    // Generated as a single vector of (a, b) pairs so shrinking can never
+    // break the equal-length invariant `dot` requires.
+    Prop::new("bitvec::dot_matches_naive").run(
+        |rng| {
+            let n = rng.gen_range(1usize..300);
+            (0..n).map(|_| (rng.gen::<bool>(), rng.gen::<bool>())).collect::<Vec<(bool, bool)>>()
+        },
+        |pairs| {
+            let a_bits: Vec<bool> = pairs.iter().map(|&(a, _)| a).collect();
+            let b_bits: Vec<bool> = pairs.iter().map(|&(_, b)| b).collect();
+            let a = BitVec::from_bools(a_bits.iter().copied());
+            let b = BitVec::from_bools(b_bits.iter().copied());
+            let naive: i32 = a_bits
+                .iter()
+                .zip(&b_bits)
+                .map(|(&x, &y)| if x == y { 1 } else { -1 })
+                .sum();
+            prop_assert_eq!(a.dot(&b), naive);
+            prop_assert_eq!(b.dot(&a), naive, "dot is symmetric");
+            prop_assert_eq!(a.dot(&a), a.len() as i32, "self-dot is length");
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn set_is_idempotent_and_local(
-        bits in prop::collection::vec(any::<bool>(), 1..200),
-        idx_raw in any::<usize>(),
-        value in any::<bool>(),
-    ) {
-        let idx = idx_raw % bits.len();
-        let mut v = BitVec::from_bools(bits.iter().copied());
-        v.set(idx, value);
-        v.set(idx, value);
-        for (i, &b) in bits.iter().enumerate() {
-            let want = if i == idx { value } else { b };
-            prop_assert_eq!(v.get(i), want, "bit {}", i);
-        }
-    }
+#[test]
+fn byte_round_trip() {
+    Prop::new("bitvec::byte_round_trip").run(
+        |rng| any_bits(rng, 1, 300),
+        |bits| {
+            let v = BitVec::from_bools(bits.iter().copied());
+            let bytes = v.to_bytes();
+            prop_assert_eq!(bytes.len(), bits.len().div_ceil(8));
+            prop_assert_eq!(BitVec::from_bytes(&bytes, bits.len()), v);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn iter_matches_get(bits in prop::collection::vec(any::<bool>(), 0..200)) {
-        let v = BitVec::from_bools(bits.iter().copied());
-        let collected: Vec<bool> = v.iter().collect();
-        prop_assert_eq!(collected, bits);
-    }
+#[test]
+fn set_is_idempotent_and_local() {
+    Prop::new("bitvec::set_is_idempotent_and_local").run(
+        |rng| (any_bits(rng, 1, 200), rng.gen::<usize>(), rng.gen::<bool>()),
+        |(bits, idx_raw, value)| {
+            if bits.is_empty() {
+                return Ok(()); // shrinking may drop the last element
+            }
+            let idx = idx_raw % bits.len();
+            let mut v = BitVec::from_bools(bits.iter().copied());
+            v.set(idx, *value);
+            v.set(idx, *value);
+            for (i, &b) in bits.iter().enumerate() {
+                let want = if i == idx { *value } else { b };
+                prop_assert_eq!(v.get(i), want, "bit {}", i);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn iter_matches_get() {
+    Prop::new("bitvec::iter_matches_get").run(
+        |rng| any_bits(rng, 0, 200),
+        |bits| {
+            let v = BitVec::from_bools(bits.iter().copied());
+            let collected: Vec<bool> = v.iter().collect();
+            prop_assert_eq!(&collected, bits);
+            Ok(())
+        },
+    );
 }

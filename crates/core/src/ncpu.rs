@@ -243,11 +243,10 @@ impl NcpuCore {
             }
             if let Some(event) = self.pipeline.step()? {
                 match event {
-                    Event::MvNeu { value, neuron } => {
-                        if (neuron as usize) < TRANSITION_NEURONS {
-                            self.transition[neuron as usize] = value;
-                        }
+                    Event::MvNeu { value, neuron } if (neuron as usize) < TRANSITION_NEURONS => {
+                        self.transition[neuron as usize] = value;
                     }
+                    Event::MvNeu { .. } => {}
                     Event::TransBnn => {
                         let stall = self.serve_bnn()?;
                         self.extra_cycles += stall;
@@ -379,11 +378,10 @@ impl NcpuCore {
         }
         if let Some(event) = self.pipeline.step()? {
             match event {
-                Event::MvNeu { value, neuron } => {
-                    if (neuron as usize) < TRANSITION_NEURONS {
-                        self.transition[neuron as usize] = value;
-                    }
+                Event::MvNeu { value, neuron } if (neuron as usize) < TRANSITION_NEURONS => {
+                    self.transition[neuron as usize] = value;
                 }
+                Event::MvNeu { .. } => {}
                 Event::TransBnn => {
                     let stall = self.serve_bnn()?;
                     if stall == 0 {

@@ -39,10 +39,10 @@ fn s_imm(word: u32) -> i32 {
 
 fn b_imm(word: u32) -> i32 {
     let sign = (word as i32) >> 31; // bit 12, sign-extended
-    ((sign << 12)
+    (sign << 12)
         | ((((word >> 7) & 1) as i32) << 11)
         | ((((word >> 25) & 0x3f) as i32) << 5)
-        | ((((word >> 8) & 0xf) as i32) << 1)) as i32
+        | ((((word >> 8) & 0xf) as i32) << 1)
 }
 
 fn u_imm(word: u32) -> i32 {

@@ -1,141 +1,179 @@
 //! Property tests: encode/decode round-trips over the whole instruction space.
 
 use ncpu_isa::{decode, AluOp, BranchOp, Instruction, LoadOp, Reg, StoreOp};
-use proptest::prelude::*;
+use ncpu_testkit::prop::{NoShrink, Prop};
+use ncpu_testkit::rng::Rng;
+use ncpu_testkit::{prop_assert, prop_assert_eq};
 
-fn any_reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(|i| Reg::new(i).expect("index < 32"))
+fn any_reg(rng: &mut Rng) -> Reg {
+    Reg::new(rng.gen_range(0u8..32)).expect("index < 32")
 }
 
-fn any_alu_op() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::Sll),
-        Just(AluOp::Slt),
-        Just(AluOp::Sltu),
-        Just(AluOp::Xor),
-        Just(AluOp::Srl),
-        Just(AluOp::Sra),
-        Just(AluOp::Or),
-        Just(AluOp::And),
-        Just(AluOp::Mul),
-    ]
+const ALU_OPS: [AluOp; 11] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Sll,
+    AluOp::Slt,
+    AluOp::Sltu,
+    AluOp::Xor,
+    AluOp::Srl,
+    AluOp::Sra,
+    AluOp::Or,
+    AluOp::And,
+    AluOp::Mul,
+];
+
+const BRANCH_OPS: [BranchOp; 6] =
+    [BranchOp::Eq, BranchOp::Ne, BranchOp::Lt, BranchOp::Ge, BranchOp::Ltu, BranchOp::Geu];
+
+const LOAD_OPS: [LoadOp; 5] =
+    [LoadOp::Byte, LoadOp::Half, LoadOp::Word, LoadOp::ByteU, LoadOp::HalfU];
+
+const STORE_OPS: [StoreOp; 3] = [StoreOp::Byte, StoreOp::Half, StoreOp::Word];
+
+fn any_alu_op(rng: &mut Rng) -> AluOp {
+    ALU_OPS[rng.gen_range(0..ALU_OPS.len())]
 }
 
-fn any_imm_op() -> impl Strategy<Value = AluOp> {
-    any_alu_op().prop_filter("immediate form", |op| op.has_immediate_form())
+fn any_imm_op(rng: &mut Rng) -> AluOp {
+    loop {
+        let op = any_alu_op(rng);
+        if op.has_immediate_form() {
+            return op;
+        }
+    }
 }
 
-fn any_branch_op() -> impl Strategy<Value = BranchOp> {
-    prop_oneof![
-        Just(BranchOp::Eq),
-        Just(BranchOp::Ne),
-        Just(BranchOp::Lt),
-        Just(BranchOp::Ge),
-        Just(BranchOp::Ltu),
-        Just(BranchOp::Geu),
-    ]
-}
-
-fn any_load_op() -> impl Strategy<Value = LoadOp> {
-    prop_oneof![
-        Just(LoadOp::Byte),
-        Just(LoadOp::Half),
-        Just(LoadOp::Word),
-        Just(LoadOp::ByteU),
-        Just(LoadOp::HalfU),
-    ]
-}
-
-fn any_store_op() -> impl Strategy<Value = StoreOp> {
-    prop_oneof![Just(StoreOp::Byte), Just(StoreOp::Half), Just(StoreOp::Word)]
+fn i12(rng: &mut Rng) -> i32 {
+    rng.gen_range(-2048i32..=2047)
 }
 
 /// Any encodable instruction (all fields within their valid ranges).
-fn any_instruction() -> impl Strategy<Value = Instruction> {
-    let u20 = (-(1i32 << 19)..(1 << 19)).prop_map(|v| v << 12);
-    let i12 = -2048i32..=2047;
-    prop_oneof![
-        (any_reg(), u20.clone()).prop_map(|(rd, imm)| Instruction::Lui { rd, imm }),
-        (any_reg(), u20).prop_map(|(rd, imm)| Instruction::Auipc { rd, imm }),
-        (any_reg(), (-(1i32 << 19)..(1 << 19)).prop_map(|v| v * 2))
-            .prop_map(|(rd, offset)| Instruction::Jal { rd, offset }),
-        (any_reg(), any_reg(), i12.clone())
-            .prop_map(|(rd, rs1, offset)| Instruction::Jalr { rd, rs1, offset }),
-        (any_branch_op(), any_reg(), any_reg(), (-2048i32..=2047).prop_map(|v| v * 2))
-            .prop_map(|(op, rs1, rs2, offset)| Instruction::Branch { op, rs1, rs2, offset }),
-        (any_load_op(), any_reg(), any_reg(), i12.clone())
-            .prop_map(|(op, rd, rs1, offset)| Instruction::Load { op, rd, rs1, offset }),
-        (any_store_op(), any_reg(), any_reg(), i12.clone())
-            .prop_map(|(op, rs1, rs2, offset)| Instruction::Store { op, rs1, rs2, offset }),
-        (any_imm_op(), any_reg(), any_reg(), i12.clone()).prop_map(|(op, rd, rs1, imm)| {
+fn any_instruction(rng: &mut Rng) -> Instruction {
+    let u20 = |rng: &mut Rng| rng.gen_range(-(1i32 << 19)..(1 << 19)) << 12;
+    match rng.gen_range(0u32..17) {
+        0 => Instruction::Lui { rd: any_reg(rng), imm: u20(rng) },
+        1 => Instruction::Auipc { rd: any_reg(rng), imm: u20(rng) },
+        2 => Instruction::Jal {
+            rd: any_reg(rng),
+            offset: rng.gen_range(-(1i32 << 19)..(1 << 19)) * 2,
+        },
+        3 => Instruction::Jalr { rd: any_reg(rng), rs1: any_reg(rng), offset: i12(rng) },
+        4 => Instruction::Branch {
+            op: BRANCH_OPS[rng.gen_range(0..BRANCH_OPS.len())],
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+            offset: rng.gen_range(-2048i32..=2047) * 2,
+        },
+        5 => Instruction::Load {
+            op: LOAD_OPS[rng.gen_range(0..LOAD_OPS.len())],
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            offset: i12(rng),
+        },
+        6 => Instruction::Store {
+            op: STORE_OPS[rng.gen_range(0..STORE_OPS.len())],
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+            offset: i12(rng),
+        },
+        7 => {
+            let op = any_imm_op(rng);
+            let imm = i12(rng);
             let imm = if op.is_shift() { imm & 0x1f } else { imm };
-            Instruction::OpImm { op, rd, rs1, imm }
-        }),
-        (any_alu_op(), any_reg(), any_reg(), any_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Instruction::Op { op, rd, rs1, rs2 }),
-        Just(Instruction::Ecall),
-        Just(Instruction::Ebreak),
-        (any_reg(), 0u16..4096).prop_map(|(rs1, neuron)| Instruction::MvNeu { rs1, neuron }),
-        Just(Instruction::TransBnn),
-        Just(Instruction::TransCpu),
-        Just(Instruction::TriggerBnn),
-        (any_reg(), any_reg(), i12.clone())
-            .prop_map(|(rs1, rs2, offset)| Instruction::SwL2 { rs1, rs2, offset }),
-        (any_reg(), any_reg(), i12)
-            .prop_map(|(rd, rs1, offset)| Instruction::LwL2 { rd, rs1, offset }),
-    ]
-}
-
-proptest! {
-    /// decode(encode(i)) == i for every valid instruction.
-    #[test]
-    fn instruction_round_trip(instr in any_instruction()) {
-        let word = instr.encode().expect("strategy only yields encodable instructions");
-        prop_assert_eq!(decode(word).expect("own encoding decodes"), instr);
-    }
-
-    /// Any word that decodes re-encodes to a word that decodes identically
-    /// (encoding is canonical with respect to decoding).
-    #[test]
-    fn word_decode_is_stable(word in any::<u32>()) {
-        if let Ok(instr) = decode(word) {
-            let reenc = instr.encode().expect("decoded instructions are encodable");
-            prop_assert_eq!(decode(reenc).expect("canonical word decodes"), instr);
+            Instruction::OpImm { op, rd: any_reg(rng), rs1: any_reg(rng), imm }
         }
-    }
-
-    /// Disassembly never panics and is non-empty for any decodable word.
-    #[test]
-    fn disasm_total(word in any::<u32>()) {
-        if let Ok(instr) = decode(word) {
-            prop_assert!(!instr.to_string().is_empty());
-        }
-    }
-
-    /// dest()/sources() agree with the encoding fields.
-    #[test]
-    fn dest_and_sources_are_consistent(instr in any_instruction()) {
-        if let Some(rd) = instr.dest() {
-            prop_assert!(rd != Reg::ZERO);
-        }
-        let (s1, s2) = instr.sources();
-        if s2.is_some() {
-            prop_assert!(s1.is_some(), "rs2 implies rs1");
-        }
+        8 => Instruction::Op {
+            op: any_alu_op(rng),
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+        },
+        9 => Instruction::Ecall,
+        10 => Instruction::Ebreak,
+        11 => Instruction::MvNeu { rs1: any_reg(rng), neuron: rng.gen_range(0u16..4096) },
+        12 => Instruction::TransBnn,
+        13 => Instruction::TransCpu,
+        14 => Instruction::TriggerBnn,
+        15 => Instruction::SwL2 { rs1: any_reg(rng), rs2: any_reg(rng), offset: i12(rng) },
+        _ => Instruction::LwL2 { rd: any_reg(rng), rs1: any_reg(rng), offset: i12(rng) },
     }
 }
 
-proptest! {
-    /// Disassembly is valid assembler input: for every decodable word,
-    /// `assemble(display(instr))` reproduces the instruction.
-    #[test]
-    fn disassembly_reassembles(instr in any_instruction()) {
-        let text = instr.to_string();
-        let words = ncpu_isa::asm::assemble(&text)
-            .unwrap_or_else(|e| panic!("`{text}` failed to assemble: {e}"));
-        prop_assert_eq!(words.len(), 1, "one instruction per line: `{}`", text);
-        prop_assert_eq!(decode(words[0]).expect("assembled word decodes"), instr);
-    }
+/// decode(encode(i)) == i for every valid instruction.
+#[test]
+fn instruction_round_trip() {
+    Prop::new("isa::instruction_round_trip").run(
+        |rng| NoShrink(any_instruction(rng)),
+        |NoShrink(instr)| {
+            let word = instr.encode().expect("generator only yields encodable instructions");
+            prop_assert_eq!(decode(word).expect("own encoding decodes"), *instr);
+            Ok(())
+        },
+    );
+}
+
+/// Any word that decodes re-encodes to a word that decodes identically
+/// (encoding is canonical with respect to decoding).
+#[test]
+fn word_decode_is_stable() {
+    Prop::new("isa::word_decode_is_stable").run(
+        |rng| rng.gen::<u32>(),
+        |&word| {
+            if let Ok(instr) = decode(word) {
+                let reenc = instr.encode().expect("decoded instructions are encodable");
+                prop_assert_eq!(decode(reenc).expect("canonical word decodes"), instr);
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Disassembly never panics and is non-empty for any decodable word.
+#[test]
+fn disasm_total() {
+    Prop::new("isa::disasm_total").run(
+        |rng| rng.gen::<u32>(),
+        |&word| {
+            if let Ok(instr) = decode(word) {
+                prop_assert!(!instr.to_string().is_empty());
+            }
+            Ok(())
+        },
+    );
+}
+
+/// dest()/sources() agree with the encoding fields.
+#[test]
+fn dest_and_sources_are_consistent() {
+    Prop::new("isa::dest_and_sources_are_consistent").run(
+        |rng| NoShrink(any_instruction(rng)),
+        |NoShrink(instr)| {
+            if let Some(rd) = instr.dest() {
+                prop_assert!(rd != Reg::ZERO);
+            }
+            let (s1, s2) = instr.sources();
+            if s2.is_some() {
+                prop_assert!(s1.is_some(), "rs2 implies rs1");
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Disassembly is valid assembler input: for every decodable word,
+/// `assemble(display(instr))` reproduces the instruction.
+#[test]
+fn disassembly_reassembles() {
+    Prop::new("isa::disassembly_reassembles").run(
+        |rng| NoShrink(any_instruction(rng)),
+        |NoShrink(instr)| {
+            let text = instr.to_string();
+            let words = ncpu_isa::asm::assemble(&text)
+                .unwrap_or_else(|e| panic!("`{text}` failed to assemble: {e}"));
+            prop_assert_eq!(words.len(), 1, "one instruction per line: `{}`", text);
+            prop_assert_eq!(decode(words[0]).expect("assembled word decodes"), *instr);
+            Ok(())
+        },
+    );
 }

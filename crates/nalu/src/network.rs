@@ -1,7 +1,6 @@
 //! Two-layer NAC network with Adam training.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ncpu_testkit::rng::Rng;
 
 /// One NAC layer: effective weights `W = tanh(Ŵ) ⊙ σ(M̂)`, output `Wx`.
 #[derive(Debug, Clone)]
@@ -22,7 +21,7 @@ fn sigmoid(x: f64) -> f64 {
 }
 
 impl NacLayer {
-    fn new(inputs: usize, outputs: usize, rng: &mut StdRng) -> NacLayer {
+    fn new(inputs: usize, outputs: usize, rng: &mut Rng) -> NacLayer {
         let n = inputs * outputs;
         NacLayer {
             inputs,
@@ -50,15 +49,15 @@ impl NacLayer {
     /// Accumulates gradients for one sample; returns `dL/dx`.
     fn backward(&self, x: &[f64], dy: &[f64], gw: &mut [f64], gm: &mut [f64]) -> Vec<f64> {
         let mut dx = vec![0.0; self.inputs];
-        for o in 0..self.outputs {
+        for (o, &dy_o) in dy.iter().enumerate().take(self.outputs) {
             for i in 0..self.inputs {
                 let k = o * self.inputs + i;
                 let t = self.w_hat[k].tanh();
                 let s = sigmoid(self.m_hat[k]);
-                let dw_eff = dy[o] * x[i];
+                let dw_eff = dy_o * x[i];
                 gw[k] += dw_eff * s * (1.0 - t * t);
                 gm[k] += dw_eff * t * s * (1.0 - s);
-                dx[i] += dy[o] * t * s;
+                dx[i] += dy_o * t * s;
             }
         }
         dx
@@ -98,7 +97,7 @@ impl NacNetwork {
     /// Creates a network with `inputs` inputs and `hidden` NAC units,
     /// deterministically initialized from `seed`.
     pub fn new(inputs: usize, hidden: usize, seed: u64) -> NacNetwork {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         NacNetwork {
             l1: NacLayer::new(inputs, hidden, &mut rng),
             l2: NacLayer::new(hidden, 1, &mut rng),
@@ -176,7 +175,7 @@ mod tests {
 
     #[test]
     fn learns_plain_addition() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let data: Vec<(Vec<f64>, f64)> = (0..256)
             .map(|_| {
                 let a: f64 = rng.gen_range(0.0..1.0);

@@ -1,7 +1,6 @@
 //! The 8-bit ALU learning tasks and normalized-error evaluation.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ncpu_testkit::rng::Rng;
 
 use crate::network::NacNetwork;
 
@@ -70,7 +69,7 @@ impl AluTask {
 
     /// Generates a labelled dataset of `n` samples.
     pub fn dataset(self, n: usize, seed: u64) -> Vec<(Vec<f64>, f64)> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         (0..n)
             .map(|_| {
                 let a = rng.gen_range(0u32..256);

@@ -410,7 +410,7 @@ impl<M: MemPort> Pipeline<M> {
         // ---- IF ----
         if self.if_id.is_none() && !self.fetch_halted && !squash_fetch {
             let index = (self.pc / 4) as usize;
-            if self.pc % 4 == 0 && index < self.imem.len() {
+            if self.pc.is_multiple_of(4) && index < self.imem.len() {
                 self.if_id = Some(Fetched { pc: self.pc, word: self.imem[index] });
                 self.pc = self.pc.wrapping_add(4);
             } else if self.is_drained() && !self.halted {

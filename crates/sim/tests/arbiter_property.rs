@@ -2,57 +2,61 @@
 //! memory, for any bank layout and access sequence.
 
 use ncpu_sim::AddressArbiter;
-use proptest::prelude::*;
+use ncpu_testkit::prop::Prop;
+use ncpu_testkit::{prop_assert, prop_assert_eq};
 
-#[derive(Debug, Clone)]
-enum Access {
-    Read { addr: u32, width: u32 },
-    Write { addr: u32, width: u32, value: u32 },
-}
+/// One access as primitive fields: `(addr, width_sel, value, is_read)`.
+/// Widths are selected by index so shrinking (toward 0) stays valid.
+type RawAccess = (u32, u32, u32, bool);
 
-fn accesses(space: u32) -> impl Strategy<Value = Vec<Access>> {
-    let one = (0..space, prop_oneof![Just(1u32), Just(2), Just(4)], any::<u32>(), any::<bool>())
-        .prop_map(|(addr, width, value, is_read)| {
-            if is_read {
-                Access::Read { addr, width }
-            } else {
-                Access::Write { addr, width, value }
+const WIDTHS: [u32; 3] = [1, 2, 4];
+
+/// Split the same address space into 1–6 contiguous banks; any access
+/// sequence must behave identically to a flat byte array (accesses
+/// that cross a bank boundary fault in the arbiter and are skipped in
+/// the reference).
+#[test]
+fn arbiter_equals_flat_memory() {
+    Prop::new("sim::arbiter_equals_flat_memory").run(
+        |rng| {
+            let n_cuts = rng.gen_range(0usize..5);
+            let cuts: Vec<u32> = (0..n_cuts).map(|_| rng.gen_range(1u32..255)).collect();
+            let n_ops = rng.gen_range(1usize..60);
+            let ops: Vec<RawAccess> = (0..n_ops)
+                .map(|_| {
+                    (
+                        rng.gen_range(0u32..256),
+                        rng.gen_range(0u32..3),
+                        rng.gen::<u32>(),
+                        rng.gen::<bool>(),
+                    )
+                })
+                .collect();
+            (cuts, ops)
+        },
+        |(cuts, ops)| {
+            // Build banks from the cut points (sorted, deduped; shrinking
+            // may produce duplicates or zeros, which collapse harmlessly).
+            let mut bounds: Vec<u32> = std::iter::once(0)
+                .chain(cuts.iter().copied())
+                .chain(std::iter::once(256))
+                .collect();
+            bounds.sort_unstable();
+            bounds.dedup();
+            let mut arb = AddressArbiter::new();
+            for (i, w) in bounds.windows(2).enumerate() {
+                arb.add_bank(format!("b{i}"), w[0], (w[1] - w[0]) as usize);
             }
-        });
-    prop::collection::vec(one, 1..60)
-}
+            let mut flat = vec![0u8; 256];
+            let crosses_bank = |addr: u32, width: u32| {
+                let end = addr + width;
+                bounds.iter().any(|&b| addr < b && b < end)
+            };
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Split the same address space into 1–6 contiguous banks; any access
-    /// sequence must behave identically to a flat byte array (accesses
-    /// that cross a bank boundary fault in the arbiter and are skipped in
-    /// the reference).
-    #[test]
-    fn arbiter_equals_flat_memory(
-        cuts in prop::collection::btree_set(1u32..255, 0..5),
-        ops in accesses(256),
-    ) {
-        // Build banks from the cut points.
-        let mut arb = AddressArbiter::new();
-        let mut bounds: Vec<u32> = std::iter::once(0)
-            .chain(cuts.iter().copied())
-            .chain(std::iter::once(256))
-            .collect();
-        bounds.dedup();
-        for (i, w) in bounds.windows(2).enumerate() {
-            arb.add_bank(format!("b{i}"), w[0], (w[1] - w[0]) as usize);
-        }
-        let mut flat = vec![0u8; 256];
-        let crosses_bank = |addr: u32, width: u32| {
-            let end = addr + width;
-            bounds.iter().any(|&b| addr < b && b < end)
-        };
-
-        for op in &ops {
-            match *op {
-                Access::Read { addr, width } => {
+            for &(addr, width_sel, value, is_read) in ops {
+                let addr = addr % 256;
+                let width = WIDTHS[(width_sel % 3) as usize];
+                if is_read {
                     let got = arb.read(addr, width);
                     if addr + width > 256 || crosses_bank(addr, width) {
                         prop_assert!(got.is_err(), "read {addr}+{width} should fault");
@@ -63,8 +67,7 @@ proptest! {
                         }
                         prop_assert_eq!(got.expect("in range"), want);
                     }
-                }
-                Access::Write { addr, width, value } => {
+                } else {
                     let got = arb.write(addr, width, value);
                     if addr + width > 256 || crosses_bank(addr, width) {
                         prop_assert!(got.is_err(), "write {addr}+{width} should fault");
@@ -76,16 +79,17 @@ proptest! {
                     }
                 }
             }
-        }
-        // Final state identical bank by bank.
-        for (i, w) in bounds.windows(2).enumerate() {
-            let bank = arb.bank(arb.resolve(w[0]).expect("mapped").0);
-            prop_assert_eq!(
-                bank.bytes(),
-                &flat[w[0] as usize..w[1] as usize],
-                "bank {} contents diverged",
-                i
-            );
-        }
-    }
+            // Final state identical bank by bank.
+            for (i, w) in bounds.windows(2).enumerate() {
+                let bank = arb.bank(arb.resolve(w[0]).expect("mapped").0);
+                prop_assert_eq!(
+                    bank.bytes(),
+                    &flat[w[0] as usize..w[1] as usize],
+                    "bank {} contents diverged",
+                    i
+                );
+            }
+            Ok(())
+        },
+    );
 }

@@ -153,7 +153,7 @@ mod tests {
                         BitVec::from_bools((0..n_in).map(|i| (i * 7 + j * 3 + l) % 5 < 2))
                     })
                     .collect();
-                BnnLayer::new(rows, (0..20).map(|j| (j as i32 % 3) - 1).collect())
+                BnnLayer::new(rows, (0..20).map(|j| (j % 3) - 1).collect())
             })
             .collect();
         BnnModel::new(topo, built)

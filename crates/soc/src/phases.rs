@@ -80,12 +80,11 @@ mod tests {
     use super::*;
     use ncpu_bnn::data::{digits, motion};
     use ncpu_workloads::{image, motion as motion_prog, Tail};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ncpu_testkit::rng::Rng;
 
     #[test]
     fn image_phases_match_paper_ordering() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let raw = digits::render_raw(3, 0.1, &mut rng);
         let layout = image::ImageLayout::default();
         let program = image::preprocess_program(&layout, layout.pack, Tail::Halt);
@@ -102,7 +101,7 @@ mod tests {
 
     #[test]
     fn motion_phases_match_paper_ordering() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let w = motion::generate_window(2, 9000.0, &mut rng);
         let layout = motion_prog::MotionLayout::default();
         let program = motion_prog::feature_program(&layout, layout.pack, Tail::Halt);

@@ -4,8 +4,7 @@ use ncpu_bnn::data::{digits, motion};
 use ncpu_bnn::train::{train, TrainConfig};
 use ncpu_bnn::{BnnModel, Topology};
 use ncpu_workloads::{image, motion as motion_prog, spin};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ncpu_testkit::rng::Rng;
 
 /// Which real-time workload a [`UseCase`] models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,7 +50,7 @@ impl UseCase {
         // Train on frames that went through the same raw pipeline the
         // use case runs (the 3×3 filter slightly dilates strokes, so
         // training on plain bitmaps would shift the domain).
-        let mut rng = StdRng::seed_from_u64(76);
+        let mut rng = Rng::seed_from_u64(76);
         let mut inputs = Vec::with_capacity(train_per_class * digits::CLASSES);
         let mut labels = Vec::with_capacity(train_per_class * digits::CLASSES);
         for digit in 0..digits::CLASSES {
@@ -65,7 +64,7 @@ impl UseCase {
         let topo = Topology::paper(digits::PIXELS, 100, digits::CLASSES);
         let model =
             train(&topo, &train_set, &TrainConfig { epochs, ..TrainConfig::default() });
-        let mut rng = StdRng::seed_from_u64(77);
+        let mut rng = Rng::seed_from_u64(77);
         let items = (0..batch)
             .map(|i| {
                 let raw = digits::render_raw(i % digits::CLASSES, noise, &mut rng);
@@ -87,7 +86,7 @@ impl UseCase {
         let topo = Topology::paper(motion::INPUT_BITS, 100, motion::CLASSES);
         let model =
             train(&topo, &train_set, &TrainConfig { epochs, ..TrainConfig::default() });
-        let mut rng = StdRng::seed_from_u64(78);
+        let mut rng = Rng::seed_from_u64(78);
         let items = (0..batch)
             .map(|i| {
                 let w = motion::generate_window(i % motion::CLASSES, cfg.noise, &mut rng);

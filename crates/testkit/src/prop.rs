@@ -1,0 +1,576 @@
+//! A minimal shrinking property-test harness.
+//!
+//! Replaces the `proptest` dependency with the three mechanisms the
+//! workspace actually relies on:
+//!
+//! 1. **Seeded case generation.** Each case is generated from its own
+//!    deterministic seed (derived from the base seed and the case index),
+//!    so any failure is reproducible from the single `u64` printed in the
+//!    panic message.
+//! 2. **Greedy shrinking.** On failure the input is reduced via
+//!    [`Shrink`]: the first shrink candidate that still fails becomes the
+//!    new counterexample, until none fails. Integers shrink toward zero,
+//!    vectors drop chunks and elements, tuples shrink one field at a time.
+//! 3. **A regression-seed corpus.** [`Prop::corpus`] names a text file of
+//!    seeds (one per line, `#` comments) that is replayed *before* novel
+//!    cases — the replacement for proptest's `.proptest-regressions`
+//!    files. A fresh failure is appended to the corpus automatically so
+//!    the counterexample is pinned for every future run.
+//!
+//! Case count defaults to 256 and can be raised or lowered with the
+//! `NCPU_PROP_CASES` environment variable; `NCPU_PROP_SEED` re-bases the
+//! whole run for exploratory fuzzing.
+//!
+//! # Examples
+//!
+//! ```
+//! use ncpu_testkit::prop::Prop;
+//! use ncpu_testkit::prop_assert_eq;
+//!
+//! Prop::new("addition_commutes").run(
+//!     |rng| (rng.gen::<u32>() >> 1, rng.gen::<u32>() >> 1),
+//!     |&(a, b)| {
+//!         prop_assert_eq!(a + b, b + a);
+//!         Ok(())
+//!     },
+//! );
+//! ```
+
+use std::fmt::Debug;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use crate::rng::Rng;
+
+/// Default number of generated cases per property.
+pub const DEFAULT_CASES: u32 = 256;
+
+/// A configured property runner.
+#[derive(Debug, Clone)]
+pub struct Prop {
+    name: String,
+    cases: u32,
+    base_seed: u64,
+    max_shrink_iters: u32,
+    pinned: Vec<u64>,
+    corpus: Option<PathBuf>,
+}
+
+/// FNV-1a, used to give each property its own default seed stream.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl Prop {
+    /// Creates a runner for the property called `name`.
+    ///
+    /// The case count comes from `NCPU_PROP_CASES` (default
+    /// [`DEFAULT_CASES`]); the base seed from `NCPU_PROP_SEED` (default: a
+    /// hash of `name`, so distinct properties explore distinct streams).
+    pub fn new(name: &str) -> Prop {
+        let cases = std::env::var("NCPU_PROP_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_CASES);
+        let base_seed = std::env::var("NCPU_PROP_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| fnv1a(name.as_bytes()));
+        Prop {
+            name: name.to_string(),
+            cases,
+            base_seed,
+            max_shrink_iters: 2000,
+            pinned: Vec::new(),
+            corpus: None,
+        }
+    }
+
+    /// Overrides the number of generated cases (env var still wins).
+    pub fn cases(mut self, cases: u32) -> Prop {
+        if std::env::var("NCPU_PROP_CASES").is_err() {
+            self.cases = cases;
+        }
+        self
+    }
+
+    /// Seeds replayed before any novel case — inline regression pins.
+    pub fn pin(mut self, seeds: &[u64]) -> Prop {
+        self.pinned.extend_from_slice(seeds);
+        self
+    }
+
+    /// Attaches a regression-seed corpus file: its seeds are replayed
+    /// first, and any fresh failing seed is appended to it.
+    pub fn corpus(mut self, path: impl Into<PathBuf>) -> Prop {
+        self.corpus = Some(path.into());
+        self
+    }
+
+    /// Seed of generated case `index` (pure function of the base seed).
+    fn case_seed(&self, index: u32) -> u64 {
+        // SplitMix-style mix so consecutive cases are uncorrelated.
+        let mut z = self.base_seed.wrapping_add((u64::from(index) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^ (z >> 31)
+    }
+
+    fn corpus_seeds(&self) -> Vec<u64> {
+        let Some(path) = &self.corpus else { return Vec::new() };
+        let Ok(text) = std::fs::read_to_string(path) else { return Vec::new() };
+        text.lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .filter_map(|l| l.parse().ok())
+            .collect()
+    }
+
+    fn persist_failure(&self, seed: u64) {
+        let Some(path) = &self.corpus else { return };
+        let known = self.corpus_seeds();
+        if known.contains(&seed) {
+            return;
+        }
+        let new_file = !path.exists();
+        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            if new_file {
+                let _ = writeln!(
+                    f,
+                    "# Regression-seed corpus for `{}` (ncpu-testkit::prop).\n\
+                     # Seeds below reproduced failures; they are replayed before novel\n\
+                     # cases. Check this file in so everyone replays them.",
+                    self.name
+                );
+            }
+            let _ = writeln!(f, "{seed}");
+        }
+    }
+
+    /// Runs the property: `gen` builds an input from a seeded RNG and
+    /// `prop` checks it, returning `Err(reason)` on violation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first (shrunk) counterexample, reporting the failing
+    /// seed, the original and the minimized input.
+    pub fn run<T, G, P>(&self, gen: G, prop: P)
+    where
+        T: Clone + Debug + Shrink,
+        G: Fn(&mut Rng) -> T,
+        P: Fn(&T) -> Result<(), String>,
+    {
+        let corpus_seeds = self.corpus_seeds();
+        let replay = self.pinned.iter().chain(&corpus_seeds).copied();
+        for seed in replay {
+            self.run_one(seed, true, &gen, &prop);
+        }
+        for case in 0..self.cases {
+            self.run_one(self.case_seed(case), false, &gen, &prop);
+        }
+    }
+
+    fn run_one<T, G, P>(&self, seed: u64, replayed: bool, gen: &G, prop: &P)
+    where
+        T: Clone + Debug + Shrink,
+        G: Fn(&mut Rng) -> T,
+        P: Fn(&T) -> Result<(), String>,
+    {
+        let input = gen(&mut Rng::seed_from_u64(seed));
+        let Err(reason) = prop(&input) else { return };
+        if !replayed {
+            self.persist_failure(seed);
+        }
+        let (shrunk, shrunk_reason, steps) = self.shrink(input.clone(), reason.clone(), prop);
+        panic!(
+            "property `{}` failed (seed {seed}{}).\n\
+             original input: {input:?}\n\
+             original error: {reason}\n\
+             shrunk input ({steps} steps): {shrunk:?}\n\
+             shrunk error: {shrunk_reason}\n\
+             reproduce with: Prop::new(\"{}\").pin(&[{seed}])",
+            self.name,
+            if replayed { ", replayed from corpus/pin" } else { "" },
+            self.name,
+        );
+    }
+
+    /// Greedy shrink: repeatedly adopt the first failing candidate.
+    fn shrink<T, P>(&self, mut current: T, mut reason: String, prop: &P) -> (T, String, u32)
+    where
+        T: Clone + Debug + Shrink,
+        P: Fn(&T) -> Result<(), String>,
+    {
+        let mut steps = 0;
+        let mut budget = self.max_shrink_iters;
+        'outer: while budget > 0 {
+            for candidate in current.shrink() {
+                budget = budget.saturating_sub(1);
+                if let Err(e) = prop(&candidate) {
+                    current = candidate;
+                    reason = e;
+                    steps += 1;
+                    continue 'outer;
+                }
+                if budget == 0 {
+                    break;
+                }
+            }
+            break;
+        }
+        (current, reason, steps)
+    }
+}
+
+/// Produces smaller variants of a failing input, simplest first.
+///
+/// An empty vector means the value is fully minimized.
+pub trait Shrink: Sized {
+    /// Candidate reductions of `self` (each "smaller" in some ordering
+    /// that terminates).
+    fn shrink(&self) -> Vec<Self>;
+}
+
+/// Opts a generated value out of shrinking.
+///
+/// For inputs with no meaningful reduction order (a decoded instruction, a
+/// trained model), the failing *seed* in the panic message is the
+/// counterexample; wrap the value so the harness skips shrinking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NoShrink<T>(pub T);
+
+impl<T: Clone + Debug> Shrink for NoShrink<T> {
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+macro_rules! shrink_uint {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<$t> {
+                let v = *self;
+                let mut out = Vec::new();
+                if v != 0 {
+                    out.push(0);
+                    if v / 2 != 0 {
+                        out.push(v / 2);
+                    }
+                    out.push(v - 1);
+                }
+                out.dedup();
+                out
+            }
+        }
+    )*};
+}
+shrink_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! shrink_int {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<$t> {
+                let v = *self;
+                let mut out = Vec::new();
+                if v != 0 {
+                    out.push(0);
+                    if v / 2 != 0 {
+                        out.push(v / 2);
+                    }
+                    if v < 0 {
+                        out.push(-v); // prefer positive counterexamples
+                        out.push(v + 1);
+                    } else {
+                        out.push(v - 1);
+                    }
+                }
+                out.dedup();
+                out
+            }
+        }
+    )*};
+}
+shrink_int!(i8, i16, i32, i64, isize);
+
+impl Shrink for bool {
+    fn shrink(&self) -> Vec<bool> {
+        if *self { vec![false] } else { Vec::new() }
+    }
+}
+
+impl Shrink for f64 {
+    fn shrink(&self) -> Vec<f64> {
+        if *self == 0.0 || !self.is_finite() {
+            Vec::new()
+        } else {
+            vec![0.0, self / 2.0]
+        }
+    }
+}
+
+impl Shrink for f32 {
+    fn shrink(&self) -> Vec<f32> {
+        if *self == 0.0 || !self.is_finite() {
+            Vec::new()
+        } else {
+            vec![0.0, self / 2.0]
+        }
+    }
+}
+
+impl Shrink for char {
+    fn shrink(&self) -> Vec<char> {
+        if *self == 'a' { Vec::new() } else { vec!['a'] }
+    }
+}
+
+impl<T: Shrink + Clone> Shrink for Vec<T> {
+    fn shrink(&self) -> Vec<Vec<T>> {
+        let n = self.len();
+        let mut out = Vec::new();
+        if n == 0 {
+            return out;
+        }
+        // Drop big chunks first (empty, halves), then single elements,
+        // then shrink elements in place.
+        out.push(Vec::new());
+        if n > 1 {
+            out.push(self[n / 2..].to_vec());
+            out.push(self[..n / 2].to_vec());
+        }
+        let single_cap = 32.min(n);
+        for i in 0..single_cap {
+            let mut v = self.clone();
+            v.remove(i);
+            out.push(v);
+        }
+        for i in 0..single_cap {
+            for smaller in self[i].shrink() {
+                let mut v = self.clone();
+                v[i] = smaller;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+impl<T: Shrink + Clone> Shrink for Option<T> {
+    fn shrink(&self) -> Vec<Option<T>> {
+        match self {
+            None => Vec::new(),
+            Some(v) => {
+                let mut out = vec![None];
+                out.extend(v.shrink().into_iter().map(Some));
+                out
+            }
+        }
+    }
+}
+
+macro_rules! shrink_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Shrink + Clone),+> Shrink for ($($name,)+) {
+            fn shrink(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                $(
+                    for smaller in self.$idx.shrink() {
+                        let mut t = self.clone();
+                        t.$idx = smaller;
+                        out.push(t);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+shrink_tuple!(A: 0);
+shrink_tuple!(A: 0, B: 1);
+shrink_tuple!(A: 0, B: 1, C: 2);
+shrink_tuple!(A: 0, B: 1, C: 2, D: 3);
+shrink_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+shrink_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// Asserts a condition inside a property, returning `Err` instead of
+/// panicking so the harness can shrink the input.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!("assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!("assertion failed: {} == {}\n  left: {:?}\n right: {:?}\n  note: {}",
+                stringify!($left), stringify!($right), l, r, format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!("assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left), stringify!($right), l));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!("assertion failed: {} != {}\n  both: {:?}\n  note: {}",
+                stringify!($left), stringify!($right), l, format!($($fmt)+)));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u32;
+        let counter = std::cell::Cell::new(0u32);
+        Prop::new("always_true").cases(100).run(
+            |rng| rng.gen::<u32>(),
+            |_| {
+                counter.set(counter.get() + 1);
+                Ok(())
+            },
+        );
+        count += counter.get();
+        assert_eq!(count, 100);
+    }
+
+    #[test]
+    fn failing_property_panics_with_seed_and_shrunk_input() {
+        let result = std::panic::catch_unwind(|| {
+            Prop::new("fails_over_100").cases(200).run(
+                |rng| rng.gen_range(0u32..1000),
+                |&v| if v <= 100 { Ok(()) } else { Err(format!("{v} > 100")) },
+            );
+        });
+        let msg = *result.expect_err("must fail").downcast::<String>().expect("panic message");
+        assert!(msg.contains("seed "), "{msg}");
+        // Greedy shrink lands on the boundary counterexample.
+        assert!(msg.contains("shrunk input"), "{msg}");
+        let shrunk: u32 = msg
+            .lines()
+            .find(|l| l.starts_with("shrunk input"))
+            .and_then(|l| l.rsplit(": ").next())
+            .and_then(|v| v.trim().parse().ok())
+            .expect("shrunk value parses");
+        assert_eq!(shrunk, 101, "minimal failing value");
+    }
+
+    #[test]
+    fn vec_shrinking_minimizes_length() {
+        let result = std::panic::catch_unwind(|| {
+            Prop::new("no_big_vecs").cases(100).run(
+                |rng| {
+                    let n = rng.gen_range(0..20usize);
+                    (0..n).map(|_| rng.gen_range(0i32..10)).collect::<Vec<i32>>()
+                },
+                |v| if v.len() < 3 { Ok(()) } else { Err("too long".into()) },
+            );
+        });
+        let msg = *result.expect_err("must fail").downcast::<String>().expect("panic message");
+        let line = msg.lines().find(|l| l.starts_with("shrunk input")).expect("shrunk line");
+        // Minimal counterexample is a 3-element vector of zeros.
+        assert!(line.contains("[0, 0, 0]"), "{line}");
+    }
+
+    #[test]
+    fn pinned_seeds_replay_first() {
+        let seen = std::cell::RefCell::new(Vec::new());
+        Prop::new("records_seeds").cases(2).pin(&[7, 9]).run(
+            |rng| rng.next_u64(),
+            |&v| {
+                seen.borrow_mut().push(v);
+                Ok(())
+            },
+        );
+        let seen = seen.into_inner();
+        assert_eq!(seen.len(), 4);
+        assert_eq!(seen[0], Rng::seed_from_u64(7).next_u64());
+        assert_eq!(seen[1], Rng::seed_from_u64(9).next_u64());
+    }
+
+    #[test]
+    fn corpus_file_round_trips() {
+        let dir = std::env::temp_dir().join("ncpu-testkit-corpus-test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join(format!("corpus-{}.seeds", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        // First run fails and persists the seed.
+        let result = std::panic::catch_unwind(|| {
+            Prop::new("corpus_demo").cases(5).corpus(&path).run(
+                |rng| rng.gen_range(0u32..100),
+                |_| Err("always fails".into()),
+            );
+        });
+        assert!(result.is_err());
+        let text = std::fs::read_to_string(&path).expect("corpus written");
+        let seeds: Vec<u64> = text
+            .lines()
+            .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
+            .map(|l| l.trim().parse().expect("seed"))
+            .collect();
+        assert_eq!(seeds.len(), 1, "one persisted failure:\n{text}");
+
+        // A replay reports the corpus provenance.
+        let result = std::panic::catch_unwind(|| {
+            Prop::new("corpus_demo").cases(0).corpus(&path).run(
+                |rng| rng.gen_range(0u32..100),
+                |_| Err("always fails".into()),
+            );
+        });
+        let msg = *result.expect_err("replay fails").downcast::<String>().expect("msg");
+        assert!(msg.contains("replayed from corpus"), "{msg}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tuple_and_int_shrinkers_terminate() {
+        let mut v = (250u8, -40i32, true);
+        let mut guard = 0;
+        loop {
+            let cands = v.shrink();
+            match cands.into_iter().next() {
+                Some(c) => v = c,
+                None => break,
+            }
+            guard += 1;
+            assert!(guard < 1000, "shrink must terminate");
+        }
+        assert_eq!(v, (0, 0, false));
+    }
+}

@@ -239,13 +239,12 @@ mod tests {
     use ncpu_bnn::data::digits::{self, DigitsConfig};
     use ncpu_bnn::BitVec;
     use ncpu_pipeline::{FlatMem, Pipeline};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ncpu_testkit::rng::Rng;
 
     /// The RV32I program must produce exactly the host mirror's bits.
     #[test]
     fn program_matches_host_mirror_bit_exactly() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Rng::seed_from_u64(11);
         for digit in [0usize, 3, 7] {
             let raw = digits::render_raw(digit, DigitsConfig::default().noise, &mut rng);
             let layout = ImageLayout::default();
@@ -263,7 +262,7 @@ mod tests {
 
     #[test]
     fn phase_markers_progress() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let raw = digits::render_raw(5, 0.1, &mut rng);
         let layout = ImageLayout::default();
         let program = preprocess_program(&layout, layout.pack, Tail::Halt);
@@ -280,7 +279,7 @@ mod tests {
 
     #[test]
     fn offload_tail_triggers_accelerator() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::seed_from_u64(4);
         let raw = digits::render_raw(2, 0.1, &mut rng);
         let layout = ImageLayout::default();
         let program = preprocess_program(&layout, layout.pack, Tail::Offload);

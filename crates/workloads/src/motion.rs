@@ -215,12 +215,11 @@ mod tests {
     use ncpu_bnn::data::motion::{self, INPUT_BITS};
     use ncpu_bnn::BitVec;
     use ncpu_pipeline::{FlatMem, Pipeline};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ncpu_testkit::rng::Rng;
 
     #[test]
     fn program_matches_host_mirror_bit_exactly() {
-        let mut rng = StdRng::seed_from_u64(21);
+        let mut rng = Rng::seed_from_u64(21);
         for label in [0usize, 3, 7] {
             let window = motion::generate_window(label, 9000.0, &mut rng);
             let layout = MotionLayout::default();
@@ -239,7 +238,7 @@ mod tests {
     fn feature_extraction_cycle_count_in_expected_band() {
         // Table I context: feature extraction is ~10k cycles, so at 18 MHz
         // it fits the 5 ms real-time budget with margin.
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let window = motion::generate_window(1, 9000.0, &mut rng);
         let layout = MotionLayout::default();
         let program = feature_program(&layout, layout.pack, Tail::Halt);
@@ -251,7 +250,7 @@ mod tests {
 
     #[test]
     fn phase_marker_reaches_encode() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng::seed_from_u64(5);
         let window = motion::generate_window(4, 9000.0, &mut rng);
         let layout = MotionLayout::default();
         let program = feature_program(&layout, layout.pack, Tail::Halt);

@@ -193,7 +193,7 @@ am_sk:  addi s0, s0, 1
 pub fn stage_input(input: &BitVec) -> Vec<u8> {
     let mut bytes = input.to_bytes();
     // Pad to a word boundary: the program reads whole words.
-    while bytes.len() % 4 != 0 {
+    while !bytes.len().is_multiple_of(4) {
         bytes.push(0);
     }
     bytes

@@ -4,43 +4,60 @@
 
 use ncpu_bnn::{BitVec, BnnLayer, BnnModel, Topology};
 use ncpu_pipeline::{FlatMem, Pipeline};
+use ncpu_testkit::prop::Prop;
+use ncpu_testkit::rng::Rng;
+use ncpu_testkit::prop_assert_eq;
 use ncpu_workloads::softbnn;
-use proptest::prelude::*;
 
-fn model_and_input() -> impl Strategy<Value = (BnnModel, BitVec)> {
-    (2usize..=3, 3usize..=10, 5usize..=40).prop_flat_map(|(layers, neurons, input)| {
-        let bits = prop::collection::vec(
-            any::<bool>(),
-            input * neurons + (layers - 1) * neurons * neurons,
-        );
-        let biases = prop::collection::vec(-4i32..=4, layers * neurons);
-        let sample = prop::collection::vec(any::<bool>(), input);
-        (bits, biases, sample).prop_map(move |(bits, biases, sample)| {
-            let topo = Topology::new(input, vec![neurons; layers], neurons.min(3));
-            let mut cursor = 0;
-            let mut built = Vec::new();
-            for l in 0..layers {
-                let n_in = topo.layer_input(l);
-                let rows: Vec<BitVec> = (0..neurons)
-                    .map(|_| {
-                        let row =
-                            BitVec::from_bools(bits[cursor..cursor + n_in].iter().copied());
-                        cursor += n_in;
-                        row
-                    })
-                    .collect();
-                built.push(BnnLayer::new(rows, biases[l * neurons..(l + 1) * neurons].to_vec()));
-            }
-            (BnnModel::new(topo, built), BitVec::from_bools(sample))
-        })
-    })
+/// Raw generated material for one case: dimension selectors plus bit/bias
+/// pools. The model is built *inside* the property with cyclic indexing,
+/// so every shrink of the pools still yields a valid model.
+type RawCase = (u8, u8, u8, Vec<bool>, Vec<i32>, Vec<bool>);
+
+fn raw_case(rng: &mut Rng) -> RawCase {
+    let layers_sel = rng.gen_range(0u8..2); // 2..=3 layers
+    let neurons_sel = rng.gen_range(0u8..8); // 3..=10 neurons
+    let input_sel = rng.gen_range(0u8..36); // 5..=40 input bits
+    let layers = 2 + layers_sel as usize;
+    let neurons = 3 + neurons_sel as usize;
+    let input = 5 + input_sel as usize;
+    let n_bits = input * neurons + (layers - 1) * neurons * neurons;
+    let bits: Vec<bool> = (0..n_bits).map(|_| rng.gen()).collect();
+    let biases: Vec<i32> = (0..layers * neurons).map(|_| rng.gen_range(-4i32..=4)).collect();
+    let sample: Vec<bool> = (0..input).map(|_| rng.gen()).collect();
+    (layers_sel, neurons_sel, input_sel, bits, biases, sample)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn build(case: &RawCase) -> (BnnModel, BitVec) {
+    let (layers_sel, neurons_sel, input_sel, bits, biases, sample) = case;
+    let layers = 2 + (*layers_sel as usize % 2);
+    let neurons = 3 + (*neurons_sel as usize % 8);
+    let input = 5 + (*input_sel as usize % 36);
+    let bit = |i: usize| !bits.is_empty() && bits[i % bits.len()];
+    let bias = |i: usize| if biases.is_empty() { 0 } else { biases[i % biases.len()] };
+    let topo = Topology::new(input, vec![neurons; layers], neurons.min(3));
+    let mut cursor = 0;
+    let mut built = Vec::new();
+    for l in 0..layers {
+        let n_in = topo.layer_input(l);
+        let rows: Vec<BitVec> = (0..neurons)
+            .map(|_| {
+                let row = BitVec::from_bools((0..n_in).map(|k| bit(cursor + k)));
+                cursor += n_in;
+                row
+            })
+            .collect();
+        built.push(BnnLayer::new(rows, (0..neurons).map(|n| bias(l * neurons + n)).collect()));
+    }
+    let input_bits =
+        BitVec::from_bools((0..input).map(|i| !sample.is_empty() && sample[i % sample.len()]));
+    (BnnModel::new(topo, built), input_bits)
+}
 
-    #[test]
-    fn software_bnn_matches_reference((model, input) in model_and_input()) {
+#[test]
+fn software_bnn_matches_reference() {
+    Prop::new("workloads::software_bnn_matches_reference").run(raw_case, |case| {
+        let (model, input) = build(case);
         let soft = softbnn::build(&model);
         let mut cpu = Pipeline::new(soft.program.clone(), FlatMem::new(32 * 1024));
         cpu.mem_mut().local_mut()[..soft.data.len()].copy_from_slice(&soft.data);
@@ -49,5 +66,6 @@ proptest! {
         cpu.mem_mut().local_mut()[at..at + staged.len()].copy_from_slice(&staged);
         cpu.run(200_000_000).expect("program halts");
         prop_assert_eq!(cpu.reg(ncpu_isa::Reg::A0) as usize, model.classify(&input));
-    }
+        Ok(())
+    });
 }

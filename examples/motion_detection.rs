@@ -11,8 +11,7 @@ use ncpu::prelude::*;
 use ncpu::bnn::data::motion;
 use ncpu::bnn::train::{train, TrainConfig};
 use ncpu::workloads::{motion as motion_prog, softbnn, Tail};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ncpu_testkit::rng::Rng;
 
 fn main() {
     println!("training the motion classifier on synthetic 6-channel windows…");
@@ -28,7 +27,7 @@ fn main() {
     println!("accuracy: {:.1}% (paper: 74%)", acc * 100.0);
 
     // One gesture window to classify.
-    let mut rng = StdRng::seed_from_u64(9);
+    let mut rng = Rng::seed_from_u64(9);
     let window = motion::generate_window(5, cfg.noise, &mut rng);
 
     // Feature extraction on the CPU pipeline (both systems pay this).

@@ -14,6 +14,31 @@ fn soc_runs_are_bit_reproducible() {
     assert_eq!(mk(), mk());
 }
 
+/// Both paper use cases, end to end, from fresh state: the *entire* report
+/// (every core's busy time, every prediction, every label — via the Debug
+/// rendering) must come out byte-identical across runs.
+#[test]
+fn image_use_case_reports_are_byte_identical() {
+    let mk = || {
+        let uc = UseCase::image(3, 4, 2);
+        let base = run(&uc, SystemConfig::Heterogeneous, &SocConfig::default());
+        let dual = run(&uc, SystemConfig::Ncpu { cores: 2 }, &SocConfig::default());
+        format!("{base:?}\n{dual:?}")
+    };
+    assert_eq!(mk(), mk(), "image-classification reports must be byte-identical");
+}
+
+#[test]
+fn motion_use_case_reports_are_byte_identical() {
+    let mk = || {
+        let uc = UseCase::motion(3, 4, 2);
+        let base = run(&uc, SystemConfig::Heterogeneous, &SocConfig::default());
+        let dual = run(&uc, SystemConfig::Ncpu { cores: 2 }, &SocConfig::default());
+        format!("{base:?}\n{dual:?}")
+    };
+    assert_eq!(mk(), mk(), "motion-detection reports must be byte-identical");
+}
+
 #[test]
 fn training_is_bit_reproducible() {
     use ncpu::bnn::data::Dataset;

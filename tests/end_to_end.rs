@@ -3,8 +3,7 @@
 use ncpu::prelude::*;
 use ncpu::bnn::data::{digits, motion};
 use ncpu::workloads::{image, motion as motion_prog, softbnn, Tail};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ncpu_testkit::rng::Rng;
 
 /// Deterministic pseudo-random model (no training needed).
 fn pseudo_model(input: usize, neurons: usize, classes: usize) -> BnnModel {
@@ -33,7 +32,7 @@ fn ncpu_image_flow_matches_host_reference() {
         core.image_base(),
         Tail::NcpuClassify { output_base: core.output_base(), result_l2: 0x40 },
     );
-    let mut rng = StdRng::seed_from_u64(31);
+    let mut rng = Rng::seed_from_u64(31);
     for digit in [1usize, 8] {
         let raw = digits::render_raw(digit, 0.1, &mut rng);
         let staged = image::stage_bytes(&raw);
@@ -55,7 +54,7 @@ fn ncpu_image_flow_matches_host_reference() {
 #[test]
 fn three_inference_paths_agree_on_motion() {
     let model = pseudo_model(motion::INPUT_BITS, 16, 8);
-    let mut rng = StdRng::seed_from_u64(5);
+    let mut rng = Rng::seed_from_u64(5);
     let window = motion::generate_window(4, 9000.0, &mut rng);
     let input = motion::window_to_input(&window);
     let reference = model.classify(&input);
@@ -138,7 +137,7 @@ fn programs_bit_exact_through_ncpu_banks() {
         core.image_base(),
         Tail::NcpuClassify { output_base: core.output_base(), result_l2: 0x44 },
     );
-    let mut rng = StdRng::seed_from_u64(77);
+    let mut rng = Rng::seed_from_u64(77);
     let window = motion::generate_window(6, 9000.0, &mut rng);
     let banks = core.pipeline_mut().mem_mut().accel_mut().banks_mut();
     let (bank, off) = banks.resolve(0).unwrap();

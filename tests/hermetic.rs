@@ -1,0 +1,87 @@
+//! Hermeticity: the dependency tree is workspace-only, so the tier-1
+//! verify (`cargo build --release && cargo test -q`) works fully offline.
+//!
+//! Parses the checked-in `Cargo.lock` directly — if any crate ever grows a
+//! crates.io / git dependency, this test names it before CI ever needs the
+//! network.
+
+use std::path::Path;
+
+fn lockfile() -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("Cargo.lock");
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+/// One `[[package]]` stanza, minimally parsed.
+fn packages(lock: &str) -> Vec<Vec<&str>> {
+    let mut out = Vec::new();
+    let mut current: Option<Vec<&str>> = None;
+    for line in lock.lines() {
+        let line = line.trim();
+        if line == "[[package]]" {
+            if let Some(p) = current.take() {
+                out.push(p);
+            }
+            current = Some(Vec::new());
+        } else if let Some(p) = current.as_mut() {
+            if line.starts_with('[') {
+                out.push(current.take().expect("open stanza"));
+            } else if !line.is_empty() {
+                p.push(line);
+            }
+        }
+    }
+    out.extend(current);
+    out
+}
+
+fn field<'a>(package: &[&'a str], key: &str) -> Option<&'a str> {
+    package.iter().find_map(|l| {
+        l.strip_prefix(key)
+            .and_then(|rest| rest.trim_start().strip_prefix('='))
+            .map(|v| v.trim().trim_matches('"'))
+    })
+}
+
+#[test]
+fn lockfile_has_no_external_packages() {
+    let lock = lockfile();
+    let packages = packages(&lock);
+    assert!(!packages.is_empty(), "lockfile parses");
+    for p in &packages {
+        let name = field(p, "name").expect("package has a name");
+        assert!(
+            name == "ncpu" || name.starts_with("ncpu-"),
+            "non-workspace package `{name}` in Cargo.lock — the zero-dependency \
+             policy (DESIGN.md §6) forbids external crates"
+        );
+        assert!(
+            field(p, "source").is_none(),
+            "package `{name}` has a source (registry/git); workspace path \
+             dependencies must have none"
+        );
+        assert!(
+            field(p, "checksum").is_none(),
+            "package `{name}` has a registry checksum; workspace path \
+             dependencies must have none"
+        );
+    }
+}
+
+#[test]
+fn lockfile_covers_every_workspace_crate() {
+    let lock = lockfile();
+    let packages = packages(&lock);
+    let names: Vec<&str> = packages.iter().filter_map(|p| field(p, "name")).collect();
+    let crates_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates");
+    for entry in std::fs::read_dir(&crates_dir).expect("crates/ exists") {
+        let dir = entry.expect("dir entry").file_name();
+        let member = format!("ncpu-{}", dir.to_string_lossy());
+        assert!(
+            names.contains(&member.as_str()),
+            "workspace member `{member}` missing from Cargo.lock"
+        );
+    }
+    assert!(names.contains(&"ncpu"), "root crate in lockfile");
+}
