@@ -7,3 +7,12 @@ set -eux
 cargo build --release --offline
 cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
+
+# Observability smoke: a fully traced end-to-end run must emit RUN_/TRACE_
+# artifacts that the in-tree checker accepts (unknown event kinds fail).
+OBS_DIR=target/obs-ci
+rm -rf "$OBS_DIR"
+NCPU_TRACE=full NCPU_TRACE_DIR="$OBS_DIR" \
+    cargo run --release --offline --example image_classification 2
+cargo run --release --offline -p ncpu-obs --bin trace_check -- \
+    "$OBS_DIR"/RUN_image.json "$OBS_DIR"/TRACE_image.json

@@ -1,6 +1,7 @@
 //! The accelerator engine: functional inference + systolic timing.
 
 use ncpu_bnn::{BitVec, BnnModel};
+use ncpu_obs::{EventKind, Recorder, TraceLevel};
 use ncpu_sim::{AddressArbiter, BankId};
 
 use crate::config::{AccelConfig, SIGN_CYCLES};
@@ -62,6 +63,7 @@ pub struct Accelerator {
     banks: AddressArbiter,
     weight_bank_ids: Vec<BankId>,
     stats: AccelStats,
+    obs: Recorder,
 }
 
 impl Accelerator {
@@ -86,7 +88,26 @@ impl Accelerator {
         }
         banks.add_bank("image", base, config.banks.image);
         banks.add_bank("output", base + config.banks.image as u32, config.banks.output);
-        Accelerator { model, config, banks, weight_bank_ids, stats: AccelStats::default() }
+        Accelerator {
+            model,
+            config,
+            banks,
+            weight_bank_ids,
+            stats: AccelStats::default(),
+            obs: Recorder::disabled(),
+        }
+    }
+
+    /// Enables event recording at `level`: each image becomes a `bnn`
+    /// phase span and each batch an inference event, stamped in the
+    /// caller's cycle domain (batch `avail` times are caller cycles).
+    pub fn set_obs_level(&mut self, level: TraceLevel) {
+        self.obs.set_level(level);
+    }
+
+    /// The accelerator's recorder shard, for the embedding SoC to absorb.
+    pub fn obs_mut(&mut self) -> &mut Recorder {
+        &mut self.obs
     }
 
     /// The model being served.
@@ -217,6 +238,7 @@ impl Accelerator {
             self.stats.busy_cycles += t.saturating_sub(busy_start);
             prev_busy_end = prev_busy_end.max(t);
         }
+        self.record_batch(&spans, last_end);
         BatchRun { outputs, spans, total_cycles: last_end }
     }
 
@@ -270,7 +292,22 @@ impl Accelerator {
             self.stats.busy_cycles += entry.saturating_sub(busy_start);
             prev_busy_end = prev_busy_end.max(entry);
         }
+        self.record_batch(&spans, last_end);
         BatchRun { outputs, spans, total_cycles: last_end }
+    }
+
+    fn record_batch(&mut self, spans: &[(u64, u64)], last_end: u64) {
+        if !self.obs.wants_spans() || spans.is_empty() {
+            return;
+        }
+        for &(start, end) in spans {
+            self.obs.phase(0, "bnn", start, end);
+        }
+        self.obs.emit(
+            0,
+            spans[0].0,
+            EventKind::Inference { images: spans.len() as u32, end: last_end },
+        );
     }
 
     fn count_activity(&mut self, input: &BitVec) {
@@ -362,6 +399,21 @@ mod tests {
         assert!(acc.stats().busy_cycles <= run.total_cycles);
         // Widely spaced arrivals: no overlap, busy = 5 × 36.
         assert_eq!(acc.stats().busy_cycles, 5 * 36);
+    }
+
+    #[test]
+    fn traced_batches_emit_image_spans() {
+        let mut acc = Accelerator::new(tiny_model(), AccelConfig::default());
+        acc.set_obs_level(TraceLevel::Counters);
+        let run = acc.run_batch(&[BitVec::zeros(24), BitVec::zeros(24)]);
+        let spans = acc.obs_mut().spans().to_vec();
+        // Two per-image "bnn" phases plus one batch inference span.
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].kind, EventKind::Phase { label: "bnn".into(), end: run.spans[0].1 });
+        assert_eq!(
+            spans[2].kind,
+            EventKind::Inference { images: 2, end: run.total_cycles }
+        );
     }
 
     #[test]

@@ -1,6 +1,12 @@
 //! Runs every experiment in paper order (`cargo run --release -p
 //! ncpu-bench --bin paper`), or a subset by id.
+//!
+//! With `NCPU_TRACE=counters|full` it additionally re-runs the flagship
+//! dual-NCPU image-classification case traced and writes `RUN_image.json`
+//! + `TRACE_image.json` into `NCPU_TRACE_DIR` (default `.`).
 use std::env;
+
+use ncpu_obs::TraceLevel;
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -13,6 +19,21 @@ fn main() {
         match ncpu_bench::experiments::run_by_id(id) {
             Some(report) => println!("{report}"),
             None => eprintln!("unknown experiment `{id}` (known: {:?})", ncpu_bench::experiments::ALL_IDS),
+        }
+    }
+
+    let level = TraceLevel::from_env();
+    if level != TraceLevel::Off {
+        let uc = ncpu_soc::UseCase::image(4, 60, 25);
+        let soc = ncpu_soc::SocConfig::default();
+        let (report, rec) =
+            ncpu_soc::run_traced(&uc, ncpu_soc::SystemConfig::Ncpu { cores: 2 }, &soc, level);
+        let artifact = report.artifact(uc.name(), &rec);
+        match ncpu_obs::write_artifacts(&artifact, &rec, &report.thread_names()) {
+            Ok((run_path, trace_path)) => {
+                eprintln!("trace artifacts: {} and {}", run_path.display(), trace_path.display());
+            }
+            Err(e) => eprintln!("failed to write trace artifacts: {e}"),
         }
     }
 }

@@ -6,6 +6,7 @@ use std::fmt;
 use ncpu_accel::{packed_row_bytes, AccelConfig, Accelerator};
 use ncpu_bnn::{BitVec, BnnModel};
 use ncpu_isa::interp::Event;
+use ncpu_obs::{EventKind as ObsEvent, Mode, Recorder, TraceLevel};
 use ncpu_pipeline::{PipeError, Pipeline, PipelineConfig};
 use ncpu_sim::stats::Timeline;
 
@@ -121,7 +122,10 @@ pub struct NcpuCore {
     stats: CoreStats,
     /// Cycles spent outside the pipeline clock (BNN phases + switch costs).
     extra_cycles: u64,
-    timeline: Timeline,
+    /// The core's shard of the event bus. Held at `Counters` or above so
+    /// mode phases are always recorded — the pre-obs `Timeline` was
+    /// unconditional, and run reports are derived from these spans.
+    obs: Recorder,
     /// Start of the current CPU-mode span, in unified cycles.
     span_start: u64,
     /// `trigger_bnn` retirements not yet consumed by the SoC layer.
@@ -151,7 +155,7 @@ impl NcpuCore {
             transition: [0; TRANSITION_NEURONS],
             stats: CoreStats::default(),
             extra_cycles: 0,
-            timeline: Timeline::new(),
+            obs: Recorder::new(TraceLevel::Counters),
             span_start: 0,
             pending_triggers: 0,
             busy_remaining: 0,
@@ -183,9 +187,43 @@ impl NcpuCore {
         &self.stats
     }
 
-    /// Mode timeline (`"cpu"`/`"bnn"`/`"switch"` spans in unified cycles).
-    pub fn timeline(&self) -> &Timeline {
-        &self.timeline
+    /// Mode timeline (`"cpu"`/`"bnn"`/`"switch"` spans in unified cycles),
+    /// derived from the core's event stream.
+    pub fn timeline(&self) -> Timeline {
+        Timeline::from_obs_events(self.obs.spans(), 0)
+    }
+
+    /// Raises the trace level: the core shard stays at `Counters` or
+    /// above (phases are always recorded), the embedded pipeline follows
+    /// `level` exactly (its instant events only exist at `Full`).
+    pub fn set_obs_level(&mut self, level: TraceLevel) {
+        self.obs.set_level(level.at_least_counters());
+        self.pipeline.set_obs_level(level);
+    }
+
+    /// The core's recorder shard (spans in unified core cycles).
+    pub fn obs(&self) -> &Recorder {
+        &self.obs
+    }
+
+    /// Mutable recorder shard, for the SoC layer to absorb. Pipeline
+    /// events are synced into it at mode switches and at halt.
+    pub fn obs_mut(&mut self) -> &mut Recorder {
+        &mut self.obs
+    }
+
+    /// Drains the pipeline shard into the core shard, re-basing pipeline
+    /// cycles onto the unified clock. Correct only when called before
+    /// `extra_cycles` moves past the drained events — i.e. at `trans_bnn`
+    /// service and at halt.
+    fn sync_pipeline_obs(&mut self) {
+        let offset = self.extra_cycles as i64;
+        let NcpuCore { pipeline, obs, .. } = self;
+        let shard = pipeline.obs_mut();
+        if shard.events().is_empty() && shard.spans().is_empty() {
+            return;
+        }
+        obs.absorb(shard, 0, offset);
     }
 
     /// Base address of the image memory in the CPU-mode address space.
@@ -266,9 +304,10 @@ impl NcpuCore {
         }
         let now = self.total_cycles();
         if now > self.span_start {
-            self.timeline.record("cpu", self.span_start, now);
+            self.obs.phase(0, "cpu", self.span_start, now);
             self.span_start = now;
         }
+        self.sync_pipeline_obs();
         Ok(())
     }
 
@@ -288,10 +327,12 @@ impl NcpuCore {
             return Err(CoreError::ImageCapacity { images, capacity });
         }
 
-        // Close the CPU span.
+        // Close the CPU span and pull the pipeline's events onto the
+        // unified clock while `extra_cycles` still matches their epoch.
+        self.sync_pipeline_obs();
         let switch_at = self.total_cycles();
         if switch_at > self.span_start {
-            self.timeline.record("cpu", self.span_start, switch_at);
+            self.obs.phase(0, "cpu", self.span_start, switch_at);
         }
 
         // Naive policy: reload every packed weight before inference.
@@ -302,7 +343,7 @@ impl NcpuCore {
             }
         };
         if switch_in > 0 {
-            self.timeline.record("switch", switch_at, switch_at + switch_in);
+            self.obs.phase(0, "switch", switch_at, switch_at + switch_in);
         }
 
         // Read packed images straight out of the image bank — the data the
@@ -337,7 +378,15 @@ impl NcpuCore {
 
         let bnn_start = switch_at + switch_in;
         let bnn_end = bnn_start + run.total_cycles;
-        self.timeline.record("bnn", bnn_start, bnn_end);
+        if self.obs.wants_events() {
+            self.obs.emit(0, bnn_start, ObsEvent::ModeSwitch { to: Mode::Bnn });
+        }
+        self.obs.phase(0, "bnn", bnn_start, bnn_end);
+        self.obs.emit(
+            0,
+            bnn_start,
+            ObsEvent::Inference { images: images as u32, end: bnn_end },
+        );
 
         // Switch back: naive policy reloads the data cache.
         let switch_back = match self.policy {
@@ -345,7 +394,10 @@ impl NcpuCore {
             SwitchPolicy::Naive => NAIVE_DCACHE_PRELOAD_BYTES / NAIVE_DMA_BYTES_PER_CYCLE,
         };
         if switch_back > 0 {
-            self.timeline.record("switch", bnn_end, bnn_end + switch_back);
+            self.obs.phase(0, "switch", bnn_end, bnn_end + switch_back);
+        }
+        if self.obs.wants_events() {
+            self.obs.emit(0, bnn_end + switch_back, ObsEvent::ModeSwitch { to: Mode::Cpu });
         }
 
         self.stats.switches += 1;
@@ -397,9 +449,10 @@ impl NcpuCore {
                 Event::Halted => {
                     let now = self.total_cycles();
                     if now > self.span_start {
-                        self.timeline.record("cpu", self.span_start, now);
+                        self.obs.phase(0, "cpu", self.span_start, now);
                         self.span_start = now;
                     }
+                    self.sync_pipeline_obs();
                     return Ok(StepOutcome::Halted);
                 }
                 _ => {}
@@ -501,9 +554,10 @@ mod tests {
         let program = classify_program(&core, 7, 1);
         core.load_program(program);
         core.run(1_000_000).unwrap();
-        let labels: Vec<&str> = core.timeline().spans().iter().map(|s| s.label.as_str()).collect();
+        let timeline = core.timeline();
+        let labels: Vec<&str> = timeline.spans().iter().map(|s| s.label.as_str()).collect();
         assert_eq!(labels, vec!["cpu", "bnn", "cpu"]);
-        assert_eq!(core.timeline().total_cycles(), core.total_cycles());
+        assert_eq!(timeline.total_cycles(), core.total_cycles());
     }
 
     #[test]
@@ -536,6 +590,45 @@ mod tests {
         let b = model.classify(&BitVec::from_bytes(&0xf0f0_f0f0u32.to_le_bytes(), 32));
         assert_eq!(core.pipeline().reg(Reg::A0), a as u32);
         assert_eq!(core.pipeline().reg(Reg::A1), b as u32);
+    }
+
+    #[test]
+    fn full_trace_unifies_pipeline_and_mode_events() {
+        let mut core =
+            NcpuCore::new(small_model(), AccelConfig::default(), SwitchPolicy::Naive);
+        core.set_obs_level(ncpu_obs::TraceLevel::Full);
+        let program = classify_program(&core, 7, 1);
+        core.load_program(program);
+        core.run(10_000_000).unwrap();
+        let events = core.obs().events();
+        // Mode switches bracket the BNN phase.
+        let switches: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                ObsEvent::ModeSwitch { to } => Some((to, e.cycle)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(switches.len(), 2);
+        assert_eq!(switches[0].0, Mode::Bnn);
+        assert_eq!(switches[1].0, Mode::Cpu);
+        assert!(switches[0].1 < switches[1].1);
+        // Pipeline retirements were re-based onto the unified clock: every
+        // event must land inside the run.
+        let retires: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                ObsEvent::Retire { .. } => Some(e.cycle),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(retires.len() as u64, core.pipeline().stats().retired);
+        assert!(retires.iter().all(|&c| c <= core.total_cycles()));
+        // Retirements after the switch carry the BNN offset, so the last
+        // one must land after the BNN phase ended.
+        let timeline = core.timeline();
+        let bnn_end = timeline.spans().iter().find(|s| s.label == "bnn").unwrap().end;
+        assert!(*retires.last().unwrap() > bnn_end);
     }
 
     #[test]

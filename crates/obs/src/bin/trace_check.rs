@@ -1,0 +1,55 @@
+//! CI well-formedness checker for emitted observability artifacts.
+//!
+//! Usage: `trace_check <file.json>...` — files whose stem starts with
+//! `RUN_` are checked against the run-artifact shape, files starting
+//! with `TRACE_` against the Chrome `trace_event` shape; anything else
+//! must pass at least one of the two. Exits non-zero on the first
+//! malformed file or unknown event kind.
+
+use std::process::ExitCode;
+
+use ncpu_obs::json::{parse, validate_chrome_trace, validate_run_artifact, Json};
+
+fn check_file(path: &str) -> Result<&'static str, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+    let doc: Json = parse(&text)?;
+    let stem = std::path::Path::new(path)
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    if stem.starts_with("RUN_") {
+        validate_run_artifact(&doc)?;
+        Ok("run artifact")
+    } else if stem.starts_with("TRACE_") {
+        validate_chrome_trace(&doc)?;
+        Ok("chrome trace")
+    } else if validate_run_artifact(&doc).is_ok() {
+        Ok("run artifact")
+    } else {
+        validate_chrome_trace(&doc)?;
+        Ok("chrome trace")
+    }
+}
+
+fn main() -> ExitCode {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: trace_check <file.json>...");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for file in &files {
+        match check_file(file) {
+            Ok(kind) => println!("trace_check: {file}: ok ({kind})"),
+            Err(err) => {
+                eprintln!("trace_check: {file}: {err}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,246 @@
+//! The canonical event taxonomy shared by every simulator layer.
+//!
+//! Each event is stamped with the cycle it happened on and the core it
+//! happened in. Components record events against their *local* cycle
+//! domain with core id 0; the SoC layer re-stamps both when it absorbs a
+//! component recorder (see [`crate::Recorder::absorb`]), so by the time
+//! events reach an exporter they all live on the global SoC clock.
+//!
+//! Kinds split into two tiers:
+//!
+//! * **span kinds** ([`EventKind::is_span`]) carry an `end` cycle and are
+//!   recorded at [`crate::TraceLevel::Counters`] and above — there are
+//!   few of them (phase boundaries, DMA transfers, inference batches)
+//!   and the run reports are derived from them;
+//! * **instant kinds** (retirements, stalls, mode switches, L2 accesses)
+//!   are recorded only at [`crate::TraceLevel::Full`] and are bounded by
+//!   the recorder's capacity.
+
+/// Execution mode of a reconfigurable NCPU core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// General-purpose RV32I pipeline mode.
+    Cpu,
+    /// Reconfigured BNN accelerator mode.
+    Bnn,
+}
+
+/// Why a pipeline (or a core sharing a fabric) lost a cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallCause {
+    /// Load-use interlock bubble between ID and EX.
+    LoadUse,
+    /// Control-flow redirect flushing younger stages.
+    Flush,
+    /// Multi-cycle EX occupancy (e.g. the iterative multiplier).
+    Ex,
+    /// Multi-cycle memory-port occupancy (L2/memport latency).
+    Mem,
+    /// Lost arbitration for the shared L2 bank (lockstep SoC runs).
+    L2Conflict,
+}
+
+/// What happened. Variants with an `end` field are span kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// An instruction retired from the WB stage.
+    Retire {
+        /// Program counter of the retired instruction.
+        pc: u32,
+    },
+    /// A cycle was lost to `cause`.
+    Stall {
+        /// Why the cycle was lost.
+        cause: StallCause,
+    },
+    /// The core reconfigured into `to` mode.
+    ModeSwitch {
+        /// Mode entered by the switch.
+        to: Mode,
+    },
+    /// The pipeline touched the shared L2 / memory port.
+    L2Access {
+        /// Byte address of the access.
+        addr: u32,
+        /// True for stores, false for loads.
+        is_store: bool,
+    },
+    /// A DMA transfer occupied the fabric from `cycle` to `end`.
+    Dma {
+        /// Bytes moved by the transfer.
+        bytes: u32,
+        /// Cycle the transfer completed.
+        end: u64,
+    },
+    /// An inference batch of `images` completed between `cycle` and `end`.
+    Inference {
+        /// Images classified by the batch.
+        images: u32,
+        /// Cycle the batch completed.
+        end: u64,
+    },
+    /// A labelled execution phase (`cpu`, `bnn`, `switch`, `front`, `back`).
+    Phase {
+        /// Phase label; must be one of [`KNOWN_PHASE_LABELS`].
+        label: String,
+        /// Cycle the phase ended.
+        end: u64,
+    },
+}
+
+/// Phase labels the exporters and the well-formedness checker accept.
+pub const KNOWN_PHASE_LABELS: &[&str] = &["cpu", "bnn", "switch", "dma", "front", "back"];
+
+/// Every stable event name the Chrome-trace checker accepts, phase
+/// labels included.
+pub const KNOWN_EVENT_NAMES: &[&str] = &[
+    "retire",
+    "stall.load_use",
+    "stall.flush",
+    "stall.ex",
+    "stall.mem",
+    "stall.l2_conflict",
+    "mode_switch.cpu",
+    "mode_switch.bnn",
+    "l2.read",
+    "l2.write",
+    "dma",
+    "infer",
+    "cpu",
+    "bnn",
+    "switch",
+    "front",
+    "back",
+];
+
+impl EventKind {
+    /// Stable exporter-facing name of this kind.
+    pub fn name(&self) -> &str {
+        match self {
+            EventKind::Retire { .. } => "retire",
+            EventKind::Stall { cause: StallCause::LoadUse } => "stall.load_use",
+            EventKind::Stall { cause: StallCause::Flush } => "stall.flush",
+            EventKind::Stall { cause: StallCause::Ex } => "stall.ex",
+            EventKind::Stall { cause: StallCause::Mem } => "stall.mem",
+            EventKind::Stall { cause: StallCause::L2Conflict } => "stall.l2_conflict",
+            EventKind::ModeSwitch { to: Mode::Cpu } => "mode_switch.cpu",
+            EventKind::ModeSwitch { to: Mode::Bnn } => "mode_switch.bnn",
+            EventKind::L2Access { is_store: false, .. } => "l2.read",
+            EventKind::L2Access { is_store: true, .. } => "l2.write",
+            EventKind::Dma { .. } => "dma",
+            EventKind::Inference { .. } => "infer",
+            EventKind::Phase { label, .. } => label,
+        }
+    }
+
+    /// True for kinds that carry an `end` cycle (duration events).
+    pub fn is_span(&self) -> bool {
+        matches!(
+            self,
+            EventKind::Dma { .. } | EventKind::Inference { .. } | EventKind::Phase { .. }
+        )
+    }
+
+    /// End cycle for span kinds, `None` for instants.
+    pub fn end(&self) -> Option<u64> {
+        match self {
+            EventKind::Dma { end, .. }
+            | EventKind::Inference { end, .. }
+            | EventKind::Phase { end, .. } => Some(*end),
+            _ => None,
+        }
+    }
+
+    fn shift_end(&mut self, offset: i64) {
+        match self {
+            EventKind::Dma { end, .. }
+            | EventKind::Inference { end, .. }
+            | EventKind::Phase { end, .. } => *end = shift_cycle(*end, offset),
+            _ => {}
+        }
+    }
+}
+
+/// One timestamped occurrence on the canonical event bus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Cycle the event happened on (start cycle for span kinds).
+    pub cycle: u64,
+    /// Core (Chrome-trace `tid`) the event belongs to. Components record
+    /// with 0; the SoC re-stamps on absorption.
+    pub core: u16,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Re-bases the event by `offset` cycles (start and, for spans, end).
+    pub fn shift(&mut self, offset: i64) {
+        self.cycle = shift_cycle(self.cycle, offset);
+        self.kind.shift_end(offset);
+    }
+}
+
+fn shift_cycle(cycle: u64, offset: i64) -> u64 {
+    let shifted = cycle as i64 + offset;
+    debug_assert!(shifted >= 0, "event shifted before cycle 0");
+    shifted.max(0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_all_known() {
+        let kinds = [
+            EventKind::Retire { pc: 0 },
+            EventKind::Stall { cause: StallCause::LoadUse },
+            EventKind::Stall { cause: StallCause::Flush },
+            EventKind::Stall { cause: StallCause::Ex },
+            EventKind::Stall { cause: StallCause::Mem },
+            EventKind::Stall { cause: StallCause::L2Conflict },
+            EventKind::ModeSwitch { to: Mode::Cpu },
+            EventKind::ModeSwitch { to: Mode::Bnn },
+            EventKind::L2Access { addr: 0, is_store: false },
+            EventKind::L2Access { addr: 0, is_store: true },
+            EventKind::Dma { bytes: 4, end: 9 },
+            EventKind::Inference { images: 1, end: 9 },
+            EventKind::Phase { label: "cpu".into(), end: 9 },
+        ];
+        for kind in kinds {
+            assert!(
+                KNOWN_EVENT_NAMES.contains(&kind.name()),
+                "unknown name {}",
+                kind.name()
+            );
+        }
+        for label in KNOWN_PHASE_LABELS {
+            assert!(KNOWN_EVENT_NAMES.contains(label));
+        }
+    }
+
+    #[test]
+    fn span_kinds_carry_ends() {
+        assert!(EventKind::Dma { bytes: 1, end: 2 }.is_span());
+        assert!(EventKind::Phase { label: "bnn".into(), end: 2 }.is_span());
+        assert!(!EventKind::Retire { pc: 0 }.is_span());
+        assert_eq!(EventKind::Inference { images: 2, end: 7 }.end(), Some(7));
+        assert_eq!(EventKind::Retire { pc: 0 }.end(), None);
+    }
+
+    #[test]
+    fn shift_rebases_start_and_end() {
+        let mut e = Event {
+            cycle: 10,
+            core: 0,
+            kind: EventKind::Phase { label: "bnn".into(), end: 20 },
+        };
+        e.shift(5);
+        assert_eq!(e.cycle, 15);
+        assert_eq!(e.kind.end(), Some(25));
+        e.shift(-15);
+        assert_eq!(e.cycle, 0);
+        assert_eq!(e.kind.end(), Some(10));
+    }
+}

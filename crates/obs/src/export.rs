@@ -1,0 +1,275 @@
+//! Machine-readable run artifacts: `RUN_<usecase>.json` summaries and
+//! Chrome `trace_event` files that open directly in Perfetto or
+//! `chrome://tracing`.
+//!
+//! Everything is hand-rolled, deterministic JSON (same policy as
+//! `ncpu-testkit`'s `BENCH_*.json` writer): keys appear in a fixed
+//! order, floats are formatted with six decimals, and counter maps are
+//! `BTreeMap`-sorted, so two identical runs produce byte-identical
+//! files — `tests/determinism.rs` pins that.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::event::EventKind;
+use crate::record::{Counters, Recorder};
+
+/// Escapes `s` for inclusion in a JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Per-core slice of a [`RunArtifact`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreArtifact {
+    /// Role string from the run report (`"ncpu0"`, `"cpu"`, `"accel"`, ...).
+    pub role: String,
+    /// Cycles the core spent busy.
+    pub busy_cycles: u64,
+    /// `busy_cycles / makespan`.
+    pub utilization: f64,
+    /// `(label, start_cycle, end_cycle)` phase spans on the global clock.
+    pub spans: Vec<(String, u64, u64)>,
+}
+
+/// The machine-readable summary of one end-to-end run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArtifact {
+    /// Use-case name (`image`, `motion`, `parametric`) — becomes the
+    /// `RUN_<name>.json` / `TRACE_<name>.json` file stem.
+    pub name: String,
+    /// Human-readable system configuration (e.g. `"2x ncpu"`).
+    pub config: String,
+    /// End-to-end makespan in cycles.
+    pub makespan: u64,
+    /// Classification accuracy over the run's items.
+    pub accuracy: f64,
+    /// Per-core utilization and spans.
+    pub cores: Vec<CoreArtifact>,
+    /// Final counter registry snapshot.
+    pub counters: Counters,
+}
+
+impl RunArtifact {
+    /// Renders the artifact as deterministic JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": \"ncpu-run-v1\",");
+        let _ = writeln!(out, "  \"name\": {},", json_string(&self.name));
+        let _ = writeln!(out, "  \"config\": {},", json_string(&self.config));
+        let _ = writeln!(out, "  \"makespan_cycles\": {},", self.makespan);
+        let _ = writeln!(out, "  \"accuracy\": {:.6},", self.accuracy);
+        out.push_str("  \"cores\": [\n");
+        for (i, core) in self.cores.iter().enumerate() {
+            out.push_str("    {");
+            let _ = write!(
+                out,
+                "\"role\": {}, \"busy_cycles\": {}, \"utilization\": {:.6}, \"spans\": [",
+                json_string(&core.role),
+                core.busy_cycles,
+                core.utilization
+            );
+            for (j, (label, start, end)) in core.spans.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"label\": {}, \"start\": {start}, \"end\": {end}}}",
+                    json_string(label)
+                );
+            }
+            out.push_str("]}");
+            out.push_str(if i + 1 < self.cores.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"counters\": {\n");
+        let total = self.counters.len();
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            let comma = if i + 1 < total { "," } else { "" };
+            let _ = writeln!(out, "    {}: {value}{comma}", json_string(name));
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+/// Renders `rec` as a Chrome `trace_event` JSON document.
+///
+/// Span events become `"ph": "X"` duration events and instants become
+/// `"ph": "i"` instant events; the cycle count is written as the
+/// microsecond timestamp (1 cycle = 1 µs on screen). `thread_names`
+/// maps core ids to display names via `thread_name` metadata events.
+pub fn chrome_trace(rec: &Recorder, thread_names: &[(u16, String)]) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    for (tid, name) in thread_names {
+        push_event(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+                 \"args\":{{\"name\":{}}}}}",
+                json_string(name)
+            ),
+        );
+    }
+    for event in rec.sorted_events() {
+        let name = json_string(event.kind.name());
+        let (cycle, core) = (event.cycle, event.core);
+        let line = match &event.kind {
+            EventKind::Phase { end, .. } => format!(
+                "{{\"name\":{name},\"cat\":\"phase\",\"ph\":\"X\",\"ts\":{cycle},\
+                 \"dur\":{},\"pid\":0,\"tid\":{core}}}",
+                end - cycle
+            ),
+            EventKind::Dma { bytes, end } => format!(
+                "{{\"name\":{name},\"cat\":\"fabric\",\"ph\":\"X\",\"ts\":{cycle},\
+                 \"dur\":{},\"pid\":0,\"tid\":{core},\"args\":{{\"bytes\":{bytes}}}}}",
+                end - cycle
+            ),
+            EventKind::Inference { images, end } => format!(
+                "{{\"name\":{name},\"cat\":\"phase\",\"ph\":\"X\",\"ts\":{cycle},\
+                 \"dur\":{},\"pid\":0,\"tid\":{core},\"args\":{{\"images\":{images}}}}}",
+                end - cycle
+            ),
+            EventKind::Retire { pc } => format!(
+                "{{\"name\":{name},\"cat\":\"pipeline\",\"ph\":\"i\",\"ts\":{cycle},\
+                 \"pid\":0,\"tid\":{core},\"s\":\"t\",\"args\":{{\"pc\":{pc}}}}}"
+            ),
+            EventKind::L2Access { addr, .. } => format!(
+                "{{\"name\":{name},\"cat\":\"mem\",\"ph\":\"i\",\"ts\":{cycle},\
+                 \"pid\":0,\"tid\":{core},\"s\":\"t\",\"args\":{{\"addr\":{addr}}}}}"
+            ),
+            EventKind::Stall { .. } | EventKind::ModeSwitch { .. } => format!(
+                "{{\"name\":{name},\"cat\":\"pipeline\",\"ph\":\"i\",\"ts\":{cycle},\
+                 \"pid\":0,\"tid\":{core},\"s\":\"t\"}}"
+            ),
+        };
+        push_event(&mut out, &mut first, &line);
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+fn push_event(out: &mut String, first: &mut bool, line: &str) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    out.push_str(line);
+}
+
+/// Directory run artifacts are written to: `NCPU_TRACE_DIR`, or the
+/// current directory when unset.
+pub fn trace_dir() -> PathBuf {
+    match std::env::var("NCPU_TRACE_DIR") {
+        Ok(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => PathBuf::from("."),
+    }
+}
+
+/// Writes `RUN_<name>.json` and `TRACE_<name>.json` into `dir`,
+/// creating it if needed. Returns the two paths.
+pub fn write_artifacts_to(
+    dir: &Path,
+    artifact: &RunArtifact,
+    rec: &Recorder,
+    thread_names: &[(u16, String)],
+) -> io::Result<(PathBuf, PathBuf)> {
+    std::fs::create_dir_all(dir)?;
+    let run_path = dir.join(format!("RUN_{}.json", artifact.name));
+    let trace_path = dir.join(format!("TRACE_{}.json", artifact.name));
+    std::fs::write(&run_path, artifact.to_json())?;
+    std::fs::write(&trace_path, chrome_trace(rec, thread_names))?;
+    Ok((run_path, trace_path))
+}
+
+/// [`write_artifacts_to`] into [`trace_dir()`].
+pub fn write_artifacts(
+    artifact: &RunArtifact,
+    rec: &Recorder,
+    thread_names: &[(u16, String)],
+) -> io::Result<(PathBuf, PathBuf)> {
+    write_artifacts_to(&trace_dir(), artifact, rec, thread_names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TraceLevel;
+
+    fn tiny_artifact() -> (RunArtifact, Recorder) {
+        let mut rec = Recorder::new(TraceLevel::Full);
+        rec.phase(0, "cpu", 0, 10);
+        rec.phase(0, "bnn", 10, 30);
+        rec.phase(1, "bnn", 4, 24);
+        rec.emit(0, 10, EventKind::ModeSwitch { to: crate::event::Mode::Bnn });
+        rec.set_counter("core0.retired", 12);
+        rec.set_counter("run.makespan_cycles", 30);
+        let artifact = RunArtifact {
+            name: "tiny".into(),
+            config: "2x ncpu".into(),
+            makespan: 30,
+            accuracy: 1.0,
+            cores: vec![
+                CoreArtifact {
+                    role: "ncpu0".into(),
+                    busy_cycles: 30,
+                    utilization: 1.0,
+                    spans: vec![("cpu".into(), 0, 10), ("bnn".into(), 10, 30)],
+                },
+                CoreArtifact {
+                    role: "ncpu1".into(),
+                    busy_cycles: 20,
+                    utilization: 20.0 / 30.0,
+                    spans: vec![("bnn".into(), 4, 24)],
+                },
+            ],
+            counters: rec.counters().clone(),
+        };
+        (artifact, rec)
+    }
+
+    #[test]
+    fn run_artifact_json_is_deterministic_and_parses() {
+        let (artifact, _) = tiny_artifact();
+        let a = artifact.to_json();
+        let b = artifact.to_json();
+        assert_eq!(a, b);
+        let parsed = crate::json::parse(&a).expect("valid json");
+        crate::json::validate_run_artifact(&parsed).expect("well-formed artifact");
+    }
+
+    #[test]
+    fn chrome_trace_parses_and_validates() {
+        let (_, rec) = tiny_artifact();
+        let names = vec![(0, "ncpu0".to_string()), (1, "ncpu1".to_string())];
+        let trace = chrome_trace(&rec, &names);
+        let parsed = crate::json::parse(&trace).expect("valid json");
+        crate::json::validate_chrome_trace(&parsed).expect("well-formed trace");
+    }
+
+    #[test]
+    fn json_string_escapes_specials() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -1,0 +1,376 @@
+//! A minimal recursive-descent JSON parser and the well-formedness
+//! checkers `ci.sh` runs over emitted artifacts (via the `trace_check`
+//! binary). In-tree on purpose: the workspace is hermetic, so no
+//! external schema crates.
+
+use crate::event::{KNOWN_EVENT_NAMES, KNOWN_PHASE_LABELS};
+
+/// A parsed JSON value. Object keys keep their textual order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in textual key order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up `key` in an object; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses `text` as a single JSON document.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
+    skip_ws(bytes, pos);
+    if *pos < bytes.len() && bytes[*pos] == byte {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", byte as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: Json,
+) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("bad number '{text}' at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(&b) if b < 0x80 => {
+                out.push(b as char);
+                *pos += 1;
+            }
+            Some(_) => {
+                // Multi-byte UTF-8: take the whole scalar.
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().ok_or("empty utf8 tail")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        expect(bytes, pos, b':')?;
+        fields.push((key, parse_value(bytes, pos)?));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn require_num(value: &Json, key: &str, context: &str) -> Result<f64, String> {
+    value
+        .get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("{context}: missing numeric \"{key}\""))
+}
+
+fn require_str<'a>(value: &'a Json, key: &str, context: &str) -> Result<&'a str, String> {
+    value
+        .get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{context}: missing string \"{key}\""))
+}
+
+/// Checks a parsed `RUN_<usecase>.json` document: required fields,
+/// numeric types, counter-name charset, and span labels restricted to
+/// the known phase taxonomy.
+pub fn validate_run_artifact(doc: &Json) -> Result<(), String> {
+    if doc.get("schema").and_then(Json::as_str) != Some("ncpu-run-v1") {
+        return Err("run artifact: missing or wrong \"schema\"".to_string());
+    }
+    require_str(doc, "name", "run artifact")?;
+    require_str(doc, "config", "run artifact")?;
+    require_num(doc, "makespan_cycles", "run artifact")?;
+    require_num(doc, "accuracy", "run artifact")?;
+    let cores = doc
+        .get("cores")
+        .and_then(Json::as_arr)
+        .ok_or("run artifact: missing \"cores\" array")?;
+    for core in cores {
+        let role = require_str(core, "role", "core entry")?;
+        require_num(core, "busy_cycles", &format!("core \"{role}\""))?;
+        require_num(core, "utilization", &format!("core \"{role}\""))?;
+        let spans = core
+            .get("spans")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("core \"{role}\": missing \"spans\" array"))?;
+        for span in spans {
+            let label = require_str(span, "label", "span")?;
+            if !KNOWN_PHASE_LABELS.contains(&label) {
+                return Err(format!("unknown span label \"{label}\""));
+            }
+            let start = require_num(span, "start", "span")?;
+            let end = require_num(span, "end", "span")?;
+            if end < start {
+                return Err(format!("span \"{label}\" ends before it starts"));
+            }
+        }
+    }
+    let counters = doc.get("counters").ok_or("run artifact: missing \"counters\"")?;
+    let Json::Obj(fields) = counters else {
+        return Err("run artifact: \"counters\" must be an object".to_string());
+    };
+    for (name, value) in fields {
+        let ok = !name.is_empty()
+            && name
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_');
+        if !ok {
+            return Err(format!("counter name \"{name}\" outside [a-z0-9._]"));
+        }
+        if value.as_num().is_none() {
+            return Err(format!("counter \"{name}\" is not numeric"));
+        }
+    }
+    Ok(())
+}
+
+/// Checks a parsed Chrome `trace_event` document: required per-event
+/// fields and — the CI gate — every non-metadata event name must be in
+/// [`KNOWN_EVENT_NAMES`].
+pub fn validate_chrome_trace(doc: &Json) -> Result<(), String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("trace: missing \"traceEvents\" array")?;
+    for event in events {
+        let name = require_str(event, "name", "trace event")?;
+        let ph = require_str(event, "ph", &format!("event \"{name}\""))?;
+        require_num(event, "pid", &format!("event \"{name}\""))?;
+        require_num(event, "tid", &format!("event \"{name}\""))?;
+        if ph == "M" {
+            continue; // metadata (thread names) — no timestamp, any name
+        }
+        require_num(event, "ts", &format!("event \"{name}\""))?;
+        if ph == "X" {
+            require_num(event, "dur", &format!("event \"{name}\""))?;
+        } else if ph != "i" {
+            return Err(format!("event \"{name}\": unexpected phase \"{ph}\""));
+        }
+        if !KNOWN_EVENT_NAMES.contains(&name) {
+            return Err(format!("unknown event kind \"{name}\""));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_documents() {
+        let doc = parse(r#"{"a": [1, 2.5, -3e2], "b": {"c": "x\ny", "d": null}, "e": true}"#)
+            .expect("parses");
+        assert_eq!(doc.get("a").unwrap().as_arr().unwrap()[2].as_num(), Some(-300.0));
+        assert_eq!(doc.get("b").unwrap().get("c").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(doc.get("e"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\": 1} trailing").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn validator_flags_unknown_event_kind() {
+        let doc = parse(
+            r#"{"traceEvents":[{"name":"mystery","ph":"i","ts":1,"pid":0,"tid":0,"s":"t"}]}"#,
+        )
+        .unwrap();
+        let err = validate_chrome_trace(&doc).unwrap_err();
+        assert!(err.contains("unknown event kind"), "{err}");
+    }
+
+    #[test]
+    fn validator_flags_unknown_span_label() {
+        let doc = parse(
+            r#"{"schema":"ncpu-run-v1","name":"x","config":"c","makespan_cycles":1,
+                "accuracy":1.0,
+                "cores":[{"role":"r","busy_cycles":1,"utilization":1.0,
+                          "spans":[{"label":"mystery","start":0,"end":1}]}],
+                "counters":{}}"#,
+        )
+        .unwrap();
+        let err = validate_run_artifact(&doc).unwrap_err();
+        assert!(err.contains("unknown span label"), "{err}");
+    }
+
+    #[test]
+    fn validator_flags_bad_counter_names() {
+        let doc = parse(
+            r#"{"schema":"ncpu-run-v1","name":"x","config":"c","makespan_cycles":1,
+                "accuracy":1.0,"cores":[],"counters":{"Bad Name":1}}"#,
+        )
+        .unwrap();
+        assert!(validate_run_artifact(&doc).is_err());
+    }
+}

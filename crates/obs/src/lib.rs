@@ -1,0 +1,33 @@
+//! `ncpu-obs` — the unified observability layer for the NCPU simulator.
+//!
+//! The paper's headline claims are observability claims (>99% core
+//! utilization, zero-cycle switching, Fig. 15 runtime breakdowns), so
+//! this crate gives every layer of the stack one canonical event model
+//! instead of five ad-hoc accumulators:
+//!
+//! * [`Event`] / [`EventKind`] — the cycle-stamped event taxonomy
+//!   (retirements, stalls, mode switches, DMA, L2 accesses, phases);
+//! * [`Recorder`] — a sharded event bus plus [`Counters`] registry,
+//!   zero-cost when disabled (the default): each hook is one branch;
+//! * [`RunArtifact`] / [`chrome_trace`] — deterministic hand-rolled
+//!   JSON exporters (`RUN_<usecase>.json`, and a Chrome `trace_event`
+//!   file that opens in Perfetto / `chrome://tracing`);
+//! * [`json`] — a minimal in-tree parser and the well-formedness
+//!   checkers behind the `trace_check` CI binary.
+//!
+//! Runtime control is by environment: `NCPU_TRACE=off|counters|full`
+//! selects the [`TraceLevel`], `NCPU_TRACE_DIR=<dir>` the artifact
+//! directory. The crate has zero dependencies, keeping the workspace
+//! hermetic (`tests/hermetic.rs`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod export;
+pub mod json;
+pub mod record;
+
+pub use event::{Event, EventKind, Mode, StallCause, KNOWN_EVENT_NAMES, KNOWN_PHASE_LABELS};
+pub use export::{chrome_trace, write_artifacts, write_artifacts_to, CoreArtifact, RunArtifact};
+pub use record::{Counters, Recorder, TraceLevel};

@@ -1,0 +1,363 @@
+//! Trace levels, the counter registry, and the sharded [`Recorder`].
+//!
+//! Every instrumented component (pipeline, accelerator, DMA engine,
+//! NCPU core) owns its own `Recorder` shard, recording against its
+//! local cycle domain with core id 0. The SoC layer owns the root
+//! shard and [`Recorder::absorb`]s the component shards at well-defined
+//! points (item completion, mode-switch service, halt), re-stamping the
+//! core id and re-basing cycles onto the global clock — the same
+//! offset arithmetic the pre-obs `Timeline` re-basing used.
+//!
+//! The default recorder is disabled and capacity-0: every hot-path hook
+//! guards on [`Recorder::wants_events`], a single predictable branch,
+//! so an un-traced simulation pays one compare per hook site.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::{Event, EventKind};
+
+/// How much the recorder keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum TraceLevel {
+    /// Record nothing; every hook is a single branch.
+    #[default]
+    Off,
+    /// Record counters and span events (phases, DMA, inference batches).
+    Counters,
+    /// Additionally record bounded per-cycle instant events
+    /// (retirements, stalls, mode switches, L2 accesses).
+    Full,
+}
+
+impl TraceLevel {
+    /// Reads the level from the `NCPU_TRACE` environment variable
+    /// (`off`, `counters`, or `full`; anything else means `Off`).
+    pub fn from_env() -> TraceLevel {
+        match std::env::var("NCPU_TRACE").as_deref() {
+            Ok("counters") => TraceLevel::Counters,
+            Ok("full") => TraceLevel::Full,
+            _ => TraceLevel::Off,
+        }
+    }
+
+    /// This level, raised to at least `Counters`. The SoC root recorder
+    /// uses this so run reports can always be derived from span events.
+    pub fn at_least_counters(self) -> TraceLevel {
+        self.max(TraceLevel::Counters)
+    }
+}
+
+/// Monotonic counter registry with a stable, sorted naming scheme
+/// (`core0.retired`, `core0.stall.load_use`, `dma.bytes`,
+/// `run.makespan_cycles`, ...). Backed by a `BTreeMap` so iteration —
+/// and therefore every export — is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    values: BTreeMap<String, u64>,
+}
+
+impl Counters {
+    /// Creates an empty registry.
+    pub fn new() -> Counters {
+        Counters::default()
+    }
+
+    /// Adds `delta` to `name`, creating it at zero first.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        if let Some(v) = self.values.get_mut(name) {
+            *v += delta;
+        } else {
+            self.values.insert(name.to_string(), delta);
+        }
+    }
+
+    /// Sets `name` to `value` (gauge-style snapshot).
+    pub fn set(&mut self, name: impl Into<String>, value: u64) {
+        self.values.insert(name.into(), value);
+    }
+
+    /// Current value of `name` (0 if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// Number of registered counters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no counter has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Sorted iteration over `(name, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.values.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Folds `other` into `self` by addition.
+    pub fn merge(&mut self, other: &Counters) {
+        for (name, value) in other.iter() {
+            self.add(name, value);
+        }
+    }
+
+    /// Renders the registry as a deterministic JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, value)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{value}");
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Default bound on retained instant events at [`TraceLevel::Full`].
+pub const DEFAULT_EVENT_CAPACITY: usize = 1 << 20;
+
+/// One shard of the cycle-stamped event bus.
+///
+/// Span events (few, report-bearing) are kept unbounded, exactly like
+/// the pre-obs `Timeline`. Instant events are bounded by `capacity`;
+/// overflow increments [`Recorder::dropped`] instead of reallocating,
+/// so a `Full` trace of a long run degrades gracefully.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    level: TraceLevel,
+    capacity: usize,
+    spans: Vec<Event>,
+    events: Vec<Event>,
+    dropped: u64,
+    counters: Counters,
+}
+
+impl Recorder {
+    /// A recorder at `level` with the default instant-event bound.
+    pub fn new(level: TraceLevel) -> Recorder {
+        Recorder::with_capacity(level, DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// A disabled, capacity-0 recorder — the zero-cost default.
+    pub fn disabled() -> Recorder {
+        Recorder::default()
+    }
+
+    /// A recorder at `level` retaining at most `capacity` instant events.
+    pub fn with_capacity(level: TraceLevel, capacity: usize) -> Recorder {
+        Recorder { level, capacity, ..Recorder::default() }
+    }
+
+    /// Current trace level.
+    pub fn level(&self) -> TraceLevel {
+        self.level
+    }
+
+    /// Changes the trace level without touching already-recorded data.
+    pub fn set_level(&mut self, level: TraceLevel) {
+        self.level = level;
+        if level == TraceLevel::Full && self.capacity == 0 {
+            self.capacity = DEFAULT_EVENT_CAPACITY;
+        }
+    }
+
+    /// True when instant events should be emitted (level `Full`).
+    #[inline]
+    pub fn wants_events(&self) -> bool {
+        self.level == TraceLevel::Full
+    }
+
+    /// True when span events should be emitted (level `Counters`+).
+    #[inline]
+    pub fn wants_spans(&self) -> bool {
+        self.level >= TraceLevel::Counters
+    }
+
+    /// Records `kind` at `cycle` on `core`, routing span kinds to the
+    /// unbounded span list and instants to the bounded event list.
+    pub fn emit(&mut self, core: u16, cycle: u64, kind: EventKind) {
+        if kind.is_span() {
+            if self.wants_spans() {
+                self.spans.push(Event { cycle, core, kind });
+            }
+        } else if self.wants_events() {
+            self.push_instant(Event { cycle, core, kind });
+        }
+    }
+
+    /// Convenience: records a `Phase` span.
+    pub fn phase(&mut self, core: u16, label: impl Into<String>, start: u64, end: u64) {
+        if self.wants_spans() {
+            self.spans.push(Event {
+                cycle: start,
+                core,
+                kind: EventKind::Phase { label: label.into(), end },
+            });
+        }
+    }
+
+    fn push_instant(&mut self, event: Event) {
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Adds `delta` to counter `name` (no-op when the level is `Off`).
+    pub fn count(&mut self, name: &str, delta: u64) {
+        if self.wants_spans() {
+            self.counters.add(name, delta);
+        }
+    }
+
+    /// Snapshots counter `name` to `value` (no-op when the level is `Off`).
+    pub fn set_counter(&mut self, name: impl Into<String>, value: u64) {
+        if self.wants_spans() {
+            self.counters.set(name, value);
+        }
+    }
+
+    /// The counter registry.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Recorded span events, in emission order.
+    pub fn spans(&self) -> &[Event] {
+        &self.spans
+    }
+
+    /// Recorded instant events, in emission order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Instant events lost to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drains `child`, re-stamping every event with `core` and re-basing
+    /// cycles by `offset` (child-local clock → this shard's clock).
+    ///
+    /// Absorption ignores this shard's own level: data the child already
+    /// paid for is never silently discarded, only bounded.
+    pub fn absorb(&mut self, child: &mut Recorder, core: u16, offset: i64) {
+        for mut event in child.spans.drain(..) {
+            event.core = core;
+            event.shift(offset);
+            self.spans.push(event);
+        }
+        for mut event in child.events.drain(..) {
+            event.core = core;
+            event.shift(offset);
+            self.push_instant(event);
+        }
+        self.dropped += child.dropped;
+        child.dropped = 0;
+        self.counters.merge(&child.counters);
+        child.counters = Counters::new();
+    }
+
+    /// All recorded events (spans then instants) sorted by
+    /// `(cycle, core)` with a stable order for ties — the exporter view.
+    pub fn sorted_events(&self) -> Vec<Event> {
+        let mut all: Vec<Event> = self.spans.iter().chain(self.events.iter()).cloned().collect();
+        all.sort_by_key(|e| (e.cycle, e.core));
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::StallCause;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let mut rec = Recorder::disabled();
+        rec.emit(0, 1, EventKind::Retire { pc: 4 });
+        rec.phase(0, "cpu", 0, 10);
+        rec.count("core0.retired", 3);
+        assert!(rec.events().is_empty());
+        assert!(rec.spans().is_empty());
+        assert!(rec.counters().is_empty());
+        assert_eq!(rec.dropped(), 0);
+    }
+
+    #[test]
+    fn counters_level_keeps_spans_but_not_instants() {
+        let mut rec = Recorder::new(TraceLevel::Counters);
+        rec.emit(0, 1, EventKind::Retire { pc: 4 });
+        rec.phase(0, "cpu", 0, 10);
+        rec.count("core0.retired", 3);
+        assert!(rec.events().is_empty());
+        assert_eq!(rec.spans().len(), 1);
+        assert_eq!(rec.counters().get("core0.retired"), 3);
+    }
+
+    #[test]
+    fn full_level_bounds_instants_and_counts_drops() {
+        let mut rec = Recorder::with_capacity(TraceLevel::Full, 2);
+        for cycle in 0..5 {
+            rec.emit(0, cycle, EventKind::Stall { cause: StallCause::LoadUse });
+        }
+        assert_eq!(rec.events().len(), 2);
+        assert_eq!(rec.dropped(), 3);
+    }
+
+    #[test]
+    fn absorb_restamps_core_and_rebases_cycles() {
+        let mut root = Recorder::new(TraceLevel::Full);
+        let mut child = Recorder::new(TraceLevel::Full);
+        child.phase(0, "bnn", 10, 20);
+        child.emit(0, 12, EventKind::Retire { pc: 8 });
+        child.count("images", 2);
+        root.absorb(&mut child, 3, 100);
+        assert!(child.spans().is_empty() && child.events().is_empty());
+        assert!(child.counters().is_empty());
+        let span = &root.spans()[0];
+        assert_eq!((span.core, span.cycle, span.kind.end()), (3, 110, Some(120)));
+        let inst = &root.events()[0];
+        assert_eq!((inst.core, inst.cycle), (3, 112));
+        assert_eq!(root.counters().get("images"), 2);
+    }
+
+    #[test]
+    fn counters_merge_and_json_are_sorted() {
+        let mut a = Counters::new();
+        a.add("b.second", 2);
+        a.add("a.first", 1);
+        let mut b = Counters::new();
+        b.add("b.second", 3);
+        a.merge(&b);
+        assert_eq!(a.to_json(), "{\"a.first\":1,\"b.second\":5}");
+    }
+
+    #[test]
+    fn env_level_parsing_defaults_off() {
+        // Not touching the real environment (tests run in parallel):
+        // only the default path is exercised here.
+        assert_eq!(TraceLevel::default(), TraceLevel::Off);
+        assert_eq!(TraceLevel::Off.at_least_counters(), TraceLevel::Counters);
+        assert_eq!(TraceLevel::Full.at_least_counters(), TraceLevel::Full);
+    }
+
+    #[test]
+    fn sorted_events_orders_by_cycle_then_core() {
+        let mut rec = Recorder::new(TraceLevel::Full);
+        rec.phase(1, "cpu", 5, 9);
+        rec.phase(0, "cpu", 5, 7);
+        rec.emit(0, 2, EventKind::Retire { pc: 0 });
+        let sorted = rec.sorted_events();
+        assert_eq!(sorted[0].cycle, 2);
+        assert_eq!((sorted[1].cycle, sorted[1].core), (5, 0));
+        assert_eq!((sorted[2].cycle, sorted[2].core), (5, 1));
+    }
+}

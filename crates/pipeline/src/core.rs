@@ -5,6 +5,7 @@ use std::fmt;
 
 use ncpu_isa::interp::Event;
 use ncpu_isa::{decode, DecodeError, Instruction, Reg};
+use ncpu_obs::{EventKind as ObsEvent, Recorder, StallCause, TraceLevel};
 
 use crate::memport::{MemFault, MemPort};
 use crate::stats::PipeStats;
@@ -137,6 +138,7 @@ pub struct Pipeline<M> {
     stats: PipeStats,
     config: PipelineConfig,
     trace: RetireTrace,
+    obs: Recorder,
 }
 
 impl<M: MemPort> Pipeline<M> {
@@ -162,7 +164,25 @@ impl<M: MemPort> Pipeline<M> {
             stats: PipeStats::default(),
             config,
             trace: RetireTrace::default(),
+            obs: Recorder::disabled(),
         }
+    }
+
+    /// Enables event recording at `level`. Events are stamped with the
+    /// pipeline-internal cycle count and core id 0; an embedding core
+    /// re-bases them when it absorbs this shard.
+    pub fn set_obs_level(&mut self, level: TraceLevel) {
+        self.obs.set_level(level);
+    }
+
+    /// The pipeline's recorder shard.
+    pub fn obs(&self) -> &Recorder {
+        &self.obs
+    }
+
+    /// Mutable recorder shard, for an embedding core to absorb.
+    pub fn obs_mut(&mut self) -> &mut Recorder {
+        &mut self.obs
     }
 
     /// Enables retirement tracing, keeping the last `capacity` retired
@@ -313,6 +333,22 @@ impl<M: MemPort> Pipeline<M> {
                     wrote: wb.dest.map(|rd| (rd, wb.value)),
                 });
             }
+            if self.obs.wants_events() {
+                self.obs.emit(0, self.stats.cycles, ObsEvent::Retire { pc: wb.pc });
+                match wb.instr {
+                    Instruction::SwL2 { .. } => self.obs.emit(
+                        0,
+                        self.stats.cycles,
+                        ObsEvent::L2Access { addr: wb.addr, is_store: true },
+                    ),
+                    Instruction::LwL2 { .. } => self.obs.emit(
+                        0,
+                        self.stats.cycles,
+                        ObsEvent::L2Access { addr: wb.addr, is_store: false },
+                    ),
+                    _ => {}
+                }
+            }
             let ev = match wb.instr {
                 Instruction::Ebreak => {
                     self.halted = true;
@@ -337,6 +373,13 @@ impl<M: MemPort> Pipeline<M> {
             if ex.mem_remaining > 0 {
                 ex.mem_remaining -= 1;
                 self.stats.mem_stall_cycles += 1;
+                if self.obs.wants_events() {
+                    self.obs.emit(
+                        0,
+                        self.stats.cycles,
+                        ObsEvent::Stall { cause: StallCause::Mem },
+                    );
+                }
             } else {
                 let ex = self.ex_mem.take().expect("checked above");
                 let mut value = ex.value;
@@ -387,9 +430,23 @@ impl<M: MemPort> Pipeline<M> {
                     && self.ex_busy < self.config.mul_extra_cycles;
                 if load_use {
                     self.stats.load_use_stalls += 1;
+                    if self.obs.wants_events() {
+                        self.obs.emit(
+                            0,
+                            self.stats.cycles,
+                            ObsEvent::Stall { cause: StallCause::LoadUse },
+                        );
+                    }
                 } else if mul_wait {
                     self.ex_busy += 1;
                     self.stats.ex_stall_cycles += 1;
+                    if self.obs.wants_events() {
+                        self.obs.emit(
+                            0,
+                            self.stats.cycles,
+                            ObsEvent::Stall { cause: StallCause::Ex },
+                        );
+                    }
                 } else {
                     self.ex_busy = 0;
                     self.id_ex = None;
@@ -440,6 +497,9 @@ impl<M: MemPort> Pipeline<M> {
             this.pc = target;
             this.if_id = None;
             this.stats.flush_cycles += 2;
+            if this.obs.wants_events() {
+                this.obs.emit(0, this.stats.cycles, ObsEvent::Stall { cause: StallCause::Flush });
+            }
             *squash = true;
         };
 

@@ -38,9 +38,16 @@ pub struct RetireTrace {
 }
 
 impl RetireTrace {
-    /// Creates a trace keeping the last `capacity` retirements.
+    /// Hard upper bound on the retained history. `new` clamps to this, so
+    /// a caller passing `usize::MAX` gets a 4096-entry ring rather than an
+    /// unbounded buffer that would swallow a long run's memory.
+    pub const MAX_CAPACITY: usize = 4096;
+
+    /// Creates a trace keeping the last `capacity` retirements, clamped
+    /// to [`MAX_CAPACITY`](Self::MAX_CAPACITY).
     pub fn new(capacity: usize) -> RetireTrace {
-        RetireTrace { entries: VecDeque::with_capacity(capacity.min(4096)), capacity }
+        let capacity = capacity.min(Self::MAX_CAPACITY);
+        RetireTrace { entries: VecDeque::with_capacity(capacity), capacity }
     }
 
     /// Whether tracing is enabled.
@@ -116,6 +123,17 @@ mod tests {
         assert!(!t.is_enabled());
         t.push(entry(1));
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn capacity_is_hard_capped() {
+        let mut t = RetireTrace::new(usize::MAX);
+        for c in 0..(RetireTrace::MAX_CAPACITY as u64 + 100) {
+            t.push(entry(c));
+        }
+        assert_eq!(t.len(), RetireTrace::MAX_CAPACITY);
+        // Oldest entries were evicted, newest retained.
+        assert_eq!(t.entries().last().map(|e| e.cycle), Some(RetireTrace::MAX_CAPACITY as u64 + 99));
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! The pipeline's observability shard: event emission vs. the cheap
+//! `PipeStats` counters, and the zero-cost-when-off contract.
+
+use ncpu_isa::asm::assemble;
+use ncpu_obs::{EventKind, StallCause, TraceLevel};
+use ncpu_pipeline::{FlatMem, Pipeline};
+
+fn traced(src: &str, level: TraceLevel) -> Pipeline<FlatMem> {
+    let program = assemble(src).unwrap();
+    let mut cpu = Pipeline::new(program, FlatMem::new(8192));
+    cpu.set_obs_level(level);
+    cpu.run(100_000).unwrap();
+    cpu
+}
+
+#[test]
+fn full_trace_retire_events_match_stats() {
+    let cpu = traced(
+        "addi t0, zero, 1
+         addi t1, t0, 2
+         sw t1, 0(zero)
+         lw t2, 0(zero)
+         addi t3, t2, 1
+         ebreak",
+        TraceLevel::Full,
+    );
+    let retires = cpu
+        .obs()
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Retire { .. }))
+        .count() as u64;
+    assert_eq!(retires, cpu.stats().retired);
+    // The lw → addi dependency is a load-use hazard: the stall appears
+    // both in the cheap counter and as an event.
+    let load_use = cpu
+        .obs()
+        .events()
+        .iter()
+        .filter(|e| e.kind == EventKind::Stall { cause: StallCause::LoadUse })
+        .count() as u64;
+    assert_eq!(load_use, cpu.stats().load_use_stalls);
+    assert!(load_use > 0);
+}
+
+#[test]
+fn l2_accesses_are_events_and_mem_stalls_counted() {
+    let cpu = traced(
+        "addi t0, zero, 7
+         sw_l2 t0, 0(zero)
+         lw_l2 t1, 0(zero)
+         ebreak",
+        TraceLevel::Full,
+    );
+    let l2: Vec<_> = cpu
+        .obs()
+        .events()
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::L2Access { is_store, .. } => Some(is_store),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(l2, vec![true, false]);
+    let mem_stalls = cpu
+        .obs()
+        .events()
+        .iter()
+        .filter(|e| e.kind == EventKind::Stall { cause: StallCause::Mem })
+        .count() as u64;
+    assert_eq!(mem_stalls, cpu.stats().mem_stall_cycles);
+}
+
+#[test]
+fn off_and_counters_levels_record_no_instants() {
+    for level in [TraceLevel::Off, TraceLevel::Counters] {
+        let cpu = traced("addi t0, zero, 1\nebreak", level);
+        assert!(cpu.obs().events().is_empty());
+        assert!(cpu.obs().spans().is_empty());
+    }
+}

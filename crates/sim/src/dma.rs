@@ -1,5 +1,7 @@
 //! Bandwidth/latency model of the SoC DMA engine.
 
+use ncpu_obs::{EventKind, Recorder, TraceLevel};
+
 /// Cycle-level DMA channel model.
 ///
 /// The paper describes a DMA engine that manages "the data communication between the
@@ -27,6 +29,7 @@ pub struct DmaEngine {
     busy_until: u64,
     transfers: u64,
     bytes_moved: u64,
+    obs: Recorder,
 }
 
 impl DmaEngine {
@@ -38,7 +41,25 @@ impl DmaEngine {
     /// Panics if `bytes_per_cycle` is zero.
     pub fn new(bytes_per_cycle: u32, setup_cycles: u64) -> DmaEngine {
         assert!(bytes_per_cycle > 0, "bandwidth must be nonzero");
-        DmaEngine { bytes_per_cycle, setup_cycles, busy_until: 0, transfers: 0, bytes_moved: 0 }
+        DmaEngine {
+            bytes_per_cycle,
+            setup_cycles,
+            busy_until: 0,
+            transfers: 0,
+            bytes_moved: 0,
+            obs: Recorder::disabled(),
+        }
+    }
+
+    /// Enables event recording at `level`. DMA bookings use the caller's
+    /// (global) clock, so the emitted span events need no re-basing.
+    pub fn set_trace_level(&mut self, level: TraceLevel) {
+        self.obs.set_level(level);
+    }
+
+    /// The engine's recorder shard, for the SoC to absorb.
+    pub fn obs_mut(&mut self) -> &mut Recorder {
+        &mut self.obs
     }
 
     /// Pure cost of one transfer, ignoring channel contention.
@@ -54,6 +75,9 @@ impl DmaEngine {
         self.busy_until = done;
         self.transfers += 1;
         self.bytes_moved += bytes as u64;
+        if self.obs.wants_spans() {
+            self.obs.emit(0, start, EventKind::Dma { bytes, end: done });
+        }
         done
     }
 
@@ -119,5 +143,17 @@ mod tests {
     #[should_panic(expected = "bandwidth")]
     fn zero_bandwidth_rejected() {
         DmaEngine::new(0, 0);
+    }
+
+    #[test]
+    fn traced_transfers_emit_spans() {
+        let mut dma = DmaEngine::new(4, 10);
+        dma.schedule(0, 4); // before enabling: no span
+        dma.set_trace_level(TraceLevel::Counters);
+        let done = dma.schedule(100, 8);
+        let spans = dma.obs_mut().spans().to_vec();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].cycle, 100);
+        assert_eq!(spans[0].kind, EventKind::Dma { bytes: 8, end: done });
     }
 }

@@ -9,6 +9,7 @@
 
 use ncpu_accel::{AccelConfig, Accelerator, BatchRun};
 use ncpu_bnn::{BitVec, BnnLayer, BnnModel, Topology};
+use ncpu_obs::{Recorder, TraceLevel};
 use ncpu_sim::DmaEngine;
 
 use crate::system::SocConfig;
@@ -76,6 +77,18 @@ impl From<BatchRun> for DeepRun {
 /// Runs `deep` on one core by rolling logical layers onto the physical
 /// array.
 pub fn run_rolled(deep: &BnnModel, inputs: &[BitVec], soc: &SocConfig) -> DeepRun {
+    run_rolled_traced(deep, inputs, soc, TraceLevel::Off).0
+}
+
+/// Like [`run_rolled`], returning the recorder with the rolled core's
+/// per-image `bnn` spans on lane 0 and the run counters.
+pub fn run_rolled_traced(
+    deep: &BnnModel,
+    inputs: &[BitVec],
+    soc: &SocConfig,
+    level: TraceLevel,
+) -> (DeepRun, Recorder) {
+    let mut rec = Recorder::new(level.at_least_counters());
     // The physical array: the paper's 4 × (widest layer) configuration.
     let widest = deep.layers().iter().map(BnnLayer::neurons).max().expect("layers");
     let physical = BnnModel::zeros(&Topology::paper(
@@ -87,14 +100,34 @@ pub fn run_rolled(deep: &BnnModel, inputs: &[BitVec], soc: &SocConfig) -> DeepRu
         physical,
         AccelConfig { layer_pipelining: soc.layer_pipelining, ..AccelConfig::default() },
     );
+    accel.set_obs_level(level.at_least_counters());
     let timed: Vec<(BitVec, u64)> = inputs.iter().map(|i| (i.clone(), 0)).collect();
-    accel.run_batch_deep(deep, &timed).into()
+    let run: DeepRun = accel.run_batch_deep(deep, &timed).into();
+    rec.absorb(accel.obs_mut(), 0, 0);
+    rec.set_counter("accel.busy_cycles", accel.stats().busy_cycles);
+    rec.set_counter("run.makespan_cycles", run.total_cycles);
+    rec.set_counter("run.items", inputs.len() as u64);
+    (run, rec)
 }
 
 /// Runs `deep` split across two NCPU cores in series: core 0 computes the
 /// front half, the activations cross the inter-core link (DMA-costed),
 /// and core 1 computes the back half while core 0 starts the next image.
 pub fn run_series(deep: &BnnModel, inputs: &[BitVec], soc: &SocConfig) -> DeepRun {
+    run_series_traced(deep, inputs, soc, TraceLevel::Off).0
+}
+
+/// Like [`run_series`], returning the recorder with `front`/`back` phase
+/// spans (lanes 0/1), the inter-core link's DMA spans (lane 2), and the
+/// `deep.link_bytes` counter — the traffic the series split puts on the
+/// fabric.
+pub fn run_series_traced(
+    deep: &BnnModel,
+    inputs: &[BitVec],
+    soc: &SocConfig,
+    level: TraceLevel,
+) -> (DeepRun, Recorder) {
+    let mut rec = Recorder::new(level.at_least_counters());
     let split = deep.layers().len() / 2;
     let (front, back) = split_model(deep, split);
     let accel_cfg =
@@ -102,9 +135,13 @@ pub fn run_series(deep: &BnnModel, inputs: &[BitVec], soc: &SocConfig) -> DeepRu
     let mut core0 = Accelerator::new(front.clone(), accel_cfg);
     let mut core1 = Accelerator::new(back.clone(), accel_cfg);
     let mut link = DmaEngine::new(soc.dma_bytes_per_cycle, soc.dma_setup_cycles);
+    link.set_trace_level(level.at_least_counters());
 
     let timed: Vec<(BitVec, u64)> = inputs.iter().map(|i| (i.clone(), 0)).collect();
     let front_run = core0.run_batch_timed(&timed);
+    for &(s, e) in &front_run.spans {
+        rec.phase(0, "front", s, e);
+    }
 
     // Front activations (computed functionally) cross the link as each
     // image completes the front half.
@@ -123,6 +160,13 @@ pub fn run_series(deep: &BnnModel, inputs: &[BitVec], soc: &SocConfig) -> DeepRu
         back_inputs.push((acts, delivered));
     }
     let back_run = core1.run_batch_timed(&back_inputs);
+    for &(s, e) in &back_run.spans {
+        rec.phase(1, "back", s, e);
+    }
+    rec.set_counter("deep.link_bytes", u64::from(link_bytes) * inputs.len() as u64);
+    crate::system::snapshot_dma(&mut rec, &mut link, 2);
+    rec.set_counter("run.makespan_cycles", back_run.total_cycles);
+    rec.set_counter("run.items", inputs.len() as u64);
 
     // Functional check: the series result must equal the whole model.
     debug_assert!(back_run
@@ -131,12 +175,13 @@ pub fn run_series(deep: &BnnModel, inputs: &[BitVec], soc: &SocConfig) -> DeepRu
         .zip(inputs)
         .all(|(&o, i)| o == deep.classify(i)));
 
-    DeepRun {
+    let run = DeepRun {
         outputs: back_run.outputs.clone(),
         total_cycles: back_run.total_cycles,
         first_latency: back_run.spans.first().map_or(0, |&(_, e)| e),
         steady_interval: back_run.steady_interval(),
-    }
+    };
+    (run, rec)
 }
 
 #[cfg(test)]

@@ -28,5 +28,9 @@ mod system;
 mod usecase;
 
 pub use report::{CoreReport, RunReport};
-pub use system::{run, run_independent, SocConfig, SystemConfig};
+pub use system::{run, run_independent, run_traced, SocConfig, SystemConfig};
 pub use usecase::{UseCase, UseCaseKind};
+
+/// The observability layer the SoC records into ([`run_traced`] returns
+/// its [`obs::Recorder`]).
+pub use ncpu_obs as obs;

@@ -17,6 +17,7 @@
 
 use ncpu_accel::AccelConfig;
 use ncpu_core::{NcpuCore, SharedL2, StepOutcome};
+use ncpu_obs::{EventKind, Recorder, StallCause, TraceLevel};
 use ncpu_sim::stats::Timeline;
 use ncpu_sim::DmaEngine;
 
@@ -46,7 +47,27 @@ fn result_addr(core: usize) -> u32 {
 /// Panics if a generated program faults (a workspace bug) or the run
 /// exceeds an internal cycle bound.
 pub fn run_ncpu_lockstep(usecase: &UseCase, cores: usize, soc: &SocConfig) -> LockstepReport {
+    run_ncpu_lockstep_traced(usecase, cores, soc, TraceLevel::Counters).0
+}
+
+/// Like [`run_ncpu_lockstep`], but also returns the root [`Recorder`].
+/// On top of the per-core events, the lock-step arbiter emits a
+/// `stall.l2_conflict` instant (at [`TraceLevel::Full`]) every time a
+/// core replays a cycle because the L2 port was taken, and sets the
+/// `soc.l2_conflict_cycles` counter.
+///
+/// # Panics
+///
+/// Panics if a generated program faults (a workspace bug) or the run
+/// exceeds an internal cycle bound.
+pub fn run_ncpu_lockstep_traced(
+    usecase: &UseCase,
+    cores: usize,
+    soc: &SocConfig,
+    level: TraceLevel,
+) -> (LockstepReport, Recorder) {
     assert!(cores >= 1, "need at least one core");
+    let mut rec = Recorder::new(level.at_least_counters());
     let l2 = SharedL2::new(256 * 1024);
     let accel_cfg =
         AccelConfig { layer_pipelining: soc.layer_pipelining, ..AccelConfig::default() };
@@ -67,20 +88,21 @@ pub fn run_ncpu_lockstep(usecase: &UseCase, cores: usize, soc: &SocConfig) -> Lo
         /// Core-internal cycle count when the current item started.
         internal_start: u64,
         busy: u64,
-        timeline: Timeline,
         finished_at: u64,
         predictions: Vec<(usize, usize)>,
     }
 
     let mut dma = DmaEngine::new(soc.dma_bytes_per_cycle, soc.dma_setup_cycles);
+    dma.set_trace_level(level.at_least_counters());
     let mut states: Vec<CoreState> = (0..cores)
         .map(|c| {
-            let core = NcpuCore::with_l2(
+            let mut core = NcpuCore::with_l2(
                 usecase.model().clone(),
                 accel_cfg,
                 soc.switch_policy,
                 l2.clone(),
             );
+            core.set_obs_level(level);
             let program = crate::system::ncpu_program(usecase, &core, result_addr(c));
             CoreState {
                 core,
@@ -92,7 +114,6 @@ pub fn run_ncpu_lockstep(usecase: &UseCase, cores: usize, soc: &SocConfig) -> Lo
                 item_start: 0,
                 internal_start: 0,
                 busy: 0,
-                timeline: Timeline::new(),
                 finished_at: 0,
                 predictions: Vec::new(),
             }
@@ -105,7 +126,7 @@ pub fn run_ncpu_lockstep(usecase: &UseCase, cores: usize, soc: &SocConfig) -> Lo
     loop {
         let mut all_done = true;
         let mut l2_port_taken = false;
-        for st in states.iter_mut() {
+        for (c, st) in states.iter_mut().enumerate() {
             // Start the next item if idle.
             if !st.active {
                 if st.at >= st.queue.len() {
@@ -145,23 +166,22 @@ pub fn run_ncpu_lockstep(usecase: &UseCase, cores: usize, soc: &SocConfig) -> Lo
                     // as one extra global cycle of stall).
                     l2_conflicts += 1;
                     st.stalled_until = clock + 2;
+                    if rec.wants_events() {
+                        rec.emit(
+                            c as u16,
+                            clock,
+                            EventKind::Stall { cause: StallCause::L2Conflict },
+                        );
+                    }
                 }
                 l2_port_taken = true;
             }
             st.busy += 1;
 
             if matches!(outcome, StepOutcome::Halted) {
-                // Item finished: record its spans re-based to global time.
+                // Item finished: drain its events re-based to global time.
                 let offset = st.item_start as i64 - st.internal_start as i64;
-                for span in st.core.timeline().spans() {
-                    if span.start >= st.internal_start {
-                        st.timeline.record(
-                            span.label.clone(),
-                            (span.start as i64 + offset) as u64,
-                            (span.end as i64 + offset) as u64,
-                        );
-                    }
-                }
+                rec.absorb(st.core.obs_mut(), c as u16, offset);
                 let idx = st.queue[st.at];
                 let addr = result_addr(idx % cores);
                 st.predictions
@@ -186,13 +206,18 @@ pub fn run_ncpu_lockstep(usecase: &UseCase, cores: usize, soc: &SocConfig) -> Lo
         for (idx, pred) in &st.predictions {
             predictions[*idx] = *pred;
         }
+        crate::system::snapshot_core_counters(&mut rec, c, &st.core);
         cores_report.push(CoreReport {
             role: format!("ncpu{c}"),
-            timeline: st.timeline,
+            timeline: Timeline::from_obs_events(rec.spans(), c as u16),
             busy_cycles: st.busy,
         });
     }
-    LockstepReport {
+    crate::system::snapshot_dma(&mut rec, &mut dma, cores as u16);
+    rec.set_counter("soc.l2_conflict_cycles", l2_conflicts);
+    rec.set_counter("run.makespan_cycles", makespan);
+    rec.set_counter("run.items", usecase.items().len() as u64);
+    let report = LockstepReport {
         report: RunReport {
             config: format!("{cores}x ncpu (lockstep)"),
             makespan,
@@ -201,7 +226,8 @@ pub fn run_ncpu_lockstep(usecase: &UseCase, cores: usize, soc: &SocConfig) -> Lo
             labels: usecase.items().iter().map(|i| i.label).collect(),
         },
         l2_conflict_cycles: l2_conflicts,
-    }
+    };
+    (report, rec)
 }
 
 #[cfg(test)]

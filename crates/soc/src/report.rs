@@ -1,5 +1,6 @@
 //! Run reports: makespan, utilization, timelines, classification results.
 
+use ncpu_obs::{CoreArtifact, Recorder, RunArtifact};
 use ncpu_sim::stats::Timeline;
 
 /// Per-core outcome of one end-to-end run.
@@ -59,6 +60,46 @@ impl RunReport {
     /// (positive = faster, e.g. 0.43 for the paper's 43%).
     pub fn improvement_over(&self, baseline: &RunReport) -> f64 {
         1.0 - self.makespan as f64 / baseline.makespan as f64
+    }
+
+    /// `(tid, name)` pairs for the Chrome trace: one lane per core in
+    /// report order, plus the DMA lane one past the last core.
+    pub fn thread_names(&self) -> Vec<(u16, String)> {
+        let mut names: Vec<(u16, String)> = self
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(c, core)| (c as u16, core.role.clone()))
+            .collect();
+        names.push((self.cores.len() as u16, "dma".to_string()));
+        names
+    }
+
+    /// Flattens this report plus the run's counters into the stable
+    /// `RUN_<name>.json` artifact shape.
+    pub fn artifact(&self, name: &str, rec: &Recorder) -> RunArtifact {
+        RunArtifact {
+            name: name.to_string(),
+            config: self.config.clone(),
+            makespan: self.makespan,
+            accuracy: self.accuracy(),
+            cores: self
+                .cores
+                .iter()
+                .map(|core| CoreArtifact {
+                    role: core.role.clone(),
+                    busy_cycles: core.busy_cycles,
+                    utilization: core.utilization(self.makespan),
+                    spans: core
+                        .timeline
+                        .spans()
+                        .iter()
+                        .map(|s| (s.label.clone(), s.start, s.end))
+                        .collect(),
+                })
+                .collect(),
+            counters: rec.counters().clone(),
+        }
     }
 }
 

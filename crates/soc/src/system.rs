@@ -5,6 +5,7 @@ use ncpu_bnn::BitVec;
 use ncpu_core::{NcpuCore, SharedL2, SwitchPolicy};
 use ncpu_isa::asm;
 use ncpu_isa::interp::Event;
+use ncpu_obs::{Recorder, TraceLevel};
 use ncpu_pipeline::{FlatMem, Pipeline};
 use ncpu_sim::stats::Timeline;
 use ncpu_sim::DmaEngine;
@@ -120,24 +121,71 @@ fn hetero_program(uc: &UseCase) -> Vec<u32> {
 /// Panics if a generated program faults — the programs are produced by
 /// this workspace, so a fault is a bug, not an input condition.
 pub fn run(usecase: &UseCase, system: SystemConfig, soc: &SocConfig) -> RunReport {
+    run_traced(usecase, system, soc, TraceLevel::Counters).0
+}
+
+/// Runs `usecase` under `system` with observability at `level`, returning
+/// the report together with the root [`Recorder`]: every core's phase
+/// spans re-based onto the global clock, the DMA lane, the counter
+/// registry, and (at [`TraceLevel::Full`]) per-cycle instant events.
+///
+/// The recorder always runs at `Counters` or above — report timelines are
+/// derived from its span events.
+///
+/// # Panics
+///
+/// Panics if a generated program faults — the programs are produced by
+/// this workspace, so a fault is a bug, not an input condition.
+pub fn run_traced(
+    usecase: &UseCase,
+    system: SystemConfig,
+    soc: &SocConfig,
+    level: TraceLevel,
+) -> (RunReport, Recorder) {
     match system {
-        SystemConfig::Heterogeneous => run_heterogeneous(usecase, soc),
-        SystemConfig::Ncpu { cores } => run_ncpu(usecase, cores, soc),
+        SystemConfig::Heterogeneous => run_heterogeneous(usecase, soc, level),
+        SystemConfig::Ncpu { cores } => run_ncpu(usecase, cores, soc, level),
     }
 }
 
+/// Writes the per-core counter snapshot (`core{c}.*` namespace) from the
+/// core's cheap stat structs — counters are sampled at collection points,
+/// never updated on the simulation hot path.
+pub(crate) fn snapshot_core_counters(rec: &mut Recorder, c: usize, core: &NcpuCore) {
+    let ps = core.pipeline().stats();
+    rec.set_counter(format!("core{c}.cycles"), ps.cycles);
+    rec.set_counter(format!("core{c}.retired"), ps.retired);
+    rec.set_counter(format!("core{c}.stall.load_use"), ps.load_use_stalls);
+    rec.set_counter(format!("core{c}.stall.flush"), ps.flush_cycles);
+    rec.set_counter(format!("core{c}.stall.ex"), ps.ex_stall_cycles);
+    rec.set_counter(format!("core{c}.stall.mem"), ps.mem_stall_cycles);
+    let cs = core.stats();
+    rec.set_counter(format!("core{c}.switches"), cs.switches);
+    rec.set_counter(format!("core{c}.images_inferred"), cs.images_inferred);
+    rec.set_counter(format!("core{c}.bnn_cycles"), cs.bnn_cycles);
+    rec.set_counter(format!("core{c}.switch_overhead_cycles"), cs.switch_overhead_cycles);
+}
+
+/// Writes the DMA lane snapshot and absorbs its span events onto lane
+/// `lane` (global cycles, so offset 0).
+pub(crate) fn snapshot_dma(rec: &mut Recorder, dma: &mut DmaEngine, lane: u16) {
+    rec.set_counter("dma.transfers", dma.transfers());
+    rec.set_counter("dma.bytes", dma.bytes_moved());
+    rec.absorb(dma.obs_mut(), lane, 0);
+}
 
 /// Stages one item and runs one program to completion on `core`, starting
 /// no earlier than `now` (global cycles). Returns `(end_time, used)` and
-/// appends the core's new mode spans, re-based to global time, to
-/// `timeline`.
+/// drains the core's recorder shard into `rec` as lane `lane`, re-based
+/// to global time.
 fn run_item(
     core: &mut NcpuCore,
     program: &[u32],
     staged: &[u8],
     now: u64,
     dma: &mut DmaEngine,
-    timeline: &mut Timeline,
+    rec: &mut Recorder,
+    lane: u16,
 ) -> (u64, u64) {
     let start = if staged.is_empty() {
         now
@@ -152,27 +200,35 @@ fn run_item(
     core.load_program(program.to_vec());
     core.run(ITEM_BUDGET).expect("NCPU program must complete");
     let used = core.total_cycles() - internal_before;
+    // The core's shard holds only this item's events (earlier items were
+    // drained), all stamped ≥ internal_before on the core's unified
+    // clock; shift them onto the global clock.
     let offset = start as i64 - internal_before as i64;
-    for span in core.timeline().spans() {
-        if span.start >= internal_before {
-            timeline.record(
-                span.label.clone(),
-                (span.start as i64 + offset) as u64,
-                (span.end as i64 + offset) as u64,
-            );
-        }
-    }
+    rec.absorb(core.obs_mut(), lane, offset);
     (start + used, used)
 }
 
-fn run_ncpu(usecase: &UseCase, cores: usize, soc: &SocConfig) -> RunReport {
+fn run_ncpu(
+    usecase: &UseCase,
+    cores: usize,
+    soc: &SocConfig,
+    level: TraceLevel,
+) -> (RunReport, Recorder) {
     assert!(cores >= 1, "need at least one core");
+    let mut rec = Recorder::new(level.at_least_counters());
     let l2 = SharedL2::new(256 * 1024);
     let accel_cfg =
         AccelConfig { layer_pipelining: soc.layer_pipelining, ..AccelConfig::default() };
     let mut pool: Vec<NcpuCore> = (0..cores)
         .map(|_| {
-            NcpuCore::with_l2(usecase.model().clone(), accel_cfg, soc.switch_policy, l2.clone())
+            let mut core = NcpuCore::with_l2(
+                usecase.model().clone(),
+                accel_cfg,
+                soc.switch_policy,
+                l2.clone(),
+            );
+            core.set_obs_level(level);
+            core
         })
         .collect();
     let programs: Vec<Vec<u32>> = pool
@@ -182,8 +238,8 @@ fn run_ncpu(usecase: &UseCase, cores: usize, soc: &SocConfig) -> RunReport {
         .collect();
 
     let mut dma = DmaEngine::new(soc.dma_bytes_per_cycle, soc.dma_setup_cycles);
+    dma.set_trace_level(level.at_least_counters());
     let mut now = vec![0u64; cores];
-    let mut timelines = vec![Timeline::new(); cores];
     let mut busy = vec![0u64; cores];
     let mut predictions = Vec::with_capacity(usecase.items().len());
 
@@ -195,7 +251,8 @@ fn run_ncpu(usecase: &UseCase, cores: usize, soc: &SocConfig) -> RunReport {
             &item.staged,
             now[c],
             &mut dma,
-            &mut timelines[c],
+            &mut rec,
+            c as u16,
         );
         now[c] = end;
         busy[c] += used;
@@ -203,21 +260,29 @@ fn run_ncpu(usecase: &UseCase, cores: usize, soc: &SocConfig) -> RunReport {
             .push(l2.read_word(result_addr(c)).expect("result staged by program") as usize);
     }
 
-    let makespan = now.into_iter().max().unwrap_or(0);
+    let makespan = now.iter().copied().max().unwrap_or(0);
+    for (c, core) in pool.iter().enumerate() {
+        snapshot_core_counters(&mut rec, c, core);
+    }
+    snapshot_dma(&mut rec, &mut dma, cores as u16);
+    rec.set_counter("run.makespan_cycles", makespan);
+    rec.set_counter("run.items", usecase.items().len() as u64);
+
     let cores_report = (0..cores)
         .map(|c| CoreReport {
             role: format!("ncpu{c}"),
-            timeline: std::mem::take(&mut timelines[c]),
+            timeline: Timeline::from_obs_events(rec.spans(), c as u16),
             busy_cycles: busy[c],
         })
         .collect();
-    RunReport {
+    let report = RunReport {
         config: format!("{cores}x ncpu"),
         makespan,
         cores: cores_report,
         predictions,
         labels: usecase.items().iter().map(|i| i.label).collect(),
-    }
+    };
+    (report, rec)
 }
 
 
@@ -242,7 +307,7 @@ pub fn run_independent(a: &UseCase, b: &UseCase, soc: &SocConfig) -> (RunReport,
         next_item: usize,
         now: u64,
         busy: u64,
-        timeline: Timeline,
+        rec: Recorder,
         predictions: Vec<usize>,
     }
     let usecases = [a, b];
@@ -259,7 +324,7 @@ pub fn run_independent(a: &UseCase, b: &UseCase, soc: &SocConfig) -> (RunReport,
                 next_item: 0,
                 now: 0,
                 busy: 0,
-                timeline: Timeline::new(),
+                rec: Recorder::new(TraceLevel::Counters),
                 predictions: Vec::new(),
             }
         })
@@ -274,8 +339,15 @@ pub fn run_independent(a: &UseCase, b: &UseCase, soc: &SocConfig) -> (RunReport,
         let Some(c) = ready else { break };
         let item = &usecases[c].items()[states[c].next_item];
         let st = &mut states[c];
-        let (end, used) =
-            run_item(&mut st.core, &st.program, &item.staged, st.now, &mut dma, &mut st.timeline);
+        let (end, used) = run_item(
+            &mut st.core,
+            &st.program,
+            &item.staged,
+            st.now,
+            &mut dma,
+            &mut st.rec,
+            c as u16,
+        );
         st.now = end;
         st.busy += used;
         st.next_item += 1;
@@ -291,7 +363,7 @@ pub fn run_independent(a: &UseCase, b: &UseCase, soc: &SocConfig) -> (RunReport,
             makespan: st.now,
             cores: vec![CoreReport {
                 role: format!("ncpu{c}"),
-                timeline: st.timeline,
+                timeline: Timeline::from_obs_events(st.rec.spans(), c as u16),
                 busy_cycles: st.busy,
             }],
             predictions: st.predictions,
@@ -303,19 +375,28 @@ pub fn run_independent(a: &UseCase, b: &UseCase, soc: &SocConfig) -> (RunReport,
     (first, second)
 }
 
-fn run_heterogeneous(usecase: &UseCase, soc: &SocConfig) -> RunReport {
+fn run_heterogeneous(
+    usecase: &UseCase,
+    soc: &SocConfig,
+    level: TraceLevel,
+) -> (RunReport, Recorder) {
+    let mut rec = Recorder::new(level.at_least_counters());
     let program = hetero_program(usecase);
     let mut cpu = Pipeline::new(program, FlatMem::with_l2(16 * 1024, 256 * 1024));
+    cpu.set_obs_level(level);
     let accel_cfg =
         AccelConfig { layer_pipelining: soc.layer_pipelining, ..AccelConfig::default() };
     let mut accel = Accelerator::new(usecase.model().clone(), accel_cfg);
+    // The batch runs on globally-stamped availability times, so the
+    // accelerator's spans need no re-basing when absorbed below.
+    accel.set_obs_level(level.at_least_counters());
     let mut dma = DmaEngine::new(soc.dma_bytes_per_cycle, soc.dma_setup_cycles);
+    dma.set_trace_level(level.at_least_counters());
 
     let input_bits = usecase.model().topology().input();
     let packed_bytes = input_bits.div_ceil(8);
 
     let mut t_cpu = 0u64;
-    let mut cpu_timeline = Timeline::new();
     let mut cpu_busy = 0u64;
     let mut queued: Vec<(BitVec, u64)> = Vec::new();
 
@@ -338,7 +419,8 @@ fn run_heterogeneous(usecase: &UseCase, soc: &SocConfig) -> RunReport {
         cpu.resume();
         cpu.run(ITEM_BUDGET).expect("offload program halts");
         let used = cpu.stats().cycles - before;
-        cpu_timeline.record("cpu", start, start + used);
+        rec.phase(0, "cpu", start, start + used);
+        rec.absorb(cpu.obs_mut(), 0, start as i64 - before as i64);
         cpu_busy += used;
         t_cpu = start + used;
 
@@ -353,26 +435,43 @@ fn run_heterogeneous(usecase: &UseCase, soc: &SocConfig) -> RunReport {
     }
 
     let batch = accel.run_batch_timed(&queued);
-    let mut accel_timeline = Timeline::new();
-    for &(s, e) in &batch.spans {
-        accel_timeline.record("bnn", s, e);
-    }
+    rec.absorb(accel.obs_mut(), 1, 0);
     let makespan = t_cpu.max(batch.total_cycles);
 
-    RunReport {
+    let ps = cpu.stats();
+    rec.set_counter("cpu.cycles", ps.cycles);
+    rec.set_counter("cpu.retired", ps.retired);
+    rec.set_counter("cpu.stall.load_use", ps.load_use_stalls);
+    rec.set_counter("cpu.stall.flush", ps.flush_cycles);
+    rec.set_counter("cpu.stall.ex", ps.ex_stall_cycles);
+    rec.set_counter("cpu.stall.mem", ps.mem_stall_cycles);
+    let accel_stats = accel.stats();
+    rec.set_counter("accel.images_inferred", accel_stats.images);
+    rec.set_counter("accel.busy_cycles", accel_stats.busy_cycles);
+    rec.set_counter("accel.macs", accel_stats.macs);
+    snapshot_dma(&mut rec, &mut dma, 2);
+    rec.set_counter("run.makespan_cycles", makespan);
+    rec.set_counter("run.items", usecase.items().len() as u64);
+
+    let report = RunReport {
         config: "heterogeneous".to_string(),
         makespan,
         cores: vec![
-            CoreReport { role: "cpu".to_string(), timeline: cpu_timeline, busy_cycles: cpu_busy },
+            CoreReport {
+                role: "cpu".to_string(),
+                timeline: Timeline::from_obs_events(rec.spans(), 0),
+                busy_cycles: cpu_busy,
+            },
             CoreReport {
                 role: "bnn-accel".to_string(),
-                timeline: accel_timeline,
-                busy_cycles: accel.stats().busy_cycles,
+                timeline: Timeline::from_obs_events(rec.spans(), 1),
+                busy_cycles: accel_stats.busy_cycles,
             },
         ],
         predictions: batch.outputs,
         labels: usecase.items().iter().map(|i| i.label).collect(),
-    }
+    };
+    (report, rec)
 }
 
 #[cfg(test)]
@@ -453,6 +552,54 @@ pub(crate) mod tests {
         let delta = single.makespan as f64 / base.makespan as f64 - 1.0;
         // Paper Fig. 17: +13.8% for the image case at batch 2.
         assert!((0.0..0.35).contains(&delta), "single-NCPU delta {delta}");
+    }
+
+    #[test]
+    fn traced_run_matches_plain_run_and_snapshots_counters() {
+        let model = pseudo_model(784, 20, 10);
+        let uc = UseCase::parametric(0.5, 2, model);
+        let soc = SocConfig::default();
+        let (report, rec) =
+            run_traced(&uc, SystemConfig::Ncpu { cores: 2 }, &soc, TraceLevel::Full);
+        assert_eq!(rec.counters().get("run.makespan_cycles"), report.makespan);
+        assert_eq!(rec.counters().get("run.items"), 2);
+        assert!(rec.counters().get("core0.retired") > 0);
+        assert!(rec.counters().get("core1.cycles") > 0);
+        assert!(
+            rec.events()
+                .iter()
+                .any(|e| matches!(e.kind, ncpu_obs::EventKind::Retire { .. })),
+            "Full level must carry retire instants"
+        );
+        // Report timelines are views over the same span stream.
+        for (c, core) in report.cores.iter().enumerate() {
+            let tl = Timeline::from_obs_events(rec.spans(), c as u16);
+            assert_eq!(core.timeline.spans().len(), tl.spans().len());
+            assert!(!core.timeline.spans().is_empty());
+        }
+        // Tracing must not perturb the simulation itself.
+        let plain = run(&uc, SystemConfig::Ncpu { cores: 2 }, &soc);
+        assert_eq!(plain.makespan, report.makespan);
+        assert_eq!(plain.predictions, report.predictions);
+    }
+
+    #[test]
+    fn traced_heterogeneous_records_both_lanes_and_dma() {
+        let model = pseudo_model(784, 20, 10);
+        let uc = UseCase::parametric(0.5, 2, model);
+        let soc = SocConfig::default();
+        let (report, rec) =
+            run_traced(&uc, SystemConfig::Heterogeneous, &soc, TraceLevel::Counters);
+        assert!(!report.cores[0].timeline.spans().is_empty(), "cpu lane");
+        assert!(!report.cores[1].timeline.spans().is_empty(), "accel lane");
+        assert!(rec.counters().get("cpu.retired") > 0);
+        assert_eq!(rec.counters().get("accel.images_inferred"), 2);
+        assert!(
+            rec.spans()
+                .iter()
+                .any(|e| matches!(e.kind, ncpu_obs::EventKind::Dma { .. })),
+            "offload DMA must appear on the trace"
+        );
     }
 
     #[test]

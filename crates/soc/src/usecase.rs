@@ -126,6 +126,15 @@ impl UseCase {
         self.kind
     }
 
+    /// Stable short name for artifact files (`RUN_<name>.json`).
+    pub const fn name(&self) -> &'static str {
+        match self.kind {
+            UseCaseKind::Image => "image",
+            UseCaseKind::Motion => "motion",
+            UseCaseKind::Parametric => "parametric",
+        }
+    }
+
     /// The trained classifier.
     pub fn model(&self) -> &BnnModel {
         &self.model

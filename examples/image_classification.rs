@@ -11,13 +11,14 @@ use ncpu::soc::energy;
 
 fn main() {
     let batch: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4);
+    let level = TraceLevel::from_env();
     println!("building image use case (batch {batch}, training a small classifier)…");
     let uc = UseCase::image(batch, 60, 25);
     let soc = SocConfig::default();
 
     let base = run(&uc, SystemConfig::Heterogeneous, &soc);
     let single = run(&uc, SystemConfig::Ncpu { cores: 1 }, &soc);
-    let dual = run(&uc, SystemConfig::Ncpu { cores: 2 }, &soc);
+    let (dual, rec) = run_traced(&uc, SystemConfig::Ncpu { cores: 2 }, &soc, level);
 
     println!("\nclassification accuracy over the batch: {:.0}%", dual.accuracy() * 100.0);
     println!("\n{:<16} {:>12} {:>10}", "system", "cycles", "vs base");
@@ -50,4 +51,16 @@ fn main() {
         "predictions agree across systems: {}",
         base.predictions == dual.predictions && base.predictions == single.predictions
     );
+
+    if level != TraceLevel::Off {
+        let artifact = dual.artifact(uc.name(), &rec);
+        match ncpu::obs::write_artifacts(&artifact, &rec, &dual.thread_names()) {
+            Ok((run_path, trace_path)) => println!(
+                "\ntrace artifacts: {} and {} (open the latter in Perfetto)",
+                run_path.display(),
+                trace_path.display()
+            ),
+            Err(e) => eprintln!("failed to write trace artifacts: {e}"),
+        }
+    }
 }

@@ -34,9 +34,16 @@ fn main() {
     let layout = motion_prog::MotionLayout::default();
     let program = motion_prog::feature_program(&layout, layout.pack, Tail::Halt);
     let mut cpu = Pipeline::new(program, FlatMem::new(4096));
+    cpu.set_obs_level(TraceLevel::from_env());
     cpu.mem_mut().local_mut()[..motion_prog::STAGE_BYTES]
         .copy_from_slice(&motion_prog::stage_bytes(&window));
     let feature_cycles = cpu.run(10_000_000).expect("feature extraction");
+    if cpu.obs().level() == TraceLevel::Full {
+        println!(
+            "(NCPU_TRACE=full: {} pipeline events during feature extraction)",
+            cpu.obs().events().len()
+        );
+    }
 
     // (a) software BNN on the same CPU.
     let input = motion::window_to_input(&window);

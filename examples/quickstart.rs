@@ -40,6 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ))?;
 
     // 3. Run and inspect.
+    core.set_obs_level(TraceLevel::from_env());
     core.load_program(program);
     core.run(1_000_000)?;
     let predicted = core.pipeline().reg(Reg::A0);
@@ -54,6 +55,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for span in core.timeline().spans() {
         println!("  [{:>6}..{:>6}) {}", span.start, span.end, span.label);
+    }
+    if core.obs().level() == TraceLevel::Full {
+        println!("NCPU_TRACE=full: captured {} instant events", core.obs().events().len());
     }
     Ok(())
 }

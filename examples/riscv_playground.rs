@@ -32,7 +32,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let mut cpu = Pipeline::new(words, FlatMem::new(64 * 1024));
-    let cycles = cpu.run(50_000_000)?;
+    cpu.set_trace_capacity(32);
+    cpu.set_obs_level(TraceLevel::from_env());
+    let cycles = match cpu.run(50_000_000) {
+        Ok(cycles) => cycles,
+        Err(trap) => {
+            eprintln!("\ntrapped after {} cycles: {trap}", cpu.stats().cycles);
+            eprintln!("last retired instructions before the trap:");
+            eprint!("{}", cpu.trace().render());
+            return Err(trap.into());
+        }
+    };
     let s = cpu.stats();
     println!("\nhalted after {cycles} cycles, {} instructions (IPC {:.3})", s.retired, s.ipc());
     println!(
@@ -51,6 +61,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     counts.sort_by_key(|&(_, c)| std::cmp::Reverse(*c));
     for (m, c) in counts.iter().take(8) {
         println!("  {m:<6} {c}");
+    }
+    println!("\nlast retired instructions (up to EBREAK):");
+    print!("{}", cpu.trace().render());
+    if cpu.obs().level() == TraceLevel::Full {
+        println!("\nNCPU_TRACE=full: captured {} instant events", cpu.obs().events().len());
     }
     Ok(())
 }

@@ -15,6 +15,8 @@
 //! * [`bnn`] — binarized neural networks: packed ±1 vectors, training,
 //!   synthetic datasets (MNIST/Ninapro stand-ins),
 //! * [`sim`] — SRAM banks, address arbiter, DMA, statistics, power traces,
+//! * [`obs`] — cycle-stamped event tracing, counters, and run artifacts
+//!   (`NCPU_TRACE=off|counters|full`, `NCPU_TRACE_DIR=<dir>`),
 //! * [`pipeline`] — the cycle-accurate 5-stage in-order RV32I pipeline,
 //! * [`accel`] — the cycle-level layer-pipelined BNN accelerator,
 //! * [`core`] — **the paper's contribution**: the unified NCPU core with
@@ -79,6 +81,7 @@ pub use ncpu_bnn as bnn;
 pub use ncpu_core as core;
 pub use ncpu_isa as isa;
 pub use ncpu_nalu as nalu;
+pub use ncpu_obs as obs;
 pub use ncpu_pipeline as pipeline;
 pub use ncpu_power as power;
 pub use ncpu_sim as sim;
@@ -91,7 +94,8 @@ pub mod prelude {
     pub use ncpu_bnn::{BitVec, BnnModel, Topology};
     pub use ncpu_core::{NcpuCore, SwitchPolicy};
     pub use ncpu_isa::{asm, decode, Instruction, Reg};
+    pub use ncpu_obs::TraceLevel;
     pub use ncpu_pipeline::{FlatMem, Pipeline};
     pub use ncpu_power::{AreaModel, CoreKind, PowerModel};
-    pub use ncpu_soc::{run, SocConfig, SystemConfig, UseCase};
+    pub use ncpu_soc::{run, run_traced, SocConfig, SystemConfig, UseCase};
 }

@@ -39,6 +39,28 @@ fn motion_use_case_reports_are_byte_identical() {
     assert_eq!(mk(), mk(), "motion-detection reports must be byte-identical");
 }
 
+/// The exported observability artifacts are part of the reproducibility
+/// contract: two identical traced runs must render byte-identical
+/// `RUN_*.json` and Chrome-trace documents.
+#[test]
+fn trace_artifacts_are_byte_identical() {
+    let mk = || {
+        let uc = UseCase::motion(2, 4, 2);
+        let (dual, rec) = run_traced(
+            &uc,
+            SystemConfig::Ncpu { cores: 2 },
+            &SocConfig::default(),
+            TraceLevel::Full,
+        );
+        let artifact = dual.artifact(uc.name(), &rec);
+        (artifact.to_json(), ncpu::obs::chrome_trace(&rec, &dual.thread_names()))
+    };
+    let (run_a, trace_a) = mk();
+    let (run_b, trace_b) = mk();
+    assert_eq!(run_a, run_b, "RUN_*.json must be byte-identical across runs");
+    assert_eq!(trace_a, trace_b, "Chrome trace must be byte-identical across runs");
+}
+
 #[test]
 fn training_is_bit_reproducible() {
     use ncpu::bnn::data::Dataset;
