@@ -9,10 +9,26 @@ cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
 # Observability smoke: a fully traced end-to-end run must emit RUN_/TRACE_
-# artifacts that the in-tree checker accepts (unknown event kinds fail).
+# artifacts that the in-tree checker accepts (unknown event kinds and
+# out-of-order lane timestamps fail).
 OBS_DIR=target/obs-ci
 rm -rf "$OBS_DIR"
 NCPU_TRACE=full NCPU_TRACE_DIR="$OBS_DIR" \
     cargo run --release --offline --example image_classification 2
 cargo run --release --offline -p ncpu-obs --bin trace_check -- \
     "$OBS_DIR"/RUN_image.json "$OBS_DIR"/TRACE_image.json
+
+# Determinism under the parallel execution layer: the full determinism
+# suite must pass serially and with a 4-worker pool.
+NCPU_THREADS=1 cargo test -q --offline --test determinism
+NCPU_THREADS=4 cargo test -q --offline --test determinism
+
+# Benchmark artifacts: short samples keep CI fast; the JSON schema and
+# the parallel byte-identity assertion are what this gate checks, not
+# the absolute timings. The harness writes into the package dir (cargo
+# bench cwd); surface the reports at the repo root so runs can be diffed.
+NCPU_BENCH_SAMPLES=3 NCPU_BENCH_SAMPLE_MS=5 \
+    cargo bench --offline -p ncpu-bench --bench micro
+NCPU_BENCH_SAMPLES=3 NCPU_BENCH_SAMPLE_MS=5 \
+    cargo bench --offline -p ncpu-bench --bench parallel
+mv crates/bench/BENCH_micro.json crates/bench/BENCH_parallel.json .

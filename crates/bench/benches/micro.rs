@@ -50,6 +50,18 @@ fn bench_bnn(b: &mut Bench) {
     b.bench("bnn/accelerator_inference", move || accel.infer(&a));
 }
 
+fn bench_endtoend(b: &mut Bench) {
+    let model = ncpu_bench::context::image_pseudo_model(100);
+    let uc = ncpu_soc::UseCase::parametric(0.7, 4, model);
+    let soc = ncpu_soc::SocConfig::default();
+    b.bench("endtoend/heterogeneous_baseline", || {
+        black_box(ncpu_soc::run(&uc, ncpu_soc::SystemConfig::Heterogeneous, &soc))
+    });
+    b.bench("endtoend/dual_ncpu", || {
+        black_box(ncpu_soc::run(&uc, ncpu_soc::SystemConfig::Ncpu { cores: 2 }, &soc))
+    });
+}
+
 fn main() {
     // Respect `cargo bench -- <filter>` the way criterion used to.
     let filter: Vec<String> = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
@@ -63,6 +75,9 @@ fn main() {
     }
     if wants("bnn") {
         bench_bnn(&mut b);
+    }
+    if wants("endtoend") {
+        bench_endtoend(&mut b);
     }
     b.finish();
 }

@@ -15,10 +15,20 @@ fn main() {
     } else {
         args.iter().map(String::as_str).collect()
     };
-    for id in ids {
-        match ncpu_bench::experiments::run_by_id(id) {
+    // Experiments are independent pure functions of their seeds, so they
+    // fan out across the pool (`NCPU_THREADS`); reports come back in
+    // request order and print serially, so stdout is byte-identical to
+    // the sequential loop for every worker count.
+    let reports = ncpu_par::par_map_indexed(ids, |_, id| {
+        (id, ncpu_bench::experiments::run_by_id(id))
+    });
+    for (id, report) in reports {
+        match report {
             Some(report) => println!("{report}"),
-            None => eprintln!("unknown experiment `{id}` (known: {:?})", ncpu_bench::experiments::ALL_IDS),
+            None => eprintln!(
+                "unknown experiment `{id}` (known: {:?})",
+                ncpu_bench::experiments::ALL_IDS
+            ),
         }
     }
 

@@ -70,34 +70,40 @@ pub fn fig01() -> Report {
 /// Fig. 13: end-to-end gain at CPU workload fractions 40% and 70%.
 pub fn fig13() -> Report {
     let model = image_pseudo_model(100);
-    let mut lines = Vec::new();
-    for (fraction, paper) in [(0.4, 0.285), (0.7, 0.412)] {
-        let uc = UseCase::parametric(fraction, 2, model.clone());
-        let base = run(&uc, SystemConfig::Heterogeneous, &soc());
-        let dual = run(&uc, SystemConfig::Ncpu { cores: 2 }, &soc());
-        lines.push(format!(
-            "CPU fraction {}: baseline {} cy, 2×NCPU {} cy → improvement {} (paper {})",
-            pct(fraction),
-            base.makespan,
-            dual.makespan,
-            pct(dual.improvement_over(&base)),
-            pct(paper)
-        ));
-        for core in &base.cores {
-            lines.push(format!(
-                "  baseline {:<10} util {}",
-                core.role,
-                pct(core.utilization(base.makespan))
-            ));
-        }
-        for core in &dual.cores {
-            lines.push(format!(
-                "  ncpu     {:<10} util {}",
-                core.role,
-                pct(core.utilization(dual.makespan))
-            ));
-        }
-    }
+    // One pool task per CPU-fraction point; each returns its block of
+    // report lines, concatenated in sweep order.
+    let blocks = ncpu_par::par_map_indexed(
+        vec![(0.4, 0.285), (0.7, 0.412)],
+        |_, (fraction, paper)| {
+            let uc = UseCase::parametric(fraction, 2, model.clone());
+            let base = run(&uc, SystemConfig::Heterogeneous, &soc());
+            let dual = run(&uc, SystemConfig::Ncpu { cores: 2 }, &soc());
+            let mut block = vec![format!(
+                "CPU fraction {}: baseline {} cy, 2×NCPU {} cy → improvement {} (paper {})",
+                pct(fraction),
+                base.makespan,
+                dual.makespan,
+                pct(dual.improvement_over(&base)),
+                pct(paper)
+            )];
+            for core in &base.cores {
+                block.push(format!(
+                    "  baseline {:<10} util {}",
+                    core.role,
+                    pct(core.utilization(base.makespan))
+                ));
+            }
+            for core in &dual.cores {
+                block.push(format!(
+                    "  ncpu     {:<10} util {}",
+                    core.role,
+                    pct(core.utilization(dual.makespan))
+                ));
+            }
+            block
+        },
+    );
+    let lines: Vec<String> = blocks.into_iter().flatten().collect();
     Report { id: "fig13", title: "core utilization and gain vs CPU workload fraction", lines }
 }
 
@@ -106,17 +112,18 @@ pub fn fig14() -> Report {
     let model = image_pseudo_model(100);
     let mut lines =
         vec![format!("{:>6} {:>12} {:>12} {:>12}", "batch", "baseline cy", "2xNCPU cy", "gain")];
-    for batch in [2usize, 6, 10, 20, 50, 100] {
+    // One pool task per batch size, rows collected in sweep order.
+    lines.extend(ncpu_par::par_map_indexed(vec![2usize, 6, 10, 20, 50, 100], |_, batch| {
         let uc = UseCase::parametric(0.7, batch, model.clone());
         let base = run(&uc, SystemConfig::Heterogeneous, &soc());
         let dual = run(&uc, SystemConfig::Ncpu { cores: 2 }, &soc());
-        lines.push(format!(
+        format!(
             "{batch:>6} {:>12} {:>12} {:>12}",
             base.makespan,
             dual.makespan,
             pct(dual.improvement_over(&base))
-        ));
-    }
+        )
+    }));
     lines.push("paper: gain declines with batch but stays above 37% at batch 100".to_string());
     Report { id: "fig14", title: "end-to-end benefit vs image batch size", lines }
 }

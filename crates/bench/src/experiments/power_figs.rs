@@ -22,19 +22,24 @@ pub fn fig09() -> Report {
         "{:>5} {:>10} {:>12} {:>12} {:>12} {:>12} {:>10}",
         "V", "freq", "P_bnn mW", "P_cpu mW", "E_bnn pJ/cy", "E_cpu pJ/cy", "TOPS/W"
     )];
-    let mut cpu_energy = Vec::new();
-    for v in voltage_grid() {
+    // One pool task per grid voltage, rows collected in grid order.
+    let rows = ncpu_par::par_map_indexed(voltage_grid(), |_, v| {
         let f = pm.dvfs.freq_hz(v, CoreKind::NcpuBnnMode);
         let p_bnn = pm.total_mw(CoreKind::NcpuBnnMode, &areas, v, 1.0);
         let p_cpu = pm.total_mw(CoreKind::NcpuCpuMode, &areas, v, 1.0);
         let e_bnn = pm.energy_per_cycle_pj(CoreKind::NcpuBnnMode, &areas, v, 1.0);
         let e_cpu = pm.energy_per_cycle_pj(CoreKind::NcpuCpuMode, &areas, v, 1.0);
         let tops = pm.bnn_tops_per_watt(v, 400);
-        cpu_energy.push((v, e_cpu));
-        lines.push(format!(
+        let row = format!(
             "{v:>5.2} {:>10} {p_bnn:>12.2} {p_cpu:>12.2} {e_bnn:>12.1} {e_cpu:>12.1} {tops:>10.2}",
             mhz(f)
-        ));
+        );
+        ((v, e_cpu), row)
+    });
+    let mut cpu_energy = Vec::with_capacity(rows.len());
+    for ((v, e_cpu), row) in rows {
+        cpu_energy.push((v, e_cpu));
+        lines.push(row);
     }
     let mep = cpu_energy
         .iter()
@@ -161,9 +166,8 @@ pub fn fig12() -> Report {
     // One inference occupies the array for its full latency; the baseline
     // keeps both cores powered (the idle CPU leaks).
     let cycles = 785 + 3 * 101;
-    let savings: Vec<(f64, f64)> = voltage_grid()
-        .into_iter()
-        .map(|v| {
+    // One pool task per grid voltage, collected in grid order.
+    let savings: Vec<(f64, f64)> = ncpu_par::par_map_indexed(voltage_grid(), |_, v| {
             let f_ncpu = pm.dvfs.freq_hz(v, CoreKind::NcpuBnnMode);
             let f_base = pm.dvfs.freq_hz(v, CoreKind::StandaloneBnn);
             let e_ncpu = (pm.dynamic_mw(CoreKind::NcpuBnnMode, v, 1.0)
@@ -175,8 +179,7 @@ pub fn fig12() -> Report {
                 / f_base
                 * cycles as f64;
             (v, 1.0 - e_ncpu / e_base)
-        })
-        .collect();
+    });
     for &(v, saving) in &savings {
         lines.push(format!("  {v:.2} V: saving {:>7}", pct(saving)));
     }

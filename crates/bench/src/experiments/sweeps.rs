@@ -16,9 +16,13 @@ pub fn fig18() -> Report {
         "{:>8} {:>13} {:>11}   paper",
         "neurons", "area saving", "accuracy"
     )];
+    // Each neuron count trains a full model — the dominant cost of the
+    // whole suite — so every sweep point is one pool task. Results come
+    // back in sweep order (par_map_indexed collects by index), keeping
+    // the report bytes independent of the worker count.
     let paper = [(50, 43.5, 88.6), (100, 35.7, 94.8), (200, 30.6, 96.0), (400, 22.5, 97.2)];
-    for (n, p_saving, p_acc) in paper {
-        let (_, acc) = trained_digits(n);
+    let accs = ncpu_par::par_map_indexed(paper.to_vec(), |_, (n, _, _)| trained_digits(n).1);
+    for ((n, p_saving, p_acc), acc) in paper.into_iter().zip(accs) {
         lines.push(format!(
             "{n:>8} {:>13} {:>11}   {p_saving}% / {p_acc}%",
             pct(am.area_saving(n)),
@@ -59,12 +63,16 @@ pub fn fig19() -> Report {
 pub fn ablation_switch() -> Report {
     let model = image_pseudo_model(100);
     let uc = UseCase::parametric(0.7, 8, model);
-    let zero = run(&uc, SystemConfig::Ncpu { cores: 1 }, &SocConfig::default());
-    let naive = run(
-        &uc,
-        SystemConfig::Ncpu { cores: 1 },
-        &SocConfig { switch_policy: SwitchPolicy::Naive, ..SocConfig::default() },
-    );
+    // One pool task per switch policy; order fixed by the config list.
+    let configs = [
+        SocConfig::default(),
+        SocConfig { switch_policy: SwitchPolicy::Naive, ..SocConfig::default() },
+    ];
+    let mut reports = ncpu_par::par_map_indexed(configs.to_vec(), |_, soc| {
+        run(&uc, SystemConfig::Ncpu { cores: 1 }, &soc)
+    })
+    .into_iter();
+    let (zero, naive) = (reports.next().expect("two configs"), reports.next().expect("two configs"));
     let lines = vec![
         format!("zero-latency switching: {} cycles", zero.makespan),
         format!(
@@ -84,12 +92,16 @@ pub fn ablation_switch() -> Report {
 pub fn ablation_pipelining() -> Report {
     let model = image_pseudo_model(100);
     let uc = UseCase::parametric(0.3, 8, model);
-    let piped = run(&uc, SystemConfig::Heterogeneous, &SocConfig::default());
-    let serial = run(
-        &uc,
-        SystemConfig::Heterogeneous,
-        &SocConfig { layer_pipelining: false, ..SocConfig::default() },
-    );
+    let configs = [
+        SocConfig::default(),
+        SocConfig { layer_pipelining: false, ..SocConfig::default() },
+    ];
+    let mut reports = ncpu_par::par_map_indexed(configs.to_vec(), |_, soc| {
+        run(&uc, SystemConfig::Heterogeneous, &soc)
+    })
+    .into_iter();
+    let (piped, serial) =
+        (reports.next().expect("two configs"), reports.next().expect("two configs"));
     let lines = vec![
         format!("layer-pipelined accelerator: {} cycles", piped.makespan),
         format!(
@@ -108,8 +120,13 @@ pub fn ablation_pipelining() -> Report {
 pub fn ablation_offload() -> Report {
     let model = image_pseudo_model(100);
     let uc = UseCase::parametric(0.7, 4, model);
-    let base = run(&uc, SystemConfig::Heterogeneous, &SocConfig::default());
-    let dual = run(&uc, SystemConfig::Ncpu { cores: 2 }, &SocConfig::default());
+    let systems = [SystemConfig::Heterogeneous, SystemConfig::Ncpu { cores: 2 }];
+    let mut reports = ncpu_par::par_map_indexed(systems.to_vec(), |_, sys| {
+        run(&uc, sys, &SocConfig::default())
+    })
+    .into_iter();
+    let (base, dual) =
+        (reports.next().expect("two systems"), reports.next().expect("two systems"));
     // Per item the baseline moves the packed input CPU→L2→accelerator; the
     // NCPU only writes one result word through.
     let packed = 98u64;
@@ -187,25 +204,30 @@ pub fn ablation_interface() -> Report {
         "{:<34} {:>12} {:>10}",
         "baseline interface", "baseline cy", "NCPU gain"
     )];
-    for (label, bytes_per_cycle, setup) in [
+    let points = [
         ("DMA through L2 (default)", 4u32, 16u64),
         ("wide burst DMA (16 B/cy, 8 cy)", 16, 8),
         ("ACP-class (32 B/cy, 4 cy)", 32, 4),
         ("ideal zero-cost (RoCC-class)", u32::MAX, 0),
-    ] {
-        let soc = SocConfig {
-            dma_bytes_per_cycle: bytes_per_cycle,
-            dma_setup_cycles: setup,
-            ..SocConfig::default()
-        };
-        let base = run(&uc, SystemConfig::Heterogeneous, &soc);
-        let dual = run(&uc, SystemConfig::Ncpu { cores: 2 }, &soc);
-        lines.push(format!(
-            "{label:<34} {:>12} {:>10}",
-            base.makespan,
-            pct(dual.improvement_over(&base))
-        ));
-    }
+    ];
+    // One pool task per interface point, rows collected in sweep order.
+    lines.extend(ncpu_par::par_map_indexed(
+        points.to_vec(),
+        |_, (label, bytes_per_cycle, setup)| {
+            let soc = SocConfig {
+                dma_bytes_per_cycle: bytes_per_cycle,
+                dma_setup_cycles: setup,
+                ..SocConfig::default()
+            };
+            let base = run(&uc, SystemConfig::Heterogeneous, &soc);
+            let dual = run(&uc, SystemConfig::Ncpu { cores: 2 }, &soc);
+            format!(
+                "{label:<34} {:>12} {:>10}",
+                base.makespan,
+                pct(dual.improvement_over(&base))
+            )
+        },
+    ));
     lines.push(
         "even a free offload interface cannot fix the serialization: the paper's \
          point that tighter interfaces [14,15] address transfer cost but not core \

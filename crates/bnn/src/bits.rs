@@ -20,16 +20,35 @@ use std::fmt;
 /// assert_eq!(a.dot(&b), 0);
 /// assert_eq!(a.dot(&a), 4);
 /// ```
+/// # Representation invariants
+///
+/// * Slack bits (positions `len..` of the last word) are always **zero**;
+///   every constructor and mutator maintains this, so whole-word popcounts
+///   need no masking.
+/// * `tail_mask` is precomputed at construction: all-ones when `len` is a
+///   multiple of 64, else the low `len % 64` bits. The dot-product hot
+///   loop applies it to the last XNOR word only — XNOR turns matching
+///   slack zeros into ones, and this is the single place a mask is needed.
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct BitVec {
     words: Vec<u64>,
     len: usize,
+    tail_mask: u64,
+}
+
+/// Mask selecting the valid bits of the last word of a `len`-bit vector.
+const fn tail_mask_for(len: usize) -> u64 {
+    if len.is_multiple_of(64) {
+        !0
+    } else {
+        (1u64 << (len % 64)) - 1
+    }
 }
 
 impl BitVec {
     /// Creates a vector of `len` elements, all −1 (bits clear).
     pub fn zeros(len: usize) -> BitVec {
-        BitVec { words: vec![0; len.div_ceil(64)], len }
+        BitVec { words: vec![0; len.div_ceil(64)], len, tail_mask: tail_mask_for(len) }
     }
 
     /// Builds a vector from boolean values (`true` → +1).
@@ -45,7 +64,7 @@ impl BitVec {
             }
             len += 1;
         }
-        BitVec { words, len }
+        BitVec { words, len, tail_mask: tail_mask_for(len) }
     }
 
     /// Builds a vector from the signs of real values (`>= 0` → +1).
@@ -102,25 +121,46 @@ impl BitVec {
     }
 
     /// Number of +1 elements.
+    ///
+    /// Whole-word popcounts with no masking: the slack-bits-zero invariant
+    /// makes the stored words exact.
     pub fn count_ones(&self) -> usize {
-        self.masked_words().map(|w| w.count_ones() as usize).sum()
+        debug_assert!(self.slack_bits_clear());
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Exact ±1 dot product via XNOR-popcount.
+    ///
+    /// The hot kernel of BNN inference: a 4-way unrolled popcount
+    /// accumulation over full words, with the precomputed
+    /// [`tail_mask`](Self) applied to the last word only (XNOR of matching
+    /// slack zeros yields ones, so that single mask is unavoidable).
     ///
     /// # Panics
     ///
     /// Panics if the lengths differ.
     pub fn dot(&self, other: &BitVec) -> i32 {
         assert_eq!(self.len, other.len, "dot of unequal lengths");
-        let mut matches = 0u32;
-        for (i, (a, b)) in self.words.iter().zip(&other.words).enumerate() {
-            let mut x = !(a ^ b);
-            if i == self.words.len() - 1 && !self.len.is_multiple_of(64) {
-                x &= (1u64 << (self.len % 64)) - 1;
-            }
-            matches += x.count_ones();
+        let n = self.words.len();
+        if n == 0 {
+            return 0;
         }
+        let (head_a, last_a) = self.words.split_at(n - 1);
+        let (head_b, last_b) = other.words.split_at(n - 1);
+        let mut chunks_a = head_a.chunks_exact(4);
+        let mut chunks_b = head_b.chunks_exact(4);
+        let mut acc = [0u32; 4];
+        for (wa, wb) in chunks_a.by_ref().zip(chunks_b.by_ref()) {
+            acc[0] += (!(wa[0] ^ wb[0])).count_ones();
+            acc[1] += (!(wa[1] ^ wb[1])).count_ones();
+            acc[2] += (!(wa[2] ^ wb[2])).count_ones();
+            acc[3] += (!(wa[3] ^ wb[3])).count_ones();
+        }
+        let mut matches = acc[0] + acc[1] + acc[2] + acc[3];
+        for (wa, wb) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+            matches += (!(wa ^ wb)).count_ones();
+        }
+        matches += (!(last_a[0] ^ last_b[0]) & self.tail_mask).count_ones();
         2 * matches as i32 - self.len as i32
     }
 
@@ -129,10 +169,16 @@ impl BitVec {
         (0..self.len).map(|i| self.get(i))
     }
 
-    /// The packed 64-bit words, with unused high bits of the last word
-    /// left undefined to callers (mask with [`len`](Self::len)).
+    /// The packed 64-bit words. Unused high bits of the last word are
+    /// guaranteed zero (the slack-bits-zero invariant), so whole-word
+    /// popcounts over this slice are exact.
     pub fn words(&self) -> &[u64] {
         &self.words
+    }
+
+    /// Invariant check: no slack bit of the last word is set.
+    fn slack_bits_clear(&self) -> bool {
+        self.words.last().is_none_or(|&w| w & !self.tail_mask == 0)
     }
 
     /// Packs the vector into little-endian bytes (bit i of byte i/8),
@@ -157,17 +203,6 @@ impl BitVec {
         BitVec::from_bools((0..len).map(|i| bytes[i / 8] >> (i % 8) & 1 == 1))
     }
 
-    fn masked_words(&self) -> impl Iterator<Item = u64> + '_ {
-        let last = self.words.len().wrapping_sub(1);
-        let tail_bits = self.len % 64;
-        self.words.iter().enumerate().map(move |(i, &w)| {
-            if i == last && tail_bits != 0 {
-                w & ((1u64 << tail_bits) - 1)
-            } else {
-                w
-            }
-        })
-    }
 }
 
 impl fmt::Debug for BitVec {
@@ -254,6 +289,40 @@ mod tests {
         let v = BitVec::from_bools((0..65).map(|_| true));
         assert_eq!(v.count_ones(), 65);
         assert_eq!(v.dot(&v), 65);
+    }
+
+    #[test]
+    fn slack_bits_stay_clear_through_mutation() {
+        // The dot/count_ones fast paths rely on slack bits being zero for
+        // every construction and mutation sequence.
+        for len in [1usize, 63, 64, 65, 127, 130] {
+            let mut v = BitVec::from_bools((0..len).map(|_| true));
+            assert!(v.slack_bits_clear(), "from_bools len={len}");
+            v.set(len - 1, false);
+            v.set(len - 1, true);
+            assert!(v.slack_bits_clear(), "set len={len}");
+            assert_eq!(v.count_ones(), len);
+            let rt = BitVec::from_bytes(&v.to_bytes(), len);
+            assert!(rt.slack_bits_clear(), "from_bytes len={len}");
+            assert_eq!(rt.count_ones(), len);
+        }
+    }
+
+    #[test]
+    fn dot_unroll_matches_naive_near_chunk_boundaries() {
+        // Word counts 1..=10 straddle the 4-word unroll boundary; bit
+        // lengths probe full and partial tail words.
+        for words in 1usize..=10 {
+            for tail in [0usize, 1, 33, 63] {
+                let len = match (words * 64).checked_sub(64 - tail) {
+                    Some(l) if tail != 0 => l,
+                    _ => words * 64,
+                };
+                let a = BitVec::from_bools((0..len).map(|i| (i * 11) % 7 < 3));
+                let b = BitVec::from_bools((0..len).map(|i| (i * 3) % 5 < 2));
+                assert_eq!(a.dot(&b), naive_dot(&a, &b), "len={len}");
+            }
+        }
     }
 
     #[test]

@@ -127,6 +127,62 @@ fn to_pm1(bits: &BitVec) -> Vec<f32> {
     bits.iter().map(|b| if b { 1.0 } else { -1.0 }).collect()
 }
 
+/// One sample's forward/backward pass, adding its gradient contribution
+/// into `gw`/`gb`.
+///
+/// Each parameter receives **at most one add** per sample (weight `(j, i)`
+/// is touched only by neuron `j`'s row loop), which is what makes the
+/// parallel reduction in [`train`] byte-identical to serial accumulation:
+/// summing per-sample buffers in sample order replays the exact same
+/// sequence of additions into each accumulator slot.
+fn accumulate_sample(
+    layers: &[ShadowLayer],
+    topology: &Topology,
+    data: &Dataset,
+    idx: usize,
+    gw: &mut [Vec<f32>],
+    gb: &mut [Vec<f32>],
+) {
+    let nlayers = layers.len();
+    let (input, label) = data.sample(idx);
+    assert_eq!(input.len(), topology.input(), "sample width mismatch");
+    // ---- forward ----
+    let mut acts: Vec<Vec<f32>> = Vec::with_capacity(nlayers + 1);
+    let mut zns: Vec<Vec<f32>> = Vec::with_capacity(nlayers);
+    acts.push(to_pm1(input));
+    for (l, layer) in layers.iter().enumerate() {
+        let zn = layer.forward(acts.last().expect("pushed"));
+        let is_last = l == nlayers - 1;
+        let next = if is_last {
+            zn.clone() // kept linear; only first `classes` used
+        } else {
+            zn.iter().map(|&z| if z >= 0.0 { 1.0 } else { -1.0 }).collect()
+        };
+        zns.push(zn);
+        acts.push(next);
+    }
+    // ---- loss gradient at the output ----
+    let classes = topology.classes();
+    let logits = &zns[nlayers - 1][..classes];
+    let probs = softmax(logits);
+    let mut dzn = vec![0.0f32; topology.layers()[nlayers - 1]];
+    for c in 0..classes {
+        dzn[c] = probs[c] - if c == label { 1.0 } else { 0.0 };
+    }
+    // ---- backward ----
+    for l in (0..nlayers).rev() {
+        let da = layers[l].backward(&acts[l], &dzn, &mut gw[l], &mut gb[l]);
+        if l > 0 {
+            // Gradient through the hidden sign: clipped STE.
+            dzn = da
+                .iter()
+                .zip(&zns[l - 1])
+                .map(|(&d, &zn)| if zn.abs() <= 1.0 { d } else { 0.0 })
+                .collect();
+        }
+    }
+}
+
 fn softmax(z: &[f32]) -> Vec<f32> {
     let m = z.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
     let exps: Vec<f32> = z.iter().map(|&v| (v - m).exp()).collect();
@@ -136,7 +192,10 @@ fn softmax(z: &[f32]) -> Vec<f32> {
 
 /// Trains a BNN of shape `topology` on `data` and exports the binary model.
 ///
-/// Training is deterministic in `config.seed`.
+/// Training is deterministic in `config.seed` — including under parallel
+/// minibatch evaluation: the gradient reduction sums per-sample buffers in
+/// fixed sample order, so the exported model is byte-identical for every
+/// `NCPU_THREADS` value.
 ///
 /// # Panics
 ///
@@ -170,6 +229,7 @@ pub fn train(topology: &Topology, data: &Dataset, config: &TrainConfig) -> BnnMo
     let mut gw: Vec<Vec<f32>> = layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
     let mut gb: Vec<Vec<f32>> = layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
 
+    let pool = ncpu_par::Pool::from_env();
     for _epoch in 0..config.epochs {
         rng.shuffle(&mut order);
         for chunk in order.chunks(config.batch) {
@@ -179,43 +239,36 @@ pub fn train(topology: &Topology, data: &Dataset, config: &TrainConfig) -> BnnMo
             for g in gb.iter_mut() {
                 g.iter_mut().for_each(|v| *v = 0.0);
             }
-            for &idx in chunk {
-                let (input, label) = data.sample(idx);
-                assert_eq!(input.len(), topology.input(), "sample width mismatch");
-                // ---- forward ----
-                let mut acts: Vec<Vec<f32>> = Vec::with_capacity(nlayers + 1);
-                let mut zns: Vec<Vec<f32>> = Vec::with_capacity(nlayers);
-                acts.push(to_pm1(input));
-                for (l, layer) in layers.iter().enumerate() {
-                    let zn = layer.forward(acts.last().expect("pushed"));
-                    let is_last = l == nlayers - 1;
-                    let next = if is_last {
-                        zn.clone() // kept linear; only first `classes` used
-                    } else {
-                        zn.iter().map(|&z| if z >= 0.0 { 1.0 } else { -1.0 }).collect()
-                    };
-                    zns.push(zn);
-                    acts.push(next);
-                }
-                // ---- loss gradient at the output ----
-                let classes = topology.classes();
-                let logits = &zns[nlayers - 1][..classes];
-                let probs = softmax(logits);
-                let mut dzn = vec![0.0f32; topology.layers()[nlayers - 1]];
-                for c in 0..classes {
-                    dzn[c] = probs[c] - if c == label { 1.0 } else { 0.0 };
-                }
-                // ---- backward ----
-                for l in (0..nlayers).rev() {
-                    let da = layers[l].backward(&acts[l], &dzn, &mut gw[l], &mut gb[l]);
-                    if l > 0 {
-                        // Gradient through the hidden sign: clipped STE.
-                        dzn = da
-                            .iter()
-                            .zip(&zns[l - 1])
-                            .map(|(&d, &zn)| if zn.abs() <= 1.0 { d } else { 0.0 })
-                            .collect();
+            if pool.workers() > 1 && chunk.len() > 1 {
+                // Each sample computes into private zeroed buffers; the
+                // buffers are then summed in sample order. Because every
+                // parameter slot receives at most one add per sample (see
+                // `accumulate_sample`), this replays exactly the additions
+                // the serial branch performs, in the same order — the two
+                // branches are byte-identical, not merely close.
+                let parts = pool.par_map_indexed(chunk.to_vec(), |_, idx| {
+                    let mut igw: Vec<Vec<f32>> =
+                        layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
+                    let mut igb: Vec<Vec<f32>> =
+                        layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+                    accumulate_sample(&layers, topology, data, idx, &mut igw, &mut igb);
+                    (igw, igb)
+                });
+                for (igw, igb) in parts {
+                    for (acc, part) in gw.iter_mut().zip(&igw) {
+                        for (a, &p) in acc.iter_mut().zip(part) {
+                            *a += p;
+                        }
                     }
+                    for (acc, part) in gb.iter_mut().zip(&igb) {
+                        for (a, &p) in acc.iter_mut().zip(part) {
+                            *a += p;
+                        }
+                    }
+                }
+            } else {
+                for &idx in chunk {
+                    accumulate_sample(&layers, topology, data, idx, &mut gw, &mut gb);
                 }
             }
             let inv_batch = 1.0 / chunk.len() as f32;

@@ -460,6 +460,55 @@ impl NcpuCore {
         }
         Ok(StepOutcome::Executing)
     }
+
+    /// Busy-region cycles left before the core returns to CPU mode
+    /// (nonzero only between a `trans_bnn` served by
+    /// [`step_one`](Self::step_one) and the switch back).
+    ///
+    /// During these cycles the core emits no events and touches no
+    /// memory — they are pure countdown, which is what makes the bulk
+    /// fast-forward of [`step_n`](Self::step_n) exact.
+    pub const fn busy_remaining(&self) -> u64 {
+        self.busy_remaining
+    }
+
+    /// Advances the core by up to `n` cycles in one call.
+    ///
+    /// Inside a BNN busy region this consumes `min(n, remaining)` cycles
+    /// with a single bookkeeping update instead of a per-cycle loop; the
+    /// resulting state (cycle counts, spans, stats, pipeline) is
+    /// byte-identical to calling [`step_one`](Self::step_one) that many
+    /// times, because busy cycles decrement a counter and do nothing
+    /// else. Outside a busy region it delegates to one `step_one`.
+    ///
+    /// Returns the outcome after the advance and the cycles actually
+    /// consumed (0 when already halted, otherwise ≥ 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on pipeline faults or invalid BNN
+    /// configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn step_n(&mut self, n: u64) -> Result<(StepOutcome, u64), CoreError> {
+        assert!(n > 0, "step_n of zero cycles");
+        if self.pipeline.is_halted() {
+            return Ok((StepOutcome::Halted, 0));
+        }
+        if self.busy_remaining > 0 {
+            let k = n.min(self.busy_remaining);
+            self.busy_remaining -= k;
+            self.extra_cycles += k;
+            if self.busy_remaining == 0 {
+                self.span_start = self.total_cycles();
+                self.pipeline.resume();
+            }
+            return Ok((StepOutcome::BnnBusy { remaining: self.busy_remaining }, k));
+        }
+        self.step_one().map(|outcome| (outcome, 1))
+    }
 }
 
 #[cfg(test)]
@@ -755,6 +804,45 @@ mod step_tests {
             atomic.timeline().spans(),
             "mode timelines must agree"
         );
+    }
+
+    /// `step_n` is a bulk fast-forward: driving the core with large jumps
+    /// must land in exactly the state a cycle-by-cycle `step_one` loop
+    /// reaches — same clock, registers, stats, and mode timeline.
+    #[test]
+    fn step_n_is_equivalent_to_step_one() {
+        let mk = || {
+            let mut c = NcpuCore::new(
+                small_model(),
+                ncpu_accel::AccelConfig::default(),
+                SwitchPolicy::Naive, // nonzero switch cost ⇒ long busy regions
+            );
+            let p = program(&c);
+            c.load_program(p);
+            c
+        };
+        let mut single = mk();
+        loop {
+            if matches!(single.step_one().unwrap(), StepOutcome::Halted) {
+                break;
+            }
+        }
+        for jump in [2u64, 7, 1_000_000] {
+            let mut bulk = mk();
+            let mut consumed = 0u64;
+            loop {
+                let (outcome, k) = bulk.step_n(jump).unwrap();
+                consumed += k;
+                if matches!(outcome, StepOutcome::Halted) {
+                    break;
+                }
+            }
+            assert_eq!(bulk.total_cycles(), single.total_cycles(), "jump={jump}");
+            assert_eq!(consumed, bulk.total_cycles(), "every cycle accounted, jump={jump}");
+            assert_eq!(bulk.pipeline().reg(Reg::A0), single.pipeline().reg(Reg::A0));
+            assert_eq!(bulk.stats(), single.stats());
+            assert_eq!(bulk.timeline().spans(), single.timeline().spans());
+        }
     }
 
     /// Stepping past halt stays halted without advancing the clock.

@@ -291,22 +291,26 @@ pub fn validate_run_artifact(doc: &Json) -> Result<(), String> {
 }
 
 /// Checks a parsed Chrome `trace_event` document: required per-event
-/// fields and — the CI gate — every non-metadata event name must be in
-/// [`KNOWN_EVENT_NAMES`].
+/// fields, every non-metadata event name in [`KNOWN_EVENT_NAMES`] (the
+/// CI gate), and per-lane timestamp order — within one `(pid, tid)`
+/// lane the `ts` values must be non-decreasing in document order.
+/// The exporter sorts events before emission, so a backwards lane means
+/// a worker raced the recorder; `trace_check` exits nonzero on it.
 pub fn validate_chrome_trace(doc: &Json) -> Result<(), String> {
     let events = doc
         .get("traceEvents")
         .and_then(Json::as_arr)
         .ok_or("trace: missing \"traceEvents\" array")?;
+    let mut lane_ts: Vec<((f64, f64), f64)> = Vec::new();
     for event in events {
         let name = require_str(event, "name", "trace event")?;
         let ph = require_str(event, "ph", &format!("event \"{name}\""))?;
-        require_num(event, "pid", &format!("event \"{name}\""))?;
-        require_num(event, "tid", &format!("event \"{name}\""))?;
+        let pid = require_num(event, "pid", &format!("event \"{name}\""))?;
+        let tid = require_num(event, "tid", &format!("event \"{name}\""))?;
         if ph == "M" {
             continue; // metadata (thread names) — no timestamp, any name
         }
-        require_num(event, "ts", &format!("event \"{name}\""))?;
+        let ts = require_num(event, "ts", &format!("event \"{name}\""))?;
         if ph == "X" {
             require_num(event, "dur", &format!("event \"{name}\""))?;
         } else if ph != "i" {
@@ -314,6 +318,16 @@ pub fn validate_chrome_trace(doc: &Json) -> Result<(), String> {
         }
         if !KNOWN_EVENT_NAMES.contains(&name) {
             return Err(format!("unknown event kind \"{name}\""));
+        }
+        match lane_ts.iter_mut().find(|(lane, _)| *lane == (pid, tid)) {
+            Some((_, last)) if ts < *last => {
+                return Err(format!(
+                    "event \"{name}\": lane (pid {pid}, tid {tid}) goes backwards: \
+                     ts {ts} after {last}"
+                ));
+            }
+            Some((_, last)) => *last = ts,
+            None => lane_ts.push(((pid, tid), ts)),
         }
     }
     Ok(())
@@ -348,6 +362,29 @@ mod tests {
         .unwrap();
         let err = validate_chrome_trace(&doc).unwrap_err();
         assert!(err.contains("unknown event kind"), "{err}");
+    }
+
+    #[test]
+    fn validator_flags_out_of_order_lane_timestamps() {
+        // Interleaved lanes are fine as long as each lane's own clock
+        // only moves forward...
+        let ok = parse(
+            r#"{"traceEvents":[
+                {"name":"retire","ph":"i","ts":5,"pid":0,"tid":0,"s":"t"},
+                {"name":"retire","ph":"i","ts":1,"pid":0,"tid":1,"s":"t"},
+                {"name":"retire","ph":"i","ts":5,"pid":0,"tid":0,"s":"t"}]}"#,
+        )
+        .unwrap();
+        validate_chrome_trace(&ok).expect("interleaved monotone lanes are valid");
+        // ...but a single lane stepping backwards is a hard failure.
+        let bad = parse(
+            r#"{"traceEvents":[
+                {"name":"retire","ph":"i","ts":5,"pid":0,"tid":0,"s":"t"},
+                {"name":"retire","ph":"i","ts":4,"pid":0,"tid":0,"s":"t"}]}"#,
+        )
+        .unwrap();
+        let err = validate_chrome_trace(&bad).unwrap_err();
+        assert!(err.contains("goes backwards"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,35 @@
+//! The `trace_check` CLI gate itself: a Chrome trace whose lane
+//! timestamps run backwards (the signature of a worker racing the
+//! recorder) must make the binary exit nonzero, and a good trace must
+//! keep it at zero. The bad input is a pinned regression fixture shared
+//! with the workspace-level golden files.
+
+use std::process::Command;
+
+const FIXTURE: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden/trace_lane_regression.json");
+const GOOD: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden/trace_tiny.json");
+
+#[test]
+fn exits_nonzero_on_out_of_order_lane_fixture() {
+    let out = Command::new(env!("CARGO_BIN_EXE_trace_check"))
+        .arg(FIXTURE)
+        .output()
+        .expect("trace_check runs");
+    assert!(!out.status.success(), "out-of-order lane fixture must fail the gate");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("goes backwards"), "unexpected diagnostic: {stderr}");
+}
+
+#[test]
+fn exits_zero_on_well_formed_trace() {
+    let out = Command::new(env!("CARGO_BIN_EXE_trace_check"))
+        .arg(GOOD)
+        .output()
+        .expect("trace_check runs");
+    assert!(
+        out.status.success(),
+        "golden trace must pass: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

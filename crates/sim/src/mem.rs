@@ -1,5 +1,6 @@
 //! Banked SRAM model with the address arbiter of paper Fig. 4(b).
 
+use std::cell::Cell;
 use std::error::Error;
 use std::fmt;
 
@@ -213,6 +214,13 @@ impl SramBank {
 pub struct AddressArbiter {
     banks: Vec<SramBank>,
     bases: Vec<u32>,
+    /// Most-recently-hit bank: the single-requester fast path. Simulated
+    /// access streams are heavily bank-local (a CPU phase hammers the data
+    /// cache, an inference phase streams one weight bank), so checking the
+    /// last hit first turns the linear scan into O(1) for the common case.
+    /// A `Cell` because `resolve` is logically read-only; the hint only
+    /// affects speed, never which bank an address maps to.
+    last_hit: Cell<usize>,
 }
 
 impl AddressArbiter {
@@ -277,9 +285,17 @@ impl AddressArbiter {
     ///
     /// Returns [`MemError::Unmapped`] if no bank covers `addr`.
     pub fn resolve(&self, addr: u32) -> Result<(BankId, u32), MemError> {
+        let hint = self.last_hit.get();
+        if let Some(bank) = self.banks.get(hint) {
+            let base = self.bases[hint];
+            if addr >= base && (addr as u64) < base as u64 + bank.capacity() as u64 {
+                return Ok((BankId(hint), addr - base));
+            }
+        }
         for (i, bank) in self.banks.iter().enumerate() {
             let base = self.bases[i];
             if addr >= base && (addr as u64) < base as u64 + bank.capacity() as u64 {
+                self.last_hit.set(i);
                 return Ok((BankId(i), addr - base));
             }
         }
@@ -369,6 +385,24 @@ mod tests {
         assert_eq!(arb.bank(b).writes(), 1);
         assert_eq!(arb.read(0x110, 4).unwrap(), 2);
         assert_eq!(arb.total_accesses(), 3);
+    }
+
+    #[test]
+    fn arbiter_fast_path_never_changes_routing() {
+        // Alternate between banks so the MRU hint is wrong on every other
+        // access; resolution must be identical to a fresh arbiter's.
+        let mut arb = AddressArbiter::new();
+        arb.add_bank("a", 0, 64);
+        arb.add_bank("b", 0x100, 64);
+        arb.add_bank("c", 0x200, 64);
+        for round in 0..3 {
+            for (addr, want) in [(0x10u32, 0usize), (0x210, 2), (0x110, 1), (0x3f, 0)] {
+                let (id, off) = arb.resolve(addr).unwrap();
+                assert_eq!(id.index(), want, "round {round} addr {addr:#x}");
+                assert_eq!(off, addr & 0xff, "round {round} addr {addr:#x}");
+            }
+            assert!(matches!(arb.resolve(0x300), Err(MemError::Unmapped { .. })));
+        }
     }
 
     #[test]

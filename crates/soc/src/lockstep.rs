@@ -124,6 +124,42 @@ pub fn run_ncpu_lockstep_traced(
     let mut l2_conflicts = 0u64;
     let budget = 2_000_000_000u64;
     loop {
+        // Idle-region fast-forward: when every unfinished core is either
+        // waiting out a DMA staging stall or counting down a BNN busy
+        // region, no core can touch the L2 port and no event is emitted
+        // until the earliest of those regions ends — busy cycles are pure
+        // countdown (see `NcpuCore::busy_remaining`) and stalled cores do
+        // not step at all. Jumping the global clock there in one step is
+        // byte-identical to the cycle-by-cycle loop, only faster.
+        let mut skip = u64::MAX;
+        let mut idle_bound = false;
+        for st in &states {
+            let distance = if st.active {
+                st.core.busy_remaining()
+            } else {
+                if st.at >= st.queue.len() {
+                    continue; // parked for good: no bound
+                }
+                st.stalled_until.saturating_sub(clock)
+            };
+            idle_bound = true;
+            skip = skip.min(distance);
+            if skip <= 1 {
+                break; // some core acts this or next cycle: nothing to gain
+            }
+        }
+        if idle_bound && skip > 1 {
+            for st in states.iter_mut() {
+                if st.active {
+                    st.core.step_n(skip).expect("busy countdown cannot fault");
+                    st.busy += skip;
+                }
+            }
+            clock += skip;
+            assert!(clock < budget, "lock-step run exceeded {budget} cycles");
+            continue;
+        }
+
         let mut all_done = true;
         let mut l2_port_taken = false;
         for (c, st) in states.iter_mut().enumerate() {

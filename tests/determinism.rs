@@ -76,6 +76,86 @@ fn training_is_bit_reproducible() {
     assert_eq!(a, b, "trained artifacts must be byte-identical");
 }
 
+/// Parallel minibatch training reduces per-sample gradients in fixed
+/// sample order, so the exported model must be byte-identical for any
+/// worker count — `NCPU_THREADS=1` (pure serial, no threads spawned)
+/// versus `NCPU_THREADS=8` here.
+///
+/// Flipping the process-global `NCPU_THREADS` mid-suite is safe precisely
+/// because of the property under test: no output in this workspace may
+/// depend on it.
+#[test]
+fn training_is_thread_count_invariant() {
+    use ncpu::bnn::data::Dataset;
+    use ncpu::bnn::train::{train, TrainConfig};
+    let inputs: Vec<BitVec> =
+        (0..40u32).map(|i| BitVec::from_bools((0..24).map(move |b| (i >> (b % 6)) & 1 == 1))).collect();
+    let labels: Vec<usize> = inputs.iter().map(|x| (x.count_ones() % 3 == 0) as usize).collect();
+    let data = Dataset::new(inputs, labels, 2);
+    let topo = Topology::new(24, vec![12, 8], 2);
+    let cfg = TrainConfig { epochs: 4, ..TrainConfig::default() };
+    let at = |threads: &str| {
+        std::env::set_var("NCPU_THREADS", threads);
+        let bytes = ncpu::bnn::io::to_bytes(&train(&topo, &data, &cfg));
+        std::env::remove_var("NCPU_THREADS");
+        bytes
+    };
+    assert_eq!(
+        at("1"),
+        at("8"),
+        "trained artifacts must not depend on the worker count"
+    );
+}
+
+/// Runs `f` once under each `NCPU_THREADS` value and asserts the two
+/// outputs are byte-identical, restoring whatever value the suite was
+/// launched with (ci.sh runs this file under both `NCPU_THREADS=1` and
+/// `NCPU_THREADS=4`).
+fn thread_count_invariant<F: Fn() -> String>(a: &str, b: &str, f: F) {
+    let prev = std::env::var("NCPU_THREADS").ok();
+    std::env::set_var("NCPU_THREADS", a);
+    let out_a = f();
+    std::env::set_var("NCPU_THREADS", b);
+    let out_b = f();
+    match prev {
+        Some(v) => std::env::set_var("NCPU_THREADS", v),
+        None => std::env::remove_var("NCPU_THREADS"),
+    }
+    assert_eq!(out_a, out_b, "output differs between NCPU_THREADS={a} and NCPU_THREADS={b}");
+}
+
+/// Fig. 13 fans its latency sweep out through the pool; the rendered
+/// figure must be byte-identical whether the pool is one worker (pure
+/// serial, no threads spawned) or eight.
+#[test]
+fn fig13_report_is_thread_count_invariant() {
+    thread_count_invariant("1", "8", || {
+        ncpu_bench::experiments::run_by_id("fig13").expect("known id").to_string()
+    });
+}
+
+/// The exported RUN_*.json and Chrome-trace artifacts must not depend on
+/// the worker count either — pool parallelism lives strictly outside the
+/// traced simulation.
+#[test]
+fn trace_artifacts_are_thread_count_invariant() {
+    thread_count_invariant("1", "8", || {
+        let uc = UseCase::motion(2, 4, 2);
+        let (dual, rec) = run_traced(
+            &uc,
+            SystemConfig::Ncpu { cores: 2 },
+            &SocConfig::default(),
+            TraceLevel::Full,
+        );
+        let artifact = dual.artifact(uc.name(), &rec);
+        format!(
+            "{}\n{}",
+            artifact.to_json(),
+            ncpu::obs::chrome_trace(&rec, &dual.thread_names())
+        )
+    });
+}
+
 #[test]
 fn power_model_is_pure() {
     let pm = PowerModel::default();

@@ -69,6 +69,35 @@ fn lockfile_has_no_external_packages() {
     }
 }
 
+/// The parallel execution layer must stay dependency-free: determinism
+/// and offline builds both lean on `ncpu-par` being pure `std::thread`
+/// plus channels. Its lockfile stanza may list workspace crates only
+/// (today: just the dev-dependency on the testkit).
+#[test]
+fn ncpu_par_has_no_external_dependencies() {
+    let lock = lockfile();
+    let packages = packages(&lock);
+    let par = packages
+        .iter()
+        .find(|p| field(p, "name") == Some("ncpu-par"))
+        .expect("ncpu-par in Cargo.lock");
+    let mut in_deps = false;
+    for line in par {
+        if *line == "dependencies = [" {
+            in_deps = true;
+        } else if in_deps {
+            if *line == "]" {
+                break;
+            }
+            let dep = line.trim_matches(|c| c == '"' || c == ',');
+            assert!(
+                dep.starts_with("ncpu-"),
+                "ncpu-par depends on non-workspace crate `{dep}`"
+            );
+        }
+    }
+}
+
 #[test]
 fn lockfile_covers_every_workspace_crate() {
     let lock = lockfile();
