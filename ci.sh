@@ -7,6 +7,13 @@ set -eux
 cargo build --release --offline
 cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps -q
+
+# Scenario/Engine smoke: a 4-core lock-step co-simulation must complete
+# end to end and agree with the analytic engine (ext_lockstep hands the
+# same Scenario to both engines at 1/2/4 cores and asserts identical
+# classifications).
+NCPU_TRACE=off cargo run --release --offline -p ncpu-bench --bin paper ext_lockstep
 
 # Observability smoke: a fully traced end-to-end run must emit RUN_/TRACE_
 # artifacts that the in-tree checker accepts (unknown event kinds and

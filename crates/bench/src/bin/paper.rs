@@ -34,11 +34,14 @@ fn main() {
 
     let level = TraceLevel::from_env();
     if level != TraceLevel::Off {
-        let uc = ncpu_soc::UseCase::image(4, 60, 25);
-        let soc = ncpu_soc::SocConfig::default();
-        let (report, rec) =
-            ncpu_soc::run_traced(&uc, ncpu_soc::SystemConfig::Ncpu { cores: 2 }, &soc, level);
-        let artifact = report.artifact(uc.name(), &rec);
+        use ncpu_soc::Engine;
+        let scenario = ncpu_soc::Scenario::new(
+            ncpu_soc::UseCase::image(4, 60, 25),
+            ncpu_soc::SystemConfig::Ncpu { cores: 2 },
+        )
+        .with_trace(level);
+        let (report, rec) = ncpu_soc::Analytic.run(&scenario);
+        let artifact = report.artifact(scenario.usecase().name(), &rec);
         match ncpu_obs::write_artifacts(&artifact, &rec, &report.thread_names()) {
             Ok((run_path, trace_path)) => {
                 eprintln!("trace artifacts: {} and {}", run_path.display(), trace_path.display());

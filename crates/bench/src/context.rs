@@ -68,6 +68,12 @@ pub fn trained_motion() -> (BnnModel, f64) {
     (model, acc)
 }
 
+/// The DVFS sweep grid the power figures share: 0.40 V to 1.00 V in
+/// 50 mV steps (the paper's measured operating range).
+pub fn voltage_grid() -> Vec<f64> {
+    (0..=12).map(|i| 0.4 + 0.05 * i as f64).collect()
+}
+
 /// Formats a fraction as a percentage with one decimal.
 pub fn pct(x: f64) -> String {
     format!("{:.1}%", x * 100.0)

@@ -1,17 +1,21 @@
 //! End-to-end experiments: Fig. 1, Figs. 13–17 and Table IV.
+//!
+//! Every system run is described by a [`Scenario`] and executed through
+//! the [`Engine`] trait (the fast [`Analytic`] engine here), so the
+//! `ncpu-par` fan-outs hand whole scenarios to the pool instead of
+//! ad-hoc tuples — see EXPERIMENTS.md for the figure → scenario map.
 
 use ncpu_bnn::data::{digits, motion};
 use ncpu_power::{AreaModel, PowerModel};
-use ncpu_soc::{energy, phases, run, run_independent, SocConfig, SystemConfig, UseCase};
+use ncpu_soc::{
+    energy, phases, run_independent, Analytic, Engine, Scenario, SocConfig, SystemConfig,
+    UseCase,
+};
 use ncpu_workloads::{image, motion as motion_prog, Tail};
 use ncpu_testkit::rng::Rng;
 
 use crate::context::{image_pseudo_model, motion_pseudo_model, pct};
 use crate::Report;
-
-fn soc() -> SocConfig {
-    SocConfig::default()
-}
 
 /// Cycles one image/window spends in the accelerator array.
 fn infer_cycles(model: &ncpu_bnn::BnnModel) -> u64 {
@@ -19,6 +23,14 @@ fn infer_cycles(model: &ncpu_bnn::BnnModel) -> u64 {
     (0..topo.layers().len())
         .map(|l| topo.layer_input(l) as u64 + ncpu_accel::SIGN_CYCLES)
         .sum()
+}
+
+/// The baseline-vs-dual pair of scenarios every headline figure runs.
+fn versus_dual(uc: &UseCase) -> [Scenario; 2] {
+    [
+        Scenario::new(uc.clone(), SystemConfig::Heterogeneous),
+        Scenario::new(uc.clone(), SystemConfig::Ncpu { cores: 2 }),
+    ]
 }
 
 /// Measured CPU pre-processing cycles of each use case.
@@ -70,60 +82,64 @@ pub fn fig01() -> Report {
 /// Fig. 13: end-to-end gain at CPU workload fractions 40% and 70%.
 pub fn fig13() -> Report {
     let model = image_pseudo_model(100);
-    // One pool task per CPU-fraction point; each returns its block of
-    // report lines, concatenated in sweep order.
-    let blocks = ncpu_par::par_map_indexed(
-        vec![(0.4, 0.285), (0.7, 0.412)],
-        |_, (fraction, paper)| {
-            let uc = UseCase::parametric(fraction, 2, model.clone());
-            let base = run(&uc, SystemConfig::Heterogeneous, &soc());
-            let dual = run(&uc, SystemConfig::Ncpu { cores: 2 }, &soc());
-            let mut block = vec![format!(
-                "CPU fraction {}: baseline {} cy, 2×NCPU {} cy → improvement {} (paper {})",
-                pct(fraction),
-                base.makespan,
-                dual.makespan,
-                pct(dual.improvement_over(&base)),
-                pct(paper)
-            )];
-            for core in &base.cores {
-                block.push(format!(
-                    "  baseline {:<10} util {}",
-                    core.role,
-                    pct(core.utilization(base.makespan))
-                ));
-            }
-            for core in &dual.cores {
-                block.push(format!(
-                    "  ncpu     {:<10} util {}",
-                    core.role,
-                    pct(core.utilization(dual.makespan))
-                ));
-            }
-            block
-        },
-    );
-    let lines: Vec<String> = blocks.into_iter().flatten().collect();
+    let points = [(0.4, 0.285), (0.7, 0.412)];
+    // One pool task per scenario (baseline and dual for each fraction);
+    // reports come back in sweep order.
+    let scenarios: Vec<Scenario> = points
+        .iter()
+        .flat_map(|&(fraction, _)| versus_dual(&UseCase::parametric(fraction, 2, model.clone())))
+        .collect();
+    let reports = ncpu_par::par_map_indexed(scenarios, |_, s| Analytic.report(&s));
+    let mut lines = Vec::new();
+    for (k, &(fraction, paper)) in points.iter().enumerate() {
+        let (base, dual) = (&reports[2 * k], &reports[2 * k + 1]);
+        lines.push(format!(
+            "CPU fraction {}: baseline {} cy, 2×NCPU {} cy → improvement {} (paper {})",
+            pct(fraction),
+            base.makespan,
+            dual.makespan,
+            pct(dual.improvement_over(base)),
+            pct(paper)
+        ));
+        for core in &base.cores {
+            lines.push(format!(
+                "  baseline {:<10} util {}",
+                core.role,
+                pct(core.utilization(base.makespan))
+            ));
+        }
+        for core in &dual.cores {
+            lines.push(format!(
+                "  ncpu     {:<10} util {}",
+                core.role,
+                pct(core.utilization(dual.makespan))
+            ));
+        }
+    }
     Report { id: "fig13", title: "core utilization and gain vs CPU workload fraction", lines }
 }
 
 /// Fig. 14: end-to-end benefit vs image batch size at 70% CPU fraction.
 pub fn fig14() -> Report {
     let model = image_pseudo_model(100);
+    let batches = [2usize, 6, 10, 20, 50, 100];
     let mut lines =
         vec![format!("{:>6} {:>12} {:>12} {:>12}", "batch", "baseline cy", "2xNCPU cy", "gain")];
-    // One pool task per batch size, rows collected in sweep order.
-    lines.extend(ncpu_par::par_map_indexed(vec![2usize, 6, 10, 20, 50, 100], |_, batch| {
-        let uc = UseCase::parametric(0.7, batch, model.clone());
-        let base = run(&uc, SystemConfig::Heterogeneous, &soc());
-        let dual = run(&uc, SystemConfig::Ncpu { cores: 2 }, &soc());
-        format!(
+    // One pool task per scenario, rows assembled in sweep order.
+    let scenarios: Vec<Scenario> = batches
+        .iter()
+        .flat_map(|&batch| versus_dual(&UseCase::parametric(0.7, batch, model.clone())))
+        .collect();
+    let reports = ncpu_par::par_map_indexed(scenarios, |_, s| Analytic.report(&s));
+    for (k, batch) in batches.iter().enumerate() {
+        let (base, dual) = (&reports[2 * k], &reports[2 * k + 1]);
+        lines.push(format!(
             "{batch:>6} {:>12} {:>12} {:>12}",
             base.makespan,
             dual.makespan,
-            pct(dual.improvement_over(&base))
-        )
-    }));
+            pct(dual.improvement_over(base))
+        ));
+    }
     lines.push("paper: gain declines with batch but stays above 37% at batch 100".to_string());
     Report { id: "fig14", title: "end-to-end benefit vs image batch size", lines }
 }
@@ -175,8 +191,9 @@ pub fn fig15() -> Report {
 /// Fig. 16: power traces of the image use case, baseline vs two NCPUs.
 pub fn fig16() -> Report {
     let uc = UseCase::image(2, 2, 1); // timing-only: tiny training
-    let base = run(&uc, SystemConfig::Heterogeneous, &soc());
-    let dual = run(&uc, SystemConfig::Ncpu { cores: 2 }, &soc());
+    let [s_base, s_dual] = versus_dual(&uc).map(|s| s.with_operating_point(1.0));
+    let base = Analytic.report(&s_base);
+    let dual = Analytic.report(&s_dual);
     let pm = PowerModel::default();
     let am = AreaModel::default();
     let mut lines = vec![format!(
@@ -185,9 +202,9 @@ pub fn fig16() -> Report {
         dual.makespan,
         pct(dual.improvement_over(&base))
     )];
-    for (name, report) in [("baseline", &base), ("2x ncpu", &dual)] {
+    for (name, scenario, report) in [("baseline", &s_base, &base), ("2x ncpu", &s_dual, &dual)] {
         let bucket = (report.makespan / 24).max(1);
-        let traces = energy::power_traces(report, &pm, &am, 100, 1.0, bucket);
+        let traces = energy::power_traces(report, &pm, &am, 100, scenario.volts(), bucket);
         for (core, trace) in report.cores.iter().zip(&traces) {
             let samples = trace.samples();
             let peak = samples.iter().cloned().fold(1.0e-9, f64::max);
@@ -215,8 +232,7 @@ pub fn table4() -> Report {
     // leaves ~1%, so the balanced run is the comparable row).
     let balanced = UseCase::parametric(0.76, 2, image_pseudo_model(100));
     for (tag, uc) in [("image use case", &uc), ("paper's CPU/BNN balance", &balanced)] {
-        let base = run(uc, SystemConfig::Heterogeneous, &soc());
-        let dual = run(uc, SystemConfig::Ncpu { cores: 2 }, &soc());
+        let [base, dual] = versus_dual(uc).map(|s| Analytic.report(&s));
         lines.push(format!("{tag}:"));
         for (name, report) in [("baseline", &base), ("2x ncpu", &dual)] {
             for core in &report.cores {
@@ -246,9 +262,12 @@ pub fn fig17() -> Report {
         ("image", UseCase::image(2, 2, 1), 0.43, 0.138),
         ("motion", UseCase::motion(2, 4, 1), 0.35, 0.018),
     ] {
-        let base = run(&uc, SystemConfig::Heterogeneous, &soc());
-        let single = run(&uc, SystemConfig::Ncpu { cores: 1 }, &soc());
-        let dual = run(&uc, SystemConfig::Ncpu { cores: 2 }, &soc());
+        let nominal = Scenario::new(uc, SystemConfig::Heterogeneous).with_operating_point(1.0);
+        let base = Analytic.report(&nominal);
+        let single = Analytic
+            .report(&Scenario::new(nominal.usecase().clone(), SystemConfig::Ncpu { cores: 1 }));
+        let dual = Analytic
+            .report(&Scenario::new(nominal.usecase().clone(), SystemConfig::Ncpu { cores: 2 }));
         let single_delta = single.makespan as f64 / base.makespan as f64 - 1.0;
         lines.push(format!(
             "{name}: normalized latency — 1 NCPU {:.3} (paper +{:.1}%), CPU+BNN 1.000, \
@@ -263,7 +282,7 @@ pub fn fig17() -> Report {
              (paper: up to 74%; our measured-fit f(V) curve is shallower above \
              0.7 V, so the voltage-scaling conversion yields less)",
             pct(dual.improvement_over(&base)),
-            pct(energy::equivalent_energy_saving(&dual, &base, &pm, &am, 100, 1.0))
+            pct(energy::equivalent_energy_saving(&dual, &base, &pm, &am, 100, nominal.volts()))
         ));
     }
     Report { id: "fig17", title: "end-to-end improvement for the two use cases", lines }
@@ -275,12 +294,12 @@ pub fn fig17() -> Report {
 pub fn ext_multiprogram() -> Report {
     let image = UseCase::image(2, 2, 1);
     let motion = UseCase::motion(2, 4, 1);
-    let soc = soc();
+    let soc = SocConfig::default();
     let (a, b) = run_independent(&image, &motion, &soc);
     // Heterogeneous comparison: the single CPU+accelerator pair must run
     // the two task batches back to back.
-    let h_img = run(&image, SystemConfig::Heterogeneous, &soc);
-    let h_mot = run(&motion, SystemConfig::Heterogeneous, &soc);
+    let h_img = Analytic.report(&Scenario::new(image, SystemConfig::Heterogeneous));
+    let h_mot = Analytic.report(&Scenario::new(motion, SystemConfig::Heterogeneous));
     let serial = h_img.makespan + h_mot.makespan;
     let concurrent = a.makespan.max(b.makespan);
     let lines = vec![

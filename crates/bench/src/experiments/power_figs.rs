@@ -5,12 +5,8 @@ use ncpu_power::{
 };
 use ncpu_workloads::kernels;
 
-use crate::context::{mhz, pct};
+use crate::context::{mhz, pct, voltage_grid};
 use crate::Report;
-
-fn voltage_grid() -> Vec<f64> {
-    (0..=12).map(|i| 0.4 + 0.05 * i as f64).collect()
-}
 
 /// Fig. 9: measured power, frequency, energy and BNN efficiency vs supply
 /// voltage for both operating modes.

@@ -1,10 +1,14 @@
 //! Fig. 18, Fig. 19 and the ablation studies.
+//!
+//! System runs are described as [`Scenario`] values and executed through
+//! the [`Engine`] trait; the `ncpu-par` fan-outs hand scenarios to the
+//! pool directly.
 
 use ncpu_bnn::{BitVec, BnnLayer, BnnModel, Topology};
 use ncpu_core::SwitchPolicy;
 use ncpu_nalu::{cost, normalized_error, AluTask};
 use ncpu_power::AreaModel;
-use ncpu_soc::{run, SocConfig, SystemConfig, UseCase};
+use ncpu_soc::{Analytic, Engine, Lockstep, Scenario, SocConfig, SystemConfig, UseCase};
 
 use crate::context::{image_pseudo_model, pct, trained_digits};
 use crate::Report;
@@ -63,15 +67,16 @@ pub fn fig19() -> Report {
 pub fn ablation_switch() -> Report {
     let model = image_pseudo_model(100);
     let uc = UseCase::parametric(0.7, 8, model);
-    // One pool task per switch policy; order fixed by the config list.
-    let configs = [
+    // One pool task per switch policy; order fixed by the scenario list.
+    let scenarios: Vec<Scenario> = [
         SocConfig::default(),
         SocConfig { switch_policy: SwitchPolicy::Naive, ..SocConfig::default() },
-    ];
-    let mut reports = ncpu_par::par_map_indexed(configs.to_vec(), |_, soc| {
-        run(&uc, SystemConfig::Ncpu { cores: 1 }, &soc)
-    })
-    .into_iter();
+    ]
+    .into_iter()
+    .map(|soc| Scenario::new(uc.clone(), SystemConfig::Ncpu { cores: 1 }).with_soc(soc))
+    .collect();
+    let mut reports =
+        ncpu_par::par_map_indexed(scenarios, |_, s| Analytic.report(&s)).into_iter();
     let (zero, naive) = (reports.next().expect("two configs"), reports.next().expect("two configs"));
     let lines = vec![
         format!("zero-latency switching: {} cycles", zero.makespan),
@@ -92,14 +97,15 @@ pub fn ablation_switch() -> Report {
 pub fn ablation_pipelining() -> Report {
     let model = image_pseudo_model(100);
     let uc = UseCase::parametric(0.3, 8, model);
-    let configs = [
+    let scenarios: Vec<Scenario> = [
         SocConfig::default(),
         SocConfig { layer_pipelining: false, ..SocConfig::default() },
-    ];
-    let mut reports = ncpu_par::par_map_indexed(configs.to_vec(), |_, soc| {
-        run(&uc, SystemConfig::Heterogeneous, &soc)
-    })
-    .into_iter();
+    ]
+    .into_iter()
+    .map(|soc| Scenario::new(uc.clone(), SystemConfig::Heterogeneous).with_soc(soc))
+    .collect();
+    let mut reports =
+        ncpu_par::par_map_indexed(scenarios, |_, s| Analytic.report(&s)).into_iter();
     let (piped, serial) =
         (reports.next().expect("two configs"), reports.next().expect("two configs"));
     let lines = vec![
@@ -120,11 +126,13 @@ pub fn ablation_pipelining() -> Report {
 pub fn ablation_offload() -> Report {
     let model = image_pseudo_model(100);
     let uc = UseCase::parametric(0.7, 4, model);
-    let systems = [SystemConfig::Heterogeneous, SystemConfig::Ncpu { cores: 2 }];
-    let mut reports = ncpu_par::par_map_indexed(systems.to_vec(), |_, sys| {
-        run(&uc, sys, &SocConfig::default())
-    })
-    .into_iter();
+    let scenarios: Vec<Scenario> =
+        [SystemConfig::Heterogeneous, SystemConfig::Ncpu { cores: 2 }]
+            .into_iter()
+            .map(|sys| Scenario::new(uc.clone(), sys))
+            .collect();
+    let mut reports =
+        ncpu_par::par_map_indexed(scenarios, |_, s| Analytic.report(&s)).into_iter();
     let (base, dual) =
         (reports.next().expect("two systems"), reports.next().expect("two systems"));
     // Per item the baseline moves the packed input CPU→L2→accelerator; the
@@ -151,9 +159,10 @@ pub fn ablation_offload() -> Report {
 }
 
 /// Extension (paper Section VIII-A): deeper BNNs than the 4-layer array —
-/// single-core layer rollback vs two NCPU cores connected in series.
+/// single-core layer rollback vs NCPU cores connected in series, driven
+/// through the `Deep` engine with a [`UseCase::deep`] scenario.
 pub fn ext_deep() -> Report {
-    use ncpu_soc::deep;
+    use ncpu_soc::Deep;
     // An 8-layer, 100-neuron logical network.
     let topo = Topology::new(784, vec![100; 8], 10);
     let layers = (0..8)
@@ -169,23 +178,37 @@ pub fn ext_deep() -> Report {
     let inputs: Vec<BitVec> = (0..16)
         .map(|k| BitVec::from_bools((0..784).map(|i| (i + k * 13) % 5 < 2)))
         .collect();
-    let soc = SocConfig::default();
-    let rolled = deep::run_rolled(&deep_model, &inputs, &soc);
-    let series = deep::run_series(&deep_model, &inputs, &soc);
-    assert_eq!(rolled.outputs, series.outputs, "modes must agree functionally");
+    let uc = UseCase::deep(deep_model, &inputs);
+    // One pool task per core count: 1 → rollback, 2 → series.
+    let scenarios: Vec<Scenario> = [1usize, 2]
+        .into_iter()
+        .map(|cores| Scenario::new(uc.clone(), SystemConfig::Ncpu { cores }))
+        .collect();
+    let mut runs = ncpu_par::par_map_indexed(scenarios, |_, s| Deep.run(&s)).into_iter();
+    let (rolled, rolled_rec) = runs.next().expect("two modes");
+    let (series, series_rec) = runs.next().expect("two modes");
+    assert_eq!(rolled.predictions, series.predictions, "modes must agree functionally");
+    let (r_first, r_steady) = (
+        rolled_rec.counters().get("deep.first_latency"),
+        rolled_rec.counters().get("deep.steady_interval"),
+    );
+    let (s_first, s_steady) = (
+        series_rec.counters().get("deep.first_latency"),
+        series_rec.counters().get("deep.steady_interval"),
+    );
     let lines = vec![
         "8-layer × 100-neuron network on the 4-layer physical array (batch 16):".to_string(),
         format!(
             "  rollback (1 core):  first image {} cy, steady interval {} cy, total {} cy",
-            rolled.first_latency, rolled.steady_interval, rolled.total_cycles
+            r_first, r_steady, rolled.makespan
         ),
         format!(
             "  series   (2 cores): first image {} cy, steady interval {} cy, total {} cy",
-            series.first_latency, series.steady_interval, series.total_cycles
+            s_first, s_steady, series.makespan
         ),
         format!(
             "  series throughput gain: {:.2}× (two cores hold all 8 layers resident)",
-            rolled.steady_interval as f64 / series.steady_interval as f64
+            r_steady as f64 / s_steady as f64
         ),
         "paper: 'deeper BNN … supported by rolling back the BNN operation or \
          connecting two cores in series'"
@@ -219,8 +242,12 @@ pub fn ablation_interface() -> Report {
                 dma_setup_cycles: setup,
                 ..SocConfig::default()
             };
-            let base = run(&uc, SystemConfig::Heterogeneous, &soc);
-            let dual = run(&uc, SystemConfig::Ncpu { cores: 2 }, &soc);
+            let base = Analytic.report(
+                &Scenario::new(uc.clone(), SystemConfig::Heterogeneous).with_soc(soc),
+            );
+            let dual = Analytic.report(
+                &Scenario::new(uc.clone(), SystemConfig::Ncpu { cores: 2 }).with_soc(soc),
+            );
             format!(
                 "{label:<34} {:>12} {:>10}",
                 base.makespan,
@@ -238,32 +265,32 @@ pub fn ablation_interface() -> Report {
 }
 
 /// Validation: the fast analytic SoC scheduler against the cycle-stepped
-/// lock-step co-simulation with real L2 arbitration.
+/// lock-step co-simulation with real L2 arbitration — the same `Scenario`
+/// handed to both engines, out to four cores.
 pub fn ext_lockstep() -> Report {
-    use ncpu_soc::lockstep::run_ncpu_lockstep;
     let model = image_pseudo_model(100);
     let uc = UseCase::parametric(0.6, 8, model);
-    let soc = SocConfig::default();
     let mut lines = vec![format!(
         "{:<8} {:>14} {:>14} {:>9} {:>14}",
         "cores", "analytic cy", "lockstep cy", "delta", "L2 conflicts"
     )];
-    for cores in [1usize, 2] {
-        let analytic = run(&uc, SystemConfig::Ncpu { cores }, &soc);
-        let lockstep = run_ncpu_lockstep(&uc, cores, &soc);
-        assert_eq!(analytic.predictions, lockstep.report.predictions);
+    for cores in [1usize, 2, 4] {
+        let scenario = Scenario::new(uc.clone(), SystemConfig::Ncpu { cores });
+        let analytic = Analytic.report(&scenario);
+        let (lockstep, rec) = Lockstep.run(&scenario);
+        assert_eq!(analytic.predictions, lockstep.predictions);
         lines.push(format!(
             "{cores:<8} {:>14} {:>14} {:>8.2}% {:>14}",
             analytic.makespan,
-            lockstep.report.makespan,
-            (lockstep.report.makespan as f64 / analytic.makespan as f64 - 1.0) * 100.0,
-            lockstep.l2_conflict_cycles
+            lockstep.makespan,
+            (lockstep.makespan as f64 / analytic.makespan as f64 - 1.0) * 100.0,
+            rec.counters().get("soc.l2_conflict_cycles")
         ));
     }
     lines.push(
-        "cycle-level co-simulation confirms the analytic scheduler: identical \
-         classifications, sub-percent makespans, and near-zero shared-L2 \
-         contention (the memory-reuse scheme keeps traffic local)"
+        "cycle-level co-simulation confirms the analytic scheduler at every core \
+         count: identical classifications, sub-percent makespans, and near-zero \
+         shared-L2 contention (the memory-reuse scheme keeps traffic local)"
             .to_string(),
     );
     Report { id: "ext_lockstep", title: "analytic scheduler vs lock-step co-simulation", lines }

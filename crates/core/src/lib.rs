@@ -59,4 +59,6 @@ mod ncpu;
 
 pub use l2::SharedL2;
 pub use mem::NcpuMem;
-pub use ncpu::{CoreError, CoreStats, NcpuCore, StepOutcome, SwitchPolicy, TRANSITION_NEURONS};
+pub use ncpu::{
+    CoreError, CoreStats, NcpuCore, StepOutcome, SwitchDma, SwitchPolicy, TRANSITION_NEURONS,
+};

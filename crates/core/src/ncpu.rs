@@ -30,10 +30,36 @@ pub enum SwitchPolicy {
     Naive,
 }
 
-/// Bytes per cycle the DMA sustains when the naive policy reloads weights.
-const NAIVE_DMA_BYTES_PER_CYCLE: u64 = 4;
 /// Data-cache working set the naive policy reloads after BNN→CPU.
 const NAIVE_DCACHE_PRELOAD_BYTES: u64 = 1024;
+
+/// DMA parameters the [`SwitchPolicy::Naive`] reloads pay, mirroring the
+/// SoC fabric's DMA engine (`setup + ceil(bytes / bandwidth)` per
+/// transfer) so the switch-cost ablation tracks the configured fabric
+/// instead of a hardcoded bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchDma {
+    /// Bytes per cycle one reload transfer sustains.
+    pub bytes_per_cycle: u32,
+    /// Per-transfer setup latency in cycles.
+    pub setup_cycles: u64,
+}
+
+impl Default for SwitchDma {
+    /// The SoC fabric's default DMA operating point (4 B/cy, 16-cycle
+    /// setup).
+    fn default() -> SwitchDma {
+        SwitchDma { bytes_per_cycle: 4, setup_cycles: 16 }
+    }
+}
+
+impl SwitchDma {
+    /// Cycles one reload of `bytes` occupies: setup plus streaming at the
+    /// configured bandwidth.
+    pub const fn transfer_cycles(&self, bytes: u64) -> u64 {
+        self.setup_cycles + bytes.div_ceil(self.bytes_per_cycle as u64)
+    }
+}
 
 /// Counters of one NCPU core.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -118,6 +144,8 @@ pub enum StepOutcome {
 pub struct NcpuCore {
     pipeline: Pipeline<NcpuMem>,
     policy: SwitchPolicy,
+    /// DMA operating point the naive switch policy reloads pay.
+    switch_dma: SwitchDma,
     transition: [u32; TRANSITION_NEURONS],
     stats: CoreStats,
     /// Cycles spent outside the pipeline clock (BNN phases + switch costs).
@@ -152,6 +180,7 @@ impl NcpuCore {
         NcpuCore {
             pipeline: Pipeline::with_config(Vec::new(), mem, PipelineConfig::default()),
             policy,
+            switch_dma: SwitchDma::default(),
             transition: [0; TRANSITION_NEURONS],
             stats: CoreStats::default(),
             extra_cycles: 0,
@@ -180,6 +209,18 @@ impl NcpuCore {
     /// The switch policy in force.
     pub const fn policy(&self) -> SwitchPolicy {
         self.policy
+    }
+
+    /// The DMA operating point charged by [`SwitchPolicy::Naive`] reloads.
+    pub const fn switch_dma(&self) -> SwitchDma {
+        self.switch_dma
+    }
+
+    /// Sets the DMA operating point for naive-switch reloads. The SoC
+    /// layer calls this with its fabric DMA parameters so the ablation
+    /// tracks `SocConfig`; no effect under [`SwitchPolicy::ZeroLatency`].
+    pub fn set_switch_dma(&mut self, dma: SwitchDma) {
+        self.switch_dma = dma;
     }
 
     /// Core counters.
@@ -335,11 +376,12 @@ impl NcpuCore {
             self.obs.phase(0, "cpu", self.span_start, switch_at);
         }
 
-        // Naive policy: reload every packed weight before inference.
+        // Naive policy: reload every packed weight before inference, one
+        // DMA transfer at the configured fabric operating point.
         let switch_in = match self.policy {
             SwitchPolicy::ZeroLatency => 0,
             SwitchPolicy::Naive => {
-                self.accel().packed_weight_bytes() as u64 / NAIVE_DMA_BYTES_PER_CYCLE
+                self.switch_dma.transfer_cycles(self.accel().packed_weight_bytes() as u64)
             }
         };
         if switch_in > 0 {
@@ -391,7 +433,7 @@ impl NcpuCore {
         // Switch back: naive policy reloads the data cache.
         let switch_back = match self.policy {
             SwitchPolicy::ZeroLatency => 0,
-            SwitchPolicy::Naive => NAIVE_DCACHE_PRELOAD_BYTES / NAIVE_DMA_BYTES_PER_CYCLE,
+            SwitchPolicy::Naive => self.switch_dma.transfer_cycles(NAIVE_DCACHE_PRELOAD_BYTES),
         };
         if switch_back > 0 {
             self.obs.phase(0, "switch", bnn_end, bnn_end + switch_back);
@@ -594,6 +636,35 @@ mod tests {
             naive.pipeline().reg(Reg::A0),
             "policy never changes results"
         );
+    }
+
+    #[test]
+    fn naive_switch_cost_tracks_dma_parameters() {
+        let mk = |dma| {
+            let mut core =
+                NcpuCore::new(small_model(), AccelConfig::default(), SwitchPolicy::Naive);
+            core.set_switch_dma(dma);
+            let program = classify_program(&core, 0x1234_5678, 1);
+            core.load_program(program);
+            core.run(10_000_000).unwrap();
+            core
+        };
+        let narrow = mk(SwitchDma { bytes_per_cycle: 4, setup_cycles: 16 });
+        let wide = mk(SwitchDma { bytes_per_cycle: 32, setup_cycles: 4 });
+        assert!(
+            wide.stats().switch_overhead_cycles < narrow.stats().switch_overhead_cycles,
+            "a wider, cheaper DMA must shrink the naive reload stall"
+        );
+        // The charged stall is exactly two transfers at the configured
+        // operating point: weights in, data cache back.
+        let bytes = narrow.accel().packed_weight_bytes() as u64;
+        for core in [&narrow, &wide] {
+            let dma = core.switch_dma();
+            assert_eq!(
+                core.stats().switch_overhead_cycles,
+                dma.transfer_cycles(bytes) + dma.transfer_cycles(1024)
+            );
+        }
     }
 
     #[test]

@@ -79,7 +79,8 @@ pub enum EventKind {
         /// Cycle the batch completed.
         end: u64,
     },
-    /// A labelled execution phase (`cpu`, `bnn`, `switch`, `front`, `back`).
+    /// A labelled execution phase (`cpu`, `bnn`, `switch`, `front`,
+    /// `mid`, `back`).
     Phase {
         /// Phase label; must be one of [`KNOWN_PHASE_LABELS`].
         label: String,
@@ -89,7 +90,8 @@ pub enum EventKind {
 }
 
 /// Phase labels the exporters and the well-formedness checker accept.
-pub const KNOWN_PHASE_LABELS: &[&str] = &["cpu", "bnn", "switch", "dma", "front", "back"];
+pub const KNOWN_PHASE_LABELS: &[&str] =
+    &["cpu", "bnn", "switch", "dma", "front", "mid", "back"];
 
 /// Every stable event name the Chrome-trace checker accepts, phase
 /// labels included.
@@ -110,6 +112,7 @@ pub const KNOWN_EVENT_NAMES: &[&str] = &[
     "bnn",
     "switch",
     "front",
+    "mid",
     "back",
 ];
 

@@ -1,17 +1,19 @@
 //! Deeper networks than the physical array (paper Section VIII-A):
-//! single-core layer rollback vs two NCPU cores connected in series.
+//! single-core layer rollback vs NCPU cores connected in series.
 //!
 //! "In our NCPU SoC, deeper BNN with more layers can be supported by
 //! rolling back the BNN operation or connecting two cores in series."
 //! Rollback re-uses one core's four physical layers for all logical
 //! layers (half the throughput); series mode splits the network across
-//! both cores so each image streams front-half → link → back-half.
+//! N cores so each image streams segment 0 → link → … → segment N−1.
+//! The paper builds the two-core split; [`run_series_n`] generalizes it
+//! to any segment count.
 
-use ncpu_accel::{AccelConfig, Accelerator, BatchRun};
+use ncpu_accel::{Accelerator, BatchRun};
 use ncpu_bnn::{BitVec, BnnLayer, BnnModel, Topology};
 use ncpu_obs::{Recorder, TraceLevel};
-use ncpu_sim::DmaEngine;
 
+use crate::fabric;
 use crate::system::SocConfig;
 
 /// Splits a deep model into `(front, back)` halves for series execution.
@@ -48,6 +50,38 @@ pub fn split_model(deep: &BnnModel, split: usize) -> (BnnModel, BnnModel) {
         back_layers,
     );
     (front, back)
+}
+
+/// Splits a deep model into `segments` contiguous sub-models for N-core
+/// series execution. Segment boundaries fall at `layers * i / segments`,
+/// so `segments == 2` reproduces [`split_model`] at `layers / 2` exactly.
+/// Interior segments' "classes" are their full final layer (every
+/// activation bit crosses the link).
+///
+/// # Panics
+///
+/// Panics unless `1 ≤ segments ≤ layers`.
+pub fn split_model_n(deep: &BnnModel, segments: usize) -> Vec<BnnModel> {
+    let layers = deep.layers().len();
+    assert!(
+        (1..=layers).contains(&segments),
+        "need 1..=({layers}) segments, got {segments}"
+    );
+    if segments == 1 {
+        return vec![deep.clone()];
+    }
+    let mut parts = Vec::with_capacity(segments);
+    let mut rest = deep.clone();
+    for s in 0..segments - 1 {
+        // Boundary between global layer indices, re-based onto `rest`.
+        let done = layers * s / segments;
+        let cut = layers * (s + 1) / segments - done;
+        let (seg, tail) = split_model(&rest, cut);
+        parts.push(seg);
+        rest = tail;
+    }
+    parts.push(rest);
+    parts
 }
 
 /// Outcome of a deep-model batch run.
@@ -96,17 +130,13 @@ pub fn run_rolled_traced(
         widest,
         deep.topology().classes().min(widest),
     ));
-    let mut accel = Accelerator::new(
-        physical,
-        AccelConfig { layer_pipelining: soc.layer_pipelining, ..AccelConfig::default() },
-    );
+    let mut accel = Accelerator::new(physical, fabric::accel_config(soc));
     accel.set_obs_level(level.at_least_counters());
     let timed: Vec<(BitVec, u64)> = inputs.iter().map(|i| (i.clone(), 0)).collect();
     let run: DeepRun = accel.run_batch_deep(deep, &timed).into();
     rec.absorb(accel.obs_mut(), 0, 0);
     rec.set_counter("accel.busy_cycles", accel.stats().busy_cycles);
-    rec.set_counter("run.makespan_cycles", run.total_cycles);
-    rec.set_counter("run.items", inputs.len() as u64);
+    fabric::set_run_counters(&mut rec, run.total_cycles, inputs.len());
     (run, rec)
 }
 
@@ -127,46 +157,71 @@ pub fn run_series_traced(
     soc: &SocConfig,
     level: TraceLevel,
 ) -> (DeepRun, Recorder) {
+    run_series_n_traced(deep, inputs, soc, 2, level)
+}
+
+/// Runs `deep` split across `segments` NCPU cores in series (the N-core
+/// generalization of [`run_series`]): each image streams through segment
+/// 0, crosses the shared inter-core link (DMA-costed), and so on until
+/// the final segment classifies it, with every segment pipelining across
+/// images.
+///
+/// The recorder carries one phase lane per segment — labelled `front`,
+/// `mid`…, `back` — the link's DMA spans on lane `segments`, per-segment
+/// `core{s}.busy_cycles` counters, and the total `deep.link_bytes`.
+///
+/// # Panics
+///
+/// Panics unless `2 ≤ segments ≤ layers`.
+pub fn run_series_n_traced(
+    deep: &BnnModel,
+    inputs: &[BitVec],
+    soc: &SocConfig,
+    segments: usize,
+    level: TraceLevel,
+) -> (DeepRun, Recorder) {
+    assert!(segments >= 2, "series mode needs at least two segments");
     let mut rec = Recorder::new(level.at_least_counters());
-    let split = deep.layers().len() / 2;
-    let (front, back) = split_model(deep, split);
-    let accel_cfg =
-        AccelConfig { layer_pipelining: soc.layer_pipelining, ..AccelConfig::default() };
-    let mut core0 = Accelerator::new(front.clone(), accel_cfg);
-    let mut core1 = Accelerator::new(back.clone(), accel_cfg);
-    let mut link = DmaEngine::new(soc.dma_bytes_per_cycle, soc.dma_setup_cycles);
-    link.set_trace_level(level.at_least_counters());
+    let parts = split_model_n(deep, segments);
+    let mut link = fabric::new_dma(soc, level);
 
-    let timed: Vec<(BitVec, u64)> = inputs.iter().map(|i| (i.clone(), 0)).collect();
-    let front_run = core0.run_batch_timed(&timed);
-    for &(s, e) in &front_run.spans {
-        rec.phase(0, "front", s, e);
+    let mut timed: Vec<(BitVec, u64)> = inputs.iter().map(|i| (i.clone(), 0)).collect();
+    let mut total_link_bytes = 0u64;
+    let mut last_run: Option<BatchRun> = None;
+    for (s, part) in parts.iter().enumerate() {
+        let mut accel = Accelerator::new(part.clone(), fabric::accel_config(soc));
+        let run = accel.run_batch_timed(&timed);
+        let label = if s == 0 {
+            "front"
+        } else if s == parts.len() - 1 {
+            "back"
+        } else {
+            "mid"
+        };
+        for &(start, end) in &run.spans {
+            rec.phase(s as u16, label, start, end);
+        }
+        rec.set_counter(format!("core{s}.busy_cycles"), accel.stats().busy_cycles);
+        if s < parts.len() - 1 {
+            // This segment's activations (computed functionally) cross the
+            // link as each image completes, in image order.
+            let link_bytes =
+                part.topology().layers().last().expect("layers").div_ceil(8) as u32;
+            total_link_bytes += u64::from(link_bytes) * inputs.len() as u64;
+            let mut next = Vec::with_capacity(timed.len());
+            for ((input, _), &(_, end)) in timed.iter().zip(&run.spans) {
+                let acts = part.layer_outputs(input).last().expect("layers").clone();
+                let delivered = link.schedule(end, link_bytes);
+                next.push((acts, delivered));
+            }
+            timed = next;
+        }
+        last_run = Some(run);
     }
-
-    // Front activations (computed functionally) cross the link as each
-    // image completes the front half.
-    let link_bytes = front.topology().layers().last().expect("layers").div_ceil(8) as u32;
-    let mut back_inputs = Vec::with_capacity(inputs.len());
-    for (input, &(_, end)) in inputs.iter().zip(
-        front_run
-            .spans
-            .iter()
-            .map(|&(s, e)| (s, e))
-            .collect::<Vec<_>>()
-            .iter(),
-    ) {
-        let acts = front.layer_outputs(input).last().expect("layers").clone();
-        let delivered = link.schedule(end, link_bytes);
-        back_inputs.push((acts, delivered));
-    }
-    let back_run = core1.run_batch_timed(&back_inputs);
-    for &(s, e) in &back_run.spans {
-        rec.phase(1, "back", s, e);
-    }
-    rec.set_counter("deep.link_bytes", u64::from(link_bytes) * inputs.len() as u64);
-    crate::system::snapshot_dma(&mut rec, &mut link, 2);
-    rec.set_counter("run.makespan_cycles", back_run.total_cycles);
-    rec.set_counter("run.items", inputs.len() as u64);
+    let back_run = last_run.expect("at least two segments");
+    rec.set_counter("deep.link_bytes", total_link_bytes);
+    fabric::snapshot_dma(&mut rec, &mut link, segments as u16);
+    fabric::set_run_counters(&mut rec, back_run.total_cycles, inputs.len());
 
     // Functional check: the series result must equal the whole model.
     debug_assert!(back_run
@@ -185,10 +240,10 @@ pub fn run_series_traced(
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
 
-    fn deep_model(layers: usize) -> BnnModel {
+    pub(crate) fn deep_model(layers: usize) -> BnnModel {
         let topo = Topology::new(48, vec![20; layers], 8);
         let built = (0..layers)
             .map(|l| {
@@ -204,7 +259,7 @@ mod tests {
         BnnModel::new(topo, built)
     }
 
-    fn inputs(n: usize) -> Vec<BitVec> {
+    pub(crate) fn inputs(n: usize) -> Vec<BitVec> {
         (0..n).map(|k| BitVec::from_bools((0..48).map(|i| (i + k) % 3 == 0))).collect()
     }
 
@@ -215,6 +270,34 @@ mod tests {
         for input in inputs(6) {
             let acts = front.layer_outputs(&input).last().unwrap().clone();
             assert_eq!(back.classify(&acts), deep.classify(&input));
+        }
+    }
+
+    #[test]
+    fn split_n_matches_two_way_split_and_preserves_function() {
+        let deep = deep_model(8);
+        let parts = split_model_n(&deep, 2);
+        let (front, back) = split_model(&deep, 4);
+        assert_eq!(parts[0].topology().layers(), front.topology().layers());
+        assert_eq!(parts[1].topology().layers(), back.topology().layers());
+        for segments in [1usize, 2, 3, 4] {
+            let parts = split_model_n(&deep, segments);
+            assert_eq!(parts.len(), segments);
+            assert_eq!(
+                parts.iter().map(|p| p.layers().len()).sum::<usize>(),
+                deep.layers().len()
+            );
+            for input in inputs(3) {
+                let mut acts = input.clone();
+                for part in &parts[..segments - 1] {
+                    acts = part.layer_outputs(&acts).last().unwrap().clone();
+                }
+                assert_eq!(
+                    parts.last().unwrap().classify(&acts),
+                    deep.classify(&input),
+                    "{segments} segments"
+                );
+            }
         }
     }
 
@@ -246,6 +329,30 @@ mod tests {
             rolled.steady_interval
         );
         assert!(series.total_cycles < rolled.total_cycles);
+    }
+
+    #[test]
+    fn four_segment_series_pipelines_deeper() {
+        let deep = deep_model(8);
+        let ins = inputs(12);
+        let soc = SocConfig::default();
+        let (two, _) = run_series_n_traced(&deep, &ins, &soc, 2, TraceLevel::Counters);
+        let (four, rec) = run_series_n_traced(&deep, &ins, &soc, 4, TraceLevel::Counters);
+        let reference: Vec<usize> = ins.iter().map(|i| deep.classify(i)).collect();
+        assert_eq!(four.outputs, reference);
+        // Shorter segments drain faster between completions.
+        assert!(
+            four.steady_interval <= two.steady_interval,
+            "4-seg {} vs 2-seg {}",
+            four.steady_interval,
+            two.steady_interval
+        );
+        // One phase lane per segment plus the link lane, with mid labels.
+        assert!(rec.counters().get("core3.busy_cycles") > 0);
+        assert!(rec
+            .spans()
+            .iter()
+            .any(|e| matches!(&e.kind, ncpu_obs::EventKind::Phase { label, .. } if label == "mid")));
     }
 
     #[test]

@@ -1,0 +1,274 @@
+//! The shared SoC fabric: everything the run paths have in common.
+//!
+//! Before the Scenario/Engine refactor the analytic scheduler
+//! (`system.rs`), the lock-step co-simulation (`lockstep.rs`) and the
+//! deep-network series mode (`deep.rs`) each carried private copies of
+//! the result-mailbox layout, program construction, DMA staging, cycle
+//! budgets and report assembly. This module is the single owner of all
+//! of it, so the three engines cannot drift:
+//!
+//! * [`result_addr`] — the per-core L2 result mailbox layout,
+//! * [`ncpu_program`] / [`hetero_program`] — program construction for
+//!   every [`UseCaseKind`],
+//! * [`run_item`] — DMA staging plus one program execution under the
+//!   shared [`ITEM_BUDGET`],
+//! * [`ncpu_pool`] / [`ncpu_core`] — core construction, wired to the
+//!   `SocConfig` (shared L2, trace level, naive-switch DMA parameters),
+//! * [`assemble_ncpu_report`] — counter snapshots, DMA lane absorption
+//!   and [`RunReport`] assembly.
+
+use ncpu_accel::AccelConfig;
+use ncpu_core::{NcpuCore, SharedL2, SwitchDma};
+use ncpu_isa::asm;
+use ncpu_obs::Recorder;
+use ncpu_obs::TraceLevel;
+use ncpu_sim::stats::Timeline;
+use ncpu_sim::DmaEngine;
+use ncpu_workloads::{image, motion as motion_prog, Tail};
+
+use crate::report::{CoreReport, RunReport};
+use crate::system::SocConfig;
+use crate::usecase::{UseCase, UseCaseKind};
+
+/// Cycle budget per item (well above the heaviest program).
+pub const ITEM_BUDGET: u64 = 200_000_000;
+
+/// Bytes of the shared L2 every engine attaches its cores to.
+pub const L2_BYTES: usize = 256 * 1024;
+
+/// L2 address where core `c` writes its classification results — the
+/// one mailbox layout every engine shares.
+pub const fn result_addr(core: usize) -> u32 {
+    0x40 + core as u32 * 4
+}
+
+/// The accelerator configuration the SoC's cores run with.
+pub(crate) fn accel_config(soc: &SocConfig) -> AccelConfig {
+    AccelConfig { layer_pipelining: soc.layer_pipelining, ..AccelConfig::default() }
+}
+
+/// The fabric DMA engine, traced at `Counters` or above so report
+/// timelines can always show the DMA lane.
+pub(crate) fn new_dma(soc: &SocConfig, level: TraceLevel) -> DmaEngine {
+    let mut dma = DmaEngine::new(soc.dma_bytes_per_cycle, soc.dma_setup_cycles);
+    dma.set_trace_level(level.at_least_counters());
+    dma
+}
+
+/// Builds one NCPU core attached to `l2`, wired to the SoC config: obs
+/// level set, and the naive-switch reload cost tracking the fabric's
+/// DMA parameters (instead of the core's built-in default).
+pub(crate) fn ncpu_core(
+    uc: &UseCase,
+    soc: &SocConfig,
+    level: TraceLevel,
+    l2: SharedL2,
+) -> NcpuCore {
+    let mut core = NcpuCore::with_l2(uc.model().clone(), accel_config(soc), soc.switch_policy, l2);
+    core.set_obs_level(level);
+    core.set_switch_dma(SwitchDma {
+        bytes_per_cycle: soc.dma_bytes_per_cycle,
+        setup_cycles: soc.dma_setup_cycles,
+    });
+    core
+}
+
+/// Builds the `cores`-way NCPU pool on a fresh shared L2, plus each
+/// core's program targeting its [`result_addr`] mailbox.
+pub(crate) fn ncpu_pool(
+    uc: &UseCase,
+    soc: &SocConfig,
+    level: TraceLevel,
+    cores: usize,
+) -> (SharedL2, Vec<NcpuCore>, Vec<Vec<u32>>) {
+    assert!(cores >= 1, "need at least one core");
+    let l2 = SharedL2::new(L2_BYTES);
+    let pool: Vec<NcpuCore> =
+        (0..cores).map(|_| ncpu_core(uc, soc, level, l2.clone())).collect();
+    let programs: Vec<Vec<u32>> = pool
+        .iter()
+        .enumerate()
+        .map(|(c, core)| ncpu_program(uc, core, result_addr(c)))
+        .collect();
+    (l2, pool, programs)
+}
+
+/// Builds the NCPU-mode program for `uc`: pre-process, classify in
+/// place, write the result word to the `result_l2` mailbox.
+///
+/// # Panics
+///
+/// Panics on [`UseCaseKind::Deep`] — deep use cases run on the `Deep`
+/// engine, which schedules the accelerator arrays directly.
+pub(crate) fn ncpu_program(uc: &UseCase, core: &NcpuCore, result_l2: u32) -> Vec<u32> {
+    let tail = Tail::NcpuClassify { output_base: core.output_base(), result_l2 };
+    match uc.kind() {
+        UseCaseKind::Image => image::preprocess_program(
+            &image::ImageLayout::default(),
+            core.image_base(),
+            tail,
+        ),
+        UseCaseKind::Motion => motion_prog::feature_program(
+            &motion_prog::MotionLayout::default(),
+            core.image_base(),
+            tail,
+        ),
+        UseCaseKind::Parametric => {
+            let src = format!(
+                "{}\n{}",
+                uc.spin_source().expect("parametric use case"),
+                tail.asm(0)
+            );
+            asm::assemble(&src).expect("parametric NCPU program")
+        }
+        UseCaseKind::Deep => panic!("deep use cases run on the Deep engine"),
+    }
+}
+
+/// Builds the heterogeneous-baseline program for `uc`: pre-process on
+/// the standalone CPU, then offload the packed input.
+///
+/// # Panics
+///
+/// Panics on [`UseCaseKind::Deep`] — deep use cases run on the `Deep`
+/// engine.
+pub(crate) fn hetero_program(uc: &UseCase) -> Vec<u32> {
+    let tail = Tail::Offload;
+    match uc.kind() {
+        UseCaseKind::Image => {
+            let layout = image::ImageLayout::default();
+            image::preprocess_program(&layout, layout.pack, tail)
+        }
+        UseCaseKind::Motion => {
+            let layout = motion_prog::MotionLayout::default();
+            motion_prog::feature_program(&layout, layout.pack, tail)
+        }
+        UseCaseKind::Parametric => {
+            let src = format!(
+                "{}\n{}",
+                uc.spin_source().expect("parametric use case"),
+                tail.asm(0)
+            );
+            asm::assemble(&src).expect("parametric offload program")
+        }
+        UseCaseKind::Deep => panic!("deep use cases run on the Deep engine"),
+    }
+}
+
+/// Local address where the heterogeneous CPU program packs the BNN
+/// input.
+pub(crate) fn hetero_pack_offset(uc: &UseCase) -> u32 {
+    match uc.kind() {
+        UseCaseKind::Image => image::ImageLayout::default().pack,
+        UseCaseKind::Motion => motion_prog::MotionLayout::default().pack,
+        UseCaseKind::Parametric => 0,
+        UseCaseKind::Deep => panic!("deep use cases run on the Deep engine"),
+    }
+}
+
+/// Stages one item and runs one program to completion on `core`,
+/// starting no earlier than `now` (global cycles). Returns
+/// `(end_time, used)` and drains the core's recorder shard into `rec`
+/// as lane `lane`, re-based to global time.
+pub(crate) fn run_item(
+    core: &mut NcpuCore,
+    program: &[u32],
+    staged: &[u8],
+    now: u64,
+    dma: &mut DmaEngine,
+    rec: &mut Recorder,
+    lane: u16,
+) -> (u64, u64) {
+    let start = if staged.is_empty() {
+        now
+    } else {
+        let delivered = dma.schedule(now, staged.len() as u32);
+        let banks = core.pipeline_mut().mem_mut().accel_mut().banks_mut();
+        let (bank, off) = banks.resolve(0).expect("data cache starts at 0");
+        banks.bank_mut(bank).load(off as usize, staged);
+        delivered
+    };
+    let internal_before = core.total_cycles();
+    core.load_program(program.to_vec());
+    core.run(ITEM_BUDGET).expect("NCPU program must complete");
+    let used = core.total_cycles() - internal_before;
+    // The core's shard holds only this item's events (earlier items were
+    // drained), all stamped ≥ internal_before on the core's unified
+    // clock; shift them onto the global clock.
+    let offset = start as i64 - internal_before as i64;
+    rec.absorb(core.obs_mut(), lane, offset);
+    (start + used, used)
+}
+
+/// Writes the per-core counter snapshot (`core{c}.*` namespace) from the
+/// core's cheap stat structs — counters are sampled at collection points,
+/// never updated on the simulation hot path.
+pub(crate) fn snapshot_core_counters(rec: &mut Recorder, c: usize, core: &NcpuCore) {
+    let ps = core.pipeline().stats();
+    rec.set_counter(format!("core{c}.cycles"), ps.cycles);
+    rec.set_counter(format!("core{c}.retired"), ps.retired);
+    rec.set_counter(format!("core{c}.stall.load_use"), ps.load_use_stalls);
+    rec.set_counter(format!("core{c}.stall.flush"), ps.flush_cycles);
+    rec.set_counter(format!("core{c}.stall.ex"), ps.ex_stall_cycles);
+    rec.set_counter(format!("core{c}.stall.mem"), ps.mem_stall_cycles);
+    let cs = core.stats();
+    rec.set_counter(format!("core{c}.switches"), cs.switches);
+    rec.set_counter(format!("core{c}.images_inferred"), cs.images_inferred);
+    rec.set_counter(format!("core{c}.bnn_cycles"), cs.bnn_cycles);
+    rec.set_counter(format!("core{c}.switch_overhead_cycles"), cs.switch_overhead_cycles);
+}
+
+/// Writes the DMA lane snapshot and absorbs its span events onto lane
+/// `lane` (global cycles, so offset 0).
+pub(crate) fn snapshot_dma(rec: &mut Recorder, dma: &mut DmaEngine, lane: u16) {
+    rec.set_counter("dma.transfers", dma.transfers());
+    rec.set_counter("dma.bytes", dma.bytes_moved());
+    rec.absorb(dma.obs_mut(), lane, 0);
+}
+
+/// Sets the run-level counters every engine reports.
+pub(crate) fn set_run_counters(rec: &mut Recorder, makespan: u64, items: usize) {
+    rec.set_counter("run.makespan_cycles", makespan);
+    rec.set_counter("run.items", items as u64);
+}
+
+/// What a finished NCPU-pool run produced, independent of which engine
+/// executed the schedule.
+pub(crate) struct RunOutcome {
+    pub config: String,
+    pub makespan: u64,
+    pub predictions: Vec<usize>,
+}
+
+/// Assembles the final NCPU-pool report: snapshots every core's
+/// counters and the DMA lane, sets the run counters, and derives one
+/// `ncpu{c}` [`CoreReport`] per core from the recorder's span stream.
+pub(crate) fn assemble_ncpu_report(
+    rec: &mut Recorder,
+    dma: &mut DmaEngine,
+    pool: &[NcpuCore],
+    busy: &[u64],
+    usecase: &UseCase,
+    outcome: RunOutcome,
+) -> RunReport {
+    let RunOutcome { config, makespan, predictions } = outcome;
+    for (c, core) in pool.iter().enumerate() {
+        snapshot_core_counters(rec, c, core);
+    }
+    snapshot_dma(rec, dma, pool.len() as u16);
+    set_run_counters(rec, makespan, usecase.items().len());
+    let cores = (0..pool.len())
+        .map(|c| CoreReport {
+            role: format!("ncpu{c}"),
+            timeline: Timeline::from_obs_events(rec.spans(), c as u16),
+            busy_cycles: busy[c],
+        })
+        .collect();
+    RunReport {
+        config,
+        makespan,
+        cores,
+        predictions,
+        labels: usecase.items().iter().map(|i| i.label).collect(),
+    }
+}

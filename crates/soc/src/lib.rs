@@ -15,19 +15,30 @@
 //! [`RunReport`] with the makespan, per-core busy/mode timelines,
 //! utilizations, predicted classes and energy — everything the paper's
 //! Figs. 13–17 and Table IV are made of.
+//!
+//! Prefer the [`Scenario`]/[`Engine`] layer for new code: one value
+//! describes the run (use case × system × fabric × trace × operating
+//! point) and the [`Analytic`], [`Lockstep`], and [`Deep`] engines
+//! execute it interchangeably, at any core count N ≥ 1. All three are
+//! built on one shared `fabric` module, so result mailboxes, program
+//! construction, DMA staging, and report assembly cannot drift apart.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod deep;
 pub mod energy;
+mod fabric;
 pub mod lockstep;
 pub mod phases;
 mod report;
+mod scenario;
 mod system;
 mod usecase;
 
+pub use fabric::{result_addr, ITEM_BUDGET, L2_BYTES};
 pub use report::{CoreReport, RunReport};
+pub use scenario::{Analytic, Deep, Engine, Lockstep, Scenario};
 pub use system::{run, run_independent, run_traced, SocConfig, SystemConfig};
 pub use usecase::{UseCase, UseCaseKind};
 

@@ -1,4 +1,4 @@
-//! Lock-step co-simulation of the two-core SoC.
+//! Lock-step co-simulation of the N-core SoC.
 //!
 //! The scheduler in [`crate::run`] simulates cores one item at a time with
 //! analytic fabric costs — fast, but it cannot see cycle-level interactions
@@ -6,22 +6,22 @@
 //! a single global clock and arbitrates the shared L2 port for real:
 //!
 //! * each core advances via [`NcpuCore::step_one`],
-//! * when **both** cores touch the L2 in the same cycle, the higher-
-//!   numbered core replays the cycle (single-ported L2 + round-robin-ish
-//!   priority),
-//! * item staging pays the same DMA cost as the analytic scheduler.
+//! * when several cores touch the L2 in the same cycle, the lowest-
+//!   numbered one wins the port and every other toucher replays the cycle
+//!   (single-ported L2 + fixed priority),
+//! * item staging pays the same DMA cost as the analytic scheduler, via
+//!   the shared [`crate::fabric`].
 //!
-//! The `lockstep_agrees_with_analytic_scheduler` test is the point: for
+//! The `lockstep_agrees_with_analytic_scheduler` matrix is the point: for
 //! the paper's workloads (local data, one result word written through per
-//! item), contention is negligible and the analytic model is sound.
+//! item), contention is negligible and the analytic model is sound — at
+//! any core count.
 
-use ncpu_accel::AccelConfig;
 use ncpu_core::{NcpuCore, SharedL2, StepOutcome};
 use ncpu_obs::{EventKind, Recorder, StallCause, TraceLevel};
-use ncpu_sim::stats::Timeline;
-use ncpu_sim::DmaEngine;
 
-use crate::report::{CoreReport, RunReport};
+use crate::fabric;
+use crate::report::RunReport;
 use crate::system::SocConfig;
 use crate::usecase::UseCase;
 
@@ -32,12 +32,6 @@ pub struct LockstepReport {
     pub report: RunReport,
     /// Cycles a core had to replay because the L2 port was taken.
     pub l2_conflict_cycles: u64,
-}
-
-/// L2 address where core `c` writes its classification results (same
-/// layout as the analytic scheduler).
-fn result_addr(core: usize) -> u32 {
-    0x40 + core as u32 * 4
 }
 
 /// Runs `usecase` on `cores` lock-stepped NCPU cores.
@@ -68,9 +62,7 @@ pub fn run_ncpu_lockstep_traced(
 ) -> (LockstepReport, Recorder) {
     assert!(cores >= 1, "need at least one core");
     let mut rec = Recorder::new(level.at_least_counters());
-    let l2 = SharedL2::new(256 * 1024);
-    let accel_cfg =
-        AccelConfig { layer_pipelining: soc.layer_pipelining, ..AccelConfig::default() };
+    let l2 = SharedL2::new(fabric::L2_BYTES);
 
     struct CoreState {
         core: NcpuCore,
@@ -92,18 +84,11 @@ pub fn run_ncpu_lockstep_traced(
         predictions: Vec<(usize, usize)>,
     }
 
-    let mut dma = DmaEngine::new(soc.dma_bytes_per_cycle, soc.dma_setup_cycles);
-    dma.set_trace_level(level.at_least_counters());
+    let mut dma = fabric::new_dma(soc, level);
     let mut states: Vec<CoreState> = (0..cores)
         .map(|c| {
-            let mut core = NcpuCore::with_l2(
-                usecase.model().clone(),
-                accel_cfg,
-                soc.switch_policy,
-                l2.clone(),
-            );
-            core.set_obs_level(level);
-            let program = crate::system::ncpu_program(usecase, &core, result_addr(c));
+            let core = fabric::ncpu_core(usecase, soc, level, l2.clone());
+            let program = fabric::ncpu_program(usecase, &core, fabric::result_addr(c));
             CoreState {
                 core,
                 program,
@@ -219,7 +204,7 @@ pub fn run_ncpu_lockstep_traced(
                 let offset = st.item_start as i64 - st.internal_start as i64;
                 rec.absorb(st.core.obs_mut(), c as u16, offset);
                 let idx = st.queue[st.at];
-                let addr = result_addr(idx % cores);
+                let addr = fabric::result_addr(idx % cores);
                 st.predictions
                     .push((idx, l2.read_word(addr).expect("result written") as usize));
                 st.at += 1;
@@ -237,64 +222,71 @@ pub fn run_ncpu_lockstep_traced(
 
     let makespan = states.iter().map(|s| s.finished_at).max().unwrap_or(0);
     let mut predictions = vec![0usize; usecase.items().len()];
-    let mut cores_report = Vec::with_capacity(cores);
-    for (c, st) in states.into_iter().enumerate() {
+    let mut pool = Vec::with_capacity(cores);
+    let mut busy = Vec::with_capacity(cores);
+    for st in states {
         for (idx, pred) in &st.predictions {
             predictions[*idx] = *pred;
         }
-        crate::system::snapshot_core_counters(&mut rec, c, &st.core);
-        cores_report.push(CoreReport {
-            role: format!("ncpu{c}"),
-            timeline: Timeline::from_obs_events(rec.spans(), c as u16),
-            busy_cycles: st.busy,
-        });
+        pool.push(st.core);
+        busy.push(st.busy);
     }
-    crate::system::snapshot_dma(&mut rec, &mut dma, cores as u16);
     rec.set_counter("soc.l2_conflict_cycles", l2_conflicts);
-    rec.set_counter("run.makespan_cycles", makespan);
-    rec.set_counter("run.items", usecase.items().len() as u64);
-    let report = LockstepReport {
-        report: RunReport {
+    let report = fabric::assemble_ncpu_report(
+        &mut rec,
+        &mut dma,
+        &pool,
+        &busy,
+        usecase,
+        fabric::RunOutcome {
             config: format!("{cores}x ncpu (lockstep)"),
             makespan,
-            cores: cores_report,
             predictions,
-            labels: usecase.items().iter().map(|i| i.label).collect(),
         },
-        l2_conflict_cycles: l2_conflicts,
-    };
-    (report, rec)
+    );
+    (LockstepReport { report, l2_conflict_cycles: l2_conflicts }, rec)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::system::{run, SystemConfig};
+    use crate::scenario::{Analytic, Engine, Lockstep, Scenario};
+    use crate::system::SystemConfig;
     use crate::usecase::UseCase;
+    use ncpu_core::SwitchPolicy;
 
     fn parametric(batch: usize) -> UseCase {
         UseCase::parametric(0.6, batch, crate::system::tests::pseudo_model(784, 30, 10))
     }
 
     /// The whole point of this module: the fast analytic scheduler and the
-    /// cycle-stepped co-simulation agree (small DMA-granularity slack).
+    /// cycle-stepped co-simulation agree (small DMA-granularity slack) —
+    /// across switch policies, core counts, and real workload kinds,
+    /// driven through the `Engine` trait.
     #[test]
     fn lockstep_agrees_with_analytic_scheduler() {
-        for cores in [1usize, 2] {
-            let uc = parametric(4);
-            let soc = SocConfig::default();
-            let analytic = run(&uc, SystemConfig::Ncpu { cores }, &soc);
-            let lockstep = run_ncpu_lockstep(&uc, cores, &soc);
-            assert_eq!(
-                lockstep.report.predictions, analytic.predictions,
-                "{cores} cores: same answers"
-            );
-            let a = analytic.makespan as f64;
-            let l = lockstep.report.makespan as f64;
-            assert!(
-                (l - a).abs() / a < 0.02,
-                "{cores} cores: lockstep {l} vs analytic {a}"
-            );
+        let usecases = [UseCase::image(4, 2, 1), UseCase::motion(4, 4, 2)];
+        for uc in &usecases {
+            for policy in [SwitchPolicy::ZeroLatency, SwitchPolicy::Naive] {
+                for cores in [1usize, 2, 4] {
+                    let soc = SocConfig { switch_policy: policy, ..SocConfig::default() };
+                    let scenario = Scenario::new(uc.clone(), SystemConfig::Ncpu { cores })
+                        .with_soc(soc);
+                    let (analytic, _) = Analytic.run(&scenario);
+                    let (lockstep, _) = Lockstep.run(&scenario);
+                    let tag = format!("{} {policy:?} {cores} cores", uc.name());
+                    assert_eq!(
+                        lockstep.predictions, analytic.predictions,
+                        "{tag}: same answers"
+                    );
+                    let a = analytic.makespan as f64;
+                    let l = lockstep.makespan as f64;
+                    assert!(
+                        (l - a).abs() / a < 0.02,
+                        "{tag}: lockstep {l} vs analytic {a}"
+                    );
+                }
+            }
         }
     }
 
@@ -311,10 +303,16 @@ mod tests {
     }
 
     #[test]
-    fn motion_items_classify_correctly_under_lockstep() {
-        let uc = UseCase::motion(3, 4, 2);
-        let lockstep = run_ncpu_lockstep(&uc, 2, &SocConfig::default());
-        let analytic = run(&uc, SystemConfig::Ncpu { cores: 2 }, &SocConfig::default());
+    fn four_way_arbitration_completes_and_agrees() {
+        let uc = parametric(8);
+        let soc = SocConfig::default();
+        let lockstep = run_ncpu_lockstep(&uc, 4, &soc);
+        let analytic =
+            crate::system::run(&uc, SystemConfig::Ncpu { cores: 4 }, &soc);
         assert_eq!(lockstep.report.predictions, analytic.predictions);
+        assert_eq!(lockstep.report.cores.len(), 4);
+        for core in &lockstep.report.cores {
+            assert!(core.busy_cycles > 0, "{} never ran", core.role);
+        }
     }
 }

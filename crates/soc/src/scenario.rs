@@ -1,0 +1,331 @@
+//! The `Scenario`/`Engine` layer: one description of *what* to run, three
+//! interchangeable simulators for *how* to run it.
+//!
+//! A [`Scenario`] bundles everything a run needs — the [`UseCase`], the
+//! [`SystemConfig`] (including the NCPU core count N ≥ 1), the
+//! [`SocConfig`] fabric parameters, the [`TraceLevel`], and an optional
+//! DVFS operating point — so experiments, the `paper` binary, and
+//! `ncpu-par` fan-out all pass one value instead of ad-hoc tuples.
+//!
+//! An [`Engine`] turns a scenario into a `(RunReport, Recorder)` pair.
+//! Three engines exist, all built on the shared [`crate::fabric`]:
+//!
+//! * [`Analytic`] — the fast per-item scheduler ([`crate::run_traced`]).
+//!   Use it for every figure/table sweep: items are independent, fabric
+//!   costs are analytic, and it is orders of magnitude faster than
+//!   cycle-stepping.
+//! * [`Lockstep`] — the cycle-stepped co-simulation with real N-way L2
+//!   port arbitration ([`crate::lockstep`]). Use it to *validate* the
+//!   analytic model or when cycle-level core interaction matters; NCPU
+//!   systems only.
+//! * [`Deep`] — the beyond-4-layer modes of paper Section VIII-A
+//!   ([`crate::deep`]): N = 1 rolls layers back onto one physical array,
+//!   N ≥ 2 connects cores in series. [`UseCaseKind::Deep`] use cases
+//!   only.
+//!
+//! N-core semantics are uniform across engines: items are assigned
+//! round-robin (`item i → core i % N`) on `Analytic`/`Lockstep`, while
+//! `Deep` interprets N as the number of series segments the model is
+//! split into.
+
+use ncpu_bnn::BitVec;
+use ncpu_obs::{Recorder, TraceLevel};
+use ncpu_sim::stats::Timeline;
+
+use crate::deep::{run_rolled_traced, run_series_n_traced};
+use crate::lockstep::run_ncpu_lockstep_traced;
+use crate::report::{CoreReport, RunReport};
+use crate::system::{run_traced, SocConfig, SystemConfig};
+use crate::usecase::{UseCase, UseCaseKind};
+
+/// A complete, self-contained description of one end-to-end run.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    usecase: UseCase,
+    system: SystemConfig,
+    soc: SocConfig,
+    trace: TraceLevel,
+    operating_point: Option<f64>,
+}
+
+impl Scenario {
+    /// Builds a scenario with the default fabric ([`SocConfig::default`]),
+    /// counter-level tracing, and no DVFS operating point.
+    pub fn new(usecase: UseCase, system: SystemConfig) -> Scenario {
+        Scenario {
+            usecase,
+            system,
+            soc: SocConfig::default(),
+            trace: TraceLevel::Counters,
+            operating_point: None,
+        }
+    }
+
+    /// Replaces the fabric parameters.
+    #[must_use]
+    pub fn with_soc(mut self, soc: SocConfig) -> Scenario {
+        self.soc = soc;
+        self
+    }
+
+    /// Replaces the trace level.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceLevel) -> Scenario {
+        self.trace = trace;
+        self
+    }
+
+    /// Pins the DVFS operating point (supply voltage in volts) used by
+    /// energy post-processing.
+    #[must_use]
+    pub fn with_operating_point(mut self, volts: f64) -> Scenario {
+        self.operating_point = Some(volts);
+        self
+    }
+
+    /// The workload.
+    pub fn usecase(&self) -> &UseCase {
+        &self.usecase
+    }
+
+    /// The system configuration.
+    pub const fn system(&self) -> SystemConfig {
+        self.system
+    }
+
+    /// The fabric parameters.
+    pub const fn soc(&self) -> &SocConfig {
+        &self.soc
+    }
+
+    /// The trace level engines run at.
+    pub const fn trace(&self) -> TraceLevel {
+        self.trace
+    }
+
+    /// The DVFS operating point, if pinned.
+    pub const fn operating_point(&self) -> Option<f64> {
+        self.operating_point
+    }
+
+    /// Supply voltage for energy post-processing: the pinned operating
+    /// point, or the nominal 1.0 V.
+    pub fn volts(&self) -> f64 {
+        self.operating_point.unwrap_or(1.0)
+    }
+
+    /// Number of NCPU cores the scenario schedules (the heterogeneous
+    /// baseline counts as 1 — its single standalone CPU).
+    pub const fn cores(&self) -> usize {
+        match self.system {
+            SystemConfig::Ncpu { cores } => cores,
+            SystemConfig::Heterogeneous => 1,
+        }
+    }
+}
+
+/// A simulator that can execute a [`Scenario`].
+///
+/// All engines return the standard [`RunReport`] plus the root
+/// [`Recorder`] (counters always populated; span/instant events per the
+/// scenario's trace level), so callers swap engines without touching
+/// their reporting code.
+pub trait Engine {
+    /// Stable short name (artifact/log tag).
+    fn name(&self) -> &'static str;
+
+    /// Runs the scenario to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario is outside the engine's domain (see each
+    /// engine's docs) or a generated program faults.
+    fn run(&self, scenario: &Scenario) -> (RunReport, Recorder);
+
+    /// Convenience: runs and keeps only the report.
+    fn report(&self, scenario: &Scenario) -> RunReport {
+        self.run(scenario).0
+    }
+}
+
+/// The fast analytic scheduler — handles every [`SystemConfig`] and every
+/// non-deep [`UseCaseKind`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Analytic;
+
+impl Engine for Analytic {
+    fn name(&self) -> &'static str {
+        "analytic"
+    }
+
+    fn run(&self, scenario: &Scenario) -> (RunReport, Recorder) {
+        run_traced(&scenario.usecase, scenario.system, &scenario.soc, scenario.trace)
+    }
+}
+
+/// The cycle-stepped co-simulation with real L2 arbitration — NCPU
+/// systems only.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lockstep;
+
+impl Engine for Lockstep {
+    fn name(&self) -> &'static str {
+        "lockstep"
+    }
+
+    fn run(&self, scenario: &Scenario) -> (RunReport, Recorder) {
+        let SystemConfig::Ncpu { cores } = scenario.system else {
+            panic!("the lock-step engine co-simulates NCPU cores, not the baseline");
+        };
+        let (lockstep, rec) =
+            run_ncpu_lockstep_traced(&scenario.usecase, cores, &scenario.soc, scenario.trace);
+        (lockstep.report, rec)
+    }
+}
+
+/// The beyond-4-layer deep-network engine: rollback on one core, series
+/// pipeline on N ≥ 2 — [`UseCaseKind::Deep`] use cases only.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Deep;
+
+impl Engine for Deep {
+    fn name(&self) -> &'static str {
+        "deep"
+    }
+
+    fn run(&self, scenario: &Scenario) -> (RunReport, Recorder) {
+        assert_eq!(
+            scenario.usecase.kind(),
+            UseCaseKind::Deep,
+            "the deep engine runs UseCase::deep workloads"
+        );
+        let SystemConfig::Ncpu { cores } = scenario.system else {
+            panic!("the deep engine schedules NCPU cores, not the baseline");
+        };
+        let model = scenario.usecase.model();
+        let width = model.topology().input();
+        let inputs: Vec<BitVec> = scenario
+            .usecase
+            .items()
+            .iter()
+            .map(|item| BitVec::from_bytes(&item.staged, width))
+            .collect();
+        let (run, mut rec, config, roles) = if cores == 1 {
+            let (run, rec) =
+                run_rolled_traced(model, &inputs, &scenario.soc, scenario.trace);
+            let busy = rec.counters().get("accel.busy_cycles");
+            (run, rec, "deep rollback (1 core)".to_string(), vec![("deep".to_string(), busy)])
+        } else {
+            let (run, rec) =
+                run_series_n_traced(model, &inputs, &scenario.soc, cores, scenario.trace);
+            let roles = (0..cores)
+                .map(|s| {
+                    (format!("seg{s}"), rec.counters().get(&format!("core{s}.busy_cycles")))
+                })
+                .collect();
+            (run, rec, format!("{cores}x ncpu (series)"), roles)
+        };
+        rec.set_counter("deep.first_latency", run.first_latency);
+        rec.set_counter("deep.steady_interval", run.steady_interval);
+        let report = RunReport {
+            config,
+            makespan: run.total_cycles,
+            cores: roles
+                .into_iter()
+                .enumerate()
+                .map(|(lane, (role, busy))| CoreReport {
+                    role,
+                    timeline: Timeline::from_obs_events(rec.spans(), lane as u16),
+                    busy_cycles: busy,
+                })
+                .collect(),
+            predictions: run.outputs,
+            labels: scenario.usecase.items().iter().map(|i| i.label).collect(),
+        };
+        (report, rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::tests::pseudo_model;
+
+    #[test]
+    fn scenario_carries_every_knob() {
+        let uc = UseCase::parametric(0.5, 2, pseudo_model(784, 20, 10));
+        let soc = SocConfig { dma_bytes_per_cycle: 8, ..SocConfig::default() };
+        let s = Scenario::new(uc, SystemConfig::Ncpu { cores: 4 })
+            .with_soc(soc)
+            .with_trace(TraceLevel::Full)
+            .with_operating_point(0.6);
+        assert_eq!(s.cores(), 4);
+        assert_eq!(s.soc().dma_bytes_per_cycle, 8);
+        assert_eq!(s.trace(), TraceLevel::Full);
+        assert_eq!(s.operating_point(), Some(0.6));
+        assert!((s.volts() - 0.6).abs() < 1e-12);
+        let hetero = Scenario::new(
+            UseCase::parametric(0.5, 2, pseudo_model(784, 20, 10)),
+            SystemConfig::Heterogeneous,
+        );
+        assert_eq!(hetero.cores(), 1);
+        assert!((hetero.volts() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn analytic_engine_matches_direct_call() {
+        let uc = UseCase::parametric(0.6, 3, pseudo_model(784, 20, 10));
+        let s = Scenario::new(uc.clone(), SystemConfig::Ncpu { cores: 2 });
+        let via_engine = Analytic.report(&s);
+        let direct = crate::system::run(&uc, SystemConfig::Ncpu { cores: 2 }, s.soc());
+        assert_eq!(via_engine.makespan, direct.makespan);
+        assert_eq!(via_engine.predictions, direct.predictions);
+        assert_eq!(Analytic.name(), "analytic");
+    }
+
+    #[test]
+    fn engines_are_interchangeable_behind_the_trait() {
+        let uc = UseCase::parametric(0.6, 4, pseudo_model(784, 20, 10));
+        let s = Scenario::new(uc, SystemConfig::Ncpu { cores: 2 });
+        let engines: Vec<Box<dyn Engine>> = vec![Box::new(Analytic), Box::new(Lockstep)];
+        let reports: Vec<RunReport> = engines.iter().map(|e| e.report(&s)).collect();
+        assert_eq!(reports[0].predictions, reports[1].predictions);
+        assert_eq!(reports[0].cores.len(), reports[1].cores.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "NCPU cores")]
+    fn lockstep_rejects_heterogeneous() {
+        let uc = UseCase::parametric(0.6, 2, pseudo_model(784, 20, 10));
+        Lockstep.run(&Scenario::new(uc, SystemConfig::Heterogeneous));
+    }
+
+    #[test]
+    #[should_panic(expected = "deep engine")]
+    fn deep_rejects_non_deep_use_cases() {
+        let uc = UseCase::parametric(0.6, 2, pseudo_model(784, 20, 10));
+        Deep.run(&Scenario::new(uc, SystemConfig::Ncpu { cores: 1 }));
+    }
+
+    #[test]
+    fn deep_engine_rolls_back_and_pipelines_in_series() {
+        let model = crate::deep::tests::deep_model(8);
+        let ins = crate::deep::tests::inputs(6);
+        let uc = UseCase::deep(model, &ins);
+        let reference: Vec<usize> = uc.items().iter().map(|i| i.label).collect();
+        let rolled = Deep.report(&Scenario::new(uc.clone(), SystemConfig::Ncpu { cores: 1 }));
+        assert_eq!(rolled.config, "deep rollback (1 core)");
+        assert_eq!(rolled.predictions, reference);
+        assert_eq!(rolled.cores.len(), 1);
+        for cores in [2usize, 4] {
+            let (report, rec) =
+                Deep.run(&Scenario::new(uc.clone(), SystemConfig::Ncpu { cores }));
+            assert_eq!(report.config, format!("{cores}x ncpu (series)"));
+            assert_eq!(report.predictions, reference, "{cores} segments");
+            assert_eq!(report.cores.len(), cores);
+            assert!(report.cores.iter().all(|c| c.busy_cycles > 0));
+            assert!(report.makespan <= rolled.makespan);
+            assert!(rec.counters().get("deep.steady_interval") > 0);
+        }
+    }
+}

@@ -1,18 +1,22 @@
 //! End-to-end execution under the three system configurations.
+//!
+//! The scheduling loops live here; everything the run paths share —
+//! program construction, result mailboxes, DMA staging, cycle budgets,
+//! report assembly — lives in [`crate::fabric`]. Prefer driving these
+//! paths through [`crate::scenario`]: a [`crate::Scenario`] plus the
+//! `Analytic` engine reaches exactly this code.
 
-use ncpu_accel::{AccelConfig, Accelerator};
+use ncpu_accel::Accelerator;
 use ncpu_bnn::BitVec;
 use ncpu_core::{NcpuCore, SharedL2, SwitchPolicy};
-use ncpu_isa::asm;
 use ncpu_isa::interp::Event;
 use ncpu_obs::{Recorder, TraceLevel};
 use ncpu_pipeline::{FlatMem, Pipeline};
 use ncpu_sim::stats::Timeline;
-use ncpu_sim::DmaEngine;
-use ncpu_workloads::{image, motion as motion_prog, Tail};
 
+use crate::fabric;
 use crate::report::{CoreReport, RunReport};
-use crate::usecase::{UseCase, UseCaseKind};
+use crate::usecase::UseCase;
 
 /// Shared-fabric parameters of the SoC.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,74 +48,12 @@ pub enum SystemConfig {
     /// Conventional heterogeneous pair: standalone CPU + BNN accelerator
     /// with DMA offload through the shared L2.
     Heterogeneous,
-    /// `cores` reconfigurable NCPU cores (the paper builds 1 and 2).
+    /// `cores` reconfigurable NCPU cores (the paper builds 1 and 2; the
+    /// schedulers accept any N ≥ 1).
     Ncpu {
         /// Number of NCPU cores (≥1).
         cores: usize,
     },
-}
-
-/// L2 address where core `c` writes its classification results.
-fn result_addr(core: usize) -> u32 {
-    0x40 + core as u32 * 4
-}
-
-/// Cycle budget per item (well above the heaviest program).
-const ITEM_BUDGET: u64 = 200_000_000;
-
-/// Local address where the heterogeneous CPU program packs the BNN input.
-fn hetero_pack_offset(uc: &UseCase) -> u32 {
-    match uc.kind() {
-        UseCaseKind::Image => image::ImageLayout::default().pack,
-        UseCaseKind::Motion => motion_prog::MotionLayout::default().pack,
-        UseCaseKind::Parametric => 0,
-    }
-}
-
-pub(crate) fn ncpu_program(uc: &UseCase, core: &NcpuCore, result_l2: u32) -> Vec<u32> {
-    let tail = Tail::NcpuClassify { output_base: core.output_base(), result_l2 };
-    match uc.kind() {
-        UseCaseKind::Image => image::preprocess_program(
-            &image::ImageLayout::default(),
-            core.image_base(),
-            tail,
-        ),
-        UseCaseKind::Motion => motion_prog::feature_program(
-            &motion_prog::MotionLayout::default(),
-            core.image_base(),
-            tail,
-        ),
-        UseCaseKind::Parametric => {
-            let src = format!(
-                "{}\n{}",
-                uc.spin_source().expect("parametric use case"),
-                tail.asm(0)
-            );
-            asm::assemble(&src).expect("parametric NCPU program")
-        }
-    }
-}
-
-fn hetero_program(uc: &UseCase) -> Vec<u32> {
-    let tail = Tail::Offload;
-    match uc.kind() {
-        UseCaseKind::Image => {
-            let layout = image::ImageLayout::default();
-            image::preprocess_program(&layout, layout.pack, tail)
-        }
-        UseCaseKind::Motion => {
-            let layout = motion_prog::MotionLayout::default();
-            motion_prog::feature_program(&layout, layout.pack, tail)
-        }
-        UseCaseKind::Parametric => {
-            let src = format!(
-                "{}\n{}",
-                uc.spin_source().expect("parametric use case"),
-                tail.asm(0)
-            );
-            asm::assemble(&src).expect("parametric offload program")
-        }
-    }
 }
 
 /// Runs `usecase` under `system`, returning the full report.
@@ -148,104 +90,23 @@ pub fn run_traced(
     }
 }
 
-/// Writes the per-core counter snapshot (`core{c}.*` namespace) from the
-/// core's cheap stat structs — counters are sampled at collection points,
-/// never updated on the simulation hot path.
-pub(crate) fn snapshot_core_counters(rec: &mut Recorder, c: usize, core: &NcpuCore) {
-    let ps = core.pipeline().stats();
-    rec.set_counter(format!("core{c}.cycles"), ps.cycles);
-    rec.set_counter(format!("core{c}.retired"), ps.retired);
-    rec.set_counter(format!("core{c}.stall.load_use"), ps.load_use_stalls);
-    rec.set_counter(format!("core{c}.stall.flush"), ps.flush_cycles);
-    rec.set_counter(format!("core{c}.stall.ex"), ps.ex_stall_cycles);
-    rec.set_counter(format!("core{c}.stall.mem"), ps.mem_stall_cycles);
-    let cs = core.stats();
-    rec.set_counter(format!("core{c}.switches"), cs.switches);
-    rec.set_counter(format!("core{c}.images_inferred"), cs.images_inferred);
-    rec.set_counter(format!("core{c}.bnn_cycles"), cs.bnn_cycles);
-    rec.set_counter(format!("core{c}.switch_overhead_cycles"), cs.switch_overhead_cycles);
-}
-
-/// Writes the DMA lane snapshot and absorbs its span events onto lane
-/// `lane` (global cycles, so offset 0).
-pub(crate) fn snapshot_dma(rec: &mut Recorder, dma: &mut DmaEngine, lane: u16) {
-    rec.set_counter("dma.transfers", dma.transfers());
-    rec.set_counter("dma.bytes", dma.bytes_moved());
-    rec.absorb(dma.obs_mut(), lane, 0);
-}
-
-/// Stages one item and runs one program to completion on `core`, starting
-/// no earlier than `now` (global cycles). Returns `(end_time, used)` and
-/// drains the core's recorder shard into `rec` as lane `lane`, re-based
-/// to global time.
-fn run_item(
-    core: &mut NcpuCore,
-    program: &[u32],
-    staged: &[u8],
-    now: u64,
-    dma: &mut DmaEngine,
-    rec: &mut Recorder,
-    lane: u16,
-) -> (u64, u64) {
-    let start = if staged.is_empty() {
-        now
-    } else {
-        let delivered = dma.schedule(now, staged.len() as u32);
-        let banks = core.pipeline_mut().mem_mut().accel_mut().banks_mut();
-        let (bank, off) = banks.resolve(0).expect("data cache starts at 0");
-        banks.bank_mut(bank).load(off as usize, staged);
-        delivered
-    };
-    let internal_before = core.total_cycles();
-    core.load_program(program.to_vec());
-    core.run(ITEM_BUDGET).expect("NCPU program must complete");
-    let used = core.total_cycles() - internal_before;
-    // The core's shard holds only this item's events (earlier items were
-    // drained), all stamped ≥ internal_before on the core's unified
-    // clock; shift them onto the global clock.
-    let offset = start as i64 - internal_before as i64;
-    rec.absorb(core.obs_mut(), lane, offset);
-    (start + used, used)
-}
-
-fn run_ncpu(
+pub(crate) fn run_ncpu(
     usecase: &UseCase,
     cores: usize,
     soc: &SocConfig,
     level: TraceLevel,
 ) -> (RunReport, Recorder) {
-    assert!(cores >= 1, "need at least one core");
     let mut rec = Recorder::new(level.at_least_counters());
-    let l2 = SharedL2::new(256 * 1024);
-    let accel_cfg =
-        AccelConfig { layer_pipelining: soc.layer_pipelining, ..AccelConfig::default() };
-    let mut pool: Vec<NcpuCore> = (0..cores)
-        .map(|_| {
-            let mut core = NcpuCore::with_l2(
-                usecase.model().clone(),
-                accel_cfg,
-                soc.switch_policy,
-                l2.clone(),
-            );
-            core.set_obs_level(level);
-            core
-        })
-        .collect();
-    let programs: Vec<Vec<u32>> = pool
-        .iter()
-        .enumerate()
-        .map(|(c, core)| ncpu_program(usecase, core, result_addr(c)))
-        .collect();
-
-    let mut dma = DmaEngine::new(soc.dma_bytes_per_cycle, soc.dma_setup_cycles);
-    dma.set_trace_level(level.at_least_counters());
+    let (l2, mut pool, programs) = fabric::ncpu_pool(usecase, soc, level, cores);
+    let mut dma = fabric::new_dma(soc, level);
     let mut now = vec![0u64; cores];
     let mut busy = vec![0u64; cores];
     let mut predictions = Vec::with_capacity(usecase.items().len());
 
+    // Round-robin item assignment: item `i` runs on core `i % cores`.
     for (i, item) in usecase.items().iter().enumerate() {
         let c = i % cores;
-        let (end, used) = run_item(
+        let (end, used) = fabric::run_item(
             &mut pool[c],
             &programs[c],
             &item.staged,
@@ -256,35 +117,22 @@ fn run_ncpu(
         );
         now[c] = end;
         busy[c] += used;
-        predictions
-            .push(l2.read_word(result_addr(c)).expect("result staged by program") as usize);
+        predictions.push(
+            l2.read_word(fabric::result_addr(c)).expect("result staged by program") as usize,
+        );
     }
 
     let makespan = now.iter().copied().max().unwrap_or(0);
-    for (c, core) in pool.iter().enumerate() {
-        snapshot_core_counters(&mut rec, c, core);
-    }
-    snapshot_dma(&mut rec, &mut dma, cores as u16);
-    rec.set_counter("run.makespan_cycles", makespan);
-    rec.set_counter("run.items", usecase.items().len() as u64);
-
-    let cores_report = (0..cores)
-        .map(|c| CoreReport {
-            role: format!("ncpu{c}"),
-            timeline: Timeline::from_obs_events(rec.spans(), c as u16),
-            busy_cycles: busy[c],
-        })
-        .collect();
-    let report = RunReport {
-        config: format!("{cores}x ncpu"),
-        makespan,
-        cores: cores_report,
-        predictions,
-        labels: usecase.items().iter().map(|i| i.label).collect(),
-    };
+    let report = fabric::assemble_ncpu_report(
+        &mut rec,
+        &mut dma,
+        &pool,
+        &busy,
+        usecase,
+        fabric::RunOutcome { config: format!("{cores}x ncpu"), makespan, predictions },
+    );
     (report, rec)
 }
-
 
 /// Runs two *different* use cases concurrently, one per NCPU core (paper
 /// Section VI-A: the cores "operate independently for different workload
@@ -296,10 +144,8 @@ fn run_ncpu(
 ///
 /// Panics if a generated program faults (a workspace bug).
 pub fn run_independent(a: &UseCase, b: &UseCase, soc: &SocConfig) -> (RunReport, RunReport) {
-    let l2 = SharedL2::new(256 * 1024);
-    let accel_cfg =
-        AccelConfig { layer_pipelining: soc.layer_pipelining, ..AccelConfig::default() };
-    let mut dma = DmaEngine::new(soc.dma_bytes_per_cycle, soc.dma_setup_cycles);
+    let l2 = SharedL2::new(fabric::L2_BYTES);
+    let mut dma = fabric::new_dma(soc, TraceLevel::Off);
 
     struct CoreState {
         core: NcpuCore,
@@ -315,9 +161,8 @@ pub fn run_independent(a: &UseCase, b: &UseCase, soc: &SocConfig) -> (RunReport,
         .iter()
         .enumerate()
         .map(|(c, uc)| {
-            let core =
-                NcpuCore::with_l2(uc.model().clone(), accel_cfg, soc.switch_policy, l2.clone());
-            let program = ncpu_program(uc, &core, result_addr(c));
+            let core = fabric::ncpu_core(uc, soc, TraceLevel::Counters, l2.clone());
+            let program = fabric::ncpu_program(uc, &core, fabric::result_addr(c));
             CoreState {
                 core,
                 program,
@@ -339,7 +184,7 @@ pub fn run_independent(a: &UseCase, b: &UseCase, soc: &SocConfig) -> (RunReport,
         let Some(c) = ready else { break };
         let item = &usecases[c].items()[states[c].next_item];
         let st = &mut states[c];
-        let (end, used) = run_item(
+        let (end, used) = fabric::run_item(
             &mut st.core,
             &st.program,
             &item.staged,
@@ -351,8 +196,9 @@ pub fn run_independent(a: &UseCase, b: &UseCase, soc: &SocConfig) -> (RunReport,
         st.now = end;
         st.busy += used;
         st.next_item += 1;
-        st.predictions
-            .push(l2.read_word(result_addr(c)).expect("result staged by program") as usize);
+        st.predictions.push(
+            l2.read_word(fabric::result_addr(c)).expect("result staged by program") as usize,
+        );
     }
 
     let mut reports: Vec<RunReport> = states
@@ -375,23 +221,20 @@ pub fn run_independent(a: &UseCase, b: &UseCase, soc: &SocConfig) -> (RunReport,
     (first, second)
 }
 
-fn run_heterogeneous(
+pub(crate) fn run_heterogeneous(
     usecase: &UseCase,
     soc: &SocConfig,
     level: TraceLevel,
 ) -> (RunReport, Recorder) {
     let mut rec = Recorder::new(level.at_least_counters());
-    let program = hetero_program(usecase);
-    let mut cpu = Pipeline::new(program, FlatMem::with_l2(16 * 1024, 256 * 1024));
+    let program = fabric::hetero_program(usecase);
+    let mut cpu = Pipeline::new(program, FlatMem::with_l2(16 * 1024, fabric::L2_BYTES));
     cpu.set_obs_level(level);
-    let accel_cfg =
-        AccelConfig { layer_pipelining: soc.layer_pipelining, ..AccelConfig::default() };
-    let mut accel = Accelerator::new(usecase.model().clone(), accel_cfg);
+    let mut accel = Accelerator::new(usecase.model().clone(), fabric::accel_config(soc));
     // The batch runs on globally-stamped availability times, so the
     // accelerator's spans need no re-basing when absorbed below.
     accel.set_obs_level(level.at_least_counters());
-    let mut dma = DmaEngine::new(soc.dma_bytes_per_cycle, soc.dma_setup_cycles);
-    dma.set_trace_level(level.at_least_counters());
+    let mut dma = fabric::new_dma(soc, level);
 
     let input_bits = usecase.model().topology().input();
     let packed_bytes = input_bits.div_ceil(8);
@@ -412,12 +255,12 @@ fn run_heterogeneous(
         cpu.restart_at(0);
         let before = cpu.stats().cycles;
         // Pre-process + copy-out, up to the offload trigger…
-        let ev = cpu.run_until_event(ITEM_BUDGET).expect("offload program runs");
+        let ev = cpu.run_until_event(fabric::ITEM_BUDGET).expect("offload program runs");
         assert_eq!(ev, Event::TriggerBnn, "offload program must trigger the accelerator");
         let t_trigger = start + (cpu.stats().cycles - before);
         // …then drain to halt.
         cpu.resume();
-        cpu.run(ITEM_BUDGET).expect("offload program halts");
+        cpu.run(fabric::ITEM_BUDGET).expect("offload program halts");
         let used = cpu.stats().cycles - before;
         rec.phase(0, "cpu", start, start + used);
         rec.absorb(cpu.obs_mut(), 0, start as i64 - before as i64);
@@ -427,7 +270,7 @@ fn run_heterogeneous(
         // DMA the packed input from the CPU's local memory through the L2
         // into the accelerator image memory (the conventional offload).
         let delivered = dma.schedule(t_trigger, packed_bytes as u32);
-        let pack_at = hetero_pack_offset(usecase) as usize;
+        let pack_at = fabric::hetero_pack_offset(usecase) as usize;
         let local = cpu.mem().local();
         let input =
             BitVec::from_bytes(&local[pack_at..pack_at + packed_bytes], input_bits);
@@ -449,9 +292,8 @@ fn run_heterogeneous(
     rec.set_counter("accel.images_inferred", accel_stats.images);
     rec.set_counter("accel.busy_cycles", accel_stats.busy_cycles);
     rec.set_counter("accel.macs", accel_stats.macs);
-    snapshot_dma(&mut rec, &mut dma, 2);
-    rec.set_counter("run.makespan_cycles", makespan);
-    rec.set_counter("run.items", usecase.items().len() as u64);
+    fabric::snapshot_dma(&mut rec, &mut dma, 2);
+    fabric::set_run_counters(&mut rec, makespan, usecase.items().len());
 
     let report = RunReport {
         config: "heterogeneous".to_string(),
@@ -478,7 +320,7 @@ fn run_heterogeneous(
 pub(crate) mod tests {
     use super::*;
     use crate::usecase::UseCase;
-    use ncpu_bnn::{BnnLayer, BnnModel, Topology};
+    use ncpu_bnn::{BitVec, BnnLayer, BnnModel, Topology};
 
     pub(crate) fn pseudo_model(input: usize, neurons: usize, classes: usize) -> BnnModel {
         let topo = Topology::new(input, vec![neurons; 4], classes);
@@ -540,6 +382,25 @@ pub(crate) mod tests {
         let cpu_util = base.cores[0].utilization(base.makespan);
         let accel_util = base.cores[1].utilization(base.makespan);
         assert!(cpu_util > accel_util, "baseline accelerator must be under-utilized");
+    }
+
+    #[test]
+    fn four_ncpu_cores_scale_the_parametric_sweep() {
+        let model = pseudo_model(784, 50, 10);
+        let uc = UseCase::parametric(0.7, 8, model);
+        let soc = SocConfig::default();
+        let two = run(&uc, SystemConfig::Ncpu { cores: 2 }, &soc);
+        let four = run(&uc, SystemConfig::Ncpu { cores: 4 }, &soc);
+        assert_eq!(two.predictions, four.predictions, "same answers at any width");
+        assert_eq!(four.cores.len(), 4);
+        // 8 items over 4 cores halve the 2-core makespan (modulo DMA
+        // staging skew, which the parametric use case does not have).
+        assert!(
+            four.makespan < two.makespan,
+            "4 cores {} vs 2 cores {}",
+            four.makespan,
+            two.makespan
+        );
     }
 
     #[test]

@@ -18,6 +18,10 @@ pub enum UseCaseKind {
     /// Parametric workload (Figs. 13/14): a calibrated spin loop stands in
     /// for pre-processing so the CPU workload fraction is set exactly.
     Parametric,
+    /// Deep network beyond the 4-layer array (paper Section IV-D): runs on
+    /// the `Deep` engine via rollback (one core) or a series pipeline of
+    /// model segments (N cores); there is no CPU pre-processing phase.
+    Deep,
 }
 
 /// One item of work: the bytes the DMA stages plus ground truth.
@@ -121,6 +125,27 @@ impl UseCase {
         UseCase { kind: UseCaseKind::Parametric, model, items, spin_cycles: spin_cycles.max(32) }
     }
 
+    /// Builds a deep-network use case: a model (any depth) plus the raw
+    /// input vectors to classify. Labels are the model's own answers —
+    /// the deep engines are judged on schedule fidelity, and functional
+    /// equivalence between rollback and series modes is asserted against
+    /// these reference classifications.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input's width differs from the model's input width.
+    pub fn deep(model: BnnModel, inputs: &[ncpu_bnn::BitVec]) -> UseCase {
+        let width = model.topology().input();
+        let items = inputs
+            .iter()
+            .map(|input| {
+                assert_eq!(input.len(), width, "input width must match the model");
+                Item { staged: input.to_bytes(), label: model.classify(input) }
+            })
+            .collect();
+        UseCase { kind: UseCaseKind::Deep, model, items, spin_cycles: 0 }
+    }
+
     /// The workload kind.
     pub const fn kind(&self) -> UseCaseKind {
         self.kind
@@ -132,6 +157,7 @@ impl UseCase {
             UseCaseKind::Image => "image",
             UseCaseKind::Motion => "motion",
             UseCaseKind::Parametric => "parametric",
+            UseCaseKind::Deep => "deep",
         }
     }
 

@@ -1,8 +1,9 @@
 //! The paper's real-time image-classification use case, end to end.
 //!
-//! Runs the same batch of raw 224×224 frames through the three systems —
-//! the heterogeneous CPU+accelerator baseline, one NCPU, and the two-core
-//! NCPU SoC — and prints latency, utilization, and the power picture.
+//! Builds one [`Scenario`] per system — the heterogeneous CPU+accelerator
+//! baseline, one NCPU, and the two-core NCPU SoC — runs them through the
+//! [`Analytic`] engine, and prints latency, utilization, and the power
+//! picture.
 //!
 //! Run with: `cargo run --release --example image_classification [batch]`
 
@@ -14,11 +15,14 @@ fn main() {
     let level = TraceLevel::from_env();
     println!("building image use case (batch {batch}, training a small classifier)…");
     let uc = UseCase::image(batch, 60, 25);
-    let soc = SocConfig::default();
+    let scenario = |system| {
+        Scenario::new(uc.clone(), system).with_trace(level).with_operating_point(1.0)
+    };
 
-    let base = run(&uc, SystemConfig::Heterogeneous, &soc);
-    let single = run(&uc, SystemConfig::Ncpu { cores: 1 }, &soc);
-    let (dual, rec) = run_traced(&uc, SystemConfig::Ncpu { cores: 2 }, &soc, level);
+    let base = Analytic.report(&scenario(SystemConfig::Heterogeneous));
+    let single = Analytic.report(&scenario(SystemConfig::Ncpu { cores: 1 }));
+    let dual_scenario = scenario(SystemConfig::Ncpu { cores: 2 });
+    let (dual, rec) = Analytic.run(&dual_scenario);
 
     println!("\nclassification accuracy over the batch: {:.0}%", dual.accuracy() * 100.0);
     println!("\n{:<16} {:>12} {:>10}", "system", "cycles", "vs base");
@@ -40,12 +44,13 @@ fn main() {
 
     let pm = PowerModel::default();
     let am = AreaModel::default();
+    let volts = dual_scenario.volts();
     println!(
-        "\nenergy at 1 V: baseline {:.2} µJ, 2×NCPU {:.2} µJ; at matched latency the \
-         2×NCPU system saves {:.0}% by voltage scaling",
-        energy::run_energy_uj(&base, &pm, &am, 100, 1.0),
-        energy::run_energy_uj(&dual, &pm, &am, 100, 1.0),
-        energy::equivalent_energy_saving(&dual, &base, &pm, &am, 100, 1.0) * 100.0
+        "\nenergy at {volts} V: baseline {:.2} µJ, 2×NCPU {:.2} µJ; at matched latency \
+         the 2×NCPU system saves {:.0}% by voltage scaling",
+        energy::run_energy_uj(&base, &pm, &am, 100, volts),
+        energy::run_energy_uj(&dual, &pm, &am, 100, volts),
+        energy::equivalent_energy_saving(&dual, &base, &pm, &am, 100, volts) * 100.0
     );
     println!(
         "predictions agree across systems: {}",
@@ -53,7 +58,7 @@ fn main() {
     );
 
     if level != TraceLevel::Off {
-        let artifact = dual.artifact(uc.name(), &rec);
+        let artifact = dual.artifact(dual_scenario.usecase().name(), &rec);
         match ncpu::obs::write_artifacts(&artifact, &rec, &dual.thread_names()) {
             Ok((run_path, trace_path)) => println!(
                 "\ntrace artifacts: {} and {} (open the latter in Perfetto)",

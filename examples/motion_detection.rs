@@ -81,4 +81,16 @@ fn main() {
         (feature_cycles + soft_cycles) as f64 / (feature_cycles + accel_cycles) as f64,
         cpu2.reg(Reg::A0)
     );
+
+    // The same comparison through the SoC scenario layer: one Scenario
+    // per system, so the end-to-end path (DMA staging, mode switches,
+    // scheduling) is costed instead of hand-summed from probes.
+    let uc = UseCase::motion(1, 4, 2);
+    let scenario = |system| Scenario::new(uc.clone(), system).with_operating_point(0.4);
+    let hetero = Analytic.report(&scenario(SystemConfig::Heterogeneous));
+    let ncpu = Analytic.report(&scenario(SystemConfig::Ncpu { cores: 1 }));
+    println!("\nend-to-end per window through the scenario layer:");
+    for r in [&hetero, &ncpu] {
+        println!("  {:<16} {:>9} cycles = {:6.2} ms", r.config, r.makespan, ms(r.makespan));
+    }
 }

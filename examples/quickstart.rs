@@ -59,5 +59,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if core.obs().level() == TraceLevel::Full {
         println!("NCPU_TRACE=full: captured {} instant events", core.obs().events().len());
     }
+
+    // 4. Scale out: the core above is one instance of an N-core SoC
+    //    scenario — same model, batch of items, round-robin schedule.
+    let uc = ncpu::soc::UseCase::parametric(0.5, 4, model);
+    let dual = Analytic.report(&Scenario::new(uc, SystemConfig::Ncpu { cores: 2 }));
+    println!(
+        "scaled out as a scenario: {} classifies a 4-image batch in {} cycles",
+        dual.config, dual.makespan
+    );
     Ok(())
 }

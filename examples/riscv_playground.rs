@@ -67,5 +67,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if cpu.obs().level() == TraceLevel::Full {
         println!("\nNCPU_TRACE=full: captured {} instant events", cpu.obs().events().len());
     }
+
+    // This pipeline is the CPU half of the SoC scenarios. Pair the
+    // measured cost of this program with one BNN inference per item and
+    // let the two-core schedule overlap them.
+    let model = ncpu_bench::context::pseudo_model(216, 30, 8);
+    let topo = model.topology();
+    let infer: u64 = (0..topo.layers().len())
+        .map(|l| topo.layer_input(l) as u64 + ncpu::accel::SIGN_CYCLES)
+        .sum();
+    let frac = cycles as f64 / (cycles + infer) as f64;
+    let uc = ncpu::soc::UseCase::parametric(frac, 4, model);
+    let dual = Analytic.report(&Scenario::new(uc, SystemConfig::Ncpu { cores: 2 }));
+    println!(
+        "\nas the CPU phase of a 4-item scenario ({:.0}% CPU work per item), \
+         {} finishes in {} cycles",
+        frac * 100.0,
+        dual.config,
+        dual.makespan
+    );
     Ok(())
 }

@@ -5,6 +5,7 @@
 //! (prints the full sweep, or the detailed picture at one voltage).
 
 use ncpu::prelude::*;
+use ncpu::soc::energy;
 
 fn detail(v: f64) {
     let pm = PowerModel::default();
@@ -31,6 +32,26 @@ fn detail(v: f64) {
     println!(
         "  image throughput: {:.0} classifications/s (1 per {interval} cycles)",
         f / interval as f64
+    );
+
+    // The same operating point threaded through a whole-SoC scenario:
+    // run a small parametric batch end to end and price it at this
+    // voltage via the scenario's DVFS knob.
+    let model = ncpu_bench::context::pseudo_model(216, 30, 8);
+    let uc = UseCase::parametric(0.3, 2, model);
+    let scenario = |system| Scenario::new(uc.clone(), system).with_operating_point(v);
+    let dual_scenario = scenario(SystemConfig::Ncpu { cores: 2 });
+    let base = Analytic.report(&scenario(SystemConfig::Heterogeneous));
+    let dual = Analytic.report(&dual_scenario);
+    let volts = dual_scenario.volts();
+    let (e_base, e_dual) = (
+        energy::run_energy_uj(&base, &pm, &am, 30, volts),
+        energy::run_energy_uj(&dual, &pm, &am, 30, volts),
+    );
+    println!(
+        "  end-to-end 2-item batch at {volts:.2} V: heterogeneous {e_base:.3} µJ, \
+         2×NCPU {e_dual:.3} µJ ({:+.1}%)",
+        (e_dual / e_base - 1.0) * 100.0
     );
 }
 

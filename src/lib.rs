@@ -97,5 +97,8 @@ pub mod prelude {
     pub use ncpu_obs::TraceLevel;
     pub use ncpu_pipeline::{FlatMem, Pipeline};
     pub use ncpu_power::{AreaModel, CoreKind, PowerModel};
-    pub use ncpu_soc::{run, run_traced, SocConfig, SystemConfig, UseCase};
+    pub use ncpu_soc::{
+        run, run_traced, Analytic, Engine, Lockstep, Scenario, SocConfig, SystemConfig,
+        UseCase,
+    };
 }

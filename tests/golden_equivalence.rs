@@ -1,0 +1,83 @@
+//! Golden equivalence: the Scenario/Engine refactor must reproduce the
+//! pre-refactor `RunReport`s **exactly** for the paper's configurations.
+//!
+//! Every number below was captured by running the seed (pre-`fabric`)
+//! code on these exact inputs. Unlike `golden_values.rs` (banded paper
+//! numbers), these are byte-identity pins: the refactored engines share
+//! one fabric, and sharing must not shift a single cycle. If a future
+//! change moves one of these on purpose (e.g. a scheduler fix), update
+//! the pins in the same commit with a note on why.
+
+use ncpu::prelude::*;
+use ncpu::soc::{Lockstep as LockstepEngine, RunReport};
+
+/// The soc crate's internal deterministic test model, replicated: 4
+/// hidden layers of `neurons`, weights `(i*7 + j*3 + l) % 5 < 2`, biases
+/// `(j % 3) - 1`.
+fn pseudo_model(input: usize, neurons: usize, classes: usize) -> BnnModel {
+    let topo = Topology::new(input, vec![neurons; 4], classes);
+    let layers = (0..4)
+        .map(|l| {
+            let n_in = topo.layer_input(l);
+            let rows: Vec<BitVec> = (0..neurons)
+                .map(|j| BitVec::from_bools((0..n_in).map(|i| (i * 7 + j * 3 + l) % 5 < 2)))
+                .collect();
+            let bias = (0..neurons).map(|j| (j as i32 % 3) - 1).collect();
+            ncpu::bnn::BnnLayer::new(rows, bias)
+        })
+        .collect();
+    BnnModel::new(topo, layers)
+}
+
+fn check(report: &RunReport, makespan: u64, predictions: &[usize], busy: &[u64]) {
+    assert_eq!(report.makespan, makespan, "{}: makespan", report.config);
+    assert_eq!(report.predictions, predictions, "{}: predictions", report.config);
+    let got: Vec<u64> = report.cores.iter().map(|c| c.busy_cycles).collect();
+    assert_eq!(got, busy, "{}: per-core busy cycles", report.config);
+}
+
+#[test]
+fn analytic_engine_reproduces_pre_refactor_parametric_reports() {
+    let model = pseudo_model(784, 100, 10);
+    // (fraction, het, ncpu1, ncpu2) — makespans captured from the seed.
+    let table = [
+        (0.7, (6180, [5052, 2176]), 7266, 3633),
+        (0.76, (8004, [6876, 2176]), 9090, 4545),
+    ];
+    for (fraction, (het_makespan, het_busy), n1, n2) in table {
+        let uc = UseCase::parametric(fraction, 2, model.clone());
+        let het = Analytic
+            .report(&Scenario::new(uc.clone(), SystemConfig::Heterogeneous));
+        check(&het, het_makespan, &[2, 2], &het_busy);
+        let one =
+            Analytic.report(&Scenario::new(uc.clone(), SystemConfig::Ncpu { cores: 1 }));
+        check(&one, n1, &[2, 2], &[n1]);
+        let two =
+            Analytic.report(&Scenario::new(uc, SystemConfig::Ncpu { cores: 2 }));
+        check(&two, n2, &[2, 2], &[n2, n2]);
+        assert_eq!(
+            fraction == 0.7,
+            (two.improvement_over(&het) - 0.412).abs() < 0.01,
+            "paper Fig. 13 band"
+        );
+    }
+}
+
+#[test]
+fn analytic_engine_reproduces_pre_refactor_motion_report() {
+    let uc = UseCase::motion(2, 4, 2);
+    let het = Analytic.report(&Scenario::new(uc.clone(), SystemConfig::Heterogeneous));
+    check(&het, 43866, &[3, 2], &[42502, 1040]);
+    let two = Analytic.report(&Scenario::new(uc, SystemConfig::Ncpu { cores: 2 }));
+    check(&two, 22591, &[3, 2], &[21791, 21791]);
+}
+
+#[test]
+fn lockstep_engine_reproduces_pre_refactor_cosim_report() {
+    let uc = UseCase::parametric(0.6, 4, pseudo_model(784, 30, 10));
+    let scenario = Scenario::new(uc, SystemConfig::Ncpu { cores: 2 });
+    let (report, rec) = LockstepEngine.run(&scenario);
+    check(&report, 4414, &[2, 2, 2, 2], &[4414, 4414]);
+    assert_eq!(report.config, "2x ncpu (lockstep)");
+    assert_eq!(rec.counters().get("soc.l2_conflict_cycles"), 2, "arbitration conflicts");
+}
