@@ -30,6 +30,16 @@ cargo run --release --offline -p ncpu-obs --bin trace_check -- \
 NCPU_THREADS=1 cargo test -q --offline --test determinism
 NCPU_THREADS=4 cargo test -q --offline --test determinism
 
+# Engine equivalence: the event-driven engine must be byte-identical to
+# the lock-step reference on the fuzzed Scenario matrix (256 seeded,
+# shrinking cases), serially and under a 4-worker pool.
+NCPU_THREADS=1 cargo test -q --offline --test engine_differential
+NCPU_THREADS=4 cargo test -q --offline --test engine_differential
+
+# Event-driven 4-core smoke: the fast engine end to end at the widest
+# core count, traced, against the lock-step makespan.
+NCPU_TRACE=off cargo run --release --offline --example engine_matrix 4
+
 # Benchmark artifacts: short samples keep CI fast; the JSON schema and
 # the parallel byte-identity assertion are what this gate checks, not
 # the absolute timings. The harness writes into the package dir (cargo
@@ -38,4 +48,7 @@ NCPU_BENCH_SAMPLES=3 NCPU_BENCH_SAMPLE_MS=5 \
     cargo bench --offline -p ncpu-bench --bench micro
 NCPU_BENCH_SAMPLES=3 NCPU_BENCH_SAMPLE_MS=5 \
     cargo bench --offline -p ncpu-bench --bench parallel
-mv crates/bench/BENCH_micro.json crates/bench/BENCH_parallel.json .
+NCPU_BENCH_SAMPLES=3 NCPU_BENCH_SAMPLE_MS=5 \
+    cargo bench --offline -p ncpu-bench --bench event
+mv crates/bench/BENCH_micro.json crates/bench/BENCH_parallel.json \
+    crates/bench/BENCH_event.json .

@@ -1,0 +1,89 @@
+//! Engine benchmark: the event-driven scheduler against the per-cycle
+//! lock-step walk, on the same end-to-end scenarios. Writes
+//! `BENCH_event.json` with one `<group>_lockstep` / `<group>_event`
+//! pair per scenario; the speedup column is the ratio of the medians.
+//!
+//! Every pair is also checked for report equality before timing — a
+//! benchmark of a divergent engine would be meaningless — so this
+//! doubles as a release-mode equivalence smoke.
+
+use ncpu_bnn::{BitVec, BnnLayer, BnnModel, Topology};
+use ncpu_soc::{Engine, EventDriven, Lockstep, Scenario, SystemConfig, UseCase};
+use ncpu_testkit::bench::Bench;
+
+/// The workspace's deterministic pseudo-model (same construction as the
+/// soc tests): 4 hidden layers, fixed weight/bias pattern.
+fn pseudo_model(input: usize, neurons: usize, classes: usize) -> BnnModel {
+    let topo = Topology::new(input, vec![neurons; 4], classes);
+    let layers = (0..4)
+        .map(|l| {
+            let n_in = topo.layer_input(l);
+            let rows: Vec<BitVec> = (0..neurons)
+                .map(|j| BitVec::from_bools((0..n_in).map(|i| (i * 7 + j * 3 + l) % 5 < 2)))
+                .collect();
+            let bias = (0..neurons).map(|j| (j as i32 % 3) - 1).collect();
+            BnnLayer::new(rows, bias)
+        })
+        .collect();
+    BnnModel::new(topo, layers)
+}
+
+fn scenarios() -> Vec<(&'static str, Scenario)> {
+    vec![
+        // Steady-state heavy: a long batch where almost every item after
+        // the first replays from the memo cache.
+        (
+            "endtoend/parametric_b128_2core",
+            Scenario::new(
+                UseCase::parametric(0.8, 128, pseudo_model(784, 30, 10)),
+                SystemConfig::Ncpu { cores: 2 },
+            ),
+        ),
+        // Staged-DMA path with a trained model (image pipeline).
+        (
+            "endtoend/image_2core",
+            Scenario::new(UseCase::image(4, 2, 1), SystemConfig::Ncpu { cores: 2 }),
+        ),
+        // The N-core generalization under shared-L2 contention.
+        (
+            "smoke/parametric_b16_4core",
+            Scenario::new(
+                UseCase::parametric(0.5, 16, pseudo_model(256, 20, 10)),
+                SystemConfig::Ncpu { cores: 4 },
+            ),
+        ),
+    ]
+}
+
+fn main() {
+    let mut bench = Bench::new("event");
+    let mut speedups = Vec::new();
+    for (group, scenario) in scenarios() {
+        // Equivalence gate first (also warms both engines' code paths).
+        let lockstep = Lockstep.report(&scenario);
+        let event = EventDriven.report(&scenario);
+        assert_eq!(
+            format!("{:?}", event).replace("(event)", "(engine)"),
+            format!("{:?}", lockstep).replace("(lockstep)", "(engine)"),
+            "{group}: engines diverged — benchmark aborted"
+        );
+
+        bench.bench(&format!("{group}_lockstep"), || Lockstep.report(&scenario));
+        bench.bench(&format!("{group}_event"), || EventDriven.report(&scenario));
+        let results = bench.results();
+        let (ls, ev) = (&results[results.len() - 2], &results[results.len() - 1]);
+        let speedup = ls.median_ns / ev.median_ns;
+        println!("{group}: event engine {speedup:.1}x faster than lockstep");
+        speedups.push((group, speedup));
+    }
+    bench.finish();
+    // The headline claim this artifact exists to back: jumping between
+    // events plus steady-state replay is an order-of-magnitude win on at
+    // least one end-to-end group.
+    let best = speedups
+        .iter()
+        .filter(|(g, _)| g.starts_with("endtoend/"))
+        .map(|&(_, s)| s)
+        .fold(0.0f64, f64::max);
+    assert!(best >= 5.0, "expected >=5x on an endtoend group, best was {best:.1}x");
+}

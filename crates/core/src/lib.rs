@@ -60,5 +60,6 @@ mod ncpu;
 pub use l2::SharedL2;
 pub use mem::NcpuMem;
 pub use ncpu::{
-    CoreError, CoreStats, NcpuCore, StepOutcome, SwitchDma, SwitchPolicy, TRANSITION_NEURONS,
+    CoreError, CoreStats, NcpuCore, ReplayDelta, ReplayState, StepOutcome, SwitchDma,
+    SwitchPolicy, TRANSITION_NEURONS,
 };

@@ -7,7 +7,7 @@ use ncpu_accel::{packed_row_bytes, AccelConfig, Accelerator};
 use ncpu_bnn::{BitVec, BnnModel};
 use ncpu_isa::interp::Event;
 use ncpu_obs::{EventKind as ObsEvent, Mode, Recorder, TraceLevel};
-use ncpu_pipeline::{PipeError, Pipeline, PipelineConfig};
+use ncpu_pipeline::{PipeError, PipeStats, Pipeline, PipelineConfig};
 use ncpu_sim::stats::Timeline;
 
 use crate::l2::SharedL2;
@@ -136,6 +136,42 @@ pub enum StepOutcome {
     Halted,
 }
 
+/// The architectural state one program execution on an [`NcpuCore`]
+/// depends on, captured for replay caches: two items whose captured
+/// states (and staged inputs) are equal execute identically, because
+/// everything else a program can observe — PC, pipeline latches, halt
+/// flag — is reset by [`NcpuCore::load_program`] before the item runs.
+///
+/// Deliberately excluded: monotonic counters (cycle counts, stats,
+/// retire traces, SRAM access counters) and the recorder shards — they
+/// advance, but never feed back into execution. Shared-L2 *content* is
+/// also excluded; a replaying engine must verify the execution performed
+/// no L2 reads before treating it as replayable (see
+/// [`SharedL2::accesses`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayState {
+    regs: [u32; 32],
+    transition: [u32; TRANSITION_NEURONS],
+    pending_triggers: u64,
+    busy_remaining: u64,
+    /// Per accelerator bank, in registration order: enable flag and raw
+    /// contents (image/weight/output memories double as the CPU-mode data
+    /// cache, so programs read and write them).
+    banks: Vec<(bool, Vec<u8>)>,
+}
+
+/// The monotonic-counter deltas one program execution produced, applied
+/// by [`NcpuCore::apply_replay`] when the execution itself is skipped.
+#[derive(Debug, Clone)]
+pub struct ReplayDelta {
+    /// Pipeline counter deltas (cycles, retired, stalls, per-mnemonic).
+    pub pipe: PipeStats,
+    /// Core counter deltas (switches, inferences, BNN/switch cycles).
+    pub core: CoreStats,
+    /// Unified-clock cycles spent outside the pipeline (BNN + switches).
+    pub extra_cycles: u64,
+}
+
 /// One reconfigurable Neural CPU core.
 ///
 /// See the [crate documentation](crate) for the programming model and a
@@ -160,6 +196,10 @@ pub struct NcpuCore {
     pending_triggers: u64,
     /// Remaining BNN-mode busy cycles when stepped incrementally.
     busy_remaining: u64,
+    /// Shared-L2 touch cycles (unified clock) drained from the pipeline's
+    /// touch log; populated only while the log is enabled via
+    /// [`NcpuCore::set_l2_touch_log`].
+    l2_touches: Vec<u64>,
 }
 
 impl NcpuCore {
@@ -188,6 +228,7 @@ impl NcpuCore {
             span_start: 0,
             pending_triggers: 0,
             busy_remaining: 0,
+            l2_touches: Vec::new(),
         }
     }
 
@@ -259,7 +300,11 @@ impl NcpuCore {
     /// service and at halt.
     fn sync_pipeline_obs(&mut self) {
         let offset = self.extra_cycles as i64;
-        let NcpuCore { pipeline, obs, .. } = self;
+        let NcpuCore { pipeline, obs, l2_touches, .. } = self;
+        // Drain the pipeline's L2 touch log onto the unified clock first:
+        // the log is filled at `Counters` too, where the event shard below
+        // is empty and the early return fires.
+        l2_touches.extend(pipeline.take_l2_touches().into_iter().map(|t| t + offset as u64));
         let shard = pipeline.obs_mut();
         if shard.events().is_empty() && shard.spans().is_empty() {
             return;
@@ -306,6 +351,103 @@ impl NcpuCore {
     /// heterogeneous-baseline SoC model).
     pub fn take_pending_triggers(&mut self) -> u64 {
         std::mem::take(&mut self.pending_triggers)
+    }
+
+    /// Enables or disables the shared-L2 touch log. While on, every
+    /// MEM-stage `lw_l2`/`sw_l2` access records its cycle; the SoC
+    /// engines use these to find contended L2 windows without observing
+    /// every cycle. Turning the log off clears it.
+    pub fn set_l2_touch_log(&mut self, on: bool) {
+        self.pipeline.set_l2_touch_log(on);
+        if !on {
+            self.l2_touches.clear();
+        }
+    }
+
+    /// Drains the logged L2 touch cycles, stamped on the unified clock.
+    /// A touch stamped `u` belongs to the step that advanced the core
+    /// from cycle `u - 1` to `u`. Complete only after
+    /// [`run`](Self::run) returns or a step reports
+    /// [`StepOutcome::Halted`] (the log is synced at mode switches and
+    /// at halt).
+    pub fn take_l2_touch_cycles(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.l2_touches)
+    }
+
+    /// Cycles until this core next does something an SoC scheduler must
+    /// observe: `None` once halted (the core will never act again),
+    /// the remaining busy-region length in BNN mode (pure countdown —
+    /// no memory traffic, no events until it ends), and `1` in CPU mode,
+    /// where any cycle may touch shared state. An event-driven scheduler
+    /// may therefore sleep this core for exactly the returned number of
+    /// cycles without missing an observable action.
+    pub fn next_event_in(&self) -> Option<u64> {
+        if self.pipeline.is_halted() {
+            None
+        } else if self.busy_remaining > 0 {
+            Some(self.busy_remaining)
+        } else {
+            Some(1)
+        }
+    }
+
+    /// Captures the [`ReplayState`] of this core (see its docs for what
+    /// is and is not included).
+    pub fn replay_state(&self) -> ReplayState {
+        ReplayState {
+            regs: *self.pipeline.regs(),
+            transition: self.transition,
+            pending_triggers: self.pending_triggers,
+            busy_remaining: self.busy_remaining,
+            banks: self
+                .pipeline
+                .mem()
+                .accel()
+                .banks()
+                .iter()
+                .map(|(_, bank)| (bank.is_enabled(), bank.bytes().to_vec()))
+                .collect(),
+        }
+    }
+
+    /// Restores a captured [`ReplayState`]. Bank contents are restored
+    /// with uncounted bulk loads so access counters keep their replay
+    /// deltas (applied separately via [`apply_replay`](Self::apply_replay)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` was captured on a core with a different bank
+    /// layout.
+    pub fn restore_replay_state(&mut self, state: &ReplayState) {
+        *self.pipeline.regs_mut() = state.regs;
+        self.transition = state.transition;
+        self.pending_triggers = state.pending_triggers;
+        self.busy_remaining = state.busy_remaining;
+        let banks = self.pipeline.mem_mut().accel_mut().banks_mut();
+        assert_eq!(banks.bank_count(), state.banks.len(), "bank layout mismatch");
+        for ((_, bank), (enabled, bytes)) in banks.iter_mut().zip(&state.banks) {
+            bank.set_enabled(*enabled);
+            bank.load(0, bytes);
+        }
+    }
+
+    /// Advances the monotonic counters and the unified clock as if the
+    /// execution that produced `delta` had been simulated again, without
+    /// simulating it. The caller restores the architectural end state via
+    /// [`restore_replay_state`](Self::restore_replay_state) and replays
+    /// the recorded events itself; afterwards the core is byte-identical
+    /// (in everything the SoC layer observes) to a core that executed
+    /// the item.
+    pub fn apply_replay(&mut self, delta: &ReplayDelta) {
+        self.pipeline.apply_replay_stats(&delta.pipe);
+        self.stats.switches += delta.core.switches;
+        self.stats.images_inferred += delta.core.images_inferred;
+        self.stats.bnn_cycles += delta.core.bnn_cycles;
+        self.stats.switch_overhead_cycles += delta.core.switch_overhead_cycles;
+        self.extra_cycles += delta.extra_cycles;
+        // A completed execution always ends with `span_start` caught up
+        // to the clock (see `run`'s tail).
+        self.span_start = self.total_cycles();
     }
 
     /// Runs until `ebreak` retires, serving every mode switch on the way.
@@ -516,15 +658,24 @@ impl NcpuCore {
 
     /// Advances the core by up to `n` cycles in one call.
     ///
-    /// Inside a BNN busy region this consumes `min(n, remaining)` cycles
-    /// with a single bookkeeping update instead of a per-cycle loop; the
-    /// resulting state (cycle counts, spans, stats, pipeline) is
-    /// byte-identical to calling [`step_one`](Self::step_one) that many
-    /// times, because busy cycles decrement a counter and do nothing
-    /// else. Outside a busy region it delegates to one `step_one`.
+    /// Inside a BNN busy region this consumes `min(budget, remaining)`
+    /// cycles with a single bookkeeping update instead of a per-cycle
+    /// loop; the resulting state (cycle counts, spans, stats, pipeline)
+    /// is byte-identical to calling [`step_one`](Self::step_one) that
+    /// many times, because busy cycles decrement a counter and do
+    /// nothing else. CPU-mode cycles step one at a time, so the call
+    /// crosses region boundaries — CPU stretch into busy region and back
+    /// — until the budget is spent or the core halts.
+    ///
+    /// A busy region that ends exactly on the budget boundary consumes
+    /// exactly the budget: the final countdown cycle is not followed by
+    /// an extra pipeline step (an earlier revision double-counted here
+    /// by unconditionally falling through to `step_one`; the
+    /// `budget_boundary_*` regression tests pin the fix).
     ///
     /// Returns the outcome after the advance and the cycles actually
-    /// consumed (0 when already halted, otherwise ≥ 1).
+    /// consumed (0 when already halted, `1..=n` otherwise — fewer than
+    /// `n` only when the core halts mid-budget).
     ///
     /// # Errors
     ///
@@ -536,20 +687,31 @@ impl NcpuCore {
     /// Panics if `n == 0`.
     pub fn step_n(&mut self, n: u64) -> Result<(StepOutcome, u64), CoreError> {
         assert!(n > 0, "step_n of zero cycles");
-        if self.pipeline.is_halted() {
-            return Ok((StepOutcome::Halted, 0));
-        }
-        if self.busy_remaining > 0 {
-            let k = n.min(self.busy_remaining);
-            self.busy_remaining -= k;
-            self.extra_cycles += k;
-            if self.busy_remaining == 0 {
-                self.span_start = self.total_cycles();
-                self.pipeline.resume();
+        let mut consumed = 0u64;
+        let mut outcome = StepOutcome::Halted;
+        while consumed < n {
+            if self.pipeline.is_halted() {
+                return Ok((StepOutcome::Halted, consumed));
             }
-            return Ok((StepOutcome::BnnBusy { remaining: self.busy_remaining }, k));
+            if self.busy_remaining > 0 {
+                let k = (n - consumed).min(self.busy_remaining);
+                self.busy_remaining -= k;
+                self.extra_cycles += k;
+                consumed += k;
+                if self.busy_remaining == 0 {
+                    self.span_start = self.total_cycles();
+                    self.pipeline.resume();
+                }
+                outcome = StepOutcome::BnnBusy { remaining: self.busy_remaining };
+            } else {
+                outcome = self.step_one()?;
+                consumed += 1;
+                if matches!(outcome, StepOutcome::Halted) {
+                    break;
+                }
+            }
         }
-        self.step_one().map(|outcome| (outcome, 1))
+        Ok((outcome, consumed))
     }
 }
 
@@ -914,6 +1076,89 @@ mod step_tests {
             assert_eq!(bulk.stats(), single.stats());
             assert_eq!(bulk.timeline().spans(), single.timeline().spans());
         }
+    }
+
+    /// Regression: a busy region ending exactly on the `step_n` budget
+    /// boundary must consume exactly the budget — not fall through to an
+    /// extra pipeline step that double-counts the final cycle.
+    #[test]
+    fn budget_boundary_consumes_exactly_the_region() {
+        let mut core = NcpuCore::new(
+            small_model(),
+            ncpu_accel::AccelConfig::default(),
+            SwitchPolicy::Naive, // nonzero switch cost ⇒ long busy region
+        );
+        let p = program(&core);
+        core.load_program(p);
+        // Step up to the trans_bnn service.
+        let remaining = loop {
+            if let StepOutcome::BnnBusy { remaining } = core.step_one().unwrap() {
+                break remaining;
+            }
+        };
+        assert!(remaining > 1, "naive switch must cost cycles");
+        let before = core.total_cycles();
+        let (outcome, consumed) = core.step_n(remaining).unwrap();
+        assert_eq!(consumed, remaining, "budget == region length");
+        assert_eq!(outcome, StepOutcome::BnnBusy { remaining: 0 });
+        assert_eq!(core.total_cycles(), before + remaining, "no double-counted cycle");
+        // The pipeline itself did not advance past the region.
+        assert!(!core.pipeline().is_halted());
+        assert_eq!(core.step_one().unwrap(), StepOutcome::Executing);
+    }
+
+    /// `step_n` crosses region boundaries: one big budget drives the
+    /// whole program, and the halt stops consumption mid-budget.
+    #[test]
+    fn budget_boundary_crosses_regions_and_stops_at_halt() {
+        let mk = || {
+            let mut c = NcpuCore::new(
+                small_model(),
+                ncpu_accel::AccelConfig::default(),
+                SwitchPolicy::Naive,
+            );
+            let p = program(&c);
+            c.load_program(p);
+            c
+        };
+        let mut single = mk();
+        while !matches!(single.step_one().unwrap(), StepOutcome::Halted) {}
+        let mut bulk = mk();
+        let (outcome, consumed) = bulk.step_n(u64::MAX).unwrap();
+        assert_eq!(outcome, StepOutcome::Halted);
+        assert_eq!(consumed, single.total_cycles(), "halt stops the budget");
+        assert_eq!(bulk.total_cycles(), single.total_cycles());
+        assert_eq!(bulk.stats(), single.stats());
+        assert_eq!(bulk.timeline().spans(), single.timeline().spans());
+        // Parked: further budget consumes nothing.
+        assert_eq!(bulk.step_n(10).unwrap(), (StepOutcome::Halted, 0));
+    }
+
+    /// `next_event_in` reports the exact sleep distance: 1 in CPU mode,
+    /// the busy-region remainder in BNN mode, `None` at halt.
+    #[test]
+    fn next_event_in_tracks_mode() {
+        let mut core = NcpuCore::new(
+            small_model(),
+            ncpu_accel::AccelConfig::default(),
+            SwitchPolicy::Naive,
+        );
+        let p = program(&core);
+        core.load_program(p);
+        assert_eq!(core.next_event_in(), Some(1), "CPU mode steps every cycle");
+        let remaining = loop {
+            if let StepOutcome::BnnBusy { remaining } = core.step_one().unwrap() {
+                break remaining;
+            }
+            assert_eq!(core.next_event_in(), Some(1));
+        };
+        assert_eq!(core.next_event_in(), Some(remaining));
+        // Sleeping exactly that long lands on the region end, no further.
+        let (_, consumed) = core.step_n(remaining).unwrap();
+        assert_eq!(consumed, remaining);
+        assert_eq!(core.next_event_in(), Some(1), "back in CPU mode");
+        while !matches!(core.step_one().unwrap(), StepOutcome::Halted) {}
+        assert_eq!(core.next_event_in(), None, "halted cores never act");
     }
 
     /// Stepping past halt stays halted without advancing the clock.

@@ -139,6 +139,13 @@ pub struct Pipeline<M> {
     config: PipelineConfig,
     trace: RetireTrace,
     obs: Recorder,
+    /// When set, the cycle of every actual L2 data access (the MEM-stage
+    /// read/write, not the later WB retirement) is appended to
+    /// `l2_touches`. Off by default — the log exists for engines that
+    /// resolve shared-L2 port arbitration after the fact instead of
+    /// observing access-counter deltas every cycle.
+    l2_touch_log: bool,
+    l2_touches: Vec<u64>,
 }
 
 impl<M: MemPort> Pipeline<M> {
@@ -165,7 +172,58 @@ impl<M: MemPort> Pipeline<M> {
             config,
             trace: RetireTrace::default(),
             obs: Recorder::disabled(),
+            l2_touch_log: false,
+            l2_touches: Vec::new(),
         }
+    }
+
+    /// Enables (or disables) the L2 touch log: while on, every MEM-stage
+    /// L2 data access appends its pipeline cycle to an internal list,
+    /// drained by [`Pipeline::take_l2_touches`]. The log observes the
+    /// cycle the shared port is actually occupied — the WB-stage
+    /// [`ncpu_obs::EventKind::L2Access`] instant retires one cycle later.
+    pub fn set_l2_touch_log(&mut self, on: bool) {
+        self.l2_touch_log = on;
+        if !on {
+            self.l2_touches.clear();
+        }
+    }
+
+    /// Drains the cycles logged since the last call (empty unless
+    /// [`Pipeline::set_l2_touch_log`] is on).
+    pub fn take_l2_touches(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.l2_touches)
+    }
+
+    /// Folds an externally simulated execution's statistics into this
+    /// pipeline's counters (including the per-mnemonic retire counts).
+    /// Used by replaying engines that skip re-simulating an item whose
+    /// outcome is already known: the architectural state is restored
+    /// separately, and the monotonic counters advance by `delta` so the
+    /// final stat snapshots match a full simulation byte for byte.
+    pub fn apply_replay_stats(&mut self, delta: &PipeStats) {
+        self.stats.cycles += delta.cycles;
+        self.stats.retired += delta.retired;
+        self.stats.load_use_stalls += delta.load_use_stalls;
+        self.stats.flush_cycles += delta.flush_cycles;
+        self.stats.ex_stall_cycles += delta.ex_stall_cycles;
+        self.stats.mem_stall_cycles += delta.mem_stall_cycles;
+        for (mnemonic, count) in &delta.per_instr {
+            *self.stats.per_instr.entry(mnemonic).or_insert(0) += count;
+        }
+    }
+
+    /// The architectural register file (x0–x31), for state fingerprints.
+    pub fn regs(&self) -> &[u32; 32] {
+        &self.regs
+    }
+
+    /// Mutable register file, for replaying engines restoring a captured
+    /// architectural state. Writes to x0 are the caller's bug — the
+    /// pipeline itself never reads a restored nonzero x0 because every
+    /// captured state was produced by execution, which keeps x0 zero.
+    pub fn regs_mut(&mut self) -> &mut [u32; 32] {
+        &mut self.regs
     }
 
     /// Enables event recording at `level`. Events are stamped with the
@@ -401,11 +459,17 @@ impl<M: MemPort> Pipeline<M> {
                             .mem
                             .read_l2(ex.addr)
                             .map_err(|source| PipeError::Mem { pc: ex.pc, source })?;
+                        if self.l2_touch_log {
+                            self.l2_touches.push(self.stats.cycles);
+                        }
                     }
                     Instruction::SwL2 { .. } => {
                         self.mem
                             .write_l2(ex.addr, ex.store_val)
                             .map_err(|source| PipeError::Mem { pc: ex.pc, source })?;
+                        if self.l2_touch_log {
+                            self.l2_touches.push(self.stats.cycles);
+                        }
                     }
                     _ => {}
                 }

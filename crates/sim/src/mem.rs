@@ -279,6 +279,12 @@ impl AddressArbiter {
         self.bases.iter().copied().zip(self.banks.iter())
     }
 
+    /// Mutable iteration over `(base, bank)` pairs in registration order
+    /// (bulk state capture/restore across all banks).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (u32, &mut SramBank)> {
+        self.bases.iter().copied().zip(self.banks.iter_mut())
+    }
+
     /// Resolves a global address to its bank and in-bank offset.
     ///
     /// # Errors

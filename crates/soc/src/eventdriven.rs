@@ -1,0 +1,512 @@
+//! Event-driven co-simulation of the N-core SoC — byte-identical to the
+//! lock-step engine, orders of magnitude faster.
+//!
+//! # Why jumping is sound
+//!
+//! The lock-step engine ([`crate::lockstep`]) walks a global clock one
+//! cycle at a time so it can arbitrate the shared single-ported L2.
+//! But its own arbitration rule makes that walk unnecessary:
+//!
+//! * A core that *loses* the L2 port replays nothing — the conflict is
+//!   counted (`soc.l2_conflict_cycles`, a `stall.l2_conflict` event) but
+//!   the loser's timing is unchanged. The `stalled_until` the lock-step
+//!   scheduler writes on a conflict is dead for active cores (it is
+//!   only consulted between items, and reset at item completion).
+//! * Cores share no other cycle-level state: item programs keep data in
+//!   core-local banks and only *write* one result word through to their
+//!   private L2 mailbox. (The engine verifies the no-L2-read part at
+//!   run time rather than trusting it; see below.)
+//!
+//! So cross-core coupling reduces to (a) the order DMA staging
+//! transfers are booked in and (b) which same-cycle L2 touches count as
+//! conflicts. Both are replicated exactly without a global cycle walk:
+//!
+//! * Each core posts its next wakeup (item start, DMA delivery) into a
+//!   deterministic [`EventQueue`] ordered by `(cycle, core)` — the same
+//!   order the lock-step per-cycle core walk books DMA transfers in.
+//! * Each item executes atomically via [`NcpuCore::run`] (proven
+//!   byte-identical to the `step_one` walk by the core's own tests),
+//!   with the core's L2 touch log recording which cycles touched the
+//!   port. Arbitration is resolved *post hoc*: collect every touch,
+//!   sort, and charge every same-cycle toucher except the
+//!   lowest-numbered core — exactly the lock-step priority rule.
+//! * Event/span emission into the root recorder is deferred and sorted
+//!   by `(cycle, core, stall-before-absorb)`, reproducing the raw
+//!   emission order (and capacity-drop behavior) of the per-cycle walk.
+//!
+//! # Steady-state replay
+//!
+//! Items on one core are usually identical: same program, same staged
+//! bytes, same architectural starting state. The engine memoizes each
+//! simulated item keyed by its full [`ReplayState`] (registers,
+//! transition neurons, bank contents — compared byte for byte, no
+//! hashing) and *replays* matches: counters advance by the recorded
+//! deltas, the end state is restored, the recorded events and L2
+//! touches are re-based onto the new start cycle. Determinism makes
+//! this exact. The one escape hatch: a program that *reads* the shared
+//! L2 could observe content a skipped re-execution did not write, so an
+//! item whose simulation performed any L2 read is never cached — and if
+//! one shows up after a replay already happened, the whole run restarts
+//! with memoization off. Fabric-generated programs never read the L2,
+//! so the restart exists for soundness, not for the paper's workloads.
+
+use ncpu_core::{NcpuCore, ReplayDelta, ReplayState, SharedL2};
+use ncpu_obs::{EventKind, Recorder, StallCause, TraceLevel};
+use ncpu_pipeline::PipeStats;
+
+use crate::event_queue::EventQueue;
+use crate::fabric;
+use crate::report::RunReport;
+use crate::system::SocConfig;
+use crate::usecase::UseCase;
+
+/// Result of an event-driven run, plus contention statistics.
+#[derive(Debug, Clone)]
+pub struct EventReport {
+    /// The standard run report (per-core utilization, predictions…).
+    pub report: RunReport,
+    /// Cycles a core would have replayed because the L2 port was taken —
+    /// identical to the lock-step engine's count by construction.
+    pub l2_conflict_cycles: u64,
+    /// Items served from the replay cache instead of being simulated
+    /// (engine instrumentation; not part of the report counters).
+    pub replayed_items: usize,
+}
+
+/// Runs `usecase` on `cores` event-driven NCPU cores.
+///
+/// # Panics
+///
+/// Panics if a generated program faults (a workspace bug) or the run
+/// exceeds an internal cycle bound.
+pub fn run_ncpu_event(usecase: &UseCase, cores: usize, soc: &SocConfig) -> EventReport {
+    run_ncpu_event_traced(usecase, cores, soc, TraceLevel::Counters).0
+}
+
+/// Like [`run_ncpu_event`], but also returns the root [`Recorder`] —
+/// byte-identical (events, spans, counters) to
+/// [`crate::lockstep::run_ncpu_lockstep_traced`] on the same inputs,
+/// except for the engine name in the report's `config`.
+///
+/// # Panics
+///
+/// Panics if a generated program faults (a workspace bug) or the run
+/// exceeds an internal cycle bound.
+pub fn run_ncpu_event_traced(
+    usecase: &UseCase,
+    cores: usize,
+    soc: &SocConfig,
+    level: TraceLevel,
+) -> (EventReport, Recorder) {
+    match run_attempt(usecase, cores, soc, level, true) {
+        Ok(result) => result,
+        // An item read the shared L2 after a replay already skipped a
+        // write: replay is unsound for this workload, simulate all items.
+        Err(MemoUnsound) => run_attempt(usecase, cores, soc, level, false)
+            .unwrap_or_else(|_| unreachable!("memoization disabled: nothing to invalidate")),
+    }
+}
+
+/// Replay would be unsound: restart the run without the cache.
+struct MemoUnsound;
+
+/// One memoized item execution.
+struct Cached {
+    staged: Vec<u8>,
+    pre: ReplayState,
+    used: u64,
+    delta: ReplayDelta,
+    /// `None` when the item ends in exactly its starting state (the
+    /// steady-state common case) — restoring is then a no-op.
+    post: Option<ReplayState>,
+    /// The item's events/spans, cycles re-based to the item start.
+    shard: Recorder,
+    /// L2 touch cycles relative to the item start (1-based: a touch at
+    /// `rel` happened during global cycle `start + rel - 1`).
+    touches_rel: Vec<u64>,
+    prediction: usize,
+}
+
+/// A deferred recorder operation, replayed in lock-step emission order.
+enum Emission {
+    /// `stall.l2_conflict` instant for a core that lost the L2 port.
+    Stall { cycle: u64, core: u16 },
+    /// An item's drained shard, absorbed with the given cycle offset.
+    /// Ordered at the item's halt cycle, after any same-cycle stall.
+    Absorb { cycle: u64, core: u16, shard: Recorder, offset: i64 },
+}
+
+impl Emission {
+    fn key(&self) -> (u64, u16, u8) {
+        match self {
+            Emission::Stall { cycle, core } => (*cycle, *core, 0),
+            Emission::Absorb { cycle, core, .. } => (*cycle, *core, 1),
+        }
+    }
+}
+
+struct CoreRun {
+    core: NcpuCore,
+    program: Vec<u32>,
+    /// Items (by index into the use case) assigned to this core.
+    queue: Vec<usize>,
+    /// Position within `queue`.
+    at: usize,
+    /// The pending wakeup begins the staged item (banks already loaded)
+    /// rather than attempting the next item start.
+    begin_pending: bool,
+    busy: u64,
+    finished_at: u64,
+    predictions: Vec<(usize, usize)>,
+    cache: Vec<Cached>,
+}
+
+fn run_attempt(
+    usecase: &UseCase,
+    cores: usize,
+    soc: &SocConfig,
+    level: TraceLevel,
+    mut memoize: bool,
+) -> Result<(EventReport, Recorder), MemoUnsound> {
+    assert!(cores >= 1, "need at least one core");
+    let mut rec = Recorder::new(level.at_least_counters());
+    let l2 = SharedL2::new(fabric::L2_BYTES);
+    let mut dma = fabric::new_dma(soc, level);
+    let mut states: Vec<CoreRun> = (0..cores)
+        .map(|c| {
+            let mut core = fabric::ncpu_core(usecase, soc, level, l2.clone());
+            core.set_l2_touch_log(true);
+            let program = fabric::ncpu_program(usecase, &core, fabric::result_addr(c));
+            CoreRun {
+                core,
+                program,
+                queue: (0..usecase.items().len()).filter(|i| i % cores == c).collect(),
+                at: 0,
+                begin_pending: false,
+                busy: 0,
+                finished_at: 0,
+                predictions: Vec::new(),
+                cache: Vec::new(),
+            }
+        })
+        .collect();
+
+    let mut queue = EventQueue::new(cores);
+    for (c, st) in states.iter().enumerate() {
+        if !st.queue.is_empty() {
+            queue.arm(c as u16, 0);
+        }
+    }
+
+    let mut emissions: Vec<Emission> = Vec::new();
+    let mut touches: Vec<(u64, u16)> = Vec::new();
+    let mut replayed = 0usize;
+    let budget = 2_000_000_000u64;
+    while let Some((now, c)) = queue.pop() {
+        assert!(now < budget, "event-driven run exceeded {budget} cycles");
+        let st = &mut states[c as usize];
+        if !st.begin_pending {
+            let item = &usecase.items()[st.queue[st.at]];
+            if !item.staged.is_empty() {
+                // Book the staging transfer and load the banks now (the
+                // lock-step scheduler stages at the attempt cycle too),
+                // then sleep until the DMA delivers.
+                let delivered = dma.schedule(now, item.staged.len() as u32);
+                let banks = st.core.pipeline_mut().mem_mut().accel_mut().banks_mut();
+                let (bank, off) = banks.resolve(0).expect("data cache starts at 0");
+                banks.bank_mut(bank).load(off as usize, &item.staged);
+                if delivered > now {
+                    st.begin_pending = true;
+                    queue.arm(c, delivered);
+                    continue;
+                }
+            }
+        }
+        st.begin_pending = false;
+
+        // Execute (or replay) the item starting at `now`.
+        let item = &usecase.items()[st.queue[st.at]];
+        let pre = if memoize { Some(st.core.replay_state()) } else { None };
+        let hit = pre.as_ref().and_then(|pre| {
+            st.cache.iter().find(|e| e.staged == item.staged && &e.pre == pre)
+        });
+        let (used, prediction) = if let Some(hit) = hit {
+            for &rel in &hit.touches_rel {
+                touches.push((now + rel - 1, c));
+            }
+            emissions.push(Emission::Absorb {
+                cycle: now + hit.used - 1,
+                core: c,
+                shard: hit.shard.clone(),
+                offset: now as i64,
+            });
+            let (used, prediction, delta, post) =
+                (hit.used, hit.prediction, hit.delta.clone(), hit.post.clone());
+            st.core.apply_replay(&delta);
+            if let Some(post) = &post {
+                st.core.restore_replay_state(post);
+            }
+            replayed += 1;
+            (used, prediction)
+        } else {
+            let (reads_before, _) = l2.accesses();
+            let pipe_before = st.core.pipeline().stats().clone();
+            let core_before = *st.core.stats();
+            let internal_before = st.core.total_cycles();
+            let extra_before = internal_before - pipe_before.cycles;
+            st.core.load_program(st.program.clone());
+            st.core.run(fabric::ITEM_BUDGET).expect("NCPU program must complete");
+            let used = st.core.total_cycles() - internal_before;
+            let (reads_after, _) = l2.accesses();
+            let touches_rel: Vec<u64> = st
+                .core
+                .take_l2_touch_cycles()
+                .into_iter()
+                .map(|t| t - internal_before)
+                .collect();
+            for &rel in &touches_rel {
+                touches.push((now + rel - 1, c));
+            }
+            // Drain this item's events onto an item-relative clock so a
+            // replay can re-base them anywhere.
+            let mut shard = Recorder::with_capacity(level.at_least_counters(), usize::MAX);
+            shard.absorb(st.core.obs_mut(), 0, -(internal_before as i64));
+            emissions.push(Emission::Absorb {
+                cycle: now + used - 1,
+                core: c,
+                shard: shard.clone(),
+                offset: now as i64,
+            });
+            let idx = st.queue[st.at];
+            let prediction =
+                l2.read_word(fabric::result_addr(idx % cores)).expect("result written") as usize;
+            if reads_after > reads_before {
+                // The program read the shared L2: its outcome may depend
+                // on content a skipped replay did not write.
+                if replayed > 0 {
+                    return Err(MemoUnsound);
+                }
+                memoize = false;
+                st.cache.clear();
+            } else if memoize {
+                let pre = pre.expect("captured when memoizing");
+                let after = st.core.pipeline().stats();
+                let delta = ReplayDelta {
+                    pipe: pipe_diff(&pipe_before, after),
+                    core: core_diff(&core_before, st.core.stats()),
+                    extra_cycles: (st.core.total_cycles() - after.cycles) - extra_before,
+                };
+                let post = st.core.replay_state();
+                st.cache.push(Cached {
+                    staged: item.staged.clone(),
+                    post: (post != pre).then_some(post),
+                    pre,
+                    used,
+                    delta,
+                    shard,
+                    touches_rel,
+                    prediction,
+                });
+            }
+            (used, prediction)
+        };
+
+        let idx = st.queue[st.at];
+        st.predictions.push((idx, prediction));
+        st.busy += used;
+        st.finished_at = now + used;
+        st.at += 1;
+        if st.at < st.queue.len() {
+            queue.arm(c, st.finished_at);
+        }
+    }
+
+    // Post-hoc L2 arbitration: same-cycle touches lose to the lowest-
+    // numbered core, exactly the lock-step priority rule.
+    touches.sort_unstable();
+    let mut l2_conflicts = 0u64;
+    let mut i = 0;
+    while i < touches.len() {
+        let cycle = touches[i].0;
+        let mut j = i + 1;
+        while j < touches.len() && touches[j].0 == cycle {
+            l2_conflicts += 1;
+            if rec.wants_events() {
+                let core = touches[j].1;
+                emissions.push(Emission::Stall { cycle, core });
+            }
+            j += 1;
+        }
+        i = j;
+    }
+
+    // Replay the deferred recorder operations in the order the per-cycle
+    // walk would have performed them: by cycle, then core, stalls before
+    // the same core's item absorb.
+    emissions.sort_by_key(Emission::key);
+    for emission in emissions {
+        match emission {
+            Emission::Stall { cycle, core } => {
+                rec.emit(core, cycle, EventKind::Stall { cause: StallCause::L2Conflict });
+            }
+            Emission::Absorb { core, mut shard, offset, .. } => {
+                rec.absorb(&mut shard, core, offset);
+            }
+        }
+    }
+
+    let makespan = states.iter().map(|s| s.finished_at).max().unwrap_or(0);
+    let mut predictions = vec![0usize; usecase.items().len()];
+    let mut pool = Vec::with_capacity(cores);
+    let mut busy = Vec::with_capacity(cores);
+    for st in states {
+        for (idx, pred) in &st.predictions {
+            predictions[*idx] = *pred;
+        }
+        pool.push(st.core);
+        busy.push(st.busy);
+    }
+    rec.set_counter("soc.l2_conflict_cycles", l2_conflicts);
+    let report = fabric::assemble_ncpu_report(
+        &mut rec,
+        &mut dma,
+        &pool,
+        &busy,
+        usecase,
+        fabric::RunOutcome {
+            config: format!("{cores}x ncpu (event)"),
+            makespan,
+            predictions,
+        },
+    );
+    Ok((
+        EventReport { report, l2_conflict_cycles: l2_conflicts, replayed_items: replayed },
+        rec,
+    ))
+}
+
+/// Fieldwise `after - before` of the pipeline counters.
+fn pipe_diff(before: &PipeStats, after: &PipeStats) -> PipeStats {
+    let mut delta = PipeStats {
+        cycles: after.cycles - before.cycles,
+        retired: after.retired - before.retired,
+        load_use_stalls: after.load_use_stalls - before.load_use_stalls,
+        flush_cycles: after.flush_cycles - before.flush_cycles,
+        ex_stall_cycles: after.ex_stall_cycles - before.ex_stall_cycles,
+        mem_stall_cycles: after.mem_stall_cycles - before.mem_stall_cycles,
+        per_instr: after.per_instr.clone(),
+    };
+    for (mnemonic, count) in &before.per_instr {
+        let entry = delta.per_instr.get_mut(mnemonic).expect("per-instr counts only grow");
+        *entry -= count;
+        if *entry == 0 {
+            delta.per_instr.remove(mnemonic);
+        }
+    }
+    delta
+}
+
+/// Fieldwise `after - before` of the core counters.
+fn core_diff(
+    before: &ncpu_core::CoreStats,
+    after: &ncpu_core::CoreStats,
+) -> ncpu_core::CoreStats {
+    ncpu_core::CoreStats {
+        switches: after.switches - before.switches,
+        images_inferred: after.images_inferred - before.images_inferred,
+        bnn_cycles: after.bnn_cycles - before.bnn_cycles,
+        switch_overhead_cycles: after.switch_overhead_cycles - before.switch_overhead_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lockstep::run_ncpu_lockstep_traced;
+    use crate::system::SystemConfig;
+    use ncpu_core::SwitchPolicy;
+
+    fn parametric(batch: usize) -> UseCase {
+        UseCase::parametric(0.6, batch, crate::system::tests::pseudo_model(784, 30, 10))
+    }
+
+    /// The headline property on one fixed configuration (the fuzz suite
+    /// in `tests/engine_differential.rs` covers the matrix): reports,
+    /// counters, and raw event/span streams are byte-identical.
+    #[test]
+    fn event_engine_matches_lockstep_bytes() {
+        let uc = parametric(5);
+        let soc = SocConfig::default();
+        for level in [TraceLevel::Counters, TraceLevel::Full] {
+            let (ls, ls_rec) = run_ncpu_lockstep_traced(&uc, 2, &soc, level);
+            let (ev, ev_rec) = run_ncpu_event_traced(&uc, 2, &soc, level);
+            assert_eq!(ev.l2_conflict_cycles, ls.l2_conflict_cycles);
+            assert_eq!(ev.report.makespan, ls.report.makespan);
+            assert_eq!(ev.report.predictions, ls.report.predictions);
+            assert_eq!(
+                ev.report.cores.iter().map(|c| c.busy_cycles).collect::<Vec<_>>(),
+                ls.report.cores.iter().map(|c| c.busy_cycles).collect::<Vec<_>>(),
+            );
+            assert_eq!(ev_rec.spans(), ls_rec.spans(), "{level:?}: raw span stream");
+            assert_eq!(ev_rec.events(), ls_rec.events(), "{level:?}: raw instant stream");
+            assert_eq!(
+                ev_rec.counters().to_json(),
+                ls_rec.counters().to_json(),
+                "{level:?}: counter registry"
+            );
+            assert!(ev.replayed_items > 0, "steady-state items must replay");
+        }
+    }
+
+    /// Replay accelerates without changing a single byte: batch 16 on
+    /// two cores simulates two items per core and replays the rest.
+    #[test]
+    fn steady_state_items_replay() {
+        let uc = parametric(16);
+        let ev = run_ncpu_event(&uc, 2, &SocConfig::default());
+        // Per core: 8 items, at most 2 distinct (cold first item,
+        // steady-state second); the rest replay.
+        assert!(ev.replayed_items >= 12, "replayed {}", ev.replayed_items);
+        let ls = crate::lockstep::run_ncpu_lockstep(&uc, 2, &SocConfig::default());
+        assert_eq!(ev.report.makespan, ls.report.makespan);
+        assert_eq!(ev.report.predictions, ls.report.predictions);
+    }
+
+    /// The heterogeneous-style staged workloads exercise the DMA wakeup
+    /// path (begin event at the delivery cycle).
+    #[test]
+    fn staged_items_wait_for_dma_delivery() {
+        let uc = UseCase::image(4, 2, 1);
+        for cores in [1usize, 2] {
+            let (ev, _) = run_ncpu_event_traced(&uc, cores, &SocConfig::default(), TraceLevel::Counters);
+            let (ls, _) =
+                run_ncpu_lockstep_traced(&uc, cores, &SocConfig::default(), TraceLevel::Counters);
+            assert_eq!(ev.report.makespan, ls.report.makespan, "{cores} cores");
+            assert_eq!(ev.report.predictions, ls.report.predictions);
+            assert_eq!(ev.l2_conflict_cycles, ls.l2_conflict_cycles);
+        }
+    }
+
+    /// Naive switching produces long busy regions — the case the event
+    /// jump targets — and must still match to the cycle.
+    #[test]
+    fn naive_policy_matches_lockstep() {
+        let uc = parametric(4);
+        let soc = SocConfig { switch_policy: SwitchPolicy::Naive, ..SocConfig::default() };
+        let (ev, ev_rec) = run_ncpu_event_traced(&uc, 4, &soc, TraceLevel::Full);
+        let (ls, ls_rec) = run_ncpu_lockstep_traced(&uc, 4, &soc, TraceLevel::Full);
+        assert_eq!(ev.report.makespan, ls.report.makespan);
+        assert_eq!(ev_rec.events(), ls_rec.events());
+        assert_eq!(ev_rec.spans(), ls_rec.spans());
+    }
+
+    /// Drives the engine through the `Engine` trait like any other.
+    #[test]
+    fn engine_trait_runs_event() {
+        use crate::scenario::{Engine, EventDriven, Scenario};
+        let s = Scenario::new(parametric(3), SystemConfig::Ncpu { cores: 2 });
+        let report = EventDriven.report(&s);
+        assert_eq!(report.config, "2x ncpu (event)");
+        assert_eq!(EventDriven.name(), "event");
+    }
+}

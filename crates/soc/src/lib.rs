@@ -18,16 +18,21 @@
 //!
 //! Prefer the [`Scenario`]/[`Engine`] layer for new code: one value
 //! describes the run (use case × system × fabric × trace × operating
-//! point) and the [`Analytic`], [`Lockstep`], and [`Deep`] engines
-//! execute it interchangeably, at any core count N ≥ 1. All three are
-//! built on one shared `fabric` module, so result mailboxes, program
-//! construction, DMA staging, and report assembly cannot drift apart.
+//! point) and the [`Analytic`], [`Lockstep`], [`EventDriven`], and
+//! [`Deep`] engines execute it interchangeably, at any core count
+//! N ≥ 1. All are built on one shared `fabric` module, so result
+//! mailboxes, program construction, DMA staging, and report assembly
+//! cannot drift apart. [`EventDriven`] is the byte-identical fast twin
+//! of [`Lockstep`]: an event-queue scheduler that jumps between
+//! observable actions instead of walking every cycle.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod deep;
 pub mod energy;
+pub mod event_queue;
+pub mod eventdriven;
 mod fabric;
 pub mod lockstep;
 pub mod phases;
@@ -38,7 +43,7 @@ mod usecase;
 
 pub use fabric::{result_addr, ITEM_BUDGET, L2_BYTES};
 pub use report::{CoreReport, RunReport};
-pub use scenario::{Analytic, Deep, Engine, Lockstep, Scenario};
+pub use scenario::{Analytic, Deep, Engine, EventDriven, Lockstep, Scenario};
 pub use system::{run, run_independent, run_traced, SocConfig, SystemConfig};
 pub use usecase::{UseCase, UseCaseKind};
 

@@ -113,14 +113,16 @@ pub fn run_ncpu_lockstep_traced(
         // waiting out a DMA staging stall or counting down a BNN busy
         // region, no core can touch the L2 port and no event is emitted
         // until the earliest of those regions ends — busy cycles are pure
-        // countdown (see `NcpuCore::busy_remaining`) and stalled cores do
-        // not step at all. Jumping the global clock there in one step is
-        // byte-identical to the cycle-by-cycle loop, only faster.
+        // countdown and stalled cores do not step at all. Each active
+        // core reports that distance via `NcpuCore::next_event_in` (the
+        // same contract the event-driven engine schedules by); jumping
+        // the global clock there in one step is byte-identical to the
+        // cycle-by-cycle loop, only faster.
         let mut skip = u64::MAX;
         let mut idle_bound = false;
         for st in &states {
             let distance = if st.active {
-                st.core.busy_remaining()
+                st.core.next_event_in().expect("an active core is not halted")
             } else {
                 if st.at >= st.queue.len() {
                     continue; // parked for good: no bound

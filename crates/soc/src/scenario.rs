@@ -18,6 +18,12 @@
 //!   port arbitration ([`crate::lockstep`]). Use it to *validate* the
 //!   analytic model or when cycle-level core interaction matters; NCPU
 //!   systems only.
+//! * [`EventDriven`] — the event-queue twin of `Lockstep`
+//!   ([`crate::eventdriven`]): byte-identical reports, counters, and
+//!   event streams (pinned by `tests/engine_differential.rs`), but it
+//!   jumps between observable actions and replays steady-state items
+//!   instead of walking every cycle. Use it wherever lock-step fidelity
+//!   is needed at sweep scale; NCPU systems only.
 //! * [`Deep`] — the beyond-4-layer modes of paper Section VIII-A
 //!   ([`crate::deep`]): N = 1 rolls layers back onto one physical array,
 //!   N ≥ 2 connects cores in series. [`UseCaseKind::Deep`] use cases
@@ -33,6 +39,7 @@ use ncpu_obs::{Recorder, TraceLevel};
 use ncpu_sim::stats::Timeline;
 
 use crate::deep::{run_rolled_traced, run_series_n_traced};
+use crate::eventdriven::run_ncpu_event_traced;
 use crate::lockstep::run_ncpu_lockstep_traced;
 use crate::report::{CoreReport, RunReport};
 use crate::system::{run_traced, SocConfig, SystemConfig};
@@ -180,6 +187,27 @@ impl Engine for Lockstep {
         let (lockstep, rec) =
             run_ncpu_lockstep_traced(&scenario.usecase, cores, &scenario.soc, scenario.trace);
         (lockstep.report, rec)
+    }
+}
+
+/// The event-driven co-simulation — byte-identical to [`Lockstep`] but
+/// orders of magnitude faster on steady-state workloads; NCPU systems
+/// only.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EventDriven;
+
+impl Engine for EventDriven {
+    fn name(&self) -> &'static str {
+        "event"
+    }
+
+    fn run(&self, scenario: &Scenario) -> (RunReport, Recorder) {
+        let SystemConfig::Ncpu { cores } = scenario.system else {
+            panic!("the event-driven engine co-simulates NCPU cores, not the baseline");
+        };
+        let (event, rec) =
+            run_ncpu_event_traced(&scenario.usecase, cores, &scenario.soc, scenario.trace);
+        (event.report, rec)
     }
 }
 

@@ -1,0 +1,57 @@
+//! Engine matrix: one scenario, every engine, any core count.
+//!
+//! Runs the same parametric use case through the [`Analytic`],
+//! [`Lockstep`], and [`EventDriven`] engines at the requested core count
+//! and prints the makespans side by side. The two co-simulating engines
+//! must agree **exactly** — this example doubles as the CI smoke for the
+//! event-driven scheduler at four cores:
+//!
+//! ```text
+//! cargo run --release --example engine_matrix 4
+//! ```
+
+use ncpu::prelude::*;
+use ncpu::bnn::BnnLayer;
+
+/// The workspace's deterministic pseudo-model (4 hidden layers, fixed
+/// weight/bias pattern) — no training, so the example starts instantly.
+fn pseudo_model(input: usize, neurons: usize, classes: usize) -> BnnModel {
+    let topo = Topology::new(input, vec![neurons; 4], classes);
+    let layers = (0..4)
+        .map(|l| {
+            let n_in = topo.layer_input(l);
+            let rows: Vec<BitVec> = (0..neurons)
+                .map(|j| BitVec::from_bools((0..n_in).map(|i| (i * 7 + j * 3 + l) % 5 < 2)))
+                .collect();
+            let bias = (0..neurons).map(|j| (j as i32 % 3) - 1).collect();
+            BnnLayer::new(rows, bias)
+        })
+        .collect();
+    BnnModel::new(topo, layers)
+}
+
+fn main() {
+    let cores: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4);
+    let uc = UseCase::parametric(0.6, 2 * cores.max(1), pseudo_model(784, 30, 10));
+    let scenario = Scenario::new(uc, SystemConfig::Ncpu { cores });
+
+    let analytic = Analytic.report(&scenario);
+    let lockstep = Lockstep.report(&scenario);
+    let event = EventDriven.report(&scenario);
+
+    println!("engine matrix — {} cores, batch {}", cores, analytic.predictions.len());
+    println!("{:<12} {:>12}  predictions", "engine", "makespan");
+    for (name, report) in
+        [("analytic", &analytic), ("lockstep", &lockstep), ("event", &event)]
+    {
+        println!("{:<12} {:>12}  {:?}", name, report.makespan, report.predictions);
+    }
+
+    assert_eq!(
+        event.makespan, lockstep.makespan,
+        "the event-driven engine must match lock-step cycle for cycle"
+    );
+    assert_eq!(event.predictions, lockstep.predictions, "classification drift");
+    assert_eq!(analytic.predictions, lockstep.predictions, "classification drift");
+    println!("event == lockstep at {cores} cores: ok");
+}

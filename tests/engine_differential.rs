@@ -1,0 +1,370 @@
+//! Differential fuzz suite: the event-driven engine must be
+//! **byte-identical** to the lock-step engine on every scenario — same
+//! `RunReport`, same counter registry, same raw and sorted `ncpu-obs`
+//! event streams. Random scenarios cover the full matrix (switch policy
+//! × 1/2/4 cores × use-case kind × DMA operating point × trace level ×
+//! DVFS point), seeded and shrinking via `ncpu-testkit`.
+//!
+//! A second property checks the jump contract the engine is built on:
+//! driving a core by `next_event_in`-sized `step_n` jumps never lands a
+//! shared-L2 touch inside a multi-cycle jump — contended windows are
+//! only ever crossed one cycle at a time.
+
+use std::sync::OnceLock;
+
+use ncpu::prelude::*;
+use ncpu::soc::{EventDriven as EventEngine, Lockstep as LockstepEngine, RunReport};
+use ncpu::core::StepOutcome;
+use ncpu_testkit::prop::{Prop, Shrink};
+use ncpu_testkit::prop_assert_eq;
+use ncpu_testkit::rng::Rng;
+
+/// The soc crate's deterministic test model (replicated here as in
+/// `golden_equivalence.rs`): 4 hidden layers of `neurons`, weights
+/// `(i*7 + j*3 + l) % 5 < 2`, biases `(j % 3) - 1`.
+fn pseudo_model(input: usize, neurons: usize, classes: usize) -> BnnModel {
+    let topo = Topology::new(input, vec![neurons; 4], classes);
+    let layers = (0..4)
+        .map(|l| {
+            let n_in = topo.layer_input(l);
+            let rows: Vec<BitVec> = (0..neurons)
+                .map(|j| BitVec::from_bools((0..n_in).map(|i| (i * 7 + j * 3 + l) % 5 < 2)))
+                .collect();
+            let bias = (0..neurons).map(|j| (j as i32 % 3) - 1).collect();
+            ncpu::bnn::BnnLayer::new(rows, bias)
+        })
+        .collect();
+    BnnModel::new(topo, layers)
+}
+
+/// The non-parametric workloads train real models — build them once.
+fn image_usecase() -> &'static UseCase {
+    static UC: OnceLock<UseCase> = OnceLock::new();
+    UC.get_or_init(|| UseCase::image(2, 2, 1))
+}
+
+fn motion_usecase() -> &'static UseCase {
+    static UC: OnceLock<UseCase> = OnceLock::new();
+    UC.get_or_init(|| UseCase::motion(2, 4, 2))
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Workload {
+    /// CPU fraction in percent, batch size, hidden width, input bits.
+    Parametric { fraction_pct: u32, batch: usize, neurons: usize, input: usize },
+    Image,
+    Motion,
+}
+
+#[derive(Debug, Clone)]
+struct Case {
+    workload: Workload,
+    cores: usize,
+    naive_switch: bool,
+    dma_bytes_per_cycle: u32,
+    dma_setup_cycles: u64,
+    full_trace: bool,
+    /// DVFS operating point in tenths of a volt (`None` = nominal).
+    operating_point: Option<u32>,
+}
+
+impl Case {
+    fn generate(rng: &mut Rng) -> Case {
+        // Weight toward small parametric workloads: they explore the
+        // timing space (spin length, batch, model size) cheaply, while
+        // image/motion exercise the staged-DMA path.
+        let workload = match rng.gen_range(0..10u32) {
+            0 => Workload::Image,
+            1 => Workload::Motion,
+            _ => Workload::Parametric {
+                fraction_pct: rng.gen_range(5..=85u32),
+                batch: rng.gen_range(1..=5usize),
+                neurons: rng.gen_range(10..=30usize),
+                input: *[64usize, 256, 784].get(rng.gen_range(0..3usize)).unwrap(),
+            },
+        };
+        Case {
+            workload,
+            cores: *[1usize, 2, 4].get(rng.gen_range(0..3usize)).unwrap(),
+            naive_switch: rng.gen_bool(0.5),
+            dma_bytes_per_cycle: *[1u32, 2, 4, 8].get(rng.gen_range(0..4usize)).unwrap(),
+            dma_setup_cycles: *[0u64, 3, 16, 32].get(rng.gen_range(0..4usize)).unwrap(),
+            full_trace: rng.gen_bool(0.5),
+            operating_point: rng.gen_bool(0.3).then(|| rng.gen_range(6..=12u32)),
+        }
+    }
+
+    fn scenario(&self) -> Scenario {
+        let usecase = match &self.workload {
+            Workload::Parametric { fraction_pct, batch, neurons, input } => UseCase::parametric(
+                f64::from(*fraction_pct) / 100.0,
+                *batch,
+                pseudo_model(*input, *neurons, 10),
+            ),
+            Workload::Image => image_usecase().clone(),
+            Workload::Motion => motion_usecase().clone(),
+        };
+        let soc = SocConfig {
+            dma_bytes_per_cycle: self.dma_bytes_per_cycle,
+            dma_setup_cycles: self.dma_setup_cycles,
+            switch_policy: if self.naive_switch {
+                SwitchPolicy::Naive
+            } else {
+                SwitchPolicy::ZeroLatency
+            },
+            ..SocConfig::default()
+        };
+        let mut scenario = Scenario::new(usecase, SystemConfig::Ncpu { cores: self.cores })
+            .with_soc(soc)
+            .with_trace(if self.full_trace { TraceLevel::Full } else { TraceLevel::Counters });
+        if let Some(tenths) = self.operating_point {
+            scenario = scenario.with_operating_point(f64::from(tenths) / 10.0);
+        }
+        scenario
+    }
+}
+
+impl Shrink for Case {
+    fn shrink(&self) -> Vec<Case> {
+        let mut out = Vec::new();
+        let mut push = |c: Case| out.push(c);
+        if self.cores > 1 {
+            push(Case { cores: self.cores / 2, ..self.clone() });
+        }
+        match &self.workload {
+            Workload::Parametric { fraction_pct, batch, neurons, input } => {
+                if *batch > 1 {
+                    push(Case {
+                        workload: Workload::Parametric {
+                            fraction_pct: *fraction_pct,
+                            batch: batch - 1,
+                            neurons: *neurons,
+                            input: *input,
+                        },
+                        ..self.clone()
+                    });
+                }
+                if *neurons > 10 {
+                    push(Case {
+                        workload: Workload::Parametric {
+                            fraction_pct: *fraction_pct,
+                            batch: *batch,
+                            neurons: 10,
+                            input: *input,
+                        },
+                        ..self.clone()
+                    });
+                }
+                if *input > 64 {
+                    push(Case {
+                        workload: Workload::Parametric {
+                            fraction_pct: *fraction_pct,
+                            batch: *batch,
+                            neurons: *neurons,
+                            input: 64,
+                        },
+                        ..self.clone()
+                    });
+                }
+                if *fraction_pct != 50 {
+                    push(Case {
+                        workload: Workload::Parametric {
+                            fraction_pct: 50,
+                            batch: *batch,
+                            neurons: *neurons,
+                            input: *input,
+                        },
+                        ..self.clone()
+                    });
+                }
+            }
+            _ => push(Case {
+                workload: Workload::Parametric {
+                    fraction_pct: 50,
+                    batch: 2,
+                    neurons: 10,
+                    input: 64,
+                },
+                ..self.clone()
+            }),
+        }
+        if self.naive_switch {
+            push(Case { naive_switch: false, ..self.clone() });
+        }
+        if self.dma_bytes_per_cycle != 4 || self.dma_setup_cycles != 16 {
+            push(Case { dma_bytes_per_cycle: 4, dma_setup_cycles: 16, ..self.clone() });
+        }
+        if self.full_trace {
+            push(Case { full_trace: false, ..self.clone() });
+        }
+        if self.operating_point.is_some() {
+            push(Case { operating_point: None, ..self.clone() });
+        }
+        out
+    }
+}
+
+/// Renders a report with the engine tag stripped from `config`, so the
+/// two engines' reports can be compared as one byte string.
+fn normalized(report: &RunReport, tag: &str) -> String {
+    assert!(report.config.ends_with(tag), "{} should end with {tag}", report.config);
+    let mut r = report.clone();
+    r.config = r.config.replace(tag, "(engine)");
+    format!("{r:?}")
+}
+
+fn check_case(case: &Case) -> Result<(), String> {
+    let scenario = case.scenario();
+    let (ls_report, ls_rec) = LockstepEngine.run(&scenario);
+    let (ev_report, ev_rec) = EventEngine.run(&scenario);
+
+    // The full report, byte for byte (modulo the engine name).
+    prop_assert_eq!(
+        normalized(&ev_report, "(event)"),
+        normalized(&ls_report, "(lockstep)"),
+        "RunReport diverged"
+    );
+    // The counter registries (includes soc.l2_conflict_cycles, per-core
+    // pipeline/core counters, DMA and run counters).
+    prop_assert_eq!(
+        ev_rec.counters().to_json(),
+        ls_rec.counters().to_json(),
+        "counter registry diverged"
+    );
+    // Raw emission-order streams and the exporter view.
+    prop_assert_eq!(ev_rec.spans(), ls_rec.spans(), "span stream diverged");
+    prop_assert_eq!(ev_rec.events(), ls_rec.events(), "instant stream diverged");
+    prop_assert_eq!(ev_rec.dropped(), ls_rec.dropped(), "capacity drops diverged");
+    prop_assert_eq!(
+        ev_rec.sorted_events(),
+        ls_rec.sorted_events(),
+        "sorted event stream diverged"
+    );
+    Ok(())
+}
+
+/// 256 seeded, shrinking scenarios: EventDriven ≡ Lockstep.
+#[test]
+fn event_engine_is_byte_identical_to_lockstep() {
+    Prop::new("event_engine_is_byte_identical_to_lockstep")
+        .cases(256)
+        // Known interesting corners: 4-core contention with naive
+        // switching, and a staged (image) workload on the DMA path.
+        .pin(&[7, 42])
+        .corpus(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/engine_differential.seeds"))
+        .run(Case::generate, check_case);
+}
+
+/// The jump contract behind the event engine: driving a core by
+/// `next_event_in`-sized `step_n` jumps reproduces the cycle-by-cycle
+/// touch trace exactly, and no L2 touch ever lands inside a multi-cycle
+/// jump (contended windows are crossed one observable cycle at a time).
+#[test]
+fn queue_driven_jumps_never_overshoot_l2_windows() {
+    #[derive(Debug, Clone)]
+    struct TouchCase {
+        stores: Vec<u32>,
+        spin: u32,
+        naive_switch: bool,
+    }
+    impl Shrink for TouchCase {
+        fn shrink(&self) -> Vec<TouchCase> {
+            let mut out = Vec::new();
+            if !self.stores.is_empty() {
+                let mut fewer = self.clone();
+                fewer.stores.pop();
+                out.push(fewer);
+            }
+            if self.spin > 0 {
+                out.push(TouchCase { spin: self.spin / 2, ..self.clone() });
+            }
+            if self.naive_switch {
+                out.push(TouchCase { naive_switch: false, ..self.clone() });
+            }
+            out
+        }
+    }
+
+    fn build_core(case: &TouchCase) -> NcpuCore {
+        let policy = if case.naive_switch {
+            SwitchPolicy::Naive
+        } else {
+            SwitchPolicy::ZeroLatency
+        };
+        NcpuCore::new(pseudo_model(32, 8, 4), AccelConfig::default(), policy)
+    }
+
+    fn program(core: &NcpuCore, case: &TouchCase) -> Vec<u32> {
+        // L2 stores before and after a trans_bnn busy region, separated
+        // by spin loops, so touches interleave with every region kind.
+        let mut src = String::new();
+        src.push_str("li s0, 0\nli s1, 0xbeef\n");
+        for (i, off) in case.stores.iter().enumerate() {
+            src.push_str(&format!("sw_l2 s1, {off}(s0)\n"));
+            if i == case.stores.len() / 2 {
+                src.push_str(&format!(
+                    "li t0, {img}\nli t1, 0x0f0f0f0f\nsw t1, 0(t0)\n\
+                     li t2, 1\nmv_neu t2, 0\ntrans_bnn\n",
+                    img = core.image_base()
+                ));
+            }
+        }
+        for _ in 0..case.spin {
+            src.push_str("addi s2, s2, 1\n");
+        }
+        src.push_str("ebreak\n");
+        asm::assemble(&src).expect("valid touch program")
+    }
+
+    Prop::new("queue_driven_jumps_never_overshoot_l2_windows")
+        .cases(64)
+        .run(
+            |rng| TouchCase {
+                stores: (0..rng.gen_range(1..=6usize))
+                    .map(|_| rng.gen_range(0..64u32) * 4)
+                    .collect(),
+                spin: rng.gen_range(0..40u32),
+                naive_switch: rng.gen_bool(0.5),
+            },
+            |case| {
+                // Reference: cycle-by-cycle walk.
+                let mut reference = build_core(case);
+                reference.set_l2_touch_log(true);
+                reference.load_program(program(&reference, case));
+                while !matches!(
+                    reference.step_one().map_err(|e| e.to_string())?,
+                    StepOutcome::Halted
+                ) {}
+                let expected = reference.take_l2_touch_cycles();
+
+                // Jump-driven walk, recording each jump's busy window.
+                let mut jumper = build_core(case);
+                jumper.set_l2_touch_log(true);
+                jumper.load_program(program(&jumper, case));
+                let mut busy_windows: Vec<(u64, u64)> = Vec::new();
+                while let Some(jump) = jumper.next_event_in() {
+                    let start = jumper.total_cycles();
+                    let (_, consumed) = jumper.step_n(jump).map_err(|e| e.to_string())?;
+                    prop_assert_eq!(consumed, jump, "a jump must consume its full length");
+                    if jump > 1 {
+                        // Multi-cycle jumps only happen inside a BNN busy
+                        // region; CPU-mode wakeups are always 1 cycle.
+                        busy_windows.push((start + 1, start + consumed));
+                    }
+                }
+                let got = jumper.take_l2_touch_cycles();
+                prop_assert_eq!(&got, &expected, "touch traces diverged");
+                prop_assert_eq!(jumper.total_cycles(), reference.total_cycles(), "clocks");
+                for touch in &got {
+                    let inside_busy =
+                        busy_windows.iter().any(|(lo, hi)| touch >= lo && touch <= hi);
+                    if inside_busy {
+                        return Err(format!(
+                            "touch at cycle {touch} landed inside a busy jump {busy_windows:?}"
+                        ));
+                    }
+                }
+                Ok(())
+            },
+        );
+}

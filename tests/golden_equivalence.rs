@@ -9,7 +9,7 @@
 //! the pins in the same commit with a note on why.
 
 use ncpu::prelude::*;
-use ncpu::soc::{Lockstep as LockstepEngine, RunReport};
+use ncpu::soc::{EventDriven as EventEngine, Lockstep as LockstepEngine, RunReport};
 
 /// The soc crate's internal deterministic test model, replicated: 4
 /// hidden layers of `neurons`, weights `(i*7 + j*3 + l) % 5 < 2`, biases
@@ -79,5 +79,18 @@ fn lockstep_engine_reproduces_pre_refactor_cosim_report() {
     let (report, rec) = LockstepEngine.run(&scenario);
     check(&report, 4414, &[2, 2, 2, 2], &[4414, 4414]);
     assert_eq!(report.config, "2x ncpu (lockstep)");
+    assert_eq!(rec.counters().get("soc.l2_conflict_cycles"), 2, "arbitration conflicts");
+}
+
+/// The event-driven engine is pinned to the *same* pre-refactor goldens
+/// as the lock-step engine: jumping between events and replaying
+/// steady-state items must not shift a single cycle.
+#[test]
+fn event_engine_reproduces_pre_refactor_cosim_report() {
+    let uc = UseCase::parametric(0.6, 4, pseudo_model(784, 30, 10));
+    let scenario = Scenario::new(uc, SystemConfig::Ncpu { cores: 2 });
+    let (report, rec) = EventEngine.run(&scenario);
+    check(&report, 4414, &[2, 2, 2, 2], &[4414, 4414]);
+    assert_eq!(report.config, "2x ncpu (event)");
     assert_eq!(rec.counters().get("soc.l2_conflict_cycles"), 2, "arbitration conflicts");
 }
