@@ -23,7 +23,21 @@ rm -rf "$OBS_DIR"
 NCPU_TRACE=full NCPU_TRACE_DIR="$OBS_DIR" \
     cargo run --release --offline --example image_classification 2
 cargo run --release --offline -p ncpu-obs --bin trace_check -- \
-    "$OBS_DIR"/RUN_image.json "$OBS_DIR"/TRACE_image.json
+    --summary "$OBS_DIR"/RUN_image.json "$OBS_DIR"/TRACE_image.json
+
+# Self-profile smoke: with NCPU_SELFPROF=1 the paper binary must emit a
+# non-empty collapsed-stack profile whose visits weighting (a pure
+# function of the workload) is byte-identical across two runs.
+PROF_DIR_A=target/selfprof-ci-a
+PROF_DIR_B=target/selfprof-ci-b
+rm -rf "$PROF_DIR_A" "$PROF_DIR_B"
+NCPU_SELFPROF=1 NCPU_THREADS=1 NCPU_TRACE=off NCPU_TRACE_DIR="$PROF_DIR_A" \
+    cargo run --release --offline -p ncpu-bench --bin paper ext_lockstep > /dev/null
+NCPU_SELFPROF=1 NCPU_THREADS=1 NCPU_TRACE=off NCPU_TRACE_DIR="$PROF_DIR_B" \
+    cargo run --release --offline -p ncpu-bench --bin paper ext_lockstep > /dev/null
+test -s "$PROF_DIR_A"/PROF_paper.folded
+test -s "$PROF_DIR_A"/PROF_paper.visits.folded
+cmp "$PROF_DIR_A"/PROF_paper.visits.folded "$PROF_DIR_B"/PROF_paper.visits.folded
 
 # Determinism under the parallel execution layer: the full determinism
 # suite must pass serially and with a 4-worker pool.
@@ -52,3 +66,23 @@ NCPU_BENCH_SAMPLES=3 NCPU_BENCH_SAMPLE_MS=5 \
     cargo bench --offline -p ncpu-bench --bench event
 mv crates/bench/BENCH_micro.json crates/bench/BENCH_parallel.json \
     crates/bench/BENCH_event.json .
+
+# Perf regression gate: fresh medians against the committed baselines in
+# baselines/. The loose tolerance (fresh must stay under 3x baseline)
+# absorbs the wall-clock noise of tiny sample counts on a loaded shared
+# host — the gate exists to catch order-of-magnitude regressions, not
+# percent drift; the self-test below proves it still bites at 20% on
+# clean data. Exit code 4 (host shape differs from the baseline
+# machine) is tolerated: there the comparison would be meaningless.
+for suite in micro parallel event; do
+    rc=0
+    cargo run --release --offline -p ncpu-obs --bin bench_diff -- \
+        --tolerance 2.0 "baselines/BENCH_$suite.json" "BENCH_$suite.json" || rc=$?
+    if [ "$rc" -ne 0 ] && [ "$rc" -ne 4 ]; then
+        echo "bench_diff: perf regression gate failed for $suite (rc=$rc)" >&2
+        exit "$rc"
+    fi
+    # The gate must demonstrably fail on an injected 20% regression.
+    cargo run --release --offline -p ncpu-obs --bin bench_diff -- \
+        --self-test "BENCH_$suite.json"
+done

@@ -16,6 +16,8 @@
 
 use std::time::Instant;
 
+use ncpu_obs::CycleHistogram;
+use ncpu_soc::{Engine, EventDriven, Scenario, SystemConfig, UseCase};
 use ncpu_testkit::bench::Bench;
 
 /// The parallelized fast figures: every one fans its sweep/config grid
@@ -40,6 +42,33 @@ fn regenerate(ids: &[&str]) -> String {
         out.push('\n');
     }
     out
+}
+
+/// Merges every scenario's `item.latency_cycles` histogram into one
+/// fleet-wide histogram via [`ncpu_par::Pool::par_map_fold`]: the map
+/// (one engine run per scenario) fans out across workers, the merge
+/// folds in scenario index order. Returns the merged histogram's JSON.
+fn fleet_latency_json(workers: usize) -> String {
+    let scenarios: Vec<Scenario> = (1..=4)
+        .map(|cores| {
+            Scenario::new(UseCase::image(8, 30, 10), SystemConfig::Ncpu { cores })
+        })
+        .collect();
+    let pool = ncpu_par::Pool::with_workers(workers);
+    let fleet = pool.par_map_fold(
+        scenarios,
+        |_, s| {
+            let (report, _) = EventDriven.run(&s);
+            report.metrics.get("item.latency_cycles").cloned().unwrap_or_default()
+        },
+        CycleHistogram::new(),
+        |mut acc, h| {
+            acc.merge(&h);
+            acc
+        },
+    );
+    assert!(!fleet.is_empty(), "fleet histogram must observe every item");
+    fleet.to_json()
 }
 
 fn main() {
@@ -77,5 +106,21 @@ fn main() {
         );
     }
     println!("parallel/determinism: outputs byte-identical across thread counts");
+
+    // The ordered-fold reduction: a fleet latency histogram merged across
+    // scenarios must be byte-identical for any worker count.
+    let mut fleet_jsons: Vec<(usize, String)> = Vec::new();
+    for workers in [1usize, 4] {
+        let start = Instant::now();
+        let json = fleet_latency_json(workers);
+        bench.record_once(&format!("fleet_hist/workers{workers}_host{host}"), start.elapsed());
+        fleet_jsons.push((workers, json));
+    }
+    assert_eq!(
+        fleet_jsons[0].1, fleet_jsons[1].1,
+        "fleet latency histogram differs between 1 and 4 workers: \
+         the ordered-fold determinism contract is broken"
+    );
+    println!("parallel/fleet_hist: merged latency histogram byte-identical across worker counts");
     bench.finish();
 }

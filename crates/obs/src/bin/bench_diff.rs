@@ -1,0 +1,284 @@
+//! Bench regression gate: compares a fresh `BENCH_*.json` report
+//! against a committed baseline and fails when any benchmark's median
+//! slows down beyond a noise tolerance.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_diff [--tolerance FRACTION] [--allow-host-mismatch] <baseline.json> <fresh.json>
+//! bench_diff --self-test <report.json>
+//! ```
+//!
+//! A benchmark **regresses** when `fresh.median_ns > baseline.median_ns
+//! × (1 + tolerance)` (default tolerance 0.15). A baseline benchmark
+//! missing from the fresh report also fails the gate — a deleted
+//! benchmark cannot hide a regression. Fresh-only benchmarks are
+//! reported but never fail (new coverage is welcome).
+//!
+//! Reports carry `host_parallelism` / `ncpu_threads` headers; when the
+//! two reports disagree (or a header is missing), the comparison is
+//! meaningless and the tool refuses with exit code 4 unless
+//! `--allow-host-mismatch` is given.
+//!
+//! `--self-test` proves the gate actually bites: the report is compared
+//! against itself (must pass), then against a synthetic copy of itself
+//! with every median inflated by 20% (must fail). CI runs this on each
+//! fresh report so the regression gate cannot silently rot.
+//!
+//! Exit codes: 0 ok, 1 regression (or disappeared benchmark, or failed
+//! self-test), 2 usage/parse error, 4 host-shape refusal.
+
+use std::process::ExitCode;
+
+use ncpu_obs::json::{parse, Json};
+
+/// One benchmark row pulled out of a report's `results` array.
+struct Row {
+    name: String,
+    median_ns: f64,
+}
+
+/// A parsed `BENCH_*.json` report.
+struct Report {
+    suite: String,
+    host_parallelism: Option<u64>,
+    ncpu_threads: Option<u64>,
+    rows: Vec<Row>,
+}
+
+fn load_report(path: &str) -> Result<Report, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: read failed: {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    report_from_doc(path, &doc)
+}
+
+fn report_from_doc(path: &str, doc: &Json) -> Result<Report, String> {
+    let suite = doc
+        .get("suite")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{path}: missing \"suite\" string"))?
+        .to_string();
+    let header = |key: &str| doc.get(key).and_then(Json::as_num).map(|n| n as u64);
+    let results = doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: missing \"results\" array"))?;
+    let mut rows = Vec::with_capacity(results.len());
+    for (i, r) in results.iter().enumerate() {
+        let name = r
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: results[{i}]: missing \"name\""))?
+            .to_string();
+        let median_ns = r
+            .get("median_ns")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("{path}: results[{i}]: missing \"median_ns\""))?;
+        rows.push(Row { name, median_ns });
+    }
+    Ok(Report {
+        suite,
+        host_parallelism: header("host_parallelism"),
+        ncpu_threads: header("ncpu_threads"),
+        rows,
+    })
+}
+
+/// Outcome of comparing two reports.
+enum Verdict {
+    Ok,
+    Regression,
+    HostMismatch(String),
+}
+
+fn compare(base: &Report, fresh: &Report, tolerance: f64, allow_host_mismatch: bool) -> Verdict {
+    if !allow_host_mismatch {
+        let shapes = [
+            ("host_parallelism", base.host_parallelism, fresh.host_parallelism),
+            ("ncpu_threads", base.ncpu_threads, fresh.ncpu_threads),
+        ];
+        for (key, b, f) in shapes {
+            match (b, f) {
+                (Some(b), Some(f)) if b == f => {}
+                (Some(b), Some(f)) => {
+                    return Verdict::HostMismatch(format!(
+                        "{key}: baseline {b} vs fresh {f} — numbers from different \
+                         host shapes are not comparable (--allow-host-mismatch to override)"
+                    ));
+                }
+                _ => {
+                    return Verdict::HostMismatch(format!(
+                        "{key}: header missing from {} report — regenerate it with \
+                         a harness that records the host shape \
+                         (--allow-host-mismatch to override)",
+                        if b.is_none() { "baseline" } else { "fresh" }
+                    ));
+                }
+            }
+        }
+    }
+    if base.suite != fresh.suite {
+        println!(
+            "bench_diff: note: comparing suite {:?} against {:?}",
+            base.suite, fresh.suite
+        );
+    }
+
+    let mut failed = false;
+    for b in &base.rows {
+        let Some(f) = fresh.rows.iter().find(|f| f.name == b.name) else {
+            println!(
+                "bench_diff: FAIL {}/{}: present in baseline, missing from fresh report",
+                base.suite, b.name
+            );
+            failed = true;
+            continue;
+        };
+        let limit = b.median_ns * (1.0 + tolerance);
+        let ratio = if b.median_ns > 0.0 { f.median_ns / b.median_ns } else { f64::INFINITY };
+        if f.median_ns > limit {
+            println!(
+                "bench_diff: FAIL {}/{}: median {:.1} ns vs baseline {:.1} ns \
+                 ({:+.1}% > +{:.0}% tolerance)",
+                base.suite,
+                b.name,
+                f.median_ns,
+                b.median_ns,
+                (ratio - 1.0) * 100.0,
+                tolerance * 100.0,
+            );
+            failed = true;
+        } else {
+            println!(
+                "bench_diff: ok   {}/{}: median {:.1} ns vs baseline {:.1} ns ({:+.1}%)",
+                base.suite,
+                b.name,
+                f.median_ns,
+                b.median_ns,
+                (ratio - 1.0) * 100.0,
+            );
+        }
+    }
+    for f in &fresh.rows {
+        if !base.rows.iter().any(|b| b.name == f.name) {
+            println!(
+                "bench_diff: note {}/{}: new benchmark (no baseline), median {:.1} ns",
+                fresh.suite, f.name, f.median_ns
+            );
+        }
+    }
+    if failed {
+        Verdict::Regression
+    } else {
+        Verdict::Ok
+    }
+}
+
+/// Proves the gate bites: a report must pass against itself and fail
+/// against a copy of itself with every median inflated by 20%.
+fn self_test(path: &str) -> Result<(), String> {
+    let report = load_report(path)?;
+    if report.rows.is_empty() {
+        return Err(format!("{path}: empty results array — nothing to gate"));
+    }
+    println!("bench_diff: self-test {path}: comparing report against itself");
+    match compare(&report, &report, 0.15, false) {
+        Verdict::Ok => {}
+        Verdict::Regression => {
+            return Err(format!("{path}: report regressed against itself"));
+        }
+        Verdict::HostMismatch(why) => {
+            return Err(format!("{path}: host mismatch against itself: {why}"));
+        }
+    }
+    println!("bench_diff: self-test {path}: injecting a 20% regression on every median");
+    let slowed = Report {
+        suite: report.suite.clone(),
+        host_parallelism: report.host_parallelism,
+        ncpu_threads: report.ncpu_threads,
+        rows: report
+            .rows
+            .iter()
+            .map(|r| Row { name: r.name.clone(), median_ns: r.median_ns * 1.2 })
+            .collect(),
+    };
+    match compare(&report, &slowed, 0.15, false) {
+        Verdict::Regression => {
+            println!("bench_diff: self-test {path}: gate caught the injected regression");
+            Ok(())
+        }
+        _ => Err(format!("{path}: gate did NOT catch an injected 20% regression")),
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench_diff [--tolerance FRACTION] [--allow-host-mismatch] \
+         <baseline.json> <fresh.json>\n       bench_diff --self-test <report.json>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tolerance = 0.15f64;
+    let mut allow_host_mismatch = false;
+    let mut self_test_mode = false;
+    let mut files: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|v| v.parse::<f64>().ok()) else {
+                    return usage();
+                };
+                if !(v >= 0.0 && v.is_finite()) {
+                    return usage();
+                }
+                tolerance = v;
+            }
+            "--allow-host-mismatch" => allow_host_mismatch = true,
+            "--self-test" => self_test_mode = true,
+            arg if arg.starts_with("--") => return usage(),
+            arg => files.push(arg.to_string()),
+        }
+        i += 1;
+    }
+
+    if self_test_mode {
+        if files.len() != 1 {
+            return usage();
+        }
+        return match self_test(&files[0]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("bench_diff: self-test failed: {e}");
+                ExitCode::from(1)
+            }
+        };
+    }
+
+    if files.len() != 2 {
+        return usage();
+    }
+    let (base, fresh) = match (load_report(&files[0]), load_report(&files[1])) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match compare(&base, &fresh, tolerance, allow_host_mismatch) {
+        Verdict::Ok => {
+            println!("bench_diff: ok — {} benchmarks within tolerance", base.rows.len());
+            ExitCode::SUCCESS
+        }
+        Verdict::Regression => ExitCode::from(1),
+        Verdict::HostMismatch(why) => {
+            eprintln!("bench_diff: refusing to compare: {why}");
+            ExitCode::from(4)
+        }
+    }
+}

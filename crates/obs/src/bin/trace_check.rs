@@ -1,46 +1,160 @@
 //! CI well-formedness checker for emitted observability artifacts.
 //!
-//! Usage: `trace_check <file.json>...` — files whose stem starts with
-//! `RUN_` are checked against the run-artifact shape, files starting
-//! with `TRACE_` against the Chrome `trace_event` shape; anything else
-//! must pass at least one of the two. Exits non-zero on the first
-//! malformed file or unknown event kind.
+//! Usage: `trace_check [--summary] <file.json>...` — files whose stem
+//! starts with `RUN_` are checked against the run-artifact shape, files
+//! starting with `TRACE_` against the Chrome `trace_event` shape;
+//! anything else must pass at least one of the two. Exits non-zero on
+//! the first malformed file or unknown event kind.
+//!
+//! A run artifact with a nonzero `obs.dropped_instants` counter gets a
+//! `warning:` line (exit code unchanged): the bounded instant buffer
+//! overflowed, so the `TRACE_*` file silently truncates the run.
+//!
+//! With `--summary`, each file additionally prints aggregate totals:
+//! span counts and a span-duration histogram (run artifacts aggregate
+//! core spans, chrome traces aggregate `ph:"X"` events via the same
+//! [`CycleHistogram`] the metrics layer uses), counter totals, and the
+//! artifact's own metrics block when present.
 
 use std::process::ExitCode;
 
 use ncpu_obs::json::{parse, validate_chrome_trace, validate_run_artifact, Json};
+use ncpu_obs::CycleHistogram;
 
-fn check_file(path: &str) -> Result<&'static str, String> {
+struct Checked {
+    kind: &'static str,
+    warnings: Vec<String>,
+    doc: Json,
+}
+
+fn check_file(path: &str) -> Result<Checked, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
     let doc: Json = parse(&text)?;
     let stem = std::path::Path::new(path)
         .file_name()
         .map(|n| n.to_string_lossy().into_owned())
         .unwrap_or_default();
-    if stem.starts_with("RUN_") {
+    let kind = if stem.starts_with("RUN_") {
         validate_run_artifact(&doc)?;
-        Ok("run artifact")
+        "run artifact"
     } else if stem.starts_with("TRACE_") {
         validate_chrome_trace(&doc)?;
-        Ok("chrome trace")
+        "chrome trace"
     } else if validate_run_artifact(&doc).is_ok() {
-        Ok("run artifact")
+        "run artifact"
     } else {
         validate_chrome_trace(&doc)?;
-        Ok("chrome trace")
+        "chrome trace"
+    };
+    let mut warnings = Vec::new();
+    if kind == "run artifact" {
+        let dropped = doc
+            .get("counters")
+            .and_then(|c| c.get("obs.dropped_instants"))
+            .and_then(Json::as_num)
+            .unwrap_or(0.0);
+        if dropped > 0.0 {
+            warnings.push(format!(
+                "{dropped:.0} instant events dropped by the bounded buffer — \
+                 the TRACE_* file silently truncates this run \
+                 (raise the recorder capacity to keep them)"
+            ));
+        }
+    }
+    Ok(Checked { kind, warnings, doc })
+}
+
+/// Span-duration aggregation: `(span_count, duration_histogram)`.
+fn span_stats(checked: &Checked) -> (u64, CycleHistogram) {
+    let mut hist = CycleHistogram::new();
+    let mut count = 0u64;
+    match checked.kind {
+        "run artifact" => {
+            for core in checked.doc.get("cores").and_then(Json::as_arr).unwrap_or(&[]) {
+                for span in core.get("spans").and_then(Json::as_arr).unwrap_or(&[]) {
+                    let (Some(start), Some(end)) = (
+                        span.get("start").and_then(Json::as_num),
+                        span.get("end").and_then(Json::as_num),
+                    ) else {
+                        continue;
+                    };
+                    count += 1;
+                    hist.record((end - start).max(0.0) as u64);
+                }
+            }
+        }
+        _ => {
+            for event in
+                checked.doc.get("traceEvents").and_then(Json::as_arr).unwrap_or(&[])
+            {
+                if event.get("ph").and_then(Json::as_str) == Some("X") {
+                    count += 1;
+                    hist.record(
+                        event.get("dur").and_then(Json::as_num).unwrap_or(0.0).max(0.0) as u64,
+                    );
+                }
+            }
+        }
+    }
+    (count, hist)
+}
+
+fn print_summary(file: &str, checked: &Checked) {
+    let (spans, durations) = span_stats(checked);
+    println!(
+        "  {file}: {spans} spans, duration cycles: total {} p50 {} p99 {} max {}",
+        durations.sum(),
+        durations.p50(),
+        durations.p99(),
+        durations.max(),
+    );
+    if let Some(Json::Obj(counters)) = checked.doc.get("counters") {
+        let total: f64 = counters.iter().filter_map(|(_, v)| v.as_num()).sum();
+        println!("  {file}: {} counters, total {total:.0}", counters.len());
+    }
+    if let Some(Json::Obj(metrics)) = checked.doc.get("metrics") {
+        for (name, hist) in metrics {
+            let get = |k: &str| hist.get(k).and_then(Json::as_num).unwrap_or(0.0);
+            println!(
+                "  {file}: metric {name}: count {:.0} p50 {:.0} p99 {:.0} max {:.0}",
+                get("count"),
+                get("p50"),
+                get("p99"),
+                get("max"),
+            );
+        }
     }
 }
 
 fn main() -> ExitCode {
-    let files: Vec<String> = std::env::args().skip(1).collect();
+    let mut summary = false;
+    let files: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|arg| {
+            if arg == "--summary" {
+                summary = true;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
     if files.is_empty() {
-        eprintln!("usage: trace_check <file.json>...");
+        eprintln!("usage: trace_check [--summary] <file.json>...");
         return ExitCode::FAILURE;
     }
     let mut failed = false;
     for file in &files {
         match check_file(file) {
-            Ok(kind) => println!("trace_check: {file}: ok ({kind})"),
+            Ok(checked) => {
+                println!("trace_check: {file}: ok ({})", checked.kind);
+                for warning in &checked.warnings {
+                    println!("trace_check: {file}: warning: {warning}");
+                }
+                if summary {
+                    print_summary(file, &checked);
+                }
+            }
             Err(err) => {
                 eprintln!("trace_check: {file}: {err}");
                 failed = true;

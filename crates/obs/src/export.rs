@@ -13,6 +13,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::event::EventKind;
+use crate::metrics::MetricsReport;
 use crate::record::{Counters, Recorder};
 
 /// Escapes `s` for inclusion in a JSON string literal.
@@ -65,13 +66,16 @@ pub struct RunArtifact {
     pub cores: Vec<CoreArtifact>,
     /// Final counter registry snapshot.
     pub counters: Counters,
+    /// Cycle-domain histograms (per-item latency, queue depth,
+    /// per-core utilization) recorded over the run.
+    pub metrics: MetricsReport,
 }
 
 impl RunArtifact {
     /// Renders the artifact as deterministic JSON.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        let _ = writeln!(out, "  \"schema\": \"ncpu-run-v1\",");
+        let _ = writeln!(out, "  \"schema\": \"ncpu-run-v2\",");
         let _ = writeln!(out, "  \"name\": {},", json_string(&self.name));
         let _ = writeln!(out, "  \"config\": {},", json_string(&self.config));
         let _ = writeln!(out, "  \"makespan_cycles\": {},", self.makespan);
@@ -105,6 +109,13 @@ impl RunArtifact {
         for (i, (name, value)) in self.counters.iter().enumerate() {
             let comma = if i + 1 < total { "," } else { "" };
             let _ = writeln!(out, "    {}: {value}{comma}", json_string(name));
+        }
+        out.push_str("  },\n");
+        out.push_str("  \"metrics\": {\n");
+        let total = self.metrics.len();
+        for (i, (name, hist)) in self.metrics.iter().enumerate() {
+            let comma = if i + 1 < total { "," } else { "" };
+            let _ = writeln!(out, "    {}: {}{comma}", json_string(name), hist.to_json());
         }
         out.push_str("  }\n}\n");
         out
@@ -224,6 +235,9 @@ mod tests {
         rec.emit(0, 10, EventKind::ModeSwitch { to: crate::event::Mode::Bnn });
         rec.set_counter("core0.retired", 12);
         rec.set_counter("run.makespan_cycles", 30);
+        rec.metric("item.latency_cycles", 10);
+        rec.metric("item.latency_cycles", 24);
+        rec.metric("core.util_permille", 1000);
         let artifact = RunArtifact {
             name: "tiny".into(),
             config: "2x ncpu".into(),
@@ -244,6 +258,7 @@ mod tests {
                 },
             ],
             counters: rec.counters().clone(),
+            metrics: rec.metrics().clone(),
         };
         (artifact, rec)
     }

@@ -236,11 +236,50 @@ fn require_str<'a>(value: &'a Json, key: &str, context: &str) -> Result<&'a str,
         .ok_or_else(|| format!("{context}: missing string \"{key}\""))
 }
 
+/// Checks that `name` sticks to the counter/metric naming charset.
+fn check_name_charset(name: &str, what: &str) -> Result<(), String> {
+    let ok = !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_');
+    if ok {
+        Ok(())
+    } else {
+        Err(format!("{what} name \"{name}\" outside [a-z0-9._]"))
+    }
+}
+
+/// Checks one histogram value in a v2 `"metrics"` block: the required
+/// summary scalars plus a `buckets` array of `[index, count, max]`
+/// triples.
+fn validate_histogram(name: &str, value: &Json) -> Result<(), String> {
+    let context = format!("metric \"{name}\"");
+    for key in ["count", "sum", "min", "max", "p50", "p99", "p999"] {
+        require_num(value, key, &context)?;
+    }
+    let buckets = value
+        .get("buckets")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{context}: missing \"buckets\" array"))?;
+    for bucket in buckets {
+        let triple = bucket
+            .as_arr()
+            .filter(|t| t.len() == 3 && t.iter().all(|v| v.as_num().is_some()))
+            .ok_or_else(|| format!("{context}: bucket is not a numeric triple"))?;
+        if triple[1].as_num() == Some(0.0) {
+            return Err(format!("{context}: empty bucket emitted"));
+        }
+    }
+    Ok(())
+}
+
 /// Checks a parsed `RUN_<usecase>.json` document: required fields,
 /// numeric types, counter-name charset, and span labels restricted to
-/// the known phase taxonomy.
+/// the known phase taxonomy. Accepts schema `ncpu-run-v1` (no metrics)
+/// and `ncpu-run-v2` (requires a well-formed `"metrics"` block).
 pub fn validate_run_artifact(doc: &Json) -> Result<(), String> {
-    if doc.get("schema").and_then(Json::as_str) != Some("ncpu-run-v1") {
+    let schema = doc.get("schema").and_then(Json::as_str);
+    if schema != Some("ncpu-run-v1") && schema != Some("ncpu-run-v2") {
         return Err("run artifact: missing or wrong \"schema\"".to_string());
     }
     require_str(doc, "name", "run artifact")?;
@@ -276,15 +315,19 @@ pub fn validate_run_artifact(doc: &Json) -> Result<(), String> {
         return Err("run artifact: \"counters\" must be an object".to_string());
     };
     for (name, value) in fields {
-        let ok = !name.is_empty()
-            && name
-                .chars()
-                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_');
-        if !ok {
-            return Err(format!("counter name \"{name}\" outside [a-z0-9._]"));
-        }
+        check_name_charset(name, "counter")?;
         if value.as_num().is_none() {
             return Err(format!("counter \"{name}\" is not numeric"));
+        }
+    }
+    if schema == Some("ncpu-run-v2") {
+        let metrics = doc.get("metrics").ok_or("run artifact: missing \"metrics\"")?;
+        let Json::Obj(fields) = metrics else {
+            return Err("run artifact: \"metrics\" must be an object".to_string());
+        };
+        for (name, value) in fields {
+            check_name_charset(name, "metric")?;
+            validate_histogram(name, value)?;
         }
     }
     Ok(())
@@ -399,6 +442,34 @@ mod tests {
         .unwrap();
         let err = validate_run_artifact(&doc).unwrap_err();
         assert!(err.contains("unknown span label"), "{err}");
+    }
+
+    #[test]
+    fn validator_accepts_v2_metrics_and_flags_bad_histograms() {
+        let ok = parse(
+            r#"{"schema":"ncpu-run-v2","name":"x","config":"c","makespan_cycles":1,
+                "accuracy":1.0,"cores":[],"counters":{},
+                "metrics":{"item.latency_cycles":
+                    {"count":2,"sum":34,"min":10,"max":24,"p50":10,"p99":24,"p999":24,
+                     "buckets":[[4,1,10],[5,1,24]]}}}"#,
+        )
+        .unwrap();
+        validate_run_artifact(&ok).expect("v2 with metrics validates");
+        let missing = parse(
+            r#"{"schema":"ncpu-run-v2","name":"x","config":"c","makespan_cycles":1,
+                "accuracy":1.0,"cores":[],"counters":{}}"#,
+        )
+        .unwrap();
+        assert!(validate_run_artifact(&missing).is_err(), "v2 requires metrics");
+        let bad = parse(
+            r#"{"schema":"ncpu-run-v2","name":"x","config":"c","makespan_cycles":1,
+                "accuracy":1.0,"cores":[],"counters":{},
+                "metrics":{"m":{"count":1,"sum":1,"min":1,"max":1,"p50":1,"p99":1,
+                                "p999":1,"buckets":[[1,1]]}}}"#,
+        )
+        .unwrap();
+        let err = validate_run_artifact(&bad).unwrap_err();
+        assert!(err.contains("numeric triple"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,402 @@
+//! Deterministic, allocation-light cycle-domain metrics.
+//!
+//! The run reports carried only makespan and scalar counters; the
+//! serving and QoS roadmap items need *distributions* — per-item
+//! latency, queue depth, per-core utilization — and they need them to
+//! stay byte-identical across engines and worker counts. This module
+//! provides the one aggregate both can share:
+//!
+//! * [`CycleHistogram`] — a log2-bucketed histogram over `u64` cycle
+//!   values with a fixed 65-bucket layout (no heap allocation per
+//!   sample). Each bucket keeps a count *and* the maximum value it has
+//!   seen, so quantiles are reported as the exact maximum of the bucket
+//!   holding the nearest-rank sample — deterministic, merge-order
+//!   independent, and exact whenever a bucket holds a single distinct
+//!   value (the steady-state common case, where every item has the same
+//!   latency). In the worst case the reported quantile overshoots the
+//!   true nearest-rank value by strictly less than 2× (both live in the
+//!   same power-of-two bucket).
+//! * [`MetricsReport`] — a named registry of histograms, `BTreeMap`
+//!   backed so iteration and JSON export are deterministic, with an
+//!   associative+commutative [`MetricsReport::merge`] so per-worker
+//!   shards fold to the same bytes in any grouping (the `ncpu-par`
+//!   ordered fold relies on this).
+//!
+//! Determinism argument: `record` and `merge` only ever add counts and
+//! take maxima — both commutative, associative monoids — so the final
+//! histogram state is a function of the *multiset* of recorded values,
+//! never of arrival order, thread interleaving, or merge tree shape.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Number of buckets: bucket 0 holds the value 0, bucket `k ≥ 1` holds
+/// values in `[2^(k-1), 2^k)`, up to `k = 64` (all of `u64`).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram over cycle counts (or any `u64` metric).
+///
+/// Fixed-size, no heap: recording is two array writes plus scalar
+/// updates. See the module docs for the quantile semantics.
+#[derive(Clone, PartialEq, Eq)]
+pub struct CycleHistogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    counts: [u64; HISTOGRAM_BUCKETS],
+    maxes: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for CycleHistogram {
+    fn default() -> CycleHistogram {
+        CycleHistogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            counts: [0; HISTOGRAM_BUCKETS],
+            maxes: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+/// Bucket index for `value`: 0 for 0, else `1 + floor(log2 value)`.
+fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+impl CycleHistogram {
+    /// An empty histogram.
+    pub fn new() -> CycleHistogram {
+        CycleHistogram::default()
+    }
+
+    /// Records one sample. The running sum saturates at `u64::MAX`
+    /// rather than wrapping: a pegged total is visibly wrong, a wrapped
+    /// one is silently misleading.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        let b = bucket_of(value);
+        self.counts[b] += 1;
+        self.maxes[b] = self.maxes[b].max(value);
+    }
+
+    /// Folds `other` into `self`. Commutative and associative: any merge
+    /// tree over the same samples yields the same histogram.
+    pub fn merge(&mut self, other: &CycleHistogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for b in 0..HISTOGRAM_BUCKETS {
+            self.counts[b] += other.counts[b];
+            self.maxes[b] = self.maxes[b].max(other.maxes[b]);
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of the recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The quantile at `q ∈ [0, 1]` by nearest rank: the max of the
+    /// bucket containing sample number `ceil(q·count)` in sorted order
+    /// (0 when empty). Exact for `q = 1`; otherwise an upper bound
+    /// within 2× of the true nearest-rank value (same log2 bucket).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for b in 0..HISTOGRAM_BUCKETS {
+            seen += self.counts[b];
+            if seen >= rank {
+                return self.maxes[b];
+            }
+        }
+        self.max
+    }
+
+    /// Median ([`CycleHistogram::quantile`] at 0.50).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// `(bucket_index, count, bucket_max)` for every non-empty bucket,
+    /// in ascending bucket order.
+    pub fn buckets(&self) -> Vec<(usize, u64, u64)> {
+        (0..HISTOGRAM_BUCKETS)
+            .filter(|&b| self.counts[b] > 0)
+            .map(|b| (b, self.counts[b], self.maxes[b]))
+            .collect()
+    }
+
+    /// Renders the histogram as a deterministic JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p99\":{},\"p999\":{},\"buckets\":[",
+            self.count,
+            self.sum,
+            self.min(),
+            self.max,
+            self.p50(),
+            self.p99(),
+            self.p999(),
+        );
+        for (i, (b, count, max)) in self.buckets().into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{b},{count},{max}]");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl fmt::Debug for CycleHistogram {
+    /// Compact, deterministic: summary scalars plus non-empty buckets
+    /// (the raw 65-entry arrays would drown report Debug output).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CycleHistogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("min", &self.min())
+            .field("max", &self.max)
+            .field("buckets", &self.buckets())
+            .finish()
+    }
+}
+
+/// A named registry of [`CycleHistogram`]s — the `metrics` block of a
+/// run report / `RUN_*.json` artifact.
+///
+/// Naming follows the counter convention (`[a-z0-9._]`):
+/// `item.latency_cycles`, `item.service_cycles`, `item.queue_depth`,
+/// `core.util_permille`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsReport {
+    histograms: BTreeMap<String, CycleHistogram>,
+}
+
+impl MetricsReport {
+    /// An empty report.
+    pub fn new() -> MetricsReport {
+        MetricsReport::default()
+    }
+
+    /// Records `value` into the histogram named `name`, creating it
+    /// empty first.
+    pub fn record(&mut self, name: &str, value: u64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.record(value);
+        } else {
+            let mut h = CycleHistogram::new();
+            h.record(value);
+            self.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    /// Folds `other` into `self`, histogram by histogram. Commutative
+    /// and associative, like [`CycleHistogram::merge`].
+    pub fn merge(&mut self, other: &MetricsReport) {
+        for (name, h) in &other.histograms {
+            if let Some(mine) = self.histograms.get_mut(name) {
+                mine.merge(h);
+            } else {
+                self.histograms.insert(name.clone(), h.clone());
+            }
+        }
+    }
+
+    /// The histogram named `name`, if it has recorded anything.
+    pub fn get(&self, name: &str) -> Option<&CycleHistogram> {
+        self.histograms.get(name)
+    }
+
+    /// Number of named histograms.
+    pub fn len(&self) -> usize {
+        self.histograms.len()
+    }
+
+    /// True if no histogram exists.
+    pub fn is_empty(&self) -> bool {
+        self.histograms.is_empty()
+    }
+
+    /// Sorted iteration over `(name, histogram)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &CycleHistogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Renders the registry as a deterministic JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, h)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{}", h.to_json());
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = CycleHistogram::new();
+        assert_eq!((h.count(), h.sum(), h.min(), h.max()), (0, 0, 0, 0));
+        assert_eq!((h.p50(), h.p99(), h.p999()), (0, 0, 0));
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.to_json(), "{\"count\":0,\"sum\":0,\"min\":0,\"max\":0,\"p50\":0,\"p99\":0,\"p999\":0,\"buckets\":[]}");
+    }
+
+    #[test]
+    fn single_value_quantiles_are_exact() {
+        let mut h = CycleHistogram::new();
+        for _ in 0..1000 {
+            h.record(1234);
+        }
+        assert_eq!(h.p50(), 1234);
+        assert_eq!(h.p99(), 1234);
+        assert_eq!(h.p999(), 1234);
+        assert_eq!(h.max(), 1234);
+        assert_eq!(h.min(), 1234);
+        assert_eq!(h.mean(), 1234.0);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded() {
+        let mut h = CycleHistogram::new();
+        for v in [0u64, 1, 5, 17, 100, 1000, 65536, 7, 3, 3] {
+            h.record(v);
+        }
+        assert!(h.min() <= h.p50());
+        assert!(h.p50() <= h.p99());
+        assert!(h.p99() <= h.p999());
+        assert!(h.p999() <= h.max());
+        assert_eq!(h.max(), 65536);
+        assert_eq!(h.quantile(1.0), 65536);
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.sum(), 66672);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = CycleHistogram::new();
+        let mut b = CycleHistogram::new();
+        for v in [1u64, 10, 100] {
+            a.record(v);
+        }
+        for v in [2u64, 20, 200, 0] {
+            b.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.to_json(), ba.to_json());
+        assert_eq!(ab.count(), 7);
+    }
+
+    #[test]
+    fn report_records_merges_and_exports_sorted() {
+        let mut a = MetricsReport::new();
+        a.record("item.latency_cycles", 100);
+        a.record("core.util_permille", 999);
+        let mut b = MetricsReport::new();
+        b.record("item.latency_cycles", 200);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get("item.latency_cycles").unwrap().count(), 2);
+        let json = a.to_json();
+        // BTreeMap order: core.* before item.*.
+        let core_at = json.find("core.util_permille").unwrap();
+        let item_at = json.find("item.latency_cycles").unwrap();
+        assert!(core_at < item_at, "{json}");
+        assert!(a.get("missing").is_none());
+    }
+
+    #[test]
+    fn debug_output_is_compact() {
+        let mut h = CycleHistogram::new();
+        h.record(9);
+        let dbg = format!("{h:?}");
+        assert!(dbg.contains("buckets: [(4, 1, 9)]"), "{dbg}");
+        assert!(!dbg.contains("0, 0, 0, 0, 0, 0, 0, 0, 0"), "{dbg}");
+    }
+}

@@ -16,6 +16,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::event::{Event, EventKind};
+use crate::metrics::MetricsReport;
 
 /// How much the recorder keeps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
@@ -135,6 +136,7 @@ pub struct Recorder {
     events: Vec<Event>,
     dropped: u64,
     counters: Counters,
+    metrics: MetricsReport,
 }
 
 impl Recorder {
@@ -223,6 +225,19 @@ impl Recorder {
         }
     }
 
+    /// Records one sample of `value` into the cycle-domain histogram
+    /// `name` (no-op when the level is `Off`).
+    pub fn metric(&mut self, name: &str, value: u64) {
+        if self.wants_spans() {
+            self.metrics.record(name, value);
+        }
+    }
+
+    /// The metrics registry: cycle-domain histograms keyed by name.
+    pub fn metrics(&self) -> &MetricsReport {
+        &self.metrics
+    }
+
     /// The counter registry.
     pub fn counters(&self) -> &Counters {
         &self.counters
@@ -263,6 +278,8 @@ impl Recorder {
         child.dropped = 0;
         self.counters.merge(&child.counters);
         child.counters = Counters::new();
+        self.metrics.merge(&child.metrics);
+        child.metrics = MetricsReport::new();
     }
 
     /// All recorded events (spans then instants) sorted by
@@ -327,6 +344,22 @@ mod tests {
         let inst = &root.events()[0];
         assert_eq!((inst.core, inst.cycle), (3, 112));
         assert_eq!(root.counters().get("images"), 2);
+    }
+
+    #[test]
+    fn metrics_follow_the_counter_gate_and_absorb() {
+        let mut off = Recorder::disabled();
+        off.metric("item.latency_cycles", 7);
+        assert!(off.metrics().is_empty());
+
+        let mut root = Recorder::new(TraceLevel::Counters);
+        root.metric("item.latency_cycles", 4);
+        let mut child = Recorder::new(TraceLevel::Counters);
+        child.metric("item.latency_cycles", 9);
+        root.absorb(&mut child, 1, 0);
+        assert!(child.metrics().is_empty());
+        let hist = root.metrics().get("item.latency_cycles").unwrap();
+        assert_eq!((hist.count(), hist.min(), hist.max()), (2, 4, 9));
     }
 
     #[test]

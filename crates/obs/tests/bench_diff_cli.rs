@@ -1,0 +1,143 @@
+//! The `bench_diff` regression gate, end to end: exit codes for the
+//! pass / regression / host-mismatch / self-test paths, driven through
+//! the real binary against fixture reports written to a temp dir.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// A minimal report in the `ncpu_testkit::bench::Bench::to_json` shape.
+fn report(suite: &str, threads: u64, medians: &[(&str, f64)]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"suite\": \"{suite}\",\n"));
+    out.push_str("  \"host_parallelism\": 8,\n");
+    out.push_str(&format!("  \"ncpu_threads\": {threads},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, (name, median)) in medians.iter().enumerate() {
+        let comma = if i + 1 < medians.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"median_ns\": {median:.1}, \"min_ns\": {median:.1}, \
+             \"max_ns\": {median:.1}, \"samples\": 3, \"iters_per_sample\": 1, \
+             \"elements\": 0, \"elems_per_sec\": null}}{comma}\n"
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes `contents` under a per-test temp dir and returns the path.
+fn fixture(test: &str, name: &str, contents: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ncpu_bench_diff_{test}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, contents).expect("fixture written");
+    path
+}
+
+fn run(args: &[&str]) -> (Option<i32>, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_diff"))
+        .args(args)
+        .output()
+        .expect("bench_diff runs");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn identical_reports_pass() {
+    let base = fixture("pass", "base.json", &report("s", 4, &[("a", 100.0), ("b", 50.0)]));
+    let (code, stdout, _) = run(&[base.to_str().unwrap(), base.to_str().unwrap()]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("within tolerance"), "{stdout}");
+}
+
+#[test]
+fn twenty_percent_regression_fails_at_default_tolerance() {
+    let base = fixture("reg", "base.json", &report("s", 4, &[("a", 100.0)]));
+    let slow = fixture("reg", "slow.json", &report("s", 4, &[("a", 120.0)]));
+    let (code, stdout, _) = run(&[base.to_str().unwrap(), slow.to_str().unwrap()]);
+    assert_eq!(code, Some(1), "{stdout}");
+    assert!(stdout.contains("FAIL"), "{stdout}");
+}
+
+#[test]
+fn regression_within_raised_tolerance_passes() {
+    let base = fixture("tol", "base.json", &report("s", 4, &[("a", 100.0)]));
+    let slow = fixture("tol", "slow.json", &report("s", 4, &[("a", 120.0)]));
+    let (code, stdout, _) =
+        run(&["--tolerance", "0.5", base.to_str().unwrap(), slow.to_str().unwrap()]);
+    assert_eq!(code, Some(0), "{stdout}");
+}
+
+#[test]
+fn disappeared_benchmark_fails() {
+    let base = fixture("gone", "base.json", &report("s", 4, &[("a", 100.0), ("b", 50.0)]));
+    let fresh = fixture("gone", "fresh.json", &report("s", 4, &[("a", 100.0)]));
+    let (code, stdout, _) = run(&[base.to_str().unwrap(), fresh.to_str().unwrap()]);
+    assert_eq!(code, Some(1), "{stdout}");
+    assert!(stdout.contains("missing from fresh"), "{stdout}");
+}
+
+#[test]
+fn new_benchmark_is_a_note_not_a_failure() {
+    let base = fixture("new", "base.json", &report("s", 4, &[("a", 100.0)]));
+    let fresh = fixture("new", "fresh.json", &report("s", 4, &[("a", 100.0), ("b", 50.0)]));
+    let (code, stdout, _) = run(&[base.to_str().unwrap(), fresh.to_str().unwrap()]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("new benchmark"), "{stdout}");
+}
+
+#[test]
+fn host_shape_mismatch_refuses_with_exit_4() {
+    let base = fixture("host", "base.json", &report("s", 1, &[("a", 100.0)]));
+    let fresh = fixture("host", "fresh.json", &report("s", 4, &[("a", 100.0)]));
+    let (code, _, stderr) = run(&[base.to_str().unwrap(), fresh.to_str().unwrap()]);
+    assert_eq!(code, Some(4), "{stderr}");
+    assert!(stderr.contains("ncpu_threads"), "{stderr}");
+
+    let (code, _, _) = run(&[
+        "--allow-host-mismatch",
+        base.to_str().unwrap(),
+        fresh.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0), "override must bypass the refusal");
+}
+
+#[test]
+fn missing_host_header_refuses_with_exit_4() {
+    let headerless = r#"{
+  "suite": "s",
+  "results": [
+    {"name": "a", "median_ns": 100.0, "min_ns": 100.0, "max_ns": 100.0,
+     "samples": 3, "iters_per_sample": 1, "elements": 0, "elems_per_sec": null}
+  ]
+}"#;
+    let base = fixture("nohdr", "base.json", headerless);
+    let fresh = fixture("nohdr", "fresh.json", &report("s", 4, &[("a", 100.0)]));
+    let (code, _, stderr) = run(&[base.to_str().unwrap(), fresh.to_str().unwrap()]);
+    assert_eq!(code, Some(4), "{stderr}");
+    assert!(stderr.contains("header missing"), "{stderr}");
+}
+
+#[test]
+fn self_test_passes_on_a_well_formed_report() {
+    let base = fixture("selftest", "base.json", &report("s", 4, &[("a", 100.0), ("b", 7.5)]));
+    let (code, stdout, stderr) = run(&["--self-test", base.to_str().unwrap()]);
+    assert_eq!(code, Some(0), "{stdout}{stderr}");
+    assert!(stdout.contains("caught the injected regression"), "{stdout}");
+}
+
+#[test]
+fn parse_and_usage_errors_exit_2() {
+    let garbage = fixture("bad", "garbage.json", "not json at all");
+    let ok = fixture("bad", "ok.json", &report("s", 4, &[("a", 100.0)]));
+    let (code, _, stderr) = run(&[garbage.to_str().unwrap(), ok.to_str().unwrap()]);
+    assert_eq!(code, Some(2), "{stderr}");
+
+    let (code, _, _) = run(&[]);
+    assert_eq!(code, Some(2));
+    let (code, _, _) = run(&["--tolerance", "nope", "a", "b"]);
+    assert_eq!(code, Some(2));
+}

@@ -1,0 +1,119 @@
+//! Edge cases of the in-tree JSON parser (`ncpu_obs::json`).
+//!
+//! The parser gates every artifact check in CI (`trace_check`,
+//! `bench_diff`), so its behaviour on hostile-but-legal input is pinned
+//! here: escape sequences, deep nesting, extreme numbers, and duplicate
+//! keys.
+
+use ncpu_obs::json::{parse, Json};
+
+#[test]
+fn string_escapes_round_trip() {
+    let doc = parse(r#"{"s": "quote \" backslash \\ slash \/ nl \n tab \t cr \r"}"#)
+        .expect("escapes parse");
+    assert_eq!(
+        doc.get("s").and_then(Json::as_str),
+        Some("quote \" backslash \\ slash / nl \n tab \t cr \r")
+    );
+}
+
+#[test]
+fn control_character_escapes_decode() {
+    let doc = parse(r#"{"s": "bs \b ff \f"}"#).expect("control escapes parse");
+    assert_eq!(doc.get("s").and_then(Json::as_str), Some("bs \u{8} ff \u{c}"));
+}
+
+#[test]
+fn unicode_escapes_decode() {
+    let doc = parse(r#"{"s": "café ☃"}"#).expect("unicode escapes parse");
+    assert_eq!(doc.get("s").and_then(Json::as_str), Some("café ☃"));
+}
+
+#[test]
+fn lone_surrogate_becomes_replacement_character() {
+    // \ud800 is an unpaired UTF-16 surrogate: not a valid scalar value.
+    // The parser substitutes U+FFFD rather than crashing or emitting
+    // invalid UTF-8.
+    let doc = parse(r#"{"s": "x\ud800y"}"#).expect("lone surrogate tolerated");
+    assert_eq!(doc.get("s").and_then(Json::as_str), Some("x\u{fffd}y"));
+}
+
+#[test]
+fn deeply_nested_arrays_parse() {
+    const DEPTH: usize = 200;
+    let mut text = String::new();
+    for _ in 0..DEPTH {
+        text.push('[');
+    }
+    text.push('1');
+    for _ in 0..DEPTH {
+        text.push(']');
+    }
+    let mut doc = &parse(&text).expect("deep nesting parses");
+    for _ in 0..DEPTH {
+        let arr = doc.as_arr().expect("array at every level");
+        assert_eq!(arr.len(), 1);
+        doc = &arr[0];
+    }
+    assert_eq!(doc.as_num(), Some(1.0));
+}
+
+#[test]
+fn large_and_negative_numbers_parse() {
+    let doc = parse(
+        r#"{"big": 18446744073709551615, "neg": -9007199254740991,
+            "exp": 1.5e300, "negexp": -2.5E-300, "zero": -0.0}"#,
+    )
+    .expect("numbers parse");
+    let get = |k: &str| doc.get(k).and_then(Json::as_num).unwrap();
+    // u64::MAX exceeds f64's integer precision; the parser holds f64, so
+    // the value rounds — but it must parse, stay finite, and stay huge.
+    assert!(get("big") > 1.8e19 && get("big").is_finite());
+    assert_eq!(get("neg"), -9007199254740991.0); // largest exact f64 int
+    assert!(get("exp") > 1.0e300);
+    assert!(get("negexp") < 0.0 && get("negexp") > -1.0e-299);
+    assert_eq!(get("zero"), 0.0);
+}
+
+#[test]
+fn duplicate_keys_first_wins_on_lookup() {
+    let doc = parse(r#"{"k": 1, "k": 2}"#).expect("duplicate keys parse");
+    // Both pairs are retained in the object; `get` resolves to the first,
+    // and that choice is pinned (validators rely on it being stable).
+    assert_eq!(doc.get("k").and_then(Json::as_num), Some(1.0));
+    let Json::Obj(pairs) = &doc else { panic!("object expected") };
+    assert_eq!(pairs.len(), 2);
+}
+
+#[test]
+fn empty_containers_and_whitespace() {
+    let doc = parse(" \t\r\n { \"a\" : [ ] , \"b\" : { } } \n").expect("whitespace ok");
+    assert_eq!(doc.get("a").and_then(Json::as_arr).map(<[Json]>::len), Some(0));
+    assert!(matches!(doc.get("b"), Some(Json::Obj(pairs)) if pairs.is_empty()));
+}
+
+#[test]
+fn malformed_inputs_error_instead_of_panicking() {
+    for bad in [
+        "",
+        "{",
+        "[1,]",
+        "{\"a\":}",
+        "{\"a\" 1}",
+        "\"unterminated",
+        "nul",
+        "01x",
+        "{\"a\":1} trailing",
+    ] {
+        assert!(parse(bad).is_err(), "{bad:?} should be rejected");
+    }
+}
+
+#[test]
+fn literals_parse() {
+    let doc = parse(r#"[true, false, null]"#).expect("literals parse");
+    let arr = doc.as_arr().unwrap();
+    assert_eq!(arr[0], Json::Bool(true));
+    assert_eq!(arr[1], Json::Bool(false));
+    assert_eq!(arr[2], Json::Null);
+}

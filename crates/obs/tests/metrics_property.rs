@@ -1,0 +1,138 @@
+//! Property tests for the cycle-domain histogram
+//! ([`ncpu_obs::CycleHistogram`]) on the workspace shrinking harness.
+//!
+//! The determinism story of the metrics layer rests on two algebraic
+//! facts, so they are tested as properties rather than examples:
+//!
+//! * **merge is an order-independent monoid fold** — associative and
+//!   commutative with the empty histogram as identity — so sharded
+//!   recording + ordered merge equals serial recording;
+//! * **quantiles are bracketed by observed values** — every reported
+//!   quantile is the recorded maximum of some non-empty bucket, lies in
+//!   `[min, max]`, and is monotone in `q`.
+
+use ncpu_obs::CycleHistogram;
+use ncpu_testkit::prop::Prop;
+use ncpu_testkit::prop_assert_eq;
+use ncpu_testkit::rng::Rng;
+
+/// Samples spanning the full u64 bucket range, biased toward small
+/// latencies the way real cycle counts are.
+fn gen_samples(rng: &mut Rng, max_len: usize) -> Vec<u64> {
+    let len = rng.gen_range(0..=max_len);
+    (0..len)
+        .map(|_| {
+            let magnitude = rng.gen_range(0u32..64);
+            rng.next_u64() >> magnitude >> 1
+        })
+        .collect()
+}
+
+fn hist_of(samples: &[u64]) -> CycleHistogram {
+    let mut h = CycleHistogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+#[test]
+fn merge_is_associative_and_commutative() {
+    Prop::new("cycle_histogram_merge_monoid").cases(128).run(
+        |rng| {
+            (
+                gen_samples(rng, 40),
+                gen_samples(rng, 40),
+                gen_samples(rng, 40),
+            )
+        },
+        |(a, b, c)| {
+            let (ha, hb, hc) = (hist_of(a), hist_of(b), hist_of(c));
+
+            // (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c)
+            let mut left = ha.clone();
+            left.merge(&hb);
+            left.merge(&hc);
+            let mut bc = hb.clone();
+            bc.merge(&hc);
+            let mut right = ha.clone();
+            right.merge(&bc);
+            prop_assert_eq!(&left, &right);
+
+            // a ⊔ b == b ⊔ a
+            let mut ab = ha.clone();
+            ab.merge(&hb);
+            let mut ba = hb.clone();
+            ba.merge(&ha);
+            prop_assert_eq!(&ab, &ba);
+
+            // empty is the identity
+            let mut with_empty = ha.clone();
+            with_empty.merge(&CycleHistogram::new());
+            prop_assert_eq!(&with_empty, &ha);
+
+            // merging equals recording the concatenated stream
+            let mut concat: Vec<u64> = a.clone();
+            concat.extend_from_slice(b);
+            prop_assert_eq!(&ab, &hist_of(&concat));
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn quantiles_are_bracketed_and_monotone() {
+    Prop::new("cycle_histogram_quantile_bounds").cases(128).run(
+        |rng| gen_samples(rng, 60),
+        |samples| {
+            let h = hist_of(samples);
+            if samples.is_empty() {
+                prop_assert_eq!(h.p50(), 0);
+                prop_assert_eq!(h.max(), 0);
+                return Ok(());
+            }
+            let lo = *samples.iter().min().expect("non-empty");
+            let hi = *samples.iter().max().expect("non-empty");
+            prop_assert_eq!(h.min(), lo);
+            prop_assert_eq!(h.max(), hi);
+            prop_assert_eq!(h.count(), samples.len() as u64);
+            // The histogram's sum saturates instead of wrapping.
+            prop_assert_eq!(h.sum(), samples.iter().fold(0u64, |a, &s| a.saturating_add(s)));
+
+            let (p50, p99, p999) = (h.p50(), h.p99(), h.p999());
+            for q in [p50, p99, p999] {
+                assert!(lo <= q && q <= hi, "quantile {q} outside [{lo}, {hi}]");
+                // Every quantile is a per-bucket recorded maximum, i.e.
+                // an actually observed value — never an interpolation.
+                assert!(samples.contains(&q), "quantile {q} was never recorded");
+            }
+            assert!(p50 <= p99 && p99 <= p999, "quantiles must be monotone in q");
+
+            // Nearest-rank with one sample: every quantile is that sample.
+            let mut single = CycleHistogram::new();
+            single.record(samples[0]);
+            prop_assert_eq!(single.p50(), samples[0]);
+            prop_assert_eq!(single.p999(), samples[0]);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn merge_equals_serial_for_any_shard_split() {
+    Prop::new("cycle_histogram_shard_split").cases(128).run(
+        |rng| {
+            let samples = gen_samples(rng, 50);
+            let cut = if samples.is_empty() { 0 } else { rng.gen_range(0..=samples.len()) };
+            (samples, cut)
+        },
+        |(samples, cut)| {
+            let serial = hist_of(samples);
+            let mut sharded = hist_of(&samples[..*cut]);
+            sharded.merge(&hist_of(&samples[*cut..]));
+            prop_assert_eq!(&sharded, &serial);
+            prop_assert_eq!(sharded.to_json(), serial.to_json());
+            Ok(())
+        },
+    );
+}

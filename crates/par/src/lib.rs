@@ -92,6 +92,37 @@ impl Pool {
         self.workers
     }
 
+    /// Maps `f` over `items` in parallel, then folds the outputs into
+    /// `init` **in item index order** on the calling thread.
+    ///
+    /// This is the deterministic reduction primitive: the map fans out
+    /// across workers, but the fold always visits results `0, 1, 2, …`,
+    /// so non-commutative or merely non-associative accumulators
+    /// (floating-point sums, histogram merges whose observable byte
+    /// order matters) produce identical bytes for any worker count.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let pool = ncpu_par::Pool::with_workers(4);
+    /// let concat = pool.par_map_fold(
+    ///     vec![1u32, 2, 3],
+    ///     |i, x| format!("{i}:{x}"),
+    ///     String::new(),
+    ///     |mut acc, s| { acc.push_str(&s); acc.push(' '); acc },
+    /// );
+    /// assert_eq!(concat, "0:1 1:2 2:3 ");
+    /// ```
+    pub fn par_map_fold<T, U, A, F, G>(&self, items: Vec<T>, f: F, init: A, fold: G) -> A
+    where
+        T: Send,
+        U: Send,
+        F: Fn(usize, T) -> U + Sync,
+        G: FnMut(A, U) -> A,
+    {
+        self.par_map_indexed(items, f).into_iter().fold(init, fold)
+    }
+
     /// Maps `f` over `items`, returning outputs **in item order**.
     ///
     /// `f` receives each item's index alongside the item, so call sites
@@ -236,6 +267,37 @@ mod tests {
         let pool = Pool::with_workers(3);
         let got = pool.par_map_indexed((0..10usize).collect(), |_, i| table[i]);
         assert_eq!(got, table);
+    }
+
+    #[test]
+    fn par_map_fold_folds_in_index_order_for_any_worker_count() {
+        // String concatenation is order-sensitive: any completion-order
+        // leak into the fold would scramble the bytes.
+        let items: Vec<u32> = (0..53).collect();
+        let expect: String = items.iter().map(|i| format!("{i};")).collect();
+        for workers in [1, 2, 4, 8, 53] {
+            let got = Pool::with_workers(workers).par_map_fold(
+                items.clone(),
+                |_, x| format!("{x};"),
+                String::new(),
+                |mut acc, s| {
+                    acc.push_str(&s);
+                    acc
+                },
+            );
+            assert_eq!(got, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn par_map_fold_empty_returns_init() {
+        let got = Pool::with_workers(4).par_map_fold(
+            Vec::<u8>::new(),
+            |_, x| x,
+            7u64,
+            |acc, x| acc + u64::from(x),
+        );
+        assert_eq!(got, 7);
     }
 
     #[test]

@@ -133,10 +133,17 @@ pub fn run_rolled_traced(
     let mut accel = Accelerator::new(physical, fabric::accel_config(soc));
     accel.set_obs_level(level.at_least_counters());
     let timed: Vec<(BitVec, u64)> = inputs.iter().map(|i| (i.clone(), 0)).collect();
-    let run: DeepRun = accel.run_batch_deep(deep, &timed).into();
+    let batch = accel.run_batch_deep(deep, &timed);
+    // All images arrive at cycle 0, so latency is the completion cycle
+    // and service is the image's traversal of the rolled array.
+    for (i, &(start, end)) in batch.spans.iter().enumerate() {
+        fabric::record_item_metrics(&mut rec, end, end - start, (inputs.len() - 1 - i) as u64);
+    }
+    let run: DeepRun = batch.into();
     rec.absorb(accel.obs_mut(), 0, 0);
     rec.set_counter("accel.busy_cycles", accel.stats().busy_cycles);
     fabric::set_run_counters(&mut rec, run.total_cycles, inputs.len());
+    fabric::record_util_metric(&mut rec, accel.stats().busy_cycles, run.total_cycles);
     (run, rec)
 }
 
@@ -188,6 +195,8 @@ pub fn run_series_n_traced(
     let mut timed: Vec<(BitVec, u64)> = inputs.iter().map(|i| (i.clone(), 0)).collect();
     let mut total_link_bytes = 0u64;
     let mut last_run: Option<BatchRun> = None;
+    let mut front_starts: Vec<u64> = Vec::new();
+    let mut seg_busy: Vec<u64> = Vec::new();
     for (s, part) in parts.iter().enumerate() {
         let mut accel = Accelerator::new(part.clone(), fabric::accel_config(soc));
         let run = accel.run_batch_timed(&timed);
@@ -201,7 +210,11 @@ pub fn run_series_n_traced(
         for &(start, end) in &run.spans {
             rec.phase(s as u16, label, start, end);
         }
+        if s == 0 {
+            front_starts = run.spans.iter().map(|&(start, _)| start).collect();
+        }
         rec.set_counter(format!("core{s}.busy_cycles"), accel.stats().busy_cycles);
+        seg_busy.push(accel.stats().busy_cycles);
         if s < parts.len() - 1 {
             // This segment's activations (computed functionally) cross the
             // link as each image completes, in image order.
@@ -222,6 +235,16 @@ pub fn run_series_n_traced(
     rec.set_counter("deep.link_bytes", total_link_bytes);
     fabric::snapshot_dma(&mut rec, &mut link, segments as u16);
     fabric::set_run_counters(&mut rec, back_run.total_cycles, inputs.len());
+    // All images arrive at cycle 0, so latency is the final-segment
+    // completion cycle; service is the image's residency in the series
+    // pipeline (first-segment entry to last-segment exit).
+    for (i, &(_, end)) in back_run.spans.iter().enumerate() {
+        let service = end - front_starts[i];
+        fabric::record_item_metrics(&mut rec, end, service, (inputs.len() - 1 - i) as u64);
+    }
+    for &busy in &seg_busy {
+        fabric::record_util_metric(&mut rec, busy, back_run.total_cycles);
+    }
 
     // Functional check: the series result must equal the whole model.
     debug_assert!(back_run

@@ -149,6 +149,7 @@ mod tests {
             cores: vec![CoreReport { role: role.into(), timeline: t, busy_cycles: busy }],
             predictions: vec![],
             labels: vec![],
+            metrics: ncpu_obs::MetricsReport::new(),
         }
     }
 

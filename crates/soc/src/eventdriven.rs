@@ -155,6 +155,10 @@ struct CoreRun {
     /// The pending wakeup begins the staged item (banks already loaded)
     /// rather than attempting the next item start.
     begin_pending: bool,
+    /// Cycle the scheduler first attempted the current item (before any
+    /// DMA staging sleep) — the latency clock start, matching the
+    /// lock-step engine's first-attempt cycle.
+    dispatch: u64,
     busy: u64,
     finished_at: u64,
     predictions: Vec<(usize, usize)>,
@@ -183,6 +187,7 @@ fn run_attempt(
                 queue: (0..usecase.items().len()).filter(|i| i % cores == c).collect(),
                 at: 0,
                 begin_pending: false,
+                dispatch: 0,
                 busy: 0,
                 finished_at: 0,
                 predictions: Vec::new(),
@@ -206,6 +211,7 @@ fn run_attempt(
         assert!(now < budget, "event-driven run exceeded {budget} cycles");
         let st = &mut states[c as usize];
         if !st.begin_pending {
+            st.dispatch = now;
             let item = &usecase.items()[st.queue[st.at]];
             if !item.staged.is_empty() {
                 // Book the staging transfer and load the banks now (the
@@ -231,6 +237,7 @@ fn run_attempt(
             st.cache.iter().find(|e| e.staged == item.staged && &e.pre == pre)
         });
         let (used, prediction) = if let Some(hit) = hit {
+            let _prof = ncpu_obs::selfprof::span("event.replay");
             for &rel in &hit.touches_rel {
                 touches.push((now + rel - 1, c));
             }
@@ -249,6 +256,7 @@ fn run_attempt(
             replayed += 1;
             (used, prediction)
         } else {
+            let _prof = ncpu_obs::selfprof::span("event.simulate");
             let (reads_before, _) = l2.accesses();
             let pipe_before = st.core.pipeline().stats().clone();
             let core_before = *st.core.stats();
@@ -315,6 +323,12 @@ fn run_attempt(
         st.predictions.push((idx, prediction));
         st.busy += used;
         st.finished_at = now + used;
+        fabric::record_item_metrics(
+            &mut rec,
+            st.finished_at - st.dispatch,
+            used,
+            (st.queue.len() - st.at - 1) as u64,
+        );
         st.at += 1;
         if st.at < st.queue.len() {
             queue.arm(c, st.finished_at);

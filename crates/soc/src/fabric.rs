@@ -179,6 +179,7 @@ pub(crate) fn run_item(
     rec: &mut Recorder,
     lane: u16,
 ) -> (u64, u64) {
+    let _prof = ncpu_obs::selfprof::span("fabric.run_item");
     let start = if staged.is_empty() {
         now
     } else {
@@ -226,10 +227,36 @@ pub(crate) fn snapshot_dma(rec: &mut Recorder, dma: &mut DmaEngine, lane: u16) {
     rec.absorb(dma.obs_mut(), lane, 0);
 }
 
-/// Sets the run-level counters every engine reports.
+/// Sets the run-level counters every engine reports, including the
+/// dropped-instant count from the bounded event buffer (so silent
+/// truncation of a `Full` trace is visible in `RUN_*.json` — the
+/// `trace_check` binary warns when it is nonzero).
 pub(crate) fn set_run_counters(rec: &mut Recorder, makespan: u64, items: usize) {
     rec.set_counter("run.makespan_cycles", makespan);
     rec.set_counter("run.items", items as u64);
+    let dropped = rec.dropped();
+    rec.set_counter("obs.dropped_instants", dropped);
+}
+
+/// Records one core's utilization over the run into the
+/// `core.util_permille` histogram (busy cycles per 1000 makespan
+/// cycles; one sample per core, so the histogram *is* the fleet's
+/// utilization distribution).
+pub(crate) fn record_util_metric(rec: &mut Recorder, busy: u64, makespan: u64) {
+    if let Some(util) = (busy * 1000).checked_div(makespan) {
+        rec.metric("core.util_permille", util);
+    }
+}
+
+/// Records the per-item scheduling metrics every engine shares:
+/// `latency` = completion minus dispatch (the cycle the scheduler
+/// first attempted the item, before any DMA stall), `service` =
+/// cycles the core actually executed, `depth` = items still waiting
+/// behind this one on the same core at dispatch.
+pub(crate) fn record_item_metrics(rec: &mut Recorder, latency: u64, service: u64, depth: u64) {
+    rec.metric("item.latency_cycles", latency);
+    rec.metric("item.service_cycles", service);
+    rec.metric("item.queue_depth", depth);
 }
 
 /// What a finished NCPU-pool run produced, independent of which engine
@@ -257,6 +284,9 @@ pub(crate) fn assemble_ncpu_report(
     }
     snapshot_dma(rec, dma, pool.len() as u16);
     set_run_counters(rec, makespan, usecase.items().len());
+    for &b in busy {
+        record_util_metric(rec, b, makespan);
+    }
     let cores = (0..pool.len())
         .map(|c| CoreReport {
             role: format!("ncpu{c}"),
@@ -270,5 +300,6 @@ pub(crate) fn assemble_ncpu_report(
         cores,
         predictions,
         labels: usecase.items().iter().map(|i| i.label).collect(),
+        metrics: rec.metrics().clone(),
     }
 }

@@ -75,6 +75,9 @@ pub fn run_ncpu_lockstep_traced(
         stalled_until: u64,
         /// Whether an item is currently executing.
         active: bool,
+        /// Global cycle the scheduler first attempted the current item
+        /// (before any DMA staging stall) — the latency clock start.
+        dispatch: u64,
         /// Global cycle the current/last item started.
         item_start: u64,
         /// Core-internal cycle count when the current item started.
@@ -96,6 +99,7 @@ pub fn run_ncpu_lockstep_traced(
                 at: 0,
                 stalled_until: 0,
                 active: false,
+                dispatch: 0,
                 item_start: 0,
                 internal_start: 0,
                 busy: 0,
@@ -160,6 +164,9 @@ pub fn run_ncpu_lockstep_traced(
                     continue;
                 }
                 let item = &usecase.items()[st.queue[st.at]];
+                if st.stalled_until == 0 {
+                    st.dispatch = clock;
+                }
                 if st.stalled_until == 0 && !item.staged.is_empty() {
                     // Book the staging transfer once.
                     let delivered = dma.schedule(clock, item.staged.len() as u32);
@@ -209,10 +216,16 @@ pub fn run_ncpu_lockstep_traced(
                 let addr = fabric::result_addr(idx % cores);
                 st.predictions
                     .push((idx, l2.read_word(addr).expect("result written") as usize));
+                st.finished_at = clock + 1;
+                fabric::record_item_metrics(
+                    &mut rec,
+                    st.finished_at - st.dispatch,
+                    st.finished_at - st.item_start,
+                    (st.queue.len() - st.at - 1) as u64,
+                );
                 st.at += 1;
                 st.active = false;
                 st.stalled_until = 0;
-                st.finished_at = clock + 1;
             }
         }
         if all_done {

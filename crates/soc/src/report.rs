@@ -1,6 +1,6 @@
 //! Run reports: makespan, utilization, timelines, classification results.
 
-use ncpu_obs::{CoreArtifact, Recorder, RunArtifact};
+use ncpu_obs::{CoreArtifact, MetricsReport, Recorder, RunArtifact};
 use ncpu_sim::stats::Timeline;
 
 /// Per-core outcome of one end-to-end run.
@@ -39,6 +39,10 @@ pub struct RunReport {
     pub predictions: Vec<usize>,
     /// Ground-truth label per item.
     pub labels: Vec<usize>,
+    /// Cycle-domain histograms recorded over the run: per-item
+    /// `item.latency_cycles` / `item.service_cycles` /
+    /// `item.queue_depth` and per-core `core.util_permille`.
+    pub metrics: MetricsReport,
 }
 
 impl RunReport {
@@ -99,6 +103,7 @@ impl RunReport {
                 })
                 .collect(),
             counters: rec.counters().clone(),
+            metrics: self.metrics.clone(),
         }
     }
 }
@@ -115,6 +120,7 @@ mod tests {
             cores: vec![],
             predictions: vec![1, 2, 3],
             labels: vec![1, 2, 0],
+            metrics: MetricsReport::new(),
         };
         let a = mk(100);
         let b = mk(57);

@@ -166,6 +166,7 @@ impl Engine for Analytic {
     }
 
     fn run(&self, scenario: &Scenario) -> (RunReport, Recorder) {
+        let _prof = ncpu_obs::selfprof::span("engine.analytic");
         run_traced(&scenario.usecase, scenario.system, &scenario.soc, scenario.trace)
     }
 }
@@ -181,6 +182,7 @@ impl Engine for Lockstep {
     }
 
     fn run(&self, scenario: &Scenario) -> (RunReport, Recorder) {
+        let _prof = ncpu_obs::selfprof::span("engine.lockstep");
         let SystemConfig::Ncpu { cores } = scenario.system else {
             panic!("the lock-step engine co-simulates NCPU cores, not the baseline");
         };
@@ -202,6 +204,7 @@ impl Engine for EventDriven {
     }
 
     fn run(&self, scenario: &Scenario) -> (RunReport, Recorder) {
+        let _prof = ncpu_obs::selfprof::span("engine.event");
         let SystemConfig::Ncpu { cores } = scenario.system else {
             panic!("the event-driven engine co-simulates NCPU cores, not the baseline");
         };
@@ -222,6 +225,7 @@ impl Engine for Deep {
     }
 
     fn run(&self, scenario: &Scenario) -> (RunReport, Recorder) {
+        let _prof = ncpu_obs::selfprof::span("engine.deep");
         assert_eq!(
             scenario.usecase.kind(),
             UseCaseKind::Deep,
@@ -269,6 +273,7 @@ impl Engine for Deep {
                 .collect(),
             predictions: run.outputs,
             labels: scenario.usecase.items().iter().map(|i| i.label).collect(),
+            metrics: rec.metrics().clone(),
         };
         (report, rec)
     }

@@ -104,8 +104,10 @@ pub(crate) fn run_ncpu(
     let mut predictions = Vec::with_capacity(usecase.items().len());
 
     // Round-robin item assignment: item `i` runs on core `i % cores`.
+    let items = usecase.items().len();
     for (i, item) in usecase.items().iter().enumerate() {
         let c = i % cores;
+        let dispatch = now[c];
         let (end, used) = fabric::run_item(
             &mut pool[c],
             &programs[c],
@@ -117,6 +119,10 @@ pub(crate) fn run_ncpu(
         );
         now[c] = end;
         busy[c] += used;
+        // Items still waiting behind this one on core `c` under the
+        // round-robin assignment.
+        let depth = (items - 1 - i) / cores;
+        fabric::record_item_metrics(&mut rec, end - dispatch, used, depth as u64);
         predictions.push(
             l2.read_word(fabric::result_addr(c)).expect("result staged by program") as usize,
         );
@@ -184,6 +190,7 @@ pub fn run_independent(a: &UseCase, b: &UseCase, soc: &SocConfig) -> (RunReport,
         let Some(c) = ready else { break };
         let item = &usecases[c].items()[states[c].next_item];
         let st = &mut states[c];
+        let dispatch = st.now;
         let (end, used) = fabric::run_item(
             &mut st.core,
             &st.program,
@@ -196,6 +203,8 @@ pub fn run_independent(a: &UseCase, b: &UseCase, soc: &SocConfig) -> (RunReport,
         st.now = end;
         st.busy += used;
         st.next_item += 1;
+        let depth = (usecases[c].items().len() - st.next_item) as u64;
+        fabric::record_item_metrics(&mut st.rec, end - dispatch, used, depth);
         st.predictions.push(
             l2.read_word(fabric::result_addr(c)).expect("result staged by program") as usize,
         );
@@ -204,16 +213,20 @@ pub fn run_independent(a: &UseCase, b: &UseCase, soc: &SocConfig) -> (RunReport,
     let mut reports: Vec<RunReport> = states
         .into_iter()
         .enumerate()
-        .map(|(c, st)| RunReport {
-            config: format!("independent core {c}"),
-            makespan: st.now,
-            cores: vec![CoreReport {
-                role: format!("ncpu{c}"),
-                timeline: Timeline::from_obs_events(st.rec.spans(), c as u16),
-                busy_cycles: st.busy,
-            }],
-            predictions: st.predictions,
-            labels: usecases[c].items().iter().map(|i| i.label).collect(),
+        .map(|(c, mut st)| {
+            fabric::record_util_metric(&mut st.rec, st.busy, st.now);
+            RunReport {
+                config: format!("independent core {c}"),
+                makespan: st.now,
+                cores: vec![CoreReport {
+                    role: format!("ncpu{c}"),
+                    timeline: Timeline::from_obs_events(st.rec.spans(), c as u16),
+                    busy_cycles: st.busy,
+                }],
+                predictions: st.predictions,
+                labels: usecases[c].items().iter().map(|i| i.label).collect(),
+                metrics: st.rec.metrics().clone(),
+            }
         })
         .collect();
     let second = reports.pop().expect("two reports");
@@ -242,8 +255,11 @@ pub(crate) fn run_heterogeneous(
     let mut t_cpu = 0u64;
     let mut cpu_busy = 0u64;
     let mut queued: Vec<(BitVec, u64)> = Vec::new();
+    let mut dispatches: Vec<u64> = Vec::new();
 
     for item in usecase.items() {
+        // The scheduler turns to this item as soon as the CPU frees up.
+        dispatches.push(t_cpu);
         // Stage the raw item (same DMA the NCPU flow uses).
         let start = if item.staged.is_empty() {
             t_cpu
@@ -281,6 +297,17 @@ pub(crate) fn run_heterogeneous(
     rec.absorb(accel.obs_mut(), 1, 0);
     let makespan = t_cpu.max(batch.total_cycles);
 
+    // Per-item metrics: an item is done when its accelerator traversal
+    // finishes; it was in service from CPU pre-processing dispatch until
+    // then, and `depth` counts the items queued behind it.
+    let items = usecase.items().len();
+    for (i, &(accel_start, accel_end)) in batch.spans.iter().enumerate() {
+        let latency = accel_end - dispatches[i];
+        let service = accel_end - accel_start;
+        let depth = (items - 1 - i) as u64;
+        fabric::record_item_metrics(&mut rec, latency, service, depth);
+    }
+
     let ps = cpu.stats();
     rec.set_counter("cpu.cycles", ps.cycles);
     rec.set_counter("cpu.retired", ps.retired);
@@ -294,6 +321,8 @@ pub(crate) fn run_heterogeneous(
     rec.set_counter("accel.macs", accel_stats.macs);
     fabric::snapshot_dma(&mut rec, &mut dma, 2);
     fabric::set_run_counters(&mut rec, makespan, usecase.items().len());
+    fabric::record_util_metric(&mut rec, cpu_busy, makespan);
+    fabric::record_util_metric(&mut rec, accel_stats.busy_cycles, makespan);
 
     let report = RunReport {
         config: "heterogeneous".to_string(),
@@ -312,6 +341,7 @@ pub(crate) fn run_heterogeneous(
         ],
         predictions: batch.outputs,
         labels: usecase.items().iter().map(|i| i.label).collect(),
+        metrics: rec.metrics().clone(),
     };
     (report, rec)
 }

@@ -161,9 +161,17 @@ impl Bench {
 
     /// Serializes the suite report as JSON (no external serializer; the
     /// schema is flat numbers and strings).
+    ///
+    /// The header records the host shape the numbers were measured on —
+    /// available hardware parallelism plus the `NCPU_THREADS` worker
+    /// count in effect — so a regression gate (`bench_diff`) can refuse
+    /// to compare reports from different machines: a committed 1-core
+    /// baseline says nothing about a 16-core run.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"suite\": {},\n", json_string(&self.suite)));
+        out.push_str(&format!("  \"host_parallelism\": {},\n", host_parallelism()));
+        out.push_str(&format!("  \"ncpu_threads\": {},\n", ncpu_threads()));
         out.push_str("  \"results\": [\n");
         for (i, r) in self.results.iter().enumerate() {
             out.push_str(&format!(
@@ -197,6 +205,21 @@ impl Bench {
             .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
         println!("[bench report: {}]", path.display());
         path
+    }
+}
+
+/// Hardware threads the host offers (1 if the OS will not say).
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Worker count the `NCPU_THREADS` convention resolves to: the
+/// variable's value when set and nonzero, otherwise the host
+/// parallelism (mirroring `ncpu-par`, without depending on it).
+fn ncpu_threads() -> usize {
+    match std::env::var("NCPU_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n > 0 => n,
+        _ => host_parallelism(),
     }
 }
 

@@ -156,6 +156,77 @@ fn trace_artifacts_are_thread_count_invariant() {
     });
 }
 
+/// The metrics block of the run artifact — per-item latency, service,
+/// queue-depth, and per-core utilization histograms — must be
+/// byte-identical across worker counts and across the lockstep and
+/// event-driven engines (the analytic path is covered by the artifact
+/// test above; lockstep/event equivalence is fuzzed in
+/// `engine_differential.rs`, and pinned here on a fixed workload).
+#[test]
+fn metrics_histograms_are_thread_count_invariant() {
+    use ncpu::soc::{Engine, EventDriven, Lockstep};
+    thread_count_invariant("1", "4", || {
+        let uc = UseCase::motion(2, 4, 2);
+        let scenario = Scenario::new(uc, SystemConfig::Ncpu { cores: 2 });
+        let (_, ls_rec) = Lockstep.run(&scenario);
+        let (_, ev_rec) = EventDriven.run(&scenario);
+        let (ls, ev) = (ls_rec.metrics().to_json(), ev_rec.metrics().to_json());
+        assert_eq!(ls, ev, "lockstep and event metrics must agree");
+        assert!(ls.contains("item.latency_cycles"), "latency histogram missing");
+        assert!(ls.contains("core.util_permille"), "utilization histogram missing");
+        ls
+    });
+}
+
+/// A fleet histogram — per-scenario latency histograms merged through
+/// `Pool::par_map_fold` — must come out byte-identical for any worker
+/// count: the map fans out, the fold stays in scenario index order.
+#[test]
+fn merged_fleet_histogram_is_worker_count_invariant() {
+    use ncpu::soc::{Analytic, Engine};
+    let merged = |workers: usize| {
+        let scenarios: Vec<Scenario> = (1..=3)
+            .map(|cores| {
+                let uc = UseCase::parametric(0.5, 4, crate_pseudo_model());
+                Scenario::new(uc, SystemConfig::Ncpu { cores })
+            })
+            .collect();
+        ncpu_par::Pool::with_workers(workers).par_map_fold(
+            scenarios,
+            |_, s| {
+                let (report, _) = Analytic.run(&s);
+                report.metrics.get("item.latency_cycles").cloned().unwrap_or_default()
+            },
+            ncpu::obs::CycleHistogram::new(),
+            |mut acc, h| {
+                acc.merge(&h);
+                acc
+            },
+        )
+    };
+    let serial = merged(1);
+    assert!(!serial.is_empty(), "fleet histogram must observe items");
+    assert_eq!(serial.to_json(), merged(4).to_json());
+    assert_eq!(serial.to_json(), merged(8).to_json());
+}
+
+/// The soc crate's deterministic pseudo model (as in
+/// `engine_differential.rs`), small enough for a sweep of scenarios.
+fn crate_pseudo_model() -> BnnModel {
+    let topo = Topology::new(64, vec![10; 4], 10);
+    let layers = (0..4)
+        .map(|l| {
+            let n_in = topo.layer_input(l);
+            let rows: Vec<BitVec> = (0..10)
+                .map(|j| BitVec::from_bools((0..n_in).map(|i| (i * 7 + j * 3 + l) % 5 < 2)))
+                .collect();
+            let bias = (0..10i32).map(|j| (j % 3) - 1).collect();
+            ncpu::bnn::BnnLayer::new(rows, bias)
+        })
+        .collect();
+    BnnModel::new(topo, layers)
+}
+
 #[test]
 fn power_model_is_pure() {
     let pm = PowerModel::default();

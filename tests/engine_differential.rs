@@ -231,6 +231,14 @@ fn check_case(case: &Case) -> Result<(), String> {
         ls_rec.counters().to_json(),
         "counter registry diverged"
     );
+    // The metrics block (latency/service/queue-depth/utilization
+    // histograms), compared in its exported JSON form so the byte-level
+    // artifact contract is what is actually pinned.
+    prop_assert_eq!(
+        ev_rec.metrics().to_json(),
+        ls_rec.metrics().to_json(),
+        "metrics histograms diverged"
+    );
     // Raw emission-order streams and the exporter view.
     prop_assert_eq!(ev_rec.spans(), ls_rec.spans(), "span stream diverged");
     prop_assert_eq!(ev_rec.events(), ls_rec.events(), "instant stream diverged");
