@@ -25,6 +25,19 @@ NCPU_TRACE=full NCPU_TRACE_DIR="$OBS_DIR" \
 cargo run --release --offline -p ncpu-obs --bin trace_check -- \
     --summary "$OBS_DIR"/RUN_image.json "$OBS_DIR"/TRACE_image.json
 
+# Fault-injection smoke: a seeded four-core faulty image scenario runs
+# through all three SoC engines; the example itself asserts nonzero
+# injection/detection/recovery counters and byte-identical lockstep and
+# event reports, and its traced artifacts (fault instants included)
+# must pass the checker. The FaultPlan::none() byte-neutrality gate is
+# tests/golden_equivalence.rs in the workspace suite above.
+FAULT_DIR=target/obs-fault-ci
+rm -rf "$FAULT_DIR"
+NCPU_TRACE=full NCPU_TRACE_DIR="$FAULT_DIR" \
+    cargo run --release --offline --example fault_injection
+cargo run --release --offline -p ncpu-obs --bin trace_check -- \
+    --summary "$FAULT_DIR"/RUN_fault.json "$FAULT_DIR"/TRACE_fault.json
+
 # Self-profile smoke: with NCPU_SELFPROF=1 the paper binary must emit a
 # non-empty collapsed-stack profile whose visits weighting (a pure
 # function of the workload) is byte-identical across two runs.

@@ -1,0 +1,4 @@
+//! Regenerates the reliability-vs-voltage fault sweep (see EXPERIMENTS.md).
+fn main() {
+    print!("{}", ncpu_bench::experiments::ext_fault().render());
+}

@@ -9,18 +9,18 @@ pub use endtoend::{ext_multiprogram, fig01, fig13, fig14, fig15, fig16, fig17, t
 pub use power_figs::{fig09, fig10, fig11, fig12};
 pub use sweeps::{
     ablation_interface, ablation_offload, ablation_pipelining, ablation_switch, ext_deep,
-    ext_lockstep, fig18, fig19,
+    ext_fault, ext_lockstep, fig18, fig19,
 };
 pub use tables::{ext_realtime, table1, table2, table3};
 
 use crate::Report;
 
 /// Experiment ids in paper order.
-pub const ALL_IDS: [&str; 24] = [
+pub const ALL_IDS: [&str; 25] = [
     "fig01", "table1", "fig09", "table2", "table3", "fig10", "fig11", "fig12", "fig13",
     "fig14", "fig15", "fig16", "table4", "fig17", "fig18", "fig19", "ablation_switch",
     "ablation_pipelining", "ablation_offload", "ablation_interface", "ext_deep",
-    "ext_multiprogram", "ext_realtime", "ext_lockstep",
+    "ext_multiprogram", "ext_realtime", "ext_lockstep", "ext_fault",
 ];
 
 /// Runs one experiment by id.
@@ -50,6 +50,7 @@ pub fn run_by_id(id: &str) -> Option<Report> {
         "ext_multiprogram" => ext_multiprogram(),
         "ext_realtime" => ext_realtime(),
         "ext_lockstep" => ext_lockstep(),
+        "ext_fault" => ext_fault(),
         _ => return None,
     })
 }

@@ -1,0 +1,370 @@
+//! Seed-deterministic fault injection model for the NCPU SoC simulators.
+//!
+//! The paper claims reliable end-to-end operation down to near-threshold
+//! voltage (0.4 V), but low-voltage SRAM is exactly where soft errors
+//! land. This crate models that stress deterministically: a [`FaultPlan`]
+//! names per-dispatch fault probabilities (parts per million) and the
+//! recovery policy knobs; a [`FaultSession`] scales the SRAM soft-error
+//! rate by the operating voltage and draws per-(item, attempt) faults
+//! from pinned split RNG streams, so every engine — and every rerun at
+//! any `NCPU_THREADS` — sees byte-identical fault sequences.
+//!
+//! Detection and recovery (parity checks, watchdogs, retry, quarantine)
+//! live in `ncpu-soc::fabric`; this crate is the pure injection model
+//! plus the [`parity`] primitive that justifies the certain-detection
+//! assumption for single-bit flips.
+
+use ncpu_testkit::rng::Rng;
+
+/// Upper bound on dispatch attempts per item; each attempt gets its own
+/// split RNG stream at index `item * ATTEMPT_STREAMS + attempt`, so the
+/// number of random draws an attempt consumes never perturbs any other
+/// attempt's stream.
+pub const ATTEMPT_STREAMS: u64 = 4096;
+
+/// A deterministic fault-injection and recovery policy for one run.
+///
+/// Rates are parts per million of *dispatch attempts*; all-zero rates
+/// (see [`FaultPlan::none`]) make the plan inert and every engine
+/// byte-identical to a plan-free run. The SRAM flip rate is the value
+/// at the nominal 1.0 V operating point — [`FaultSession`] scales it up
+/// quadratically as the supply drops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for the split RNG streams; two runs with equal seeds and
+    /// equal rates draw identical fault sequences.
+    pub seed: u64,
+    /// SRAM/L2 single-bit upset probability per staged dispatch, in
+    /// parts per million at 1.0 V (voltage-scaled upward below that).
+    pub sram_flip_ppm: u32,
+    /// DMA stall probability per staged dispatch, in parts per million.
+    pub dma_stall_ppm: u32,
+    /// Extra delivery latency a DMA stall adds, in cycles. Must be
+    /// nonzero when `dma_stall_ppm` is.
+    pub dma_stall_cycles: u64,
+    /// DMA truncation probability per staged dispatch, in parts per
+    /// million: the transfer delivers only a prefix of the item.
+    pub dma_truncate_ppm: u32,
+    /// Core hang probability per dispatch, in parts per million. Hangs
+    /// are only detected by the watchdog, so `watchdog_cycles` must be
+    /// nonzero when this is.
+    pub core_hang_ppm: u32,
+    /// Per-item watchdog budget in cycles; an item that executes longer
+    /// is aborted and retried. Zero disables the watchdog.
+    pub watchdog_cycles: u64,
+    /// Faulted dispatches retried before the item is dropped.
+    pub max_retries: u32,
+    /// Base backoff after a detected fault; attempt `k` of a dispatch
+    /// waits `backoff_cycles << (k - 1)` extra cycles before re-staging.
+    pub backoff_cycles: u64,
+    /// Consecutive faults on one core before it is quarantined and its
+    /// queue re-scheduled onto healthy cores. Zero disables quarantine.
+    pub quarantine_after: u32,
+}
+
+impl FaultPlan {
+    /// The inert plan: no injection, no watchdog. Engines treat it as
+    /// "fault layer absent" and stay byte-identical to the pre-fault
+    /// code paths.
+    pub const fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            sram_flip_ppm: 0,
+            dma_stall_ppm: 0,
+            dma_stall_cycles: 0,
+            dma_truncate_ppm: 0,
+            core_hang_ppm: 0,
+            watchdog_cycles: 0,
+            max_retries: 0,
+            backoff_cycles: 0,
+            quarantine_after: 0,
+        }
+    }
+
+    /// Whether the plan can affect a run at all: any nonzero injection
+    /// rate, or a watchdog (which can fire on genuinely long items even
+    /// with injection off).
+    pub fn is_active(&self) -> bool {
+        self.sram_flip_ppm > 0
+            || self.dma_stall_ppm > 0
+            || self.dma_truncate_ppm > 0
+            || self.core_hang_ppm > 0
+            || self.watchdog_cycles > 0
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan::none()
+    }
+}
+
+/// One injected fault, as drawn by [`FaultSession::draw`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// A single-bit upset in the staged item's SRAM image. The bit
+    /// index is drawn for the record; parity detection discards the
+    /// corrupted copy before it is ever executed.
+    SramFlip {
+        /// Which bit of the staged bytes flipped.
+        bit: u64,
+    },
+    /// The DMA transfer completes, but late.
+    DmaStall {
+        /// Extra cycles added to the delivery time.
+        extra_cycles: u64,
+    },
+    /// The DMA transfer delivers only a prefix of the item.
+    DmaTruncate {
+        /// Bytes actually delivered (strictly less than the item size).
+        bytes: u32,
+    },
+    /// The core never retires the item; only the watchdog notices.
+    CoreHang,
+}
+
+/// A [`FaultPlan`] bound to an operating point: pre-scales the SRAM
+/// soft-error rate for the supply voltage and hands out per-attempt
+/// fault draws.
+#[derive(Debug, Clone)]
+pub struct FaultSession {
+    seed: u64,
+    hang_ppm: u64,
+    flip_ppm: u64,
+    truncate_ppm: u64,
+    stall_ppm: u64,
+    stall_cycles: u64,
+}
+
+impl FaultSession {
+    /// Binds `plan` to a supply voltage in millivolts.
+    ///
+    /// # Panics
+    /// If the plan is self-contradictory: hangs without a watchdog
+    /// would deadlock the machine, and stalls of zero cycles would be
+    /// unobservable.
+    pub fn new(plan: &FaultPlan, millivolts: u32) -> FaultSession {
+        assert!(
+            plan.core_hang_ppm == 0 || plan.watchdog_cycles > 0,
+            "FaultPlan: core hangs require a watchdog to be detectable"
+        );
+        assert!(
+            plan.dma_stall_ppm == 0 || plan.dma_stall_cycles > 0,
+            "FaultPlan: DMA stalls require a nonzero stall length"
+        );
+        FaultSession {
+            seed: plan.seed,
+            hang_ppm: u64::from(plan.core_hang_ppm),
+            flip_ppm: u64::from(scaled_flip_ppm(plan.sram_flip_ppm, millivolts)),
+            truncate_ppm: u64::from(plan.dma_truncate_ppm),
+            stall_ppm: u64::from(plan.dma_stall_ppm),
+            stall_cycles: plan.dma_stall_cycles,
+        }
+    }
+
+    /// The voltage-scaled SRAM flip rate this session injects at, in
+    /// parts per million of staged dispatches.
+    pub fn effective_flip_ppm(&self) -> u32 {
+        self.flip_ppm as u32
+    }
+
+    /// Draws the fault (or `None` for a clean dispatch) for attempt
+    /// `attempt` of item `item` whose staged image is `staged_bytes`
+    /// long.
+    ///
+    /// The draw is a pure function of `(seed, item, attempt)`: each
+    /// attempt reads its own split stream, so engines that interleave
+    /// items differently still see identical faults. Items that stage
+    /// no bytes (pre-resident workloads) cross neither SRAM nor DMA, so
+    /// only core hangs apply to them.
+    pub fn draw(&self, item: u64, attempt: u32, staged_bytes: usize) -> Option<Fault> {
+        let attempt = u64::from(attempt);
+        assert!(attempt < ATTEMPT_STREAMS, "retry policy exceeded {ATTEMPT_STREAMS} attempts");
+        let mut rng = Rng::split(self.seed, item * ATTEMPT_STREAMS + attempt);
+        let roll = rng.gen_range(0..1_000_000u64);
+        let mut edge = self.hang_ppm;
+        if roll < edge {
+            return Some(Fault::CoreHang);
+        }
+        if staged_bytes == 0 {
+            return None;
+        }
+        edge = edge.saturating_add(self.flip_ppm);
+        if roll < edge {
+            return Some(Fault::SramFlip { bit: rng.gen_range(0..staged_bytes as u64 * 8) });
+        }
+        edge = edge.saturating_add(self.truncate_ppm);
+        if roll < edge {
+            return Some(Fault::DmaTruncate { bytes: rng.gen_range(0..staged_bytes as u32) });
+        }
+        edge = edge.saturating_add(self.stall_ppm);
+        if roll < edge {
+            return Some(Fault::DmaStall { extra_cycles: self.stall_cycles });
+        }
+        None
+    }
+}
+
+/// Scales a 1.0 V soft-error rate to the operating voltage.
+///
+/// Near-threshold SRAM critical charge falls roughly linearly with the
+/// supply, and upset rate grows super-linearly as margin vanishes; we
+/// model the rate multiplier as `1 + (deficit_mv)^2 / 10^4`, all in
+/// integer arithmetic so every host computes the same value: 1x at or
+/// above 1.0 V, ~5x at 0.8 V, ~17x at 0.6 V, 37x at the paper's 0.4 V
+/// floor. The result saturates at certainty (10^6 ppm).
+pub fn scaled_flip_ppm(ppm_at_nominal: u32, millivolts: u32) -> u32 {
+    let deficit = u64::from(1000u32.saturating_sub(millivolts));
+    let factor = 10_000 + deficit * deficit;
+    let scaled = u64::from(ppm_at_nominal).saturating_mul(factor) / 10_000;
+    scaled.min(1_000_000) as u32
+}
+
+/// Even parity over a byte image: XOR-fold then reduce to one bit.
+///
+/// Any single-bit flip inverts the result, which is why the fabric's
+/// parity checker detects every [`Fault::SramFlip`] with certainty
+/// (the unit test below is the proof obligation for that model).
+pub fn parity(bytes: &[u8]) -> u8 {
+    let folded = bytes.iter().fold(0u8, |acc, b| acc ^ b);
+    folded.count_ones() as u8 & 1
+}
+
+/// Flips bit `bit` (little-endian within each byte) of `bytes` in
+/// place; the test-side counterpart of [`Fault::SramFlip`].
+pub fn flip_bit(bytes: &mut [u8], bit: u64) {
+    let byte = (bit / 8) as usize;
+    bytes[byte] ^= 1 << (bit % 8);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stressful() -> FaultPlan {
+        FaultPlan {
+            seed: 11,
+            sram_flip_ppm: 200_000,
+            dma_stall_ppm: 100_000,
+            dma_stall_cycles: 32,
+            dma_truncate_ppm: 100_000,
+            core_hang_ppm: 100_000,
+            watchdog_cycles: 10_000,
+            max_retries: 3,
+            backoff_cycles: 16,
+            quarantine_after: 4,
+        }
+    }
+
+    #[test]
+    fn none_is_inactive_and_default() {
+        assert!(!FaultPlan::none().is_active());
+        assert_eq!(FaultPlan::default(), FaultPlan::none());
+        let mut watchdog_only = FaultPlan::none();
+        watchdog_only.watchdog_cycles = 1_000;
+        assert!(watchdog_only.is_active());
+    }
+
+    #[test]
+    fn voltage_scaling_is_quadratic_and_saturates() {
+        assert_eq!(scaled_flip_ppm(100, 1000), 100);
+        assert_eq!(scaled_flip_ppm(100, 1200), 100); // no credit above nominal
+        assert_eq!(scaled_flip_ppm(100, 800), 500);
+        assert_eq!(scaled_flip_ppm(100, 600), 1700);
+        assert_eq!(scaled_flip_ppm(100, 400), 3700);
+        assert_eq!(scaled_flip_ppm(900_000, 400), 1_000_000);
+        // Monotone: lower voltage never lowers the rate.
+        let mut last = 0;
+        for mv in (400..=1000).rev().step_by(50) {
+            let ppm = scaled_flip_ppm(1_000, mv);
+            assert!(ppm >= last, "rate fell from {last} to {ppm} at {mv} mV");
+            last = ppm;
+        }
+    }
+
+    #[test]
+    fn draws_are_deterministic_and_attempt_independent() {
+        let session = FaultSession::new(&stressful(), 600);
+        for item in 0..32u64 {
+            for attempt in 0..8u32 {
+                let a = session.draw(item, attempt, 64);
+                let b = session.draw(item, attempt, 64);
+                assert_eq!(a, b, "draw must be a pure function of (item, attempt)");
+            }
+        }
+        // Different attempts of one item come from different streams.
+        let distinct: std::collections::BTreeSet<_> =
+            (0..64).map(|a| format!("{:?}", session.draw(7, a, 64))).collect();
+        assert!(distinct.len() > 1, "attempt streams are not independent");
+    }
+
+    #[test]
+    fn rates_shape_the_draw_population() {
+        let session = FaultSession::new(&stressful(), 1000);
+        let mut clean = 0u32;
+        let mut by_kind = [0u32; 4];
+        for item in 0..4_000u64 {
+            match session.draw(item, 0, 64) {
+                None => clean += 1,
+                Some(Fault::CoreHang) => by_kind[0] += 1,
+                Some(Fault::SramFlip { bit }) => {
+                    assert!(bit < 64 * 8);
+                    by_kind[1] += 1;
+                }
+                Some(Fault::DmaTruncate { bytes }) => {
+                    assert!(bytes < 64);
+                    by_kind[2] += 1;
+                }
+                Some(Fault::DmaStall { extra_cycles }) => {
+                    assert_eq!(extra_cycles, 32);
+                    by_kind[3] += 1;
+                }
+            }
+        }
+        // 50% total fault rate: every class present, and the clean share
+        // is within a loose band around the configured rate.
+        assert!(by_kind.iter().all(|&n| n > 0), "some class never drew: {by_kind:?}");
+        assert!((1_600..=2_400).contains(&clean), "clean draws {clean} of 4000");
+        // Unstaged items can only hang.
+        for item in 0..4_000u64 {
+            match session.draw(item, 0, 0) {
+                None | Some(Fault::CoreHang) => {}
+                other => panic!("unstaged item drew {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lower_voltage_raises_observed_flip_rate() {
+        let nominal = FaultSession::new(&stressful(), 1000);
+        let low = FaultSession::new(&stressful(), 400);
+        assert!(low.effective_flip_ppm() > nominal.effective_flip_ppm());
+        let flips = |s: &FaultSession| {
+            (0..4_000u64).filter(|&i| matches!(s.draw(i, 0, 64), Some(Fault::SramFlip { .. }))).count()
+        };
+        assert!(
+            flips(&low) > flips(&nominal),
+            "0.4 V should upset more dispatches than 1.0 V"
+        );
+    }
+
+    #[test]
+    fn single_bit_flip_always_inverts_parity() {
+        let mut rng = Rng::seed_from_u64(9);
+        for _ in 0..256 {
+            let mut bytes: Vec<u8> = (0..rng.gen_range(1..64usize)).map(|_| rng.gen()).collect();
+            let before = parity(&bytes);
+            let bit = rng.gen_range(0..bytes.len() as u64 * 8);
+            flip_bit(&mut bytes, bit);
+            assert_eq!(parity(&bytes), before ^ 1, "flip of bit {bit} kept parity");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "watchdog")]
+    fn hangs_without_watchdog_are_rejected() {
+        let mut plan = FaultPlan::none();
+        plan.core_hang_ppm = 1;
+        FaultSession::new(&plan, 1000);
+    }
+}

@@ -40,6 +40,40 @@ pub enum StallCause {
     L2Conflict,
 }
 
+/// What class of injected fault an [`EventKind::Fault`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Single-bit upset in a staged SRAM/L2 image.
+    SramFlip,
+    /// DMA transfer delivered late.
+    DmaStall,
+    /// DMA transfer delivered only a prefix of the item.
+    DmaTruncate,
+    /// Core never retired its item.
+    CoreHang,
+}
+
+/// Which checker noticed a fault in an [`EventKind::Detect`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Detector {
+    /// Parity over the staged bytes mismatched at delivery.
+    Parity,
+    /// The per-item cycle watchdog expired.
+    Watchdog,
+}
+
+/// What the fabric did about a detected fault in an
+/// [`EventKind::Recover`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recovery {
+    /// The item was re-staged and re-run after a backoff.
+    Retry,
+    /// The core was quarantined and its queue re-scheduled.
+    Quarantine,
+    /// The item exhausted its retry budget and was dropped.
+    Drop,
+}
+
 /// What happened. Variants with an `end` field are span kinds.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EventKind {
@@ -87,6 +121,24 @@ pub enum EventKind {
         /// Cycle the phase ended.
         end: u64,
     },
+    /// A fault was injected into the fabric (instant, stamped at the
+    /// dispatch the fault corrupted).
+    Fault {
+        /// What went wrong.
+        class: FaultClass,
+    },
+    /// A checker noticed an earlier fault (instant, stamped at the
+    /// detection cycle — parity at DMA delivery, watchdog at expiry).
+    Detect {
+        /// Which checker fired.
+        by: Detector,
+    },
+    /// The fabric acted on a detected fault (instant, stamped at the
+    /// decision cycle).
+    Recover {
+        /// Action taken.
+        action: Recovery,
+    },
 }
 
 /// Phase labels the exporters and the well-formedness checker accept.
@@ -114,6 +166,15 @@ pub const KNOWN_EVENT_NAMES: &[&str] = &[
     "front",
     "mid",
     "back",
+    "fault.sram_flip",
+    "fault.dma_stall",
+    "fault.dma_truncate",
+    "fault.core_hang",
+    "detect.parity",
+    "detect.watchdog",
+    "recover.retry",
+    "recover.quarantine",
+    "recover.drop",
 ];
 
 impl EventKind {
@@ -133,6 +194,15 @@ impl EventKind {
             EventKind::Dma { .. } => "dma",
             EventKind::Inference { .. } => "infer",
             EventKind::Phase { label, .. } => label,
+            EventKind::Fault { class: FaultClass::SramFlip } => "fault.sram_flip",
+            EventKind::Fault { class: FaultClass::DmaStall } => "fault.dma_stall",
+            EventKind::Fault { class: FaultClass::DmaTruncate } => "fault.dma_truncate",
+            EventKind::Fault { class: FaultClass::CoreHang } => "fault.core_hang",
+            EventKind::Detect { by: Detector::Parity } => "detect.parity",
+            EventKind::Detect { by: Detector::Watchdog } => "detect.watchdog",
+            EventKind::Recover { action: Recovery::Retry } => "recover.retry",
+            EventKind::Recover { action: Recovery::Quarantine } => "recover.quarantine",
+            EventKind::Recover { action: Recovery::Drop } => "recover.drop",
         }
     }
 
@@ -210,6 +280,15 @@ mod tests {
             EventKind::Dma { bytes: 4, end: 9 },
             EventKind::Inference { images: 1, end: 9 },
             EventKind::Phase { label: "cpu".into(), end: 9 },
+            EventKind::Fault { class: FaultClass::SramFlip },
+            EventKind::Fault { class: FaultClass::DmaStall },
+            EventKind::Fault { class: FaultClass::DmaTruncate },
+            EventKind::Fault { class: FaultClass::CoreHang },
+            EventKind::Detect { by: Detector::Parity },
+            EventKind::Detect { by: Detector::Watchdog },
+            EventKind::Recover { action: Recovery::Retry },
+            EventKind::Recover { action: Recovery::Quarantine },
+            EventKind::Recover { action: Recovery::Drop },
         ];
         for kind in kinds {
             assert!(

@@ -173,6 +173,12 @@ pub fn chrome_trace(rec: &Recorder, thread_names: &[(u16, String)]) -> String {
                 "{{\"name\":{name},\"cat\":\"pipeline\",\"ph\":\"i\",\"ts\":{cycle},\
                  \"pid\":0,\"tid\":{core},\"s\":\"t\"}}"
             ),
+            EventKind::Fault { .. } | EventKind::Detect { .. } | EventKind::Recover { .. } => {
+                format!(
+                    "{{\"name\":{name},\"cat\":\"fault\",\"ph\":\"i\",\"ts\":{cycle},\
+                     \"pid\":0,\"tid\":{core},\"s\":\"t\"}}"
+                )
+            }
         };
         push_event(&mut out, &mut first, &line);
     }

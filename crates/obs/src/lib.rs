@@ -30,7 +30,10 @@ pub mod metrics;
 pub mod record;
 pub mod selfprof;
 
-pub use event::{Event, EventKind, Mode, StallCause, KNOWN_EVENT_NAMES, KNOWN_PHASE_LABELS};
+pub use event::{
+    Detector, Event, EventKind, FaultClass, Mode, Recovery, StallCause, KNOWN_EVENT_NAMES,
+    KNOWN_PHASE_LABELS,
+};
 pub use export::{chrome_trace, write_artifacts, write_artifacts_to, CoreArtifact, RunArtifact};
 pub use metrics::{CycleHistogram, MetricsReport};
 pub use record::{Counters, Recorder, TraceLevel};

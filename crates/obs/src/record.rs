@@ -33,12 +33,35 @@ pub enum TraceLevel {
 
 impl TraceLevel {
     /// Reads the level from the `NCPU_TRACE` environment variable
-    /// (`off`, `counters`, or `full`; anything else means `Off`).
+    /// (`off`, `counters`, or `full`; unset or empty means `Off`). An
+    /// unrecognized value also falls back to `Off`, but loudly: a
+    /// single stderr warning per process instead of silently tracing
+    /// nothing.
     pub fn from_env() -> TraceLevel {
-        match std::env::var("NCPU_TRACE").as_deref() {
-            Ok("counters") => TraceLevel::Counters,
-            Ok("full") => TraceLevel::Full,
-            _ => TraceLevel::Off,
+        match std::env::var("NCPU_TRACE") {
+            Ok(raw) => TraceLevel::parse(&raw).unwrap_or_else(|| {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "ncpu-obs: ignoring invalid NCPU_TRACE={raw:?} \
+                         (want \"off\", \"counters\", or \"full\"); tracing is off"
+                    );
+                });
+                TraceLevel::Off
+            }),
+            Err(_) => TraceLevel::Off,
+        }
+    }
+
+    /// Parses an `NCPU_TRACE` value without touching the environment:
+    /// `off`, `counters`, `full`, or empty/whitespace (= `Off`); `None`
+    /// for anything else.
+    pub fn parse(raw: &str) -> Option<TraceLevel> {
+        match raw.trim() {
+            "" | "off" => Some(TraceLevel::Off),
+            "counters" => Some(TraceLevel::Counters),
+            "full" => Some(TraceLevel::Full),
+            _ => None,
         }
     }
 
@@ -380,6 +403,21 @@ mod tests {
         assert_eq!(TraceLevel::default(), TraceLevel::Off);
         assert_eq!(TraceLevel::Off.at_least_counters(), TraceLevel::Counters);
         assert_eq!(TraceLevel::Full.at_least_counters(), TraceLevel::Full);
+    }
+
+    #[test]
+    fn trace_env_parsing_falls_back_not_panics() {
+        // Pure-parse tests (no env mutation): every documented spelling
+        // maps to its level, and junk is rejected so `from_env` can warn
+        // once and fall back to Off instead of silently absorbing it.
+        assert_eq!(TraceLevel::parse("off"), Some(TraceLevel::Off));
+        assert_eq!(TraceLevel::parse(""), Some(TraceLevel::Off));
+        assert_eq!(TraceLevel::parse("  "), Some(TraceLevel::Off));
+        assert_eq!(TraceLevel::parse("counters"), Some(TraceLevel::Counters));
+        assert_eq!(TraceLevel::parse(" full "), Some(TraceLevel::Full));
+        for junk in ["Full", "FULL", "1", "on", "trace", "counter"] {
+            assert_eq!(TraceLevel::parse(junk), None, "{junk:?} must be rejected");
+        }
     }
 
     #[test]

@@ -51,11 +51,52 @@ pub const THREADS_ENV: &str = "NCPU_THREADS";
 /// ```
 pub fn thread_count() -> usize {
     match std::env::var(THREADS_ENV) {
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(n) if n > 0 => n,
-            _ => host_parallelism(),
+        Ok(v) => match parse_threads(&v) {
+            Ok(Some(n)) => n,
+            Ok(None) => host_parallelism(),
+            Err(bad) => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!("ncpu-par: ignoring {bad}; using host parallelism");
+                });
+                host_parallelism()
+            }
         },
         Err(_) => host_parallelism(),
+    }
+}
+
+/// An `NCPU_THREADS` value that is neither a non-negative integer nor
+/// one of the documented "use the host" spellings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadThreadsValue {
+    /// The rejected value, verbatim.
+    pub raw: String,
+}
+
+impl std::fmt::Display for BadThreadsValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid {THREADS_ENV}={:?}: want a non-negative worker count", self.raw)
+    }
+}
+
+impl std::error::Error for BadThreadsValue {}
+
+/// Parses an `NCPU_THREADS` value without touching the environment:
+/// `Ok(Some(n))` for a positive worker count, `Ok(None)` for the
+/// documented "use the host" spellings (`0`, empty/whitespace), and
+/// [`BadThreadsValue`] for anything else — which [`thread_count`]
+/// reports once on stderr and then treats as unset rather than
+/// panicking or silently absorbing.
+pub fn parse_threads(raw: &str) -> Result<Option<usize>, BadThreadsValue> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    match trimmed.parse::<usize>() {
+        Ok(0) => Ok(None),
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(BadThreadsValue { raw: raw.to_string() }),
     }
 }
 
@@ -221,6 +262,22 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn thread_env_parsing_falls_back_not_panics() {
+        // Pure-parse tests: the real environment stays untouched
+        // (tests run in parallel).
+        assert_eq!(parse_threads("4"), Ok(Some(4)));
+        assert_eq!(parse_threads(" 16 "), Ok(Some(16)));
+        assert_eq!(parse_threads("0"), Ok(None), "0 means host parallelism");
+        assert_eq!(parse_threads(""), Ok(None));
+        assert_eq!(parse_threads("   "), Ok(None));
+        for junk in ["four", "-2", "3.5", "1e3", "0x4", "4 cores"] {
+            let err = parse_threads(junk).expect_err(junk);
+            assert_eq!(err.raw, junk, "the error carries the rejected value");
+            assert!(err.to_string().contains(THREADS_ENV), "message names the env var");
+        }
+    }
 
     #[test]
     fn preserves_order_for_any_worker_count() {

@@ -9,12 +9,64 @@
 //! The paper builds the two-core split; [`run_series_n`] generalizes it
 //! to any segment count.
 
+use std::fmt;
+
 use ncpu_accel::{Accelerator, BatchRun};
 use ncpu_bnn::{BitVec, BnnLayer, BnnModel, Topology};
-use ncpu_obs::{Recorder, TraceLevel};
+use ncpu_fault::{Fault, FaultPlan, FaultSession};
+use ncpu_obs::{Detector, EventKind, FaultClass, Recorder, Recovery, TraceLevel};
 
 use crate::fabric;
 use crate::system::SocConfig;
+
+/// Structured error for the deep series path — the conditions that used
+/// to surface as `expect`/`assert` panics deep inside the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeepError {
+    /// The requested segment count is outside `2..=layers`.
+    SegmentsOutOfRange {
+        /// Requested segment count.
+        segments: usize,
+        /// Layers the model actually has.
+        layers: usize,
+    },
+    /// An input image's width does not match the model's input layer.
+    InputWidthMismatch {
+        /// Index of the offending image.
+        image: usize,
+        /// The model's input width in bits.
+        expected: usize,
+        /// The image's width in bits.
+        got: usize,
+    },
+    /// A series segment ended up with no layers, so it cannot produce
+    /// link activations (defensive: unreachable for models built via
+    /// [`ncpu_bnn::Topology::new`], which rejects empty layer lists).
+    EmptySegment {
+        /// Index of the offending segment.
+        segment: usize,
+    },
+}
+
+impl fmt::Display for DeepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeepError::SegmentsOutOfRange { segments, layers } => write!(
+                f,
+                "series mode needs 2..={layers} segments for a {layers}-layer model, got {segments}"
+            ),
+            DeepError::InputWidthMismatch { image, expected, got } => write!(
+                f,
+                "input image {image} is {got} bits wide, the model expects {expected}"
+            ),
+            DeepError::EmptySegment { segment } => {
+                write!(f, "series segment {segment} has no layers")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeepError {}
 
 /// Splits a deep model into `(front, back)` halves for series execution.
 ///
@@ -122,6 +174,25 @@ pub fn run_rolled_traced(
     soc: &SocConfig,
     level: TraceLevel,
 ) -> (DeepRun, Recorder) {
+    run_rolled_arrivals_traced(deep, inputs, &vec![0; inputs.len()], soc, level)
+}
+
+/// Like [`run_rolled_traced`], with a per-image arrival cycle (the
+/// fault layer's staging prologue delays deliveries; a clean run is all
+/// zeros). Latency metrics stay anchored at cycle 0 — an arrival delay
+/// is recovery time the image spent in service.
+///
+/// # Panics
+///
+/// Panics if `arrivals` is not parallel to `inputs`.
+pub fn run_rolled_arrivals_traced(
+    deep: &BnnModel,
+    inputs: &[BitVec],
+    arrivals: &[u64],
+    soc: &SocConfig,
+    level: TraceLevel,
+) -> (DeepRun, Recorder) {
+    assert_eq!(inputs.len(), arrivals.len(), "one arrival per image");
     let mut rec = Recorder::new(level.at_least_counters());
     // The physical array: the paper's 4 × (widest layer) configuration.
     let widest = deep.layers().iter().map(BnnLayer::neurons).max().expect("layers");
@@ -132,10 +203,11 @@ pub fn run_rolled_traced(
     ));
     let mut accel = Accelerator::new(physical, fabric::accel_config(soc));
     accel.set_obs_level(level.at_least_counters());
-    let timed: Vec<(BitVec, u64)> = inputs.iter().map(|i| (i.clone(), 0)).collect();
+    let timed: Vec<(BitVec, u64)> =
+        inputs.iter().zip(arrivals).map(|(i, &at)| (i.clone(), at)).collect();
     let batch = accel.run_batch_deep(deep, &timed);
-    // All images arrive at cycle 0, so latency is the completion cycle
-    // and service is the image's traversal of the rolled array.
+    // Latency is anchored at cycle 0 (arrival delays included); service
+    // is the image's traversal of the rolled array.
     for (i, &(start, end)) in batch.spans.iter().enumerate() {
         fabric::record_item_metrics(&mut rec, end, end - start, (inputs.len() - 1 - i) as u64);
     }
@@ -179,7 +251,9 @@ pub fn run_series_traced(
 ///
 /// # Panics
 ///
-/// Panics unless `2 ≤ segments ≤ layers`.
+/// Panics unless `2 ≤ segments ≤ layers` and every input matches the
+/// model's width — use [`try_run_series_n_traced`] to get those
+/// conditions as a structured [`DeepError`] instead.
 pub fn run_series_n_traced(
     deep: &BnnModel,
     inputs: &[BitVec],
@@ -187,12 +261,64 @@ pub fn run_series_n_traced(
     segments: usize,
     level: TraceLevel,
 ) -> (DeepRun, Recorder) {
-    assert!(segments >= 2, "series mode needs at least two segments");
+    try_run_series_n_traced(deep, inputs, soc, segments, level)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`run_series_n_traced`]: invalid segment counts,
+/// mismatched input widths, and (defensively) empty segments come back
+/// as a [`DeepError`] instead of a panic.
+///
+/// # Errors
+///
+/// See [`DeepError`].
+pub fn try_run_series_n_traced(
+    deep: &BnnModel,
+    inputs: &[BitVec],
+    soc: &SocConfig,
+    segments: usize,
+    level: TraceLevel,
+) -> Result<(DeepRun, Recorder), DeepError> {
+    try_run_series_n_arrivals_traced(deep, inputs, &vec![0; inputs.len()], soc, segments, level)
+}
+
+/// Like [`try_run_series_n_traced`], with a per-image arrival cycle
+/// (the fault layer's staging prologue delays deliveries; a clean run
+/// is all zeros). Latency metrics stay anchored at cycle 0 — an
+/// arrival delay is recovery time the image spent in service.
+///
+/// # Errors
+///
+/// See [`DeepError`].
+///
+/// # Panics
+///
+/// Panics if `arrivals` is not parallel to `inputs`.
+pub fn try_run_series_n_arrivals_traced(
+    deep: &BnnModel,
+    inputs: &[BitVec],
+    arrivals: &[u64],
+    soc: &SocConfig,
+    segments: usize,
+    level: TraceLevel,
+) -> Result<(DeepRun, Recorder), DeepError> {
+    assert_eq!(inputs.len(), arrivals.len(), "one arrival per image");
+    let layers = deep.layers().len();
+    if !(2..=layers).contains(&segments) {
+        return Err(DeepError::SegmentsOutOfRange { segments, layers });
+    }
+    let expected = deep.topology().input();
+    for (image, input) in inputs.iter().enumerate() {
+        if input.len() != expected {
+            return Err(DeepError::InputWidthMismatch { image, expected, got: input.len() });
+        }
+    }
     let mut rec = Recorder::new(level.at_least_counters());
     let parts = split_model_n(deep, segments);
     let mut link = fabric::new_dma(soc, level);
 
-    let mut timed: Vec<(BitVec, u64)> = inputs.iter().map(|i| (i.clone(), 0)).collect();
+    let mut timed: Vec<(BitVec, u64)> =
+        inputs.iter().zip(arrivals).map(|(i, &at)| (i.clone(), at)).collect();
     let mut total_link_bytes = 0u64;
     let mut last_run: Option<BatchRun> = None;
     let mut front_starts: Vec<u64> = Vec::new();
@@ -218,12 +344,17 @@ pub fn run_series_n_traced(
         if s < parts.len() - 1 {
             // This segment's activations (computed functionally) cross the
             // link as each image completes, in image order.
-            let link_bytes =
-                part.topology().layers().last().expect("layers").div_ceil(8) as u32;
+            let width =
+                part.topology().layers().last().ok_or(DeepError::EmptySegment { segment: s })?;
+            let link_bytes = width.div_ceil(8) as u32;
             total_link_bytes += u64::from(link_bytes) * inputs.len() as u64;
             let mut next = Vec::with_capacity(timed.len());
             for ((input, _), &(_, end)) in timed.iter().zip(&run.spans) {
-                let acts = part.layer_outputs(input).last().expect("layers").clone();
+                let acts = part
+                    .layer_outputs(input)
+                    .last()
+                    .ok_or(DeepError::EmptySegment { segment: s })?
+                    .clone();
                 let delivered = link.schedule(end, link_bytes);
                 next.push((acts, delivered));
             }
@@ -259,7 +390,153 @@ pub fn run_series_n_traced(
         first_latency: back_run.spans.first().map_or(0, |&(_, e)| e),
         steady_interval: back_run.steady_interval(),
     };
-    (run, rec)
+    Ok((run, rec))
+}
+
+/// What the fault prologue decided for one deep batch: per-image
+/// staging delays, dropped images, and the fault-layer bookkeeping the
+/// caller merges into the run's recorder after the batch executes.
+///
+/// The deep engine has no spare cores to re-schedule onto (every core
+/// holds a resident model segment), so quarantine is structurally
+/// disabled here: recovery is retry-with-backoff, then drop.
+pub(crate) struct DeepPrologue {
+    /// Arrival cycle per *surviving* image, parallel to `kept`.
+    pub arrivals: Vec<u64>,
+    /// Original item indices that survived staging, in order.
+    pub kept: Vec<usize>,
+    /// Original item indices the recovery policy dropped.
+    pub dropped: Vec<usize>,
+    /// Fault-layer instants, sorted by cycle — emit them on one
+    /// dedicated lane so per-lane timestamp order holds.
+    pub events: Vec<(u64, EventKind)>,
+    /// `fault.recovery_cycles` histogram samples.
+    pub recovery_cycles: Vec<u64>,
+    /// `item.retries` histogram samples, one per item in index order.
+    pub retries: Vec<u64>,
+    /// The `fault.*` counters every engine exports, name → value.
+    pub counters: [(&'static str, u64); 9],
+    /// Cycle of the last fault-layer event (0 when none): a dropped
+    /// item's detection can outlast every surviving completion, so the
+    /// run's makespan is the max of the batch and this horizon.
+    pub horizon: u64,
+}
+
+/// Resolves the fault plan against a deep batch's input staging, before
+/// the accelerator sees any image. Each image's delivery draws from the
+/// same per-(item, attempt) split RNG streams the SoC engines use;
+/// benign stalls delay the arrival, detected faults (parity at the
+/// priced delivery cycle, watchdog for hangs) retry with exponential
+/// backoff until the plan's budget drops the image.
+pub(crate) fn deep_fault_prologue(
+    plan: &FaultPlan,
+    millivolts: u32,
+    staged_sizes: &[usize],
+    soc: &SocConfig,
+) -> DeepPrologue {
+    let session = FaultSession::new(plan, millivolts);
+    let cost = |bytes: u64| {
+        soc.dma_setup_cycles + bytes.div_ceil(u64::from(soc.dma_bytes_per_cycle.max(1)))
+    };
+    let mut arrivals = Vec::new();
+    let mut kept = Vec::new();
+    let mut dropped = Vec::new();
+    let mut events: Vec<(u64, EventKind)> = Vec::new();
+    let mut recovery_cycles = Vec::new();
+    let mut retries_hist = Vec::with_capacity(staged_sizes.len());
+    let (mut flips, mut stalls, mut truncates, mut hangs) = (0u64, 0u64, 0u64, 0u64);
+    let (mut parity, mut watchdog) = (0u64, 0u64);
+    let (mut retries, mut drops) = (0u64, 0u64);
+    for (i, &bytes) in staged_sizes.iter().enumerate() {
+        let mut attempt = 0u32;
+        let mut faults = 0u32;
+        let mut delay = 0u64;
+        // `Some(arrival)` once staging succeeds, `None` once dropped.
+        let outcome = loop {
+            let draw = session.draw(i as u64, attempt, bytes);
+            attempt += 1;
+            match draw {
+                None => break Some(delay),
+                Some(Fault::DmaStall { extra_cycles }) => {
+                    // Benign: the image arrives, just late.
+                    stalls += 1;
+                    events.push((delay, EventKind::Fault { class: FaultClass::DmaStall }));
+                    break Some(delay + extra_cycles);
+                }
+                Some(fault) => {
+                    let (class, detect_at, by) = match fault {
+                        Fault::SramFlip { .. } => {
+                            flips += 1;
+                            (FaultClass::SramFlip, delay + cost(bytes as u64), Detector::Parity)
+                        }
+                        Fault::DmaTruncate { bytes: delivered } => {
+                            truncates += 1;
+                            (
+                                FaultClass::DmaTruncate,
+                                delay + cost(u64::from(delivered)),
+                                Detector::Parity,
+                            )
+                        }
+                        Fault::CoreHang => {
+                            hangs += 1;
+                            (FaultClass::CoreHang, delay + plan.watchdog_cycles, Detector::Watchdog)
+                        }
+                        Fault::DmaStall { .. } => unreachable!("handled above"),
+                    };
+                    match by {
+                        Detector::Parity => parity += 1,
+                        Detector::Watchdog => watchdog += 1,
+                    }
+                    events.push((delay, EventKind::Fault { class }));
+                    events.push((detect_at, EventKind::Detect { by }));
+                    faults += 1;
+                    if faults > plan.max_retries {
+                        drops += 1;
+                        events.push((detect_at, EventKind::Recover { action: Recovery::Drop }));
+                        recovery_cycles.push(detect_at - delay);
+                        break None;
+                    }
+                    retries += 1;
+                    events.push((detect_at, EventKind::Recover { action: Recovery::Retry }));
+                    let exp = (faults - 1).min(16);
+                    let resume =
+                        detect_at.saturating_add(plan.backoff_cycles.saturating_mul(1 << exp));
+                    recovery_cycles.push(resume - delay);
+                    delay = resume;
+                }
+            }
+        };
+        retries_hist.push(u64::from(attempt.saturating_sub(1)));
+        match outcome {
+            Some(arrival) => {
+                arrivals.push(arrival);
+                kept.push(i);
+            }
+            None => dropped.push(i),
+        }
+    }
+    let horizon = events.iter().map(|&(cycle, _)| cycle).max().unwrap_or(0);
+    events.sort_by_key(|&(cycle, _)| cycle);
+    DeepPrologue {
+        arrivals,
+        kept,
+        dropped,
+        events,
+        recovery_cycles,
+        retries: retries_hist,
+        counters: [
+            ("fault.injected.sram_flip", flips),
+            ("fault.injected.dma_stall", stalls),
+            ("fault.injected.dma_truncate", truncates),
+            ("fault.injected.core_hang", hangs),
+            ("fault.detected.parity", parity),
+            ("fault.detected.watchdog", watchdog),
+            ("fault.retries", retries),
+            ("fault.items_dropped", drops),
+            ("fault.cores_quarantined", 0),
+        ],
+        horizon,
+    }
 }
 
 #[cfg(test)]
@@ -382,5 +659,108 @@ pub(crate) mod tests {
     #[should_panic(expected = "interior")]
     fn split_bounds_checked() {
         split_model(&deep_model(4), 4);
+    }
+
+    #[test]
+    fn bad_segment_counts_return_structured_errors() {
+        let deep = deep_model(8);
+        let ins = inputs(2);
+        let soc = SocConfig::default();
+        for segments in [0usize, 1, 9, 100] {
+            let err = try_run_series_n_traced(&deep, &ins, &soc, segments, TraceLevel::Off)
+                .expect_err("out-of-range segment count must not run");
+            assert_eq!(err, DeepError::SegmentsOutOfRange { segments, layers: 8 });
+        }
+        let msg = DeepError::SegmentsOutOfRange { segments: 9, layers: 8 }.to_string();
+        assert_eq!(msg, "series mode needs 2..=8 segments for a 8-layer model, got 9");
+    }
+
+    #[test]
+    fn mismatched_input_width_returns_structured_error() {
+        let deep = deep_model(8);
+        let mut ins = inputs(3);
+        ins[1] = BitVec::from_bools((0..32).map(|i| i % 2 == 0));
+        let err = try_run_series_n_traced(&deep, &ins, &SocConfig::default(), 2, TraceLevel::Off)
+            .expect_err("width mismatch must not run");
+        assert_eq!(err, DeepError::InputWidthMismatch { image: 1, expected: 48, got: 32 });
+        assert_eq!(err.to_string(), "input image 1 is 32 bits wide, the model expects 48");
+    }
+
+    #[test]
+    fn try_variant_matches_panicking_variant_on_valid_input() {
+        let deep = deep_model(8);
+        let ins = inputs(4);
+        let soc = SocConfig::default();
+        let (run, _) = run_series_n_traced(&deep, &ins, &soc, 2, TraceLevel::Off);
+        let (fallible, _) =
+            try_run_series_n_traced(&deep, &ins, &soc, 2, TraceLevel::Off).unwrap();
+        assert_eq!(run, fallible);
+    }
+
+    fn stall_only_plan() -> FaultPlan {
+        FaultPlan {
+            seed: 5,
+            sram_flip_ppm: 0,
+            dma_stall_ppm: 1_000_000,
+            dma_stall_cycles: 500,
+            dma_truncate_ppm: 0,
+            core_hang_ppm: 0,
+            watchdog_cycles: 0,
+            max_retries: 3,
+            backoff_cycles: 32,
+            quarantine_after: 0,
+        }
+    }
+
+    #[test]
+    fn prologue_is_deterministic() {
+        let plan = FaultPlan {
+            sram_flip_ppm: 300_000,
+            dma_truncate_ppm: 200_000,
+            ..stall_only_plan()
+        };
+        let sizes = [64usize, 96, 128, 64];
+        let soc = SocConfig::default();
+        let a = deep_fault_prologue(&plan, 850, &sizes, &soc);
+        let b = deep_fault_prologue(&plan, 850, &sizes, &soc);
+        assert_eq!(a.arrivals, b.arrivals);
+        assert_eq!(a.kept, b.kept);
+        assert_eq!(a.dropped, b.dropped);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.horizon, b.horizon);
+    }
+
+    #[test]
+    fn prologue_stalls_delay_but_never_drop() {
+        let sizes = [64usize; 5];
+        let pro = deep_fault_prologue(&stall_only_plan(), 1000, &sizes, &SocConfig::default());
+        assert_eq!(pro.kept, vec![0, 1, 2, 3, 4]);
+        assert!(pro.dropped.is_empty());
+        // A stall is benign: every image arrives, exactly one stall late.
+        assert_eq!(pro.arrivals, vec![500; 5]);
+        assert!(pro.counters.contains(&("fault.injected.dma_stall", 5)));
+        assert!(pro.counters.contains(&("fault.items_dropped", 0)));
+    }
+
+    #[test]
+    fn prologue_exhausted_retries_drop_every_image() {
+        let plan = FaultPlan {
+            sram_flip_ppm: 1_000_000,
+            dma_stall_ppm: 0,
+            dma_stall_cycles: 0,
+            max_retries: 0,
+            ..stall_only_plan()
+        };
+        let sizes = [64usize; 4];
+        let pro = deep_fault_prologue(&plan, 900, &sizes, &SocConfig::default());
+        assert!(pro.kept.is_empty());
+        assert_eq!(pro.dropped, vec![0, 1, 2, 3]);
+        assert!(pro.counters.contains(&("fault.items_dropped", 4)));
+        assert!(pro.counters.contains(&("fault.retries", 0)));
+        // Parity detection happens at the priced delivery cycle, so the
+        // horizon extends past cycle 0 even though nothing ran.
+        assert!(pro.horizon > 0);
+        assert!(pro.events.windows(2).all(|w| w[0].0 <= w[1].0), "events sorted");
     }
 }

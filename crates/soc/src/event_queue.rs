@@ -187,4 +187,64 @@ mod tests {
         q.arm(0, 2);
         assert_eq!(q.pop(), Some((2, 0)));
     }
+
+    /// Cancelling a wakeup whose generation already fired is a no-op:
+    /// the live count must not underflow and a fresh arm still works.
+    #[test]
+    fn cancel_of_already_fired_generation_is_noop() {
+        let mut q = EventQueue::new(2);
+        q.arm(0, 5);
+        assert_eq!(q.pop(), Some((5, 0)));
+        // The generation armed above has fired; this cancel targets
+        // nothing.
+        q.cancel(0);
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        q.arm(0, 9);
+        q.arm(1, 8);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((8, 1)));
+        assert_eq!(q.pop(), Some((9, 0)));
+        assert_eq!(q.pop(), None);
+    }
+
+    /// Re-arming at the cycle the actor is already armed for (or was
+    /// just popped at) bumps the generation without duplicating the
+    /// wakeup — exactly one pop surfaces per live arm.
+    #[test]
+    fn rearm_at_current_cycle_fires_exactly_once() {
+        let mut q = EventQueue::new(1);
+        q.arm(0, 10);
+        q.arm(0, 10); // same cycle: old generation goes stale
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((10, 0)));
+        assert_eq!(q.pop(), None);
+        // Re-arm at the cycle that just fired: the queue can run
+        // multiple dispatches of one actor in the same cycle slot.
+        q.arm(0, 10);
+        assert_eq!(q.pop(), Some((10, 0)));
+        assert!(q.is_empty());
+    }
+
+    /// Cancellation inside a same-cycle tie must not disturb the
+    /// ascending-actor pop order of the survivors, including an actor
+    /// re-armed into the tie after its original entry went stale.
+    #[test]
+    fn same_cycle_ties_hold_actor_order_under_cancellation() {
+        let mut q = EventQueue::new(4);
+        for actor in 0..4 {
+            q.arm(actor, 10);
+        }
+        q.cancel(1);
+        q.cancel(2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((10, 0)));
+        // Actor 2 rejoins the cycle-10 tie with a fresh generation; it
+        // still pops before actor 3 (actor order, not arm order).
+        q.arm(2, 10);
+        assert_eq!(q.pop(), Some((10, 2)));
+        assert_eq!(q.pop(), Some((10, 3)));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
 }

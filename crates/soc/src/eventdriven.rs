@@ -51,6 +51,7 @@
 //! so the restart exists for soundness, not for the paper's workloads.
 
 use ncpu_core::{NcpuCore, ReplayDelta, ReplayState, SharedL2};
+use ncpu_fault::FaultPlan;
 use ncpu_obs::{EventKind, Recorder, StallCause, TraceLevel};
 use ncpu_pipeline::PipeStats;
 
@@ -98,17 +99,88 @@ pub fn run_ncpu_event_traced(
     soc: &SocConfig,
     level: TraceLevel,
 ) -> (EventReport, Recorder) {
-    match run_attempt(usecase, cores, soc, level, true) {
+    run_ncpu_event_faulted(usecase, cores, soc, level, &FaultPlan::none(), 1000)
+}
+
+/// Like [`run_ncpu_event_traced`], but with a [`FaultPlan`] bound to an
+/// operating point (`millivolts` scales the SRAM soft-error rate).
+///
+/// An inert plan ([`FaultPlan::none`]) takes the exact pre-fault code
+/// path. An active plan resolves every dispatch through
+/// `fabric::resolve_dispatch` at the same `(cycle, core)` slots the
+/// lock-step engine does, so reports, counters and raw trace streams
+/// stay byte-identical — with one exception the engine cannot simulate:
+/// a *mid-item* watchdog expiry. Items execute atomically here, so when
+/// any item overruns the plan's watchdog budget the whole run restarts
+/// on the lock-step engine (the generalization of the memo-unsoundness
+/// restart), which aborts the item for real; only the engine name in
+/// the report's `config` betrays the fallback.
+///
+/// # Panics
+///
+/// Panics if a generated program faults (a workspace bug) or the run
+/// exceeds an internal cycle bound.
+pub fn run_ncpu_event_faulted(
+    usecase: &UseCase,
+    cores: usize,
+    soc: &SocConfig,
+    level: TraceLevel,
+    plan: &FaultPlan,
+    millivolts: u32,
+) -> (EventReport, Recorder) {
+    match run_attempt(usecase, cores, soc, level, true, plan, millivolts) {
         Ok(result) => result,
         // An item read the shared L2 after a replay already skipped a
         // write: replay is unsound for this workload, simulate all items.
-        Err(MemoUnsound) => run_attempt(usecase, cores, soc, level, false)
-            .unwrap_or_else(|_| unreachable!("memoization disabled: nothing to invalidate")),
+        Err(Restart::MemoUnsound) => {
+            match run_attempt(usecase, cores, soc, level, false, plan, millivolts) {
+                Ok(result) => result,
+                Err(Restart::MemoUnsound) => {
+                    unreachable!("memoization disabled: nothing to invalidate")
+                }
+                Err(Restart::Watchdog) => {
+                    lockstep_fallback(usecase, cores, soc, level, plan, millivolts)
+                }
+            }
+        }
+        Err(Restart::Watchdog) => lockstep_fallback(usecase, cores, soc, level, plan, millivolts),
     }
 }
 
-/// Replay would be unsound: restart the run without the cache.
-struct MemoUnsound;
+/// An item overran the fault plan's watchdog: atomic item execution
+/// cannot abort mid-item, so the run re-executes on the lock-step
+/// engine, which can. Byte-identical by definition — it *is* the
+/// lock-step run, relabeled.
+fn lockstep_fallback(
+    usecase: &UseCase,
+    cores: usize,
+    soc: &SocConfig,
+    level: TraceLevel,
+    plan: &FaultPlan,
+    millivolts: u32,
+) -> (EventReport, Recorder) {
+    let (ls, rec) =
+        crate::lockstep::run_ncpu_lockstep_faulted(usecase, cores, soc, level, plan, millivolts);
+    let mut report = ls.report;
+    report.config = report.config.replace("(lockstep)", "(event)");
+    (
+        EventReport {
+            report,
+            l2_conflict_cycles: ls.l2_conflict_cycles,
+            replayed_items: 0,
+        },
+        rec,
+    )
+}
+
+/// The run must start over on a different strategy.
+enum Restart {
+    /// Replay would be unsound: restart without the cache.
+    MemoUnsound,
+    /// An item overran the watchdog budget mid-execution: restart on
+    /// the lock-step engine, which can abort mid-item.
+    Watchdog,
+}
 
 /// One memoized item execution.
 struct Cached {
@@ -129,6 +201,11 @@ struct Cached {
 
 /// A deferred recorder operation, replayed in lock-step emission order.
 enum Emission {
+    /// The fault layer's injection/detection/recovery instants resolved
+    /// at one dispatch slot. The lock-step walk emits them in its
+    /// dispatch phase, before stepping the core — so they sort before
+    /// any same-slot stall or absorb.
+    Fault { cycle: u64, core: u16, events: Vec<(u64, EventKind)> },
     /// `stall.l2_conflict` instant for a core that lost the L2 port.
     Stall { cycle: u64, core: u16 },
     /// An item's drained shard, absorbed with the given cycle offset.
@@ -139,8 +216,9 @@ enum Emission {
 impl Emission {
     fn key(&self) -> (u64, u16, u8) {
         match self {
-            Emission::Stall { cycle, core } => (*cycle, *core, 0),
-            Emission::Absorb { cycle, core, .. } => (*cycle, *core, 1),
+            Emission::Fault { cycle, core, .. } => (*cycle, *core, 0),
+            Emission::Stall { cycle, core } => (*cycle, *core, 1),
+            Emission::Absorb { cycle, core, .. } => (*cycle, *core, 2),
         }
     }
 }
@@ -148,17 +226,24 @@ impl Emission {
 struct CoreRun {
     core: NcpuCore,
     program: Vec<u32>,
-    /// Items (by index into the use case) assigned to this core.
-    queue: Vec<usize>,
+    /// Items assigned to this core: `(item index, available_from)` —
+    /// initial round-robin items are available from cycle 0; items
+    /// re-scheduled off a quarantined core from the cycle after the
+    /// quarantine decision. Mirrors the lock-step queue exactly.
+    queue: Vec<(usize, u64)>,
     /// Position within `queue`.
     at: usize,
     /// The pending wakeup begins the staged item (banks already loaded)
     /// rather than attempting the next item start.
-    begin_pending: bool,
+    pending_exec: bool,
     /// Cycle the scheduler first attempted the current item (before any
     /// DMA staging sleep) — the latency clock start, matching the
     /// lock-step engine's first-attempt cycle.
     dispatch: u64,
+    /// Items waiting behind the current one, captured at dispatch (a
+    /// quarantined peer can push onto this queue mid-item; dispatch is
+    /// the one point both simulating engines observe the same queue).
+    depth: u64,
     busy: u64,
     finished_at: u64,
     predictions: Vec<(usize, usize)>,
@@ -171,11 +256,17 @@ fn run_attempt(
     soc: &SocConfig,
     level: TraceLevel,
     mut memoize: bool,
-) -> Result<(EventReport, Recorder), MemoUnsound> {
+    plan: &FaultPlan,
+    millivolts: u32,
+) -> Result<(EventReport, Recorder), Restart> {
     assert!(cores >= 1, "need at least one core");
     let mut rec = Recorder::new(level.at_least_counters());
     let l2 = SharedL2::new(fabric::L2_BYTES);
     let mut dma = fabric::new_dma(soc, level);
+    let mut ctl = plan
+        .is_active()
+        .then(|| fabric::FaultCtl::new(plan, millivolts, usecase.items().len(), cores));
+    let watchdog = ctl.as_ref().map_or(0, |ctl| ctl.watchdog());
     let mut states: Vec<CoreRun> = (0..cores)
         .map(|c| {
             let mut core = fabric::ncpu_core(usecase, soc, level, l2.clone());
@@ -184,10 +275,14 @@ fn run_attempt(
             CoreRun {
                 core,
                 program,
-                queue: (0..usecase.items().len()).filter(|i| i % cores == c).collect(),
+                queue: (0..usecase.items().len())
+                    .filter(|i| i % cores == c)
+                    .map(|i| (i, 0))
+                    .collect(),
                 at: 0,
-                begin_pending: false,
+                pending_exec: false,
                 dispatch: 0,
+                depth: 0,
                 busy: 0,
                 finished_at: 0,
                 predictions: Vec::new(),
@@ -207,31 +302,110 @@ fn run_attempt(
     let mut touches: Vec<(u64, u16)> = Vec::new();
     let mut replayed = 0usize;
     let budget = 2_000_000_000u64;
-    while let Some((now, c)) = queue.pop() {
+    'pop: while let Some((now, c)) = queue.pop() {
         assert!(now < budget, "event-driven run exceeded {budget} cycles");
-        let st = &mut states[c as usize];
-        if !st.begin_pending {
-            st.dispatch = now;
-            let item = &usecase.items()[st.queue[st.at]];
-            if !item.staged.is_empty() {
-                // Book the staging transfer and load the banks now (the
-                // lock-step scheduler stages at the attempt cycle too),
-                // then sleep until the DMA delivers.
-                let delivered = dma.schedule(now, item.staged.len() as u32);
-                let banks = st.core.pipeline_mut().mem_mut().accel_mut().banks_mut();
-                let (bank, off) = banks.resolve(0).expect("data cache starts at 0");
-                banks.bank_mut(bank).load(off as usize, &item.staged);
-                if delivered > now {
-                    st.begin_pending = true;
-                    queue.arm(c, delivered);
-                    continue;
+        let ci = c as usize;
+        if !states[ci].pending_exec {
+            // Dispatch phase: resolve the next item against the fault
+            // layer at this exact `(cycle, core)` slot — the same slot
+            // the lock-step walk resolves it at, so DMA bookings, RNG
+            // cursors and recovery decisions land in identical order.
+            // The inner loop exists for the fault layer: a drop decided
+            // at this very cycle lets the *next* queued item dispatch
+            // in the same slot, matching the lock-step walk.
+            let mut batch: Vec<(u64, EventKind)> = Vec::new();
+            let run_now = loop {
+                let st = &mut states[ci];
+                if st.at >= st.queue.len() {
+                    break false; // parked (drained or quarantined)
                 }
+                let (idx, avail) = st.queue[st.at];
+                if avail > now {
+                    queue.arm(c, avail);
+                    break false;
+                }
+                st.dispatch = now;
+                st.depth = (st.queue.len() - st.at - 1) as u64;
+                let staged = &usecase.items()[idx].staged;
+                match fabric::resolve_dispatch(
+                    ctl.as_mut(),
+                    ci,
+                    idx,
+                    staged,
+                    now,
+                    true,
+                    &mut st.core,
+                    &mut dma,
+                    &mut rec,
+                    Some(&mut batch),
+                ) {
+                    fabric::Resolution::Run { exec_start } => {
+                        if exec_start > now {
+                            // Banks are loaded; sleep until delivery.
+                            st.pending_exec = true;
+                            queue.arm(c, exec_start);
+                            break false;
+                        }
+                        break true;
+                    }
+                    fabric::Resolution::Dropped { at } => {
+                        st.predictions.push((idx, fabric::DROPPED_PREDICTION));
+                        st.finished_at = st.finished_at.max(at);
+                        st.at += 1;
+                        if let Some(ctl) = &ctl {
+                            rec.metric("item.retries", ctl.item_retries(idx));
+                        }
+                        if at > now {
+                            if st.at < st.queue.len() {
+                                queue.arm(c, at);
+                            }
+                            break false;
+                        }
+                        // `at == now`: the next item dispatches in this
+                        // same slot.
+                    }
+                    fabric::Resolution::Quarantined { at } => {
+                        let moved: Vec<usize> =
+                            st.queue.split_off(st.at).into_iter().map(|(i, _)| i).collect();
+                        st.finished_at = st.finished_at.max(at);
+                        let ctl = ctl.as_mut().expect("quarantine requires fault control");
+                        let mut defer = Some(&mut batch);
+                        let homes = fabric::reassign_items(ctl, ci, &moved, at, &mut rec, &mut defer);
+                        for (item, target) in homes {
+                            match target {
+                                Some(t) => {
+                                    // A parked target has no pending
+                                    // wakeup; re-arm it where the lock-
+                                    // step scheduler would next dispatch.
+                                    let parked = states[t].at >= states[t].queue.len()
+                                        && !states[t].pending_exec;
+                                    let wake = states[t].finished_at.max(at + 1);
+                                    states[t].queue.push((item, at + 1));
+                                    if parked {
+                                        queue.arm(t as u16, wake);
+                                    }
+                                }
+                                None => states[ci]
+                                    .predictions
+                                    .push((item, fabric::DROPPED_PREDICTION)),
+                            }
+                        }
+                        break false;
+                    }
+                }
+            };
+            if !batch.is_empty() {
+                emissions.push(Emission::Fault { cycle: now, core: c, events: batch });
+            }
+            if !run_now {
+                continue 'pop;
             }
         }
-        st.begin_pending = false;
+        let st = &mut states[ci];
+        st.pending_exec = false;
 
         // Execute (or replay) the item starting at `now`.
-        let item = &usecase.items()[st.queue[st.at]];
+        let item = &usecase.items()[st.queue[st.at].0];
         let pre = if memoize { Some(st.core.replay_state()) } else { None };
         let hit = pre.as_ref().and_then(|pre| {
             st.cache.iter().find(|e| e.staged == item.staged && &e.pre == pre)
@@ -285,14 +459,14 @@ fn run_attempt(
                 shard: shard.clone(),
                 offset: now as i64,
             });
-            let idx = st.queue[st.at];
+            let idx = st.queue[st.at].0;
             let prediction =
                 l2.read_word(fabric::result_addr(idx % cores)).expect("result written") as usize;
             if reads_after > reads_before {
                 // The program read the shared L2: its outcome may depend
                 // on content a skipped replay did not write.
                 if replayed > 0 {
-                    return Err(MemoUnsound);
+                    return Err(Restart::MemoUnsound);
                 }
                 memoize = false;
                 st.cache.clear();
@@ -319,16 +493,21 @@ fn run_attempt(
             (used, prediction)
         };
 
-        let idx = st.queue[st.at];
+        // A mid-item watchdog expiry cannot be simulated by an atomic
+        // item execution: the lock-step engine aborts and resets the
+        // core partway through. Restart there instead.
+        if watchdog > 0 && used > watchdog {
+            return Err(Restart::Watchdog);
+        }
+
+        let idx = st.queue[st.at].0;
         st.predictions.push((idx, prediction));
         st.busy += used;
         st.finished_at = now + used;
-        fabric::record_item_metrics(
-            &mut rec,
-            st.finished_at - st.dispatch,
-            used,
-            (st.queue.len() - st.at - 1) as u64,
-        );
+        fabric::record_item_metrics(&mut rec, st.finished_at - st.dispatch, used, st.depth);
+        if let Some(ctl) = &ctl {
+            rec.metric("item.retries", ctl.item_retries(idx));
+        }
         st.at += 1;
         if st.at < st.queue.len() {
             queue.arm(c, st.finished_at);
@@ -360,6 +539,13 @@ fn run_attempt(
     emissions.sort_by_key(Emission::key);
     for emission in emissions {
         match emission {
+            Emission::Fault { core, events, .. } => {
+                // Replayed through `emit` so capacity accounting matches
+                // the lock-step engine's inline emission exactly.
+                for (cycle, kind) in events {
+                    rec.emit(core, cycle, kind);
+                }
+            }
             Emission::Stall { cycle, core } => {
                 rec.emit(core, cycle, EventKind::Stall { cause: StallCause::L2Conflict });
             }
@@ -381,6 +567,9 @@ fn run_attempt(
         busy.push(st.busy);
     }
     rec.set_counter("soc.l2_conflict_cycles", l2_conflicts);
+    if let Some(ctl) = &ctl {
+        ctl.write_counters(&mut rec);
+    }
     let report = fabric::assemble_ncpu_report(
         &mut rec,
         &mut dma,
@@ -512,6 +701,119 @@ mod tests {
         assert_eq!(ev.report.makespan, ls.report.makespan);
         assert_eq!(ev_rec.events(), ls_rec.events());
         assert_eq!(ev_rec.spans(), ls_rec.spans());
+    }
+
+    /// An aggressive fault plan on a staged workload: injections,
+    /// parity detections, retries, drops and quarantines all fire, and
+    /// the event engine still matches the lock-step engine byte for
+    /// byte — reports, fault counters, histograms, raw trace streams.
+    #[test]
+    fn faulted_event_matches_lockstep_bytes() {
+        let uc = UseCase::image(8, 2, 1);
+        let soc = SocConfig::default();
+        let plan = ncpu_fault::FaultPlan {
+            seed: 7,
+            sram_flip_ppm: 200_000,
+            dma_stall_ppm: 150_000,
+            dma_stall_cycles: 48,
+            dma_truncate_ppm: 150_000,
+            core_hang_ppm: 100_000,
+            watchdog_cycles: 20_000_000,
+            max_retries: 3,
+            backoff_cycles: 32,
+            quarantine_after: 6,
+        };
+        for level in [TraceLevel::Counters, TraceLevel::Full] {
+            let (ls, ls_rec) =
+                crate::lockstep::run_ncpu_lockstep_faulted(&uc, 2, &soc, level, &plan, 900);
+            let (ev, ev_rec) = run_ncpu_event_faulted(&uc, 2, &soc, level, &plan, 900);
+            assert_eq!(ev.report.makespan, ls.report.makespan, "{level:?}");
+            assert_eq!(ev.report.predictions, ls.report.predictions);
+            assert_eq!(
+                ev.report.cores.iter().map(|c| c.busy_cycles).collect::<Vec<_>>(),
+                ls.report.cores.iter().map(|c| c.busy_cycles).collect::<Vec<_>>(),
+            );
+            assert_eq!(ev_rec.spans(), ls_rec.spans(), "{level:?}: raw span stream");
+            assert_eq!(ev_rec.events(), ls_rec.events(), "{level:?}: raw instant stream");
+            assert_eq!(ev_rec.counters().to_json(), ls_rec.counters().to_json());
+            assert_eq!(ev_rec.metrics().to_json(), ls_rec.metrics().to_json());
+            let injected = ev_rec.counters().get("fault.injected.sram_flip")
+                + ev_rec.counters().get("fault.injected.dma_stall")
+                + ev_rec.counters().get("fault.injected.dma_truncate")
+                + ev_rec.counters().get("fault.injected.core_hang");
+            assert!(injected > 0, "{level:?}: plan this hot must inject");
+        }
+    }
+
+    /// `max_retries: 0` drops every faulted item on its first detected
+    /// fault; dropped items carry the sentinel prediction and the drop
+    /// counter — identically on both engines.
+    #[test]
+    fn exhausted_retries_drop_items_identically() {
+        let uc = UseCase::image(8, 2, 1);
+        let soc = SocConfig::default();
+        let plan = ncpu_fault::FaultPlan {
+            seed: 11,
+            sram_flip_ppm: 600_000,
+            watchdog_cycles: 20_000_000,
+            max_retries: 0,
+            ..ncpu_fault::FaultPlan::none()
+        };
+        let (ls, ls_rec) = crate::lockstep::run_ncpu_lockstep_faulted(
+            &uc,
+            2,
+            &soc,
+            TraceLevel::Full,
+            &plan,
+            1000,
+        );
+        let (ev, ev_rec) = run_ncpu_event_faulted(&uc, 2, &soc, TraceLevel::Full, &plan, 1000);
+        assert_eq!(ev.report.predictions, ls.report.predictions);
+        assert_eq!(ev_rec.events(), ls_rec.events());
+        assert_eq!(ev_rec.counters().to_json(), ls_rec.counters().to_json());
+        let dropped = ev_rec.counters().get("fault.items_dropped");
+        assert!(dropped > 0, "a 60% flip rate with no retries must drop");
+        let sentinels =
+            ev.report.predictions.iter().filter(|&&p| p == fabric::DROPPED_PREDICTION).count();
+        assert_eq!(sentinels as u64, dropped);
+    }
+
+    /// An item that overruns the watchdog mid-execution cannot be
+    /// aborted by an atomic-item engine: the run restarts on the
+    /// lock-step engine and is relabeled — the fallback the fault plan
+    /// requires for EventDriven.
+    #[test]
+    fn watchdog_overrun_falls_back_to_lockstep() {
+        let uc = parametric(4);
+        let soc = SocConfig::default();
+        // No injection at all: the watchdog alone fires on genuinely
+        // long items (a parametric item runs ~2.2k cycles).
+        let plan = ncpu_fault::FaultPlan {
+            watchdog_cycles: 1_000,
+            backoff_cycles: 16,
+            max_retries: 1,
+            ..ncpu_fault::FaultPlan::none()
+        };
+        let (ls, ls_rec) = crate::lockstep::run_ncpu_lockstep_faulted(
+            &uc,
+            2,
+            &soc,
+            TraceLevel::Full,
+            &plan,
+            1000,
+        );
+        let (ev, ev_rec) = run_ncpu_event_faulted(&uc, 2, &soc, TraceLevel::Full, &plan, 1000);
+        assert_eq!(ev.report.config, "2x ncpu (event)", "fallback keeps the engine label");
+        assert_eq!(ev.replayed_items, 0, "fallback bypasses the replay cache");
+        assert!(
+            ev_rec.counters().get("fault.detected.watchdog") > 0,
+            "the watchdog must have fired"
+        );
+        assert_eq!(ev.report.makespan, ls.report.makespan);
+        assert_eq!(ev.report.predictions, ls.report.predictions);
+        assert_eq!(ev_rec.events(), ls_rec.events());
+        assert_eq!(ev_rec.spans(), ls_rec.spans());
+        assert_eq!(ev_rec.counters().to_json(), ls_rec.counters().to_json());
     }
 
     /// Drives the engine through the `Engine` trait like any other.

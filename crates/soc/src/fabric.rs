@@ -19,9 +19,11 @@
 
 use ncpu_accel::AccelConfig;
 use ncpu_core::{NcpuCore, SharedL2, SwitchDma};
+use ncpu_fault::{Fault, FaultPlan, FaultSession};
 use ncpu_isa::asm;
 use ncpu_obs::Recorder;
 use ncpu_obs::TraceLevel;
+use ncpu_obs::{Detector, EventKind, FaultClass, Recovery};
 use ncpu_sim::stats::Timeline;
 use ncpu_sim::DmaEngine;
 use ncpu_workloads::{image, motion as motion_prog, Tail};
@@ -180,15 +182,37 @@ pub(crate) fn run_item(
     lane: u16,
 ) -> (u64, u64) {
     let _prof = ncpu_obs::selfprof::span("fabric.run_item");
-    let start = if staged.is_empty() {
-        now
-    } else {
-        let delivered = dma.schedule(now, staged.len() as u32);
-        let banks = core.pipeline_mut().mem_mut().accel_mut().banks_mut();
-        let (bank, off) = banks.resolve(0).expect("data cache starts at 0");
-        banks.bank_mut(bank).load(off as usize, staged);
-        delivered
-    };
+    let start = if staged.is_empty() { now } else { stage_item(core, staged, now, dma) };
+    run_item_staged(core, program, start, rec, lane)
+}
+
+/// Books the fabric DMA transfer for `staged` starting no earlier than
+/// `now` and loads the bytes into the core's data banks; returns the
+/// delivery cycle.
+pub(crate) fn stage_item(
+    core: &mut NcpuCore,
+    staged: &[u8],
+    now: u64,
+    dma: &mut DmaEngine,
+) -> u64 {
+    let delivered = dma.schedule(now, staged.len() as u32);
+    let banks = core.pipeline_mut().mem_mut().accel_mut().banks_mut();
+    let (bank, off) = banks.resolve(0).expect("data cache starts at 0");
+    banks.bank_mut(bank).load(off as usize, staged);
+    delivered
+}
+
+/// Runs one already-staged program to completion on `core`, starting at
+/// `start` (global cycles). Returns `(end_time, used)` and drains the
+/// core's recorder shard into `rec` as lane `lane`, re-based to global
+/// time.
+pub(crate) fn run_item_staged(
+    core: &mut NcpuCore,
+    program: &[u32],
+    start: u64,
+    rec: &mut Recorder,
+    lane: u16,
+) -> (u64, u64) {
     let internal_before = core.total_cycles();
     core.load_program(program.to_vec());
     core.run(ITEM_BUDGET).expect("NCPU program must complete");
@@ -302,4 +326,344 @@ pub(crate) fn assemble_ncpu_report(
         labels: usecase.items().iter().map(|i| i.label).collect(),
         metrics: rec.metrics().clone(),
     }
+}
+
+/// Prediction sentinel for an item the fault layer dropped: it never
+/// produced a classification, so it can never match its label.
+pub const DROPPED_PREDICTION: usize = usize::MAX;
+
+/// How a dispatch attempt resolved after the fault layer had its say.
+pub(crate) enum Resolution {
+    /// Execute the item; staging (if any) delivers at `exec_start`.
+    Run {
+        /// Cycle execution may begin (≥ the dispatch cycle).
+        exec_start: u64,
+    },
+    /// The item exhausted its retry budget at cycle `at`; skip it.
+    Dropped {
+        /// Cycle the final recovery decision was taken.
+        at: u64,
+    },
+    /// The core hit its consecutive-fault limit at cycle `at`; park it
+    /// and re-schedule its queue (current item included) elsewhere.
+    Quarantined {
+        /// Cycle the quarantine decision was taken.
+        at: u64,
+    },
+}
+
+/// What [`recovery_decision`] chose for one detected fault.
+pub(crate) enum Decision {
+    /// Re-stage and retry the item, resuming at the given cycle.
+    RetryAt(u64),
+    /// Drop the item at the given cycle.
+    Drop(u64),
+    /// Quarantine the core at the given cycle.
+    Quarantine(u64),
+}
+
+/// Shared fault-injection state for one run: the bound [`FaultSession`],
+/// per-item attempt cursors, per-core quarantine bookkeeping, and the
+/// counters every engine exports. Both simulating engines mutate it at
+/// identical `(cycle, core)` dispatch slots in identical lexicographic
+/// order, which is the determinism argument for byte-equal reports
+/// (DESIGN §14).
+pub(crate) struct FaultCtl {
+    plan: FaultPlan,
+    session: FaultSession,
+    /// Per-item attempt cursor. It advances monotonically over the
+    /// item's whole lifetime — retries and re-dispatches after a
+    /// quarantine included — so no RNG stream is ever reused.
+    attempts: Vec<u32>,
+    /// Consecutive faults per core; any clean delivery resets it.
+    consecutive: Vec<u32>,
+    quarantined: Vec<bool>,
+    /// Faults within the current dispatch of each core's current item;
+    /// drives the retry budget and the backoff exponent.
+    dispatch_faults: Vec<u32>,
+    /// Round-robin cursor for re-scheduling a quarantined core's queue.
+    rr: usize,
+    injected_flip: u64,
+    injected_stall: u64,
+    injected_truncate: u64,
+    injected_hang: u64,
+    detected_parity: u64,
+    detected_watchdog: u64,
+    retries: u64,
+    items_dropped: u64,
+    cores_quarantined: u64,
+}
+
+impl FaultCtl {
+    /// Binds `plan` to the operating point for a run of `items` items on
+    /// `cores` cores.
+    pub(crate) fn new(plan: &FaultPlan, millivolts: u32, items: usize, cores: usize) -> FaultCtl {
+        FaultCtl {
+            plan: *plan,
+            session: FaultSession::new(plan, millivolts),
+            attempts: vec![0; items],
+            consecutive: vec![0; cores],
+            quarantined: vec![false; cores],
+            dispatch_faults: vec![0; cores],
+            rr: 0,
+            injected_flip: 0,
+            injected_stall: 0,
+            injected_truncate: 0,
+            injected_hang: 0,
+            detected_parity: 0,
+            detected_watchdog: 0,
+            retries: 0,
+            items_dropped: 0,
+            cores_quarantined: 0,
+        }
+    }
+
+    /// The plan's per-item watchdog budget (0 = disabled).
+    pub(crate) fn watchdog(&self) -> u64 {
+        self.plan.watchdog_cycles
+    }
+
+    /// Retries item `item` has consumed so far (attempts beyond the
+    /// first); sampled into the `item.retries` histogram at the item's
+    /// terminal point — completion or drop — exactly once.
+    pub(crate) fn item_retries(&self, item: usize) -> u64 {
+        u64::from(self.attempts[item].saturating_sub(1))
+    }
+
+    /// Next healthy core in round-robin order, or `None` when the whole
+    /// pool is quarantined.
+    fn next_healthy(&mut self) -> Option<usize> {
+        let n = self.quarantined.len();
+        for k in 0..n {
+            let c = (self.rr + k) % n;
+            if !self.quarantined[c] {
+                self.rr = (c + 1) % n;
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    /// Exports the fault counters. Called once per run, only when a
+    /// plan is active, so inert runs stay byte-identical to pre-fault
+    /// reports.
+    pub(crate) fn write_counters(&self, rec: &mut Recorder) {
+        rec.set_counter("fault.injected.sram_flip", self.injected_flip);
+        rec.set_counter("fault.injected.dma_stall", self.injected_stall);
+        rec.set_counter("fault.injected.dma_truncate", self.injected_truncate);
+        rec.set_counter("fault.injected.core_hang", self.injected_hang);
+        rec.set_counter("fault.detected.parity", self.detected_parity);
+        rec.set_counter("fault.detected.watchdog", self.detected_watchdog);
+        rec.set_counter("fault.retries", self.retries);
+        rec.set_counter("fault.items_dropped", self.items_dropped);
+        rec.set_counter("fault.cores_quarantined", self.cores_quarantined);
+    }
+}
+
+/// Routes a fault-layer event either straight into the recorder (the
+/// lock-step engine emits inline at its walk slot) or into a deferral
+/// buffer (the event engine replays it at the same slot's sort key, so
+/// the raw streams stay byte-identical).
+fn note(
+    rec: &mut Recorder,
+    defer: &mut Option<&mut Vec<(u64, EventKind)>>,
+    lane: u16,
+    cycle: u64,
+    kind: EventKind,
+) {
+    match defer.as_deref_mut() {
+        Some(buf) => buf.push((cycle, kind)),
+        None => rec.emit(lane, cycle, kind),
+    }
+}
+
+/// Resolves one dispatch of item `item` on core `core_idx` at cycle
+/// `dispatch` against the fault layer.
+///
+/// With no fault control (`ctl` = `None`, the `FaultPlan::none()` fast
+/// path) this is exactly the pre-fault staging: book the DMA, load the
+/// banks, run — no draws, no counters, no events, byte-identical to the
+/// old engines. With faults, each attempt draws from its own split RNG
+/// stream; benign faults (stalls) delay delivery, detected faults
+/// (parity on flips/truncations at delivery, watchdog on hangs at
+/// expiry) charge the recovery policy — bounded retry with exponential
+/// backoff, then drop, with quarantine once a core's consecutive-fault
+/// count hits the plan's limit. Re-staged retries book their DMA
+/// occupancy eagerly at resolution time; both simulating engines do the
+/// same, in the same order, which keeps the fabric byte-deterministic
+/// (DESIGN §14 records the physical approximation).
+///
+/// `fresh` is false only when re-dispatching after a mid-item watchdog
+/// abort: the retry budget and the item's latency anchor survive the
+/// abort.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn resolve_dispatch(
+    ctl: Option<&mut FaultCtl>,
+    core_idx: usize,
+    item: usize,
+    staged: &[u8],
+    dispatch: u64,
+    fresh: bool,
+    core: &mut NcpuCore,
+    dma: &mut DmaEngine,
+    rec: &mut Recorder,
+    mut defer: Option<&mut Vec<(u64, EventKind)>>,
+) -> Resolution {
+    let Some(ctl) = ctl else {
+        let exec_start =
+            if staged.is_empty() { dispatch } else { stage_item(core, staged, dispatch, dma) };
+        return Resolution::Run { exec_start };
+    };
+    if fresh {
+        ctl.dispatch_faults[core_idx] = 0;
+    }
+    let lane = core_idx as u16;
+    let mut now = dispatch;
+    loop {
+        let attempt = ctl.attempts[item];
+        ctl.attempts[item] += 1;
+        match ctl.session.draw(item as u64, attempt, staged.len()) {
+            None => {
+                ctl.consecutive[core_idx] = 0;
+                let exec_start =
+                    if staged.is_empty() { now } else { stage_item(core, staged, now, dma) };
+                return Resolution::Run { exec_start };
+            }
+            Some(Fault::DmaStall { extra_cycles }) => {
+                // Benign: the transfer completes, just late. Nothing to
+                // detect or retry.
+                ctl.injected_stall += 1;
+                note(rec, &mut defer, lane, now, EventKind::Fault { class: FaultClass::DmaStall });
+                ctl.consecutive[core_idx] = 0;
+                let exec_start = stage_item(core, staged, now, dma) + extra_cycles;
+                return Resolution::Run { exec_start };
+            }
+            Some(fault) => {
+                // A detectable fault: charge the fabric occupancy the
+                // broken delivery consumed, stamp injection + detection,
+                // then let the recovery policy decide.
+                let (class, detect_at, by) = match fault {
+                    Fault::SramFlip { .. } => {
+                        // The corrupted image still crosses the fabric in
+                        // full; parity over the staged bytes flips at
+                        // delivery (certain detection — see ncpu-fault's
+                        // parity proof test). The copy is discarded, so
+                        // the banks are never loaded.
+                        ctl.injected_flip += 1;
+                        let delivered = dma.schedule(now, staged.len() as u32);
+                        (FaultClass::SramFlip, delivered, Detector::Parity)
+                    }
+                    Fault::DmaTruncate { bytes } => {
+                        // Only the prefix crosses the fabric; the length
+                        // check at delivery catches it.
+                        ctl.injected_truncate += 1;
+                        let delivered = dma.schedule(now, bytes);
+                        (FaultClass::DmaTruncate, delivered, Detector::Parity)
+                    }
+                    Fault::CoreHang => {
+                        // Nothing crosses the fabric; only the watchdog
+                        // notices, a full budget later.
+                        ctl.injected_hang += 1;
+                        (FaultClass::CoreHang, now + ctl.plan.watchdog_cycles, Detector::Watchdog)
+                    }
+                    Fault::DmaStall { .. } => unreachable!("handled above"),
+                };
+                match by {
+                    Detector::Parity => ctl.detected_parity += 1,
+                    Detector::Watchdog => ctl.detected_watchdog += 1,
+                }
+                note(rec, &mut defer, lane, now, EventKind::Fault { class });
+                note(rec, &mut defer, lane, detect_at, EventKind::Detect { by });
+                match recovery_decision(ctl, core_idx, now, detect_at, rec, &mut defer) {
+                    Decision::RetryAt(resume) => now = resume,
+                    Decision::Drop(at) => return Resolution::Dropped { at },
+                    Decision::Quarantine(at) => return Resolution::Quarantined { at },
+                }
+            }
+        }
+    }
+}
+
+/// The recovery state machine for one detected fault on `core_idx`:
+/// quarantine once the core's consecutive-fault count reaches the
+/// plan's limit, drop once the dispatch exhausts `max_retries`,
+/// otherwise retry after exponential backoff. Also invoked by the
+/// lock-step engine's mid-item watchdog abort (where `fault_at` is the
+/// aborted item's start, so `fault.recovery_cycles` prices the wasted
+/// execution plus the backoff).
+pub(crate) fn recovery_decision(
+    ctl: &mut FaultCtl,
+    core_idx: usize,
+    fault_at: u64,
+    detect_at: u64,
+    rec: &mut Recorder,
+    defer: &mut Option<&mut Vec<(u64, EventKind)>>,
+) -> Decision {
+    let lane = core_idx as u16;
+    ctl.consecutive[core_idx] += 1;
+    ctl.dispatch_faults[core_idx] += 1;
+    let limit = ctl.plan.quarantine_after;
+    if limit > 0 && ctl.consecutive[core_idx] >= limit {
+        ctl.quarantined[core_idx] = true;
+        ctl.cores_quarantined += 1;
+        note(rec, defer, lane, detect_at, EventKind::Recover { action: Recovery::Quarantine });
+        rec.metric("fault.recovery_cycles", detect_at - fault_at);
+        return Decision::Quarantine(detect_at);
+    }
+    if ctl.dispatch_faults[core_idx] > ctl.plan.max_retries {
+        ctl.items_dropped += 1;
+        note(rec, defer, lane, detect_at, EventKind::Recover { action: Recovery::Drop });
+        rec.metric("fault.recovery_cycles", detect_at - fault_at);
+        return Decision::Drop(detect_at);
+    }
+    ctl.retries += 1;
+    note(rec, defer, lane, detect_at, EventKind::Recover { action: Recovery::Retry });
+    let exp = (ctl.dispatch_faults[core_idx] - 1).min(16);
+    let resume = detect_at.saturating_add(ctl.plan.backoff_cycles.saturating_mul(1 << exp));
+    rec.metric("fault.recovery_cycles", resume - fault_at);
+    Decision::RetryAt(resume)
+}
+
+/// The lock-step engine's mid-item watchdog: detection at `clock`,
+/// then the shared recovery state machine, with the aborted item's
+/// start as the fault anchor.
+pub(crate) fn watchdog_abort(
+    ctl: &mut FaultCtl,
+    core_idx: usize,
+    item_start: u64,
+    clock: u64,
+    rec: &mut Recorder,
+) -> Decision {
+    ctl.detected_watchdog += 1;
+    rec.emit(core_idx as u16, clock, EventKind::Detect { by: Detector::Watchdog });
+    let mut defer = None;
+    recovery_decision(ctl, core_idx, item_start, clock, rec, &mut defer)
+}
+
+/// Re-schedules a quarantined core's outstanding items (current item
+/// first) round-robin over the remaining healthy cores. Items that find
+/// no healthy core are dropped on the spot: counted, stamped with a
+/// `recover.drop` event on the quarantined core's lane at cycle `at`,
+/// and sampled into `item.retries`. Returns `(item, Some(target))`
+/// assignments in order — the moved items become available at `at + 1`.
+pub(crate) fn reassign_items(
+    ctl: &mut FaultCtl,
+    from: usize,
+    items: &[usize],
+    at: u64,
+    rec: &mut Recorder,
+    defer: &mut Option<&mut Vec<(u64, EventKind)>>,
+) -> Vec<(usize, Option<usize>)> {
+    items
+        .iter()
+        .map(|&item| {
+            let target = ctl.next_healthy();
+            if target.is_none() {
+                ctl.items_dropped += 1;
+                note(rec, defer, from as u16, at, EventKind::Recover { action: Recovery::Drop });
+                rec.metric("item.retries", ctl.item_retries(item));
+            }
+            (item, target)
+        })
+        .collect()
 }

@@ -41,11 +41,15 @@ mod scenario;
 mod system;
 mod usecase;
 
-pub use fabric::{result_addr, ITEM_BUDGET, L2_BYTES};
+pub use fabric::{result_addr, DROPPED_PREDICTION, ITEM_BUDGET, L2_BYTES};
 pub use report::{CoreReport, RunReport};
 pub use scenario::{Analytic, Deep, Engine, EventDriven, Lockstep, Scenario};
-pub use system::{run, run_independent, run_traced, SocConfig, SystemConfig};
+pub use system::{run, run_independent, run_traced, run_traced_faulted, SocConfig, SystemConfig};
 pub use usecase::{UseCase, UseCaseKind};
+
+/// The fault-injection plan a [`Scenario`] carries (re-exported from
+/// `ncpu-fault`; attach one with [`Scenario::with_faults`]).
+pub use ncpu_fault::FaultPlan;
 
 /// The observability layer the SoC records into ([`run_traced`] returns
 /// its [`obs::Recorder`]).

@@ -18,6 +18,7 @@
 //! any core count.
 
 use ncpu_core::{NcpuCore, SharedL2, StepOutcome};
+use ncpu_fault::FaultPlan;
 use ncpu_obs::{EventKind, Recorder, StallCause, TraceLevel};
 
 use crate::fabric;
@@ -60,24 +61,67 @@ pub fn run_ncpu_lockstep_traced(
     soc: &SocConfig,
     level: TraceLevel,
 ) -> (LockstepReport, Recorder) {
+    run_ncpu_lockstep_faulted(usecase, cores, soc, level, &FaultPlan::none(), 1000)
+}
+
+/// Like [`run_ncpu_lockstep_traced`], but with a [`FaultPlan`] bound to
+/// an operating point (`millivolts` scales the SRAM soft-error rate).
+///
+/// An inert plan ([`FaultPlan::none`]) takes the exact pre-fault code
+/// path — byte-identical reports, counters and traces. An active plan
+/// resolves every dispatch through `fabric::resolve_dispatch` (parity
+/// detection at DMA delivery, retry with backoff, drop, quarantine with
+/// re-scheduling) and arms a mid-item watchdog that aborts and resets a
+/// core whose item overruns the plan's cycle budget.
+///
+/// # Panics
+///
+/// Panics if a generated program faults (a workspace bug) or the run
+/// exceeds an internal cycle bound.
+pub fn run_ncpu_lockstep_faulted(
+    usecase: &UseCase,
+    cores: usize,
+    soc: &SocConfig,
+    level: TraceLevel,
+    plan: &FaultPlan,
+    millivolts: u32,
+) -> (LockstepReport, Recorder) {
     assert!(cores >= 1, "need at least one core");
     let mut rec = Recorder::new(level.at_least_counters());
     let l2 = SharedL2::new(fabric::L2_BYTES);
+    let mut ctl = plan
+        .is_active()
+        .then(|| fabric::FaultCtl::new(plan, millivolts, usecase.items().len(), cores));
 
     struct CoreState {
         core: NcpuCore,
         program: Vec<u32>,
-        /// Items (by index into the use case) assigned to this core.
-        queue: Vec<usize>,
+        /// Items assigned to this core: `(item index, available_from)` —
+        /// initial round-robin items are available from cycle 0; items
+        /// re-scheduled off a quarantined core from the cycle after the
+        /// quarantine decision.
+        queue: Vec<(usize, u64)>,
         /// Position within `queue`.
         at: usize,
-        /// Global cycle before which the core waits (DMA staging).
-        stalled_until: u64,
+        /// Global cycle before which the core does nothing (DMA staging
+        /// delivery, fault backoff, or a drop/quarantine decision point).
+        wake_at: u64,
+        /// An item is staged and waiting for `wake_at` to begin executing.
+        pending_exec: bool,
+        /// The next dispatch re-attempts the current item after a
+        /// watchdog abort: keep the latency anchor and retry budget.
+        redispatch: bool,
         /// Whether an item is currently executing.
         active: bool,
         /// Global cycle the scheduler first attempted the current item
         /// (before any DMA staging stall) — the latency clock start.
         dispatch: u64,
+        /// Items waiting behind the current one on this core, captured
+        /// at dispatch: a quarantined peer can re-schedule work onto
+        /// this queue mid-item, and the two simulating engines observe
+        /// that push at different walk points, so completion-time depth
+        /// would diverge.
+        depth: u64,
         /// Global cycle the current/last item started.
         item_start: u64,
         /// Core-internal cycle count when the current item started.
@@ -95,11 +139,17 @@ pub fn run_ncpu_lockstep_traced(
             CoreState {
                 core,
                 program,
-                queue: (0..usecase.items().len()).filter(|i| i % cores == c).collect(),
+                queue: (0..usecase.items().len())
+                    .filter(|i| i % cores == c)
+                    .map(|i| (i, 0))
+                    .collect(),
                 at: 0,
-                stalled_until: 0,
+                wake_at: 0,
+                pending_exec: false,
+                redispatch: false,
                 active: false,
                 dispatch: 0,
+                depth: 0,
                 item_start: 0,
                 internal_start: 0,
                 busy: 0,
@@ -109,6 +159,7 @@ pub fn run_ncpu_lockstep_traced(
         })
         .collect();
 
+    let watchdog = ctl.as_ref().map_or(0, |ctl| ctl.watchdog());
     let mut clock = 0u64;
     let mut l2_conflicts = 0u64;
     let budget = 2_000_000_000u64;
@@ -119,19 +170,25 @@ pub fn run_ncpu_lockstep_traced(
         // until the earliest of those regions ends — busy cycles are pure
         // countdown and stalled cores do not step at all. Each active
         // core reports that distance via `NcpuCore::next_event_in` (the
-        // same contract the event-driven engine schedules by); jumping
-        // the global clock there in one step is byte-identical to the
-        // cycle-by-cycle loop, only faster.
+        // same contract the event-driven engine schedules by), capped at
+        // its watchdog deadline when one is armed; jumping the global
+        // clock there in one step is byte-identical to the cycle-by-cycle
+        // loop, only faster.
         let mut skip = u64::MAX;
         let mut idle_bound = false;
         for st in &states {
             let distance = if st.active {
-                st.core.next_event_in().expect("an active core is not halted")
+                let mut d = st.core.next_event_in().expect("an active core is not halted");
+                if watchdog > 0 {
+                    d = d.min((st.item_start + watchdog).saturating_sub(clock));
+                }
+                d
             } else {
                 if st.at >= st.queue.len() {
                     continue; // parked for good: no bound
                 }
-                st.stalled_until.saturating_sub(clock)
+                let (_, avail) = st.queue[st.at];
+                st.wake_at.max(avail).saturating_sub(clock)
             };
             idle_bound = true;
             skip = skip.min(distance);
@@ -153,37 +210,147 @@ pub fn run_ncpu_lockstep_traced(
 
         let mut all_done = true;
         let mut l2_port_taken = false;
-        for (c, st) in states.iter_mut().enumerate() {
-            // Start the next item if idle.
-            if !st.active {
-                if st.at >= st.queue.len() {
-                    continue;
-                }
-                all_done = false;
-                if clock < st.stalled_until {
-                    continue;
-                }
-                let item = &usecase.items()[st.queue[st.at]];
-                if st.stalled_until == 0 {
-                    st.dispatch = clock;
-                }
-                if st.stalled_until == 0 && !item.staged.is_empty() {
-                    // Book the staging transfer once.
-                    let delivered = dma.schedule(clock, item.staged.len() as u32);
-                    let banks = st.core.pipeline_mut().mem_mut().accel_mut().banks_mut();
-                    let (bank, off) = banks.resolve(0).expect("data cache starts at 0");
-                    banks.bank_mut(bank).load(off as usize, &item.staged);
-                    if delivered > clock {
-                        st.stalled_until = delivered;
-                        continue;
+        for c in 0..cores {
+            // Start the next item if idle. The inner loop exists for the
+            // fault layer: a drop decided at this very cycle lets the
+            // *next* queued item dispatch in the same walk slot, matching
+            // the event engine's same-cycle re-arm.
+            if !states[c].active {
+                loop {
+                    let st = &mut states[c];
+                    if st.at >= st.queue.len() {
+                        break;
+                    }
+                    all_done = false;
+                    if clock < st.wake_at {
+                        break;
+                    }
+                    if st.pending_exec {
+                        st.core.load_program(st.program.clone());
+                        st.active = true;
+                        st.item_start = clock;
+                        st.internal_start = st.core.total_cycles();
+                        st.pending_exec = false;
+                        break;
+                    }
+                    let (idx, avail) = st.queue[st.at];
+                    if clock < avail {
+                        break;
+                    }
+                    let fresh = !st.redispatch;
+                    st.redispatch = false;
+                    if fresh {
+                        st.dispatch = clock;
+                        st.depth = (st.queue.len() - st.at - 1) as u64;
+                    }
+                    let staged = &usecase.items()[idx].staged;
+                    match fabric::resolve_dispatch(
+                        ctl.as_mut(),
+                        c,
+                        idx,
+                        staged,
+                        clock,
+                        fresh,
+                        &mut st.core,
+                        &mut dma,
+                        &mut rec,
+                        None,
+                    ) {
+                        fabric::Resolution::Run { exec_start } => {
+                            if exec_start > clock {
+                                st.pending_exec = true;
+                                st.wake_at = exec_start;
+                            } else {
+                                st.core.load_program(st.program.clone());
+                                st.active = true;
+                                st.item_start = clock;
+                                st.internal_start = st.core.total_cycles();
+                            }
+                            break;
+                        }
+                        fabric::Resolution::Dropped { at } => {
+                            st.predictions.push((idx, fabric::DROPPED_PREDICTION));
+                            st.finished_at = st.finished_at.max(at);
+                            st.at += 1;
+                            st.wake_at = at;
+                            if let Some(ctl) = &ctl {
+                                rec.metric("item.retries", ctl.item_retries(idx));
+                            }
+                            // No break: if `at == clock`, the next item
+                            // dispatches in this same slot.
+                        }
+                        fabric::Resolution::Quarantined { at } => {
+                            let moved: Vec<usize> =
+                                st.queue.split_off(st.at).into_iter().map(|(i, _)| i).collect();
+                            st.finished_at = st.finished_at.max(at);
+                            let ctl = ctl.as_mut().expect("quarantine requires fault control");
+                            let mut defer = None;
+                            let homes =
+                                fabric::reassign_items(ctl, c, &moved, at, &mut rec, &mut defer);
+                            for (item, target) in homes {
+                                match target {
+                                    Some(t) => {
+                                        all_done = false;
+                                        states[t].queue.push((item, at + 1));
+                                    }
+                                    None => states[c]
+                                        .predictions
+                                        .push((item, fabric::DROPPED_PREDICTION)),
+                                }
+                            }
+                            break;
+                        }
                     }
                 }
-                st.core.load_program(st.program.clone());
-                st.active = true;
-                st.item_start = clock;
-                st.internal_start = st.core.total_cycles();
+                if !states[c].active {
+                    continue;
+                }
             }
             all_done = false;
+            let st = &mut states[c];
+
+            // Mid-item watchdog: an item that overruns the budget is
+            // aborted and its core reset — the partial execution's trace
+            // shard and counters are discarded with the rebuilt core
+            // (busy cycles already burned stay counted).
+            if watchdog > 0 && clock.saturating_sub(st.item_start) >= watchdog {
+                let ctl = ctl.as_mut().expect("watchdog requires fault control");
+                let decision = fabric::watchdog_abort(ctl, c, st.item_start, clock, &mut rec);
+                st.core = fabric::ncpu_core(usecase, soc, level, l2.clone());
+                st.active = false;
+                st.pending_exec = false;
+                match decision {
+                    fabric::Decision::RetryAt(resume) => {
+                        st.redispatch = true;
+                        st.wake_at = resume;
+                    }
+                    fabric::Decision::Drop(at) => {
+                        let (idx, _) = st.queue[st.at];
+                        st.predictions.push((idx, fabric::DROPPED_PREDICTION));
+                        st.finished_at = st.finished_at.max(at);
+                        st.at += 1;
+                        st.wake_at = at;
+                        rec.metric("item.retries", ctl.item_retries(idx));
+                    }
+                    fabric::Decision::Quarantine(at) => {
+                        let moved: Vec<usize> =
+                            st.queue.split_off(st.at).into_iter().map(|(i, _)| i).collect();
+                        st.finished_at = st.finished_at.max(at);
+                        let mut defer = None;
+                        let homes =
+                            fabric::reassign_items(ctl, c, &moved, at, &mut rec, &mut defer);
+                        for (item, target) in homes {
+                            match target {
+                                Some(t) => states[t].queue.push((item, at + 1)),
+                                None => states[c]
+                                    .predictions
+                                    .push((item, fabric::DROPPED_PREDICTION)),
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
 
             // Arbitrate the single L2 port: observe access deltas.
             let (r0, w0) = st.core.pipeline().mem().l2().accesses();
@@ -195,7 +362,6 @@ pub fn run_ncpu_lockstep_traced(
                     // Port busy: this core replays the cycle (approximated
                     // as one extra global cycle of stall).
                     l2_conflicts += 1;
-                    st.stalled_until = clock + 2;
                     if rec.wants_events() {
                         rec.emit(
                             c as u16,
@@ -212,7 +378,7 @@ pub fn run_ncpu_lockstep_traced(
                 // Item finished: drain its events re-based to global time.
                 let offset = st.item_start as i64 - st.internal_start as i64;
                 rec.absorb(st.core.obs_mut(), c as u16, offset);
-                let idx = st.queue[st.at];
+                let (idx, _) = st.queue[st.at];
                 let addr = fabric::result_addr(idx % cores);
                 st.predictions
                     .push((idx, l2.read_word(addr).expect("result written") as usize));
@@ -221,11 +387,14 @@ pub fn run_ncpu_lockstep_traced(
                     &mut rec,
                     st.finished_at - st.dispatch,
                     st.finished_at - st.item_start,
-                    (st.queue.len() - st.at - 1) as u64,
+                    st.depth,
                 );
+                if let Some(ctl) = &ctl {
+                    rec.metric("item.retries", ctl.item_retries(idx));
+                }
                 st.at += 1;
                 st.active = false;
-                st.stalled_until = 0;
+                st.wake_at = 0;
             }
         }
         if all_done {
@@ -247,6 +416,9 @@ pub fn run_ncpu_lockstep_traced(
         busy.push(st.busy);
     }
     rec.set_counter("soc.l2_conflict_cycles", l2_conflicts);
+    if let Some(ctl) = &ctl {
+        ctl.write_counters(&mut rec);
+    }
     let report = fabric::assemble_ncpu_report(
         &mut rec,
         &mut dma,

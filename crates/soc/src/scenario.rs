@@ -35,14 +35,16 @@
 //! split into.
 
 use ncpu_bnn::BitVec;
+use ncpu_fault::FaultPlan;
 use ncpu_obs::{Recorder, TraceLevel};
 use ncpu_sim::stats::Timeline;
 
-use crate::deep::{run_rolled_traced, run_series_n_traced};
-use crate::eventdriven::run_ncpu_event_traced;
-use crate::lockstep::run_ncpu_lockstep_traced;
+use crate::deep::{self, run_rolled_arrivals_traced, try_run_series_n_arrivals_traced};
+use crate::eventdriven::run_ncpu_event_faulted;
+use crate::fabric;
+use crate::lockstep::run_ncpu_lockstep_faulted;
 use crate::report::{CoreReport, RunReport};
-use crate::system::{run_traced, SocConfig, SystemConfig};
+use crate::system::{run_traced_faulted, SocConfig, SystemConfig};
 use crate::usecase::{UseCase, UseCaseKind};
 
 /// A complete, self-contained description of one end-to-end run.
@@ -53,11 +55,13 @@ pub struct Scenario {
     soc: SocConfig,
     trace: TraceLevel,
     operating_point: Option<f64>,
+    fault: FaultPlan,
 }
 
 impl Scenario {
     /// Builds a scenario with the default fabric ([`SocConfig::default`]),
-    /// counter-level tracing, and no DVFS operating point.
+    /// counter-level tracing, no DVFS operating point, and the inert
+    /// fault plan.
     pub fn new(usecase: UseCase, system: SystemConfig) -> Scenario {
         Scenario {
             usecase,
@@ -65,6 +69,7 @@ impl Scenario {
             soc: SocConfig::default(),
             trace: TraceLevel::Counters,
             operating_point: None,
+            fault: FaultPlan::none(),
         }
     }
 
@@ -83,10 +88,19 @@ impl Scenario {
     }
 
     /// Pins the DVFS operating point (supply voltage in volts) used by
-    /// energy post-processing.
+    /// energy post-processing — and, when a fault plan is set, by the
+    /// voltage-dependent SRAM soft-error rate.
     #[must_use]
     pub fn with_operating_point(mut self, volts: f64) -> Scenario {
         self.operating_point = Some(volts);
+        self
+    }
+
+    /// Replaces the fault plan. The default ([`FaultPlan::none`]) is
+    /// inert: every engine takes its exact pre-fault code path.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Scenario {
+        self.fault = plan;
         self
     }
 
@@ -119,6 +133,17 @@ impl Scenario {
     /// point, or the nominal 1.0 V.
     pub fn volts(&self) -> f64 {
         self.operating_point.unwrap_or(1.0)
+    }
+
+    /// The fault plan (inert by default).
+    pub const fn fault(&self) -> &FaultPlan {
+        &self.fault
+    }
+
+    /// The operating point in millivolts — the integer form the fault
+    /// layer's voltage-dependent soft-error scaling consumes.
+    pub fn millivolts(&self) -> u32 {
+        (self.volts() * 1000.0).round() as u32
     }
 
     /// Number of NCPU cores the scenario schedules (the heterogeneous
@@ -167,7 +192,14 @@ impl Engine for Analytic {
 
     fn run(&self, scenario: &Scenario) -> (RunReport, Recorder) {
         let _prof = ncpu_obs::selfprof::span("engine.analytic");
-        run_traced(&scenario.usecase, scenario.system, &scenario.soc, scenario.trace)
+        run_traced_faulted(
+            &scenario.usecase,
+            scenario.system,
+            &scenario.soc,
+            scenario.trace,
+            &scenario.fault,
+            scenario.millivolts(),
+        )
     }
 }
 
@@ -186,8 +218,14 @@ impl Engine for Lockstep {
         let SystemConfig::Ncpu { cores } = scenario.system else {
             panic!("the lock-step engine co-simulates NCPU cores, not the baseline");
         };
-        let (lockstep, rec) =
-            run_ncpu_lockstep_traced(&scenario.usecase, cores, &scenario.soc, scenario.trace);
+        let (lockstep, rec) = run_ncpu_lockstep_faulted(
+            &scenario.usecase,
+            cores,
+            &scenario.soc,
+            scenario.trace,
+            &scenario.fault,
+            scenario.millivolts(),
+        );
         (lockstep.report, rec)
     }
 }
@@ -208,8 +246,14 @@ impl Engine for EventDriven {
         let SystemConfig::Ncpu { cores } = scenario.system else {
             panic!("the event-driven engine co-simulates NCPU cores, not the baseline");
         };
-        let (event, rec) =
-            run_ncpu_event_traced(&scenario.usecase, cores, &scenario.soc, scenario.trace);
+        let (event, rec) = run_ncpu_event_faulted(
+            &scenario.usecase,
+            cores,
+            &scenario.soc,
+            scenario.trace,
+            &scenario.fault,
+            scenario.millivolts(),
+        );
         (event.report, rec)
     }
 }
@@ -236,20 +280,52 @@ impl Engine for Deep {
         };
         let model = scenario.usecase.model();
         let width = model.topology().input();
-        let inputs: Vec<BitVec> = scenario
-            .usecase
-            .items()
-            .iter()
-            .map(|item| BitVec::from_bytes(&item.staged, width))
-            .collect();
+        let items = scenario.usecase.items();
+        // The fault prologue resolves the plan against input staging
+        // before the accelerator sees any image: surviving images get
+        // delayed arrivals, dropped ones never enter the batch. The
+        // deep engine has no spare cores (every core holds a resident
+        // model segment), so quarantine is structurally disabled.
+        let prologue = scenario.fault.is_active().then(|| {
+            let sizes: Vec<usize> = items.iter().map(|i| i.staged.len()).collect();
+            deep::deep_fault_prologue(
+                &scenario.fault,
+                scenario.millivolts(),
+                &sizes,
+                &scenario.soc,
+            )
+        });
+        let (inputs, arrivals): (Vec<BitVec>, Vec<u64>) = match &prologue {
+            Some(p) => p
+                .kept
+                .iter()
+                .zip(&p.arrivals)
+                .map(|(&i, &at)| (BitVec::from_bytes(&items[i].staged, width), at))
+                .unzip(),
+            None => {
+                items.iter().map(|item| (BitVec::from_bytes(&item.staged, width), 0)).unzip()
+            }
+        };
         let (run, mut rec, config, roles) = if cores == 1 {
-            let (run, rec) =
-                run_rolled_traced(model, &inputs, &scenario.soc, scenario.trace);
+            let (run, rec) = run_rolled_arrivals_traced(
+                model,
+                &inputs,
+                &arrivals,
+                &scenario.soc,
+                scenario.trace,
+            );
             let busy = rec.counters().get("accel.busy_cycles");
             (run, rec, "deep rollback (1 core)".to_string(), vec![("deep".to_string(), busy)])
         } else {
-            let (run, rec) =
-                run_series_n_traced(model, &inputs, &scenario.soc, cores, scenario.trace);
+            let (run, rec) = try_run_series_n_arrivals_traced(
+                model,
+                &inputs,
+                &arrivals,
+                &scenario.soc,
+                cores,
+                scenario.trace,
+            )
+            .unwrap_or_else(|e| panic!("{e}"));
             let roles = (0..cores)
                 .map(|s| {
                     (format!("seg{s}"), rec.counters().get(&format!("core{s}.busy_cycles")))
@@ -259,9 +335,40 @@ impl Engine for Deep {
         };
         rec.set_counter("deep.first_latency", run.first_latency);
         rec.set_counter("deep.steady_interval", run.steady_interval);
+        let mut makespan = run.total_cycles;
+        let mut predictions = run.outputs.clone();
+        if let Some(p) = &prologue {
+            // Fault instants go on a dedicated lane (past the segment
+            // phase lanes and the link's DMA lane), pre-sorted so the
+            // per-lane timestamp order the validator enforces holds.
+            let fault_lane = if cores == 1 { 1 } else { cores as u16 + 1 };
+            for (cycle, kind) in &p.events {
+                rec.emit(fault_lane, *cycle, kind.clone());
+            }
+            for &sample in &p.recovery_cycles {
+                rec.metric("fault.recovery_cycles", sample);
+            }
+            for &sample in &p.retries {
+                rec.metric("item.retries", sample);
+            }
+            for &(name, value) in &p.counters {
+                rec.set_counter(name, value);
+            }
+            // A dropped image's detection can outlast the batch; the
+            // batch itself only saw the surviving images.
+            makespan = makespan.max(p.horizon);
+            rec.set_counter("run.makespan_cycles", makespan);
+            rec.set_counter("run.items", items.len() as u64);
+            debug_assert_eq!(p.kept.len() + p.dropped.len(), items.len());
+            let mut full = vec![fabric::DROPPED_PREDICTION; items.len()];
+            for (k, &orig) in p.kept.iter().enumerate() {
+                full[orig] = run.outputs[k];
+            }
+            predictions = full;
+        }
         let report = RunReport {
             config,
-            makespan: run.total_cycles,
+            makespan,
             cores: roles
                 .into_iter()
                 .enumerate()
@@ -271,8 +378,8 @@ impl Engine for Deep {
                     busy_cycles: busy,
                 })
                 .collect(),
-            predictions: run.outputs,
-            labels: scenario.usecase.items().iter().map(|i| i.label).collect(),
+            predictions,
+            labels: items.iter().map(|i| i.label).collect(),
             metrics: rec.metrics().clone(),
         };
         (report, rec)
@@ -288,21 +395,28 @@ mod tests {
     fn scenario_carries_every_knob() {
         let uc = UseCase::parametric(0.5, 2, pseudo_model(784, 20, 10));
         let soc = SocConfig { dma_bytes_per_cycle: 8, ..SocConfig::default() };
+        let plan = FaultPlan { seed: 9, sram_flip_ppm: 1_000, ..FaultPlan::none() };
         let s = Scenario::new(uc, SystemConfig::Ncpu { cores: 4 })
             .with_soc(soc)
             .with_trace(TraceLevel::Full)
-            .with_operating_point(0.6);
+            .with_operating_point(0.6)
+            .with_faults(plan);
         assert_eq!(s.cores(), 4);
         assert_eq!(s.soc().dma_bytes_per_cycle, 8);
         assert_eq!(s.trace(), TraceLevel::Full);
         assert_eq!(s.operating_point(), Some(0.6));
         assert!((s.volts() - 0.6).abs() < 1e-12);
+        assert_eq!(s.fault(), &plan);
+        assert_eq!(s.millivolts(), 600);
         let hetero = Scenario::new(
             UseCase::parametric(0.5, 2, pseudo_model(784, 20, 10)),
             SystemConfig::Heterogeneous,
         );
         assert_eq!(hetero.cores(), 1);
         assert!((hetero.volts() - 1.0).abs() < 1e-12);
+        assert_eq!(hetero.millivolts(), 1000);
+        // The default plan is the inert one: no injection, no watchdog.
+        assert!(!hetero.fault().is_active());
     }
 
     #[test]
@@ -359,6 +473,78 @@ mod tests {
             assert!(report.cores.iter().all(|c| c.busy_cycles > 0));
             assert!(report.makespan <= rolled.makespan);
             assert!(rec.counters().get("deep.steady_interval") > 0);
+        }
+    }
+
+    #[test]
+    fn deep_engine_prices_faults_and_drops_items() {
+        let model = crate::deep::tests::deep_model(8);
+        let ins = crate::deep::tests::inputs(8);
+        let uc = UseCase::deep(model, &ins);
+        let total = uc.items().len();
+        let plan = FaultPlan {
+            seed: 13,
+            sram_flip_ppm: 400_000,
+            dma_stall_ppm: 200_000,
+            dma_stall_cycles: 400,
+            dma_truncate_ppm: 200_000,
+            max_retries: 1,
+            backoff_cycles: 64,
+            ..FaultPlan::none()
+        };
+        for cores in [1usize, 2] {
+            let clean = Deep.report(&Scenario::new(uc.clone(), SystemConfig::Ncpu { cores }));
+            let scenario = Scenario::new(uc.clone(), SystemConfig::Ncpu { cores })
+                .with_operating_point(0.8)
+                .with_trace(TraceLevel::Full)
+                .with_faults(plan);
+            let (report, rec) = Deep.run(&scenario);
+            let (again, rec2) = Deep.run(&scenario);
+            assert_eq!(report.makespan, again.makespan, "faulted deep run is deterministic");
+            assert_eq!(report.predictions, again.predictions);
+            assert_eq!(rec.metrics().to_json(), rec2.metrics().to_json());
+            let injected = rec.counters().get("fault.injected.sram_flip")
+                + rec.counters().get("fault.injected.dma_stall")
+                + rec.counters().get("fault.injected.dma_truncate");
+            assert!(injected > 0, "aggressive plan must inject ({cores} cores)");
+            let dropped = rec.counters().get("fault.items_dropped");
+            assert!(dropped > 0, "max_retries 1 at 800 mV must drop something");
+            // Every item keeps a prediction slot; dropped ones hold the
+            // sentinel, surviving ones classify exactly as the clean run.
+            assert_eq!(report.predictions.len(), total);
+            let sentinels = report
+                .predictions
+                .iter()
+                .filter(|&&p| p == crate::fabric::DROPPED_PREDICTION)
+                .count() as u64;
+            assert_eq!(sentinels, dropped);
+            for (faulted, clean) in report.predictions.iter().zip(&clean.predictions) {
+                if *faulted != crate::fabric::DROPPED_PREDICTION {
+                    assert_eq!(faulted, clean);
+                }
+            }
+            assert_eq!(rec.counters().get("run.items"), total as u64);
+            // The makespan covers the fault layer's whole story: no
+            // detection or recovery instant may land past it. (It can
+            // still be *shorter* than the clean run — dropped images
+            // never occupy the array.)
+            let last_fault_event = rec
+                .events()
+                .iter()
+                .filter(|e| {
+                    matches!(
+                        e.kind,
+                        ncpu_obs::EventKind::Fault { .. }
+                            | ncpu_obs::EventKind::Detect { .. }
+                            | ncpu_obs::EventKind::Recover { .. }
+                    )
+                })
+                .map(|e| e.cycle)
+                .max()
+                .expect("aggressive plan must leave fault events");
+            assert!(report.makespan >= last_fault_event);
+            assert_eq!(rec.counters().get("run.makespan_cycles"), report.makespan);
+            assert_eq!(rec.counters().get("fault.cores_quarantined"), 0);
         }
     }
 }

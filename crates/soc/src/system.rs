@@ -9,6 +9,7 @@
 use ncpu_accel::Accelerator;
 use ncpu_bnn::BitVec;
 use ncpu_core::{NcpuCore, SharedL2, SwitchPolicy};
+use ncpu_fault::FaultPlan;
 use ncpu_isa::interp::Event;
 use ncpu_obs::{Recorder, TraceLevel};
 use ncpu_pipeline::{FlatMem, Pipeline};
@@ -88,6 +89,139 @@ pub fn run_traced(
         SystemConfig::Heterogeneous => run_heterogeneous(usecase, soc, level),
         SystemConfig::Ncpu { cores } => run_ncpu(usecase, cores, soc, level),
     }
+}
+
+/// Like [`run_traced`], but with a [`FaultPlan`] bound to an operating
+/// point (`millivolts` scales the SRAM soft-error rate).
+///
+/// The NCPU scheduler prices recovery *analytically*: every dispatch is
+/// resolved through the shared fault layer (`fabric::resolve_dispatch`),
+/// so retries, backoff, drops and quarantine re-scheduling enter the
+/// analytic makespan without a cycle-level walk. Two modeling limits,
+/// by design: the analytic engine runs items atomically, so its
+/// watchdog prices injected `CoreHang` faults only (a genuinely
+/// long-running item is never aborted mid-flight — use the lock-step
+/// engine to study that); and the heterogeneous baseline ignores the
+/// plan entirely (the paper's reliability story is about the NCPU's
+/// low-voltage SRAM operating points).
+///
+/// # Panics
+///
+/// Panics if a generated program faults (a workspace bug).
+pub fn run_traced_faulted(
+    usecase: &UseCase,
+    system: SystemConfig,
+    soc: &SocConfig,
+    level: TraceLevel,
+    plan: &FaultPlan,
+    millivolts: u32,
+) -> (RunReport, Recorder) {
+    match system {
+        SystemConfig::Heterogeneous => run_heterogeneous(usecase, soc, level),
+        SystemConfig::Ncpu { cores } if plan.is_active() => {
+            run_ncpu_faulted(usecase, cores, soc, level, plan, millivolts)
+        }
+        SystemConfig::Ncpu { cores } => run_ncpu(usecase, cores, soc, level),
+    }
+}
+
+/// The analytic NCPU scheduler with an active fault plan: per-core
+/// clocks advance in global time order (so shared DMA bookings happen
+/// in arrival order), each dispatch resolves through the fault layer,
+/// and a quarantined core's queue re-schedules round-robin onto the
+/// healthy ones.
+fn run_ncpu_faulted(
+    usecase: &UseCase,
+    cores: usize,
+    soc: &SocConfig,
+    level: TraceLevel,
+    plan: &FaultPlan,
+    millivolts: u32,
+) -> (RunReport, Recorder) {
+    let mut rec = Recorder::new(level.at_least_counters());
+    let (l2, mut pool, programs) = fabric::ncpu_pool(usecase, soc, level, cores);
+    let mut dma = fabric::new_dma(soc, level);
+    let items = usecase.items().len();
+    let mut ctl = fabric::FaultCtl::new(plan, millivolts, items, cores);
+    let mut now = vec![0u64; cores];
+    let mut busy = vec![0u64; cores];
+    // Items complete out of order once drops and re-scheduling kick in,
+    // so predictions are written by index rather than pushed.
+    let mut predictions = vec![0usize; items];
+    let mut queues: Vec<Vec<(usize, u64)>> = (0..cores)
+        .map(|c| (0..items).filter(|i| i % cores == c).map(|i| (i, 0)).collect())
+        .collect();
+    let mut at = vec![0usize; cores];
+
+    loop {
+        // Always advance the core that can dispatch earliest (ties to
+        // the lowest-numbered core), so fault draws and DMA bookings
+        // happen in a deterministic global-time order.
+        let next = (0..cores)
+            .filter(|&c| at[c] < queues[c].len())
+            .map(|c| (now[c].max(queues[c][at[c]].1), c))
+            .min();
+        let Some((dispatch, c)) = next else { break };
+        let (idx, _) = queues[c][at[c]];
+        let staged = &usecase.items()[idx].staged;
+        match fabric::resolve_dispatch(
+            Some(&mut ctl),
+            c,
+            idx,
+            staged,
+            dispatch,
+            true,
+            &mut pool[c],
+            &mut dma,
+            &mut rec,
+            None,
+        ) {
+            fabric::Resolution::Run { exec_start } => {
+                let (end, used) =
+                    fabric::run_item_staged(&mut pool[c], &programs[c], exec_start, &mut rec, c as u16);
+                now[c] = end;
+                busy[c] += used;
+                let depth = (queues[c].len() - at[c] - 1) as u64;
+                fabric::record_item_metrics(&mut rec, end - dispatch, used, depth);
+                rec.metric("item.retries", ctl.item_retries(idx));
+                predictions[idx] = l2
+                    .read_word(fabric::result_addr(c))
+                    .expect("result staged by program") as usize;
+                at[c] += 1;
+            }
+            fabric::Resolution::Dropped { at: t } => {
+                now[c] = now[c].max(t);
+                predictions[idx] = fabric::DROPPED_PREDICTION;
+                rec.metric("item.retries", ctl.item_retries(idx));
+                at[c] += 1;
+            }
+            fabric::Resolution::Quarantined { at: t } => {
+                now[c] = now[c].max(t);
+                let moved: Vec<usize> =
+                    queues[c].split_off(at[c]).into_iter().map(|(i, _)| i).collect();
+                let mut defer = None;
+                let homes = fabric::reassign_items(&mut ctl, c, &moved, t, &mut rec, &mut defer);
+                for (item, target) in homes {
+                    match target {
+                        Some(tg) => queues[tg].push((item, t + 1)),
+                        None => predictions[item] = fabric::DROPPED_PREDICTION,
+                    }
+                }
+            }
+        }
+    }
+
+    let makespan = now.iter().copied().max().unwrap_or(0);
+    ctl.write_counters(&mut rec);
+    let report = fabric::assemble_ncpu_report(
+        &mut rec,
+        &mut dma,
+        &pool,
+        &busy,
+        usecase,
+        fabric::RunOutcome { config: format!("{cores}x ncpu"), makespan, predictions },
+    );
+    (report, rec)
 }
 
 pub(crate) fn run_ncpu(

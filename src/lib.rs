@@ -98,7 +98,7 @@ pub mod prelude {
     pub use ncpu_pipeline::{FlatMem, Pipeline};
     pub use ncpu_power::{AreaModel, CoreKind, PowerModel};
     pub use ncpu_soc::{
-        run, run_traced, Analytic, Engine, EventDriven, Lockstep, Scenario, SocConfig,
-        SystemConfig, UseCase,
+        run, run_traced, Analytic, Engine, EventDriven, FaultPlan, Lockstep, Scenario,
+        SocConfig, SystemConfig, UseCase,
     };
 }

@@ -178,6 +178,54 @@ fn metrics_histograms_are_thread_count_invariant() {
     });
 }
 
+/// A faulted run is as reproducible as a clean one: with a seeded
+/// fault plan attached, the full report, the fault counters, and the
+/// recovery histograms must come out byte-identical across runs and
+/// across worker counts, for every engine that simulates recovery.
+#[test]
+fn faulted_runs_are_byte_identical_across_thread_counts() {
+    use ncpu::soc::{Analytic, Engine, EventDriven, Lockstep};
+    let plan = FaultPlan {
+        seed: 21,
+        sram_flip_ppm: 250_000,
+        dma_stall_ppm: 150_000,
+        dma_stall_cycles: 48,
+        dma_truncate_ppm: 150_000,
+        core_hang_ppm: 80_000,
+        watchdog_cycles: 20_000_000,
+        max_retries: 2,
+        backoff_cycles: 32,
+        quarantine_after: 4,
+    };
+    thread_count_invariant("1", "4", || {
+        let uc = UseCase::image(4, 2, 1);
+        let scenario = Scenario::new(uc, SystemConfig::Ncpu { cores: 4 })
+            .with_trace(TraceLevel::Full)
+            .with_operating_point(0.9)
+            .with_faults(plan);
+        let (an_report, an_rec) = Analytic.run(&scenario);
+        let (ls_report, ls_rec) = Lockstep.run(&scenario);
+        let (ev_report, ev_rec) = EventDriven.run(&scenario);
+        assert!(
+            ls_rec.counters().get("fault.injected.sram_flip")
+                + ls_rec.counters().get("fault.injected.dma_stall")
+                + ls_rec.counters().get("fault.injected.dma_truncate")
+                + ls_rec.counters().get("fault.injected.core_hang")
+                > 0,
+            "the plan must inject something for this test to mean anything"
+        );
+        format!(
+            "{an_report:?}\n{}\n{}\n{ls_report:?}\n{}\n{}\n{ev_report:?}\n{}\n{}",
+            an_rec.counters().to_json(),
+            an_rec.metrics().to_json(),
+            ls_rec.counters().to_json(),
+            ls_rec.metrics().to_json(),
+            ev_rec.counters().to_json(),
+            ev_rec.metrics().to_json(),
+        )
+    });
+}
+
 /// A fleet histogram — per-scenario latency histograms merged through
 /// `Pool::par_map_fold` — must come out byte-identical for any worker
 /// count: the map fans out, the fold stays in scenario index order.

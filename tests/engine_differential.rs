@@ -56,6 +56,41 @@ enum Workload {
     Motion,
 }
 
+/// Random fault-plan knobs. Rates are aggressive on purpose — a plan
+/// that never fires exercises nothing.
+#[derive(Debug, Clone, PartialEq)]
+struct FaultCase {
+    seed: u64,
+    flip_ppm: u32,
+    stall_ppm: u32,
+    truncate_ppm: u32,
+    hang_ppm: u32,
+    /// A 3k-cycle watchdog trips on ordinary items, forcing the event
+    /// engine down its lockstep-fallback path; the 20M default only
+    /// catches injected hangs.
+    watchdog_short: bool,
+    max_retries: u32,
+    backoff_cycles: u64,
+    quarantine_after: u32,
+}
+
+impl FaultCase {
+    fn plan(&self) -> FaultPlan {
+        FaultPlan {
+            seed: self.seed,
+            sram_flip_ppm: self.flip_ppm,
+            dma_stall_ppm: self.stall_ppm,
+            dma_stall_cycles: 48,
+            dma_truncate_ppm: self.truncate_ppm,
+            core_hang_ppm: self.hang_ppm,
+            watchdog_cycles: if self.watchdog_short { 3_000 } else { 20_000_000 },
+            max_retries: self.max_retries,
+            backoff_cycles: self.backoff_cycles,
+            quarantine_after: self.quarantine_after,
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Case {
     workload: Workload,
@@ -66,6 +101,8 @@ struct Case {
     full_trace: bool,
     /// DVFS operating point in tenths of a volt (`None` = nominal).
     operating_point: Option<u32>,
+    /// Fault plan the scenario carries (`None` = inert plan).
+    fault: Option<FaultCase>,
 }
 
 impl Case {
@@ -91,6 +128,19 @@ impl Case {
             dma_setup_cycles: *[0u64, 3, 16, 32].get(rng.gen_range(0..4usize)).unwrap(),
             full_trace: rng.gen_bool(0.5),
             operating_point: rng.gen_bool(0.3).then(|| rng.gen_range(6..=12u32)),
+            // Drawn last so the corpus's earlier seeds still decode the
+            // same prefix of the case.
+            fault: rng.gen_bool(0.5).then(|| FaultCase {
+                seed: rng.gen_range(0..1_000_000u64),
+                flip_ppm: rng.gen_range(0..400_000u32),
+                stall_ppm: rng.gen_range(0..300_000u32),
+                truncate_ppm: rng.gen_range(0..300_000u32),
+                hang_ppm: rng.gen_range(0..200_000u32),
+                watchdog_short: rng.gen_bool(0.15),
+                max_retries: rng.gen_range(0..=3u32),
+                backoff_cycles: *[8u64, 32, 128].get(rng.gen_range(0..3usize)).unwrap(),
+                quarantine_after: rng.gen_range(0..=3u32),
+            }),
         }
     }
 
@@ -120,6 +170,9 @@ impl Case {
         if let Some(tenths) = self.operating_point {
             scenario = scenario.with_operating_point(f64::from(tenths) / 10.0);
         }
+        if let Some(fault) = &self.fault {
+            scenario = scenario.with_faults(fault.plan());
+        }
         scenario
     }
 }
@@ -128,6 +181,23 @@ impl Shrink for Case {
     fn shrink(&self) -> Vec<Case> {
         let mut out = Vec::new();
         let mut push = |c: Case| out.push(c);
+        // Dropping the fault plan first: most divergences that involve
+        // one are simplest to debug when the plan itself is the cause.
+        if let Some(fault) = &self.fault {
+            push(Case { fault: None, ..self.clone() });
+            if fault.watchdog_short {
+                push(Case {
+                    fault: Some(FaultCase { watchdog_short: false, ..fault.clone() }),
+                    ..self.clone()
+                });
+            }
+            if fault.quarantine_after > 0 {
+                push(Case {
+                    fault: Some(FaultCase { quarantine_after: 0, ..fault.clone() }),
+                    ..self.clone()
+                });
+            }
+        }
         if self.cores > 1 {
             push(Case { cores: self.cores / 2, ..self.clone() });
         }
