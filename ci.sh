@@ -67,6 +67,42 @@ NCPU_THREADS=4 cargo test -q --offline --test engine_differential
 # core count, traced, against the lock-step makespan.
 NCPU_TRACE=off cargo run --release --offline --example engine_matrix 4
 
+# Fleet-service smoke: 8 scenario requests over stdin, of which 4 are
+# content-addressed duplicates (field order, nesting, and an explicit
+# engine pin inside the byte-identical lockstep/event pair all
+# canonicalize away). The stats line must show exactly 4 hits and 4
+# misses; the duplicated reports must be byte-identical to their fresh
+# twins; and every artifact the service wrote must satisfy trace_check.
+SERVE_DIR=target/serve-ci
+rm -rf "$SERVE_DIR"
+SERVE_OUT="$SERVE_DIR/transcript.jsonl"
+mkdir -p "$SERVE_DIR"
+cargo run --release --offline --bin ncpu -- serve --artifacts "$SERVE_DIR/artifacts" <<'EOF' > "$SERVE_OUT"
+{"cpu_fraction":0.25,"batch":2,"cores":1}
+{"cpu_fraction":0.75,"batch":4,"cores":2}
+{"scenario":{"batch":2,"cores":1,"cpu_fraction":0.25}}
+{"workload":"image","batch":4,"train_per_class":2,"epochs":1}
+{"cpu_fraction":0.75,"batch":4,"cores":2,"engine":"lockstep"}
+{"system":"hetero","cpu_fraction":0.5,"batch":2}
+{"workload":"image","batch":4,"train_per_class":2,"epochs":1}
+{"system":"hetero","cpu_fraction":0.5,"batch":2,"engine":"analytic"}
+{"op":"stats"}
+{"op":"shutdown"}
+EOF
+grep -q '"serve.cache.hits":4' "$SERVE_OUT"
+grep -q '"serve.cache.misses":4' "$SERVE_OUT"
+grep -q '"serve.cache.evictions":0' "$SERVE_OUT"
+# Duplicate pairs (1,3), (2,5), (4,7), (6,8) must serve identical report bytes.
+for pair in "1 3" "2 5" "4 7" "6 8"; do
+    fresh=$(echo "$pair" | cut -d' ' -f1)
+    dup=$(echo "$pair" | cut -d' ' -f2)
+    sed -n "${fresh}p" "$SERVE_OUT" | sed 's/.*"report"://' > "$SERVE_DIR/fresh.json"
+    sed -n "${dup}p" "$SERVE_OUT" | sed 's/.*"report"://' > "$SERVE_DIR/dup.json"
+    cmp "$SERVE_DIR/fresh.json" "$SERVE_DIR/dup.json"
+done
+cargo run --release --offline -p ncpu-obs --bin trace_check -- \
+    --summary "$SERVE_DIR"/artifacts/RUN_serve_*.json
+
 # Benchmark artifacts: short samples keep CI fast; the JSON schema and
 # the parallel byte-identity assertion are what this gate checks, not
 # the absolute timings. The harness writes into the package dir (cargo
@@ -77,8 +113,10 @@ NCPU_BENCH_SAMPLES=3 NCPU_BENCH_SAMPLE_MS=5 \
     cargo bench --offline -p ncpu-bench --bench parallel
 NCPU_BENCH_SAMPLES=3 NCPU_BENCH_SAMPLE_MS=5 \
     cargo bench --offline -p ncpu-bench --bench event
+NCPU_BENCH_SAMPLES=3 NCPU_BENCH_SAMPLE_MS=5 \
+    cargo bench --offline -p ncpu-bench --bench serve
 mv crates/bench/BENCH_micro.json crates/bench/BENCH_parallel.json \
-    crates/bench/BENCH_event.json .
+    crates/bench/BENCH_event.json crates/bench/BENCH_serve.json .
 
 # Perf regression gate: fresh medians against the committed baselines in
 # baselines/. The loose tolerance (fresh must stay under 3x baseline)
@@ -87,7 +125,7 @@ mv crates/bench/BENCH_micro.json crates/bench/BENCH_parallel.json \
 # percent drift; the self-test below proves it still bites at 20% on
 # clean data. Exit code 4 (host shape differs from the baseline
 # machine) is tolerated: there the comparison would be meaningless.
-for suite in micro parallel event; do
+for suite in micro parallel event serve; do
     rc=0
     cargo run --release --offline -p ncpu-obs --bin bench_diff -- \
         --tolerance 2.0 "baselines/BENCH_$suite.json" "BENCH_$suite.json" || rc=$?

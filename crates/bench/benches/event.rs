@@ -7,26 +7,8 @@
 //! benchmark of a divergent engine would be meaningless — so this
 //! doubles as a release-mode equivalence smoke.
 
-use ncpu_bnn::{BitVec, BnnLayer, BnnModel, Topology};
-use ncpu_soc::{Engine, EventDriven, Lockstep, Scenario, SystemConfig, UseCase};
+use ncpu_soc::{pseudo_model, Engine, EventDriven, Lockstep, Scenario, SystemConfig, UseCase};
 use ncpu_testkit::bench::Bench;
-
-/// The workspace's deterministic pseudo-model (same construction as the
-/// soc tests): 4 hidden layers, fixed weight/bias pattern.
-fn pseudo_model(input: usize, neurons: usize, classes: usize) -> BnnModel {
-    let topo = Topology::new(input, vec![neurons; 4], classes);
-    let layers = (0..4)
-        .map(|l| {
-            let n_in = topo.layer_input(l);
-            let rows: Vec<BitVec> = (0..neurons)
-                .map(|j| BitVec::from_bools((0..n_in).map(|i| (i * 7 + j * 3 + l) % 5 < 2)))
-                .collect();
-            let bias = (0..neurons).map(|j| (j as i32 % 3) - 1).collect();
-            BnnLayer::new(rows, bias)
-        })
-        .collect();
-    BnnModel::new(topo, layers)
-}
 
 fn scenarios() -> Vec<(&'static str, Scenario)> {
     vec![
@@ -68,7 +50,12 @@ fn main() {
             "{group}: engines diverged — benchmark aborted"
         );
 
+        // Each run processes the full batch, so the throughput column
+        // (`elements` / `elems_per_sec`) is items per engine invocation.
+        let items = scenario.usecase().items().len() as u64;
+        bench.throughput(items);
         bench.bench(&format!("{group}_lockstep"), || Lockstep.report(&scenario));
+        bench.throughput(items);
         bench.bench(&format!("{group}_event"), || EventDriven.report(&scenario));
         let results = bench.results();
         let (ls, ev) = (&results[results.len() - 2], &results[results.len() - 1]);

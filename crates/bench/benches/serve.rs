@@ -1,0 +1,103 @@
+//! Fleet-service benchmark: cold vs warm serving of a 16-scenario
+//! sweep through the full line protocol, at 1 and 4 workers. Writes
+//! `BENCH_serve.json`.
+//!
+//! * `cold_*` rows build a fresh fleet per iteration and pay spec
+//!   parsing, scenario construction, and simulation for all 16
+//!   scenarios (`elements = 16`, so `elems_per_sec` is cold
+//!   scenarios/second).
+//! * `warm_*` rows replay the identical request lines against the
+//!   warmed fleet: every request is a content-addressed cache hit
+//!   serving the exact cached bytes.
+//! * `warm_p50` / `warm_p99` are single-request round-trip latencies
+//!   (one line in, one line out) over the warm cache, recorded through
+//!   the deterministic `CycleHistogram`.
+//!
+//! The committed artifact must show warm throughput at least 10x cold —
+//! that is the service's reason to exist — so this harness asserts it.
+
+use std::time::Instant;
+
+use ncpu_obs::CycleHistogram;
+use ncpu_serve::{serve_lines, Fleet, ServeConfig};
+use ncpu_testkit::bench::Bench;
+
+/// 16 distinct steady-state scenarios (4 fractions x 2 batches x 2 core
+/// counts), as protocol lines. Small enough to keep the cold side
+/// tractable under `NCPU_BENCH_SAMPLES`, large enough to exercise the
+/// batch planner.
+fn sweep_lines() -> String {
+    let mut lines = String::new();
+    for frac in [2, 4, 6, 8] {
+        for batch in [2, 4] {
+            for cores in [1, 2] {
+                lines.push_str(&format!(
+                    "{{\"cpu_fraction\":0.{frac},\"batch\":{batch},\"cores\":{cores},\"model_input\":64}}\n"
+                ));
+            }
+        }
+    }
+    lines
+}
+
+const SWEEP: usize = 16;
+
+fn serve_all(fleet: &mut Fleet, input: &str) -> usize {
+    let mut out = Vec::new();
+    serve_lines(fleet, input.as_bytes(), &mut out, &ServeConfig::default())
+        .expect("in-memory serve cannot fail");
+    out.len()
+}
+
+fn main() {
+    let mut bench = Bench::new("serve");
+    let lines = sweep_lines();
+    assert_eq!(lines.lines().count(), SWEEP);
+
+    let mut medians: Vec<(String, f64)> = Vec::new();
+    for workers in [1usize, 4] {
+        bench.throughput(SWEEP as u64);
+        bench.bench(&format!("cold_b16_w{workers}"), || {
+            let mut fleet = Fleet::new(workers, 1024);
+            serve_all(&mut fleet, &lines)
+        });
+
+        let mut warm = Fleet::new(workers, 1024);
+        serve_all(&mut warm, &lines);
+        bench.throughput(SWEEP as u64);
+        bench.bench(&format!("warm_b16_w{workers}"), || serve_all(&mut warm, &lines));
+
+        let results = bench.results();
+        let (cold, hot) = (&results[results.len() - 2], &results[results.len() - 1]);
+        println!(
+            "serve w{workers}: cold {:.0} scen/s, warm {:.0} scen/s ({:.0}x)",
+            1e9 * SWEEP as f64 / cold.median_ns,
+            1e9 * SWEEP as f64 / hot.median_ns,
+            cold.median_ns / hot.median_ns
+        );
+        medians.push((format!("w{workers}"), cold.median_ns / hot.median_ns));
+    }
+
+    // Single-request round-trip latency over the warm cache.
+    let mut warm = Fleet::new(1, 1024);
+    serve_all(&mut warm, &lines);
+    let requests: Vec<&str> = lines.lines().collect();
+    let mut hist = CycleHistogram::new();
+    for round in 0..64 {
+        let one = format!("{}\n", requests[round % SWEEP]);
+        let start = Instant::now();
+        serve_all(&mut warm, &one);
+        hist.record(start.elapsed().as_nanos() as u64);
+    }
+    bench.record_once("warm_p50", std::time::Duration::from_nanos(hist.p50()));
+    bench.record_once("warm_p99", std::time::Duration::from_nanos(hist.p99()));
+
+    bench.finish();
+
+    for (tag, ratio) in &medians {
+        assert!(
+            *ratio >= 10.0,
+            "{tag}: warm serving must be >=10x cold (content-addressed cache), got {ratio:.1}x"
+        );
+    }
+}

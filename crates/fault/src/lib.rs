@@ -91,7 +91,105 @@ impl FaultPlan {
             || self.core_hang_ppm > 0
             || self.watchdog_cycles > 0
     }
+
+    /// Builds a plan from the `NCPU_FAULT_*` environment variables (see
+    /// [`FAULT_ENV_VARS`]), starting from [`FaultPlan::none`]. Unset or
+    /// empty variables keep their inert defaults; invalid values
+    /// (garbage, negatives, overflow) are reported once on stderr and
+    /// then ignored — the same warn-and-fall-back contract `NCPU_TRACE`
+    /// and `NCPU_THREADS` follow, built on the shared hardened parser
+    /// in [`ncpu_obs::numparse`].
+    pub fn from_env() -> FaultPlan {
+        let (plan, errors) =
+            FaultPlan::from_lookup(|var| std::env::var(var).ok());
+        if !errors.is_empty() {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                for e in &errors {
+                    eprintln!("ncpu-fault: ignoring {e}");
+                }
+            });
+        }
+        plan
+    }
+
+    /// [`FaultPlan::from_env`] with the environment abstracted behind a
+    /// lookup closure, so the parsing contract is unit-testable without
+    /// mutating process state. Returns the plan plus one diagnostic per
+    /// rejected variable (the caller decides how loudly to report).
+    pub fn from_lookup(get: impl Fn(&str) -> Option<String>) -> (FaultPlan, Vec<String>) {
+        use ncpu_obs::numparse::{parse_u32, parse_u64};
+        let mut plan = FaultPlan::none();
+        let mut errors = Vec::new();
+        {
+            let mut u64_knob = |var: &str, slot: &mut u64| {
+                if let Some(raw) = get(var) {
+                    match parse_u64(&raw) {
+                        Ok(Some(v)) => *slot = v,
+                        Ok(None) => {}
+                        Err(e) => errors.push(format!("{var}: {e}")),
+                    }
+                }
+            };
+            u64_knob(ENV_SEED, &mut plan.seed);
+            u64_knob(ENV_DMA_STALL_CYCLES, &mut plan.dma_stall_cycles);
+            u64_knob(ENV_WATCHDOG_CYCLES, &mut plan.watchdog_cycles);
+            u64_knob(ENV_BACKOFF_CYCLES, &mut plan.backoff_cycles);
+        }
+        let mut u32_knob = |var: &str, slot: &mut u32| {
+            if let Some(raw) = get(var) {
+                match parse_u32(&raw) {
+                    Ok(Some(v)) => *slot = v,
+                    Ok(None) => {}
+                    Err(e) => errors.push(format!("{var}: {e}")),
+                }
+            }
+        };
+        u32_knob(ENV_SRAM_FLIP_PPM, &mut plan.sram_flip_ppm);
+        u32_knob(ENV_DMA_STALL_PPM, &mut plan.dma_stall_ppm);
+        u32_knob(ENV_DMA_TRUNCATE_PPM, &mut plan.dma_truncate_ppm);
+        u32_knob(ENV_CORE_HANG_PPM, &mut plan.core_hang_ppm);
+        u32_knob(ENV_MAX_RETRIES, &mut plan.max_retries);
+        u32_knob(ENV_QUARANTINE_AFTER, &mut plan.quarantine_after);
+        (plan, errors)
+    }
 }
+
+/// `NCPU_FAULT_SEED` — RNG seed for the split fault streams.
+pub const ENV_SEED: &str = "NCPU_FAULT_SEED";
+/// `NCPU_FAULT_SRAM_FLIP_PPM` — SRAM upset rate at 1.0 V.
+pub const ENV_SRAM_FLIP_PPM: &str = "NCPU_FAULT_SRAM_FLIP_PPM";
+/// `NCPU_FAULT_DMA_STALL_PPM` — DMA stall rate.
+pub const ENV_DMA_STALL_PPM: &str = "NCPU_FAULT_DMA_STALL_PPM";
+/// `NCPU_FAULT_DMA_STALL_CYCLES` — extra latency per stall.
+pub const ENV_DMA_STALL_CYCLES: &str = "NCPU_FAULT_DMA_STALL_CYCLES";
+/// `NCPU_FAULT_DMA_TRUNCATE_PPM` — DMA truncation rate.
+pub const ENV_DMA_TRUNCATE_PPM: &str = "NCPU_FAULT_DMA_TRUNCATE_PPM";
+/// `NCPU_FAULT_CORE_HANG_PPM` — core hang rate.
+pub const ENV_CORE_HANG_PPM: &str = "NCPU_FAULT_CORE_HANG_PPM";
+/// `NCPU_FAULT_WATCHDOG_CYCLES` — per-item watchdog budget.
+pub const ENV_WATCHDOG_CYCLES: &str = "NCPU_FAULT_WATCHDOG_CYCLES";
+/// `NCPU_FAULT_MAX_RETRIES` — retries before an item is dropped.
+pub const ENV_MAX_RETRIES: &str = "NCPU_FAULT_MAX_RETRIES";
+/// `NCPU_FAULT_BACKOFF_CYCLES` — base retry backoff.
+pub const ENV_BACKOFF_CYCLES: &str = "NCPU_FAULT_BACKOFF_CYCLES";
+/// `NCPU_FAULT_QUARANTINE_AFTER` — consecutive faults before quarantine.
+pub const ENV_QUARANTINE_AFTER: &str = "NCPU_FAULT_QUARANTINE_AFTER";
+
+/// Every `NCPU_FAULT_*` variable [`FaultPlan::from_env`] reads, in
+/// field order.
+pub const FAULT_ENV_VARS: [&str; 10] = [
+    ENV_SEED,
+    ENV_SRAM_FLIP_PPM,
+    ENV_DMA_STALL_PPM,
+    ENV_DMA_STALL_CYCLES,
+    ENV_DMA_TRUNCATE_PPM,
+    ENV_CORE_HANG_PPM,
+    ENV_WATCHDOG_CYCLES,
+    ENV_MAX_RETRIES,
+    ENV_BACKOFF_CYCLES,
+    ENV_QUARANTINE_AFTER,
+];
 
 impl Default for FaultPlan {
     fn default() -> FaultPlan {
@@ -366,5 +464,83 @@ mod tests {
         let mut plan = FaultPlan::none();
         plan.core_hang_ppm = 1;
         FaultSession::new(&plan, 1000);
+    }
+
+    fn lookup_from<'a>(pairs: &'a [(&'a str, &'a str)]) -> impl Fn(&str) -> Option<String> + 'a {
+        move |var| {
+            pairs
+                .iter()
+                .find(|(k, _)| *k == var)
+                .map(|(_, v)| (*v).to_string())
+        }
+    }
+
+    #[test]
+    fn from_lookup_parses_every_knob() {
+        let pairs = [
+            (ENV_SEED, "7"),
+            (ENV_SRAM_FLIP_PPM, " 120 "),
+            (ENV_DMA_STALL_PPM, "3"),
+            (ENV_DMA_STALL_CYCLES, "64"),
+            (ENV_DMA_TRUNCATE_PPM, "2"),
+            (ENV_CORE_HANG_PPM, "1"),
+            (ENV_WATCHDOG_CYCLES, "4096"),
+            (ENV_MAX_RETRIES, "5"),
+            (ENV_BACKOFF_CYCLES, "128"),
+            (ENV_QUARANTINE_AFTER, "3"),
+        ];
+        let (plan, errors) = FaultPlan::from_lookup(lookup_from(&pairs));
+        assert!(errors.is_empty(), "{errors:?}");
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.sram_flip_ppm, 120);
+        assert_eq!(plan.dma_stall_ppm, 3);
+        assert_eq!(plan.dma_stall_cycles, 64);
+        assert_eq!(plan.dma_truncate_ppm, 2);
+        assert_eq!(plan.core_hang_ppm, 1);
+        assert_eq!(plan.watchdog_cycles, 4096);
+        assert_eq!(plan.max_retries, 5);
+        assert_eq!(plan.backoff_cycles, 128);
+        assert_eq!(plan.quarantine_after, 3);
+        assert!(plan.is_active());
+    }
+
+    #[test]
+    fn from_lookup_treats_unset_and_empty_as_defaults() {
+        let pairs = [(ENV_SEED, ""), (ENV_WATCHDOG_CYCLES, "   ")];
+        let (plan, errors) = FaultPlan::from_lookup(lookup_from(&pairs));
+        assert!(errors.is_empty(), "{errors:?}");
+        assert_eq!(plan, FaultPlan::none());
+    }
+
+    #[test]
+    fn from_lookup_rejects_garbage_overflow_and_negatives() {
+        let pairs = [
+            (ENV_SEED, "not-a-number"),
+            (ENV_SRAM_FLIP_PPM, "4294967296"), // u32::MAX + 1
+            (ENV_BACKOFF_CYCLES, "-5"),
+            (ENV_MAX_RETRIES, "2"), // the one valid override
+        ];
+        let (plan, errors) = FaultPlan::from_lookup(lookup_from(&pairs));
+        assert_eq!(errors.len(), 3, "{errors:?}");
+        // Diagnostics come out in parse order: the u64 knobs first
+        // (seed, …, backoff), then the u32 knobs.
+        assert!(errors[0].contains(ENV_SEED) && errors[0].contains("not-a-number"));
+        assert!(errors[1].contains(ENV_BACKOFF_CYCLES));
+        assert!(errors[2].contains(ENV_SRAM_FLIP_PPM));
+        // Rejected variables keep their defaults; valid ones apply.
+        assert_eq!(plan.seed, 0);
+        assert_eq!(plan.sram_flip_ppm, 0);
+        assert_eq!(plan.backoff_cycles, 0);
+        assert_eq!(plan.max_retries, 2);
+    }
+
+    #[test]
+    fn from_env_without_overrides_is_inert() {
+        // The test environment never sets NCPU_FAULT_*; guard anyway so
+        // the assertion is meaningful even under odd harnesses.
+        if FAULT_ENV_VARS.iter().any(|v| std::env::var_os(v).is_some()) {
+            return;
+        }
+        assert_eq!(FaultPlan::from_env(), FaultPlan::none());
     }
 }

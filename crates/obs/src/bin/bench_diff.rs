@@ -36,6 +36,11 @@ use ncpu_obs::json::{parse, Json};
 struct Row {
     name: String,
     median_ns: f64,
+    /// Declared elements per iteration (0 when the row predates
+    /// throughput declarations or never declared one). Informational
+    /// only: the gate compares medians, and a baseline without
+    /// `elements` stays comparable to a fresh report that has them.
+    elements: f64,
 }
 
 /// A parsed `BENCH_*.json` report.
@@ -75,7 +80,8 @@ fn report_from_doc(path: &str, doc: &Json) -> Result<Report, String> {
             .get("median_ns")
             .and_then(Json::as_num)
             .ok_or_else(|| format!("{path}: results[{i}]: missing \"median_ns\""))?;
-        rows.push(Row { name, median_ns });
+        let elements = r.get("elements").and_then(Json::as_num).unwrap_or(0.0);
+        rows.push(Row { name, median_ns, elements });
     }
     Ok(Report {
         suite,
@@ -127,6 +133,19 @@ fn compare(base: &Report, fresh: &Report, tolerance: f64, allow_host_mismatch: b
 
     let mut failed = false;
     for b in &base.rows {
+        // A row that newly declares (or changes) its per-iteration
+        // element count is still the same benchmark — medians stay
+        // comparable, so note the change and move on. Old baselines
+        // predate throughput declarations entirely (elements 0/null).
+        if let Some(f) = fresh.rows.iter().find(|f| f.name == b.name) {
+            if b.elements != f.elements {
+                println!(
+                    "bench_diff: note {}/{}: elements {} -> {} (throughput \
+                     declaration changed; medians still compared)",
+                    base.suite, b.name, b.elements, f.elements
+                );
+            }
+        }
         let Some(f) = fresh.rows.iter().find(|f| f.name == b.name) else {
             println!(
                 "bench_diff: FAIL {}/{}: present in baseline, missing from fresh report",
@@ -200,7 +219,11 @@ fn self_test(path: &str) -> Result<(), String> {
         rows: report
             .rows
             .iter()
-            .map(|r| Row { name: r.name.clone(), median_ns: r.median_ns * 1.2 })
+            .map(|r| Row {
+                name: r.name.clone(),
+                median_ns: r.median_ns * 1.2,
+                elements: r.elements,
+            })
             .collect(),
     };
     match compare(&report, &slowed, 0.15, false) {
@@ -280,5 +303,71 @@ fn main() -> ExitCode {
             eprintln!("bench_diff: refusing to compare: {why}");
             ExitCode::from(4)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(json: &str) -> Report {
+        report_from_doc("test", &parse(json).expect("test report parses")).expect("valid")
+    }
+
+    /// An old baseline without `elements`/`elems_per_sec` must stay
+    /// comparable to a fresh report that newly populates them — the
+    /// medians are what the gate judges.
+    #[test]
+    fn newly_populated_elements_do_not_fail_the_gate() {
+        let base = report(
+            r#"{"suite":"s","host_parallelism":8,"ncpu_threads":8,"results":[
+                {"name":"a","median_ns":100.0},
+                {"name":"b","median_ns":200.0,"elements":0,"elems_per_sec":null}]}"#,
+        );
+        let fresh = report(
+            r#"{"suite":"s","host_parallelism":8,"ncpu_threads":8,"results":[
+                {"name":"a","median_ns":101.0,"elements":128,"elems_per_sec":1.2},
+                {"name":"b","median_ns":199.0,"elements":16,"elems_per_sec":8.0}]}"#,
+        );
+        assert!(matches!(compare(&base, &fresh, 0.15, false), Verdict::Ok));
+    }
+
+    /// Populating `elements` cannot mask a real median regression.
+    #[test]
+    fn elements_change_does_not_mask_a_regression() {
+        let base = report(
+            r#"{"suite":"s","host_parallelism":8,"ncpu_threads":8,"results":[
+                {"name":"a","median_ns":100.0}]}"#,
+        );
+        let fresh = report(
+            r#"{"suite":"s","host_parallelism":8,"ncpu_threads":8,"results":[
+                {"name":"a","median_ns":150.0,"elements":128}]}"#,
+        );
+        assert!(matches!(compare(&base, &fresh, 0.15, false), Verdict::Regression));
+    }
+
+    /// Rows missing `elements` entirely parse as 0 — the pre-throughput
+    /// schema stays loadable.
+    #[test]
+    fn missing_elements_parse_as_zero() {
+        let r = report(
+            r#"{"suite":"s","host_parallelism":1,"ncpu_threads":1,"results":[
+                {"name":"a","median_ns":5.0}]}"#,
+        );
+        assert_eq!(r.rows[0].elements, 0.0);
+    }
+
+    #[test]
+    fn host_shape_refusal_still_bites() {
+        let base = report(
+            r#"{"suite":"s","host_parallelism":8,"ncpu_threads":8,"results":[
+                {"name":"a","median_ns":100.0}]}"#,
+        );
+        let fresh = report(
+            r#"{"suite":"s","host_parallelism":4,"ncpu_threads":4,"results":[
+                {"name":"a","median_ns":100.0,"elements":7}]}"#,
+        );
+        assert!(matches!(compare(&base, &fresh, 0.15, false), Verdict::HostMismatch(_)));
+        assert!(matches!(compare(&base, &fresh, 0.15, true), Verdict::Ok));
     }
 }

@@ -56,6 +56,60 @@ impl Json {
     }
 }
 
+/// Renders a [`Json`] value as a single compact line: no whitespace,
+/// object keys in their stored order. Deterministic — the same value
+/// always renders to the same bytes — which is what the serve
+/// protocol's byte-identical cached-vs-fresh contract rests on.
+///
+/// Numbers that are exact integers within ±2^53 render without a
+/// decimal point; everything else uses Rust's shortest round-trip
+/// `f64` formatting.
+pub fn render_compact(value: &Json) -> String {
+    let mut out = String::new();
+    render_into(value, &mut out);
+    out
+}
+
+fn render_into(value: &Json, out: &mut String) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Num(n) => out.push_str(&render_num(*n)),
+        Json::Str(s) => out.push_str(&crate::export::json_string(s)),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_into(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            out.push('{');
+            for (i, (key, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&crate::export::json_string(key));
+                out.push(':');
+                render_into(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn render_num(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() <= crate::numparse::MAX_EXACT_INT {
+        format!("{}", n as i64)
+    } else {
+        format!("{n:?}")
+    }
+}
+
 /// Parses `text` as a single JSON document.
 pub fn parse(text: &str) -> Result<Json, String> {
     let bytes = text.as_bytes();
@@ -387,6 +441,25 @@ mod tests {
         assert_eq!(doc.get("a").unwrap().as_arr().unwrap()[2].as_num(), Some(-300.0));
         assert_eq!(doc.get("b").unwrap().get("c").unwrap().as_str(), Some("x\ny"));
         assert_eq!(doc.get("e"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn compact_rendering_round_trips_and_is_deterministic() {
+        let text = r#"{"a":[1,2.5,-300],"b":{"c":"x\ny","d":null},"e":true,"f":0.001}"#;
+        let doc = parse(text).expect("parses");
+        let rendered = render_compact(&doc);
+        assert_eq!(rendered, text, "compact rendering is canonical for compact input");
+        assert_eq!(parse(&rendered).expect("round trips"), doc);
+        assert_eq!(render_compact(&doc), rendered, "rendering is deterministic");
+        // Multi-line pretty input renders down to one line.
+        let pretty = parse("{\n  \"k\": [ 1 ,\t2 ]\n}\n").unwrap();
+        assert_eq!(render_compact(&pretty), r#"{"k":[1,2]}"#);
+    }
+
+    #[test]
+    fn compact_rendering_keeps_integers_integral() {
+        let doc = parse(r#"{"n":1000000,"u":0.973451,"z":0}"#).unwrap();
+        assert_eq!(render_compact(&doc), r#"{"n":1000000,"u":0.973451,"z":0}"#);
     }
 
     #[test]

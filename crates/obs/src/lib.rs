@@ -27,6 +27,7 @@ pub mod event;
 pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod numparse;
 pub mod record;
 pub mod selfprof;
 

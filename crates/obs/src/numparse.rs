@@ -1,0 +1,161 @@
+//! Hardened number parsing shared by every env-variable and protocol
+//! surface in the workspace.
+//!
+//! The workspace grew the same defensive parse three times — the
+//! `NCPU_THREADS` worker count in `ncpu-par`, the `NCPU_TRACE` level in
+//! [`crate::record::TraceLevel`], and the `NCPU_FAULT_*` plan knobs —
+//! and the serve protocol adds a fourth consumer of untrusted numeric
+//! text. This module is the one shared helper: trimmed input, explicit
+//! empty-means-unset, a typed error carrying the rejected text
+//! verbatim, and checked `f64`→integer conversions for JSON numbers
+//! (the in-tree parser reads all numbers as `f64`, so an integer field
+//! must reject NaN, negatives, fractions, and anything past 2^53 where
+//! `f64` stops being exact).
+
+/// A numeric value that failed to parse: the rejected text verbatim
+/// plus what was wanted, for single-line diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadNumber {
+    /// The rejected input, untrimmed.
+    pub raw: String,
+    /// Human description of the expected shape (`"a non-negative
+    /// integer"`, `"a finite number"`).
+    pub wanted: &'static str,
+}
+
+impl std::fmt::Display for BadNumber {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid number {:?}: want {}", self.raw, self.wanted)
+    }
+}
+
+impl std::error::Error for BadNumber {}
+
+/// Parses a `u64` from untrusted text: `Ok(None)` for empty or
+/// all-whitespace input (an unset knob), `Ok(Some(n))` for a
+/// non-negative integer, [`BadNumber`] for garbage or overflow.
+pub fn parse_u64(raw: &str) -> Result<Option<u64>, BadNumber> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    trimmed.parse::<u64>().map(Some).map_err(|_| BadNumber {
+        raw: raw.to_string(),
+        wanted: "a non-negative integer",
+    })
+}
+
+/// [`parse_u64`] restricted to `u32` range.
+pub fn parse_u32(raw: &str) -> Result<Option<u32>, BadNumber> {
+    match parse_u64(raw)? {
+        None => Ok(None),
+        Some(n) => u32::try_from(n).map(Some).map_err(|_| BadNumber {
+            raw: raw.to_string(),
+            wanted: "a non-negative integer within u32 range",
+        }),
+    }
+}
+
+/// Parses a finite `f64` from untrusted text: `Ok(None)` for empty or
+/// all-whitespace input, [`BadNumber`] for garbage, `inf`, or NaN.
+pub fn parse_f64(raw: &str) -> Result<Option<f64>, BadNumber> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    match trimmed.parse::<f64>() {
+        Ok(v) if v.is_finite() => Ok(Some(v)),
+        _ => Err(BadNumber { raw: raw.to_string(), wanted: "a finite number" }),
+    }
+}
+
+/// Largest integer `f64` represents exactly (2^53); past it, JSON
+/// numbers silently lose integer precision, so checked conversions
+/// refuse rather than round.
+pub const MAX_EXACT_INT: f64 = 9_007_199_254_740_992.0;
+
+/// Checked conversion of a JSON number (always an `f64` in the in-tree
+/// parser) to `u64`: `None` for NaN, negatives, fractions, and values
+/// past 2^53.
+pub fn num_as_u64(n: f64) -> Option<u64> {
+    if n.is_finite() && (0.0..=MAX_EXACT_INT).contains(&n) && n.fract() == 0.0 {
+        Some(n as u64)
+    } else {
+        None
+    }
+}
+
+/// [`num_as_u64`] restricted to `u32` range.
+pub fn num_as_u32(n: f64) -> Option<u32> {
+    num_as_u64(n).and_then(|v| u32::try_from(v).ok())
+}
+
+/// Checked conversion of a JSON number to `usize` (via `u64`).
+pub fn num_as_usize(n: f64) -> Option<usize> {
+    num_as_u64(n).and_then(|v| usize::try_from(v).ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_whitespace_mean_unset() {
+        assert_eq!(parse_u64(""), Ok(None));
+        assert_eq!(parse_u64("   "), Ok(None));
+        assert_eq!(parse_u32("\t\n"), Ok(None));
+        assert_eq!(parse_f64(""), Ok(None));
+    }
+
+    #[test]
+    fn plain_values_parse_with_surrounding_whitespace() {
+        assert_eq!(parse_u64(" 42 "), Ok(Some(42)));
+        assert_eq!(parse_u64(&u64::MAX.to_string()), Ok(Some(u64::MAX)));
+        assert_eq!(parse_u32("4294967295"), Ok(Some(u32::MAX)));
+        assert_eq!(parse_f64(" 0.25 "), Ok(Some(0.25)));
+        assert_eq!(parse_f64("-3e2"), Ok(Some(-300.0)));
+    }
+
+    #[test]
+    fn garbage_is_rejected_with_the_raw_text() {
+        for bad in ["12abc", "abc", "1 2", "0x10", "--3"] {
+            let err = parse_u64(bad).unwrap_err();
+            assert_eq!(err.raw, bad);
+            assert!(err.to_string().contains(bad), "{err}");
+        }
+        assert!(parse_f64("1.2.3").is_err());
+        assert!(parse_f64("nan").is_err(), "NaN is not a usable knob value");
+        assert!(parse_f64("inf").is_err(), "infinity is not a usable knob value");
+    }
+
+    #[test]
+    fn negative_integers_are_garbage_not_wraparound() {
+        assert!(parse_u64("-1").is_err());
+        assert!(parse_u32("-4").is_err());
+    }
+
+    #[test]
+    fn overflow_is_rejected_not_saturated() {
+        // One past u64::MAX, and a wall of nines.
+        assert!(parse_u64("18446744073709551616").is_err());
+        assert!(parse_u64("99999999999999999999999999").is_err());
+        // In u64 range but past u32.
+        let err = parse_u32("4294967296").unwrap_err();
+        assert!(err.wanted.contains("u32"), "{err}");
+    }
+
+    #[test]
+    fn json_number_conversions_are_checked() {
+        assert_eq!(num_as_u64(0.0), Some(0));
+        assert_eq!(num_as_u64(128.0), Some(128));
+        assert_eq!(num_as_u64(MAX_EXACT_INT), Some(1 << 53));
+        assert_eq!(num_as_u64(-1.0), None);
+        assert_eq!(num_as_u64(1.5), None);
+        assert_eq!(num_as_u64(f64::NAN), None);
+        assert_eq!(num_as_u64(f64::INFINITY), None);
+        assert_eq!(num_as_u64(MAX_EXACT_INT * 2.0), None, "past 2^53 is inexact");
+        assert_eq!(num_as_u32(4294967295.0), Some(u32::MAX));
+        assert_eq!(num_as_u32(4294967296.0), None);
+        assert_eq!(num_as_usize(7.0), Some(7));
+    }
+}

@@ -1,0 +1,286 @@
+//! The protocol front end: line-delimited JSON over stdin or TCP.
+//!
+//! One request per line, one response per line, responses in strict
+//! request order. Request objects:
+//!
+//! * `{"op":"run", ...scenario fields...}` — or any object without an
+//!   `"op"` key, which is treated as a run request. Enqueued into the
+//!   current batch.
+//! * `{"op":"flush"}` — execute the pending batch now and emit its
+//!   responses.
+//! * `{"op":"stats"}` — flush, then emit the counter registry.
+//! * `{"op":"shutdown"}` — flush, emit a final summary line, stop.
+//!
+//! Batches also flush when they reach `batch_max` or on end of input.
+//! Unparseable lines occupy their response slot as error lines, so a
+//! client can always match response *N* to request *N*.
+//!
+//! Responses:
+//!
+//! ```text
+//! {"id":"r000001","key":"00a1…","cache":"miss","engine":"event","report":{…}}
+//! {"id":"r000002","error":"cpu_fraction: expected a number in (0, 1)"}
+//! {"op":"stats","counters":{…}}
+//! {"op":"shutdown","requests":2}
+//! ```
+
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+
+use ncpu_obs::export::json_string;
+use ncpu_obs::json;
+
+use crate::fleet::Fleet;
+use crate::spec::ScenarioSpec;
+
+/// Front-end configuration (the fleet itself is passed separately so
+/// one fleet can outlive many connections).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Requests buffered before a forced flush.
+    pub batch_max: usize,
+    /// If set, every cache miss writes its `RUN_serve_<key>.json`
+    /// artifact here (the trace_check-able sink).
+    pub artifacts_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig { batch_max: 32, artifacts_dir: None }
+    }
+}
+
+fn write_artifact(dir: &std::path::Path, key: u64, artifact_json: &str) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join(format!("RUN_serve_{key:016x}.json")), artifact_json)
+}
+
+fn flush_batch<W: Write>(
+    fleet: &mut Fleet,
+    pending: &mut Vec<(String, Result<ScenarioSpec, String>)>,
+    out: &mut W,
+    cfg: &ServeConfig,
+) -> std::io::Result<()> {
+    for outcome in fleet.run_batch(std::mem::take(pending)) {
+        match outcome {
+            Ok(run) => {
+                if let Some(dir) = &cfg.artifacts_dir {
+                    if run.cache == "miss" {
+                        write_artifact(dir, run.key, &run.artifact_json)?;
+                    }
+                }
+                writeln!(
+                    out,
+                    "{{\"id\":{},\"key\":\"{:016x}\",\"cache\":\"{}\",\"engine\":\"{}\",\"report\":{}}}",
+                    json_string(&run.id),
+                    run.key,
+                    run.cache,
+                    run.engine,
+                    run.report_json
+                )?;
+            }
+            Err((id, msg)) => {
+                writeln!(out, "{{\"id\":{},\"error\":{}}}", json_string(&id), json_string(&msg))?;
+            }
+        }
+    }
+    out.flush()
+}
+
+/// Runs the full request/response loop over any line source and sink.
+/// Returns the number of requests served. Exits on end of input or a
+/// `shutdown` op (the latter also emits a summary line).
+pub fn serve_lines<R: BufRead, W: Write>(
+    fleet: &mut Fleet,
+    input: R,
+    mut out: W,
+    cfg: &ServeConfig,
+) -> std::io::Result<u64> {
+    let mut pending: Vec<(String, Result<ScenarioSpec, String>)> = Vec::new();
+    let mut served: u64 = 0;
+    for line in input.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let doc = match json::parse(trimmed) {
+            Ok(doc) => doc,
+            Err(e) => {
+                served += 1;
+                pending.push((fleet.assign_id(), Err(format!("bad JSON: {e}"))));
+                if pending.len() >= cfg.batch_max.max(1) {
+                    flush_batch(fleet, &mut pending, &mut out, cfg)?;
+                }
+                continue;
+            }
+        };
+        match doc.get("op").and_then(json::Json::as_str) {
+            None | Some("run") => {
+                served += 1;
+                pending.push((fleet.assign_id(), ScenarioSpec::parse(&doc)));
+                if pending.len() >= cfg.batch_max.max(1) {
+                    flush_batch(fleet, &mut pending, &mut out, cfg)?;
+                }
+            }
+            Some("flush") => flush_batch(fleet, &mut pending, &mut out, cfg)?,
+            Some("stats") => {
+                flush_batch(fleet, &mut pending, &mut out, cfg)?;
+                writeln!(out, "{{\"op\":\"stats\",\"counters\":{}}}", fleet.counters().to_json())?;
+                out.flush()?;
+            }
+            Some("shutdown") => {
+                flush_batch(fleet, &mut pending, &mut out, cfg)?;
+                writeln!(out, "{{\"op\":\"shutdown\",\"requests\":{served}}}")?;
+                out.flush()?;
+                return Ok(served);
+            }
+            Some(other) => {
+                served += 1;
+                pending.push((fleet.assign_id(), Err(format!("unknown op {other:?}"))));
+                if pending.len() >= cfg.batch_max.max(1) {
+                    flush_batch(fleet, &mut pending, &mut out, cfg)?;
+                }
+            }
+        }
+    }
+    flush_batch(fleet, &mut pending, &mut out, cfg)?;
+    Ok(served)
+}
+
+/// Serves connections from `listener` sequentially, sharing one fleet
+/// (and therefore one result cache) across all of them. `max_conns`
+/// bounds the accept loop for tests; `None` accepts forever. A
+/// connection sending `{"op":"shutdown"}` ends that connection only.
+pub fn serve_tcp(
+    listener: std::net::TcpListener,
+    fleet: &mut Fleet,
+    cfg: &ServeConfig,
+    max_conns: Option<usize>,
+) -> std::io::Result<u64> {
+    let mut served = 0;
+    for (conns, stream) in listener.incoming().enumerate() {
+        let stream = stream?;
+        let reader = std::io::BufReader::new(stream.try_clone()?);
+        served += serve_lines(fleet, reader, stream, cfg)?;
+        if max_conns.is_some_and(|max| conns + 1 >= max) {
+            break;
+        }
+    }
+    Ok(served)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transcript(fleet: &mut Fleet, input: &str) -> String {
+        let mut out = Vec::new();
+        serve_lines(fleet, input.as_bytes(), &mut out, &ServeConfig::default())
+            .expect("in-memory serve cannot fail");
+        String::from_utf8(out).expect("responses are UTF-8")
+    }
+
+    #[test]
+    fn responses_come_back_in_request_order_with_errors_in_place() {
+        let mut fleet = Fleet::new(2, 64);
+        let out = transcript(
+            &mut fleet,
+            "{\"cpu_fraction\":0.5,\"batch\":2,\"cores\":1}\n\
+             this is not json\n\
+             {\"op\":\"warp\"}\n\
+             {\"cpu_fraction\":0.5,\"batch\":2,\"cores\":1}\n\
+             {\"op\":\"shutdown\"}\n",
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].starts_with("{\"id\":\"r000001\"") && lines[0].contains("\"cache\":\"miss\""));
+        assert!(lines[1].starts_with("{\"id\":\"r000002\"") && lines[1].contains("bad JSON"));
+        assert!(lines[2].starts_with("{\"id\":\"r000003\"") && lines[2].contains("unknown op"));
+        assert!(lines[3].starts_with("{\"id\":\"r000004\"") && lines[3].contains("\"cache\":\"hit\""));
+        assert_eq!(lines[4], "{\"op\":\"shutdown\",\"requests\":4}");
+        // Every response line is itself valid JSON.
+        for line in &lines {
+            json::parse(line).expect("response lines are well-formed JSON");
+        }
+    }
+
+    #[test]
+    fn duplicate_reports_are_byte_identical_in_the_transcript() {
+        let mut fleet = Fleet::new(2, 64);
+        let req = "{\"cpu_fraction\":0.25,\"batch\":2,\"cores\":2}\n";
+        let out = transcript(&mut fleet, &format!("{req}{req}{req}{req}"));
+        let reports: Vec<&str> = out
+            .lines()
+            .map(|l| l.split_once("\"report\":").expect("run response has a report").1)
+            .collect();
+        assert_eq!(reports.len(), 4);
+        assert!(reports.iter().all(|r| *r == reports[0]), "dup reports must match byte-for-byte");
+        assert_eq!(fleet.counters().get("serve.cache.hits"), 3);
+        assert_eq!(fleet.counters().get("serve.cache.misses"), 1);
+    }
+
+    #[test]
+    fn stats_lines_carry_the_pinned_counters() {
+        let mut fleet = Fleet::new(1, 64);
+        let out = transcript(&mut fleet, "{\"op\":\"stats\"}\n");
+        for name in crate::fleet::COUNTER_NAMES {
+            assert!(out.contains(name), "stats must pin {name}: {out}");
+        }
+    }
+
+    #[test]
+    fn artifacts_land_on_disk_and_validate() {
+        let dir = std::env::temp_dir().join(format!("ncpu_serve_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ServeConfig { batch_max: 32, artifacts_dir: Some(dir.clone()) };
+        let mut fleet = Fleet::new(1, 64);
+        let mut out = Vec::new();
+        serve_lines(
+            &mut fleet,
+            "{\"cpu_fraction\":0.5,\"batch\":2,\"cores\":1}\n".as_bytes(),
+            &mut out,
+            &cfg,
+        )
+        .expect("serve");
+        let mut artifacts: Vec<_> = std::fs::read_dir(&dir)
+            .expect("artifact dir exists")
+            .map(|e| e.expect("dir entry").path())
+            .collect();
+        artifacts.sort();
+        assert_eq!(artifacts.len(), 1);
+        let doc = json::parse(&std::fs::read_to_string(&artifacts[0]).expect("read artifact"))
+            .expect("artifact parses");
+        json::validate_run_artifact(&doc).expect("artifact validates");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tcp_round_trip_shares_the_cache_across_connections() {
+        let Ok(listener) = std::net::TcpListener::bind("127.0.0.1:0") else {
+            eprintln!("skipping TCP test: loopback bind not permitted");
+            return;
+        };
+        let addr = listener.local_addr().expect("bound listener has an address");
+        let client = std::thread::spawn(move || {
+            let mut replies = Vec::new();
+            for _ in 0..2 {
+                let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+                stream
+                    .write_all(b"{\"cpu_fraction\":0.5,\"batch\":2,\"cores\":1}\n{\"op\":\"shutdown\"}\n")
+                    .expect("send");
+                let mut text = String::new();
+                std::io::Read::read_to_string(&mut stream, &mut text).expect("recv");
+                replies.push(text);
+            }
+            replies
+        });
+        let mut fleet = Fleet::new(1, 64);
+        serve_tcp(listener, &mut fleet, &ServeConfig::default(), Some(2)).expect("serve");
+        let replies = client.join().expect("client thread");
+        assert!(replies[0].contains("\"cache\":\"miss\""));
+        assert!(replies[1].contains("\"cache\":\"hit\""), "cache must persist across connections");
+        let report = |t: &str| t.split_once("\"report\":").map(|(_, r)| r.to_string());
+        assert_eq!(report(&replies[0]), report(&replies[1]));
+    }
+}

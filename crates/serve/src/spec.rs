@@ -1,0 +1,357 @@
+//! Request specs: the JSON surface of the fleet service.
+//!
+//! A [`ScenarioSpec`] is the declarative form of an [`ncpu_soc::Scenario`]
+//! plus one serve-only knob (the engine preference). Parsing is strict
+//! about types and ranges but generous about omissions: every field has
+//! the same default the library constructors use, so `{}` is a valid
+//! request (the default parametric workload on the 2-core NCPU).
+//!
+//! The fault-plan fields reuse the hardened `NCPU_FAULT_*` parser from
+//! `ncpu-fault` (itself built on `ncpu_obs::numparse`), so the service
+//! and the environment reject exactly the same garbage with the same
+//! diagnostics.
+
+use ncpu_fault::FaultPlan;
+use ncpu_obs::json::Json;
+use ncpu_obs::numparse::{num_as_u32, num_as_u64, num_as_usize};
+use ncpu_soc::{pseudo_model, Scenario, SocConfig, SystemConfig, UseCase};
+
+/// Which engine the client wants; `Auto` lets the router pick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnginePref {
+    /// Route by workload shape (the default).
+    Auto,
+    /// Force the cycle-walking lockstep engine.
+    Lockstep,
+    /// Force the event-queue engine.
+    Event,
+    /// Force the analytic scheduler (heterogeneous systems only).
+    Analytic,
+}
+
+/// The workload half of a spec.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSpec {
+    /// Steady-state synthetic workload over the canonical pseudo-model.
+    Parametric {
+        /// Fraction of each item spent in CPU mode, `0 < f < 1`.
+        cpu_fraction: f64,
+        /// Items in the batch.
+        batch: usize,
+        /// Pseudo-model input width in bits.
+        model_input: usize,
+    },
+    /// The paper's image-recognition use case (trains a real model).
+    Image {
+        /// Items in the batch.
+        batch: usize,
+        /// Training examples per class.
+        train_per_class: usize,
+        /// Training epochs.
+        epochs: usize,
+    },
+    /// The paper's motion-sensor use case (trains a real model).
+    Motion {
+        /// Items in the batch.
+        batch: usize,
+        /// Training examples per class.
+        train_per_class: usize,
+        /// Training epochs.
+        epochs: usize,
+    },
+}
+
+/// One parsed, validated request — everything needed to build a
+/// [`Scenario`] and route it to an engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// What to run.
+    pub workload: WorkloadSpec,
+    /// `Ncpu { cores }` or `Heterogeneous`.
+    pub system: SystemConfig,
+    /// Fabric parameters.
+    pub soc: SocConfig,
+    /// DVFS operating point, volts; `None` means nominal.
+    pub operating_point: Option<f64>,
+    /// Fault-injection plan.
+    pub fault: FaultPlan,
+    /// Engine preference.
+    pub engine: EnginePref,
+}
+
+impl Default for ScenarioSpec {
+    fn default() -> ScenarioSpec {
+        ScenarioSpec {
+            workload: WorkloadSpec::Parametric { cpu_fraction: 0.5, batch: 8, model_input: 64 },
+            system: SystemConfig::Ncpu { cores: 2 },
+            soc: SocConfig::default(),
+            operating_point: None,
+            fault: FaultPlan::none(),
+            engine: EnginePref::Auto,
+        }
+    }
+}
+
+fn want_usize(obj: &Json, key: &str, default: usize) -> Result<usize, String> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => {
+            let n = v.as_num().ok_or_else(|| format!("{key}: expected a number"))?;
+            num_as_usize(n).ok_or_else(|| format!("{key}: expected a non-negative integer, got {n}"))
+        }
+    }
+}
+
+fn want_bool(obj: &Json, key: &str, default: bool) -> Result<bool, String> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(Json::Bool(b)) => Ok(*b),
+        Some(_) => Err(format!("{key}: expected true or false")),
+    }
+}
+
+impl ScenarioSpec {
+    /// Parses a request object. `doc` may carry the fields directly or
+    /// nest them under a `"scenario"` key; unknown fields are rejected
+    /// so typos fail loudly instead of silently running the default.
+    pub fn parse(doc: &Json) -> Result<ScenarioSpec, String> {
+        let obj = doc.get("scenario").unwrap_or(doc);
+        let Json::Obj(fields) = obj else {
+            return Err("scenario: expected an object".to_string());
+        };
+        for (key, _) in fields {
+            if !KNOWN_FIELDS.contains(&key.as_str()) && key != "op" && key != "scenario" {
+                return Err(format!("unknown field {key:?}"));
+            }
+        }
+
+        let workload = match obj.get("workload").map(|v| v.as_str().unwrap_or("?")) {
+            None | Some("parametric") => {
+                let frac = match obj.get("cpu_fraction") {
+                    None => 0.5,
+                    Some(v) => v
+                        .as_num()
+                        .filter(|f| *f > 0.0 && *f < 1.0)
+                        .ok_or("cpu_fraction: expected a number in (0, 1)")?,
+                };
+                WorkloadSpec::Parametric {
+                    cpu_fraction: frac,
+                    batch: want_usize(obj, "batch", 8)?.max(1),
+                    model_input: want_usize(obj, "model_input", 64)?.clamp(8, 4096),
+                }
+            }
+            Some("image") => WorkloadSpec::Image {
+                batch: want_usize(obj, "batch", 4)?.max(1),
+                train_per_class: want_usize(obj, "train_per_class", 2)?.max(1),
+                epochs: want_usize(obj, "epochs", 1)?.max(1),
+            },
+            Some("motion") => WorkloadSpec::Motion {
+                batch: want_usize(obj, "batch", 2)?.max(1),
+                train_per_class: want_usize(obj, "train_per_class", 4)?.max(1),
+                epochs: want_usize(obj, "epochs", 2)?.max(1),
+            },
+            Some(other) => {
+                return Err(format!(
+                    "workload: expected \"parametric\", \"image\", or \"motion\", got {other:?}"
+                ))
+            }
+        };
+
+        let system = match obj.get("system").map(|v| v.as_str().unwrap_or("?")) {
+            None | Some("ncpu") => {
+                SystemConfig::Ncpu { cores: want_usize(obj, "cores", 2)?.clamp(1, 64) }
+            }
+            Some("hetero") | Some("heterogeneous") => SystemConfig::Heterogeneous,
+            Some(other) => {
+                return Err(format!("system: expected \"ncpu\" or \"hetero\", got {other:?}"))
+            }
+        };
+
+        let mut soc = SocConfig::default();
+        if let Some(v) = obj.get("dma_bytes_per_cycle") {
+            let n = v.as_num().ok_or("dma_bytes_per_cycle: expected a number")?;
+            soc.dma_bytes_per_cycle = num_as_u32(n)
+                .filter(|b| *b >= 1)
+                .ok_or_else(|| format!("dma_bytes_per_cycle: expected a positive integer, got {n}"))?;
+        }
+        if let Some(v) = obj.get("dma_setup_cycles") {
+            let n = v.as_num().ok_or("dma_setup_cycles: expected a number")?;
+            soc.dma_setup_cycles = num_as_u64(n)
+                .ok_or_else(|| format!("dma_setup_cycles: expected a non-negative integer, got {n}"))?;
+        }
+        match obj.get("switch_policy").map(|v| v.as_str().unwrap_or("?")) {
+            None => {}
+            Some("zero") => soc.switch_policy = ncpu_core::SwitchPolicy::ZeroLatency,
+            Some("naive") => soc.switch_policy = ncpu_core::SwitchPolicy::Naive,
+            Some(other) => {
+                return Err(format!("switch_policy: expected \"zero\" or \"naive\", got {other:?}"))
+            }
+        }
+        soc.layer_pipelining = want_bool(obj, "layer_pipelining", soc.layer_pipelining)?;
+
+        let operating_point = match obj.get("operating_point") {
+            None => None,
+            Some(v) => Some(
+                v.as_num()
+                    .filter(|f| *f >= 0.3 && *f <= 1.2)
+                    .ok_or("operating_point: expected volts in [0.3, 1.2]")?,
+            ),
+        };
+
+        // Fault knobs ride the NCPU_FAULT_* parser: `fault_seed` in a
+        // request and `NCPU_FAULT_SEED` in the environment go through
+        // the identical hardened code path.
+        let (fault, fault_errors) = FaultPlan::from_lookup(|var| {
+            let key = var.strip_prefix("NCPU_").expect("fault vars are NCPU_-prefixed").to_lowercase();
+            obj.get(&key).map(|v| match v {
+                Json::Str(s) => s.clone(),
+                Json::Num(n) => {
+                    if n.fract() == 0.0 && n.abs() < 1.8e19 {
+                        format!("{}", *n as i64)
+                    } else {
+                        format!("{n}")
+                    }
+                }
+                other => format!("{other:?}"),
+            })
+        });
+        if let Some(e) = fault_errors.first() {
+            return Err(e.replace("NCPU_", "").to_lowercase());
+        }
+        // The session-level invariants, surfaced as parse errors instead
+        // of panics deep inside a worker thread.
+        if fault.core_hang_ppm > 0 && fault.watchdog_cycles == 0 {
+            return Err("fault_core_hang_ppm requires fault_watchdog_cycles > 0".to_string());
+        }
+        if fault.dma_stall_ppm > 0 && fault.dma_stall_cycles == 0 {
+            return Err("fault_dma_stall_ppm requires fault_dma_stall_cycles > 0".to_string());
+        }
+
+        let engine = match obj.get("engine").map(|v| v.as_str().unwrap_or("?")) {
+            None | Some("auto") => EnginePref::Auto,
+            Some("lockstep") => EnginePref::Lockstep,
+            Some("event") => EnginePref::Event,
+            Some("analytic") => EnginePref::Analytic,
+            Some(other) => {
+                return Err(format!(
+                    "engine: expected \"auto\", \"lockstep\", \"event\", or \"analytic\", got {other:?}"
+                ))
+            }
+        };
+
+        Ok(ScenarioSpec { workload, system, soc, operating_point, fault, engine })
+    }
+
+    /// Materializes the spec into a runnable [`Scenario`]. This is where
+    /// image/motion training happens, so callers memoize by spec (see
+    /// `Fleet`). Serve pins `TraceLevel::Counters`: one trace level per
+    /// cache domain is what makes cached and fresh reports comparable
+    /// byte-for-byte.
+    pub fn build(&self) -> Scenario {
+        let usecase = match &self.workload {
+            WorkloadSpec::Parametric { cpu_fraction, batch, model_input } => {
+                UseCase::parametric(*cpu_fraction, *batch, pseudo_model(*model_input, 10, 10))
+            }
+            WorkloadSpec::Image { batch, train_per_class, epochs } => {
+                UseCase::image(*batch, *train_per_class, *epochs)
+            }
+            WorkloadSpec::Motion { batch, train_per_class, epochs } => {
+                UseCase::motion(*batch, *train_per_class, *epochs)
+            }
+        };
+        let mut s = Scenario::new(usecase, self.system)
+            .with_soc(self.soc)
+            .with_trace(ncpu_obs::TraceLevel::Counters)
+            .with_faults(self.fault);
+        if let Some(v) = self.operating_point {
+            s = s.with_operating_point(v);
+        }
+        s
+    }
+
+    /// Deterministic memo key for scenario construction (training is
+    /// expensive; identical specs must not retrain). Distinct from the
+    /// result-cache key, which hashes the *built* scenario.
+    pub fn memo_key(&self) -> String {
+        format!("{self:?}")
+    }
+}
+
+/// Every request field [`ScenarioSpec::parse`] accepts. The ten
+/// `fault_*` names are the `NCPU_FAULT_*` variables with the `NCPU_`
+/// prefix stripped and lowercased.
+pub const KNOWN_FIELDS: [&str; 24] = [
+    "workload",
+    "cpu_fraction",
+    "batch",
+    "model_input",
+    "train_per_class",
+    "epochs",
+    "system",
+    "cores",
+    "dma_bytes_per_cycle",
+    "dma_setup_cycles",
+    "switch_policy",
+    "layer_pipelining",
+    "operating_point",
+    "engine",
+    "fault_seed",
+    "fault_sram_flip_ppm",
+    "fault_dma_stall_ppm",
+    "fault_dma_stall_cycles",
+    "fault_dma_truncate_ppm",
+    "fault_core_hang_ppm",
+    "fault_watchdog_cycles",
+    "fault_max_retries",
+    "fault_backoff_cycles",
+    "fault_quarantine_after",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncpu_obs::json::parse;
+
+    fn spec_of(text: &str) -> Result<ScenarioSpec, String> {
+        ScenarioSpec::parse(&parse(text).expect("test JSON parses"))
+    }
+
+    #[test]
+    fn empty_object_is_the_default_spec() {
+        assert_eq!(spec_of("{}").unwrap(), ScenarioSpec::default());
+    }
+
+    #[test]
+    fn nested_and_flat_forms_agree() {
+        let flat = spec_of(r#"{"workload":"parametric","cpu_fraction":0.25,"batch":3}"#).unwrap();
+        let nested =
+            spec_of(r#"{"scenario":{"workload":"parametric","cpu_fraction":0.25,"batch":3}}"#)
+                .unwrap();
+        assert_eq!(flat, nested);
+    }
+
+    #[test]
+    fn unknown_fields_and_bad_values_are_rejected() {
+        assert!(spec_of(r#"{"wrokload":"image"}"#).unwrap_err().contains("wrokload"));
+        assert!(spec_of(r#"{"cpu_fraction":1.5}"#).unwrap_err().contains("cpu_fraction"));
+        assert!(spec_of(r#"{"batch":-2}"#).unwrap_err().contains("batch"));
+        assert!(spec_of(r#"{"engine":"warp"}"#).unwrap_err().contains("engine"));
+        assert!(spec_of(r#"{"fault_seed":"junk"}"#).unwrap_err().contains("fault_seed"));
+        assert!(spec_of(r#"[1,2]"#).is_err());
+    }
+
+    #[test]
+    fn fault_fields_populate_the_plan() {
+        let s = spec_of(r#"{"fault_seed":9,"fault_sram_flip_ppm":50}"#).unwrap();
+        assert_eq!(s.fault.seed, 9);
+        assert_eq!(s.fault.sram_flip_ppm, 50);
+        assert!(s.fault.is_active());
+    }
+
+    #[test]
+    fn build_is_deterministic_and_respects_trace_pin() {
+        let s = spec_of(r#"{"batch":2,"cores":1}"#).unwrap();
+        assert_eq!(s.build().cache_key(), s.build().cache_key());
+        assert_eq!(s.memo_key(), s.clone().memo_key());
+    }
+}

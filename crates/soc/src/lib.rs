@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod canonical;
 pub mod deep;
 pub mod energy;
 pub mod event_queue;
@@ -41,11 +42,12 @@ mod scenario;
 mod system;
 mod usecase;
 
+pub use canonical::{cache_key, canonical_bytes, fnv1a_64};
 pub use fabric::{result_addr, DROPPED_PREDICTION, ITEM_BUDGET, L2_BYTES};
 pub use report::{CoreReport, RunReport};
 pub use scenario::{Analytic, Deep, Engine, EventDriven, Lockstep, Scenario};
 pub use system::{run, run_independent, run_traced, run_traced_faulted, SocConfig, SystemConfig};
-pub use usecase::{UseCase, UseCaseKind};
+pub use usecase::{pseudo_model, UseCase, UseCaseKind};
 
 /// The fault-injection plan a [`Scenario`] carries (re-exported from
 /// `ncpu-fault`; attach one with [`Scenario::with_faults`]).

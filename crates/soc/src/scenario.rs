@@ -154,6 +154,15 @@ impl Scenario {
             SystemConfig::Heterogeneous => 1,
         }
     }
+
+    /// The content-addressed cache key of this scenario: a 64-bit
+    /// FNV-1a over [`crate::canonical::canonical_bytes`]. Equal keys
+    /// mean the lockstep/event engine class produces byte-identical
+    /// reports; the trace level and engine choice are deliberately
+    /// excluded (see [`crate::canonical`]).
+    pub fn cache_key(&self) -> u64 {
+        crate::canonical::cache_key(self)
+    }
 }
 
 /// A simulator that can execute a [`Scenario`].

@@ -484,21 +484,8 @@ pub(crate) fn run_heterogeneous(
 pub(crate) mod tests {
     use super::*;
     use crate::usecase::UseCase;
-    use ncpu_bnn::{BitVec, BnnLayer, BnnModel, Topology};
 
-    pub(crate) fn pseudo_model(input: usize, neurons: usize, classes: usize) -> BnnModel {
-        let topo = Topology::new(input, vec![neurons; 4], classes);
-        let mut layers = Vec::new();
-        for l in 0..4 {
-            let n_in = topo.layer_input(l);
-            let rows: Vec<BitVec> = (0..neurons)
-                .map(|j| BitVec::from_bools((0..n_in).map(|i| (i * 7 + j * 3 + l) % 5 < 2)))
-                .collect();
-            let bias = (0..neurons).map(|j| (j as i32 % 3) - 1).collect();
-            layers.push(BnnLayer::new(rows, bias));
-        }
-        BnnModel::new(topo, layers)
-    }
+    pub(crate) use crate::usecase::pseudo_model;
 
     #[test]
     fn parametric_two_ncpu_beats_baseline_per_paper_fig13() {

@@ -2,9 +2,32 @@
 
 use ncpu_bnn::data::{digits, motion};
 use ncpu_bnn::train::{train, TrainConfig};
-use ncpu_bnn::{BnnModel, Topology};
+use ncpu_bnn::{BitVec, BnnLayer, BnnModel, Topology};
 use ncpu_workloads::{image, motion as motion_prog, spin};
 use ncpu_testkit::rng::Rng;
+
+/// The workspace's deterministic pseudo-model: 4 hidden layers of
+/// `neurons` each with a fixed weight/bias pattern — no training, so
+/// callers (benches, examples, the serve fleet) start instantly, and
+/// every construction with the same dimensions is byte-identical.
+///
+/// This is the single definition of the construction the soc tests,
+/// `benches/event.rs`, and `examples/engine_matrix.rs` previously each
+/// carried a private copy of.
+pub fn pseudo_model(input: usize, neurons: usize, classes: usize) -> BnnModel {
+    let topo = Topology::new(input, vec![neurons; 4], classes);
+    let layers = (0..4)
+        .map(|l| {
+            let n_in = topo.layer_input(l);
+            let rows: Vec<BitVec> = (0..neurons)
+                .map(|j| BitVec::from_bools((0..n_in).map(|i| (i * 7 + j * 3 + l) % 5 < 2)))
+                .collect();
+            let bias = (0..neurons).map(|j| (j as i32 % 3) - 1).collect();
+            BnnLayer::new(rows, bias)
+        })
+        .collect();
+    BnnModel::new(topo, layers)
+}
 
 /// Which real-time workload a [`UseCase`] models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -11,24 +11,7 @@
 //! ```
 
 use ncpu::prelude::*;
-use ncpu::bnn::BnnLayer;
-
-/// The workspace's deterministic pseudo-model (4 hidden layers, fixed
-/// weight/bias pattern) — no training, so the example starts instantly.
-fn pseudo_model(input: usize, neurons: usize, classes: usize) -> BnnModel {
-    let topo = Topology::new(input, vec![neurons; 4], classes);
-    let layers = (0..4)
-        .map(|l| {
-            let n_in = topo.layer_input(l);
-            let rows: Vec<BitVec> = (0..neurons)
-                .map(|j| BitVec::from_bools((0..n_in).map(|i| (i * 7 + j * 3 + l) % 5 < 2)))
-                .collect();
-            let bias = (0..neurons).map(|j| (j as i32 % 3) - 1).collect();
-            BnnLayer::new(rows, bias)
-        })
-        .collect();
-    BnnModel::new(topo, layers)
-}
+use ncpu::soc::pseudo_model;
 
 fn main() {
     let cores: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4);

@@ -1,0 +1,49 @@
+//! Scenario fleet service, in-process: submit a sweep twice and watch
+//! the content-addressed cache turn the second pass into string copies.
+//!
+//! ```text
+//! cargo run --release --example scenario_fleet
+//! ```
+//!
+//! The same protocol is reachable from outside via `ncpu serve` (stdin)
+//! or `ncpu serve --tcp 127.0.0.1:9000`.
+
+use ncpu::serve::{serve_lines, Fleet, ServeConfig};
+
+fn main() {
+    let mut requests = String::new();
+    for frac in [2, 5, 8] {
+        for cores in [1, 2] {
+            requests.push_str(&format!("{{\"cpu_fraction\":0.{frac},\"batch\":4,\"cores\":{cores}}}\n"));
+        }
+    }
+    requests.push_str("{\"op\":\"stats\"}\n");
+
+    let mut fleet = Fleet::from_env(64);
+    println!("fleet: {} workers\n-- cold pass --", fleet.workers());
+    let mut run = |input: &str| {
+        let mut out = Vec::new();
+        serve_lines(&mut fleet, input.as_bytes(), &mut out, &ServeConfig::default())
+            .expect("in-memory serve cannot fail");
+        let text = String::from_utf8(out).expect("responses are UTF-8");
+        for line in text.lines() {
+            // Keep the demo readable: print envelopes, not full reports.
+            let head = line.split("\"report\":").next().unwrap_or(line);
+            println!("{}", head.trim_end_matches(','));
+        }
+        text
+    };
+    let cold = run(&requests);
+    println!("-- warm pass (same requests) --");
+    let warm = run(&requests);
+
+    let reports = |t: &str| {
+        t.lines()
+            .filter_map(|l| l.split_once("\"report\":").map(|(_, r)| r.to_string()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(reports(&cold), reports(&warm), "cached reports must be byte-identical");
+    assert_eq!(cold.matches("\"cache\":\"miss\"").count(), 6);
+    assert_eq!(warm.matches("\"cache\":\"hit\"").count(), 6);
+    println!("warm pass served 6/6 requests from cache, byte-identical to the cold pass");
+}

@@ -9,6 +9,9 @@
 //!                                       train a classifier, save artifact
 //! ncpu classify <model.bnn>             accelerator stats for an artifact
 //! ncpu sweep                            voltage/frequency/power table
+//! ncpu serve [--tcp ADDR] [--batch N] [--cache N] [--artifacts DIR]
+//!                                       scenario fleet service (line-delimited
+//!                                       JSON over stdin, or TCP with --tcp)
 //! ```
 
 use std::process::ExitCode;
@@ -24,9 +27,10 @@ fn main() -> ExitCode {
         Some("train") => cmd_train(&args[1..]),
         Some("classify") => cmd_classify(&args[1..]),
         Some("sweep") => cmd_sweep(),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => {
             eprintln!(
-                "usage: ncpu <asm|dis|run|train|classify|sweep> …\n\
+                "usage: ncpu <asm|dis|run|train|classify|sweep|serve> …\n\
                  see the module docs (`cargo doc`) for details"
             );
             return ExitCode::from(2);
@@ -180,6 +184,43 @@ fn cmd_classify(args: &[String]) -> CmdResult {
         accel.pipelined_interval(),
         f / accel.pipelined_interval() as f64,
     );
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> CmdResult {
+    use ncpu::serve::{serve_lines, serve_tcp, Fleet, ServeConfig};
+    let mut cfg = ServeConfig::default();
+    let mut cache_capacity = 1024usize;
+    let mut tcp_addr: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tcp" => tcp_addr = Some(it.next().ok_or("--tcp needs an address")?.clone()),
+            "--batch" => cfg.batch_max = it.next().ok_or("--batch needs a count")?.parse()?,
+            "--cache" => cache_capacity = it.next().ok_or("--cache needs a count")?.parse()?,
+            "--artifacts" => {
+                cfg.artifacts_dir = Some(it.next().ok_or("--artifacts needs a dir")?.into());
+            }
+            other => return Err(format!("unknown serve flag `{other}`").into()),
+        }
+    }
+    let mut fleet = Fleet::from_env(cache_capacity);
+    match tcp_addr {
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(&addr)?;
+            eprintln!(
+                "ncpu serve: listening on {} ({} workers)",
+                listener.local_addr()?,
+                fleet.workers()
+            );
+            serve_tcp(listener, &mut fleet, &cfg, None)?;
+        }
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            serve_lines(&mut fleet, stdin.lock(), stdout.lock(), &cfg)?;
+        }
+    }
     Ok(())
 }
 

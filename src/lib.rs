@@ -23,6 +23,9 @@
 //!   zero-latency mode switching and in-place memory reuse,
 //! * [`soc`] — the two-core SoC, the heterogeneous baseline, and the
 //!   end-to-end use cases,
+//! * [`serve`] — the scenario fleet service: batched simulation serving
+//!   over line-delimited JSON with a content-addressed result cache
+//!   (`ncpu serve`),
 //! * [`power`] — the calibrated 65nm DVFS/power/area model,
 //! * [`workloads`] — the RV32I programs (image pipeline, motion features,
 //!   software BNN, Dhrystone-class benchmark, MiBench-class kernels),
@@ -84,6 +87,7 @@ pub use ncpu_nalu as nalu;
 pub use ncpu_obs as obs;
 pub use ncpu_pipeline as pipeline;
 pub use ncpu_power as power;
+pub use ncpu_serve as serve;
 pub use ncpu_sim as sim;
 pub use ncpu_soc as soc;
 pub use ncpu_workloads as workloads;

@@ -258,21 +258,52 @@ fn merged_fleet_histogram_is_worker_count_invariant() {
     assert_eq!(serial.to_json(), merged(8).to_json());
 }
 
-/// The soc crate's deterministic pseudo model (as in
-/// `engine_differential.rs`), small enough for a sweep of scenarios.
+/// The soc crate's canonical deterministic pseudo model, small enough
+/// for a sweep of scenarios.
 fn crate_pseudo_model() -> BnnModel {
-    let topo = Topology::new(64, vec![10; 4], 10);
-    let layers = (0..4)
-        .map(|l| {
-            let n_in = topo.layer_input(l);
-            let rows: Vec<BitVec> = (0..10)
-                .map(|j| BitVec::from_bools((0..n_in).map(|i| (i * 7 + j * 3 + l) % 5 < 2)))
-                .collect();
-            let bias = (0..10i32).map(|j| (j % 3) - 1).collect();
-            ncpu::bnn::BnnLayer::new(rows, bias)
-        })
-        .collect();
-    BnnModel::new(topo, layers)
+    ncpu::soc::pseudo_model(64, 10, 10)
+}
+
+/// The full fleet-service transcript — request ids, cache verdicts,
+/// counters, and every report byte — must be identical whether the
+/// fleet runs one worker or four. The 8-request input holds 4
+/// duplicates, so this also pins that warm (cached) responses carry
+/// exactly the bytes of their cold (fresh) twins at both worker counts.
+#[test]
+fn serve_transcripts_are_thread_count_invariant() {
+    use ncpu::serve::{serve_lines, Fleet, ServeConfig};
+    let input = "{\"cpu_fraction\":0.25,\"batch\":2,\"cores\":1}\n\
+                 {\"cpu_fraction\":0.75,\"batch\":2,\"cores\":2}\n\
+                 {\"cpu_fraction\":0.25,\"batch\":2,\"cores\":1}\n\
+                 {\"workload\":\"motion\",\"batch\":2,\"train_per_class\":4,\"epochs\":2}\n\
+                 {\"cpu_fraction\":0.75,\"batch\":2,\"cores\":2}\n\
+                 {\"scenario\":{\"cpu_fraction\":0.25,\"batch\":2,\"cores\":1}}\n\
+                 {\"workload\":\"motion\",\"batch\":2,\"train_per_class\":4,\"epochs\":2}\n\
+                 {\"cpu_fraction\":0.25,\"batch\":2,\"cores\":1,\"engine\":\"lockstep\"}\n\
+                 {\"op\":\"stats\"}\n{\"op\":\"shutdown\"}\n";
+    let transcript = || {
+        let mut fleet = Fleet::from_env(64);
+        let mut out = Vec::new();
+        serve_lines(&mut fleet, input.as_bytes(), &mut out, &ServeConfig::default())
+            .expect("in-memory serve cannot fail");
+        String::from_utf8(out).expect("responses are UTF-8")
+    };
+    thread_count_invariant("1", "4", transcript);
+
+    // Cold/warm byte identity inside one transcript: requests 3, 5, 6,
+    // and 8 duplicate earlier scenarios (8 via nesting, field order,
+    // and an explicit engine pin inside the lockstep/event class).
+    let out = transcript();
+    let report = |line: &str| line.split_once("\"report\":").map(|(_, r)| r.to_string());
+    let lines: Vec<&str> = out.lines().collect();
+    assert!(lines[0].contains("\"cache\":\"miss\"") && lines[2].contains("\"cache\":\"hit\""));
+    assert_eq!(report(lines[0]), report(lines[2]));
+    assert_eq!(report(lines[1]), report(lines[4]));
+    assert_eq!(report(lines[3]), report(lines[6]));
+    assert_eq!(report(lines[0]), report(lines[5]));
+    assert_eq!(report(lines[0]), report(lines[7]));
+    assert!(lines[8].contains("\"serve.cache.hits\":5"), "stats line: {}", lines[8]);
+    assert!(lines[8].contains("\"serve.cache.misses\":3"), "stats line: {}", lines[8]);
 }
 
 #[test]

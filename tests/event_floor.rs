@@ -1,0 +1,67 @@
+//! The honest floor of the event-driven engine.
+//!
+//! `BENCH_event.json` advertises order-of-magnitude speedups on
+//! steady-state parametric sweeps, where almost every item replays from
+//! the event queue's memo cache. Trained image batches are the opposite
+//! regime: every item stages real bytes over DMA, nothing memoizes, and
+//! the event engine's queue bookkeeping is pure overhead on top of the
+//! same simulated work.
+//!
+//! This test pins that overhead so it can never silently grow into a
+//! regression (and so the serve router's "image -> lockstep" rule stays
+//! justified by a measured fact, not folklore): over interleaved timed
+//! runs, the event engine's median must stay within a small constant
+//! factor of lockstep's on the image workload — while still producing
+//! the byte-identical report the differential suite demands.
+
+use std::time::Instant;
+
+use ncpu::prelude::*;
+
+/// Generous bound: the event engine may cost up to this factor over
+/// lockstep on a non-memoizable workload. Measured debug-mode ratios
+/// sit well under 2x; 3x leaves room for load noise without letting a
+/// real regression (10x bookkeeping blowup) through.
+const MAX_OVERHEAD_FACTOR: f64 = 3.0;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+#[test]
+fn event_engine_overhead_on_image_workload_is_bounded() {
+    let scenario =
+        Scenario::new(UseCase::image(4, 2, 1), SystemConfig::Ncpu { cores: 2 });
+
+    // Warm both code paths and check equivalence once (config tags are
+    // the engines' only legitimate byte difference).
+    let lockstep = Lockstep.report(&scenario);
+    let event = EventDriven.report(&scenario);
+    assert_eq!(
+        format!("{event:?}").replace("(event)", "(engine)"),
+        format!("{lockstep:?}").replace("(lockstep)", "(engine)"),
+        "engines diverged; timing them against each other is meaningless"
+    );
+
+    // Interleave the engines so drift (thermal, scheduler) hits both
+    // equally, and take medians so one descheduled run cannot fail CI.
+    let mut ls_ns = Vec::new();
+    let mut ev_ns = Vec::new();
+    for _ in 0..5 {
+        let t = Instant::now();
+        std::hint::black_box(Lockstep.report(&scenario));
+        ls_ns.push(t.elapsed().as_nanos() as f64);
+        let t = Instant::now();
+        std::hint::black_box(EventDriven.report(&scenario));
+        ev_ns.push(t.elapsed().as_nanos() as f64);
+    }
+    let (ls, ev) = (median(ls_ns), median(ev_ns));
+    let factor = ev / ls;
+    assert!(
+        factor <= MAX_OVERHEAD_FACTOR,
+        "event engine took {factor:.2}x lockstep on the image workload \
+         (medians: event {ev:.0} ns, lockstep {ls:.0} ns); \
+         the non-memoizable floor regressed past {MAX_OVERHEAD_FACTOR}x"
+    );
+}
