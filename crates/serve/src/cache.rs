@@ -12,6 +12,10 @@
 //! function of the request sequence — the same transcript always
 //! produces the same hit/miss/eviction counters, regardless of wall
 //! clock or worker count.
+//!
+//! The LRU itself is generic ([`Lru`]): the fleet reuses it to bound
+//! the scenario-construction memo, so *every* long-lived map in the
+//! service shares one eviction discipline.
 
 use std::collections::BTreeMap;
 
@@ -26,21 +30,24 @@ pub struct CacheEntry {
     pub compact_json: String,
 }
 
-/// Bounded LRU keyed by canonical scenario hash.
+/// The result cache: a bounded [`Lru`] keyed by canonical scenario hash.
+pub type ResultCache = Lru<u64, CacheEntry>;
+
+/// Deterministic bounded LRU over a logical clock.
 #[derive(Debug)]
-pub struct ResultCache {
+pub struct Lru<K, V> {
     capacity: usize,
     tick: u64,
-    entries: BTreeMap<u64, (u64, CacheEntry)>,
+    entries: BTreeMap<K, (u64, V)>,
     hits: u64,
     misses: u64,
     evictions: u64,
 }
 
-impl ResultCache {
+impl<K: Ord + Clone, V> Lru<K, V> {
     /// An empty cache holding at most `capacity` entries (min 1).
-    pub fn new(capacity: usize) -> ResultCache {
-        ResultCache {
+    pub fn new(capacity: usize) -> Lru<K, V> {
+        Lru {
             capacity: capacity.max(1),
             tick: 0,
             entries: BTreeMap::new(),
@@ -52,13 +59,13 @@ impl ResultCache {
 
     /// Looks up `key`, refreshing its recency on a hit. Counts a miss
     /// on `None`.
-    pub fn get(&mut self, key: u64) -> Option<&CacheEntry> {
+    pub fn get(&mut self, key: &K) -> Option<&V> {
         self.tick += 1;
-        match self.entries.get_mut(&key) {
+        match self.entries.get_mut(key) {
             Some((last_used, _)) => {
                 *last_used = self.tick;
                 self.hits += 1;
-                Some(&self.entries[&key].1)
+                Some(&self.entries[key].1)
             }
             None => {
                 self.misses += 1;
@@ -67,22 +74,21 @@ impl ResultCache {
         }
     }
 
-    /// Peeks without touching recency or counters (used by the batch
-    /// planner to decide what to run).
-    pub fn contains(&self, key: u64) -> bool {
-        self.entries.contains_key(&key)
+    /// Peeks without touching recency or counters.
+    pub fn contains(&self, key: &K) -> bool {
+        self.entries.contains_key(key)
     }
 
     /// Inserts `entry`, evicting the least-recently-used entry first if
     /// the cache is full. Re-inserting an existing key refreshes it.
-    pub fn insert(&mut self, key: u64, entry: CacheEntry) {
+    pub fn insert(&mut self, key: K, entry: V) {
         self.tick += 1;
         if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
             let oldest = self
                 .entries
                 .iter()
                 .min_by_key(|(_, (last_used, _))| *last_used)
-                .map(|(k, _)| *k)
+                .map(|(k, _)| k.clone())
                 .expect("non-empty cache has an oldest entry");
             self.entries.remove(&oldest);
             self.evictions += 1;
@@ -122,8 +128,8 @@ mod tests {
     fn hit_returns_the_exact_bytes_inserted() {
         let mut cache = ResultCache::new(4);
         cache.insert(7, entry("a"));
-        assert_eq!(cache.get(7).unwrap().compact_json, "{\"name\":\"a\"}");
-        assert!(cache.get(8).is_none());
+        assert_eq!(cache.get(&7).unwrap().compact_json, "{\"name\":\"a\"}");
+        assert!(cache.get(&8).is_none());
         assert_eq!(cache.stats(), (1, 1, 0));
     }
 
@@ -132,9 +138,9 @@ mod tests {
         let mut cache = ResultCache::new(2);
         cache.insert(1, entry("a"));
         cache.insert(2, entry("b"));
-        assert!(cache.get(1).is_some()); // refresh 1; now 2 is oldest
+        assert!(cache.get(&1).is_some()); // refresh 1; now 2 is oldest
         cache.insert(3, entry("c"));
-        assert!(cache.contains(1) && cache.contains(3) && !cache.contains(2));
+        assert!(cache.contains(&1) && cache.contains(&3) && !cache.contains(&2));
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.stats(), (1, 0, 1));
     }
@@ -147,6 +153,6 @@ mod tests {
         cache.insert(1, entry("a2"));
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.stats(), (0, 0, 0));
-        assert_eq!(cache.get(1).unwrap().compact_json, "{\"name\":\"a2\"}");
+        assert_eq!(cache.get(&1).unwrap().compact_json, "{\"name\":\"a2\"}");
     }
 }

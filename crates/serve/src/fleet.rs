@@ -5,13 +5,18 @@
 //!
 //! 1. every request in the batch is materialized (scenario construction
 //!    is memoized so identical specs never retrain a model);
-//! 2. unique cache misses are collected in first-appearance order and
-//!    run via `ncpu_par`'s order-preserving `par_map_indexed`, so the
-//!    worker count changes wall-clock time but never results;
-//! 3. results are inserted in that same order, then every request is
-//!    answered from the cache — the first appearance of a key counts as
-//!    the miss, duplicates (within the batch or across batches) are
-//!    hits serving the exact cached bytes.
+//! 2. cache hits are cloned into a batch-local answer map up front, and
+//!    unique misses are collected in first-appearance order and run via
+//!    `ncpu_par`'s order-preserving `par_map_indexed`, so the worker
+//!    count changes wall-clock time but never results;
+//! 3. results are inserted into the cache *and* the answer map, then
+//!    every request is answered from the answer map — the first
+//!    appearance of a key counts as the miss, duplicates (within the
+//!    batch or across batches) are hits serving the exact cached bytes.
+//!    Answering from the batch-local map means the batch's own inserts
+//!    can evict whatever LRU pressure demands (a batch with more unique
+//!    misses than the whole cache is legal) without ever evicting an
+//!    answer this batch still owes.
 //!
 //! Engine routing implements the service policy: steady-state
 //! (parametric) workloads go to the event-driven engine, everything
@@ -28,8 +33,14 @@ use ncpu_soc::{
     Engine, EventDriven, Lockstep, Scenario, SystemConfig,
 };
 
-use crate::cache::{CacheEntry, ResultCache};
+use crate::cache::{CacheEntry, Lru, ResultCache};
 use crate::spec::{EnginePref, ScenarioSpec, WorkloadSpec};
+
+/// Bound on the scenario-construction memo. Only trained (image/motion)
+/// builds are memoized — parametric construction is cheap — and each
+/// entry holds a full trained model, so the cap keeps a long-running
+/// service's memory flat no matter how many distinct specs it sees.
+const BUILD_MEMO_CAP: usize = 64;
 
 /// Pinned counter names the fleet always publishes (zeroed at startup
 /// so `stats` output is shape-stable before the first request).
@@ -65,7 +76,7 @@ pub struct RunOutcome {
 pub struct Fleet {
     pool: Pool,
     cache: ResultCache,
-    builds: std::collections::BTreeMap<String, Scenario>,
+    builds: Lru<String, Scenario>,
     counters: Counters,
     next_id: u64,
 }
@@ -130,7 +141,7 @@ impl Fleet {
         Fleet {
             pool: Pool::with_workers(workers),
             cache: ResultCache::new(cache_capacity),
-            builds: std::collections::BTreeMap::new(),
+            builds: Lru::new(BUILD_MEMO_CAP),
             counters,
             next_id: 0,
         }
@@ -162,6 +173,22 @@ impl Fleet {
         format!("r{:06}", self.next_id)
     }
 
+    /// Builds a scenario from `spec`, memoizing the expensive trained
+    /// (image/motion) builds in the bounded LRU so identical specs
+    /// never retrain. Parametric construction is cheap enough to repeat.
+    fn build_memoized(&mut self, spec: &ScenarioSpec) -> Scenario {
+        if matches!(spec.workload, WorkloadSpec::Parametric { .. }) {
+            return spec.build();
+        }
+        let memo = spec.memo_key();
+        if let Some(scenario) = self.builds.get(&memo) {
+            return scenario.clone();
+        }
+        let scenario = spec.build();
+        self.builds.insert(memo, scenario.clone());
+        scenario
+    }
+
     /// Executes one batch of parsed requests (`Err` entries are parse
     /// failures that still occupy their slot so responses stay in
     /// request order). Returns one outcome per request, in order.
@@ -185,25 +212,37 @@ impl Fleet {
                 Ok(spec) => match routed_engine(&spec) {
                     Err(e) => prepared.push(Err((id, e))),
                     Ok(engine) => {
-                        let memo = spec.memo_key();
-                        let scenario = self
-                            .builds
-                            .entry(memo)
-                            .or_insert_with(|| spec.build())
-                            .clone();
+                        let scenario = self.build_memoized(&spec);
                         prepared.push(Ok((id, scenario.cache_key(), engine, scenario)));
                     }
                 },
             }
         }
 
-        // Unique misses in first-appearance order.
+        // Plan the batch: clone hit entries into the batch-local answer
+        // map *before* any insert, and collect unique misses in
+        // first-appearance order. Requests are answered from `answers`,
+        // never from post-insert cache residency — a batch with more
+        // unique misses than the cache holds (or whose misses evict an
+        // LRU-old key this batch also hits) must still answer every
+        // request.
+        let mut answers: std::collections::BTreeMap<u64, CacheEntry> =
+            std::collections::BTreeMap::new();
         let mut jobs: Vec<(u64, &'static str, Scenario)> = Vec::new();
         let mut planned: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
         for item in prepared.iter().flatten() {
             let (_, key, engine, scenario) = item;
-            if !self.cache.contains(*key) && planned.insert(*key) {
-                jobs.push((*key, engine, scenario.clone()));
+            if answers.contains_key(key) || planned.contains(key) {
+                continue;
+            }
+            match self.cache.get(key) {
+                Some(entry) => {
+                    answers.insert(*key, entry.clone());
+                }
+                None => {
+                    planned.insert(*key);
+                    jobs.push((*key, engine, scenario.clone()));
+                }
             }
         }
 
@@ -212,10 +251,12 @@ impl Fleet {
             (key, execute(engine, key, &scenario))
         });
         for (key, entry) in results {
-            self.cache.insert(key, entry);
+            self.cache.insert(key, entry.clone());
+            answers.insert(key, entry);
         }
 
-        // Answer every request from the cache, first appearance = miss.
+        // Answer every request from the batch-local map, first
+        // appearance of a planned key = miss.
         let mut seen_miss: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
         prepared
             .into_iter()
@@ -234,10 +275,9 @@ impl Fleet {
                         if verdict == "miss" { "serve.cache.misses" } else { "serve.cache.hits" },
                         1,
                     );
-                    let entry = self
-                        .cache
-                        .get(key)
-                        .expect("every planned key was inserted")
+                    let entry = answers
+                        .get(&key)
+                        .expect("every batch key was pre-fetched or executed")
                         .clone();
                     Ok(RunOutcome {
                         id,
@@ -362,6 +402,57 @@ mod tests {
         assert_eq!(id, "r000002");
         assert!(msg.contains("cpu_fraction"));
         assert_eq!(fleet.counters().get("serve.errors"), 1);
+    }
+
+    #[test]
+    fn batch_with_more_unique_misses_than_cache_capacity_serves_everyone() {
+        // Capacity 2, five unique misses plus a duplicate in one batch:
+        // the insert wave evicts three of its own results, but every
+        // request is still answered from the batch-local map.
+        let mut fleet = Fleet::new(2, 2);
+        let out = batch(
+            &mut fleet,
+            &[
+                r#"{"cpu_fraction":0.5,"batch":1,"cores":1}"#,
+                r#"{"cpu_fraction":0.5,"batch":2,"cores":1}"#,
+                r#"{"cpu_fraction":0.5,"batch":3,"cores":1}"#,
+                r#"{"cpu_fraction":0.5,"batch":4,"cores":1}"#,
+                r#"{"cpu_fraction":0.5,"batch":5,"cores":1}"#,
+                r#"{"cpu_fraction":0.5,"batch":1,"cores":1}"#,
+            ],
+        );
+        assert!(out.iter().all(Result::is_ok), "oversized batch must not drop requests");
+        assert_eq!(out[5].as_ref().unwrap().cache, "hit");
+        assert_eq!(
+            out[0].as_ref().unwrap().report_json,
+            out[5].as_ref().unwrap().report_json
+        );
+        let c = fleet.counters();
+        assert_eq!(c.get("serve.cache.misses"), 5);
+        assert_eq!(c.get("serve.cache.hits"), 1);
+        assert_eq!(c.get("serve.cache.evictions"), 3);
+    }
+
+    #[test]
+    fn hit_survives_being_evicted_by_the_same_batchs_misses() {
+        // Fill a capacity-2 cache, then send one batch that hits an old
+        // key and misses two new ones — the misses evict both resident
+        // entries, but the hit was cloned before the insert wave.
+        let mut fleet = Fleet::new(1, 2);
+        let old = r#"{"cpu_fraction":0.5,"batch":1,"cores":1}"#;
+        let cold = batch(&mut fleet, &[old, r#"{"cpu_fraction":0.5,"batch":2,"cores":1}"#]);
+        let warm = batch(
+            &mut fleet,
+            &[
+                old,
+                r#"{"cpu_fraction":0.5,"batch":3,"cores":1}"#,
+                r#"{"cpu_fraction":0.5,"batch":4,"cores":1}"#,
+            ],
+        );
+        let hit = warm[0].as_ref().unwrap();
+        assert_eq!(hit.cache, "hit");
+        assert_eq!(hit.report_json, cold[0].as_ref().unwrap().report_json);
+        assert!(warm[1].is_ok() && warm[2].is_ok());
     }
 
     #[test]

@@ -152,6 +152,13 @@ pub fn serve_lines<R: BufRead, W: Write>(
 /// (and therefore one result cache) across all of them. `max_conns`
 /// bounds the accept loop for tests; `None` accepts forever. A
 /// connection sending `{"op":"shutdown"}` ends that connection only.
+///
+/// Per-connection I/O errors (a client resetting mid-line, sending
+/// non-UTF-8 bytes, or a failed socket clone) are logged and the loop
+/// keeps accepting — one misbehaving client must never take the
+/// long-running service down for everyone else. Accept-level errors
+/// are likewise transient (`ECONNABORTED` and friends) and are logged
+/// without counting toward `max_conns`.
 pub fn serve_tcp(
     listener: std::net::TcpListener,
     fleet: &mut Fleet,
@@ -159,11 +166,26 @@ pub fn serve_tcp(
     max_conns: Option<usize>,
 ) -> std::io::Result<u64> {
     let mut served = 0;
-    for (conns, stream) in listener.incoming().enumerate() {
-        let stream = stream?;
-        let reader = std::io::BufReader::new(stream.try_clone()?);
-        served += serve_lines(fleet, reader, stream, cfg)?;
-        if max_conns.is_some_and(|max| conns + 1 >= max) {
+    let mut conns = 0usize;
+    for stream in listener.incoming() {
+        match stream {
+            Ok(stream) => {
+                conns += 1;
+                let peer = stream
+                    .peer_addr()
+                    .map_or_else(|_| "<unknown>".to_string(), |a| a.to_string());
+                let outcome = match stream.try_clone() {
+                    Ok(clone) => serve_lines(fleet, std::io::BufReader::new(clone), stream, cfg),
+                    Err(e) => Err(e),
+                };
+                match outcome {
+                    Ok(n) => served += n,
+                    Err(e) => eprintln!("ncpu serve: connection {peer} failed: {e}; continuing"),
+                }
+            }
+            Err(e) => eprintln!("ncpu serve: accept failed: {e}; continuing"),
+        }
+        if max_conns.is_some_and(|max| conns >= max) {
             break;
         }
     }
@@ -253,6 +275,34 @@ mod tests {
             .expect("artifact parses");
         json::validate_run_artifact(&doc).expect("artifact validates");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_misbehaving_connection_does_not_kill_the_service() {
+        let Ok(listener) = std::net::TcpListener::bind("127.0.0.1:0") else {
+            eprintln!("skipping TCP test: loopback bind not permitted");
+            return;
+        };
+        let addr = listener.local_addr().expect("bound listener has an address");
+        let client = std::thread::spawn(move || {
+            // Connection 1: invalid UTF-8 mid-stream makes `lines()`
+            // error out inside serve_lines for this connection.
+            let mut bad = std::net::TcpStream::connect(addr).expect("connect bad");
+            bad.write_all(b"\xff\xfe garbage bytes \xff\n").expect("send garbage");
+            drop(bad);
+            // Connection 2: a well-formed client must still be served.
+            let mut good = std::net::TcpStream::connect(addr).expect("connect good");
+            good.write_all(b"{\"cpu_fraction\":0.5,\"batch\":2,\"cores\":1}\n{\"op\":\"shutdown\"}\n")
+                .expect("send");
+            let mut text = String::new();
+            std::io::Read::read_to_string(&mut good, &mut text).expect("recv");
+            text
+        });
+        let mut fleet = Fleet::new(1, 64);
+        serve_tcp(listener, &mut fleet, &ServeConfig::default(), Some(2)).expect("serve survives");
+        let reply = client.join().expect("client thread");
+        assert!(reply.contains("\"cache\":\"miss\""), "second connection must be served: {reply}");
+        assert!(reply.contains("\"op\":\"shutdown\""));
     }
 
     #[test]

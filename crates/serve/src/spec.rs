@@ -113,14 +113,32 @@ fn want_bool(obj: &Json, key: &str, default: bool) -> Result<bool, String> {
 impl ScenarioSpec {
     /// Parses a request object. `doc` may carry the fields directly or
     /// nest them under a `"scenario"` key; unknown fields are rejected
-    /// so typos fail loudly instead of silently running the default.
+    /// so typos fail loudly instead of silently running the default —
+    /// including top-level siblings of a nested `"scenario"` object,
+    /// which would otherwise be silently ignored.
     pub fn parse(doc: &Json) -> Result<ScenarioSpec, String> {
-        let obj = doc.get("scenario").unwrap_or(doc);
+        let (obj, allow_op) = match doc.get("scenario") {
+            Some(nested) => {
+                if let Json::Obj(top) = doc {
+                    for (key, _) in top {
+                        if key != "op" && key != "scenario" {
+                            return Err(format!(
+                                "unknown field {key:?} beside \"scenario\" (scenario fields \
+                                 belong inside the nested object)"
+                            ));
+                        }
+                    }
+                }
+                (nested, false)
+            }
+            None => (doc, true),
+        };
         let Json::Obj(fields) = obj else {
             return Err("scenario: expected an object".to_string());
         };
         for (key, _) in fields {
-            if !KNOWN_FIELDS.contains(&key.as_str()) && key != "op" && key != "scenario" {
+            let known = KNOWN_FIELDS.contains(&key.as_str()) || (allow_op && key == "op");
+            if !known {
                 return Err(format!("unknown field {key:?}"));
             }
         }
@@ -200,18 +218,26 @@ impl ScenarioSpec {
 
         // Fault knobs ride the NCPU_FAULT_* parser: `fault_seed` in a
         // request and `NCPU_FAULT_SEED` in the environment go through
-        // the identical hardened code path.
+        // the identical hardened code path. JSON numbers get the same
+        // checked `num_as_u64` conversion as every other integer field
+        // first — a fractional, negative, or past-2^53 value (where the
+        // JSON parser's f64 is no longer exact) is rejected here rather
+        // than re-rendered through a lossy cast.
+        for key in KNOWN_FIELDS.iter().filter(|k| k.starts_with("fault_")) {
+            if let Some(Json::Num(n)) = obj.get(key) {
+                if num_as_u64(*n).is_none() {
+                    return Err(format!("{key}: expected a non-negative integer, got {n}"));
+                }
+            }
+        }
         let (fault, fault_errors) = FaultPlan::from_lookup(|var| {
             let key = var.strip_prefix("NCPU_").expect("fault vars are NCPU_-prefixed").to_lowercase();
             obj.get(&key).map(|v| match v {
                 Json::Str(s) => s.clone(),
-                Json::Num(n) => {
-                    if n.fract() == 0.0 && n.abs() < 1.8e19 {
-                        format!("{}", *n as i64)
-                    } else {
-                        format!("{n}")
-                    }
-                }
+                Json::Num(n) => match num_as_u64(*n) {
+                    Some(v) => v.to_string(),
+                    None => format!("{n}"), // unreachable: pre-validated above
+                },
                 other => format!("{other:?}"),
             })
         });
@@ -346,6 +372,35 @@ mod tests {
         assert_eq!(s.fault.seed, 9);
         assert_eq!(s.fault.sram_flip_ppm, 50);
         assert!(s.fault.is_active());
+    }
+
+    #[test]
+    fn fault_numbers_get_the_same_checked_conversion_as_everything_else() {
+        // In (i64::MAX, 1.8e19): the old saturating i64 cast silently
+        // mapped this to i64::MAX; it must be rejected instead.
+        assert!(spec_of(r#"{"fault_seed":1e19}"#).unwrap_err().contains("fault_seed"));
+        // Past 2^53 the JSON f64 is inexact even when it fits u64.
+        assert!(spec_of(r#"{"fault_seed":9007199254740994}"#)
+            .unwrap_err()
+            .contains("fault_seed"));
+        assert!(spec_of(r#"{"fault_seed":1.5}"#).unwrap_err().contains("fault_seed"));
+        assert!(spec_of(r#"{"fault_seed":-1}"#).unwrap_err().contains("fault_seed"));
+        assert!(spec_of(r#"{"fault_backoff_cycles":2.5}"#)
+            .unwrap_err()
+            .contains("fault_backoff_cycles"));
+        // The 2^53 boundary itself is exact and accepted.
+        let s = spec_of(r#"{"fault_seed":9007199254740992,"fault_sram_flip_ppm":1}"#).unwrap();
+        assert_eq!(s.fault.seed, 1 << 53);
+    }
+
+    #[test]
+    fn nested_scenario_rejects_stray_top_level_siblings() {
+        let err = spec_of(r#"{"scenario":{"batch":3},"engine":"lockstep"}"#).unwrap_err();
+        assert!(err.contains("engine"), "sibling keys must fail loudly: {err}");
+        // `op` stays legal beside `scenario` (the protocol envelope)…
+        assert!(spec_of(r#"{"op":"run","scenario":{"batch":3}}"#).is_ok());
+        // …but not inside it.
+        assert!(spec_of(r#"{"scenario":{"op":"run","batch":3}}"#).unwrap_err().contains("op"));
     }
 
     #[test]
