@@ -67,6 +67,12 @@ NCPU_THREADS=4 cargo test -q --offline --test engine_differential
 # core count, traced, against the lock-step makespan.
 NCPU_TRACE=off cargo run --release --offline --example engine_matrix 4
 
+# Heterogeneous-fabric smoke: a mixed-role 4-core fleet (reconfigurable
+# + undervolted + fixed BNN + CPU-only, asymmetric L2 banks) through the
+# lockstep/event twins under both schedulers (byte-equality asserted
+# in-example) and the deep engine (segment placement asserted).
+NCPU_TRACE=off cargo run --release --offline --example topology_matrix
+
 # Fleet-service smoke: 8 scenario requests over stdin, of which 4 are
 # content-addressed duplicates (field order, nesting, and an explicit
 # engine pin inside the byte-identical lockstep/event pair all
@@ -115,25 +121,37 @@ NCPU_BENCH_SAMPLES=3 NCPU_BENCH_SAMPLE_MS=5 \
     cargo bench --offline -p ncpu-bench --bench event
 NCPU_BENCH_SAMPLES=3 NCPU_BENCH_SAMPLE_MS=5 \
     cargo bench --offline -p ncpu-bench --bench serve
+NCPU_BENCH_SAMPLES=3 NCPU_BENCH_SAMPLE_MS=5 \
+    cargo bench --offline -p ncpu-bench --bench topology
 mv crates/bench/BENCH_micro.json crates/bench/BENCH_parallel.json \
-    crates/bench/BENCH_event.json crates/bench/BENCH_serve.json .
+    crates/bench/BENCH_event.json crates/bench/BENCH_serve.json \
+    crates/bench/BENCH_topology.json .
 
 # Perf regression gate: fresh medians against the committed baselines in
-# baselines/. The loose tolerance (fresh must stay under 3x baseline)
-# absorbs the wall-clock noise of tiny sample counts on a loaded shared
-# host — the gate exists to catch order-of-magnitude regressions, not
-# percent drift; the self-test below proves it still bites at 20% on
-# clean data. Exit code 4 (host shape differs from the baseline
-# machine) is tolerated: there the comparison would be meaningless.
-for suite in micro parallel event serve; do
-    rc=0
-    cargo run --release --offline -p ncpu-obs --bin bench_diff -- \
-        --tolerance 2.0 "baselines/BENCH_$suite.json" "BENCH_$suite.json" || rc=$?
-    if [ "$rc" -ne 0 ] && [ "$rc" -ne 4 ]; then
-        echo "bench_diff: perf regression gate failed for $suite (rc=$rc)" >&2
-        exit "$rc"
-    fi
-    # The gate must demonstrably fail on an injected 20% regression.
+# baselines/, every suite in ONE bench_diff invocation so a run that
+# regresses several suites reports all of them at once. The loose
+# tolerance absorbs the wall-clock noise of tiny sample counts on a
+# loaded shared host — the gate exists to catch order-of-magnitude
+# regressions, not percent drift; the self-test below proves it still
+# bites at 20% on clean data. Exit code 4 (some pair refused to compare
+# because the host shape differs from the baseline machine, and no pair
+# that did compare regressed) is tolerated: there the comparison would
+# be meaningless. The topology suite's rows are deterministic model
+# metrics, so its comparison is exact on any host.
+rc=0
+cargo run --release --offline -p ncpu-obs --bin bench_diff -- \
+    --tolerance 2.0 \
+    baselines/BENCH_micro.json BENCH_micro.json \
+    baselines/BENCH_parallel.json BENCH_parallel.json \
+    baselines/BENCH_event.json BENCH_event.json \
+    baselines/BENCH_serve.json BENCH_serve.json \
+    baselines/BENCH_topology.json BENCH_topology.json || rc=$?
+if [ "$rc" -ne 0 ] && [ "$rc" -ne 4 ]; then
+    echo "bench_diff: perf regression gate failed (rc=$rc)" >&2
+    exit "$rc"
+fi
+# The gate must demonstrably fail on an injected 20% regression.
+for suite in micro parallel event serve topology; do
     cargo run --release --offline -p ncpu-obs --bin bench_diff -- \
         --self-test "BENCH_$suite.json"
 done

@@ -95,9 +95,69 @@ impl SharedL2 {
     }
 }
 
+/// One cycle's L2 port occupancy at bank granularity.
+///
+/// The physical L2 is split into banks, each with its own single port;
+/// arbitration is per bank, fixed priority (lowest requester first).
+/// Both co-simulating engines drive their conflict accounting through
+/// this tracker: the first claim on a bank in a cycle wins the port,
+/// every later claim on the *same* bank that cycle is a conflict, and
+/// claims on different banks never interact. With one bank this is
+/// exactly the historical single-ported shared L2.
+#[derive(Debug, Clone)]
+pub struct BankPorts {
+    taken: Vec<bool>,
+}
+
+impl BankPorts {
+    /// A tracker for `banks` L2 banks (≥ 1), all ports free.
+    pub fn new(banks: usize) -> BankPorts {
+        assert!(banks >= 1, "an L2 needs at least one bank");
+        BankPorts { taken: vec![false; banks] }
+    }
+
+    /// Number of banks tracked.
+    pub fn banks(&self) -> usize {
+        self.taken.len()
+    }
+
+    /// Frees every bank port (call at each new cycle).
+    pub fn reset(&mut self) {
+        self.taken.iter_mut().for_each(|t| *t = false);
+    }
+
+    /// Claims `bank`'s port for this cycle. Returns `true` if the port
+    /// was free (the claim wins), `false` if an earlier claimant holds
+    /// it (the caller replays the cycle).
+    pub fn claim(&mut self, bank: usize) -> bool {
+        let free = !self.taken[bank];
+        self.taken[bank] = true;
+        free
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bank_ports_arbitrate_per_bank() {
+        let mut ports = BankPorts::new(2);
+        assert_eq!(ports.banks(), 2);
+        assert!(ports.claim(0), "first claim wins");
+        assert!(!ports.claim(0), "same-bank second claim conflicts");
+        assert!(ports.claim(1), "other bank is independent");
+        ports.reset();
+        assert!(ports.claim(0), "reset frees the ports");
+    }
+
+    #[test]
+    fn single_bank_matches_the_single_ported_l2() {
+        let mut ports = BankPorts::new(1);
+        assert!(ports.claim(0));
+        assert!(!ports.claim(0));
+        assert!(!ports.claim(0));
+    }
 
     #[test]
     fn clones_share_storage_and_counters() {

@@ -57,7 +57,7 @@ mod l2;
 mod mem;
 mod ncpu;
 
-pub use l2::SharedL2;
+pub use l2::{BankPorts, SharedL2};
 pub use mem::NcpuMem;
 pub use ncpu::{
     CoreError, CoreStats, NcpuCore, ReplayDelta, ReplayState, StepOutcome, SwitchDma,

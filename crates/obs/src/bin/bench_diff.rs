@@ -5,7 +5,8 @@
 //! Usage:
 //!
 //! ```text
-//! bench_diff [--tolerance FRACTION] [--allow-host-mismatch] <baseline.json> <fresh.json>
+//! bench_diff [--tolerance FRACTION] [--allow-host-mismatch] \
+//!            <baseline.json> <fresh.json> [<baseline2.json> <fresh2.json> ...]
 //! bench_diff --self-test <report.json>
 //! ```
 //!
@@ -14,6 +15,11 @@
 //! missing from the fresh report also fails the gate — a deleted
 //! benchmark cannot hide a regression. Fresh-only benchmarks are
 //! reported but never fail (new coverage is welcome).
+//!
+//! Any number of baseline/fresh *pairs* can be gated in one invocation;
+//! every pair is always compared (and every regressed benchmark named)
+//! before the tool exits, so one slow suite cannot hide another's
+//! regressions behind an early failure.
 //!
 //! Reports carry `host_parallelism` / `ncpu_threads` headers; when the
 //! two reports disagree (or a header is missing), the comparison is
@@ -238,9 +244,43 @@ fn self_test(path: &str) -> Result<(), String> {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: bench_diff [--tolerance FRACTION] [--allow-host-mismatch] \
-         <baseline.json> <fresh.json>\n       bench_diff --self-test <report.json>"
+         <baseline.json> <fresh.json> [<baseline2> <fresh2> ...]\n       \
+         bench_diff --self-test <report.json>"
     );
     ExitCode::from(2)
+}
+
+/// Gates every (baseline, fresh) pair and aggregates: all pairs are
+/// compared — and all regressed benchmarks named — before the verdict.
+/// A regression anywhere wins over a host-shape refusal anywhere (1
+/// beats 4), and either beats success (0).
+fn gate_pairs(pairs: &[(Report, Report)], tolerance: f64, allow_host_mismatch: bool) -> u8 {
+    let mut regressed = 0usize;
+    let mut refused = 0usize;
+    for (base, fresh) in pairs {
+        match compare(base, fresh, tolerance, allow_host_mismatch) {
+            Verdict::Ok => {
+                println!(
+                    "bench_diff: ok — suite {:?}: {} benchmarks within tolerance",
+                    base.suite,
+                    base.rows.len()
+                );
+            }
+            Verdict::Regression => regressed += 1,
+            Verdict::HostMismatch(why) => {
+                eprintln!("bench_diff: refusing to compare suite {:?}: {why}", base.suite);
+                refused += 1;
+            }
+        }
+    }
+    if regressed > 0 {
+        eprintln!("bench_diff: {regressed} of {} suite(s) regressed", pairs.len());
+        1
+    } else if refused > 0 {
+        4
+    } else {
+        0
+    }
 }
 
 fn main() -> ExitCode {
@@ -283,27 +323,28 @@ fn main() -> ExitCode {
         };
     }
 
-    if files.len() != 2 {
+    if files.len() < 2 || !files.len().is_multiple_of(2) {
         return usage();
     }
-    let (base, fresh) = match (load_report(&files[0]), load_report(&files[1])) {
-        (Ok(b), Ok(f)) => (b, f),
-        (Err(e), _) | (_, Err(e)) => {
-            eprintln!("bench_diff: {e}");
-            return ExitCode::from(2);
-        }
-    };
-    match compare(&base, &fresh, tolerance, allow_host_mismatch) {
-        Verdict::Ok => {
-            println!("bench_diff: ok — {} benchmarks within tolerance", base.rows.len());
-            ExitCode::SUCCESS
-        }
-        Verdict::Regression => ExitCode::from(1),
-        Verdict::HostMismatch(why) => {
-            eprintln!("bench_diff: refusing to compare: {why}");
-            ExitCode::from(4)
+    // Load everything up front: a parse error anywhere is reported for
+    // every broken file, then the whole invocation is a usage error.
+    let mut pairs = Vec::with_capacity(files.len() / 2);
+    let mut load_failed = false;
+    for pair in files.chunks_exact(2) {
+        match (load_report(&pair[0]), load_report(&pair[1])) {
+            (Ok(b), Ok(f)) => pairs.push((b, f)),
+            (b, f) => {
+                for e in [b.err(), f.err()].into_iter().flatten() {
+                    eprintln!("bench_diff: {e}");
+                }
+                load_failed = true;
+            }
         }
     }
+    if load_failed {
+        return ExitCode::from(2);
+    }
+    ExitCode::from(gate_pairs(&pairs, tolerance, allow_host_mismatch))
 }
 
 #[cfg(test)]
@@ -355,6 +396,44 @@ mod tests {
                 {"name":"a","median_ns":5.0}]}"#,
         );
         assert_eq!(r.rows[0].elements, 0.0);
+    }
+
+    /// Multi-pair gating compares every suite before the verdict: a
+    /// regression in the first pair does not stop the second from being
+    /// compared, and the aggregate exit code ranks regression (1) over
+    /// host refusal (4) over success (0).
+    #[test]
+    fn multi_pair_gate_compares_every_suite_and_aggregates() {
+        let ok = || {
+            report(
+                r#"{"suite":"a","host_parallelism":1,"ncpu_threads":1,"results":[
+                    {"name":"x","median_ns":100.0}]}"#,
+            )
+        };
+        let slow = report(
+            r#"{"suite":"a","host_parallelism":1,"ncpu_threads":1,"results":[
+                {"name":"x","median_ns":200.0}]}"#,
+        );
+        let other_host = report(
+            r#"{"suite":"a","host_parallelism":2,"ncpu_threads":2,"results":[
+                {"name":"x","median_ns":100.0}]}"#,
+        );
+        assert_eq!(gate_pairs(&[(ok(), ok()), (ok(), ok())], 0.15, false), 0);
+        assert_eq!(gate_pairs(&[(ok(), slow), (ok(), ok())], 0.15, false), 1);
+        assert_eq!(gate_pairs(&[(ok(), other_host), (ok(), ok())], 0.15, false), 4);
+        let slow = report(
+            r#"{"suite":"a","host_parallelism":1,"ncpu_threads":1,"results":[
+                {"name":"x","median_ns":200.0}]}"#,
+        );
+        let other_host = report(
+            r#"{"suite":"a","host_parallelism":2,"ncpu_threads":2,"results":[
+                {"name":"x","median_ns":100.0}]}"#,
+        );
+        assert_eq!(
+            gate_pairs(&[(ok(), other_host), (ok(), slow)], 0.15, false),
+            1,
+            "a regression outranks a refusal"
+        );
     }
 
     #[test]

@@ -373,6 +373,32 @@ mod tests {
     }
 
     #[test]
+    fn mixed_role_fleets_serve_through_both_twin_engines() {
+        // A heterogeneous 3-core fleet (two reconfigurable, one BNN
+        // fixed-function, work-stealing): both twin engines accept it
+        // and share one cache entry, like any homogeneous spec.
+        let mut fleet = Fleet::new(2, 64);
+        let topo = r#""topology":{"cores":[{},{"operating_point":0.7},{"role":"bnn"}],
+                       "scheduler":"work_stealing"}"#;
+        let out = batch(
+            &mut fleet,
+            &[
+                &format!(r#"{{"cpu_fraction":0.5,"batch":4,{topo},"engine":"lockstep"}}"#),
+                &format!(r#"{{"cpu_fraction":0.5,"batch":4,{topo},"engine":"event"}}"#),
+                r#"{"cpu_fraction":0.5,"batch":4,"cores":3}"#,
+            ],
+        );
+        let lock = out[0].as_ref().unwrap();
+        let event = out[1].as_ref().unwrap();
+        let plain = out[2].as_ref().unwrap();
+        assert_eq!(lock.key, event.key, "engine choice must not fragment the cache");
+        assert_eq!((lock.cache, event.cache), ("miss", "hit"));
+        assert_eq!(lock.report_json, event.report_json);
+        assert_ne!(lock.key, plain.key, "the topology is semantic");
+        assert!(lock.report_json.contains("bnn2"), "fixed-function role in the report");
+    }
+
+    #[test]
     fn routing_policy_matches_the_documented_rules() {
         let auto_par = spec(r#"{"workload":"parametric"}"#).unwrap();
         let auto_img = spec(r#"{"workload":"image"}"#).unwrap();

@@ -37,5 +37,5 @@ pub mod spec;
 
 pub use cache::{CacheEntry, ResultCache};
 pub use fleet::{Fleet, RunOutcome, COUNTER_NAMES};
-pub use server::{serve_lines, serve_tcp, ServeConfig};
+pub use server::{serve_lines, serve_tcp, FleetAccess, ServeConfig};
 pub use spec::{EnginePref, ScenarioSpec, WorkloadSpec};

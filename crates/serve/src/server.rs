@@ -26,11 +26,13 @@
 
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
+use std::sync::Mutex;
 
 use ncpu_obs::export::json_string;
 use ncpu_obs::json;
+use ncpu_obs::Counters;
 
-use crate::fleet::Fleet;
+use crate::fleet::{Fleet, RunOutcome};
 use crate::spec::ScenarioSpec;
 
 /// Front-end configuration (the fleet itself is passed separately so
@@ -55,8 +57,59 @@ fn write_artifact(dir: &std::path::Path, key: u64, artifact_json: &str) -> std::
     std::fs::write(dir.join(format!("RUN_serve_{key:016x}.json")), artifact_json)
 }
 
-fn flush_batch<W: Write>(
-    fleet: &mut Fleet,
+/// How a front end reaches the fleet: exclusively (the stdin loop owns
+/// it outright) or shared behind a mutex (one thread per TCP
+/// connection). The lock is scoped to each call, so connections only
+/// serialize on id assignment and batch execution — parsing and socket
+/// I/O overlap freely, and one stalled client never blocks another's
+/// accept. Counter updates happen entirely inside `run_batch` under the
+/// lock, which is what keeps the registry's arithmetic exact no matter
+/// how connections interleave.
+pub trait FleetAccess {
+    /// Next deterministic request id (see [`Fleet::assign_id`]).
+    fn assign_id(&mut self) -> String;
+    /// Executes one batch, one outcome per request in request order
+    /// (see [`Fleet::run_batch`]).
+    fn run_batch(
+        &mut self,
+        requests: Vec<(String, Result<ScenarioSpec, String>)>,
+    ) -> Vec<Result<RunOutcome, (String, String)>>;
+    /// Counter snapshot (see [`Fleet::counters`]).
+    fn counters(&mut self) -> Counters;
+}
+
+impl FleetAccess for &mut Fleet {
+    fn assign_id(&mut self) -> String {
+        Fleet::assign_id(self)
+    }
+    fn run_batch(
+        &mut self,
+        requests: Vec<(String, Result<ScenarioSpec, String>)>,
+    ) -> Vec<Result<RunOutcome, (String, String)>> {
+        Fleet::run_batch(self, requests)
+    }
+    fn counters(&mut self) -> Counters {
+        Fleet::counters(self)
+    }
+}
+
+impl FleetAccess for &Mutex<&mut Fleet> {
+    fn assign_id(&mut self) -> String {
+        self.lock().expect("fleet lock poisoned").assign_id()
+    }
+    fn run_batch(
+        &mut self,
+        requests: Vec<(String, Result<ScenarioSpec, String>)>,
+    ) -> Vec<Result<RunOutcome, (String, String)>> {
+        self.lock().expect("fleet lock poisoned").run_batch(requests)
+    }
+    fn counters(&mut self) -> Counters {
+        self.lock().expect("fleet lock poisoned").counters()
+    }
+}
+
+fn flush_batch<F: FleetAccess, W: Write>(
+    fleet: &mut F,
     pending: &mut Vec<(String, Result<ScenarioSpec, String>)>,
     out: &mut W,
     cfg: &ServeConfig,
@@ -90,8 +143,8 @@ fn flush_batch<W: Write>(
 /// Runs the full request/response loop over any line source and sink.
 /// Returns the number of requests served. Exits on end of input or a
 /// `shutdown` op (the latter also emits a summary line).
-pub fn serve_lines<R: BufRead, W: Write>(
-    fleet: &mut Fleet,
+pub fn serve_lines<F: FleetAccess, R: BufRead, W: Write>(
+    mut fleet: F,
     input: R,
     mut out: W,
     cfg: &ServeConfig,
@@ -110,7 +163,7 @@ pub fn serve_lines<R: BufRead, W: Write>(
                 served += 1;
                 pending.push((fleet.assign_id(), Err(format!("bad JSON: {e}"))));
                 if pending.len() >= cfg.batch_max.max(1) {
-                    flush_batch(fleet, &mut pending, &mut out, cfg)?;
+                    flush_batch(&mut fleet, &mut pending, &mut out, cfg)?;
                 }
                 continue;
             }
@@ -120,17 +173,17 @@ pub fn serve_lines<R: BufRead, W: Write>(
                 served += 1;
                 pending.push((fleet.assign_id(), ScenarioSpec::parse(&doc)));
                 if pending.len() >= cfg.batch_max.max(1) {
-                    flush_batch(fleet, &mut pending, &mut out, cfg)?;
+                    flush_batch(&mut fleet, &mut pending, &mut out, cfg)?;
                 }
             }
-            Some("flush") => flush_batch(fleet, &mut pending, &mut out, cfg)?,
+            Some("flush") => flush_batch(&mut fleet, &mut pending, &mut out, cfg)?,
             Some("stats") => {
-                flush_batch(fleet, &mut pending, &mut out, cfg)?;
+                flush_batch(&mut fleet, &mut pending, &mut out, cfg)?;
                 writeln!(out, "{{\"op\":\"stats\",\"counters\":{}}}", fleet.counters().to_json())?;
                 out.flush()?;
             }
             Some("shutdown") => {
-                flush_batch(fleet, &mut pending, &mut out, cfg)?;
+                flush_batch(&mut fleet, &mut pending, &mut out, cfg)?;
                 writeln!(out, "{{\"op\":\"shutdown\",\"requests\":{served}}}")?;
                 out.flush()?;
                 return Ok(served);
@@ -139,57 +192,73 @@ pub fn serve_lines<R: BufRead, W: Write>(
                 served += 1;
                 pending.push((fleet.assign_id(), Err(format!("unknown op {other:?}"))));
                 if pending.len() >= cfg.batch_max.max(1) {
-                    flush_batch(fleet, &mut pending, &mut out, cfg)?;
+                    flush_batch(&mut fleet, &mut pending, &mut out, cfg)?;
                 }
             }
         }
     }
-    flush_batch(fleet, &mut pending, &mut out, cfg)?;
+    flush_batch(&mut fleet, &mut pending, &mut out, cfg)?;
     Ok(served)
 }
 
-/// Serves connections from `listener` sequentially, sharing one fleet
-/// (and therefore one result cache) across all of them. `max_conns`
-/// bounds the accept loop for tests; `None` accepts forever. A
-/// connection sending `{"op":"shutdown"}` ends that connection only.
+/// Serves connections from `listener` concurrently, sharing one fleet
+/// (and therefore one result cache and counter registry) across all of
+/// them. Each accepted connection runs on its own scoped thread, so a
+/// client that connects and stalls never blocks service to anyone else;
+/// within a connection, responses still come back in strict request
+/// order (each connection's loop is sequential). `max_conns` bounds the
+/// accept loop for tests; `None` accepts forever. A connection sending
+/// `{"op":"shutdown"}` ends that connection only.
 ///
 /// Per-connection I/O errors (a client resetting mid-line, sending
-/// non-UTF-8 bytes, or a failed socket clone) are logged and the loop
-/// keeps accepting — one misbehaving client must never take the
-/// long-running service down for everyone else. Accept-level errors
-/// are likewise transient (`ECONNABORTED` and friends) and are logged
-/// without counting toward `max_conns`.
+/// non-UTF-8 bytes, or a failed socket clone) are logged on the
+/// connection's thread and the loop keeps accepting — one misbehaving
+/// client must never take the long-running service down for everyone
+/// else. Accept-level errors are likewise transient (`ECONNABORTED`
+/// and friends) and are logged without counting toward `max_conns`.
 pub fn serve_tcp(
     listener: std::net::TcpListener,
     fleet: &mut Fleet,
     cfg: &ServeConfig,
     max_conns: Option<usize>,
 ) -> std::io::Result<u64> {
-    let mut served = 0;
-    let mut conns = 0usize;
-    for stream in listener.incoming() {
-        match stream {
-            Ok(stream) => {
-                conns += 1;
-                let peer = stream
-                    .peer_addr()
-                    .map_or_else(|_| "<unknown>".to_string(), |a| a.to_string());
-                let outcome = match stream.try_clone() {
-                    Ok(clone) => serve_lines(fleet, std::io::BufReader::new(clone), stream, cfg),
-                    Err(e) => Err(e),
-                };
-                match outcome {
-                    Ok(n) => served += n,
-                    Err(e) => eprintln!("ncpu serve: connection {peer} failed: {e}; continuing"),
+    let shared = Mutex::new(fleet);
+    let served = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        let mut conns = 0usize;
+        for stream in listener.incoming() {
+            match stream {
+                Ok(stream) => {
+                    conns += 1;
+                    let (shared, served) = (&shared, &served);
+                    scope.spawn(move || {
+                        let peer = stream
+                            .peer_addr()
+                            .map_or_else(|_| "<unknown>".to_string(), |a| a.to_string());
+                        let outcome = match stream.try_clone() {
+                            Ok(clone) => {
+                                serve_lines(shared, std::io::BufReader::new(clone), stream, cfg)
+                            }
+                            Err(e) => Err(e),
+                        };
+                        match outcome {
+                            Ok(n) => {
+                                served.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+                            }
+                            Err(e) => {
+                                eprintln!("ncpu serve: connection {peer} failed: {e}; continuing");
+                            }
+                        }
+                    });
                 }
+                Err(e) => eprintln!("ncpu serve: accept failed: {e}; continuing"),
             }
-            Err(e) => eprintln!("ncpu serve: accept failed: {e}; continuing"),
+            if max_conns.is_some_and(|max| conns >= max) {
+                break;
+            }
         }
-        if max_conns.is_some_and(|max| conns >= max) {
-            break;
-        }
-    }
-    Ok(served)
+    });
+    Ok(served.load(std::sync::atomic::Ordering::Relaxed))
 }
 
 #[cfg(test)]
@@ -303,6 +372,49 @@ mod tests {
         let reply = client.join().expect("client thread");
         assert!(reply.contains("\"cache\":\"miss\""), "second connection must be served: {reply}");
         assert!(reply.contains("\"op\":\"shutdown\""));
+    }
+
+    #[test]
+    fn a_stalled_connection_does_not_block_later_ones() {
+        let Ok(listener) = std::net::TcpListener::bind("127.0.0.1:0") else {
+            eprintln!("skipping TCP test: loopback bind not permitted");
+            return;
+        };
+        let addr = listener.local_addr().expect("bound listener has an address");
+        let client = std::thread::spawn(move || {
+            // Connection 1 connects first, sends nothing, and stays
+            // open. Under the old sequential accept loop this parked
+            // the whole service; with one scoped thread per connection
+            // the second client is served while the first idles.
+            let stall = std::net::TcpStream::connect(addr).expect("connect stalled");
+            let mut live = std::net::TcpStream::connect(addr).expect("connect live");
+            live.write_all(
+                b"{\"cpu_fraction\":0.5,\"batch\":2,\"cores\":1}\n\
+                  {\"cpu_fraction\":0.5,\"batch\":3,\"cores\":1}\n\
+                  {\"op\":\"shutdown\"}\n",
+            )
+            .expect("send");
+            let mut text = String::new();
+            std::io::Read::read_to_string(&mut live, &mut text).expect("recv");
+            // Only once the live connection is fully answered does the
+            // stalled one hang up, letting serve_tcp drain.
+            drop(stall);
+            text
+        });
+        let mut fleet = Fleet::new(1, 64);
+        let served =
+            serve_tcp(listener, &mut fleet, &ServeConfig::default(), Some(2)).expect("serve");
+        let reply = client.join().expect("client thread");
+        let lines: Vec<&str> = reply.lines().collect();
+        assert_eq!(lines.len(), 3, "two answers plus the shutdown summary: {reply}");
+        // In-order within the connection: ids are assigned as this
+        // connection's lines are read, so they ascend down the reply.
+        assert!(lines[0].contains("\"id\":\"r000001\"") && lines[0].contains("\"cache\":\"miss\""));
+        assert!(lines[1].contains("\"id\":\"r000002\"") && lines[1].contains("\"cache\":\"miss\""));
+        assert_eq!(lines[2], "{\"op\":\"shutdown\",\"requests\":2}");
+        assert_eq!(served, 2);
+        assert_eq!(fleet.counters().get("serve.requests"), 2);
+        assert_eq!(fleet.counters().get("serve.cache.misses"), 2);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 use ncpu_fault::FaultPlan;
 use ncpu_obs::json::Json;
 use ncpu_obs::numparse::{num_as_u32, num_as_u64, num_as_usize};
+use ncpu_soc::topology::{CoreRole, CoreSpec, SchedulerKind, Topology};
 use ncpu_soc::{pseudo_model, Scenario, SocConfig, SystemConfig, UseCase};
 
 /// Which engine the client wants; `Auto` lets the router pick.
@@ -75,6 +76,8 @@ pub struct ScenarioSpec {
     pub operating_point: Option<f64>,
     /// Fault-injection plan.
     pub fault: FaultPlan,
+    /// Explicit fabric topology; `None` is the homogeneous default.
+    pub topology: Option<Topology>,
     /// Engine preference.
     pub engine: EnginePref,
 }
@@ -87,9 +90,97 @@ impl Default for ScenarioSpec {
             soc: SocConfig::default(),
             operating_point: None,
             fault: FaultPlan::none(),
+            topology: None,
             engine: EnginePref::Auto,
         }
     }
+}
+
+/// Parses a `"topology"` block:
+///
+/// ```json
+/// {"cores": [{"role": "reconfigurable", "operating_point": 0.7, "bank": 0},
+///            {"role": "bnn"}],
+///  "banks": [196608, 65536],
+///  "scheduler": "work_stealing"}
+/// ```
+///
+/// Every field defaults like the library: omitted `role` is
+/// reconfigurable, omitted `operating_point` inherits the scenario
+/// point, omitted `bank` is 0, omitted `banks` is one full-width bank,
+/// omitted `scheduler` is static. Structural validation is
+/// [`Topology::from_specs`]'s; on top of it, the serve workloads are
+/// all item batches, so a fleet with no reconfigurable core is rejected
+/// here instead of panicking inside a worker.
+fn parse_topology(t: &Json) -> Result<Topology, String> {
+    let Json::Obj(fields) = t else {
+        return Err("topology: expected an object".to_string());
+    };
+    for (key, _) in fields {
+        if !["cores", "banks", "scheduler"].contains(&key.as_str()) {
+            return Err(format!("topology: unknown field {key:?}"));
+        }
+    }
+    let Some(Json::Arr(core_specs)) = t.get("cores") else {
+        return Err("topology: expected a \"cores\" array of core specs".to_string());
+    };
+    let mut specs = Vec::with_capacity(core_specs.len());
+    for (c, spec) in core_specs.iter().enumerate() {
+        let Json::Obj(spec_fields) = spec else {
+            return Err(format!("topology: core {c}: expected an object"));
+        };
+        for (key, _) in spec_fields {
+            if !["role", "operating_point", "bank"].contains(&key.as_str()) {
+                return Err(format!("topology: core {c}: unknown field {key:?}"));
+            }
+        }
+        let role = match spec.get("role").map(|v| v.as_str().unwrap_or("?")) {
+            None | Some("reconfigurable") | Some("ncpu") => CoreRole::Reconfigurable,
+            Some("cpu") => CoreRole::CpuOnly,
+            Some("bnn") => CoreRole::BnnOnly,
+            Some(other) => {
+                return Err(format!(
+                    "topology: core {c}: role: expected \"reconfigurable\", \"cpu\", or \
+                     \"bnn\", got {other:?}"
+                ))
+            }
+        };
+        let operating_point = match spec.get("operating_point") {
+            None => None,
+            Some(v) => Some(v.as_num().ok_or_else(|| {
+                format!("topology: core {c}: operating_point: expected volts")
+            })?),
+        };
+        let bank = want_usize(spec, "bank", 0).map_err(|e| format!("topology: core {c}: {e}"))?;
+        specs.push(CoreSpec { role, operating_point, bank });
+    }
+    let bank_bytes = match t.get("banks") {
+        None => vec![ncpu_soc::L2_BYTES],
+        Some(Json::Arr(widths)) => widths
+            .iter()
+            .enumerate()
+            .map(|(b, w)| {
+                w.as_num()
+                    .and_then(num_as_usize)
+                    .ok_or_else(|| format!("topology: banks[{b}]: expected a byte width"))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        Some(_) => return Err("topology: banks: expected an array of byte widths".to_string()),
+    };
+    let scheduler = match t.get("scheduler").map(|v| v.as_str().unwrap_or("?")) {
+        None | Some("static") => SchedulerKind::Static,
+        Some("work_stealing") => SchedulerKind::WorkStealing,
+        Some(other) => {
+            return Err(format!(
+                "topology: scheduler: expected \"static\" or \"work_stealing\", got {other:?}"
+            ))
+        }
+    };
+    let topo = Topology::from_specs(specs, bank_bytes, scheduler)?;
+    if topo.item_cores().is_empty() {
+        return Err("topology: the serve workloads need at least one reconfigurable core".into());
+    }
+    Ok(topo)
 }
 
 fn want_usize(obj: &Json, key: &str, default: usize) -> Result<usize, String> {
@@ -175,7 +266,7 @@ impl ScenarioSpec {
             }
         };
 
-        let system = match obj.get("system").map(|v| v.as_str().unwrap_or("?")) {
+        let mut system = match obj.get("system").map(|v| v.as_str().unwrap_or("?")) {
             None | Some("ncpu") => {
                 SystemConfig::Ncpu { cores: want_usize(obj, "cores", 2)?.clamp(1, 64) }
             }
@@ -214,6 +305,26 @@ impl ScenarioSpec {
                     .filter(|f| *f >= 0.3 && *f <= 1.2)
                     .ok_or("operating_point: expected volts in [0.3, 1.2]")?,
             ),
+        };
+
+        let topology = match obj.get("topology") {
+            None => None,
+            Some(t) => {
+                let SystemConfig::Ncpu { cores } = system else {
+                    return Err("topology: describes NCPU fleets, not the hetero baseline".into());
+                };
+                let topo = parse_topology(t)?;
+                // An explicit "cores" must agree; an omitted one is
+                // inferred from the topology's core list.
+                if obj.get("cores").is_some() && topo.cores() != cores {
+                    return Err(format!(
+                        "topology: {} core specs but cores is {cores}",
+                        topo.cores()
+                    ));
+                }
+                system = SystemConfig::Ncpu { cores: topo.cores() };
+                Some(topo)
+            }
         };
 
         // Fault knobs ride the NCPU_FAULT_* parser: `fault_seed` in a
@@ -265,7 +376,7 @@ impl ScenarioSpec {
             }
         };
 
-        Ok(ScenarioSpec { workload, system, soc, operating_point, fault, engine })
+        Ok(ScenarioSpec { workload, system, soc, operating_point, fault, topology, engine })
     }
 
     /// Materializes the spec into a runnable [`Scenario`]. This is where
@@ -292,6 +403,9 @@ impl ScenarioSpec {
         if let Some(v) = self.operating_point {
             s = s.with_operating_point(v);
         }
+        if let Some(t) = &self.topology {
+            s = s.with_topology(t.clone());
+        }
         s
     }
 
@@ -306,7 +420,8 @@ impl ScenarioSpec {
 /// Every request field [`ScenarioSpec::parse`] accepts. The ten
 /// `fault_*` names are the `NCPU_FAULT_*` variables with the `NCPU_`
 /// prefix stripped and lowercased.
-pub const KNOWN_FIELDS: [&str; 24] = [
+pub const KNOWN_FIELDS: [&str; 25] = [
+    "topology",
     "workload",
     "cpu_fraction",
     "batch",
@@ -401,6 +516,55 @@ mod tests {
         assert!(spec_of(r#"{"op":"run","scenario":{"batch":3}}"#).is_ok());
         // …but not inside it.
         assert!(spec_of(r#"{"scenario":{"op":"run","batch":3}}"#).unwrap_err().contains("op"));
+    }
+
+    #[test]
+    fn topology_block_parses_and_infers_cores() {
+        let s = spec_of(
+            r#"{"topology":{"cores":[{},{"role":"bnn"},{"operating_point":0.7,"bank":1}],
+                "banks":[131072,65536],"scheduler":"work_stealing"}}"#,
+        )
+        .unwrap();
+        assert_eq!(s.system, SystemConfig::Ncpu { cores: 3 });
+        let topo = s.topology.as_ref().unwrap();
+        assert_eq!(topo.label(), "R+B+R@0.7V");
+        assert_eq!(topo.banks(), 2);
+        assert_eq!(topo.scheduler(), SchedulerKind::WorkStealing);
+        // Matching explicit core count is accepted; a mismatch is not.
+        assert!(spec_of(r#"{"cores":2,"topology":{"cores":[{},{}]}}"#).is_ok());
+        let err = spec_of(r#"{"cores":4,"topology":{"cores":[{},{}]}}"#).unwrap_err();
+        assert!(err.contains("cores"), "{err}");
+        // The built scenario carries the topology.
+        assert!(s.build().explicit_topology().is_some());
+    }
+
+    #[test]
+    fn topology_block_rejects_nonsense() {
+        let e = spec_of(r#"{"system":"hetero","topology":{"cores":[{}]}}"#).unwrap_err();
+        assert!(e.contains("hetero"), "{e}");
+        let e = spec_of(r#"{"topology":{"cores":[{"role":"gpu"}]}}"#).unwrap_err();
+        assert!(e.contains("role"), "{e}");
+        let e = spec_of(r#"{"topology":{"cores":[{"rloe":"bnn"}]}}"#).unwrap_err();
+        assert!(e.contains("rloe"), "{e}");
+        let e = spec_of(r#"{"topology":{"cores":[{"role":"bnn"}]}}"#).unwrap_err();
+        assert!(e.contains("reconfigurable"), "all-fixed fleets cannot serve items: {e}");
+        let e = spec_of(r#"{"topology":{"cores":[{"bank":5}]}}"#).unwrap_err();
+        assert!(e.contains("bank"), "{e}");
+        let e = spec_of(r#"{"topology":{"cores":[{"operating_point":0.1}]}}"#).unwrap_err();
+        assert!(e.contains("operating point"), "{e}");
+        let e = spec_of(r#"{"topology":{"cores":[{}],"banks":[999999999]}}"#).unwrap_err();
+        assert!(e.contains("bank widths"), "{e}");
+        assert!(spec_of(r#"{"topology":{"weird":1,"cores":[{}]}}"#).is_err());
+        assert!(spec_of(r#"{"topology":[1]}"#).is_err());
+    }
+
+    #[test]
+    fn homogeneous_topology_block_builds_the_default_cache_key() {
+        // An explicit homogeneous topology and a plain cores count land
+        // in the same `ncpu-scenario-v2` cache key class.
+        let explicit = spec_of(r#"{"topology":{"cores":[{},{}]}}"#).unwrap();
+        let plain = spec_of(r#"{"cores":2}"#).unwrap();
+        assert_eq!(explicit.build().cache_key(), plain.build().cache_key());
     }
 
     #[test]

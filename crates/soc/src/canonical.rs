@@ -20,7 +20,15 @@
 //!
 //! The operating point is normalized through [`Scenario::volts`]: an
 //! unset point and an explicit nominal `1.0 V` encode identically,
-//! because every engine resolves them identically.
+//! because every engine resolves them identically. The topology is
+//! normalized through [`Scenario::topology`] the same way: an unset
+//! topology and an explicit [`Topology::homogeneous`] of the scenario's
+//! core count encode identically, and per-core operating points encode
+//! as their *effective* voltage (an unset per-core point inherits the
+//! scenario point), because that is exactly how every engine resolves
+//! them.
+//!
+//! [`Topology::homogeneous`]: crate::topology::Topology::homogeneous
 //!
 //! The key itself is a 64-bit FNV-1a over the canonical bytes — the
 //! same deterministic, dependency-free hash the testkit uses for
@@ -28,11 +36,14 @@
 
 use crate::scenario::Scenario;
 use crate::system::SystemConfig;
+use crate::topology::SchedulerKind;
 use crate::usecase::UseCaseKind;
 
 /// Version tag leading the canonical encoding; bump when the layout
 /// changes so stale persisted keys can never alias fresh ones.
-pub const CANONICAL_TAG: &[u8] = b"ncpu-scenario-v1";
+/// `v2` added the fabric topology (roles, per-core DVFS, L2 banking,
+/// scheduler) to the encoding.
+pub const CANONICAL_TAG: &[u8] = b"ncpu-scenario-v2";
 
 /// 64-bit FNV-1a over `bytes` — deterministic on every host, no
 /// dependencies, good avalanche for cache keying.
@@ -116,6 +127,28 @@ pub fn canonical_bytes(scenario: &Scenario) -> Vec<u8> {
     push_u64(&mut out, fault.backoff_cycles);
     push_u32(&mut out, fault.quarantine_after);
 
+    // Topology, resolved: an unset topology materializes as
+    // `Topology::homogeneous(cores)`, so it encodes identically to the
+    // explicit homogeneous default. Per-core operating points encode as
+    // the *effective* voltage (unset inherits the scenario point) —
+    // the normalization every engine applies.
+    let topo = scenario.topology();
+    let volts = scenario.volts();
+    push_u64(&mut out, topo.cores() as u64);
+    for spec in topo.specs() {
+        out.push(spec.role.tag());
+        push_u64(&mut out, spec.volts(volts).to_bits());
+        push_u64(&mut out, spec.bank as u64);
+    }
+    push_u64(&mut out, topo.banks() as u64);
+    for &width in topo.bank_bytes() {
+        push_u64(&mut out, width as u64);
+    }
+    out.push(match topo.scheduler() {
+        SchedulerKind::Static => 0,
+        SchedulerKind::WorkStealing => 1,
+    });
+
     out
 }
 
@@ -136,10 +169,10 @@ mod tests {
     use ncpu_testkit::{prop::Prop, prop_assert, prop_assert_eq, prop_assert_ne};
 
     /// Everything a generated parametric scenario is built from; small
-    /// integers so shrinking stays meaningful. Grouped as two nested
-    /// tuples (workload/fabric, then environment) to stay within the
-    /// harness's tuple-shrinking arity.
-    type Draw = ((u8, u8, u8, u8, u8), (u8, u64, bool, bool));
+    /// integers so shrinking stays meaningful. Grouped as three nested
+    /// tuples (workload/fabric, environment, topology) to stay within
+    /// the harness's tuple-shrinking arity.
+    type Draw = ((u8, u8, u8, u8, u8), (u8, u64, bool, bool), (u8, bool, bool, u8));
 
     fn draw(rng: &mut Rng) -> Draw {
         (
@@ -156,11 +189,45 @@ mod tests {
                 rng.gen_range(0..2u64) == 1, // naive switch policy
                 rng.gen_range(0..2u64) == 1, // layer pipelining
             ),
+            (
+                rng.gen_range(0..=2u8),      // last core role tag
+                rng.gen_range(0..2u64) == 1, // split the L2 into two banks
+                rng.gen_range(0..2u64) == 1, // work-stealing scheduler
+                rng.gen_range(0..=4u8),      // core 0 DVFS point (0 = inherit)
+            ),
         )
     }
 
+    /// Materializes the topology third of a draw. Per-core points use
+    /// the 0.46–0.49 V corner, disjoint from the scenario-level points
+    /// (0.55–1.0 V), so a per-core mutation can never alias the
+    /// inherited voltage.
+    fn build_topology(cores: usize, t: &(u8, bool, bool, u8)) -> crate::topology::Topology {
+        use crate::topology::{CoreRole, CoreSpec, SchedulerKind, Topology};
+        let (role, split, steal, core0_op) = *t;
+        let mut specs = vec![CoreSpec::reconfigurable(); cores];
+        specs[cores - 1].role = match role % 3 {
+            0 => CoreRole::Reconfigurable,
+            1 => CoreRole::CpuOnly,
+            _ => CoreRole::BnnOnly,
+        };
+        if core0_op > 0 {
+            specs[0].operating_point = Some(0.45 + f64::from(core0_op) / 100.0);
+        }
+        let bank_bytes = if split {
+            for (c, spec) in specs.iter_mut().enumerate() {
+                spec.bank = c % 2;
+            }
+            vec![3 * crate::fabric::L2_BYTES / 4, crate::fabric::L2_BYTES / 4]
+        } else {
+            vec![crate::fabric::L2_BYTES]
+        };
+        let sched = if steal { SchedulerKind::WorkStealing } else { SchedulerKind::Static };
+        Topology::from_specs(specs, bank_bytes, sched).expect("drawn topology is structural")
+    }
+
     fn build(d: &Draw) -> Scenario {
-        let ((frac, batch, cores, dma, setup), (op, seed, naive, pipelining)) = *d;
+        let ((frac, batch, cores, dma, setup), (op, seed, naive, pipelining), topo) = *d;
         // 128-bit input keeps the inference latency high enough that
         // every cpu_fraction in 0.1..=0.9 maps to a distinct spin
         // budget (the parametric constructor floors tiny budgets at 32
@@ -176,12 +243,11 @@ mod tests {
             switch_policy: if naive { SwitchPolicy::Naive } else { SwitchPolicy::ZeroLatency },
             layer_pipelining: pipelining,
         };
-        let mut s = Scenario::new(
-            uc,
-            crate::SystemConfig::Ncpu { cores: usize::from(cores.clamp(1, 4)) },
-        )
-        .with_soc(soc)
-        .with_faults(FaultPlan { seed, sram_flip_ppm: 100, ..FaultPlan::none() });
+        let cores = usize::from(cores.clamp(1, 4));
+        let mut s = Scenario::new(uc, crate::SystemConfig::Ncpu { cores })
+            .with_soc(soc)
+            .with_faults(FaultPlan { seed, sram_flip_ppm: 100, ..FaultPlan::none() })
+            .with_topology(build_topology(cores, &topo));
         if op > 0 {
             s = s.with_operating_point(1.0 - f64::from(op) / 20.0);
         }
@@ -198,8 +264,19 @@ mod tests {
     }
 
     #[test]
+    fn unset_topology_hashes_like_the_explicit_homogeneous_default() {
+        use crate::topology::Topology;
+        let uc = UseCase::parametric(0.5, 2, pseudo_model(64, 10, 10));
+        let unset = Scenario::new(uc.clone(), crate::SystemConfig::Ncpu { cores: 2 });
+        let explicit = Scenario::new(uc, crate::SystemConfig::Ncpu { cores: 2 })
+            .with_topology(Topology::homogeneous(2));
+        assert_eq!(unset.cache_key(), explicit.cache_key());
+        assert_eq!(canonical_bytes(&unset), canonical_bytes(&explicit));
+    }
+
+    #[test]
     fn trace_level_and_default_operating_point_are_non_semantic() {
-        let mk = || build(&((5, 4, 2, 4, 16), (0, 7, false, true)));
+        let mk = || build(&((5, 4, 2, 4, 16), (0, 7, false, true), (0, false, false, 0)));
         let base = mk();
         assert_eq!(base.cache_key(), mk().cache_key(), "construction is deterministic");
         for level in [TraceLevel::Off, TraceLevel::Counters, TraceLevel::Full] {
@@ -235,17 +312,24 @@ mod tests {
             }
             // Semantic: mutate each field of the draw in a way that must
             // change the canonical bytes, and demand a fresh key.
-            let ((frac, batch, cores, dma, setup), (op, seed, naive, pipelining)) = *d;
+            let ((frac, batch, cores, dma, setup), (op, seed, naive, pipelining), topo) = *d;
+            let (role, split, steal, core0_op) = topo;
+            let w = (frac, batch, cores, dma, setup);
+            let e = (op, seed, naive, pipelining);
             let mutations: Vec<(&str, Draw)> = vec![
-                ("cpu_fraction", ((if frac >= 9 { 1 } else { frac + 1 }, batch, cores, dma, setup), (op, seed, naive, pipelining))),
-                ("batch", ((frac, batch + 1, cores, dma, setup), (op, seed, naive, pipelining))),
-                ("cores", ((frac, batch, if cores >= 4 { 1 } else { cores + 1 }, dma, setup), (op, seed, naive, pipelining))),
-                ("dma_bytes", ((frac, batch, cores, dma + 1, setup), (op, seed, naive, pipelining))),
-                ("dma_setup", ((frac, batch, cores, dma, setup + 1), (op, seed, naive, pipelining))),
-                ("operating_point", ((frac, batch, cores, dma, setup), (if op >= 9 { 1 } else { op + 1 }, seed, naive, pipelining))),
-                ("fault_seed", ((frac, batch, cores, dma, setup), (op, seed + 1, naive, pipelining))),
-                ("switch_policy", ((frac, batch, cores, dma, setup), (op, seed, !naive, pipelining))),
-                ("layer_pipelining", ((frac, batch, cores, dma, setup), (op, seed, naive, !pipelining))),
+                ("cpu_fraction", ((if frac >= 9 { 1 } else { frac + 1 }, batch, cores, dma, setup), e, topo)),
+                ("batch", ((frac, batch + 1, cores, dma, setup), e, topo)),
+                ("cores", ((frac, batch, if cores >= 4 { 1 } else { cores + 1 }, dma, setup), e, topo)),
+                ("dma_bytes", ((frac, batch, cores, dma + 1, setup), e, topo)),
+                ("dma_setup", ((frac, batch, cores, dma, setup + 1), e, topo)),
+                ("operating_point", (w, (if op >= 9 { 1 } else { op + 1 }, seed, naive, pipelining), topo)),
+                ("fault_seed", (w, (op, seed + 1, naive, pipelining), topo)),
+                ("switch_policy", (w, (op, seed, !naive, pipelining), topo)),
+                ("layer_pipelining", (w, (op, seed, naive, !pipelining), topo)),
+                ("topo_role", (w, e, ((role + 1) % 3, split, steal, core0_op))),
+                ("topo_banks", (w, e, (role, !split, steal, core0_op))),
+                ("topo_scheduler", (w, e, (role, split, !steal, core0_op))),
+                ("topo_core0_op", (w, e, (role, split, steal, (core0_op % 4) + 1))),
             ];
             for (what, mutated) in &mutations {
                 prop_assert_ne!(
@@ -263,7 +347,7 @@ mod tests {
 
     #[test]
     fn fault_plan_knobs_are_all_semantic() {
-        let base = build(&((5, 4, 2, 4, 16), (2, 7, false, true)));
+        let base = build(&((5, 4, 2, 4, 16), (2, 7, false, true), (0, false, false, 0)));
         let key = base.cache_key();
         let plans = [
             FaultPlan { seed: 8, sram_flip_ppm: 100, ..FaultPlan::none() },
@@ -275,7 +359,9 @@ mod tests {
         ];
         for plan in plans {
             assert_ne!(
-                build(&((5, 4, 2, 4, 16), (2, 7, false, true))).with_faults(plan).cache_key(),
+                build(&((5, 4, 2, 4, 16), (2, 7, false, true), (0, false, false, 0)))
+                    .with_faults(plan)
+                    .cache_key(),
                 key,
                 "fault knob change must move the key: {plan:?}"
             );

@@ -26,13 +26,39 @@ fn span_power_mw(pm: &PowerModel, role: &str, label: &str, v: f64, areas: &Syste
 }
 
 fn areas_for_role(am: &AreaModel, role: &str, neurons: usize) -> SystemAreas {
+    // Roles are prefix-classed: "ncpu{c}" reconfigurable cores,
+    // "bnn-accel"/"bnn{c}" fixed BNN silicon, anything else ("cpu",
+    // "cpu{c}", "host") plain CPU silicon.
     if role.starts_with("ncpu") {
         am.ncpu_core(neurons)
-    } else if role == "bnn-accel" {
+    } else if role.starts_with("bnn") {
         am.bnn_core(neurons)
     } else {
         am.cpu_core()
     }
+}
+
+/// One core's power trace at voltage `v`: leakage over the makespan plus
+/// dynamic power during active spans.
+fn core_trace(
+    core: &crate::report::CoreReport,
+    makespan: u64,
+    pm: &PowerModel,
+    am: &AreaModel,
+    neurons: usize,
+    v: f64,
+    bucket_cycles: u64,
+) -> PowerTrace {
+    let mut trace = PowerTrace::new(bucket_cycles);
+    let areas = areas_for_role(am, &core.role, neurons);
+    trace.add_span(0, makespan, pm.leakage_mw(&areas, v));
+    for span in core.timeline.spans() {
+        let p = span_power_mw(pm, &core.role, &span.label, v, &areas) - pm.leakage_mw(&areas, v);
+        if p > 0.0 {
+            trace.add_span(span.start, span.end, p);
+        }
+    }
+    trace
 }
 
 /// Builds a per-core power trace of the run at voltage `v` (Fig. 16).
@@ -50,21 +76,7 @@ pub fn power_traces(
     report
         .cores
         .iter()
-        .map(|core| {
-            let mut trace = PowerTrace::new(bucket_cycles);
-            let areas = areas_for_role(am, &core.role, neurons);
-            // Leakage over the whole makespan…
-            trace.add_span(0, report.makespan, pm.leakage_mw(&areas, v));
-            // …plus dynamic power during active spans.
-            for span in core.timeline.spans() {
-                let p = span_power_mw(pm, &core.role, &span.label, v, &areas)
-                    - pm.leakage_mw(&areas, v);
-                if p > 0.0 {
-                    trace.add_span(span.start, span.end, p);
-                }
-            }
-            trace
-        })
+        .map(|core| core_trace(core, report.makespan, pm, am, neurons, v, bucket_cycles))
         .collect()
 }
 
@@ -81,6 +93,39 @@ pub fn run_energy_uj(
     let mw_cycles: f64 = traces.iter().map(PowerTrace::total_energy_mw_cycles).sum();
     // mW · cycles / (cycles/s) = mJ; ×1e3 = µJ.
     mw_cycles / f * 1.0e3
+}
+
+/// Total energy of the run in µJ with each core integrated at its own
+/// DVFS operating point from `topo` (cores without a per-core point use
+/// `scenario_volts`). With a homogeneous topology this equals
+/// [`run_energy_uj`] at `scenario_volts` exactly.
+///
+/// # Panics
+///
+/// Panics if the report's core count does not match the topology's.
+pub fn run_energy_uj_topo(
+    report: &RunReport,
+    pm: &PowerModel,
+    am: &AreaModel,
+    neurons: usize,
+    scenario_volts: f64,
+    topo: &crate::topology::Topology,
+) -> f64 {
+    assert_eq!(
+        report.cores.len(),
+        topo.cores(),
+        "the report and topology must describe the same fleet"
+    );
+    report
+        .cores
+        .iter()
+        .zip(topo.core_volts(scenario_volts))
+        .map(|(core, v)| {
+            let f = pm.dvfs.freq_hz(v, CoreKind::StandaloneCpu);
+            let trace = core_trace(core, report.makespan, pm, am, neurons, v, 1024);
+            trace.total_energy_mw_cycles() / f * 1.0e3
+        })
+        .sum()
 }
 
 /// The paper's performance→energy conversion (Section VII-C): scale the
@@ -172,6 +217,37 @@ mod tests {
         let cpu = run_energy_uj(&fake_report(1000, 1000, "ncpu0", "cpu"), &pm, &am, 100, 1.0);
         let bnn = run_energy_uj(&fake_report(1000, 1000, "ncpu0", "bnn"), &pm, &am, 100, 1.0);
         assert!(bnn > cpu);
+    }
+
+    #[test]
+    fn topo_energy_matches_flat_energy_on_homogeneous_fleets() {
+        use crate::topology::Topology;
+        let r = fake_report(10_000, 6_000, "ncpu0", "cpu");
+        let pm = PowerModel::default();
+        let am = AreaModel::default();
+        let flat = run_energy_uj(&r, &pm, &am, 100, 0.9);
+        let topo = run_energy_uj_topo(&r, &pm, &am, 100, 0.9, &Topology::homogeneous(1));
+        assert!((flat - topo).abs() < 1e-12, "flat {flat} vs topo {topo}");
+    }
+
+    #[test]
+    fn undervolted_cores_cut_the_fleet_energy() {
+        use crate::topology::{CoreSpec, SchedulerKind, Topology};
+        let mut r = fake_report(10_000, 6_000, "ncpu0", "cpu");
+        r.cores.push(r.cores[0].clone());
+        r.cores[1].role = "ncpu1".into();
+        let pm = PowerModel::default();
+        let am = AreaModel::default();
+        let nominal = run_energy_uj_topo(&r, &pm, &am, 100, 1.0, &Topology::homogeneous(2));
+        let little = CoreSpec { operating_point: Some(0.7), ..CoreSpec::reconfigurable() };
+        let topo = Topology::from_specs(
+            vec![CoreSpec::reconfigurable(), little],
+            vec![crate::fabric::L2_BYTES],
+            SchedulerKind::Static,
+        )
+        .unwrap();
+        let mixed = run_energy_uj_topo(&r, &pm, &am, 100, 1.0, &topo);
+        assert!(mixed < nominal, "mixed {mixed} vs nominal {nominal}");
     }
 
     #[test]

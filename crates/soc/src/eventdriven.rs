@@ -50,7 +50,7 @@
 //! with memoization off. Fabric-generated programs never read the L2,
 //! so the restart exists for soundness, not for the paper's workloads.
 
-use ncpu_core::{NcpuCore, ReplayDelta, ReplayState, SharedL2};
+use ncpu_core::{BankPorts, NcpuCore, ReplayDelta, ReplayState, SharedL2};
 use ncpu_fault::FaultPlan;
 use ncpu_obs::{EventKind, Recorder, StallCause, TraceLevel};
 use ncpu_pipeline::PipeStats;
@@ -59,6 +59,7 @@ use crate::event_queue::EventQueue;
 use crate::fabric;
 use crate::report::RunReport;
 use crate::system::SocConfig;
+use crate::topology::Topology;
 use crate::usecase::UseCase;
 
 /// Result of an event-driven run, plus contention statistics.
@@ -128,22 +129,44 @@ pub fn run_ncpu_event_faulted(
     plan: &FaultPlan,
     millivolts: u32,
 ) -> (EventReport, Recorder) {
-    match run_attempt(usecase, cores, soc, level, true, plan, millivolts) {
+    run_ncpu_event_topo(usecase, &Topology::homogeneous(cores), soc, level, plan, millivolts)
+}
+
+/// Like [`run_ncpu_event_faulted`], but over an explicit [`Topology`]:
+/// item dispatch follows the topology's scheduler plan, fixed-function
+/// cores sit idle, and L2 arbitration is per bank. With
+/// [`Topology::homogeneous`] this is byte-identical to the historical
+/// `cores`-only entry point.
+///
+/// # Panics
+///
+/// Panics if a generated program faults (a workspace bug), the run
+/// exceeds an internal cycle bound, or the topology has no item-capable
+/// core.
+pub fn run_ncpu_event_topo(
+    usecase: &UseCase,
+    topo: &Topology,
+    soc: &SocConfig,
+    level: TraceLevel,
+    plan: &FaultPlan,
+    millivolts: u32,
+) -> (EventReport, Recorder) {
+    match run_attempt(usecase, topo, soc, level, true, plan, millivolts) {
         Ok(result) => result,
         // An item read the shared L2 after a replay already skipped a
         // write: replay is unsound for this workload, simulate all items.
         Err(Restart::MemoUnsound) => {
-            match run_attempt(usecase, cores, soc, level, false, plan, millivolts) {
+            match run_attempt(usecase, topo, soc, level, false, plan, millivolts) {
                 Ok(result) => result,
                 Err(Restart::MemoUnsound) => {
                     unreachable!("memoization disabled: nothing to invalidate")
                 }
                 Err(Restart::Watchdog) => {
-                    lockstep_fallback(usecase, cores, soc, level, plan, millivolts)
+                    lockstep_fallback(usecase, topo, soc, level, plan, millivolts)
                 }
             }
         }
-        Err(Restart::Watchdog) => lockstep_fallback(usecase, cores, soc, level, plan, millivolts),
+        Err(Restart::Watchdog) => lockstep_fallback(usecase, topo, soc, level, plan, millivolts),
     }
 }
 
@@ -153,14 +176,14 @@ pub fn run_ncpu_event_faulted(
 /// lock-step run, relabeled.
 fn lockstep_fallback(
     usecase: &UseCase,
-    cores: usize,
+    topo: &Topology,
     soc: &SocConfig,
     level: TraceLevel,
     plan: &FaultPlan,
     millivolts: u32,
 ) -> (EventReport, Recorder) {
     let (ls, rec) =
-        crate::lockstep::run_ncpu_lockstep_faulted(usecase, cores, soc, level, plan, millivolts);
+        crate::lockstep::run_ncpu_lockstep_topo(usecase, topo, soc, level, plan, millivolts);
     let mut report = ls.report;
     report.config = report.config.replace("(lockstep)", "(event)");
     (
@@ -185,6 +208,11 @@ enum Restart {
 /// One memoized item execution.
 struct Cached {
     staged: Vec<u8>,
+    /// Memo key of the [`crate::topology::CoreSpec`] the item ran under.
+    /// The cache is per-core, so this is constant within one run — it
+    /// exists so a replay can never cross core specs if the cache is
+    /// ever shared or a spec ever changes mid-run.
+    spec_key: u64,
     pre: ReplayState,
     used: u64,
     delta: ReplayDelta,
@@ -227,7 +255,7 @@ struct CoreRun {
     core: NcpuCore,
     program: Vec<u32>,
     /// Items assigned to this core: `(item index, available_from)` —
-    /// initial round-robin items are available from cycle 0; items
+    /// plan-assigned items are available from cycle 0; items
     /// re-scheduled off a quarantined core from the cycle after the
     /// quarantine decision. Mirrors the lock-step queue exactly.
     queue: Vec<(usize, u64)>,
@@ -252,21 +280,23 @@ struct CoreRun {
 
 fn run_attempt(
     usecase: &UseCase,
-    cores: usize,
+    topo: &Topology,
     soc: &SocConfig,
     level: TraceLevel,
     mut memoize: bool,
     plan: &FaultPlan,
     millivolts: u32,
 ) -> Result<(EventReport, Recorder), Restart> {
+    let cores = topo.cores();
     assert!(cores >= 1, "need at least one core");
     let mut rec = Recorder::new(level.at_least_counters());
     let l2 = SharedL2::new(fabric::L2_BYTES);
     let mut dma = fabric::new_dma(soc, level);
     let mut ctl = plan
         .is_active()
-        .then(|| fabric::FaultCtl::new(plan, millivolts, usecase.items().len(), cores));
+        .then(|| fabric::FaultCtl::new(plan, millivolts, usecase.items().len(), topo));
     let watchdog = ctl.as_ref().map_or(0, |ctl| ctl.watchdog());
+    let dispatch_plan = topo.plan(usecase, soc);
     let mut states: Vec<CoreRun> = (0..cores)
         .map(|c| {
             let mut core = fabric::ncpu_core(usecase, soc, level, l2.clone());
@@ -276,7 +306,7 @@ fn run_attempt(
                 core,
                 program,
                 queue: (0..usecase.items().len())
-                    .filter(|i| i % cores == c)
+                    .filter(|&i| dispatch_plan[i] == c)
                     .map(|i| (i, 0))
                     .collect(),
                 at: 0,
@@ -406,9 +436,12 @@ fn run_attempt(
 
         // Execute (or replay) the item starting at `now`.
         let item = &usecase.items()[st.queue[st.at].0];
+        let spec_key = topo.spec(ci).memo_key();
         let pre = if memoize { Some(st.core.replay_state()) } else { None };
         let hit = pre.as_ref().and_then(|pre| {
-            st.cache.iter().find(|e| e.staged == item.staged && &e.pre == pre)
+            st.cache
+                .iter()
+                .find(|e| e.spec_key == spec_key && e.staged == item.staged && &e.pre == pre)
         });
         let (used, prediction) = if let Some(hit) = hit {
             let _prof = ncpu_obs::selfprof::span("event.replay");
@@ -459,9 +492,11 @@ fn run_attempt(
                 shard: shard.clone(),
                 offset: now as i64,
             });
-            let idx = st.queue[st.at].0;
+            // The owning core's mailbox: its program writes
+            // `result_addr(c)`, and under the static homogeneous plan
+            // `c == idx % cores` — the historical read, byte for byte.
             let prediction =
-                l2.read_word(fabric::result_addr(idx % cores)).expect("result written") as usize;
+                l2.read_word(fabric::result_addr(ci)).expect("result written") as usize;
             if reads_after > reads_before {
                 // The program read the shared L2: its outcome may depend
                 // on content a skipped replay did not write.
@@ -481,6 +516,7 @@ fn run_attempt(
                 let post = st.core.replay_state();
                 st.cache.push(Cached {
                     staged: item.staged.clone(),
+                    spec_key,
                     post: (post != pre).then_some(post),
                     pre,
                     used,
@@ -514,19 +550,24 @@ fn run_attempt(
         }
     }
 
-    // Post-hoc L2 arbitration: same-cycle touches lose to the lowest-
-    // numbered core, exactly the lock-step priority rule.
+    // Post-hoc L2 arbitration: per bank, same-cycle touches lose to the
+    // lowest-numbered core — the same [`BankPorts`] rule the lock-step
+    // walk applies inline (with one bank: every later toucher loses).
     touches.sort_unstable();
+    let mut ports = BankPorts::new(topo.banks());
     let mut l2_conflicts = 0u64;
     let mut i = 0;
     while i < touches.len() {
         let cycle = touches[i].0;
-        let mut j = i + 1;
+        ports.reset();
+        let mut j = i;
         while j < touches.len() && touches[j].0 == cycle {
-            l2_conflicts += 1;
-            if rec.wants_events() {
-                let core = touches[j].1;
-                emissions.push(Emission::Stall { cycle, core });
+            let core = touches[j].1;
+            if !ports.claim(topo.bank_of(core as usize)) {
+                l2_conflicts += 1;
+                if rec.wants_events() {
+                    emissions.push(Emission::Stall { cycle, core });
+                }
             }
             j += 1;
         }
@@ -576,6 +617,7 @@ fn run_attempt(
         &pool,
         &busy,
         usecase,
+        topo,
         fabric::RunOutcome {
             config: format!("{cores}x ncpu (event)"),
             makespan,

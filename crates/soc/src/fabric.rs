@@ -293,13 +293,17 @@ pub(crate) struct RunOutcome {
 
 /// Assembles the final NCPU-pool report: snapshots every core's
 /// counters and the DMA lane, sets the run counters, and derives one
-/// `ncpu{c}` [`CoreReport`] per core from the recorder's span stream.
+/// [`CoreReport`] per core from the recorder's span stream. Roles are
+/// topology-aware — `ncpu{c}` for reconfigurable cores (the historical
+/// name), `cpu{c}`/`bnn{c}` for fixed-function ones — which is what the
+/// energy layer keys its area and power models on.
 pub(crate) fn assemble_ncpu_report(
     rec: &mut Recorder,
     dma: &mut DmaEngine,
     pool: &[NcpuCore],
     busy: &[u64],
     usecase: &UseCase,
+    topo: &crate::topology::Topology,
     outcome: RunOutcome,
 ) -> RunReport {
     let RunOutcome { config, makespan, predictions } = outcome;
@@ -313,7 +317,11 @@ pub(crate) fn assemble_ncpu_report(
     }
     let cores = (0..pool.len())
         .map(|c| CoreReport {
-            role: format!("ncpu{c}"),
+            role: match topo.spec(c).role {
+                crate::topology::CoreRole::Reconfigurable => format!("ncpu{c}"),
+                crate::topology::CoreRole::CpuOnly => format!("cpu{c}"),
+                crate::topology::CoreRole::BnnOnly => format!("bnn{c}"),
+            },
             timeline: Timeline::from_obs_events(rec.spans(), c as u16),
             busy_cycles: busy[c],
         })
@@ -378,6 +386,9 @@ pub(crate) struct FaultCtl {
     /// Consecutive faults per core; any clean delivery resets it.
     consecutive: Vec<u32>,
     quarantined: Vec<bool>,
+    /// Which cores can run whole items at all (reconfigurable role).
+    /// Fixed-function cores are never re-scheduling targets.
+    item_capable: Vec<bool>,
     /// Faults within the current dispatch of each core's current item;
     /// drives the retry budget and the backoff exponent.
     dispatch_faults: Vec<u32>,
@@ -396,14 +407,21 @@ pub(crate) struct FaultCtl {
 
 impl FaultCtl {
     /// Binds `plan` to the operating point for a run of `items` items on
-    /// `cores` cores.
-    pub(crate) fn new(plan: &FaultPlan, millivolts: u32, items: usize, cores: usize) -> FaultCtl {
+    /// `topo`'s cores.
+    pub(crate) fn new(
+        plan: &FaultPlan,
+        millivolts: u32,
+        items: usize,
+        topo: &crate::topology::Topology,
+    ) -> FaultCtl {
+        let cores = topo.cores();
         FaultCtl {
             plan: *plan,
             session: FaultSession::new(plan, millivolts),
             attempts: vec![0; items],
             consecutive: vec![0; cores],
             quarantined: vec![false; cores],
+            item_capable: (0..cores).map(|c| topo.item_capable(c)).collect(),
             dispatch_faults: vec![0; cores],
             rr: 0,
             injected_flip: 0,
@@ -430,13 +448,13 @@ impl FaultCtl {
         u64::from(self.attempts[item].saturating_sub(1))
     }
 
-    /// Next healthy core in round-robin order, or `None` when the whole
-    /// pool is quarantined.
+    /// Next healthy item-capable core in round-robin order, or `None`
+    /// when every eligible core is quarantined.
     fn next_healthy(&mut self) -> Option<usize> {
         let n = self.quarantined.len();
         for k in 0..n {
             let c = (self.rr + k) % n;
-            if !self.quarantined[c] {
+            if !self.quarantined[c] && self.item_capable[c] {
                 self.rr = (c + 1) % n;
                 return Some(c);
             }

@@ -40,6 +40,7 @@ pub mod phases;
 mod report;
 mod scenario;
 mod system;
+pub mod topology;
 mod usecase;
 
 pub use canonical::{cache_key, canonical_bytes, fnv1a_64};
@@ -47,7 +48,7 @@ pub use fabric::{result_addr, DROPPED_PREDICTION, ITEM_BUDGET, L2_BYTES};
 pub use report::{CoreReport, RunReport};
 pub use scenario::{Analytic, Deep, Engine, EventDriven, Lockstep, Scenario};
 pub use system::{run, run_independent, run_traced, run_traced_faulted, SocConfig, SystemConfig};
-pub use usecase::{pseudo_model, UseCase, UseCaseKind};
+pub use usecase::{pseudo_deep_model, pseudo_model, UseCase, UseCaseKind};
 
 /// The fault-injection plan a [`Scenario`] carries (re-exported from
 /// `ncpu-fault`; attach one with [`Scenario::with_faults`]).

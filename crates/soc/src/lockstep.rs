@@ -17,13 +17,14 @@
 //! item), contention is negligible and the analytic model is sound — at
 //! any core count.
 
-use ncpu_core::{NcpuCore, SharedL2, StepOutcome};
+use ncpu_core::{BankPorts, NcpuCore, SharedL2, StepOutcome};
 use ncpu_fault::FaultPlan;
 use ncpu_obs::{EventKind, Recorder, StallCause, TraceLevel};
 
 use crate::fabric;
 use crate::report::RunReport;
 use crate::system::SocConfig;
+use crate::topology::Topology;
 use crate::usecase::UseCase;
 
 /// Result of a lock-step run, plus contention statistics.
@@ -86,12 +87,35 @@ pub fn run_ncpu_lockstep_faulted(
     plan: &FaultPlan,
     millivolts: u32,
 ) -> (LockstepReport, Recorder) {
+    run_ncpu_lockstep_topo(usecase, &Topology::homogeneous(cores), soc, level, plan, millivolts)
+}
+
+/// Like [`run_ncpu_lockstep_faulted`], but co-simulating an explicit
+/// [`Topology`]: items follow the topology's scheduler plan, only
+/// reconfigurable cores receive them, and L2 arbitration is per bank —
+/// cores in different banks never conflict. `Topology::homogeneous(n)`
+/// (one full-width bank, static plan) reproduces
+/// [`run_ncpu_lockstep_faulted`] byte-for-byte.
+///
+/// # Panics
+///
+/// Panics like [`run_ncpu_lockstep_faulted`], or if an item workload is
+/// given a topology with no reconfigurable core.
+pub fn run_ncpu_lockstep_topo(
+    usecase: &UseCase,
+    topo: &Topology,
+    soc: &SocConfig,
+    level: TraceLevel,
+    plan: &FaultPlan,
+    millivolts: u32,
+) -> (LockstepReport, Recorder) {
+    let cores = topo.cores();
     assert!(cores >= 1, "need at least one core");
     let mut rec = Recorder::new(level.at_least_counters());
     let l2 = SharedL2::new(fabric::L2_BYTES);
     let mut ctl = plan
         .is_active()
-        .then(|| fabric::FaultCtl::new(plan, millivolts, usecase.items().len(), cores));
+        .then(|| fabric::FaultCtl::new(plan, millivolts, usecase.items().len(), topo));
 
     struct CoreState {
         core: NcpuCore,
@@ -132,6 +156,7 @@ pub fn run_ncpu_lockstep_faulted(
     }
 
     let mut dma = fabric::new_dma(soc, level);
+    let dispatch_plan = topo.plan(usecase, soc);
     let mut states: Vec<CoreState> = (0..cores)
         .map(|c| {
             let core = fabric::ncpu_core(usecase, soc, level, l2.clone());
@@ -140,7 +165,7 @@ pub fn run_ncpu_lockstep_faulted(
                 core,
                 program,
                 queue: (0..usecase.items().len())
-                    .filter(|i| i % cores == c)
+                    .filter(|&i| dispatch_plan[i] == c)
                     .map(|i| (i, 0))
                     .collect(),
                 at: 0,
@@ -162,6 +187,7 @@ pub fn run_ncpu_lockstep_faulted(
     let watchdog = ctl.as_ref().map_or(0, |ctl| ctl.watchdog());
     let mut clock = 0u64;
     let mut l2_conflicts = 0u64;
+    let mut ports = BankPorts::new(topo.banks());
     let budget = 2_000_000_000u64;
     loop {
         // Idle-region fast-forward: when every unfinished core is either
@@ -209,7 +235,7 @@ pub fn run_ncpu_lockstep_faulted(
         }
 
         let mut all_done = true;
-        let mut l2_port_taken = false;
+        ports.reset();
         for c in 0..cores {
             // Start the next item if idle. The inner loop exists for the
             // fault layer: a drop decided at this very cycle lets the
@@ -352,25 +378,22 @@ pub fn run_ncpu_lockstep_faulted(
                 continue;
             }
 
-            // Arbitrate the single L2 port: observe access deltas.
+            // Arbitrate the core's L2 bank port: observe access deltas.
             let (r0, w0) = st.core.pipeline().mem().l2().accesses();
             let outcome = st.core.step_one().expect("lock-step program must not fault");
             let (r1, w1) = st.core.pipeline().mem().l2().accesses();
             let touched_l2 = r1 + w1 > r0 + w0;
-            if touched_l2 {
-                if l2_port_taken {
-                    // Port busy: this core replays the cycle (approximated
-                    // as one extra global cycle of stall).
-                    l2_conflicts += 1;
-                    if rec.wants_events() {
-                        rec.emit(
-                            c as u16,
-                            clock,
-                            EventKind::Stall { cause: StallCause::L2Conflict },
-                        );
-                    }
+            if touched_l2 && !ports.claim(topo.bank_of(c)) {
+                // Bank port busy: this core replays the cycle
+                // (approximated as one extra global cycle of stall).
+                l2_conflicts += 1;
+                if rec.wants_events() {
+                    rec.emit(
+                        c as u16,
+                        clock,
+                        EventKind::Stall { cause: StallCause::L2Conflict },
+                    );
                 }
-                l2_port_taken = true;
             }
             st.busy += 1;
 
@@ -379,7 +402,11 @@ pub fn run_ncpu_lockstep_faulted(
                 let offset = st.item_start as i64 - st.internal_start as i64;
                 rec.absorb(st.core.obs_mut(), c as u16, offset);
                 let (idx, _) = st.queue[st.at];
-                let addr = fabric::result_addr(idx % cores);
+                // The executing core's own mailbox: its program targets
+                // `result_addr(c)`, wherever the item was planned or
+                // re-scheduled to. (Equal to the historical
+                // `result_addr(idx % cores)` under the static plan.)
+                let addr = fabric::result_addr(c);
                 st.predictions
                     .push((idx, l2.read_word(addr).expect("result written") as usize));
                 st.finished_at = clock + 1;
@@ -425,6 +452,7 @@ pub fn run_ncpu_lockstep_faulted(
         &pool,
         &busy,
         usecase,
+        topo,
         fabric::RunOutcome {
             config: format!("{cores}x ncpu (lockstep)"),
             makespan,

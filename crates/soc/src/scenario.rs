@@ -40,11 +40,12 @@ use ncpu_obs::{Recorder, TraceLevel};
 use ncpu_sim::stats::Timeline;
 
 use crate::deep::{self, run_rolled_arrivals_traced, try_run_series_n_arrivals_traced};
-use crate::eventdriven::run_ncpu_event_faulted;
+use crate::eventdriven::run_ncpu_event_topo;
 use crate::fabric;
-use crate::lockstep::run_ncpu_lockstep_faulted;
+use crate::lockstep::run_ncpu_lockstep_topo;
 use crate::report::{CoreReport, RunReport};
-use crate::system::{run_traced_faulted, SocConfig, SystemConfig};
+use crate::system::{run_traced_faulted_topo, SocConfig, SystemConfig};
+use crate::topology::Topology;
 use crate::usecase::{UseCase, UseCaseKind};
 
 /// A complete, self-contained description of one end-to-end run.
@@ -56,6 +57,7 @@ pub struct Scenario {
     trace: TraceLevel,
     operating_point: Option<f64>,
     fault: FaultPlan,
+    topology: Option<Topology>,
 }
 
 impl Scenario {
@@ -70,6 +72,7 @@ impl Scenario {
             trace: TraceLevel::Counters,
             operating_point: None,
             fault: FaultPlan::none(),
+            topology: None,
         }
     }
 
@@ -101,6 +104,30 @@ impl Scenario {
     #[must_use]
     pub fn with_faults(mut self, plan: FaultPlan) -> Scenario {
         self.fault = plan;
+        self
+    }
+
+    /// Pins an explicit fabric topology. The default (no topology) is
+    /// [`Topology::homogeneous`] of the system's core count, which is
+    /// byte-identical to the pre-topology engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology's core count disagrees with the system's
+    /// (the topology describes exactly the cores the system schedules),
+    /// or if it is attached to the heterogeneous baseline.
+    #[must_use]
+    pub fn with_topology(mut self, topology: Topology) -> Scenario {
+        assert!(
+            matches!(self.system, SystemConfig::Ncpu { .. }),
+            "topologies describe NCPU fleets, not the heterogeneous baseline"
+        );
+        assert_eq!(
+            topology.cores(),
+            self.cores(),
+            "topology core count must match the system's"
+        );
+        self.topology = Some(topology);
         self
     }
 
@@ -138,6 +165,20 @@ impl Scenario {
     /// The fault plan (inert by default).
     pub const fn fault(&self) -> &FaultPlan {
         &self.fault
+    }
+
+    /// The explicit topology, if one was pinned.
+    pub const fn explicit_topology(&self) -> Option<&Topology> {
+        self.topology.as_ref()
+    }
+
+    /// The effective topology: the pinned one, or the byte-identical
+    /// [`Topology::homogeneous`] default over [`Scenario::cores`].
+    pub fn topology(&self) -> Topology {
+        match &self.topology {
+            Some(t) => t.clone(),
+            None => Topology::homogeneous(self.cores()),
+        }
     }
 
     /// The operating point in millivolts — the integer form the fault
@@ -201,13 +242,14 @@ impl Engine for Analytic {
 
     fn run(&self, scenario: &Scenario) -> (RunReport, Recorder) {
         let _prof = ncpu_obs::selfprof::span("engine.analytic");
-        run_traced_faulted(
+        run_traced_faulted_topo(
             &scenario.usecase,
             scenario.system,
             &scenario.soc,
             scenario.trace,
             &scenario.fault,
             scenario.millivolts(),
+            &scenario.topology(),
         )
     }
 }
@@ -224,12 +266,12 @@ impl Engine for Lockstep {
 
     fn run(&self, scenario: &Scenario) -> (RunReport, Recorder) {
         let _prof = ncpu_obs::selfprof::span("engine.lockstep");
-        let SystemConfig::Ncpu { cores } = scenario.system else {
+        let SystemConfig::Ncpu { .. } = scenario.system else {
             panic!("the lock-step engine co-simulates NCPU cores, not the baseline");
         };
-        let (lockstep, rec) = run_ncpu_lockstep_faulted(
+        let (lockstep, rec) = run_ncpu_lockstep_topo(
             &scenario.usecase,
-            cores,
+            &scenario.topology(),
             &scenario.soc,
             scenario.trace,
             &scenario.fault,
@@ -252,12 +294,12 @@ impl Engine for EventDriven {
 
     fn run(&self, scenario: &Scenario) -> (RunReport, Recorder) {
         let _prof = ncpu_obs::selfprof::span("engine.event");
-        let SystemConfig::Ncpu { cores } = scenario.system else {
+        let SystemConfig::Ncpu { .. } = scenario.system else {
             panic!("the event-driven engine co-simulates NCPU cores, not the baseline");
         };
-        let (event, rec) = run_ncpu_event_faulted(
+        let (event, rec) = run_ncpu_event_topo(
             &scenario.usecase,
-            cores,
+            &scenario.topology(),
             &scenario.soc,
             scenario.trace,
             &scenario.fault,
@@ -284,9 +326,21 @@ impl Engine for Deep {
             UseCaseKind::Deep,
             "the deep engine runs UseCase::deep workloads"
         );
-        let SystemConfig::Ncpu { cores } = scenario.system else {
+        let SystemConfig::Ncpu { .. } = scenario.system else {
             panic!("the deep engine schedules NCPU cores, not the baseline");
         };
+        // Roles map to segment placement: every BNN-capable core
+        // (reconfigurable or fixed BNN array) holds one resident model
+        // segment, in core-id order; CPU-only cores hold none. The
+        // homogeneous default keeps the historical "N cores = N
+        // segments" exactly.
+        let topo = scenario.topology();
+        let segment_cores = topo.bnn_cores();
+        assert!(
+            !segment_cores.is_empty(),
+            "the deep engine needs at least one BNN-capable core"
+        );
+        let cores = segment_cores.len();
         let model = scenario.usecase.model();
         let width = model.topology().input();
         let items = scenario.usecase.items();
@@ -337,11 +391,21 @@ impl Engine for Deep {
             .unwrap_or_else(|e| panic!("{e}"));
             let roles = (0..cores)
                 .map(|s| {
-                    (format!("seg{s}"), rec.counters().get(&format!("core{s}.busy_cycles")))
+                    let role = if topo.is_homogeneous() {
+                        format!("seg{s}")
+                    } else {
+                        format!("seg{s}@core{}", segment_cores[s])
+                    };
+                    (role, rec.counters().get(&format!("core{s}.busy_cycles")))
                 })
                 .collect();
             (run, rec, format!("{cores}x ncpu (series)"), roles)
         };
+        if !topo.is_homogeneous() {
+            for (s, &c) in segment_cores.iter().enumerate() {
+                rec.set_counter(format!("deep.seg{s}.core"), c as u64);
+            }
+        }
         rec.set_counter("deep.first_latency", run.first_latency);
         rec.set_counter("deep.steady_interval", run.steady_interval);
         let mut makespan = run.total_cycles;

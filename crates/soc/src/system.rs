@@ -17,6 +17,7 @@ use ncpu_sim::stats::Timeline;
 
 use crate::fabric;
 use crate::report::{CoreReport, RunReport};
+use crate::topology::Topology;
 use crate::usecase::UseCase;
 
 /// Shared-fabric parameters of the SoC.
@@ -87,7 +88,9 @@ pub fn run_traced(
 ) -> (RunReport, Recorder) {
     match system {
         SystemConfig::Heterogeneous => run_heterogeneous(usecase, soc, level),
-        SystemConfig::Ncpu { cores } => run_ncpu(usecase, cores, soc, level),
+        SystemConfig::Ncpu { cores } => {
+            run_ncpu(usecase, &Topology::homogeneous(cores), soc, level)
+        }
     }
 }
 
@@ -116,12 +119,33 @@ pub fn run_traced_faulted(
     plan: &FaultPlan,
     millivolts: u32,
 ) -> (RunReport, Recorder) {
+    let topo = match system {
+        SystemConfig::Ncpu { cores } => Topology::homogeneous(cores),
+        SystemConfig::Heterogeneous => Topology::homogeneous(1),
+    };
+    run_traced_faulted_topo(usecase, system, soc, level, plan, millivolts, &topo)
+}
+
+/// Like [`run_traced_faulted`], but scheduling over an explicit
+/// [`Topology`] (roles, per-core DVFS points, L2 banking, scheduler).
+/// `Topology::homogeneous(cores)` reproduces [`run_traced_faulted`]
+/// byte-for-byte.
+#[allow(clippy::too_many_arguments)]
+pub fn run_traced_faulted_topo(
+    usecase: &UseCase,
+    system: SystemConfig,
+    soc: &SocConfig,
+    level: TraceLevel,
+    plan: &FaultPlan,
+    millivolts: u32,
+    topo: &Topology,
+) -> (RunReport, Recorder) {
     match system {
         SystemConfig::Heterogeneous => run_heterogeneous(usecase, soc, level),
-        SystemConfig::Ncpu { cores } if plan.is_active() => {
-            run_ncpu_faulted(usecase, cores, soc, level, plan, millivolts)
+        SystemConfig::Ncpu { .. } if plan.is_active() => {
+            run_ncpu_faulted(usecase, topo, soc, level, plan, millivolts)
         }
-        SystemConfig::Ncpu { cores } => run_ncpu(usecase, cores, soc, level),
+        SystemConfig::Ncpu { .. } => run_ncpu(usecase, topo, soc, level),
     }
 }
 
@@ -132,24 +156,26 @@ pub fn run_traced_faulted(
 /// healthy ones.
 fn run_ncpu_faulted(
     usecase: &UseCase,
-    cores: usize,
+    topo: &Topology,
     soc: &SocConfig,
     level: TraceLevel,
     plan: &FaultPlan,
     millivolts: u32,
 ) -> (RunReport, Recorder) {
+    let cores = topo.cores();
     let mut rec = Recorder::new(level.at_least_counters());
     let (l2, mut pool, programs) = fabric::ncpu_pool(usecase, soc, level, cores);
     let mut dma = fabric::new_dma(soc, level);
     let items = usecase.items().len();
-    let mut ctl = fabric::FaultCtl::new(plan, millivolts, items, cores);
+    let mut ctl = fabric::FaultCtl::new(plan, millivolts, items, topo);
     let mut now = vec![0u64; cores];
     let mut busy = vec![0u64; cores];
     // Items complete out of order once drops and re-scheduling kick in,
     // so predictions are written by index rather than pushed.
     let mut predictions = vec![0usize; items];
+    let dispatch_plan = topo.plan(usecase, soc);
     let mut queues: Vec<Vec<(usize, u64)>> = (0..cores)
-        .map(|c| (0..items).filter(|i| i % cores == c).map(|i| (i, 0)).collect())
+        .map(|c| (0..items).filter(|&i| dispatch_plan[i] == c).map(|i| (i, 0)).collect())
         .collect();
     let mut at = vec![0usize; cores];
 
@@ -219,6 +245,7 @@ fn run_ncpu_faulted(
         &pool,
         &busy,
         usecase,
+        topo,
         fabric::RunOutcome { config: format!("{cores}x ncpu"), makespan, predictions },
     );
     (report, rec)
@@ -226,10 +253,11 @@ fn run_ncpu_faulted(
 
 pub(crate) fn run_ncpu(
     usecase: &UseCase,
-    cores: usize,
+    topo: &Topology,
     soc: &SocConfig,
     level: TraceLevel,
 ) -> (RunReport, Recorder) {
+    let cores = topo.cores();
     let mut rec = Recorder::new(level.at_least_counters());
     let (l2, mut pool, programs) = fabric::ncpu_pool(usecase, soc, level, cores);
     let mut dma = fabric::new_dma(soc, level);
@@ -237,10 +265,11 @@ pub(crate) fn run_ncpu(
     let mut busy = vec![0u64; cores];
     let mut predictions = Vec::with_capacity(usecase.items().len());
 
-    // Round-robin item assignment: item `i` runs on core `i % cores`.
-    let items = usecase.items().len();
+    // The scheduler's upfront plan (round-robin `i % cores` on the
+    // homogeneous static default).
+    let plan = topo.plan(usecase, soc);
     for (i, item) in usecase.items().iter().enumerate() {
-        let c = i % cores;
+        let c = plan[i];
         let dispatch = now[c];
         let (end, used) = fabric::run_item(
             &mut pool[c],
@@ -253,9 +282,8 @@ pub(crate) fn run_ncpu(
         );
         now[c] = end;
         busy[c] += used;
-        // Items still waiting behind this one on core `c` under the
-        // round-robin assignment.
-        let depth = (items - 1 - i) / cores;
+        // Items still waiting behind this one on core `c` under the plan.
+        let depth = crate::topology::depth_behind(&plan, i);
         fabric::record_item_metrics(&mut rec, end - dispatch, used, depth as u64);
         predictions.push(
             l2.read_word(fabric::result_addr(c)).expect("result staged by program") as usize,
@@ -269,6 +297,7 @@ pub(crate) fn run_ncpu(
         &pool,
         &busy,
         usecase,
+        topo,
         fabric::RunOutcome { config: format!("{cores}x ncpu"), makespan, predictions },
     );
     (report, rec)

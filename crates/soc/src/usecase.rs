@@ -15,8 +15,20 @@ use ncpu_testkit::rng::Rng;
 /// `benches/event.rs`, and `examples/engine_matrix.rs` previously each
 /// carried a private copy of.
 pub fn pseudo_model(input: usize, neurons: usize, classes: usize) -> BnnModel {
-    let topo = Topology::new(input, vec![neurons; 4], classes);
-    let layers = (0..4)
+    pseudo_deep_model(input, neurons, classes, 4)
+}
+
+/// The same deterministic weight/bias pattern at an arbitrary hidden
+/// depth — `layers > 4` feeds the [`Deep`](crate::Deep) engine's
+/// rollback/series schedulers without training anything.
+pub fn pseudo_deep_model(
+    input: usize,
+    neurons: usize,
+    classes: usize,
+    layers: usize,
+) -> BnnModel {
+    let topo = Topology::new(input, vec![neurons; layers], classes);
+    let built = (0..layers)
         .map(|l| {
             let n_in = topo.layer_input(l);
             let rows: Vec<BitVec> = (0..neurons)
@@ -26,7 +38,7 @@ pub fn pseudo_model(input: usize, neurons: usize, classes: usize) -> BnnModel {
             BnnLayer::new(rows, bias)
         })
         .collect();
-    BnnModel::new(topo, layers)
+    BnnModel::new(topo, built)
 }
 
 /// Which real-time workload a [`UseCase`] models.

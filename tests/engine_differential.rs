@@ -3,7 +3,9 @@
 //! `RunReport`, same counter registry, same raw and sorted `ncpu-obs`
 //! event streams. Random scenarios cover the full matrix (switch policy
 //! × 1/2/4 cores × use-case kind × DMA operating point × trace level ×
-//! DVFS point), seeded and shrinking via `ncpu-testkit`.
+//! DVFS point × heterogeneous topology — mixed roles, asymmetric L2
+//! banks, per-core undervolting, both schedulers), seeded and
+//! shrinking via `ncpu-testkit`.
 //!
 //! A second property checks the jump contract the engine is built on:
 //! driving a core by `next_event_in`-sized `step_n` jumps never lands a
@@ -13,7 +15,8 @@
 use std::sync::OnceLock;
 
 use ncpu::prelude::*;
-use ncpu::soc::{EventDriven as EventEngine, Lockstep as LockstepEngine, RunReport};
+use ncpu::soc::topology::{CoreRole, CoreSpec, SchedulerKind, Topology as FleetTopology};
+use ncpu::soc::{EventDriven as EventEngine, Lockstep as LockstepEngine, RunReport, L2_BYTES};
 use ncpu::core::StepOutcome;
 use ncpu_testkit::prop::{Prop, Shrink};
 use ncpu_testkit::prop_assert_eq;
@@ -91,6 +94,24 @@ impl FaultCase {
     }
 }
 
+/// Heterogeneous-fleet knobs layered on top of the core count. The
+/// concrete `soc::topology::Topology` is derived deterministically in
+/// [`Case::fleet_topology`] so the knobs stay shrinkable one at a time.
+#[derive(Debug, Clone, PartialEq)]
+struct TopologyCase {
+    /// Core 1 becomes a fixed BNN array and (on 4-core fleets) the last
+    /// core CPU-only, so the dispatch plan must route around them.
+    mixed_roles: bool,
+    /// Split the L2 into a wide bank 0 and a narrow bank 1, odd cores
+    /// on the narrow bank — per-bank port arbitration differs from the
+    /// historical single port.
+    asymmetric_banks: bool,
+    /// Every core except core 0 runs at 0.7 V (weights the
+    /// work-stealing planner and the energy model, never the clock).
+    undervolt_littles: bool,
+    work_stealing: bool,
+}
+
 #[derive(Debug, Clone)]
 struct Case {
     workload: Workload,
@@ -103,6 +124,8 @@ struct Case {
     operating_point: Option<u32>,
     /// Fault plan the scenario carries (`None` = inert plan).
     fault: Option<FaultCase>,
+    /// Heterogeneous topology (`None` = the homogeneous default).
+    topology: Option<TopologyCase>,
 }
 
 impl Case {
@@ -128,8 +151,8 @@ impl Case {
             dma_setup_cycles: *[0u64, 3, 16, 32].get(rng.gen_range(0..4usize)).unwrap(),
             full_trace: rng.gen_bool(0.5),
             operating_point: rng.gen_bool(0.3).then(|| rng.gen_range(6..=12u32)),
-            // Drawn last so the corpus's earlier seeds still decode the
-            // same prefix of the case.
+            // Drawn after the prefix so the corpus's earlier seeds
+            // still decode the same prefix of the case.
             fault: rng.gen_bool(0.5).then(|| FaultCase {
                 seed: rng.gen_range(0..1_000_000u64),
                 flip_ppm: rng.gen_range(0..400_000u32),
@@ -141,7 +164,44 @@ impl Case {
                 backoff_cycles: *[8u64, 32, 128].get(rng.gen_range(0..3usize)).unwrap(),
                 quarantine_after: rng.gen_range(0..=3u32),
             }),
+            // Drawn LAST (after the fault block) so every pre-topology
+            // corpus seed still decodes byte-for-byte.
+            topology: rng.gen_bool(0.5).then(|| TopologyCase {
+                mixed_roles: rng.gen_bool(0.5),
+                asymmetric_banks: rng.gen_bool(0.5),
+                undervolt_littles: rng.gen_bool(0.5),
+                work_stealing: rng.gen_bool(0.5),
+            }),
         }
+    }
+
+    /// The concrete topology the knobs describe on this core count.
+    /// Core 0 always stays reconfigurable so the fleet can run items.
+    fn fleet_topology(&self) -> Option<FleetTopology> {
+        let t = self.topology.as_ref()?;
+        let mut specs = vec![CoreSpec::reconfigurable(); self.cores];
+        if t.mixed_roles && self.cores > 1 {
+            specs[1].role = CoreRole::BnnOnly;
+            if self.cores > 2 {
+                specs[self.cores - 1].role = CoreRole::CpuOnly;
+            }
+        }
+        if t.undervolt_littles {
+            for spec in specs.iter_mut().skip(1) {
+                spec.operating_point = Some(0.7);
+            }
+        }
+        let banks = if t.asymmetric_banks {
+            for (c, spec) in specs.iter_mut().enumerate() {
+                spec.bank = c % 2;
+            }
+            vec![3 * L2_BYTES / 4, L2_BYTES / 4]
+        } else {
+            vec![L2_BYTES]
+        };
+        let sched =
+            if t.work_stealing { SchedulerKind::WorkStealing } else { SchedulerKind::Static };
+        Some(FleetTopology::from_specs(specs, banks, sched).expect("generated topology is valid"))
     }
 
     fn scenario(&self) -> Scenario {
@@ -173,6 +233,9 @@ impl Case {
         if let Some(fault) = &self.fault {
             scenario = scenario.with_faults(fault.plan());
         }
+        if let Some(topo) = self.fleet_topology() {
+            scenario = scenario.with_topology(topo);
+        }
         scenario
     }
 }
@@ -181,7 +244,37 @@ impl Shrink for Case {
     fn shrink(&self) -> Vec<Case> {
         let mut out = Vec::new();
         let mut push = |c: Case| out.push(c);
-        // Dropping the fault plan first: most divergences that involve
+        // Dropping the topology first: a divergence that needs a
+        // heterogeneous fleet is a topology-threading bug, and the
+        // minimal repro should say so by keeping only the guilty knob.
+        if let Some(topo) = &self.topology {
+            push(Case { topology: None, ..self.clone() });
+            if topo.work_stealing {
+                push(Case {
+                    topology: Some(TopologyCase { work_stealing: false, ..topo.clone() }),
+                    ..self.clone()
+                });
+            }
+            if topo.mixed_roles {
+                push(Case {
+                    topology: Some(TopologyCase { mixed_roles: false, ..topo.clone() }),
+                    ..self.clone()
+                });
+            }
+            if topo.asymmetric_banks {
+                push(Case {
+                    topology: Some(TopologyCase { asymmetric_banks: false, ..topo.clone() }),
+                    ..self.clone()
+                });
+            }
+            if topo.undervolt_littles {
+                push(Case {
+                    topology: Some(TopologyCase { undervolt_littles: false, ..topo.clone() }),
+                    ..self.clone()
+                });
+            }
+        }
+        // Dropping the fault plan next: most divergences that involve
         // one are simplest to debug when the plan itself is the cause.
         if let Some(fault) = &self.fault {
             push(Case { fault: None, ..self.clone() });
